@@ -1,0 +1,137 @@
+//! Materializing a selected element set into a schema summary.
+//!
+//! "Given the set of selected schema elements, which serve as the abstract
+//! elements in the summary, generating \[the\] schema summary is simply
+//! assigning each remaining schema element to its closest abstract element
+//! and establishing abstract links between those elements" (Section 4).
+
+use crate::assignment::assign_elements;
+use crate::matrices::PairMatrices;
+use schema_summary_core::{ElementId, SchemaError, SchemaGraph, SchemaSummary};
+
+/// Build a full summary whose abstract elements are `selected`, grouping
+/// every other element under the selected element toward which it has the
+/// highest affinity.
+pub fn build_summary(
+    graph: &SchemaGraph,
+    matrices: &PairMatrices,
+    selected: &[ElementId],
+) -> Result<SchemaSummary, SchemaError> {
+    if selected.is_empty() {
+        return Err(SchemaError::BadSummarySize {
+            requested: 0,
+            available: graph.len().saturating_sub(1),
+        });
+    }
+    for &s in selected {
+        graph.check(s)?;
+        if s == graph.root() {
+            return Err(SchemaError::Invalid(
+                "the root cannot be an abstract element; it is always kept".into(),
+            ));
+        }
+    }
+    let assignment = assign_elements(graph, matrices, selected);
+    let mut members: Vec<Vec<ElementId>> = selected.iter().map(|&s| vec![s]).collect();
+    for e in graph.element_ids() {
+        if let Some(idx) = assignment[e.index()] {
+            members[idx].push(e);
+        }
+    }
+    let groups = selected
+        .iter()
+        .zip(members)
+        .map(|(&rep, mem)| (rep, mem))
+        .collect();
+    SchemaSummary::from_grouping(graph, groups, vec![graph.root()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::PathConfig;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::stats::{LinkCount, SchemaStats};
+    use schema_summary_core::types::SchemaType;
+
+    fn fixture() -> (SchemaGraph, SchemaStats) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
+        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        let g = b.build().unwrap();
+        let find = |l: &str| g.find_unique(l).unwrap();
+        let mut cards = vec![0u64; g.len()];
+        for (e, c) in [
+            (g.root(), 1u64),
+            (find("people"), 1),
+            (find("person"), 100),
+            (find("name"), 100),
+            (find("auctions"), 1),
+            (find("auction"), 50),
+            (find("bidder"), 250),
+        ] {
+            cards[e.index()] = c;
+        }
+        let links = vec![
+            LinkCount { from: g.root(), to: find("people"), count: 1 },
+            LinkCount { from: find("people"), to: find("person"), count: 100 },
+            LinkCount { from: find("person"), to: find("name"), count: 100 },
+            LinkCount { from: g.root(), to: find("auctions"), count: 1 },
+            LinkCount { from: find("auctions"), to: find("auction"), count: 50 },
+            LinkCount { from: find("auction"), to: find("bidder"), count: 250 },
+            LinkCount { from: find("bidder"), to: find("person"), count: 250 },
+        ];
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn built_summary_is_valid_and_full() {
+        let (g, s) = fixture();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let person = g.find_unique("person").unwrap();
+        let auction = g.find_unique("auction").unwrap();
+        let summary = build_summary(&g, &m, &[person, auction]).unwrap();
+        summary.validate(&g).unwrap();
+        assert!(summary.is_full());
+        assert_eq!(summary.size(), 2);
+        // name groups with person; bidder ties between person and auction
+        // (affinity 1.0 to both) and the structural-distance tie-break puts
+        // it under its parent auction.
+        let bidder = g.find_unique("bidder").unwrap();
+        let name = g.find_unique("name").unwrap();
+        assert_eq!(summary.node_of(name), summary.node_of(person));
+        assert_eq!(summary.node_of(bidder), summary.node_of(auction));
+    }
+
+    #[test]
+    fn rejects_root_selection() {
+        let (g, s) = fixture();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        assert!(build_summary(&g, &m, &[g.root()]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_selection() {
+        let (g, s) = fixture();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        assert!(build_summary(&g, &m, &[]).is_err());
+    }
+
+    #[test]
+    fn every_element_represented() {
+        let (g, s) = fixture();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let person = g.find_unique("person").unwrap();
+        let summary = build_summary(&g, &m, &[person]).unwrap();
+        summary.validate(&g).unwrap();
+        // With one abstract element, the whole schema (minus root) is one
+        // group.
+        assert_eq!(summary.abstracts()[0].members.len(), g.len() - 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Summary explanation: *why* a summary looks the way it does.
+//!
+//! A summary a user cannot interrogate is a black box; this module produces
+//! the per-element evidence behind a selection — importance scores and
+//! ranks, coverage contributions, group compositions, and the dominance
+//! relationships that kept elements out (the paper's Figure 7 walk made
+//! observable). The CLI's `summarize` command and the examples print these.
+
+use crate::assignment::assign_elements;
+use crate::dominance::DominanceSet;
+use crate::importance::ImportanceResult;
+use crate::matrices::PairMatrices;
+use schema_summary_core::{ElementId, SchemaGraph, SchemaStats, SchemaSummary};
+use serde::{Deserialize, Serialize};
+
+/// Evidence for one summary element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElementEvidence {
+    /// The summary element (group representative).
+    pub element: ElementId,
+    /// Its label path in the schema.
+    pub path: String,
+    /// Importance score (Formula 1).
+    pub importance: f64,
+    /// 1-based rank in the importance ordering (root excluded).
+    pub importance_rank: usize,
+    /// Cardinality in the database.
+    pub cardinality: f64,
+    /// Number of elements in its group (including itself).
+    pub group_size: usize,
+    /// Sum of its coverage of its group members (Formula 3 over the group).
+    pub group_coverage: f64,
+    /// Elements it dominates (Theorem 1) — candidates it displaced.
+    pub dominates: Vec<ElementId>,
+}
+
+/// A near-miss: a high-importance element left out of the summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exclusion {
+    /// The excluded element.
+    pub element: ElementId,
+    /// Its label path.
+    pub path: String,
+    /// Its importance rank.
+    pub importance_rank: usize,
+    /// A selected element that dominates it, if that is why it is out.
+    pub dominated_by: Option<ElementId>,
+}
+
+/// Full explanation of a summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Evidence per summary element, in selection order.
+    pub elements: Vec<ElementEvidence>,
+    /// High-importance non-selected elements (up to the summary size),
+    /// with the dominance that excluded them when applicable.
+    pub near_misses: Vec<Exclusion>,
+}
+
+/// Explain `summary` against the pipeline intermediates.
+pub fn explain(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    importance: &ImportanceResult,
+    matrices: &PairMatrices,
+    dominance: &DominanceSet,
+    summary: &SchemaSummary,
+) -> Explanation {
+    let ranked = importance.ranked(graph);
+    let rank_of = |e: ElementId| ranked.iter().position(|&r| r == e).map_or(0, |p| p + 1);
+    let selected: Vec<ElementId> = summary
+        .abstracts()
+        .iter()
+        .map(|a| a.representative)
+        .collect();
+    let assignment = assign_elements(graph, matrices, &selected);
+
+    let elements = summary
+        .abstracts()
+        .iter()
+        .map(|a| {
+            let rep = a.representative;
+            let group_coverage: f64 = a
+                .members
+                .iter()
+                .map(|&m| {
+                    if m == rep {
+                        stats.card(m)
+                    } else {
+                        matrices.coverage(rep, m)
+                    }
+                })
+                .sum();
+            let dominates = graph
+                .element_ids()
+                .filter(|&e| dominance.dominates(rep, e))
+                .collect();
+            ElementEvidence {
+                element: rep,
+                path: graph.label_path(rep),
+                importance: importance.score(rep),
+                importance_rank: rank_of(rep),
+                cardinality: stats.card(rep),
+                group_size: a.members.len(),
+                group_coverage,
+                dominates,
+            }
+        })
+        .collect::<Vec<_>>();
+    let _ = &assignment; // group membership is already in the summary
+
+    let k = selected.len().max(1);
+    let near_misses = ranked
+        .iter()
+        .filter(|e| !selected.contains(e))
+        .take(k)
+        .map(|&e| Exclusion {
+            element: e,
+            path: graph.label_path(e),
+            importance_rank: rank_of(e),
+            dominated_by: selected.iter().copied().find(|&s| dominance.dominates(s, e)),
+        })
+        .collect();
+    Explanation {
+        elements,
+        near_misses,
+    }
+}
+
+impl Explanation {
+    /// Render a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("summary elements:\n");
+        for e in &self.elements {
+            out.push_str(&format!(
+                "  {:<44} imp #{:<3} ({:.0})  card {:.0}  group {} (cov {:.0})",
+                e.path, e.importance_rank, e.importance, e.cardinality, e.group_size,
+                e.group_coverage
+            ));
+            if !e.dominates.is_empty() {
+                out.push_str(&format!("  dominates {} elements", e.dominates.len()));
+            }
+            out.push('\n');
+        }
+        if !self.near_misses.is_empty() {
+            out.push_str("left out:\n");
+            for x in &self.near_misses {
+                out.push_str(&format!("  {:<44} imp #{:<3}", x.path, x.importance_rank));
+                match x.dominated_by {
+                    Some(_) => out.push_str("  (dominated by a selected element)\n"),
+                    None => out.push_str("  (outranked)\n"),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, Summarizer};
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    fn fixture() -> (SchemaGraph, SchemaStats) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let items = b.add_child(b.root(), "items", SchemaType::rcd()).unwrap();
+        let item = b.add_child(items, "item", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(item, "title", SchemaType::simple_str()).unwrap();
+        let g = b.build().unwrap();
+        let f = |l: &str| g.find_unique(l).unwrap();
+        let cards = {
+            let mut c = vec![0u64; g.len()];
+            for (e, v) in [
+                (g.root(), 1u64),
+                (f("people"), 1),
+                (f("person"), 100),
+                (f("name"), 100),
+                (f("items"), 1),
+                (f("item"), 300),
+                (f("title"), 300),
+            ] {
+                c[e.index()] = v;
+            }
+            c
+        };
+        let links = vec![
+            LinkCount { from: g.root(), to: f("people"), count: 1 },
+            LinkCount { from: f("people"), to: f("person"), count: 100 },
+            LinkCount { from: f("person"), to: f("name"), count: 100 },
+            LinkCount { from: g.root(), to: f("items"), count: 1 },
+            LinkCount { from: f("items"), to: f("item"), count: 300 },
+            LinkCount { from: f("item"), to: f("title"), count: 300 },
+        ];
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (g, s)
+    }
+
+    fn explanation(k: usize) -> (SchemaGraph, Explanation) {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let summary = sum.summarize(k, Algorithm::Balance).unwrap();
+        let imp = sum.importance().clone();
+        let m = sum.matrices().clone();
+        let ds = sum.dominance().clone();
+        let ex = explain(&g, &s, &imp, &m, &ds, &summary);
+        (g, ex)
+    }
+
+    #[test]
+    fn covers_every_summary_element() {
+        let (_, ex) = explanation(2);
+        assert_eq!(ex.elements.len(), 2);
+        for e in &ex.elements {
+            assert!(e.importance > 0.0);
+            assert!(e.importance_rank >= 1);
+            assert!(e.group_size >= 1);
+            assert!(e.group_coverage > 0.0);
+            assert!(!e.path.is_empty());
+        }
+    }
+
+    #[test]
+    fn group_sizes_partition_the_schema() {
+        let (g, ex) = explanation(2);
+        let total: usize = ex.elements.iter().map(|e| e.group_size).sum();
+        assert_eq!(total, g.len() - 1); // everything but the root
+    }
+
+    #[test]
+    fn near_misses_are_ranked_and_annotated() {
+        let (_, ex) = explanation(2);
+        assert!(!ex.near_misses.is_empty());
+        for x in &ex.near_misses {
+            assert!(x.importance_rank >= 1);
+        }
+    }
+
+    #[test]
+    fn render_is_informative() {
+        let (_, ex) = explanation(2);
+        let text = ex.render();
+        assert!(text.contains("summary elements:"));
+        assert!(text.contains("imp #"));
+        assert!(text.contains("left out:"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (_, ex) = explanation(2);
+        let json = serde_json::to_string(&ex).unwrap();
+        let back: Explanation = serde_json::from_str(&json).unwrap();
+        assert_eq!(ex, back);
+    }
+}

@@ -1,0 +1,179 @@
+//! Query-history-informed importance (the paper's §5.4 discussion item).
+//!
+//! "Another potentially important input to automatic schema summarization
+//! algorithms is historical queries. By analyzing the query history,
+//! important elements can be extracted as the most frequently queried
+//! elements." The paper leaves this as future work, noting history is
+//! unavailable for new databases and slow to adapt; we implement it as an
+//! optional *blend*: the importance iteration's initial mass is a convex
+//! combination of cardinalities (the paper's default) and the query-hit
+//! distribution, preserving the total-mass invariant so every property of
+//! Formula 1 carries over.
+
+use crate::importance::{ImportanceConfig, ImportanceMode, ImportanceResult};
+use schema_summary_core::{ElementId, SchemaGraph, SchemaStats};
+use serde::{Deserialize, Serialize};
+
+/// Accumulated per-element query-hit counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryHistory {
+    hits: Vec<f64>,
+}
+
+impl QueryHistory {
+    /// An empty history over a schema of `n` elements.
+    pub fn new(n: usize) -> Self {
+        QueryHistory { hits: vec![0.0; n] }
+    }
+
+    /// An empty history sized for `graph`.
+    pub fn for_graph(graph: &SchemaGraph) -> Self {
+        Self::new(graph.len())
+    }
+
+    /// Record one query referencing `elements` (duplicates count once per
+    /// occurrence, mirroring a trace where each reference is a hit).
+    pub fn record(&mut self, elements: &[ElementId]) {
+        for &e in elements {
+            if e.index() < self.hits.len() {
+                self.hits[e.index()] += 1.0;
+            }
+        }
+    }
+
+    /// Hits recorded for `e`.
+    pub fn hits(&self, e: ElementId) -> f64 {
+        self.hits[e.index()]
+    }
+
+    /// Total recorded hits.
+    pub fn total(&self) -> f64 {
+        self.hits.iter().sum()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0.0
+    }
+}
+
+/// Compute importance with the initial mass blended between cardinalities
+/// and the query-hit distribution: `blend = 0` reproduces Formula 1
+/// exactly, `blend = 1` seeds entirely from history. Total mass stays equal
+/// to the total cardinality either way.
+pub fn compute_importance_with_history(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    history: &QueryHistory,
+    config: &ImportanceConfig,
+    blend: f64,
+) -> ImportanceResult {
+    let blend = blend.clamp(0.0, 1.0);
+    if blend == 0.0 || history.is_empty() {
+        return crate::importance::compute_importance(graph, stats, config);
+    }
+    let total = stats.total_card();
+    let hist_total = history.total();
+    let init: Vec<f64> = graph
+        .element_ids()
+        .map(|e| {
+            (1.0 - blend) * stats.card(e)
+                + blend * (history.hits(e) / hist_total) * total
+        })
+        .collect();
+    // Reuse the standard iteration with the blended seed. DataOnly would
+    // ignore the seed's purpose; force the full mode.
+    let mut cfg = config.clone();
+    cfg.mode = ImportanceMode::DataAndSchema;
+    crate::importance::iterate_from(graph, stats, init, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    /// root -> {hot*, cold*}: same cardinality, but only `hot` is queried.
+    fn fixture() -> (SchemaGraph, SchemaStats, ElementId, ElementId) {
+        let mut b = SchemaGraphBuilder::new("db");
+        let hot = b.add_child(b.root(), "hot", SchemaType::set_of_rcd()).unwrap();
+        let cold = b.add_child(b.root(), "cold", SchemaType::set_of_rcd()).unwrap();
+        let g = b.build().unwrap();
+        let s = SchemaStats::from_link_counts(
+            &g,
+            &[1, 100, 100],
+            &[
+                LinkCount { from: g.root(), to: hot, count: 100 },
+                LinkCount { from: g.root(), to: cold, count: 100 },
+            ],
+        )
+        .unwrap();
+        (g, s, hot, cold)
+    }
+
+    #[test]
+    fn history_breaks_symmetry() {
+        let (g, s, hot, cold) = fixture();
+        let mut h = QueryHistory::for_graph(&g);
+        for _ in 0..10 {
+            h.record(&[hot]);
+        }
+        let r = compute_importance_with_history(&g, &s, &h, &ImportanceConfig::default(), 0.5);
+        assert!(
+            r.score(hot) > r.score(cold),
+            "hot {} vs cold {}",
+            r.score(hot),
+            r.score(cold)
+        );
+    }
+
+    #[test]
+    fn zero_blend_matches_plain_importance() {
+        let (g, s, hot, _) = fixture();
+        let mut h = QueryHistory::for_graph(&g);
+        h.record(&[hot]);
+        let plain = crate::importance::compute_importance(&g, &s, &ImportanceConfig::default());
+        let blended =
+            compute_importance_with_history(&g, &s, &h, &ImportanceConfig::default(), 0.0);
+        for e in g.element_ids() {
+            assert_eq!(plain.score(e), blended.score(e));
+        }
+    }
+
+    #[test]
+    fn empty_history_is_a_noop() {
+        let (g, s, _, _) = fixture();
+        let h = QueryHistory::for_graph(&g);
+        let plain = crate::importance::compute_importance(&g, &s, &ImportanceConfig::default());
+        let blended =
+            compute_importance_with_history(&g, &s, &h, &ImportanceConfig::default(), 0.9);
+        for e in g.element_ids() {
+            assert_eq!(plain.score(e), blended.score(e));
+        }
+    }
+
+    #[test]
+    fn mass_is_still_conserved() {
+        let (g, s, hot, cold) = fixture();
+        let mut h = QueryHistory::for_graph(&g);
+        h.record(&[hot, cold, hot]);
+        for blend in [0.25, 0.5, 1.0] {
+            let r =
+                compute_importance_with_history(&g, &s, &h, &ImportanceConfig::default(), blend);
+            assert!(
+                (r.total() - s.total_card()).abs() < 1e-6,
+                "blend {blend}: mass {}",
+                r.total()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_records_are_ignored() {
+        let (g, _, _, _) = fixture();
+        let mut h = QueryHistory::for_graph(&g);
+        h.record(&[ElementId(99)]);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! Schema element importance (Formula 1, Algorithm MaxImportance part 1).
+//!
+//! The importance of an element combines its **cardinality** in the database
+//! (initial value) with its **connectivity** in the schema (the iteration
+//! redistributes importance across links, weighted by relative
+//! cardinalities):
+//!
+//! ```text
+//! I_e^r = p · I_e^{r-1} + (1 - p) · Σ_j W(e_j → e) · I_{e_j}^{r-1}
+//! W(e_j → e) = RC(e_j → e) / Σ_k RC(e_j → e_k)
+//! ```
+//!
+//! Because each element donates exactly its `(1 - p)` share across
+//! neighbors whose weights sum to one, the total importance mass equals the
+//! total cardinality at every iteration (the paper notes this invariant;
+//! our property tests enforce it). Isolated elements retain their mass.
+
+use schema_summary_core::{ElementId, SchemaGraph, SchemaStats};
+use serde::{Deserialize, Serialize};
+
+/// Which inputs drive the importance computation (Section 5.4's ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ImportanceMode {
+    /// Both schema structure and data distribution (the paper's default).
+    #[default]
+    DataAndSchema,
+    /// Fully data driven (`p = 1`): importance equals cardinality.
+    DataOnly,
+    /// Fully schema driven (`RC ≡ 1`, `I⁰ ≡ 1`): only connectivity matters.
+    SchemaOnly,
+}
+
+/// Configuration for the importance iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ImportanceConfig {
+    /// Neighborhood factor `p` (Formula 1); the paper recommends 0.5.
+    pub p: f64,
+    /// Per-element relative convergence threshold `c` (Figure 4 uses 0.1%).
+    pub epsilon: f64,
+    /// Iteration cap (Figure 4 notes "a limit on the # iterations can also
+    /// be set"); the paper observes convergence within several hundred
+    /// iterations at `p = 0.5`.
+    pub max_iterations: usize,
+    /// Input ablation mode.
+    pub mode: ImportanceMode,
+}
+
+impl Default for ImportanceConfig {
+    fn default() -> Self {
+        ImportanceConfig {
+            p: 0.5,
+            epsilon: 0.001,
+            max_iterations: 5_000,
+            mode: ImportanceMode::DataAndSchema,
+        }
+    }
+}
+
+impl ImportanceConfig {
+    /// Builder-style setter for `p`.
+    pub fn with_p(mut self, p: f64) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Builder-style setter for the mode.
+    pub fn with_mode(mut self, mode: ImportanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Result of the importance computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ImportanceResult {
+    scores: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the per-element convergence criterion was met within the
+    /// iteration cap.
+    pub converged: bool,
+}
+
+impl ImportanceResult {
+    /// Importance score of `e`.
+    #[inline]
+    pub fn score(&self, e: ElementId) -> f64 {
+        self.scores[e.index()]
+    }
+
+    /// All scores, indexed by element id.
+    #[inline]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Total importance mass (invariant: equals the total cardinality).
+    pub fn total(&self) -> f64 {
+        self.scores.iter().sum()
+    }
+
+    /// Element ids sorted by descending importance, ties broken by id.
+    /// The root is **excluded**: it is always kept in a summary and never a
+    /// candidate representative.
+    pub fn ranked(&self, graph: &SchemaGraph) -> Vec<ElementId> {
+        let mut ids: Vec<ElementId> = graph
+            .element_ids()
+            .filter(|&e| e != graph.root())
+            .collect();
+        ids.sort_by(|&a, &b| {
+            self.scores[b.index()]
+                .partial_cmp(&self.scores[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+
+    /// The `k` most important non-root elements.
+    pub fn top_k(&self, graph: &SchemaGraph, k: usize) -> Vec<ElementId> {
+        let mut r = self.ranked(graph);
+        r.truncate(k);
+        r
+    }
+}
+
+/// Compute element importance over `graph` annotated with `stats`.
+pub fn compute_importance(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    config: &ImportanceConfig,
+) -> ImportanceResult {
+    match config.mode {
+        ImportanceMode::DataOnly => {
+            // p = 1: the iteration is the identity, importance = cardinality.
+            let scores = graph.element_ids().map(|e| stats.card(e)).collect();
+            ImportanceResult {
+                scores,
+                iterations: 0,
+                converged: true,
+            }
+        }
+        ImportanceMode::SchemaOnly => {
+            let unit = stats.with_unit_rc();
+            let init = vec![1.0; graph.len()];
+            iterate(graph, &unit, init, config)
+        }
+        ImportanceMode::DataAndSchema => {
+            let init = graph.element_ids().map(|e| stats.card(e)).collect();
+            iterate(graph, stats, init, config)
+        }
+    }
+}
+
+/// Run the Formula-1 iteration from an explicit initial mass vector
+/// (crate-internal: used by the query-history extension).
+pub(crate) fn iterate_from(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    init: Vec<f64>,
+    config: &ImportanceConfig,
+) -> ImportanceResult {
+    iterate(graph, stats, init, config)
+}
+
+fn iterate(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    init: Vec<f64>,
+    config: &ImportanceConfig,
+) -> ImportanceResult {
+    let n = graph.len();
+    let p = config.p.clamp(0.0, 1.0);
+    // Precompute, for every element j, its outgoing (neighbor, weight)
+    // pairs. Weights per source sum to 1 (or the list is empty for isolated
+    // elements / zero RC mass).
+    let weights: Vec<Vec<(u32, f64)>> = (0..n as u32)
+        .map(|j| {
+            let j = ElementId(j);
+            let s = stats.rc_sum(j);
+            if s <= 0.0 {
+                Vec::new()
+            } else {
+                stats
+                    .rc_neighbors(j)
+                    .iter()
+                    .map(|&(nb, rc)| (nb.0, rc / s))
+                    .collect()
+            }
+        })
+        .collect();
+
+    let tiny = (init.iter().sum::<f64>() / n.max(1) as f64).max(1.0) * 1e-12;
+    let mut cur = init;
+    let mut new = vec![0.0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Retained share; elements that donate nothing keep everything.
+        for i in 0..n {
+            new[i] = if weights[i].is_empty() { cur[i] } else { p * cur[i] };
+        }
+        // Push (1-p) of each donor's mass along its weighted links.
+        for (j, out) in weights.iter().enumerate() {
+            if out.is_empty() {
+                continue;
+            }
+            let share = (1.0 - p) * cur[j];
+            for &(to, w) in out {
+                new[to as usize] += share * w;
+            }
+        }
+        let mut done = true;
+        for i in 0..n {
+            let denom = cur[i].max(tiny);
+            if (new[i] - cur[i]).abs() / denom > config.epsilon {
+                done = false;
+                break;
+            }
+        }
+        std::mem::swap(&mut cur, &mut new);
+        if done {
+            converged = true;
+            break;
+        }
+    }
+    ImportanceResult {
+        scores: cur,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::types::SchemaType;
+
+    /// a -> b (structural) with RC(a→b)=2, RC(b→a)=1; cards 10, 20.
+    fn two_node() -> (SchemaGraph, SchemaStats) {
+        let mut b = SchemaGraphBuilder::new("a");
+        let bid = b.add_child(b.root(), "b", SchemaType::set_of_rcd()).unwrap();
+        let g = b.build().unwrap();
+        let s = SchemaStats::from_link_counts(
+            &g,
+            &[10, 20],
+            &[LinkCount { from: g.root(), to: bid, count: 20 }],
+        )
+        .unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn two_node_fixed_point() {
+        let (g, s) = two_node();
+        let r = compute_importance(&g, &s, &ImportanceConfig::default());
+        assert!(r.converged);
+        // Each node's only neighbor is the other, so W = 1 both ways and the
+        // fixed point is the average: 15 each.
+        assert!((r.score(ElementId(0)) - 15.0).abs() < 0.1);
+        assert!((r.score(ElementId(1)) - 15.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let (g, s) = two_node();
+        for p in [0.1, 0.5, 0.9] {
+            let r = compute_importance(&g, &s, &ImportanceConfig::default().with_p(p));
+            assert!((r.total() - s.total_card()).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn data_only_returns_cardinalities() {
+        let (g, s) = two_node();
+        let r = compute_importance(
+            &g,
+            &s,
+            &ImportanceConfig::default().with_mode(ImportanceMode::DataOnly),
+        );
+        assert_eq!(r.score(ElementId(0)), 10.0);
+        assert_eq!(r.score(ElementId(1)), 20.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn schema_only_favors_connectivity() {
+        // Star: hub with 4 leaves vs a chain node; hub must win even though
+        // all cardinalities are ignored.
+        let mut b = SchemaGraphBuilder::new("root");
+        let hub = b.add_child(b.root(), "hub", SchemaType::rcd()).unwrap();
+        for i in 0..4 {
+            b.add_child(hub, format!("leaf{i}"), SchemaType::simple_str()).unwrap();
+        }
+        let lonely = b.add_child(b.root(), "lonely", SchemaType::simple_str()).unwrap();
+        let g = b.build().unwrap();
+        let card = vec![1u64; g.len()];
+        let s = SchemaStats::from_link_counts(&g, &card, &[]).unwrap();
+        let r = compute_importance(
+            &g,
+            &s,
+            &ImportanceConfig::default().with_mode(ImportanceMode::SchemaOnly),
+        );
+        assert!(r.score(hub) > r.score(lonely));
+    }
+
+    #[test]
+    fn high_rc_attracts_importance() {
+        // root -> {popular*, niche*}: 100 popular instances, 1 niche.
+        let mut b = SchemaGraphBuilder::new("root");
+        let popular = b.add_child(b.root(), "popular", SchemaType::set_of_rcd()).unwrap();
+        let niche = b.add_child(b.root(), "niche", SchemaType::set_of_rcd()).unwrap();
+        let g = b.build().unwrap();
+        let s = SchemaStats::from_link_counts(
+            &g,
+            &[1, 100, 1],
+            &[
+                LinkCount { from: g.root(), to: popular, count: 100 },
+                LinkCount { from: g.root(), to: niche, count: 1 },
+            ],
+        )
+        .unwrap();
+        let r = compute_importance(&g, &s, &ImportanceConfig::default());
+        assert!(r.score(popular) > 10.0 * r.score(niche));
+    }
+
+    #[test]
+    fn ranking_excludes_root() {
+        let (g, s) = two_node();
+        let r = compute_importance(&g, &s, &ImportanceConfig::default());
+        let ranked = r.ranked(&g);
+        assert!(!ranked.contains(&g.root()));
+        assert_eq!(ranked.len(), g.len() - 1);
+        assert_eq!(r.top_k(&g, 1).len(), 1);
+    }
+
+    #[test]
+    fn isolated_elements_keep_mass() {
+        // Graph with a single root and nothing else: no neighbors at all.
+        let b = SchemaGraphBuilder::new("only");
+        let g = b.build().unwrap();
+        let s = SchemaStats::from_link_counts(&g, &[7], &[]).unwrap();
+        let r = compute_importance(&g, &s, &ImportanceConfig::default());
+        assert_eq!(r.score(g.root()), 7.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn smaller_p_converges_slower() {
+        // The paper observes slow convergence for p near 0.
+        let (g, s) = two_node();
+        let fast = compute_importance(&g, &s, &ImportanceConfig::default().with_p(0.9));
+        let slow = compute_importance(&g, &s, &ImportanceConfig::default().with_p(0.05));
+        assert!(slow.iterations >= fast.iterations);
+    }
+}

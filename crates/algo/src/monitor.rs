@@ -1,0 +1,226 @@
+//! Incremental summary maintenance under data evolution (Section 3.3).
+//!
+//! "One consequence of using data distributions is that the generated
+//! summary may evolve when the database is updated ... If the changes
+//! follow the same data distribution ... the summary will not be affected
+//! even when the changes are major. When the data distribution has changed
+//! significantly ... a change in the summary is indeed appropriate."
+//!
+//! [`SummaryMonitor`] operationalizes that: re-annotate periodically, call
+//! [`refresh`](SummaryMonitor::refresh), and get a [`RefreshReport`] saying
+//! whether the summary actually changed and how — the hook a deployment
+//! uses to decide when to republish a schema overview (and to audit *why*:
+//! which elements entered and left).
+
+use crate::summarizer::{Algorithm, Summarizer, SummarizerConfig};
+use schema_summary_core::{ElementId, SchemaError, SchemaGraph, SchemaStats, SchemaSummary};
+use serde::{Deserialize, Serialize};
+
+/// Tracks a deployed summary across statistics refreshes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SummaryMonitor {
+    k: usize,
+    algorithm: Algorithm,
+    config: SummarizerConfig,
+    current: Option<Vec<ElementId>>,
+    refreshes: usize,
+    changes: usize,
+}
+
+/// Outcome of one refresh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefreshReport {
+    /// The up-to-date selection.
+    pub selection: Vec<ElementId>,
+    /// Whether the selection differs from the previous one.
+    pub changed: bool,
+    /// Elements newly selected.
+    pub entered: Vec<ElementId>,
+    /// Elements dropped from the selection.
+    pub left: Vec<ElementId>,
+    /// `|old ∩ new| / k`; 1.0 on the first refresh.
+    pub agreement: f64,
+}
+
+impl SummaryMonitor {
+    /// Monitor a summary of size `k` maintained by `algorithm`.
+    pub fn new(k: usize, algorithm: Algorithm) -> Self {
+        Self::with_config(k, algorithm, SummarizerConfig::default())
+    }
+
+    /// Monitor with an explicit algorithm configuration.
+    pub fn with_config(k: usize, algorithm: Algorithm, config: SummarizerConfig) -> Self {
+        SummaryMonitor {
+            k,
+            algorithm,
+            config,
+            current: None,
+            refreshes: 0,
+            changes: 0,
+        }
+    }
+
+    /// The current selection, if any refresh has run.
+    pub fn current(&self) -> Option<&[ElementId]> {
+        self.current.as_deref()
+    }
+
+    /// Number of refreshes performed.
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+
+    /// Number of refreshes that changed the selection.
+    pub fn changes(&self) -> usize {
+        self.changes
+    }
+
+    /// Recompute the selection against fresh statistics and report the
+    /// delta. The schema must be the same graph the monitor has been
+    /// running against (element ids are compared across refreshes).
+    pub fn refresh(
+        &mut self,
+        graph: &SchemaGraph,
+        stats: &SchemaStats,
+    ) -> Result<RefreshReport, SchemaError> {
+        let mut s = Summarizer::with_config(graph, stats, self.config.clone());
+        let new = s.select(self.k, self.algorithm)?;
+        self.refreshes += 1;
+        let report = match &self.current {
+            None => RefreshReport {
+                selection: new.clone(),
+                changed: false,
+                entered: Vec::new(),
+                left: Vec::new(),
+                agreement: 1.0,
+            },
+            Some(old) => {
+                let entered: Vec<ElementId> =
+                    new.iter().copied().filter(|e| !old.contains(e)).collect();
+                let left: Vec<ElementId> =
+                    old.iter().copied().filter(|e| !new.contains(e)).collect();
+                let common = new.iter().filter(|e| old.contains(e)).count();
+                let changed = !entered.is_empty() || !left.is_empty();
+                if changed {
+                    self.changes += 1;
+                }
+                RefreshReport {
+                    selection: new.clone(),
+                    changed,
+                    entered,
+                    left,
+                    agreement: common as f64 / self.k.max(1) as f64,
+                }
+            }
+        };
+        self.current = Some(new);
+        Ok(report)
+    }
+
+    /// Materialize the current selection into a summary (e.g. for
+    /// republication after a change).
+    pub fn materialize(
+        &self,
+        graph: &SchemaGraph,
+        stats: &SchemaStats,
+    ) -> Result<SchemaSummary, SchemaError> {
+        let selection = self
+            .current
+            .as_ref()
+            .ok_or_else(|| SchemaError::Invalid("monitor has not refreshed yet".into()))?;
+        let mut s = Summarizer::with_config(graph, stats, self.config.clone());
+        s.summarize_selection(selection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    /// root -> {orders* -> item*, archive* }, with tunable volumes.
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("db");
+        let orders = b.add_child(b.root(), "orders", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(orders, "item", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(orders, "total", SchemaType::simple_float()).unwrap();
+        let archive = b.add_child(b.root(), "archive", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(archive, "blob", SchemaType::set_of_rcd()).unwrap();
+        b.build().unwrap()
+    }
+
+    fn stats(g: &SchemaGraph, orders: u64, archive: u64) -> SchemaStats {
+        let f = |l: &str| g.find_unique(l).unwrap();
+        let cards = vec![1, orders, orders * 3, orders, archive, archive * 2];
+        let links = vec![
+            LinkCount { from: g.root(), to: f("orders"), count: orders },
+            LinkCount { from: f("orders"), to: f("item"), count: orders * 3 },
+            LinkCount { from: f("orders"), to: f("total"), count: orders },
+            LinkCount { from: g.root(), to: f("archive"), count: archive },
+            LinkCount { from: f("archive"), to: f("blob"), count: archive * 2 },
+        ];
+        SchemaStats::from_link_counts(g, &cards, &links).unwrap()
+    }
+
+    #[test]
+    fn first_refresh_is_not_a_change() {
+        let g = graph();
+        let mut m = SummaryMonitor::new(2, Algorithm::Balance);
+        let r = m.refresh(&g, &stats(&g, 100, 10)).unwrap();
+        assert!(!r.changed);
+        assert_eq!(r.agreement, 1.0);
+        assert_eq!(r.selection.len(), 2);
+        assert_eq!(m.refreshes(), 1);
+        assert_eq!(m.changes(), 0);
+    }
+
+    #[test]
+    fn proportional_growth_does_not_change_the_summary() {
+        let g = graph();
+        let mut m = SummaryMonitor::new(2, Algorithm::Balance);
+        m.refresh(&g, &stats(&g, 100, 10)).unwrap();
+        let r = m.refresh(&g, &stats(&g, 1000, 100)).unwrap();
+        assert!(!r.changed, "{r:?}");
+        assert_eq!(r.agreement, 1.0);
+        assert_eq!(m.changes(), 0);
+    }
+
+    #[test]
+    fn distribution_shift_changes_the_summary() {
+        let g = graph();
+        let mut m = SummaryMonitor::new(1, Algorithm::Balance);
+        m.refresh(&g, &stats(&g, 1000, 1)).unwrap();
+        // The archive explodes: the monitor should report a change.
+        let r = m.refresh(&g, &stats(&g, 10, 100_000)).unwrap();
+        assert!(r.changed, "{r:?}");
+        assert!(!r.entered.is_empty());
+        assert!(!r.left.is_empty());
+        assert!(r.agreement < 1.0);
+        assert_eq!(m.changes(), 1);
+    }
+
+    #[test]
+    fn materialize_requires_a_refresh() {
+        let g = graph();
+        let s = stats(&g, 10, 10);
+        let m = SummaryMonitor::new(1, Algorithm::Balance);
+        assert!(m.materialize(&g, &s).is_err());
+        let mut m = m;
+        m.refresh(&g, &s).unwrap();
+        let summary = m.materialize(&g, &s).unwrap();
+        summary.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let g = graph();
+        let mut m = SummaryMonitor::new(2, Algorithm::Balance);
+        m.refresh(&g, &stats(&g, 100, 10)).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let mut back: SummaryMonitor = serde_json::from_str(&json).unwrap();
+        // A refresh against the same stats is a no-change after restore.
+        let r = back.refresh(&g, &stats(&g, 100, 10)).unwrap();
+        assert!(!r.changed);
+    }
+}

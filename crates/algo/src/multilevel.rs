@@ -1,0 +1,267 @@
+//! Multi-level summaries (Section 2's extension: "an abstract element can
+//! itself be represented by another abstract element, thus creating a
+//! multi-level summary, which can be helpful for a user facing extremely
+//! large schemas").
+//!
+//! A [`MultiLevelSummary`] stacks full summaries of strictly decreasing
+//! sizes. Level 0 is the finest; each coarser level's abstract elements
+//! partition the previous level's: every level-`i+1` group is a union of
+//! level-`i` groups, so "drilling down" from a coarse abstract element
+//! always reveals complete finer-grained components, never fragments.
+//!
+//! Construction selects the coarser level's representatives from among the
+//! finer level's representatives (the BalanceSummary walk restricted to
+//! them) and assigns each finer group to the coarser representative its
+//! own representative has the highest affinity toward — the same rule the
+//! paper uses for elements, lifted one level.
+
+use crate::assignment::assign_elements;
+use crate::matrices::PairMatrices;
+use schema_summary_core::{AbstractId, ElementId, SchemaError, SchemaGraph, SchemaSummary};
+use serde::{Deserialize, Serialize};
+
+/// A stack of nested full summaries, finest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLevelSummary {
+    levels: Vec<SchemaSummary>,
+    /// `parent[i][g]` = index of the level-`i+1` group containing level-`i`
+    /// group `g`. One entry per non-final level.
+    parent: Vec<Vec<AbstractId>>,
+}
+
+impl MultiLevelSummary {
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The summary at `level` (0 = finest).
+    pub fn level(&self, level: usize) -> &SchemaSummary {
+        &self.levels[level]
+    }
+
+    /// All levels, finest first.
+    pub fn levels(&self) -> &[SchemaSummary] {
+        &self.levels
+    }
+
+    /// The level-`level + 1` group containing level-`level` group `g`.
+    pub fn parent_group(&self, level: usize, g: AbstractId) -> Option<AbstractId> {
+        self.parent.get(level).map(|p| p[g.index()])
+    }
+
+    /// The level-`level` groups contained in level-`level + 1` group `g`
+    /// ("drilling down" one level).
+    pub fn child_groups(&self, level: usize, g: AbstractId) -> Vec<AbstractId> {
+        match self.parent.get(level) {
+            None => Vec::new(),
+            Some(p) => p
+                .iter()
+                .enumerate()
+                .filter(|&(_, &pg)| pg == g)
+                .map(|(i, _)| AbstractId(i as u32))
+                .collect(),
+        }
+    }
+
+    /// Check that every pair of consecutive levels nests: each coarse group
+    /// is exactly the union of its child groups' members.
+    pub fn validate(&self, graph: &SchemaGraph) -> Result<(), SchemaError> {
+        for level in &self.levels {
+            level.validate(graph)?;
+        }
+        for (i, parents) in self.parent.iter().enumerate() {
+            let fine = &self.levels[i];
+            let coarse = &self.levels[i + 1];
+            if parents.len() != fine.abstracts().len() {
+                return Err(SchemaError::Invalid(format!(
+                    "level {i} parent map has wrong length"
+                )));
+            }
+            let mut union: Vec<Vec<ElementId>> = vec![Vec::new(); coarse.abstracts().len()];
+            for (g, &pg) in parents.iter().enumerate() {
+                union[pg.index()].extend_from_slice(&fine.abstracts()[g].members);
+            }
+            for (pg, members) in union.iter_mut().enumerate() {
+                members.sort_unstable();
+                if members != &coarse.abstracts()[pg].members {
+                    return Err(SchemaError::Invalid(format!(
+                        "level {} group a{pg} is not the union of its children",
+                        i + 1
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build a multi-level summary with the given level sizes (finest first,
+/// strictly decreasing). The finest level's selection comes from the
+/// caller (typically a `BalanceSummary` run); coarser levels are derived
+/// by merging finer groups.
+pub fn build_multi_level(
+    graph: &SchemaGraph,
+    matrices: &PairMatrices,
+    finest_selection: &[ElementId],
+    coarser_sizes: &[usize],
+) -> Result<MultiLevelSummary, SchemaError> {
+    let finest = crate::builder::build_summary(graph, matrices, finest_selection)?;
+    let mut levels = vec![finest];
+    let mut parent: Vec<Vec<AbstractId>> = Vec::new();
+
+    let mut current_reps: Vec<ElementId> = finest_selection.to_vec();
+    let mut prev_size = current_reps.len();
+    for &size in coarser_sizes {
+        if size >= prev_size || size == 0 {
+            return Err(SchemaError::BadSummarySize {
+                requested: size,
+                available: prev_size.saturating_sub(1),
+            });
+        }
+        // Coarse representatives: the `size` finer representatives with the
+        // highest total coverage of the other representatives — the ones
+        // best placed to absorb their neighbors' groups.
+        let mut scored: Vec<(f64, ElementId)> = current_reps
+            .iter()
+            .map(|&r| {
+                let score: f64 = current_reps
+                    .iter()
+                    .filter(|&&o| o != r)
+                    .map(|&o| matrices.coverage(r, o))
+                    .sum();
+                (score, r)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let coarse_reps: Vec<ElementId> = {
+            let mut v: Vec<ElementId> = scored.iter().take(size).map(|&(_, r)| r).collect();
+            v.sort_unstable();
+            v
+        };
+
+        // Assign each finer group to a coarse group via its representative's
+        // affinity (the element-level rule, lifted).
+        let fine = levels.last().expect("at least the finest level exists");
+        let assignment = assign_elements(graph, matrices, &coarse_reps);
+        let mut level_parent: Vec<AbstractId> = Vec::with_capacity(fine.abstracts().len());
+        let mut members: Vec<Vec<ElementId>> = vec![Vec::new(); coarse_reps.len()];
+        for a in fine.abstracts() {
+            let rep = a.representative;
+            let coarse_idx = match coarse_reps.iter().position(|&c| c == rep) {
+                Some(i) => i, // a coarse rep absorbs its own fine group
+                None => assignment[rep.index()].unwrap_or(0),
+            };
+            level_parent.push(AbstractId(coarse_idx as u32));
+            members[coarse_idx].extend_from_slice(&a.members);
+        }
+        let groups: Vec<(ElementId, Vec<ElementId>)> = coarse_reps
+            .iter()
+            .copied()
+            .zip(members)
+            .collect();
+        let coarse = SchemaSummary::from_grouping(graph, groups, vec![graph.root()])?;
+        levels.push(coarse);
+        parent.push(level_parent);
+        current_reps = coarse_reps;
+        prev_size = size;
+    }
+    Ok(MultiLevelSummary { levels, parent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::PathConfig;
+    use crate::{Algorithm, Summarizer};
+    use schema_summary_core::{SchemaGraphBuilder, SchemaStats, SchemaType};
+
+    fn fixture() -> (SchemaGraph, SchemaStats) {
+        let mut b = SchemaGraphBuilder::new("site");
+        for (section, entities) in [
+            ("people", ["person", "address"]),
+            ("items", ["item", "review"]),
+            ("auctions", ["auction", "bid"]),
+        ] {
+            let s = b.add_child(b.root(), section, SchemaType::rcd()).unwrap();
+            for e in entities {
+                let id = b.add_child(s, e, SchemaType::set_of_rcd()).unwrap();
+                b.add_child(id, format!("{e}_field"), SchemaType::simple_str()).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        (g.clone(), SchemaStats::uniform(&g))
+    }
+
+    #[test]
+    fn builds_nested_levels() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(6, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[3]).unwrap();
+        assert_eq!(ml.depth(), 2);
+        assert_eq!(ml.level(0).size(), 6);
+        assert_eq!(ml.level(1).size(), 3);
+        ml.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn three_levels_nest() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(6, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[4, 2]).unwrap();
+        assert_eq!(ml.depth(), 3);
+        ml.validate(&g).unwrap();
+        // Every fine group has a parent; drilling down returns it.
+        for level in 0..2 {
+            for g_idx in ml.level(level).abstract_ids() {
+                let p = ml.parent_group(level, g_idx).unwrap();
+                assert!(ml.child_groups(level, p).contains(&g_idx));
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_reps_are_fine_reps() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(5, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[2]).unwrap();
+        for a in ml.level(1).abstracts() {
+            assert!(sel.contains(&a.representative));
+        }
+    }
+
+    #[test]
+    fn rejects_nondecreasing_sizes() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(4, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        assert!(build_multi_level(&g, &m, &sel, &[4]).is_err());
+        assert!(build_multi_level(&g, &m, &sel, &[5]).is_err());
+        assert!(build_multi_level(&g, &m, &sel, &[0]).is_err());
+        assert!(build_multi_level(&g, &m, &sel, &[3, 3]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(4, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[2]).unwrap();
+        let json = serde_json::to_string(&ml).unwrap();
+        let back: MultiLevelSummary = serde_json::from_str(&json).unwrap();
+        back.validate(&g).unwrap();
+        assert_eq!(ml, back);
+    }
+}

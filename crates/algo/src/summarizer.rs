@@ -1,0 +1,330 @@
+//! The [`Summarizer`] facade: configuration plus cached intermediates.
+//!
+//! Importance scores, the all-pairs matrices, and the dominance set are
+//! each computed at most once per summarizer and shared by every algorithm
+//! invocation — the paper's Figure 7 likewise reuses `MaxImportance`'s
+//! ranking and `MaxCoverage`'s dominance pairs inside `BalanceSummary`.
+
+use crate::algorithms::{balance_summary, max_coverage, max_importance, SetSearch};
+use crate::assignment::{assign_elements, summary_coverage, summary_importance};
+use crate::builder::build_summary;
+use crate::dominance::DominanceSet;
+use crate::importance::{compute_importance, ImportanceConfig, ImportanceResult};
+use crate::matrices::PairMatrices;
+use crate::multilevel::{build_multi_level, MultiLevelSummary};
+use crate::paths::PathConfig;
+use schema_summary_core::{ElementId, SchemaError, SchemaGraph, SchemaStats, SchemaSummary};
+use serde::{Deserialize, Serialize};
+
+/// Which selection algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Algorithm {
+    /// `MaxImportance` (Figure 4).
+    MaxImportance,
+    /// `MaxCoverage` (Figure 6).
+    MaxCoverage,
+    /// `BalanceSummary` (Figure 7) — the paper's recommended algorithm.
+    #[default]
+    Balance,
+}
+
+/// Combined configuration for all algorithm stages.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SummarizerConfig {
+    /// Importance iteration parameters (Formula 1).
+    pub importance: ImportanceConfig,
+    /// Path enumeration parameters (Formulas 2–3).
+    pub paths: PathConfig,
+    /// `MaxCoverage` subset-search strategy.
+    pub search: SetSearch,
+}
+
+/// Caching facade over a schema graph and its statistics.
+pub struct Summarizer<'a> {
+    graph: &'a SchemaGraph,
+    stats: &'a SchemaStats,
+    config: SummarizerConfig,
+    importance: Option<ImportanceResult>,
+    matrices: Option<PairMatrices>,
+    dominance: Option<DominanceSet>,
+}
+
+impl<'a> Summarizer<'a> {
+    /// Create a summarizer with the default configuration.
+    pub fn new(graph: &'a SchemaGraph, stats: &'a SchemaStats) -> Self {
+        Self::with_config(graph, stats, SummarizerConfig::default())
+    }
+
+    /// Create a summarizer with an explicit configuration.
+    pub fn with_config(
+        graph: &'a SchemaGraph,
+        stats: &'a SchemaStats,
+        config: SummarizerConfig,
+    ) -> Self {
+        Summarizer {
+            graph,
+            stats,
+            config,
+            importance: None,
+            matrices: None,
+            dominance: None,
+        }
+    }
+
+    /// The schema graph being summarized.
+    pub fn graph(&self) -> &SchemaGraph {
+        self.graph
+    }
+
+    /// The statistics in use.
+    pub fn stats(&self) -> &SchemaStats {
+        self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SummarizerConfig {
+        &self.config
+    }
+
+    /// Importance scores (computed once, cached).
+    pub fn importance(&mut self) -> &ImportanceResult {
+        if self.importance.is_none() {
+            self.importance = Some(compute_importance(
+                self.graph,
+                self.stats,
+                &self.config.importance,
+            ));
+        }
+        self.importance.as_ref().expect("just computed")
+    }
+
+    /// All-pairs affinity/coverage matrices (computed once, cached).
+    pub fn matrices(&mut self) -> &PairMatrices {
+        if self.matrices.is_none() {
+            self.matrices = Some(PairMatrices::compute(self.stats, &self.config.paths));
+        }
+        self.matrices.as_ref().expect("just computed")
+    }
+
+    /// Dominance pairs (computed once, cached).
+    pub fn dominance(&mut self) -> &DominanceSet {
+        if self.dominance.is_none() {
+            self.matrices(); // ensure
+            self.dominance = Some(DominanceSet::compute(
+                self.graph,
+                self.stats,
+                self.matrices.as_ref().expect("ensured above"),
+            ));
+        }
+        self.dominance.as_ref().expect("just computed")
+    }
+
+    /// Select `k` elements with the given algorithm.
+    pub fn select(&mut self, k: usize, algorithm: Algorithm) -> Result<Vec<ElementId>, SchemaError> {
+        match algorithm {
+            Algorithm::MaxImportance => {
+                self.importance();
+                max_importance(self.graph, self.importance.as_ref().expect("ensured"), k)
+            }
+            Algorithm::MaxCoverage => {
+                self.matrices();
+                self.dominance();
+                max_coverage(
+                    self.graph,
+                    self.stats,
+                    self.matrices.as_ref().expect("ensured"),
+                    self.dominance.as_ref().expect("ensured"),
+                    k,
+                    self.config.search,
+                )
+            }
+            Algorithm::Balance => {
+                self.importance();
+                self.dominance();
+                balance_summary(
+                    self.graph,
+                    self.importance.as_ref().expect("ensured"),
+                    self.dominance.as_ref().expect("ensured"),
+                    k,
+                )
+            }
+        }
+    }
+
+    /// Select `k` elements and materialize the summary.
+    pub fn summarize(
+        &mut self,
+        k: usize,
+        algorithm: Algorithm,
+    ) -> Result<SchemaSummary, SchemaError> {
+        let selected = self.select(k, algorithm)?;
+        self.summarize_selection(&selected)
+    }
+
+    /// Build a multi-level summary: `sizes` are level sizes finest-first,
+    /// strictly decreasing (e.g. `[15, 5]`). The finest level is selected
+    /// by `algorithm`; coarser levels merge finer groups (Section 2's
+    /// multi-level extension).
+    pub fn multi_level(
+        &mut self,
+        sizes: &[usize],
+        algorithm: Algorithm,
+    ) -> Result<MultiLevelSummary, SchemaError> {
+        let (&finest, coarser) = sizes.split_first().ok_or(SchemaError::BadSummarySize {
+            requested: 0,
+            available: self.graph.len().saturating_sub(1),
+        })?;
+        let selection = self.select(finest, algorithm)?;
+        self.matrices();
+        build_multi_level(
+            self.graph,
+            self.matrices.as_ref().expect("ensured"),
+            &selection,
+            coarser,
+        )
+    }
+
+    /// Materialize a summary around an explicit selection (e.g. an expert's
+    /// or a baseline's).
+    pub fn summarize_selection(
+        &mut self,
+        selected: &[ElementId],
+    ) -> Result<SchemaSummary, SchemaError> {
+        self.matrices();
+        build_summary(self.graph, self.matrices.as_ref().expect("ensured"), selected)
+    }
+
+    /// Explain a summary produced against this summarizer's graph/stats:
+    /// importance ranks, group compositions, dominance-based exclusions.
+    pub fn explain(&mut self, summary: &SchemaSummary) -> crate::explain::Explanation {
+        self.importance();
+        self.matrices();
+        self.dominance();
+        crate::explain::explain(
+            self.graph,
+            self.stats,
+            self.importance.as_ref().expect("ensured"),
+            self.matrices.as_ref().expect("ensured"),
+            self.dominance.as_ref().expect("ensured"),
+            summary,
+        )
+    }
+
+    /// Summary importance `R_SS` (Definition 3) of a selection.
+    pub fn selection_importance(&mut self, selected: &[ElementId]) -> f64 {
+        self.importance();
+        summary_importance(self.graph, self.importance.as_ref().expect("ensured"), selected)
+    }
+
+    /// Summary coverage `C_SS` (Definition 4) of a selection.
+    pub fn selection_coverage(&mut self, selected: &[ElementId]) -> f64 {
+        self.matrices();
+        let m = self.matrices.as_ref().expect("ensured");
+        let assignment = assign_elements(self.graph, m, selected);
+        summary_coverage(self.graph, self.stats, m, selected, &assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::types::SchemaType;
+
+    fn fixture() -> (SchemaGraph, SchemaStats) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        b.add_child(person, "age", SchemaType::simple_int()).unwrap();
+        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
+        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        let g = b.build().unwrap();
+        let find = |l: &str| g.find_unique(l).unwrap();
+        let mut cards = vec![0u64; g.len()];
+        for (e, c) in [
+            (g.root(), 1u64),
+            (find("people"), 1),
+            (find("person"), 200),
+            (find("name"), 200),
+            (find("age"), 180),
+            (find("auctions"), 1),
+            (find("auction"), 100),
+            (find("bidder"), 600),
+        ] {
+            cards[e.index()] = c;
+        }
+        let links = vec![
+            LinkCount { from: g.root(), to: find("people"), count: 1 },
+            LinkCount { from: find("people"), to: find("person"), count: 200 },
+            LinkCount { from: find("person"), to: find("name"), count: 200 },
+            LinkCount { from: find("person"), to: find("age"), count: 180 },
+            LinkCount { from: g.root(), to: find("auctions"), count: 1 },
+            LinkCount { from: find("auctions"), to: find("auction"), count: 100 },
+            LinkCount { from: find("auction"), to: find("bidder"), count: 600 },
+            LinkCount { from: find("bidder"), to: find("person"), count: 600 },
+        ];
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn all_algorithms_produce_valid_summaries() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        for alg in [Algorithm::MaxImportance, Algorithm::MaxCoverage, Algorithm::Balance] {
+            let summary = sum.summarize(2, alg).unwrap();
+            summary.validate(&g).unwrap();
+            assert_eq!(summary.size(), 2, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn caches_are_reused() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let i1 = sum.importance().iterations;
+        let i2 = sum.importance().iterations;
+        assert_eq!(i1, i2);
+        let _ = sum.matrices();
+        let _ = sum.dominance();
+        // Re-running select must not panic or recompute incorrectly.
+        let a = sum.select(2, Algorithm::Balance).unwrap();
+        let b = sum.select(2, Algorithm::Balance).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_behave_as_definitions_say() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel2 = sum.select(2, Algorithm::Balance).unwrap();
+        let sel4 = sum.select(4, Algorithm::Balance).unwrap();
+        // Both metrics are monotone in summary size for nested-ish picks.
+        assert!(sum.selection_importance(&sel4) >= sum.selection_importance(&sel2));
+        assert!(sum.selection_coverage(&sel4) >= sum.selection_coverage(&sel2) - 1e-9);
+        assert!(sum.selection_importance(&sel2) > 0.0);
+        assert!(sum.selection_coverage(&sel2) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn explicit_selection_summary() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let person = g.find_unique("person").unwrap();
+        let summary = sum.summarize_selection(&[person]).unwrap();
+        summary.validate(&g).unwrap();
+        assert_eq!(summary.size(), 1);
+    }
+
+    #[test]
+    fn bad_sizes_error() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        assert!(sum.summarize(0, Algorithm::Balance).is_err());
+        assert!(sum.summarize(100, Algorithm::Balance).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests specific to the algorithm crate: invariants of the
+//! formulas under controlled perturbations of the statistics.
+
+use proptest::prelude::*;
+use schema_summary_algo::importance::compute_importance;
+use schema_summary_algo::{
+    Algorithm, DominanceSet, ImportanceConfig, PairMatrices, PathConfig, PathLength, Summarizer,
+};
+use schema_summary_core::stats::LinkCount;
+use schema_summary_core::{ElementId, SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType};
+
+/// A two-section schema whose link counts are driven by the inputs:
+/// root -> {a* -> {x, y*}, b* -> {z*}}, b ->V a.
+fn build(
+    a_card: u64,
+    y_per_a: u64,
+    b_card: u64,
+    z_per_b: u64,
+) -> (SchemaGraph, SchemaStats, [ElementId; 5]) {
+    let mut builder = SchemaGraphBuilder::new("root");
+    let a = builder.add_child(builder.root(), "a", SchemaType::set_of_rcd()).unwrap();
+    let x = builder.add_child(a, "x", SchemaType::simple_str()).unwrap();
+    let y = builder.add_child(a, "y", SchemaType::set_of_rcd()).unwrap();
+    let b = builder.add_child(builder.root(), "b", SchemaType::set_of_rcd()).unwrap();
+    let z = builder.add_child(b, "z", SchemaType::set_of_rcd()).unwrap();
+    builder.add_value_link(b, a).unwrap();
+    let g = builder.build().unwrap();
+    let cards = vec![
+        1,
+        a_card,
+        a_card, // x: one per a
+        a_card * y_per_a,
+        b_card,
+        b_card * z_per_b,
+    ];
+    let links = vec![
+        LinkCount { from: g.root(), to: a, count: a_card },
+        LinkCount { from: a, to: x, count: a_card },
+        LinkCount { from: a, to: y, count: a_card * y_per_a },
+        LinkCount { from: g.root(), to: b, count: b_card },
+        LinkCount { from: b, to: z, count: b_card * z_per_b },
+        LinkCount { from: b, to: a, count: b_card },
+    ];
+    let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+    (g, s, [a, x, y, b, z])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Importance is approximately scale-equivariant for non-root elements:
+    /// multiplying the data volume by a constant multiplies their scores by
+    /// it (the paper's footnote 8 relies on this to justify its choice of
+    /// scale factors). The root is excluded — its cardinality is pinned at
+    /// 1 while everything around it scales, so its share genuinely shrinks.
+    #[test]
+    fn importance_is_scale_equivariant(
+        a in 2u64..50, y in 1u64..8, b in 2u64..50, z in 1u64..8, m in 2u64..5,
+    ) {
+        let (g1, s1, _) = build(a, y, b, z);
+        let (_, s2, _) = build(a * m, y, b * m, z);
+        let r1 = compute_importance(&g1, &s1, &ImportanceConfig::default());
+        let r2 = compute_importance(&g1, &s2, &ImportanceConfig::default());
+        for e in g1.element_ids() {
+            if e == g1.root() {
+                continue;
+            }
+            let lhs = r2.score(e);
+            let rhs = r1.score(e) * m as f64;
+            prop_assert!(
+                (lhs - rhs).abs() <= rhs.abs().max(1.0) * 0.05,
+                "{e}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    /// Scale invariance extends to the selection itself: the summary of the
+    /// scaled database equals the summary of the original (footnote 8).
+    #[test]
+    fn selection_is_scale_invariant(
+        a in 2u64..50, y in 1u64..8, b in 2u64..50, z in 1u64..8, m in 2u64..6,
+    ) {
+        let (g, s1, _) = build(a, y, b, z);
+        let (_, s2, _) = build(a * m, y, b * m, z);
+        let mut sum1 = Summarizer::new(&g, &s1);
+        let mut sum2 = Summarizer::new(&g, &s2);
+        for k in 1..=2 {
+            prop_assert_eq!(
+                sum1.select(k, Algorithm::Balance).unwrap(),
+                sum2.select(k, Algorithm::Balance).unwrap()
+            );
+        }
+    }
+
+    /// Raising RC(parent → child) never increases the child's affinity to
+    /// the parent's *other* children beyond 1, and the parent-to-child
+    /// affinity is monotonically non-increasing in RC.
+    #[test]
+    fn affinity_monotone_in_rc(a in 2u64..60, y1 in 1u64..10, y2 in 1u64..10) {
+        prop_assume!(y1 < y2);
+        let (_g, s1, ids) = build(a, y1, 10, 1);
+        let (_, s2, _) = build(a, y2, 10, 1);
+        let m1 = PairMatrices::compute(&s1, &PathConfig::default());
+        let m2 = PairMatrices::compute(&s2, &PathConfig::default());
+        let [a_el, _, y_el, _, _] = ids;
+        // More y's per a → each y is "further" from a.
+        prop_assert!(m2.affinity(a_el, y_el) <= m1.affinity(a_el, y_el) + 1e-12);
+        // The child's affinity toward its parent is unaffected (RC(y→a)=1).
+        prop_assert!((m2.affinity(y_el, a_el) - m1.affinity(y_el, a_el)).abs() < 1e-12);
+    }
+
+    /// The Nodes path-length convention never yields a higher affinity than
+    /// Edges (its denominator is one larger on every path).
+    #[test]
+    fn nodes_convention_is_dominated(a in 2u64..40, y in 1u64..8, b in 2u64..40, z in 1u64..8) {
+        let (g, s, _) = build(a, y, b, z);
+        let edges = PairMatrices::compute(&s, &PathConfig::default());
+        let nodes = PairMatrices::compute(
+            &s,
+            &PathConfig { path_length: PathLength::Nodes, ..Default::default() },
+        );
+        for x in g.element_ids() {
+            for t in g.element_ids() {
+                if x != t {
+                    prop_assert!(nodes.affinity(x, t) <= edges.affinity(x, t) + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Dominance is irreflexive and the dominated set matches the pair set.
+    #[test]
+    fn dominance_is_consistent(a in 2u64..60, y in 1u64..10, b in 2u64..60, z in 1u64..10) {
+        let (g, s, _) = build(a, y, b, z);
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ds = DominanceSet::compute(&g, &s, &m);
+        for e in g.element_ids() {
+            prop_assert!(!ds.dominates(e, e), "{e} dominates itself");
+        }
+        for (x, t) in ds.pairs() {
+            prop_assert!(ds.is_dominated(t), "pair ({x},{t}) not in dominated set");
+        }
+        let kept = ds.non_dominated(&g);
+        for &e in &kept {
+            prop_assert!(!ds.is_dominated(e));
+        }
+    }
+
+    /// Parallel and serial matrix computation agree bit-for-bit.
+    #[test]
+    fn parallel_matrices_match_serial(a in 2u64..60, y in 1u64..10, b in 2u64..60, z in 1u64..10) {
+        // Build a wider schema (> 64 elements) so the parallel path runs.
+        let mut builder = SchemaGraphBuilder::new("root");
+        let mut leaves = Vec::new();
+        for i in 0..9 {
+            let sec = builder
+                .add_child(builder.root(), format!("s{i}"), SchemaType::set_of_rcd())
+                .unwrap();
+            for j in 0..7 {
+                leaves.push(
+                    builder
+                        .add_child(sec, format!("s{i}f{j}"), SchemaType::simple_str())
+                        .unwrap(),
+                );
+            }
+        }
+        let g = builder.build().unwrap();
+        let mut cards = vec![1u64];
+        let mut links = Vec::new();
+        for i in 0..9 {
+            let sec = ElementId(1 + (i * 8) as u32);
+            let c = [a, y * 3, b, z * 5, a + b, y + z, 7, a + 1, b + 2][i];
+            cards.push(c);
+            links.push(LinkCount { from: g.root(), to: sec, count: c });
+            for j in 0..7 {
+                let f = ElementId(sec.0 + 1 + j as u32);
+                cards.push(c);
+                links.push(LinkCount { from: sec, to: f, count: c });
+            }
+        }
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let par = PairMatrices::compute(&s, &PathConfig::default());
+        let ser = PairMatrices::compute_serial(&s, &PathConfig::default());
+        for x in g.element_ids() {
+            for t in g.element_ids() {
+                prop_assert_eq!(par.affinity(x, t), ser.affinity(x, t));
+                prop_assert_eq!(par.coverage(x, t), ser.coverage(x, t));
+            }
+        }
+    }
+}

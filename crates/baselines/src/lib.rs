@@ -1,0 +1,263 @@
+//! ER model abstraction baselines (Section 5.4, Table 6).
+//!
+//! The paper compares its summarizer against two representative conceptual
+//! schema-clustering techniques:
+//!
+//! * **TWBK** — Teorey, Wei, Bolton & Koenig, *ER Model Clustering as an
+//!   Aid for User Communication and Documentation in Database Design*
+//!   (CACM 1989): grouping operations (dominance / abstraction / constraint
+//!   grouping) driven by the semantic strength of relationships;
+//! * **CAFP** — Castano, De Antonellis, Fugini & Pernici, *Conceptual
+//!   Schema Analysis* (TODS 1998): affinity-based clustering over weighted
+//!   relationship paths.
+//!
+//! Both techniques presuppose **semantically labeled links** — information
+//! a relational or XML schema simply does not carry. The paper's finding is
+//! that with significant human labeling effort they become competitive,
+//! and without it they fall far behind. We reproduce that setup with two
+//! weighting sources ([`Weighting`]): a curated fixture standing in for the
+//! human annotator, and an unsupervised heuristic (label-string similarity),
+//! which is the best a system can do automatically.
+//!
+//! Both baselines operate on an ER-style view of the schema graph: composite
+//! elements act as entities, `Simple` children fold into their parent
+//! entity as attributes, and entity-entity links (structural containment or
+//! value references) carry the semantic weights.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cafp;
+pub mod twbk;
+pub mod weights;
+
+pub use cafp::{cafp_select, cafp_select_seeded};
+pub use twbk::{twbk_select, twbk_select_seeded};
+pub use weights::Weighting;
+
+use schema_summary_core::{ElementId, SchemaGraph};
+
+/// The ER-style entity view shared by both baselines.
+pub(crate) struct EntityView {
+    /// Entity elements (composites), in id order.
+    pub entities: Vec<ElementId>,
+    /// Entity-entity links `(a, b, weight)` with `a < b`, deduplicated.
+    pub links: Vec<(usize, usize, f64)>,
+    /// Per-entity centrality bonus from its attributes. TWBK's "major
+    /// entity" judgment weighs an entity's attribute richness — a call the
+    /// human annotator makes; the unsupervised condition has no such
+    /// signal, so its bonus is zero and wrappers with strong label
+    /// similarity can outrank real entities.
+    pub strength_bonus: Vec<f64>,
+}
+
+impl EntityView {
+    pub(crate) fn build(graph: &SchemaGraph, weighting: &Weighting) -> Self {
+        let entities: Vec<ElementId> = graph
+            .element_ids()
+            .filter(|&e| e != graph.root() && graph.ty(e).is_composite())
+            .collect();
+        let index: std::collections::HashMap<ElementId, usize> =
+            entities.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+
+        let mut links: std::collections::HashMap<(usize, usize), f64> = Default::default();
+        let mut add = |a: ElementId, b: ElementId, w: f64| {
+            if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {
+                let key = (ia.min(ib), ia.max(ib));
+                let entry = links.entry(key).or_insert(0.0);
+                if w > *entry {
+                    *entry = w;
+                }
+            }
+        };
+        for (p, c) in graph.structural_links() {
+            add(p, c, weighting.structural(graph, p, c));
+        }
+        for (f, t) in graph.value_links() {
+            add(f, t, weighting.value(graph, f, t));
+        }
+        let mut links: Vec<(usize, usize, f64)> =
+            links.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        links.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        let strength_bonus = entities
+            .iter()
+            .map(|&e| {
+                let attrs = graph
+                    .children(e)
+                    .iter()
+                    .filter(|&&c| graph.ty(c).is_simple())
+                    .count();
+                weighting.attribute_bonus() * attrs as f64
+            })
+            .collect();
+        EntityView {
+            entities,
+            links,
+            strength_bonus,
+        }
+    }
+}
+
+/// Pick a representative per cluster: the member with the highest total
+/// **semantic-weight** centrality (the sum of its incident link weights in
+/// the entity view — the only notion of importance the ER techniques have;
+/// they see neither data cardinalities nor anything beyond the labeled
+/// relationships), preferring set-typed entities over singleton wrappers on
+/// ties. Returns up to `k` representatives ordered by cluster size (largest
+/// first), padded with the highest-centrality unselected entities when
+/// clustering produced fewer than `k` clusters.
+pub(crate) fn representatives(
+    graph: &SchemaGraph,
+    view: &EntityView,
+    cluster: &[usize],
+    k: usize,
+) -> Vec<ElementId> {
+    use std::collections::HashMap;
+    let mut strength = view.strength_bonus.clone();
+    for &(a, b, w) in &view.links {
+        strength[a] += w;
+        strength[b] += w;
+    }
+    let key = |i: usize| {
+        let e = view.entities[i];
+        (strength[i], graph.ty(e).is_set(), std::cmp::Reverse(e))
+    };
+    let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, &c) in cluster.iter().enumerate() {
+        members.entry(c).or_default().push(i);
+    }
+    let mut clusters: Vec<Vec<usize>> = members.into_values().collect();
+    clusters.sort_by_key(|m| std::cmp::Reverse(m.len()));
+    let mut out: Vec<ElementId> = Vec::new();
+    for m in clusters.iter().take(k) {
+        let rep = *m
+            .iter()
+            .max_by(|&&x, &&y| key(x).partial_cmp(&key(y)).expect("weights are finite"))
+            .expect("clusters are non-empty");
+        out.push(view.entities[rep]);
+    }
+    if out.len() < k {
+        let mut rest: Vec<usize> = (0..view.entities.len())
+            .filter(|&i| !out.contains(&view.entities[i]))
+            .collect();
+        rest.sort_by(|&x, &y| key(y).partial_cmp(&key(x)).expect("weights are finite"));
+        out.extend(rest.into_iter().take(k - out.len()).map(|i| view.entities[i]));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Upper bound on entities per cluster: Teorey et al. size clusters for
+/// diagram readability, explicitly invoking Miller's 7±2 rule.
+pub(crate) const MAX_CLUSTER_ENTITIES: usize = 9;
+
+/// Size-balanced agglomeration: repeatedly merge the pair of clusters
+/// joined by the heaviest link, breaking weight ties in favor of the
+/// *smallest* combined cluster size (then lowest indices), and never
+/// growing a cluster past [`MAX_CLUSTER_ENTITIES`]. Plain single-linkage
+/// chains heavily tied containment weights into one blob cluster plus
+/// singletons; balancing ties and capping sizes keeps clusters aligned
+/// with the schema's entity neighborhoods, which is what TWBK's leveled
+/// grouping produces on ER diagrams.
+pub(crate) fn merge_balanced(
+    n: usize,
+    links: &[(usize, usize, f64)],
+    cluster: &mut [usize],
+    n_clusters: &mut usize,
+    k: usize,
+) {
+    while *n_clusters > k {
+        let mut size: std::collections::HashMap<usize, usize> = Default::default();
+        for &c in cluster.iter() {
+            *size.entry(c).or_insert(0) += 1;
+        }
+        let mut best: Option<(f64, std::cmp::Reverse<usize>, usize, usize)> = None;
+        for &(a, b, w) in links {
+            let (ca, cb) = (cluster[a], cluster[b]);
+            if ca == cb {
+                continue;
+            }
+            let combined = size[&ca] + size[&cb];
+            if combined > MAX_CLUSTER_ENTITIES {
+                continue;
+            }
+            let key = (w, std::cmp::Reverse(combined), ca.min(cb), ca.max(cb));
+            let better = match &best {
+                None => true,
+                Some(cur) => {
+                    (key.0, key.1, std::cmp::Reverse(key.2), std::cmp::Reverse(key.3))
+                        .partial_cmp(&(cur.0, cur.1, std::cmp::Reverse(cur.2), std::cmp::Reverse(cur.3)))
+                        == Some(std::cmp::Ordering::Greater)
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, ca, cb)) = best else { break };
+        for c in cluster.iter_mut() {
+            if *c == cb {
+                *c = ca;
+            }
+        }
+        *n_clusters -= 1;
+    }
+    let _ = n;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("db");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let profile = b.add_child(person, "profile", SchemaType::rcd()).unwrap();
+        b.add_child(profile, "age", SchemaType::simple_int()).unwrap();
+        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
+        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn entity_view_excludes_attributes_and_root() {
+        let g = graph();
+        let v = EntityView::build(&g, &Weighting::human());
+        let labels: Vec<_> = v.entities.iter().map(|&e| g.label(e)).collect();
+        assert!(labels.contains(&"person"));
+        assert!(labels.contains(&"bidder"));
+        assert!(!labels.contains(&"name"));
+        assert!(!labels.contains(&"db"));
+        assert!(!v.links.is_empty());
+    }
+
+    #[test]
+    fn representatives_have_requested_size() {
+        let g = graph();
+        let v = EntityView::build(&g, &Weighting::human());
+        let cluster: Vec<usize> = (0..v.entities.len()).map(|i| i % 2).collect();
+        let reps = representatives(&g, &v, &cluster, 2);
+        assert_eq!(reps.len(), 2);
+        // Representatives are distinct entities of the graph.
+        for &r in &reps {
+            g.check(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn padding_when_too_few_clusters() {
+        let g = graph();
+        let v = EntityView::build(&g, &Weighting::human());
+        let cluster = vec![0; v.entities.len()];
+        let reps = representatives(&g, &v, &cluster, 4);
+        assert_eq!(reps.len(), 4);
+        let mut d = reps.clone();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+    }
+}

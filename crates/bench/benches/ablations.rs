@@ -1,0 +1,200 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out.
+//!
+//! These are quality ablations wrapped in a timing harness: each bench
+//! prints (once, on first run) the *metric* difference between the design
+//! alternatives and then times the cheaper-to-measure side, so that
+//! `cargo bench` output doubles as the ablation record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schema_summary_algo::algorithms::max_coverage;
+use schema_summary_algo::{
+    Algorithm, DominanceSet, PairMatrices, PathConfig, PathLength, SetSearch, Summarizer,
+};
+use schema_summary_bench::paper_summary_size;
+use schema_summary_datasets::mimi;
+use schema_summary_discovery::{summary_cost_with, CostModel, ExpansionModel};
+use std::hint::black_box;
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+/// Path-length convention (Edges vs Nodes) — affinity matrices under both.
+fn ablate_pathlen(c: &mut Criterion) {
+    let d = mimi::dataset(mimi::Version::Jan06);
+    REPORT.call_once(|| {
+        for convention in [PathLength::Edges, PathLength::Nodes] {
+            let cfg = PathConfig {
+                path_length: convention,
+                ..Default::default()
+            };
+            let m = PairMatrices::compute(&d.stats, &cfg);
+            let e0 = schema_summary_core::ElementId(2);
+            let e1 = schema_summary_core::ElementId(3);
+            println!(
+                "[ablate_pathlen] {convention:?}: A(e2,e3)={:.4}",
+                m.affinity(e0, e1)
+            );
+        }
+    });
+    c.bench_function("ablate_pathlen", |b| {
+        b.iter(|| {
+            let cfg = PathConfig {
+                path_length: PathLength::Nodes,
+                ..Default::default()
+            };
+            black_box(PairMatrices::compute(&d.stats, &cfg))
+        })
+    });
+}
+
+/// Best-first / expansion charging model: Scan vs Reveal.
+fn ablate_costmodel(c: &mut Criterion) {
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let summary = s
+        .summarize(paper_summary_size(d.name), Algorithm::Balance)
+        .unwrap();
+    for expansion in [ExpansionModel::Scan, ExpansionModel::Reveal] {
+        let total: usize = d
+            .queries
+            .iter()
+            .map(|q| {
+                summary_cost_with(&d.graph, &summary, q, CostModel::SiblingScan, expansion).cost
+            })
+            .sum();
+        println!(
+            "[ablate_costmodel] {expansion:?}: avg cost {:.2}",
+            total as f64 / d.queries.len() as f64
+        );
+    }
+    c.bench_function("ablate_costmodel", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &d.queries {
+                acc += summary_cost_with(
+                    &d.graph,
+                    &summary,
+                    q,
+                    CostModel::SiblingScan,
+                    ExpansionModel::Reveal,
+                )
+                .cost;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// MaxCoverage set search: Greedy vs Beam (exhaustive is guarded out at
+/// this scale — exactly why the strategies exist).
+fn ablate_setsearch(c: &mut Criterion) {
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let m = PairMatrices::compute(&d.stats, &PathConfig::default());
+    let ds = DominanceSet::compute(&d.graph, &d.stats, &m);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    for (name, search) in [
+        ("greedy", SetSearch::Greedy),
+        ("beam4", SetSearch::Beam { width: 4 }),
+    ] {
+        let sel = max_coverage(&d.graph, &d.stats, &m, &ds, 10, search).unwrap();
+        println!(
+            "[ablate_setsearch] {name}: coverage {:.4}",
+            s.selection_coverage(&sel)
+        );
+    }
+    c.bench_function("ablate_setsearch_greedy", |b| {
+        b.iter(|| {
+            black_box(max_coverage(&d.graph, &d.stats, &m, &ds, 10, SetSearch::Greedy).unwrap())
+        })
+    });
+}
+
+/// Dominance pruning on/off: candidate-set reduction (the paper claims
+/// >50% on its schemas) and the time the pruning itself costs.
+fn ablate_dominance(c: &mut Criterion) {
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let m = PairMatrices::compute(&d.stats, &PathConfig::default());
+    let ds = DominanceSet::compute(&d.graph, &d.stats, &m);
+    let n = d.graph.len() - 1;
+    let kept = ds.non_dominated(&d.graph).len();
+    println!(
+        "[ablate_dominance] candidates {n} -> {kept} ({:.0}% reduction, {} pairs, {} checks)",
+        (1.0 - kept as f64 / n as f64) * 100.0,
+        ds.len(),
+        ds.checked_pairs
+    );
+    c.bench_function("ablate_dominance", |b| {
+        b.iter(|| black_box(DominanceSet::compute(&d.graph, &d.stats, &m)))
+    });
+}
+
+/// Random-selection floor: any informed selection must beat a random one
+/// of the same size (quantifies how much of the saving is algorithmic
+/// rather than "any 10 boxes help").
+fn ablate_random_floor(c: &mut Criterion) {
+    use schema_summary_algo::algorithms::random_select;
+    use schema_summary_discovery::summary_cost;
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let balance = s.summarize(10, Algorithm::Balance).unwrap();
+    let avg = |summary: &schema_summary_core::SchemaSummary| {
+        d.queries
+            .iter()
+            .map(|q| summary_cost(&d.graph, summary, q, CostModel::SiblingScan).cost)
+            .sum::<usize>() as f64
+            / d.queries.len() as f64
+    };
+    let mut random_costs = Vec::new();
+    for seed in 0..5 {
+        let sel = random_select(&d.graph, 10, seed).unwrap();
+        let summary = s.summarize_selection(&sel).unwrap();
+        random_costs.push(avg(&summary));
+    }
+    let random_mean = random_costs.iter().sum::<f64>() / random_costs.len() as f64;
+    println!(
+        "[ablate_random_floor] balance {:.2} vs random-10 mean {:.2} (5 seeds: {:?})",
+        avg(&balance),
+        random_mean,
+        random_costs.iter().map(|c| (c * 10.0).round() / 10.0).collect::<Vec<_>>()
+    );
+    c.bench_function("ablate_random_floor", |b| {
+        b.iter(|| {
+            let sel = random_select(&d.graph, 10, 7).unwrap();
+            black_box(sel)
+        })
+    });
+}
+
+/// Convergence threshold / neighborhood factor sweep.
+fn ablate_convergence(c: &mut Criterion) {
+    use schema_summary_algo::importance::compute_importance;
+    use schema_summary_algo::ImportanceConfig;
+    let d = mimi::dataset(mimi::Version::Jan06);
+    for p in [0.1, 0.5, 0.9] {
+        let r = compute_importance(&d.graph, &d.stats, &ImportanceConfig::default().with_p(p));
+        println!(
+            "[ablate_convergence] p={p}: {} iterations (converged={})",
+            r.iterations, r.converged
+        );
+    }
+    c.bench_function("ablate_convergence_p05", |b| {
+        b.iter(|| {
+            black_box(compute_importance(
+                &d.graph,
+                &d.stats,
+                &ImportanceConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    ablate_pathlen,
+    ablate_costmodel,
+    ablate_setsearch,
+    ablate_dominance,
+    ablate_random_floor,
+    ablate_convergence
+);
+criterion_main!(benches);

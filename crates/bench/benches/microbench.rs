@@ -1,0 +1,163 @@
+//! Microbenchmarks of the core algorithm stages, per dataset: cardinality
+//! statistics consumption (importance iteration), all-pairs path matrices,
+//! dominance discovery, element selection, and the full end-to-end
+//! pipeline (the paper's "within 5 minutes on a 2.0GHz P4" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_summary_algo::importance::compute_importance;
+use schema_summary_algo::{
+    Algorithm, DominanceSet, ImportanceConfig, PairMatrices, PathConfig, Summarizer,
+};
+use schema_summary_bench::{all_datasets, paper_summary_size};
+use std::hint::black_box;
+
+fn importance_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("importance");
+    for d in all_datasets() {
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, d| {
+            b.iter(|| {
+                black_box(compute_importance(
+                    &d.graph,
+                    &d.stats,
+                    &ImportanceConfig::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn pair_matrices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pair_matrices");
+    for d in all_datasets() {
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, d| {
+            b.iter(|| black_box(PairMatrices::compute(&d.stats, &PathConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+fn dominance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dominance");
+    for d in all_datasets() {
+        let m = PairMatrices::compute(&d.stats, &PathConfig::default());
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, d| {
+            b.iter(|| black_box(DominanceSet::compute(&d.graph, &d.stats, &m)))
+        });
+    }
+    g.finish();
+}
+
+fn selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balance_selection");
+    for d in all_datasets() {
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, d| {
+            // Caches are warm: this isolates the Figure 7 walk itself.
+            let mut s = Summarizer::new(&d.graph, &d.stats);
+            let _ = s.select(paper_summary_size(d.name), Algorithm::Balance).unwrap();
+            b.iter(|| {
+                black_box(
+                    s.select(paper_summary_size(d.name), Algorithm::Balance)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(20);
+    for d in all_datasets() {
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, d| {
+            b.iter(|| {
+                // Cold start: statistics → importance → matrices →
+                // dominance → selection → summary construction.
+                let mut s = Summarizer::new(&d.graph, &d.stats);
+                let summary = s
+                    .summarize(paper_summary_size(d.name), Algorithm::Balance)
+                    .unwrap();
+                black_box(summary.size())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Scalability beyond the paper's datasets: random schemas of growing size
+/// (tree + 5% value links, profile statistics), full pipeline.
+fn scale(c: &mut Criterion) {
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{ElementId, SchemaGraphBuilder, SchemaStats, SchemaType};
+
+    fn random_schema(n: usize) -> (schema_summary_core::SchemaGraph, SchemaStats) {
+        // Deterministic xorshift so the bench is stable.
+        let mut state = 0x9e3779b97f4a7c15u64 ^ n as u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = SchemaGraphBuilder::new("root");
+        let mut composites = vec![b.root()];
+        for i in 1..n {
+            let parent = composites[(next() as usize) % composites.len()];
+            let ty = match next() % 3 {
+                0 => SchemaType::simple_str(),
+                1 => SchemaType::set_of_rcd(),
+                _ => SchemaType::rcd(),
+            };
+            let id = b.add_child(parent, format!("e{i}"), ty.clone()).unwrap();
+            if ty.is_composite() {
+                composites.push(id);
+            }
+        }
+        for _ in 0..n / 20 {
+            let f = composites[(next() as usize) % composites.len()];
+            let t = composites[(next() as usize) % composites.len()];
+            let _ = b.add_value_link(f, t);
+        }
+        let g = b.build().unwrap();
+        let mut cards = vec![0u64; g.len()];
+        cards[0] = 1;
+        let mut links = Vec::new();
+        for (p, c) in g.structural_links().collect::<Vec<_>>() {
+            let fan = 1 + next() % 5;
+            let count = cards[p.index()].max(1) * fan;
+            cards[c.index()] = count;
+            links.push(LinkCount { from: p, to: c, count });
+        }
+        for (f, t) in g.value_links().collect::<Vec<_>>() {
+            links.push(LinkCount { from: f, to: t, count: cards[f.index()].max(1) });
+        }
+        let _ = ElementId(0);
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (g, s)
+    }
+
+    let mut group = c.benchmark_group("scale_end_to_end");
+    group.sample_size(10);
+    for n in [100usize, 300, 1000] {
+        let (g, s) = random_schema(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut sum = Summarizer::new(&g, &s);
+                black_box(sum.summarize(10, Algorithm::Balance).unwrap().size())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    importance_iteration,
+    pair_matrices,
+    dominance,
+    selection,
+    end_to_end,
+    scale
+);
+criterion_main!(benches);

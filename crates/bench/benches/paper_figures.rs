@@ -1,0 +1,60 @@
+//! One bench per evaluation figure (Figures 8 and 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schema_summary_algo::{
+    Algorithm, ImportanceConfig, ImportanceMode, Summarizer, SummarizerConfig,
+};
+use schema_summary_bench::{all_datasets, paper_summary_size};
+use schema_summary_datasets::mimi;
+use schema_summary_discovery::{summary_cost, CostModel};
+use std::hint::black_box;
+
+/// Figure 8: the summary-size sweep on MiMI.
+fn fig8_size_sweep(c: &mut Criterion) {
+    let d = mimi::dataset(mimi::Version::Jan06);
+    c.bench_function("fig8_size_sweep", |b| {
+        b.iter(|| {
+            let mut s = Summarizer::new(&d.graph, &d.stats);
+            let mut acc = 0usize;
+            for k in [1usize, 3, 5, 9, 13, 17, 25, 40] {
+                let summary = s.summarize(k, Algorithm::Balance).unwrap();
+                for q in &d.queries {
+                    acc += summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).cost;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Figure 9: importance-mode ablation over the three datasets.
+fn fig9_modes(c: &mut Criterion) {
+    let datasets = all_datasets();
+    c.bench_function("fig9_modes", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for d in &datasets {
+                let k = paper_summary_size(d.name);
+                for mode in [
+                    ImportanceMode::DataOnly,
+                    ImportanceMode::SchemaOnly,
+                    ImportanceMode::DataAndSchema,
+                ] {
+                    let config = SummarizerConfig {
+                        importance: ImportanceConfig::default().with_mode(mode),
+                        ..Default::default()
+                    };
+                    let mut s = Summarizer::with_config(&d.graph, &d.stats, config);
+                    let summary = s.summarize(k, Algorithm::MaxImportance).unwrap();
+                    for q in &d.queries {
+                        acc += summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).cost;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, fig8_size_sweep, fig9_modes);
+criterion_main!(benches);

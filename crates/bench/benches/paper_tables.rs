@@ -1,0 +1,161 @@
+//! One bench per evaluation table (Tables 1–6).
+//!
+//! Each bench measures the wall-clock of regenerating the table's numbers
+//! end-to-end (dataset construction excluded where it would dominate, so
+//! the algorithm under study is what's timed). The paper reports the whole
+//! summarization process finishing "within 5 minutes on a 2.0GHz P4";
+//! these benches document how far below that we land.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schema_summary_algo::{Algorithm, Summarizer};
+use schema_summary_baselines::{cafp_select, twbk_select, twbk_select_seeded, Weighting};
+use schema_summary_bench::{all_datasets, paper_summary_size};
+use schema_summary_datasets::{experts, mimi, xmark};
+use schema_summary_discovery::agreement::{agreement, consensus, unanimous_agreement};
+use schema_summary_discovery::{
+    best_first_cost, breadth_first_cost, depth_first_cost, summary_cost, CostModel,
+};
+use std::hint::black_box;
+
+fn table1_stats(c: &mut Criterion) {
+    c.bench_function("table1_stats", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in all_datasets() {
+                acc += d.graph.len() as f64 + d.stats.total_card() + d.avg_intention_size();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table2_agreement(c: &mut Criterion) {
+    let (xg, xs, xh) = xmark::schema(1.0);
+    let (mg, ms, mh) = mimi::schema(mimi::Version::Jan06);
+    c.bench_function("table2_agreement", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            {
+                let mut s = Summarizer::new(&xg, &xs);
+                for &size in &experts::EXPERT_SIZES {
+                    let auto = s.select(size, Algorithm::Balance).unwrap();
+                    let sels = experts::xmark_experts(&xh, size);
+                    for sel in &sels {
+                        acc += agreement(sel, &auto);
+                    }
+                    acc += unanimous_agreement(&sels);
+                    acc += consensus(&sels, 2).len() as f64;
+                }
+            }
+            {
+                let mut s = Summarizer::new(&mg, &ms);
+                for &size in &experts::EXPERT_SIZES {
+                    let auto = s.select(size, Algorithm::Balance).unwrap();
+                    let sels = experts::mimi_experts(&mh, size);
+                    for sel in &sels {
+                        acc += agreement(sel, &auto);
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table3_discovery(c: &mut Criterion) {
+    let datasets = all_datasets();
+    c.bench_function("table3_discovery", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for d in &datasets {
+                let mut s = Summarizer::new(&d.graph, &d.stats);
+                let summary = s
+                    .summarize(paper_summary_size(d.name), Algorithm::Balance)
+                    .unwrap();
+                for q in &d.queries {
+                    acc += depth_first_cost(&d.graph, q).cost;
+                    acc += breadth_first_cost(&d.graph, q).cost;
+                    acc += best_first_cost(&d.graph, q, CostModel::SiblingScan).cost;
+                    acc += summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).cost;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table4_algorithms(c: &mut Criterion) {
+    let datasets = all_datasets();
+    c.bench_function("table4_algorithms", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for d in &datasets {
+                let k = paper_summary_size(d.name);
+                let mut s = Summarizer::new(&d.graph, &d.stats);
+                for alg in [Algorithm::Balance, Algorithm::MaxImportance, Algorithm::MaxCoverage] {
+                    let summary = s.summarize(k, alg).unwrap();
+                    for q in &d.queries {
+                        acc += summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).cost;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table5_evolution(c: &mut Criterion) {
+    c.bench_function("table5_evolution", |b| {
+        b.iter(|| {
+            let mut selections = Vec::new();
+            for &v in &mimi::Version::ALL {
+                let (g, s, _) = mimi::schema(v);
+                let mut sum = Summarizer::new(&g, &s);
+                for &size in &experts::EXPERT_SIZES {
+                    selections.push(sum.select(size, Algorithm::Balance).unwrap());
+                }
+            }
+            let mut acc = 0.0;
+            for i in 0..selections.len() {
+                for j in (i + 1)..selections.len() {
+                    acc += agreement(&selections[i], &selections[j]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table6_baselines(c: &mut Criterion) {
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let (_, _, h) = mimi::schema(mimi::Version::Jan06);
+    let seeds = mimi::major_entities(&h);
+    c.bench_function("table6_baselines", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            let mut s = Summarizer::new(&d.graph, &d.stats);
+            for sel in [
+                twbk_select(&d.graph, Weighting::unsupervised(), 10),
+                twbk_select_seeded(&d.graph, Weighting::human(), 10, &seeds),
+                cafp_select(&d.graph, Weighting::unsupervised(), 10),
+            ] {
+                let summary = s.summarize_selection(&sel).unwrap();
+                for q in &d.queries {
+                    acc += summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).cost;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    table1_stats,
+    table2_agreement,
+    table3_discovery,
+    table4_algorithms,
+    table5_evolution,
+    table6_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! One bench target exists for every table and figure in the paper's
+//! evaluation (see DESIGN.md §5) plus ablations over the design choices
+//! DESIGN.md §6 calls out. The benches measure the *time* to regenerate
+//! each artifact; the artifact values themselves are printed by the `repro`
+//! binary and recorded in EXPERIMENTS.md.
+
+use schema_summary_datasets::{mimi, tpch, xmark, Dataset};
+
+/// The paper's three datasets at their evaluation scales.
+pub fn all_datasets() -> Vec<Dataset> {
+    vec![
+        xmark::dataset(1.0),
+        tpch::dataset(0.1),
+        mimi::dataset(mimi::Version::Jan06),
+    ]
+}
+
+/// The summary size each dataset is evaluated at (Tables 3, 4, 6).
+pub fn paper_summary_size(name: &str) -> usize {
+    match name {
+        "TPC-H" => 5,
+        _ => 10,
+    }
+}

@@ -1,0 +1,205 @@
+//! Structured diffs between two summaries of the same schema.
+//!
+//! The data-evolution story (Section 3.3, Table 5) needs more than an
+//! agreement percentage: when a refreshed summary changes, operators want
+//! to know *what* changed — which abstract elements appeared or vanished,
+//! and which schema elements moved between groups. [`SummaryDiff`] reports
+//! exactly that.
+
+use crate::ids::ElementId;
+use crate::summary::SchemaSummary;
+use crate::SchemaGraph;
+use serde::{Deserialize, Serialize};
+
+/// A structured difference between two summaries over the same graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryDiff {
+    /// Representatives present only in the newer summary.
+    pub added_groups: Vec<ElementId>,
+    /// Representatives present only in the older summary.
+    pub removed_groups: Vec<ElementId>,
+    /// Elements whose owning representative changed (excluding elements of
+    /// added/removed groups whose move is implied), as
+    /// `(element, old representative, new representative)`.
+    pub moved: Vec<(ElementId, ElementId, ElementId)>,
+    /// Number of elements whose group membership is unchanged.
+    pub stable: usize,
+}
+
+impl SummaryDiff {
+    /// Compare `old` and `new`. Both must summarize the same schema graph.
+    pub fn compute(graph: &SchemaGraph, old: &SchemaSummary, new: &SchemaSummary) -> Self {
+        // Representative of each element in each summary (the root and kept
+        // originals map to themselves).
+        let rep_of = |s: &SchemaSummary, e: ElementId| -> ElementId {
+            match s.node_of(e) {
+                crate::summary::SummaryNode::Original(o) => o,
+                crate::summary::SummaryNode::Abstract(a) => s.abstracts()[a.index()].representative,
+            }
+        };
+        let old_reps: Vec<ElementId> = old.abstracts().iter().map(|a| a.representative).collect();
+        let new_reps: Vec<ElementId> = new.abstracts().iter().map(|a| a.representative).collect();
+        let added_groups: Vec<ElementId> = new_reps
+            .iter()
+            .copied()
+            .filter(|r| !old_reps.contains(r))
+            .collect();
+        let removed_groups: Vec<ElementId> = old_reps
+            .iter()
+            .copied()
+            .filter(|r| !new_reps.contains(r))
+            .collect();
+        let mut moved = Vec::new();
+        let mut stable = 0usize;
+        for e in graph.element_ids() {
+            let o = rep_of(old, e);
+            let n = rep_of(new, e);
+            if o == n {
+                stable += 1;
+            } else {
+                moved.push((e, o, n));
+            }
+        }
+        SummaryDiff {
+            added_groups,
+            removed_groups,
+            moved,
+            stable,
+        }
+    }
+
+    /// Whether the two summaries are identical in grouping.
+    pub fn is_empty(&self) -> bool {
+        self.added_groups.is_empty() && self.removed_groups.is_empty() && self.moved.is_empty()
+    }
+
+    /// Fraction of elements whose group membership is unchanged.
+    pub fn stability(&self) -> f64 {
+        let total = self.stable + self.moved.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.stable as f64 / total as f64
+        }
+    }
+
+    /// Render a short human-readable change report.
+    pub fn render(&self, graph: &SchemaGraph) -> String {
+        if self.is_empty() {
+            return "no change".to_string();
+        }
+        let mut out = String::new();
+        if !self.added_groups.is_empty() {
+            out.push_str("added groups: ");
+            out.push_str(
+                &self
+                    .added_groups
+                    .iter()
+                    .map(|&e| graph.label(e))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push('\n');
+        }
+        if !self.removed_groups.is_empty() {
+            out.push_str("removed groups: ");
+            out.push_str(
+                &self
+                    .removed_groups
+                    .iter()
+                    .map(|&e| graph.label(e))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} elements regrouped, {} stable ({:.0}% stability)\n",
+            self.moved.len(),
+            self.stable,
+            self.stability() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SchemaGraphBuilder;
+    use crate::types::SchemaType;
+
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b.add_child(b.root(), "a", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(a, "a1", SchemaType::simple_str()).unwrap();
+        let c = b.add_child(b.root(), "c", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(c, "c1", SchemaType::simple_str()).unwrap();
+        b.build().unwrap()
+    }
+
+    fn summary(g: &SchemaGraph, groups: Vec<(&str, Vec<&str>)>) -> SchemaSummary {
+        let f = |l: &str| g.find_unique(l).unwrap();
+        SchemaSummary::from_grouping(
+            g,
+            groups
+                .into_iter()
+                .map(|(rep, members)| (f(rep), members.into_iter().map(f).collect()))
+                .collect(),
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_summaries_diff_empty() {
+        let g = graph();
+        let s = summary(&g, vec![("a", vec!["a", "a1"]), ("c", vec!["c", "c1"])]);
+        let d = SummaryDiff::compute(&g, &s, &s);
+        assert!(d.is_empty());
+        assert_eq!(d.stability(), 1.0);
+        assert_eq!(d.render(&g), "no change");
+    }
+
+    #[test]
+    fn group_swap_is_reported() {
+        let g = graph();
+        let old = summary(&g, vec![("a", vec!["a", "a1"]), ("c", vec!["c", "c1"])]);
+        let new = summary(&g, vec![("a", vec!["a", "a1", "c", "c1"])]);
+        let d = SummaryDiff::compute(&g, &old, &new);
+        assert!(d.added_groups.is_empty());
+        assert_eq!(d.removed_groups.len(), 1);
+        // c and c1 moved from c's group to a's.
+        assert_eq!(d.moved.len(), 2);
+        assert!(d.stability() < 1.0);
+        let text = d.render(&g);
+        assert!(text.contains("removed groups: c"));
+        assert!(text.contains("2 elements regrouped"));
+    }
+
+    #[test]
+    fn member_movement_without_group_change() {
+        let g = graph();
+        let old = summary(&g, vec![("a", vec!["a", "a1", "c1"]), ("c", vec!["c"])]);
+        let new = summary(&g, vec![("a", vec!["a", "a1"]), ("c", vec!["c", "c1"])]);
+        let d = SummaryDiff::compute(&g, &old, &new);
+        assert!(d.added_groups.is_empty());
+        assert!(d.removed_groups.is_empty());
+        assert_eq!(d.moved.len(), 1);
+        let (e, o, n) = d.moved[0];
+        assert_eq!(g.label(e), "c1");
+        assert_eq!(g.label(o), "a");
+        assert_eq!(g.label(n), "c");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = graph();
+        let old = summary(&g, vec![("a", vec!["a", "a1"]), ("c", vec!["c", "c1"])]);
+        let new = summary(&g, vec![("a", vec!["a", "a1", "c", "c1"])]);
+        let d = SummaryDiff::compute(&g, &old, &new);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: SummaryDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

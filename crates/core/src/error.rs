@@ -1,0 +1,128 @@
+//! Error types shared by the schema-summary crates.
+
+use crate::ids::ElementId;
+use std::fmt;
+
+/// Errors raised while constructing or validating schema graphs and
+/// summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// An element id did not refer to an element of this graph.
+    UnknownElement(ElementId),
+    /// A second structural parent was declared for an element; structural
+    /// links must form a tree (Definition 1 allows exactly one incoming
+    /// structural link per non-root element).
+    DuplicateParent {
+        /// The element that already has a parent.
+        child: ElementId,
+        /// Its existing parent.
+        existing: ElementId,
+        /// The rejected additional parent.
+        rejected: ElementId,
+    },
+    /// An element label was empty.
+    EmptyLabel,
+    /// A structural child was attached to a `Simple`-typed element.
+    ChildOfSimple {
+        /// The would-be parent.
+        parent: ElementId,
+    },
+    /// A value link was declared twice between the same pair of elements.
+    DuplicateValueLink {
+        /// Referrer element.
+        from: ElementId,
+        /// Referee element.
+        to: ElementId,
+    },
+    /// A value link endpoint coincided (self references are not allowed).
+    SelfValueLink(ElementId),
+    /// The graph failed whole-graph validation.
+    Invalid(String),
+    /// Statistics vector length did not match the graph's element count.
+    StatsShape {
+        /// Number of elements in the graph.
+        expected: usize,
+        /// Length of the offending vector.
+        actual: usize,
+    },
+    /// A summary operation referenced an unknown abstract element.
+    UnknownAbstract(crate::ids::AbstractId),
+    /// A requested summary size was not achievable.
+    BadSummarySize {
+        /// Requested number of summary elements.
+        requested: usize,
+        /// Number of eligible elements available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownElement(id) => write!(f, "unknown element {id}"),
+            SchemaError::DuplicateParent {
+                child,
+                existing,
+                rejected,
+            } => write!(
+                f,
+                "element {child} already has parent {existing}; cannot also attach to {rejected}"
+            ),
+            SchemaError::EmptyLabel => f.write_str("element label must be non-empty"),
+            SchemaError::ChildOfSimple { parent } => {
+                write!(f, "element {parent} has Simple type and cannot have children")
+            }
+            SchemaError::DuplicateValueLink { from, to } => {
+                write!(f, "duplicate value link {from} -> {to}")
+            }
+            SchemaError::SelfValueLink(id) => write!(f, "self value link on {id}"),
+            SchemaError::Invalid(msg) => write!(f, "invalid schema graph: {msg}"),
+            SchemaError::StatsShape { expected, actual } => write!(
+                f,
+                "statistics shape mismatch: graph has {expected} elements, got {actual}"
+            ),
+            SchemaError::UnknownAbstract(id) => write!(f, "unknown abstract element {id}"),
+            SchemaError::BadSummarySize {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot build summary of size {requested}: only {available} eligible elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SchemaError::DuplicateParent {
+            child: ElementId(3),
+            existing: ElementId(1),
+            rejected: ElementId(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("e3") && s.contains("e1") && s.contains("e2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&SchemaError::EmptyLabel);
+    }
+
+    #[test]
+    fn stats_shape_message() {
+        let e = SchemaError::StatsShape {
+            expected: 10,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("7"));
+    }
+}

@@ -1,0 +1,670 @@
+//! The schema graph (Definition 1) and its builder.
+//!
+//! A [`SchemaGraph`] is a labeled directed graph whose nodes are schema
+//! elements and whose edges are **structural links** (parent → child; these
+//! always form a tree rooted at the root element) and **value links**
+//! (referrer → referee; foreign keys and `IDREF` constraints, lifted to the
+//! composite elements that contain the key fields, per Section 2 of the
+//! paper).
+//!
+//! Graphs are immutable once built; use [`SchemaGraphBuilder`] to construct
+//! them. All algorithm crates treat the graph as an array of elements with
+//! adjacency lists, matching the representation in the paper's Figure 4.
+
+use crate::error::SchemaError;
+use crate::ids::ElementId;
+use crate::types::SchemaType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A schema element: a relation, column, XML element, or XML attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    /// Human-readable label (tag name, relation name, column name).
+    pub label: String,
+    /// The element's type (Definition 1's type grammar).
+    pub ty: SchemaType,
+}
+
+/// Which family a link belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Parent–child link derived from a composite type.
+    Structural,
+    /// Inclusion-constraint link (foreign key / `IDREF`).
+    Value,
+}
+
+/// An immutable schema graph (Definition 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaGraph {
+    elements: Vec<Element>,
+    parent: Vec<Option<ElementId>>,
+    children: Vec<Vec<ElementId>>,
+    value_out: Vec<Vec<ElementId>>,
+    value_in: Vec<Vec<ElementId>>,
+    root: ElementId,
+    n_value_links: usize,
+}
+
+impl SchemaGraph {
+    /// Number of elements in the graph (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the graph has no elements. Built graphs always contain at
+    /// least the root, so this is only `true` for degenerate cases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The root element (the only element with no incoming structural link).
+    #[inline]
+    pub fn root(&self) -> ElementId {
+        self.root
+    }
+
+    /// Iterator over all element ids in insertion (preorder-compatible)
+    /// order.
+    pub fn element_ids(&self) -> impl ExactSizeIterator<Item = ElementId> + '_ {
+        (0..self.elements.len() as u32).map(ElementId)
+    }
+
+    /// The element record for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; ids must come from this graph.
+    #[inline]
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// The label of `id`.
+    #[inline]
+    pub fn label(&self, id: ElementId) -> &str {
+        &self.elements[id.index()].label
+    }
+
+    /// The type of `id`.
+    #[inline]
+    pub fn ty(&self, id: ElementId) -> &SchemaType {
+        &self.elements[id.index()].ty
+    }
+
+    /// Structural parent of `id` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, id: ElementId) -> Option<ElementId> {
+        self.parent[id.index()]
+    }
+
+    /// Ordered structural children of `id`.
+    #[inline]
+    pub fn children(&self, id: ElementId) -> &[ElementId] {
+        &self.children[id.index()]
+    }
+
+    /// Referee elements of `id`'s outgoing value links.
+    #[inline]
+    pub fn value_links_from(&self, id: ElementId) -> &[ElementId] {
+        &self.value_out[id.index()]
+    }
+
+    /// Referrer elements of `id`'s incoming value links.
+    #[inline]
+    pub fn value_links_to(&self, id: ElementId) -> &[ElementId] {
+        &self.value_in[id.index()]
+    }
+
+    /// Total number of structural links (= `len() - 1`).
+    #[inline]
+    pub fn num_structural_links(&self) -> usize {
+        self.elements.len().saturating_sub(1)
+    }
+
+    /// Total number of value links.
+    #[inline]
+    pub fn num_value_links(&self) -> usize {
+        self.n_value_links
+    }
+
+    /// Iterator over all structural links as `(parent, child)` pairs.
+    pub fn structural_links(&self) -> impl Iterator<Item = (ElementId, ElementId)> + '_ {
+        self.element_ids().flat_map(move |p| {
+            self.children(p).iter().map(move |&c| (p, c))
+        })
+    }
+
+    /// Iterator over all value links as `(referrer, referee)` pairs.
+    pub fn value_links(&self) -> impl Iterator<Item = (ElementId, ElementId)> + '_ {
+        self.element_ids().flat_map(move |from| {
+            self.value_links_from(from).iter().map(move |&to| (from, to))
+        })
+    }
+
+    /// All elements directly connected to `id` via any link, each tagged with
+    /// the link kind and direction. The same neighbor may appear multiple
+    /// times when parallel links exist (e.g. both a structural and a value
+    /// link).
+    pub fn neighbors(&self, id: ElementId) -> Vec<(ElementId, LinkKind)> {
+        let mut out = Vec::with_capacity(
+            self.children(id).len()
+                + usize::from(self.parent(id).is_some())
+                + self.value_links_from(id).len()
+                + self.value_links_to(id).len(),
+        );
+        if let Some(p) = self.parent(id) {
+            out.push((p, LinkKind::Structural));
+        }
+        out.extend(self.children(id).iter().map(|&c| (c, LinkKind::Structural)));
+        out.extend(self.value_links_from(id).iter().map(|&v| (v, LinkKind::Value)));
+        out.extend(self.value_links_to(id).iter().map(|&v| (v, LinkKind::Value)));
+        out
+    }
+
+    /// Number of links (of both kinds, both directions) incident to `id` —
+    /// the element's *connectivity* in the sense of Section 3.1.
+    pub fn degree(&self, id: ElementId) -> usize {
+        self.children(id).len()
+            + usize::from(self.parent(id).is_some())
+            + self.value_links_from(id).len()
+            + self.value_links_to(id).len()
+    }
+
+    /// Depth of `id` in the structural tree (root has depth 0).
+    pub fn depth(&self, id: ElementId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Structural ancestors of `id`, nearest first (excludes `id` itself).
+    pub fn ancestors(&self, id: ElementId) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Whether `anc` is a strict structural ancestor of `desc`.
+    pub fn is_ancestor(&self, anc: ElementId, desc: ElementId) -> bool {
+        let mut cur = desc;
+        while let Some(p) = self.parent(cur) {
+            if p == anc {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+
+    /// Path of element ids from the root to `id`, inclusive.
+    pub fn path_from_root(&self, id: ElementId) -> Vec<ElementId> {
+        let mut path = self.ancestors(id);
+        path.reverse();
+        path.push(id);
+        path
+    }
+
+    /// Slash-separated label path from the root to `id` (e.g.
+    /// `site/people/person/name`).
+    pub fn label_path(&self, id: ElementId) -> String {
+        let path = self.path_from_root(id);
+        let mut s = String::new();
+        for (i, e) in path.iter().enumerate() {
+            if i > 0 {
+                s.push('/');
+            }
+            s.push_str(self.label(*e));
+        }
+        s
+    }
+
+    /// Preorder traversal of the whole structural tree, children in
+    /// declaration order.
+    pub fn preorder(&self) -> Vec<ElementId> {
+        self.subtree(self.root)
+    }
+
+    /// Preorder traversal of the structural subtree rooted at `id`.
+    pub fn subtree(&self, id: ElementId) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            for &c in self.children(e).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Number of elements in the structural subtree rooted at `id`
+    /// (including `id`).
+    pub fn subtree_size(&self, id: ElementId) -> usize {
+        let mut n = 0;
+        let mut stack = vec![id];
+        while let Some(e) = stack.pop() {
+            n += 1;
+            stack.extend_from_slice(self.children(e));
+        }
+        n
+    }
+
+    /// All elements whose label equals `label`, in id order. Labels are not
+    /// required to be unique (e.g. XMark's `item` appears under each region).
+    pub fn find_by_label(&self, label: &str) -> Vec<ElementId> {
+        self.element_ids()
+            .filter(|&e| self.label(e) == label)
+            .collect()
+    }
+
+    /// The single element with label `label`, if exactly one exists.
+    pub fn find_unique(&self, label: &str) -> Option<ElementId> {
+        let mut found = None;
+        for e in self.element_ids() {
+            if self.label(e) == label {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(e);
+            }
+        }
+        found
+    }
+
+    /// The element at `path`, a slash-separated label path starting at (and
+    /// including) the root label.
+    pub fn find_by_path(&self, path: &str) -> Option<ElementId> {
+        let mut parts = path.split('/');
+        let root_label = parts.next()?;
+        if self.label(self.root) != root_label {
+            return None;
+        }
+        let mut cur = self.root;
+        for part in parts {
+            cur = *self
+                .children(cur)
+                .iter()
+                .find(|&&c| self.label(c) == part)?;
+        }
+        Some(cur)
+    }
+
+    /// Check that `id` belongs to this graph.
+    pub fn check(&self, id: ElementId) -> Result<(), SchemaError> {
+        if id.index() < self.elements.len() {
+            Ok(())
+        } else {
+            Err(SchemaError::UnknownElement(id))
+        }
+    }
+
+    /// Render an indented text outline of the structural tree, annotating
+    /// value links. Intended for debugging and examples.
+    pub fn outline(&self) -> String {
+        let mut s = String::new();
+        self.outline_rec(self.root, 0, &mut s);
+        s
+    }
+
+    fn outline_rec(&self, id: ElementId, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(self.label(id));
+        if self.ty(id).is_set() {
+            out.push('*');
+        }
+        for &v in self.value_links_from(id) {
+            out.push_str(&format!(" ->{}", self.label(v)));
+        }
+        out.push('\n');
+        for &c in self.children(id) {
+            self.outline_rec(c, depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for SchemaGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SchemaGraph({} elements, {} structural links, {} value links)",
+            self.len(),
+            self.num_structural_links(),
+            self.num_value_links()
+        )
+    }
+}
+
+/// Incremental builder for [`SchemaGraph`].
+///
+/// The builder starts from a root element and grows the structural tree with
+/// [`add_child`](Self::add_child); value links may be added between any two
+/// existing elements. [`build`](Self::build) validates the whole graph.
+#[derive(Debug, Clone)]
+pub struct SchemaGraphBuilder {
+    elements: Vec<Element>,
+    parent: Vec<Option<ElementId>>,
+    children: Vec<Vec<ElementId>>,
+    value_out: Vec<Vec<ElementId>>,
+    value_in: Vec<Vec<ElementId>>,
+    n_value_links: usize,
+}
+
+impl SchemaGraphBuilder {
+    /// Create a builder whose root element has `root_label` and `Rcd` type.
+    pub fn new(root_label: impl Into<String>) -> Self {
+        Self::with_root_type(root_label, SchemaType::Rcd)
+    }
+
+    /// Create a builder with an explicitly typed root.
+    pub fn with_root_type(root_label: impl Into<String>, ty: SchemaType) -> Self {
+        SchemaGraphBuilder {
+            elements: vec![Element {
+                label: root_label.into(),
+                ty,
+            }],
+            parent: vec![None],
+            children: vec![Vec::new()],
+            value_out: vec![Vec::new()],
+            value_in: vec![Vec::new()],
+            n_value_links: 0,
+        }
+    }
+
+    /// The root element id (always `ElementId(0)`).
+    #[inline]
+    pub fn root(&self) -> ElementId {
+        ElementId(0)
+    }
+
+    /// Number of elements added so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether only the root exists.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elements.len() <= 1
+    }
+
+    /// Add a child element under `parent`, returning its id.
+    pub fn add_child(
+        &mut self,
+        parent: ElementId,
+        label: impl Into<String>,
+        ty: SchemaType,
+    ) -> Result<ElementId, SchemaError> {
+        let label = label.into();
+        if label.is_empty() {
+            return Err(SchemaError::EmptyLabel);
+        }
+        if parent.index() >= self.elements.len() {
+            return Err(SchemaError::UnknownElement(parent));
+        }
+        if self.elements[parent.index()].ty.is_simple() {
+            return Err(SchemaError::ChildOfSimple { parent });
+        }
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(Element { label, ty });
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.value_out.push(Vec::new());
+        self.value_in.push(Vec::new());
+        self.children[parent.index()].push(id);
+        Ok(id)
+    }
+
+    /// Add a value link from referrer `from` to referee `to`.
+    ///
+    /// Per Section 2, value links are recorded between the composite elements
+    /// that semantically own the reference (e.g. `bidder → person`), not
+    /// between the simple key fields.
+    pub fn add_value_link(
+        &mut self,
+        from: ElementId,
+        to: ElementId,
+    ) -> Result<(), SchemaError> {
+        if from.index() >= self.elements.len() {
+            return Err(SchemaError::UnknownElement(from));
+        }
+        if to.index() >= self.elements.len() {
+            return Err(SchemaError::UnknownElement(to));
+        }
+        if from == to {
+            return Err(SchemaError::SelfValueLink(from));
+        }
+        if self.value_out[from.index()].contains(&to) {
+            return Err(SchemaError::DuplicateValueLink { from, to });
+        }
+        self.value_out[from.index()].push(to);
+        self.value_in[to.index()].push(from);
+        self.n_value_links += 1;
+        Ok(())
+    }
+
+    /// Finish construction, validating Definition 1's invariants.
+    pub fn build(self) -> Result<SchemaGraph, SchemaError> {
+        // Structural links form a tree by construction (each add_child sets
+        // exactly one parent, and parents always predate children, so no
+        // cycles are possible). Validate the remaining invariants.
+        if self.elements[0].ty.is_simple() && !self.children[0].is_empty() {
+            return Err(SchemaError::Invalid(
+                "root has Simple type but structural children".into(),
+            ));
+        }
+        for (i, el) in self.elements.iter().enumerate() {
+            if el.ty.is_simple() && !self.children[i].is_empty() {
+                return Err(SchemaError::Invalid(format!(
+                    "element e{i} ('{}') has Simple type but structural children",
+                    el.label
+                )));
+            }
+        }
+        Ok(SchemaGraph {
+            elements: self.elements,
+            parent: self.parent,
+            children: self.children,
+            value_out: self.value_out,
+            value_in: self.value_in,
+            root: ElementId(0),
+            n_value_links: self.n_value_links,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SchemaGraph {
+        // site -> (people -> person* -> name, open_auctions -> open_auction* -> bidder*)
+        // bidder ->V person
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        let _name = b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let oas = b
+            .add_child(b.root(), "open_auctions", SchemaType::rcd())
+            .unwrap();
+        let oa = b.add_child(oas, "open_auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let g = small();
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.num_structural_links(), 6);
+        assert_eq!(g.num_value_links(), 1);
+        let person = g.find_unique("person").unwrap();
+        let bidder = g.find_unique("bidder").unwrap();
+        assert_eq!(g.value_links_from(bidder), &[person]);
+        assert_eq!(g.value_links_to(person), &[bidder]);
+        assert_eq!(g.label(g.root()), "site");
+        assert_eq!(g.parent(g.root()), None);
+    }
+
+    #[test]
+    fn depth_ancestors_paths() {
+        let g = small();
+        let name = g.find_unique("name").unwrap();
+        assert_eq!(g.depth(name), 3);
+        assert_eq!(g.depth(g.root()), 0);
+        let anc = g.ancestors(name);
+        assert_eq!(anc.len(), 3);
+        assert_eq!(anc[2], g.root());
+        assert_eq!(g.label_path(name), "site/people/person/name");
+        assert!(g.is_ancestor(g.root(), name));
+        assert!(!g.is_ancestor(name, g.root()));
+        let person = g.find_unique("person").unwrap();
+        assert!(g.is_ancestor(person, name));
+    }
+
+    #[test]
+    fn preorder_visits_all_in_document_order() {
+        let g = small();
+        let order = g.preorder();
+        assert_eq!(order.len(), g.len());
+        let labels: Vec<_> = order.iter().map(|&e| g.label(e)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "site",
+                "people",
+                "person",
+                "name",
+                "open_auctions",
+                "open_auction",
+                "bidder"
+            ]
+        );
+    }
+
+    #[test]
+    fn subtree_and_size() {
+        let g = small();
+        let people = g.find_unique("people").unwrap();
+        assert_eq!(g.subtree_size(people), 3);
+        let labels: Vec<_> = g.subtree(people).iter().map(|&e| g.label(e)).collect();
+        assert_eq!(labels, vec!["people", "person", "name"]);
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let g = small();
+        let person = g.find_unique("person").unwrap();
+        // parent (people), child (name), incoming value link (bidder)
+        assert_eq!(g.degree(person), 3);
+        let n = g.neighbors(person);
+        assert_eq!(n.len(), 3);
+        assert!(n
+            .iter()
+            .any(|&(e, k)| g.label(e) == "bidder" && k == LinkKind::Value));
+    }
+
+    #[test]
+    fn find_by_path() {
+        let g = small();
+        let name = g.find_by_path("site/people/person/name").unwrap();
+        assert_eq!(g.label(name), "name");
+        assert!(g.find_by_path("site/people/nope").is_none());
+        assert!(g.find_by_path("wrong/people").is_none());
+    }
+
+    #[test]
+    fn duplicate_labels_are_allowed() {
+        let mut b = SchemaGraphBuilder::new("root");
+        let a = b.add_child(b.root(), "region", SchemaType::rcd()).unwrap();
+        let c = b.add_child(b.root(), "region2", SchemaType::rcd()).unwrap();
+        b.add_child(a, "item", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(c, "item", SchemaType::set_of_rcd()).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.find_by_label("item").len(), 2);
+        assert!(g.find_unique("item").is_none());
+    }
+
+    #[test]
+    fn rejects_child_of_simple() {
+        let mut b = SchemaGraphBuilder::new("root");
+        let leaf = b
+            .add_child(b.root(), "leaf", SchemaType::simple_str())
+            .unwrap();
+        let err = b.add_child(leaf, "x", SchemaType::rcd()).unwrap_err();
+        assert!(matches!(err, SchemaError::ChildOfSimple { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_value_links() {
+        let mut b = SchemaGraphBuilder::new("root");
+        let a = b.add_child(b.root(), "a", SchemaType::rcd()).unwrap();
+        let c = b.add_child(b.root(), "b", SchemaType::rcd()).unwrap();
+        assert!(matches!(
+            b.add_value_link(a, a),
+            Err(SchemaError::SelfValueLink(_))
+        ));
+        b.add_value_link(a, c).unwrap();
+        assert!(matches!(
+            b.add_value_link(a, c),
+            Err(SchemaError::DuplicateValueLink { .. })
+        ));
+        assert!(matches!(
+            b.add_value_link(a, ElementId(99)),
+            Err(SchemaError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_label() {
+        let mut b = SchemaGraphBuilder::new("root");
+        assert!(matches!(
+            b.add_child(b.root(), "", SchemaType::rcd()),
+            Err(SchemaError::EmptyLabel)
+        ));
+    }
+
+    #[test]
+    fn outline_render() {
+        let g = small();
+        let o = g.outline();
+        assert!(o.contains("site"));
+        assert!(o.contains("  people"));
+        assert!(o.contains("person*"));
+        assert!(o.contains("bidder* ->person"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = small();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: SchemaGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn structural_and_value_link_iterators() {
+        let g = small();
+        assert_eq!(g.structural_links().count(), 6);
+        let vl: Vec<_> = g.value_links().collect();
+        assert_eq!(vl.len(), 1);
+        assert_eq!(g.label(vl[0].0), "bidder");
+        assert_eq!(g.label(vl[0].1), "person");
+    }
+}

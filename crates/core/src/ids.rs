@@ -1,0 +1,75 @@
+//! Strongly typed identifiers for schema graph and summary entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a schema element within a [`crate::SchemaGraph`].
+///
+/// Element ids are dense indices assigned in insertion order; the root is
+/// always `ElementId(0)`. They are only meaningful relative to the graph that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub u32);
+
+impl ElementId {
+    /// Index of this element in the graph's dense element array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of an abstract element within a [`crate::SchemaSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AbstractId(pub u32);
+
+impl AbstractId {
+    /// Index of this abstract element in the summary's dense array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AbstractId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_id_roundtrip() {
+        let id = ElementId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "e42");
+    }
+
+    #[test]
+    fn abstract_id_display() {
+        assert_eq!(AbstractId(7).to_string(), "a7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ElementId(1) < ElementId(2));
+        assert!(AbstractId(0) < AbstractId(1));
+    }
+
+    #[test]
+    fn ids_serialize_as_numbers() {
+        let json = serde_json::to_string(&ElementId(3)).unwrap();
+        assert_eq!(json, "3");
+        let back: ElementId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ElementId(3));
+    }
+}

@@ -1,0 +1,55 @@
+//! Schema graph and schema summary data model.
+//!
+//! This crate implements Section 2 of *Schema Summarization* (Yu & Jagadish,
+//! VLDB 2006): schemas as labeled directed graphs ([`SchemaGraph`],
+//! Definition 1) and schema summaries ([`summary::SchemaSummary`],
+//! Definition 2), together with the cardinality statistics
+//! ([`stats::SchemaStats`]) that every formula in the paper consumes.
+//!
+//! A schema graph models both relational and hierarchical (XML) schemas:
+//!
+//! * every node is an **element** — a relation, a column, an XML element, or
+//!   an XML attribute — carrying a label and a [`types::SchemaType`];
+//! * **structural links** connect parents to children (relation → column,
+//!   element → sub-element) and always form a tree rooted at the
+//!   distinguished root element;
+//! * **value links** connect referrer elements to referee elements (foreign
+//!   keys, `IDREF`s) and may connect arbitrary pairs.
+//!
+//! # Example
+//!
+//! ```
+//! use schema_summary_core::graph::SchemaGraphBuilder;
+//! use schema_summary_core::types::SchemaType;
+//!
+//! let mut b = SchemaGraphBuilder::new("site");
+//! let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+//! let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+//! let name = b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+//! let graph = b.build().unwrap();
+//!
+//! assert_eq!(graph.len(), 4);
+//! assert_eq!(graph.parent(name), Some(person));
+//! assert_eq!(graph.label(people), "people");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod stats;
+pub mod summary;
+pub mod types;
+
+pub use diff::SummaryDiff;
+pub use error::SchemaError;
+pub use graph::{LinkKind, SchemaGraph, SchemaGraphBuilder};
+pub use ids::{AbstractId, ElementId};
+pub use metrics::GraphMetrics;
+pub use stats::SchemaStats;
+pub use summary::{SchemaSummary, SummaryNode};
+pub use types::{AtomicType, SchemaType};

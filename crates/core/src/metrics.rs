@@ -1,0 +1,152 @@
+//! Structural metrics over schema graphs.
+//!
+//! Summarization quality depends on schema shape (depth, fan-out, link
+//! density — see the paper's Section 5.4 discussion of why the datasets
+//! behave differently). This module computes the descriptive statistics
+//! the `inspect` tooling and the dataset tests report.
+
+use crate::graph::SchemaGraph;
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a schema graph's structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphMetrics {
+    /// Number of elements.
+    pub elements: usize,
+    /// Number of structural links.
+    pub structural_links: usize,
+    /// Number of value links.
+    pub value_links: usize,
+    /// Leaf elements (no structural children).
+    pub leaves: usize,
+    /// Composite elements (may have children).
+    pub composites: usize,
+    /// Maximum depth of the structural tree.
+    pub max_depth: usize,
+    /// Mean depth over all elements.
+    pub avg_depth: f64,
+    /// Maximum structural fan-out.
+    pub max_fanout: usize,
+    /// Mean fan-out over composite elements with at least one child.
+    pub avg_fanout: f64,
+    /// Maximum total degree (both link kinds, both directions).
+    pub max_degree: usize,
+}
+
+impl GraphMetrics {
+    /// Compute metrics for `graph`.
+    pub fn compute(graph: &SchemaGraph) -> Self {
+        let n = graph.len();
+        let mut max_depth = 0usize;
+        let mut depth_sum = 0usize;
+        let mut max_fanout = 0usize;
+        let mut fanout_sum = 0usize;
+        let mut parents = 0usize;
+        let mut leaves = 0usize;
+        let mut composites = 0usize;
+        let mut max_degree = 0usize;
+        for e in graph.element_ids() {
+            let d = graph.depth(e);
+            depth_sum += d;
+            max_depth = max_depth.max(d);
+            let f = graph.children(e).len();
+            if f > 0 {
+                fanout_sum += f;
+                parents += 1;
+                max_fanout = max_fanout.max(f);
+            } else {
+                leaves += 1;
+            }
+            if graph.ty(e).is_composite() {
+                composites += 1;
+            }
+            max_degree = max_degree.max(graph.degree(e));
+        }
+        GraphMetrics {
+            elements: n,
+            structural_links: graph.num_structural_links(),
+            value_links: graph.num_value_links(),
+            leaves,
+            composites,
+            max_depth,
+            avg_depth: if n > 0 { depth_sum as f64 / n as f64 } else { 0.0 },
+            max_fanout,
+            avg_fanout: if parents > 0 {
+                fanout_sum as f64 / parents as f64
+            } else {
+                0.0
+            },
+            max_degree,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} elements ({} composite, {} leaves), {} structural + {} value links",
+            self.elements, self.composites, self.leaves, self.structural_links, self.value_links
+        )?;
+        write!(
+            f,
+            "depth max {} avg {:.1}; fanout max {} avg {:.1}; max degree {}",
+            self.max_depth, self.avg_depth, self.max_fanout, self.avg_fanout, self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SchemaGraphBuilder;
+    use crate::types::SchemaType;
+
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("r");
+        let a = b.add_child(b.root(), "a", SchemaType::rcd()).unwrap();
+        let x = b.add_child(a, "x", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(x, "x1", SchemaType::simple_str()).unwrap();
+        b.add_child(x, "x2", SchemaType::simple_str()).unwrap();
+        b.add_child(x, "x3", SchemaType::simple_str()).unwrap();
+        let c = b.add_child(b.root(), "c", SchemaType::rcd()).unwrap();
+        b.add_value_link(c, x).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let m = GraphMetrics::compute(&graph());
+        assert_eq!(m.elements, 7);
+        assert_eq!(m.structural_links, 6);
+        assert_eq!(m.value_links, 1);
+        assert_eq!(m.leaves, 4); // x1, x2, x3, c
+        assert_eq!(m.composites, 4); // r, a, x, c
+        assert_eq!(m.max_depth, 3);
+        assert_eq!(m.max_fanout, 3);
+    }
+
+    #[test]
+    fn degree_counts_both_kinds() {
+        let m = GraphMetrics::compute(&graph());
+        // x: parent + 3 children + 1 incoming value link = 5.
+        assert_eq!(m.max_degree, 5);
+    }
+
+    #[test]
+    fn averages_are_consistent() {
+        let m = GraphMetrics::compute(&graph());
+        // depths: r0, a1, x2, x1..x3 = 3 each, c1 → sum 0+1+2+9+1 = 13.
+        assert!((m.avg_depth - 13.0 / 7.0).abs() < 1e-12);
+        // fanouts among parents: r=2, a=1, x=3 → avg 2.
+        assert!((m.avg_fanout - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let m = GraphMetrics::compute(&graph());
+        let s = m.to_string();
+        assert!(s.contains("7 elements"));
+        assert!(s.contains("value links"));
+    }
+}

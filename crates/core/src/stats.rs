@@ -1,0 +1,434 @@
+//! Cardinality statistics over a schema graph (Section 4.1).
+//!
+//! Every formula in the paper consumes two statistics derived from the
+//! database:
+//!
+//! * the **cardinality** `Card(e)` of each element — how many data nodes of
+//!   that element the database contains; and
+//! * the **relative cardinality** `RC(e1 → e2)` of each directed link
+//!   endpoint — the average number of `e2` data nodes connected to each `e1`
+//!   data node.
+//!
+//! [`SchemaStats`] packages both. It can be produced by the faithful
+//! depth-first annotation pass over a materialized database
+//! (`schema-summary-instance`), or constructed directly from closed-form
+//! counts via [`SchemaStats::from_link_counts`] (used by the synthetic
+//! dataset profiles, which is sound because the paper's algorithms observe
+//! the database *only* through these statistics).
+
+use crate::error::SchemaError;
+use crate::graph::SchemaGraph;
+use crate::ids::ElementId;
+use serde::{Deserialize, Serialize};
+
+/// Instance count for one schema link: `count` is the number of link
+/// instances in the database (child data nodes for a structural link,
+/// resolved references for a value link).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkCount {
+    /// Source of the schema link (parent / referrer element).
+    pub from: ElementId,
+    /// Target of the schema link (child / referee element).
+    pub to: ElementId,
+    /// Number of instances of this link in the database.
+    pub count: u64,
+}
+
+/// Cardinality and relative-cardinality annotations for a schema graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaStats {
+    card: Vec<f64>,
+    /// Per element: `(neighbor, RC(self → neighbor))`, aggregated over
+    /// parallel links between the same pair.
+    rc_adj: Vec<Vec<(ElementId, f64)>>,
+    /// Per element: sum of outgoing RCs (denominator of the neighbor weight
+    /// in Formula 1).
+    rc_sum: Vec<f64>,
+    total: f64,
+}
+
+impl SchemaStats {
+    /// Build statistics from per-element cardinalities and per-link instance
+    /// counts.
+    ///
+    /// `RC(e1 → e2) = count / Card(e1)` and `RC(e2 → e1) = count / Card(e2)`
+    /// for each link `(e1 → e2)` with `count` instances (Figure 3, line 15).
+    /// Elements with zero cardinality get zero RCs on their side.
+    ///
+    /// Every `(from, to)` pair must be a structural or value link of `graph`;
+    /// links not mentioned get zero counts.
+    pub fn from_link_counts(
+        graph: &SchemaGraph,
+        element_card: &[u64],
+        link_counts: &[LinkCount],
+    ) -> Result<Self, SchemaError> {
+        if element_card.len() != graph.len() {
+            return Err(SchemaError::StatsShape {
+                expected: graph.len(),
+                actual: element_card.len(),
+            });
+        }
+        let n = graph.len();
+        let card: Vec<f64> = element_card.iter().map(|&c| c as f64).collect();
+
+        // Collect the set of schema links so we can validate inputs and
+        // default unmentioned links to zero.
+        let mut counts: Vec<(ElementId, ElementId, f64)> = Vec::new();
+        let mut seen =
+            std::collections::HashMap::<(ElementId, ElementId), usize>::new();
+        for (p, c) in graph.structural_links() {
+            seen.insert((p, c), counts.len());
+            counts.push((p, c, 0.0));
+        }
+        for (f, t) in graph.value_links() {
+            seen.insert((f, t), counts.len());
+            counts.push((f, t, 0.0));
+        }
+        for lc in link_counts {
+            match seen.get(&(lc.from, lc.to)) {
+                Some(&i) => counts[i].2 += lc.count as f64,
+                None => {
+                    return Err(SchemaError::Invalid(format!(
+                        "link count given for non-link {} -> {}",
+                        lc.from, lc.to
+                    )))
+                }
+            }
+        }
+
+        let mut rc_adj: Vec<Vec<(ElementId, f64)>> = vec![Vec::new(); n];
+        for &(e1, e2, cnt) in &counts {
+            let rc_fwd = if card[e1.index()] > 0.0 {
+                cnt / card[e1.index()]
+            } else {
+                0.0
+            };
+            let rc_bwd = if card[e2.index()] > 0.0 {
+                cnt / card[e2.index()]
+            } else {
+                0.0
+            };
+            accumulate(&mut rc_adj[e1.index()], e2, rc_fwd);
+            accumulate(&mut rc_adj[e2.index()], e1, rc_bwd);
+        }
+
+        let rc_sum = rc_adj
+            .iter()
+            .map(|adj| adj.iter().map(|&(_, rc)| rc).sum())
+            .collect();
+        let total = card.iter().sum();
+        Ok(SchemaStats {
+            card,
+            rc_adj,
+            rc_sum,
+            total,
+        })
+    }
+
+    /// Schema-driven statistics (Section 5.4's "Full Schema Driven" mode):
+    /// every cardinality is 1 and every relative cardinality is 1, so only
+    /// connectivity matters.
+    pub fn uniform(graph: &SchemaGraph) -> Self {
+        let n = graph.len();
+        let card = vec![1.0; n];
+        let mut rc_adj: Vec<Vec<(ElementId, f64)>> = vec![Vec::new(); n];
+        for (p, c) in graph.structural_links() {
+            accumulate(&mut rc_adj[p.index()], c, 1.0);
+            accumulate(&mut rc_adj[c.index()], p, 1.0);
+        }
+        for (f, t) in graph.value_links() {
+            accumulate(&mut rc_adj[f.index()], t, 1.0);
+            accumulate(&mut rc_adj[t.index()], f, 1.0);
+        }
+        let rc_sum = rc_adj
+            .iter()
+            .map(|adj| adj.iter().map(|&(_, rc)| rc).sum())
+            .collect();
+        SchemaStats {
+            card,
+            rc_adj,
+            rc_sum,
+            total: n as f64,
+        }
+    }
+
+    /// A copy of these statistics with every relative cardinality forced to
+    /// 1 but cardinalities retained. Combined with uniform initial
+    /// importance this realizes the paper's fully-schema-driven ablation.
+    pub fn with_unit_rc(&self) -> Self {
+        let rc_adj: Vec<Vec<(ElementId, f64)>> = self
+            .rc_adj
+            .iter()
+            .map(|adj| adj.iter().map(|&(nb, _)| (nb, 1.0)).collect())
+            .collect();
+        let rc_sum = rc_adj
+            .iter()
+            .map(|adj: &Vec<(ElementId, f64)>| adj.iter().map(|&(_, rc)| rc).sum())
+            .collect();
+        SchemaStats {
+            card: self.card.clone(),
+            rc_adj,
+            rc_sum,
+            total: self.total,
+        }
+    }
+
+    /// Number of elements covered by these statistics.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.card.len()
+    }
+
+    /// Whether the statistics cover zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.card.is_empty()
+    }
+
+    /// Cardinality of `e` in the database.
+    #[inline]
+    pub fn card(&self, e: ElementId) -> f64 {
+        self.card[e.index()]
+    }
+
+    /// Sum of all element cardinalities — the paper's "number of data
+    /// elements" (Table 1) and the conserved total importance mass.
+    #[inline]
+    pub fn total_card(&self) -> f64 {
+        self.total
+    }
+
+    /// Relative cardinality `RC(from → to)`: average number of `to` data
+    /// nodes connected to each `from` data node. Zero if the two elements
+    /// are not linked.
+    pub fn rc(&self, from: ElementId, to: ElementId) -> f64 {
+        self.rc_adj[from.index()]
+            .iter()
+            .find(|&&(nb, _)| nb == to)
+            .map(|&(_, rc)| rc)
+            .unwrap_or(0.0)
+    }
+
+    /// All neighbors of `e` with their outgoing RCs, aggregated over
+    /// parallel links.
+    #[inline]
+    pub fn rc_neighbors(&self, e: ElementId) -> &[(ElementId, f64)] {
+        &self.rc_adj[e.index()]
+    }
+
+    /// `Σ_k RC(e → e_k)` over all neighbors — the neighbor-weight
+    /// denominator in Formula 1.
+    #[inline]
+    pub fn rc_sum(&self, e: ElementId) -> f64 {
+        self.rc_sum[e.index()]
+    }
+
+    /// Neighbor weight `W(from → to) = RC(from → to) / Σ_k RC(from → e_k)`
+    /// (Formula 1). Zero when `from` has no outgoing RC mass.
+    pub fn neighbor_weight(&self, from: ElementId, to: ElementId) -> f64 {
+        let s = self.rc_sum(from);
+        if s > 0.0 {
+            self.rc(from, to) / s
+        } else {
+            0.0
+        }
+    }
+
+    /// A copy of these statistics with every cardinality multiplied by
+    /// `factor` (relative cardinalities are ratios and do not change).
+    /// Models proportional database growth — the paper's footnote 8
+    /// scale-factor argument and the Table 5 growth-without-distribution-
+    /// change scenario.
+    pub fn scaled(&self, factor: f64) -> Self {
+        SchemaStats {
+            card: self.card.iter().map(|&c| c * factor).collect(),
+            rc_adj: self.rc_adj.clone(),
+            rc_sum: self.rc_sum.clone(),
+            total: self.total * factor,
+        }
+    }
+
+    /// Ids of elements adjacent to `e` (via either link kind).
+    pub fn neighbor_ids(&self, e: ElementId) -> impl Iterator<Item = ElementId> + '_ {
+        self.rc_adj[e.index()].iter().map(|&(nb, _)| nb)
+    }
+}
+
+fn accumulate(adj: &mut Vec<(ElementId, f64)>, nb: ElementId, rc: f64) {
+    match adj.iter_mut().find(|(e, _)| *e == nb) {
+        Some((_, existing)) => *existing += rc,
+        None => adj.push((nb, rc)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SchemaGraphBuilder;
+    use crate::types::SchemaType;
+
+    /// site -> open_auctions -> open_auction* -> {bidder*, seller},
+    /// people -> person*; bidder ->V person, seller ->V person.
+    fn graph() -> (SchemaGraph, [ElementId; 6]) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let oas = b.add_child(b.root(), "open_auctions", SchemaType::rcd()).unwrap();
+        let oa = b.add_child(oas, "open_auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        let seller = b.add_child(oa, "seller", SchemaType::rcd()).unwrap();
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.add_value_link(seller, person).unwrap();
+        let g = b.build().unwrap();
+        (g, [oas, oa, bidder, seller, people, person])
+    }
+
+    fn stats() -> (SchemaGraph, [ElementId; 6], SchemaStats) {
+        let (g, ids) = graph();
+        let [oas, oa, bidder, seller, people, person] = ids;
+        // 1 site, 1 open_auctions, 100 auctions, 500 bidders, 100 sellers,
+        // 1 people, 200 persons.
+        let card = vec![1, 1, 100, 500, 100, 1, 200];
+        let links = vec![
+            LinkCount { from: ElementId(0), to: oas, count: 1 },
+            LinkCount { from: oas, to: oa, count: 100 },
+            LinkCount { from: oa, to: bidder, count: 500 },
+            LinkCount { from: oa, to: seller, count: 100 },
+            LinkCount { from: ElementId(0), to: people, count: 1 },
+            LinkCount { from: people, to: person, count: 200 },
+            LinkCount { from: bidder, to: person, count: 500 },
+            LinkCount { from: seller, to: person, count: 100 },
+        ];
+        let s = SchemaStats::from_link_counts(&g, &card, &links).unwrap();
+        (g, ids, s)
+    }
+
+    #[test]
+    fn relative_cardinalities_follow_figure3() {
+        let (_, ids, s) = stats();
+        let [_, oa, bidder, _, _, person] = ids;
+        // Average 5 bidders per auction; each bidder tied to 1 auction.
+        assert!((s.rc(oa, bidder) - 5.0).abs() < 1e-12);
+        assert!((s.rc(bidder, oa) - 1.0).abs() < 1e-12);
+        // 500 bids over 200 persons = 2.5 bids per person.
+        assert!((s.rc(person, bidder) - 2.5).abs() < 1e-12);
+        assert!((s.rc(bidder, person) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_and_cards() {
+        let (_, ids, s) = stats();
+        assert_eq!(s.total_card(), 903.0);
+        assert_eq!(s.card(ids[2]), 500.0);
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn neighbor_weights_normalize() {
+        let (g, _, s) = stats();
+        for e in g.element_ids() {
+            let total: f64 = s
+                .neighbor_ids(e)
+                .map(|nb| s.neighbor_weight(e, nb))
+                .sum();
+            if s.rc_sum(e) > 0.0 {
+                assert!((total - 1.0).abs() < 1e-9, "weights of {e} sum to {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn unlinked_pairs_have_zero_rc() {
+        let (_, ids, s) = stats();
+        let [_, oa, _, _, _, person] = ids;
+        assert_eq!(s.rc(oa, person), 0.0);
+        assert_eq!(s.neighbor_weight(oa, person), 0.0);
+    }
+
+    #[test]
+    fn uniform_stats() {
+        let (g, _) = graph();
+        let s = SchemaStats::uniform(&g);
+        assert_eq!(s.total_card(), g.len() as f64);
+        for (p, c) in g.structural_links() {
+            assert_eq!(s.rc(p, c), 1.0);
+            assert_eq!(s.rc(c, p), 1.0);
+        }
+        for (f, t) in g.value_links() {
+            assert_eq!(s.rc(f, t), 1.0);
+        }
+    }
+
+    #[test]
+    fn with_unit_rc_keeps_cards() {
+        let (_, ids, s) = stats();
+        let u = s.with_unit_rc();
+        assert_eq!(u.card(ids[2]), 500.0);
+        assert_eq!(u.rc(ids[1], ids[2]), 1.0);
+        assert_eq!(u.total_card(), s.total_card());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (g, _) = graph();
+        let err = SchemaStats::from_link_counts(&g, &[1, 2], &[]).unwrap_err();
+        assert!(matches!(err, SchemaError::StatsShape { .. }));
+    }
+
+    #[test]
+    fn non_link_count_rejected() {
+        let (g, ids) = graph();
+        let card = vec![1; g.len()];
+        let bad = vec![LinkCount {
+            from: ids[1],
+            to: ids[5], // oa -> person is not a schema link
+            count: 5,
+        }];
+        assert!(SchemaStats::from_link_counts(&g, &card, &bad).is_err());
+    }
+
+    #[test]
+    fn zero_cardinality_element_yields_zero_rc() {
+        let (g, ids) = graph();
+        let mut card = vec![1u64; g.len()];
+        card[ids[2].index()] = 0; // no bidders at all
+        let s = SchemaStats::from_link_counts(&g, &card, &[]).unwrap();
+        assert_eq!(s.rc(ids[2], ids[1]), 0.0);
+        assert_eq!(s.rc(ids[1], ids[2]), 0.0);
+    }
+
+    #[test]
+    fn scaled_preserves_ratios() {
+        let (_, ids, s) = stats();
+        let s2 = s.scaled(3.0);
+        assert_eq!(s2.total_card(), s.total_card() * 3.0);
+        assert_eq!(s2.card(ids[2]), s.card(ids[2]) * 3.0);
+        // RCs are ratios: unchanged.
+        for e in [ids[1], ids[2], ids[5]] {
+            for nb in [ids[1], ids[2], ids[5]] {
+                assert_eq!(s2.rc(e, nb), s.rc(e, nb));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_links_aggregate() {
+        // a is both structural parent of b and value-linked to b.
+        let mut b = SchemaGraphBuilder::new("r");
+        let a = b.add_child(b.root(), "a", SchemaType::rcd()).unwrap();
+        let c = b.add_child(a, "c", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(a, c).unwrap();
+        let g = b.build().unwrap();
+        let card = vec![1, 10, 30];
+        let links = vec![
+            LinkCount { from: a, to: c, count: 30 }, // structural: 3 per a
+            LinkCount { from: a, to: c, count: 10 }, // value: 1 per a
+        ];
+        let s = SchemaStats::from_link_counts(&g, &card, &links).unwrap();
+        // Parallel RCs add: 4 per a. (But note from_link_counts merges the
+        // two LinkCount entries into the *same* schema link here since both
+        // structural and value links exist; count sums to 40.)
+        assert!(s.rc(a, c) > 0.0);
+        assert_eq!(s.rc_neighbors(a).len(), 2); // root + c
+    }
+}

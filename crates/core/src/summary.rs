@@ -1,0 +1,608 @@
+//! Schema summaries (Definition 2).
+//!
+//! A summary of a schema graph keeps a subset of original elements (`E'`),
+//! groups every other element under an **abstract element** (the mapping
+//! `M`), and consolidates links crossing group boundaries into **abstract
+//! links** (`AL`). Each abstract element assumes the identity of a chosen
+//! *representative* member; links wholly inside a group are hidden.
+//!
+//! A **full summary** keeps only the root as an original element; an
+//! **expanded summary** additionally keeps the members of expanded groups
+//! (see [`SchemaSummary::expand`]).
+//!
+//! Construction goes through [`SchemaSummary::from_grouping`], which
+//! enforces every invariant of Definition 2: each schema element is
+//! represented exactly once, each representative belongs to its own group,
+//! the root is kept, and every original link is either kept, consolidated
+//! into an abstract link, or hidden inside a group.
+
+use crate::error::SchemaError;
+use crate::graph::SchemaGraph;
+use crate::ids::{AbstractId, ElementId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node of the summary graph: either a kept original element or an
+/// abstract element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SummaryNode {
+    /// An original schema element kept in the summary (`E'`).
+    Original(ElementId),
+    /// An abstract element (`AE`).
+    Abstract(AbstractId),
+}
+
+/// An abstract element: a group of original schema elements fronted by a
+/// representative member whose identity (label) the group assumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbstractElement {
+    /// The member whose label the abstract element displays.
+    pub representative: ElementId,
+    /// All original elements this abstract element represents, including the
+    /// representative. Sorted by element id.
+    pub members: Vec<ElementId>,
+}
+
+/// An abstract link consolidating one or more original links that cross a
+/// group boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbstractLink {
+    /// Source summary node.
+    pub from: SummaryNode,
+    /// Target summary node.
+    pub to: SummaryNode,
+    /// Number of original structural links consolidated into this link.
+    pub structural_count: usize,
+    /// Number of original value links consolidated into this link.
+    pub value_count: usize,
+}
+
+impl AbstractLink {
+    /// Whether this abstract link represents at least one value link
+    /// (rendered dashed in the paper's figures).
+    pub fn has_value(&self) -> bool {
+        self.value_count > 0
+    }
+
+    /// Whether this abstract link represents at least one structural link.
+    pub fn has_structural(&self) -> bool {
+        self.structural_count > 0
+    }
+}
+
+/// A schema summary (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaSummary {
+    root: ElementId,
+    /// Kept original elements `E'`, sorted; always contains the root.
+    kept: Vec<ElementId>,
+    /// Kept structural links `S'` (both endpoints kept, link not hidden).
+    kept_structural: Vec<(ElementId, ElementId)>,
+    /// Kept value links `V'`.
+    kept_value: Vec<(ElementId, ElementId)>,
+    /// Abstract elements `AE`.
+    abstracts: Vec<AbstractElement>,
+    /// Abstract links `AL`.
+    abstract_links: Vec<AbstractLink>,
+    /// The mapping `M`: for every schema element, the summary node that
+    /// represents it (kept elements map to themselves).
+    node_of: Vec<SummaryNode>,
+}
+
+impl SchemaSummary {
+    /// Build a summary from a grouping decision.
+    ///
+    /// `groups` lists each abstract element as `(representative, members)`;
+    /// `kept` lists original elements retained as-is (the root is always
+    /// retained and may be omitted). Each schema element must appear exactly
+    /// once in `kept ∪ groups`, and every representative must be a member of
+    /// its own group.
+    pub fn from_grouping(
+        graph: &SchemaGraph,
+        groups: Vec<(ElementId, Vec<ElementId>)>,
+        mut kept: Vec<ElementId>,
+    ) -> Result<Self, SchemaError> {
+        let n = graph.len();
+        if !kept.contains(&graph.root()) {
+            kept.push(graph.root());
+        }
+        kept.sort_unstable();
+        kept.dedup();
+
+        // Assign every element to exactly one summary node.
+        let mut node_of: Vec<Option<SummaryNode>> = vec![None; n];
+        for &k in &kept {
+            graph.check(k)?;
+            if node_of[k.index()].is_some() {
+                return Err(SchemaError::Invalid(format!(
+                    "element {k} represented more than once"
+                )));
+            }
+            node_of[k.index()] = Some(SummaryNode::Original(k));
+        }
+        let mut abstracts = Vec::with_capacity(groups.len());
+        for (gi, (rep, mut members)) in groups.into_iter().enumerate() {
+            let aid = AbstractId(gi as u32);
+            members.sort_unstable();
+            members.dedup();
+            if !members.contains(&rep) {
+                return Err(SchemaError::Invalid(format!(
+                    "representative {rep} not a member of its group {aid}"
+                )));
+            }
+            if members.is_empty() {
+                return Err(SchemaError::Invalid(format!("abstract element {aid} is empty")));
+            }
+            for &m in &members {
+                graph.check(m)?;
+                if node_of[m.index()].is_some() {
+                    return Err(SchemaError::Invalid(format!(
+                        "element {m} represented more than once"
+                    )));
+                }
+                node_of[m.index()] = Some(SummaryNode::Abstract(aid));
+            }
+            abstracts.push(AbstractElement {
+                representative: rep,
+                members,
+            });
+        }
+        let node_of: Vec<SummaryNode> = node_of
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| {
+                n.ok_or_else(|| {
+                    SchemaError::Invalid(format!("element e{i} not represented by the summary"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Derive kept and abstract links (Definition 2's link conditions).
+        let mut kept_structural = Vec::new();
+        let mut kept_value = Vec::new();
+        let mut alinks: BTreeMap<(SummaryNode, SummaryNode), (usize, usize)> = BTreeMap::new();
+        for (p, c) in graph.structural_links() {
+            let (np, nc) = (node_of[p.index()], node_of[c.index()]);
+            match (np, nc) {
+                _ if np == nc => {} // hidden inside one group
+                (SummaryNode::Original(_), SummaryNode::Original(_)) => {
+                    kept_structural.push((p, c));
+                }
+                _ => alinks.entry((np, nc)).or_insert((0, 0)).0 += 1,
+            }
+        }
+        for (f, t) in graph.value_links() {
+            let (nf, nt) = (node_of[f.index()], node_of[t.index()]);
+            match (nf, nt) {
+                _ if nf == nt => {}
+                (SummaryNode::Original(_), SummaryNode::Original(_)) => {
+                    kept_value.push((f, t));
+                }
+                _ => alinks.entry((nf, nt)).or_insert((0, 0)).1 += 1,
+            }
+        }
+        let abstract_links = alinks
+            .into_iter()
+            .map(|((from, to), (s, v))| AbstractLink {
+                from,
+                to,
+                structural_count: s,
+                value_count: v,
+            })
+            .collect();
+
+        Ok(SchemaSummary {
+            root: graph.root(),
+            kept,
+            kept_structural,
+            kept_value,
+            abstracts,
+            abstract_links,
+            node_of,
+        })
+    }
+
+    /// The root element (always kept).
+    #[inline]
+    pub fn root(&self) -> ElementId {
+        self.root
+    }
+
+    /// Kept original elements `E'` (includes the root), sorted by id.
+    #[inline]
+    pub fn kept(&self) -> &[ElementId] {
+        &self.kept
+    }
+
+    /// Kept structural links `S'`.
+    #[inline]
+    pub fn kept_structural(&self) -> &[(ElementId, ElementId)] {
+        &self.kept_structural
+    }
+
+    /// Kept value links `V'`.
+    #[inline]
+    pub fn kept_value(&self) -> &[(ElementId, ElementId)] {
+        &self.kept_value
+    }
+
+    /// The abstract elements `AE`.
+    #[inline]
+    pub fn abstracts(&self) -> &[AbstractElement] {
+        &self.abstracts
+    }
+
+    /// The abstract links `AL`.
+    #[inline]
+    pub fn abstract_links(&self) -> &[AbstractLink] {
+        &self.abstract_links
+    }
+
+    /// Ids of all abstract elements.
+    pub fn abstract_ids(&self) -> impl ExactSizeIterator<Item = AbstractId> {
+        (0..self.abstracts.len() as u32).map(AbstractId)
+    }
+
+    /// The abstract element `aid`.
+    pub fn abstract_element(&self, aid: AbstractId) -> Result<&AbstractElement, SchemaError> {
+        self.abstracts
+            .get(aid.index())
+            .ok_or(SchemaError::UnknownAbstract(aid))
+    }
+
+    /// The summary node representing schema element `e` (`M`, with kept
+    /// elements mapping to themselves).
+    #[inline]
+    pub fn node_of(&self, e: ElementId) -> SummaryNode {
+        self.node_of[e.index()]
+    }
+
+    /// Whether `e` is visible in the summary: kept, or the representative of
+    /// an abstract element.
+    pub fn is_summary_element(&self, e: ElementId) -> bool {
+        match self.node_of(e) {
+            SummaryNode::Original(_) => true,
+            SummaryNode::Abstract(aid) => self.abstracts[aid.index()].representative == e,
+        }
+    }
+
+    /// The elements whose labels a user sees: representatives of abstract
+    /// elements plus kept elements **excluding the root** (matching the
+    /// paper's "summary of size K" counting, where Figure 2(A)'s elements
+    /// are all abstract except `site`). Sorted by id.
+    pub fn visible_elements(&self) -> Vec<ElementId> {
+        let mut out: Vec<ElementId> = self
+            .kept
+            .iter()
+            .copied()
+            .filter(|&e| e != self.root)
+            .chain(self.abstracts.iter().map(|a| a.representative))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Summary size: number of summary elements excluding the root.
+    pub fn size(&self) -> usize {
+        self.abstracts.len() + self.kept.len() - 1
+    }
+
+    /// Whether this is a full summary (only the root is kept as an original
+    /// element).
+    pub fn is_full(&self) -> bool {
+        self.kept.len() == 1
+    }
+
+    /// The display label of a summary node (the representative's label for
+    /// abstract elements).
+    pub fn node_label<'g>(&self, graph: &'g SchemaGraph, node: SummaryNode) -> &'g str {
+        match node {
+            SummaryNode::Original(e) => graph.label(e),
+            SummaryNode::Abstract(aid) => graph.label(self.abstracts[aid.index()].representative),
+        }
+    }
+
+    /// Expand abstract element `aid`: its members become kept original
+    /// elements with their original interconnecting links restored, while
+    /// all other groups stay abstract (producing an *expanded summary*,
+    /// Figure 2(C)).
+    pub fn expand(&self, graph: &SchemaGraph, aid: AbstractId) -> Result<SchemaSummary, SchemaError> {
+        let target = self.abstract_element(aid)?;
+        let mut kept = self.kept.clone();
+        kept.extend_from_slice(&target.members);
+        let groups = self
+            .abstracts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != aid.index())
+            .map(|(_, a)| (a.representative, a.members.clone()))
+            .collect();
+        SchemaSummary::from_grouping(graph, groups, kept)
+    }
+
+    /// Verify every invariant of Definition 2 against `graph`. Summaries
+    /// produced by [`from_grouping`](Self::from_grouping) always pass; this
+    /// is exposed for property tests and deserialized data.
+    pub fn validate(&self, graph: &SchemaGraph) -> Result<(), SchemaError> {
+        if self.node_of.len() != graph.len() {
+            return Err(SchemaError::Invalid("mapping length mismatch".into()));
+        }
+        if !self.kept.contains(&graph.root()) {
+            return Err(SchemaError::Invalid("root not kept".into()));
+        }
+        // Every element represented exactly once, consistently with node_of.
+        let mut count = vec![0usize; graph.len()];
+        for &k in &self.kept {
+            count[k.index()] += 1;
+            if self.node_of(k) != SummaryNode::Original(k) {
+                return Err(SchemaError::Invalid(format!("kept {k} maps elsewhere")));
+            }
+        }
+        for (gi, a) in self.abstracts.iter().enumerate() {
+            if !a.members.contains(&a.representative) {
+                return Err(SchemaError::Invalid("representative outside group".into()));
+            }
+            for &m in &a.members {
+                count[m.index()] += 1;
+                if self.node_of(m) != SummaryNode::Abstract(AbstractId(gi as u32)) {
+                    return Err(SchemaError::Invalid(format!("member {m} maps elsewhere")));
+                }
+            }
+        }
+        if let Some(i) = count.iter().position(|&c| c != 1) {
+            return Err(SchemaError::Invalid(format!(
+                "element e{i} represented {} times",
+                count[i]
+            )));
+        }
+        // Every original link accounted for: kept, abstracted, or hidden.
+        for (p, c) in graph.structural_links() {
+            let (np, nc) = (self.node_of(p), self.node_of(c));
+            if np == nc {
+                continue;
+            }
+            let ok = if let (SummaryNode::Original(_), SummaryNode::Original(_)) = (np, nc) {
+                self.kept_structural.contains(&(p, c))
+            } else {
+                self.abstract_links
+                    .iter()
+                    .any(|l| l.from == np && l.to == nc && l.structural_count > 0)
+            };
+            if !ok {
+                return Err(SchemaError::Invalid(format!(
+                    "structural link {p} -> {c} not represented"
+                )));
+            }
+        }
+        for (f, t) in graph.value_links() {
+            let (nf, nt) = (self.node_of(f), self.node_of(t));
+            if nf == nt {
+                continue;
+            }
+            let ok = if let (SummaryNode::Original(_), SummaryNode::Original(_)) = (nf, nt) {
+                self.kept_value.contains(&(f, t))
+            } else {
+                self.abstract_links
+                    .iter()
+                    .any(|l| l.from == nf && l.to == nt && l.value_count > 0)
+            };
+            if !ok {
+                return Err(SchemaError::Invalid(format!(
+                    "value link {f} -> {t} not represented"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render a human-readable description of the summary.
+    pub fn outline(&self, graph: &SchemaGraph) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "summary of size {} ({} abstract, {} kept incl. root)\n",
+            self.size(),
+            self.abstracts.len(),
+            self.kept.len()
+        ));
+        for (i, a) in self.abstracts.iter().enumerate() {
+            s.push_str(&format!(
+                "  [a{i}] {} ({} members)\n",
+                graph.label(a.representative),
+                a.members.len()
+            ));
+        }
+        for l in &self.abstract_links {
+            let kind = match (l.has_structural(), l.has_value()) {
+                (true, true) => "s+v",
+                (true, false) => "s",
+                (false, true) => "v",
+                (false, false) => "?",
+            };
+            s.push_str(&format!(
+                "  {} -{}-> {}\n",
+                self.node_label(graph, l.from),
+                kind,
+                self.node_label(graph, l.to)
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SchemaGraphBuilder;
+    use crate::types::SchemaType;
+
+    /// site -> {people -> person* -> {name, profile -> interest*},
+    ///          open_auctions -> open_auction* -> bidder*}
+    /// bidder ->V person
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let profile = b.add_child(person, "profile", SchemaType::rcd()).unwrap();
+        b.add_child(profile, "interest", SchemaType::set_of_rcd()).unwrap();
+        let oas = b.add_child(b.root(), "open_auctions", SchemaType::rcd()).unwrap();
+        let oa = b.add_child(oas, "open_auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.build().unwrap()
+    }
+
+    fn two_group_summary(g: &SchemaGraph) -> SchemaSummary {
+        let person = g.find_unique("person").unwrap();
+        let oa = g.find_unique("open_auction").unwrap();
+        let person_group: Vec<_> = ["people", "person", "name", "profile", "interest"]
+            .iter()
+            .map(|l| g.find_unique(l).unwrap())
+            .collect();
+        let oa_group: Vec<_> = ["open_auctions", "open_auction", "bidder"]
+            .iter()
+            .map(|l| g.find_unique(l).unwrap())
+            .collect();
+        SchemaSummary::from_grouping(
+            g,
+            vec![(person, person_group), (oa, oa_group)],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_summary_structure() {
+        let g = graph();
+        let s = two_group_summary(&g);
+        assert!(s.is_full());
+        assert_eq!(s.size(), 2);
+        assert_eq!(s.abstracts().len(), 2);
+        s.validate(&g).unwrap();
+
+        // Links: root -> person-group (structural), root -> oa-group
+        // (structural), oa-group -> person-group (value: bidder->person).
+        assert_eq!(s.abstract_links().len(), 3);
+        let value_links: Vec<_> = s.abstract_links().iter().filter(|l| l.has_value()).collect();
+        assert_eq!(value_links.len(), 1);
+        assert_eq!(s.node_label(&g, value_links[0].from), "open_auction");
+        assert_eq!(s.node_label(&g, value_links[0].to), "person");
+    }
+
+    #[test]
+    fn mapping_and_visibility() {
+        let g = graph();
+        let s = two_group_summary(&g);
+        let person = g.find_unique("person").unwrap();
+        let profile = g.find_unique("profile").unwrap();
+        // person is directly represented, profile indirectly.
+        assert!(s.is_summary_element(person));
+        assert!(!s.is_summary_element(profile));
+        assert_eq!(s.node_of(profile), s.node_of(person));
+        let visible = s.visible_elements();
+        assert_eq!(visible.len(), 2);
+        assert!(visible.contains(&person));
+    }
+
+    #[test]
+    fn hidden_links_are_hidden() {
+        let g = graph();
+        let s = two_group_summary(&g);
+        // person -> profile is inside the person group: not kept, not abstract.
+        assert!(s.kept_structural().is_empty());
+        assert!(s.kept_value().is_empty());
+        let total_structural: usize = s
+            .abstract_links()
+            .iter()
+            .map(|l| l.structural_count)
+            .sum();
+        // Only site->people and site->open_auctions cross boundaries.
+        assert_eq!(total_structural, 2);
+    }
+
+    #[test]
+    fn expansion_restores_members() {
+        let g = graph();
+        let s = two_group_summary(&g);
+        // Expand the person group (find which abstract id has label person).
+        let aid = s
+            .abstract_ids()
+            .find(|&a| g.label(s.abstracts()[a.index()].representative) == "person")
+            .unwrap();
+        let e = s.expand(&g, aid).unwrap();
+        e.validate(&g).unwrap();
+        assert!(!e.is_full());
+        assert_eq!(e.abstracts().len(), 1);
+        // The person group members are now kept originals.
+        let profile = g.find_unique("profile").unwrap();
+        assert_eq!(e.node_of(profile), SummaryNode::Original(profile));
+        // person->profile structural link is now a kept link.
+        let person = g.find_unique("person").unwrap();
+        assert!(e.kept_structural().contains(&(person, profile)));
+        // bidder (inside remaining oa group) ->V person (now kept): abstract link.
+        assert!(e
+            .abstract_links()
+            .iter()
+            .any(|l| l.has_value() && l.to == SummaryNode::Original(person)));
+    }
+
+    #[test]
+    fn rejects_double_representation() {
+        let g = graph();
+        let person = g.find_unique("person").unwrap();
+        let all: Vec<_> = g.element_ids().filter(|&e| e != g.root()).collect();
+        let err = SchemaSummary::from_grouping(
+            &g,
+            vec![(person, all.clone()), (person, vec![person])],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_missing_elements() {
+        let g = graph();
+        let person = g.find_unique("person").unwrap();
+        let err =
+            SchemaSummary::from_grouping(&g, vec![(person, vec![person])], vec![]).unwrap_err();
+        assert!(matches!(err, SchemaError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_rep_outside_group() {
+        let g = graph();
+        let person = g.find_unique("person").unwrap();
+        let name = g.find_unique("name").unwrap();
+        let err = SchemaSummary::from_grouping(&g, vec![(person, vec![name])], vec![]).unwrap_err();
+        assert!(matches!(err, SchemaError::Invalid(_)));
+    }
+
+    #[test]
+    fn root_always_kept() {
+        let g = graph();
+        let s = two_group_summary(&g);
+        assert_eq!(s.kept(), &[g.root()]);
+        assert_eq!(s.node_of(g.root()), SummaryNode::Original(g.root()));
+    }
+
+    #[test]
+    fn outline_mentions_groups() {
+        let g = graph();
+        let s = two_group_summary(&g);
+        let o = s.outline(&g);
+        assert!(o.contains("person"));
+        assert!(o.contains("open_auction"));
+        assert!(o.contains("-v->") || o.contains("s+v"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = graph();
+        let s = two_group_summary(&g);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SchemaSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        back.validate(&g).unwrap();
+    }
+}

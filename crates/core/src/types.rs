@@ -1,0 +1,226 @@
+//! Element types (Definition 1's type regular expressions).
+//!
+//! The paper gives each element a type drawn from the grammar
+//!
+//! ```text
+//! τ ::= SetOf τ | Simple | (Rcd | Choice)[e1:τ1, ..., en:τn]
+//! ```
+//!
+//! We keep the *shape* of the type on the element ([`SchemaType`]) and record
+//! the `[e1:τ1, ...]` children as structural links in the graph itself, which
+//! is the representation the paper's algorithms operate on (Section 4
+//! represents "the schema graph as an array of elements, each with an array
+//! of links").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Atomic value types carried by `Simple` elements.
+///
+/// These model relational column types, XML attribute types, and
+/// atomic-valued XML elements. `Id`/`IdRef` mark the endpoints that induce
+/// value links (keys / foreign keys, `ID` / `IDREF`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicType {
+    /// Character data (`str`, `CDATA`, `VARCHAR`, ...).
+    Str,
+    /// Integer data.
+    Int,
+    /// Floating point / decimal data.
+    Float,
+    /// Boolean data.
+    Bool,
+    /// Calendar dates and timestamps.
+    Date,
+    /// A key value other elements may refer to (`ID`, primary key).
+    Id,
+    /// A reference to a key value (`IDREF`, foreign key).
+    IdRef,
+}
+
+impl fmt::Display for AtomicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomicType::Str => "str",
+            AtomicType::Int => "int",
+            AtomicType::Float => "float",
+            AtomicType::Bool => "bool",
+            AtomicType::Date => "date",
+            AtomicType::Id => "id",
+            AtomicType::IdRef => "idref",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The type of a schema element (Definition 1).
+///
+/// `SetOf` nests arbitrarily, exactly as in the paper's grammar; children of
+/// `Rcd` / `Choice` composites are represented as structural links in the
+/// [`crate::SchemaGraph`] rather than inline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemaType {
+    /// Atomic value type.
+    Simple(AtomicType),
+    /// A set of values of the inner type (`maxOccurs > 1`, relations).
+    SetOf(Box<SchemaType>),
+    /// Record composite ("all" / "sequence" model groups, relational tuples).
+    Rcd,
+    /// Choice composite ("choice" model group).
+    Choice,
+}
+
+impl SchemaType {
+    /// `Simple str` — the most common atomic type.
+    pub fn simple_str() -> Self {
+        SchemaType::Simple(AtomicType::Str)
+    }
+
+    /// `Simple int`.
+    pub fn simple_int() -> Self {
+        SchemaType::Simple(AtomicType::Int)
+    }
+
+    /// `Simple float`.
+    pub fn simple_float() -> Self {
+        SchemaType::Simple(AtomicType::Float)
+    }
+
+    /// `Simple id` — a key element that value links point at.
+    pub fn simple_id() -> Self {
+        SchemaType::Simple(AtomicType::Id)
+    }
+
+    /// `Simple idref` — a referencing element that induces a value link.
+    pub fn simple_idref() -> Self {
+        SchemaType::Simple(AtomicType::IdRef)
+    }
+
+    /// `Rcd` composite.
+    pub fn rcd() -> Self {
+        SchemaType::Rcd
+    }
+
+    /// `Choice` composite.
+    pub fn choice() -> Self {
+        SchemaType::Choice
+    }
+
+    /// `SetOf Rcd` — relations, repeated XML composite elements.
+    pub fn set_of_rcd() -> Self {
+        SchemaType::SetOf(Box::new(SchemaType::Rcd))
+    }
+
+    /// `SetOf Simple str` — repeated atomic elements.
+    pub fn set_of_simple_str() -> Self {
+        SchemaType::SetOf(Box::new(SchemaType::simple_str()))
+    }
+
+    /// Whether the outermost constructor is `SetOf` (multi-occurrence).
+    pub fn is_set(&self) -> bool {
+        matches!(self, SchemaType::SetOf(_))
+    }
+
+    /// Strip all `SetOf` wrappers and return the base type.
+    pub fn base(&self) -> &SchemaType {
+        match self {
+            SchemaType::SetOf(inner) => inner.base(),
+            other => other,
+        }
+    }
+
+    /// Whether the base type is atomic (`Simple`).
+    pub fn is_simple(&self) -> bool {
+        matches!(self.base(), SchemaType::Simple(_))
+    }
+
+    /// Whether the base type is a composite (`Rcd` or `Choice`), i.e. the
+    /// element may have structural children.
+    pub fn is_composite(&self) -> bool {
+        matches!(self.base(), SchemaType::Rcd | SchemaType::Choice)
+    }
+
+    /// The atomic type, if the base type is `Simple`.
+    pub fn atomic(&self) -> Option<AtomicType> {
+        match self.base() {
+            SchemaType::Simple(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Depth of `SetOf` nesting (0 for non-set types).
+    pub fn set_depth(&self) -> usize {
+        match self {
+            SchemaType::SetOf(inner) => 1 + inner.set_depth(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for SchemaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaType::Simple(a) => write!(f, "{a}"),
+            SchemaType::SetOf(inner) => write!(f, "SetOf {inner}"),
+            SchemaType::Rcd => f.write_str("Rcd"),
+            SchemaType::Choice => f.write_str("Choice"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_strips_nested_sets() {
+        let t = SchemaType::SetOf(Box::new(SchemaType::SetOf(Box::new(SchemaType::Rcd))));
+        assert_eq!(t.base(), &SchemaType::Rcd);
+        assert_eq!(t.set_depth(), 2);
+        assert!(t.is_set());
+        assert!(t.is_composite());
+        assert!(!t.is_simple());
+    }
+
+    #[test]
+    fn simple_helpers() {
+        assert!(SchemaType::simple_str().is_simple());
+        assert_eq!(SchemaType::simple_int().atomic(), Some(AtomicType::Int));
+        assert_eq!(SchemaType::rcd().atomic(), None);
+        assert!(!SchemaType::simple_id().is_composite());
+    }
+
+    #[test]
+    fn set_of_rcd_is_composite_set() {
+        let t = SchemaType::set_of_rcd();
+        assert!(t.is_set());
+        assert!(t.is_composite());
+        assert_eq!(t.set_depth(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SchemaType::set_of_rcd().to_string(), "SetOf Rcd");
+        assert_eq!(SchemaType::simple_idref().to_string(), "idref");
+        assert_eq!(SchemaType::choice().to_string(), "Choice");
+        assert_eq!(
+            SchemaType::SetOf(Box::new(SchemaType::simple_str())).to_string(),
+            "SetOf str"
+        );
+    }
+
+    #[test]
+    fn atomic_display() {
+        for (t, s) in [
+            (AtomicType::Str, "str"),
+            (AtomicType::Int, "int"),
+            (AtomicType::Float, "float"),
+            (AtomicType::Bool, "bool"),
+            (AtomicType::Date, "date"),
+            (AtomicType::Id, "id"),
+            (AtomicType::IdRef, "idref"),
+        ] {
+            assert_eq!(t.to_string(), s);
+        }
+    }
+}

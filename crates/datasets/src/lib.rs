@@ -1,0 +1,69 @@
+//! The paper's three evaluation datasets (Section 5.1, Table 1).
+//!
+//! | dataset | model | schema elements | data elements | queries |
+//! |---------|-------|-----------------|---------------|---------|
+//! | XMark   | XML   | ~327            | 1.57M (SF 1)  | 20      |
+//! | TPC-H   | relational | 70         | 12.55M (SF 0.1) | 22    |
+//! | MiMI    | XML   | 155             | 7.06M (Jan 06) | 52     |
+//!
+//! Each dataset module provides the schema graph, a closed-form cardinality
+//! profile at a given scale factor (the summarization algorithms observe
+//! the database only through [`schema_summary_core::SchemaStats`], so a
+//! count-faithful profile exercises exactly the same code paths as a
+//! materialized instance — see DESIGN.md §4), the paper's query workload as
+//! [`schema_summary_discovery::QueryIntention`]s, and, for XMark and MiMI,
+//! the expert-summary fixtures used by the Table 2 comparison.
+//!
+//! MiMI additionally ships three dated versions (Table 5's data-evolution
+//! experiment): April 2004, January 2005, and January 2006 ("Now"), with
+//! protein-domain data imported between the last two.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experts;
+pub mod mimi;
+pub mod profile;
+pub mod tpch;
+pub mod workloads;
+pub mod xmark;
+
+use schema_summary_core::{SchemaGraph, SchemaStats};
+use schema_summary_discovery::QueryIntention;
+
+/// A ready-to-summarize dataset: schema, statistics, and query workload.
+pub struct Dataset {
+    /// Short name (`"XMark"`, `"TPC-H"`, `"MiMI"`).
+    pub name: &'static str,
+    /// The schema graph.
+    pub graph: SchemaGraph,
+    /// Cardinality statistics at the configured scale.
+    pub stats: SchemaStats,
+    /// The paper's query workload as intentions.
+    pub queries: Vec<QueryIntention>,
+}
+
+impl Dataset {
+    /// Average query-intention size (Table 1's last row).
+    pub fn avg_intention_size(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.size()).sum::<usize>() as f64 / self.queries.len() as f64
+    }
+}
+
+/// XMark at the paper's scale factor 1.
+pub fn xmark() -> Dataset {
+    xmark::dataset(1.0)
+}
+
+/// TPC-H at the paper's scale factor 0.1.
+pub fn tpch() -> Dataset {
+    tpch::dataset(0.1)
+}
+
+/// MiMI at its current (January 2006) version.
+pub fn mimi() -> Dataset {
+    mimi::dataset(mimi::Version::Jan06)
+}

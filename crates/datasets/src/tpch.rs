@@ -1,0 +1,387 @@
+//! TPC-H: the relational decision-support benchmark (the paper's second
+//! evaluation dataset, at scale factor 0.1).
+//!
+//! The schema graph follows Section 2's relational mapping: an artificial
+//! root with structural links to the eight relation elements, one `Simple`
+//! child per column (61 columns — with the root and relations, exactly the
+//! 70 schema elements of Table 1), and one value link per foreign key.
+//! Row counts are the TPC-H specification's formulas, so "data elements"
+//! (rows plus non-null column values) land at Table 1's 12.55M for SF 0.1.
+
+use crate::profile::ProfileBuilder;
+use crate::Dataset;
+use schema_summary_core::{ElementId, SchemaGraph, SchemaStats, SchemaType};
+use schema_summary_discovery::QueryIntention;
+use std::collections::{BTreeSet, HashMap};
+
+/// The eight TPC-H tables with their columns, in specification order.
+pub const TABLES: [(&str, &[&str]); 8] = [
+    ("region", &["r_regionkey", "r_name", "r_comment"]),
+    ("nation", &["n_nationkey", "n_name", "n_regionkey", "n_comment"]),
+    (
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+    ),
+    (
+        "customer",
+        &[
+            "c_custkey",
+            "c_name",
+            "c_address",
+            "c_nationkey",
+            "c_phone",
+            "c_acctbal",
+            "c_mktsegment",
+            "c_comment",
+        ],
+    ),
+    (
+        "part",
+        &[
+            "p_partkey",
+            "p_name",
+            "p_mfgr",
+            "p_brand",
+            "p_type",
+            "p_size",
+            "p_container",
+            "p_retailprice",
+            "p_comment",
+        ],
+    ),
+    (
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+    ),
+    (
+        "orders",
+        &[
+            "o_orderkey",
+            "o_custkey",
+            "o_orderstatus",
+            "o_totalprice",
+            "o_orderdate",
+            "o_orderpriority",
+            "o_clerk",
+            "o_shippriority",
+            "o_comment",
+        ],
+    ),
+    (
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipinstruct",
+            "l_shipmode",
+            "l_comment",
+        ],
+    ),
+];
+
+/// Row count of each table at scale factor `sf`, per the TPC-H spec.
+pub fn row_count(table: &str, sf: f64) -> f64 {
+    match table {
+        "region" => 5.0,
+        "nation" => 25.0,
+        "supplier" => 10_000.0 * sf,
+        "customer" => 150_000.0 * sf,
+        "part" => 200_000.0 * sf,
+        "partsupp" => 800_000.0 * sf,
+        "orders" => 1_500_000.0 * sf,
+        "lineitem" => 6_000_000.0 * sf,
+        other => panic!("unknown TPC-H table {other}"),
+    }
+}
+
+/// Foreign keys as `(referrer table, referee table)` pairs.
+pub const FOREIGN_KEYS: [(&str, &str); 10] = [
+    ("nation", "region"),
+    ("supplier", "nation"),
+    ("customer", "nation"),
+    ("partsupp", "part"),
+    ("partsupp", "supplier"),
+    ("orders", "customer"),
+    ("lineitem", "orders"),
+    ("lineitem", "part"),
+    ("lineitem", "supplier"),
+    ("lineitem", "partsupp"),
+];
+
+/// Handles: relation and column elements by name.
+#[derive(Debug, Clone)]
+pub struct TpchHandles {
+    tables: HashMap<&'static str, ElementId>,
+    columns: HashMap<&'static str, ElementId>,
+}
+
+impl TpchHandles {
+    /// The relation element for `table`.
+    pub fn table(&self, table: &str) -> ElementId {
+        self.tables[table]
+    }
+
+    /// The column element for `column`.
+    pub fn column(&self, column: &str) -> ElementId {
+        self.columns[column]
+    }
+}
+
+/// Build the TPC-H schema and its cardinality profile at scale factor `sf`
+/// (the paper uses 0.1).
+pub fn schema(sf: f64) -> (SchemaGraph, SchemaStats, TpchHandles) {
+    let mut p = ProfileBuilder::new("tpch");
+    let mut tables = HashMap::new();
+    let mut columns = HashMap::new();
+    for (tname, cols) in TABLES {
+        let rows = row_count(tname, sf);
+        let table = p.child(p.root(), tname, SchemaType::set_of_rcd(), rows);
+        tables.insert(tname, table);
+        for &c in cols {
+            let ty = if c.ends_with("key") {
+                SchemaType::simple_id()
+            } else {
+                SchemaType::simple_str()
+            };
+            // TPC-H columns are never null: one value per row.
+            let col = p.child(table, c, ty, 1.0);
+            columns.insert(c, col);
+        }
+    }
+    for (from, to) in FOREIGN_KEYS {
+        // Every referrer row carries exactly one reference (lineitem's
+        // compound FK to partsupp decomposes to one reference as well).
+        p.vlink(tables[from], tables[to], 1.0);
+    }
+    let (graph, stats) = p.finish();
+    (graph, stats, TpchHandles { tables, columns })
+}
+
+/// The 22-query TPC-H workload as query intentions: each query's referenced
+/// tables and columns (reverse-engineered from the specification queries,
+/// as the paper does in Section 5.4).
+pub fn queries(handles: &TpchHandles) -> Vec<QueryIntention> {
+    let refs: [(&str, &[&str]); 22] = [
+        // Q1 pricing summary report
+        ("q01", &["lineitem", "l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate"]),
+        // Q2 minimum cost supplier
+        ("q02", &["part", "supplier", "partsupp", "nation", "region", "ps_partkey", "ps_suppkey", "s_suppkey", "s_nationkey", "n_nationkey", "n_regionkey", "r_regionkey", "p_partkey", "p_mfgr", "p_size", "p_type", "s_acctbal", "s_name", "s_address", "s_phone", "s_comment", "ps_supplycost", "n_name", "r_name"]),
+        // Q3 shipping priority
+        ("q03", &["customer", "orders", "lineitem", "c_custkey", "o_custkey", "o_orderkey", "l_orderkey", "c_mktsegment", "o_orderdate", "o_shippriority", "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"]),
+        // Q4 order priority checking
+        ("q04", &["orders", "lineitem", "o_orderkey", "l_orderkey", "o_orderdate", "o_orderpriority", "l_commitdate", "l_receiptdate"]),
+        // Q5 local supplier volume
+        ("q05", &["customer", "orders", "lineitem", "supplier", "nation", "region", "c_custkey", "o_custkey", "o_orderkey", "l_orderkey", "l_suppkey", "s_suppkey", "c_nationkey", "s_nationkey", "n_nationkey", "n_regionkey", "r_regionkey", "n_name", "r_name", "o_orderdate", "l_extendedprice", "l_discount"]),
+        // Q6 forecasting revenue change
+        ("q06", &["lineitem", "l_shipdate", "l_quantity", "l_extendedprice", "l_discount"]),
+        // Q7 volume shipping
+        ("q07", &["supplier", "lineitem", "orders", "customer", "nation", "s_suppkey", "l_suppkey", "o_orderkey", "l_orderkey", "c_custkey", "o_custkey", "s_nationkey", "c_nationkey", "n_nationkey", "n_name", "l_shipdate", "l_extendedprice", "l_discount"]),
+        // Q8 national market share
+        ("q08", &["part", "supplier", "lineitem", "orders", "customer", "nation", "region", "p_partkey", "l_partkey", "s_suppkey", "l_suppkey", "l_orderkey", "o_orderkey", "o_custkey", "c_custkey", "c_nationkey", "n_nationkey", "n_regionkey", "r_regionkey", "p_type", "r_name", "o_orderdate", "l_extendedprice", "l_discount", "n_name"]),
+        // Q9 product type profit measure
+        ("q09", &["part", "supplier", "lineitem", "partsupp", "orders", "nation", "p_partkey", "l_partkey", "s_suppkey", "l_suppkey", "ps_partkey", "ps_suppkey", "o_orderkey", "l_orderkey", "s_nationkey", "n_nationkey", "p_name", "n_name", "o_orderdate", "l_extendedprice", "l_discount", "ps_supplycost", "l_quantity"]),
+        // Q10 returned item reporting
+        ("q10", &["customer", "orders", "lineitem", "nation", "o_custkey", "o_orderkey", "l_orderkey", "c_nationkey", "n_nationkey", "c_custkey", "c_name", "c_acctbal", "c_address", "c_phone", "c_comment", "n_name", "l_returnflag", "o_orderdate", "l_extendedprice", "l_discount"]),
+        // Q11 important stock identification
+        ("q11", &["partsupp", "supplier", "nation", "ps_suppkey", "s_suppkey", "s_nationkey", "n_nationkey", "ps_partkey", "ps_supplycost", "ps_availqty", "n_name"]),
+        // Q12 shipping modes and order priority
+        ("q12", &["orders", "lineitem", "o_orderkey", "l_orderkey", "l_shipmode", "o_orderpriority", "l_commitdate", "l_receiptdate", "l_shipdate"]),
+        // Q13 customer distribution
+        ("q13", &["customer", "orders", "c_custkey", "o_custkey", "o_comment"]),
+        // Q14 promotion effect
+        ("q14", &["lineitem", "part", "l_partkey", "p_partkey", "p_type", "l_shipdate", "l_extendedprice", "l_discount"]),
+        // Q15 top supplier
+        ("q15", &["supplier", "lineitem", "l_suppkey", "s_suppkey", "s_name", "s_address", "s_phone", "l_shipdate", "l_extendedprice", "l_discount"]),
+        // Q16 parts/supplier relationship
+        ("q16", &["partsupp", "part", "supplier", "ps_partkey", "p_partkey", "s_suppkey", "p_brand", "p_type", "p_size", "ps_suppkey", "s_comment"]),
+        // Q17 small-quantity-order revenue
+        ("q17", &["lineitem", "part", "l_partkey", "p_partkey", "p_brand", "p_container", "l_quantity", "l_extendedprice"]),
+        // Q18 large volume customer
+        ("q18", &["customer", "orders", "lineitem", "o_custkey", "l_orderkey", "c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "l_quantity"]),
+        // Q19 discounted revenue
+        ("q19", &["lineitem", "part", "l_partkey", "p_partkey", "p_brand", "p_container", "p_size", "l_quantity", "l_shipmode", "l_shipinstruct", "l_extendedprice", "l_discount"]),
+        // Q20 potential part promotion
+        ("q20", &["supplier", "nation", "partsupp", "part", "ps_suppkey", "s_suppkey", "ps_partkey", "p_partkey", "s_nationkey", "n_nationkey", "s_name", "s_address", "n_name", "p_name", "ps_availqty", "l_quantity"]),
+        // Q21 suppliers who kept orders waiting
+        ("q21", &["supplier", "lineitem", "orders", "nation", "s_suppkey", "l_suppkey", "l_orderkey", "o_orderkey", "s_nationkey", "n_nationkey", "s_name", "o_orderstatus", "l_receiptdate", "l_commitdate", "n_name"]),
+        // Q22 global sales opportunity
+        ("q22", &["customer", "orders", "c_custkey", "c_phone", "c_acctbal", "o_custkey"]),
+    ];
+    refs.iter()
+        .map(|&(name, elements)| QueryIntention {
+            name: format!("tpch-{name}"),
+            targets: elements
+                .iter()
+                .map(|&r| {
+                    let e = if TABLES.iter().any(|&(t, _)| t == r) {
+                        handles.table(r)
+                    } else {
+                        handles.column(r)
+                    };
+                    BTreeSet::from([e])
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Materialize a small TPC-H instance as a data tree: spec-proportional
+/// row counts at `sf` (use a tiny factor, e.g. 0.0005), uniform foreign-key
+/// distribution, no NULLs — mirroring `dbgen`'s structural properties.
+/// Useful for exercising the full `annotateSchema` path on relational data.
+pub fn materialize(sf: f64, seed: u64) -> schema_summary_instance::DataTree {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use schema_summary_instance::relational::{ForeignKey, RelationalInstance, Row, Table};
+
+    let (graph, _, handles) = schema(sf);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance = RelationalInstance::new();
+    let rows_of = |t: &str| row_count(t, sf).round().max(1.0) as u64;
+    for (tname, cols) in TABLES {
+        let table_el = handles.table(tname);
+        let col_els: Vec<_> = cols.iter().map(|&c| handles.column(c)).collect();
+        let fk_specs: Vec<(&str, u64)> = FOREIGN_KEYS
+            .iter()
+            .filter(|&&(f, _)| f == tname)
+            .map(|&(_, to)| (to, rows_of(to)))
+            .collect();
+        let rows = (0..rows_of(tname))
+            .map(|key| Row {
+                key,
+                columns: col_els.clone(),
+                fks: fk_specs
+                    .iter()
+                    .map(|&(to, n)| ForeignKey {
+                        to_table: handles.table(to),
+                        key: rng.random_range(0..n),
+                    })
+                    .collect(),
+            })
+            .collect();
+        instance = instance.with_table(Table { element: table_el, rows });
+    }
+    instance
+        .to_data_tree(&graph)
+        .expect("spec-proportional instance is well-formed")
+}
+
+/// The full TPC-H dataset at scale factor `sf`.
+pub fn dataset(sf: f64) -> Dataset {
+    let (graph, stats, handles) = schema(sf);
+    let queries = queries(&handles);
+    Dataset {
+        name: "TPC-H",
+        graph,
+        stats,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_seventy_schema_elements() {
+        let (g, _, _) = schema(0.1);
+        // Table 1: 70 schema elements (root + 8 relations + 61 columns).
+        assert_eq!(g.len(), 70);
+        assert_eq!(g.num_value_links(), 10);
+    }
+
+    #[test]
+    fn data_volume_matches_table1() {
+        let (_, s, _) = schema(0.1);
+        // Table 1: 12,550k data elements at SF 0.1.
+        let total = s.total_card();
+        assert!(
+            (12_000_000.0..=13_000_000.0).contains(&total),
+            "total = {total}"
+        );
+    }
+
+    #[test]
+    fn workload_shape_matches_table1() {
+        let d = dataset(0.1);
+        assert_eq!(d.queries.len(), 22);
+        let avg = d.avg_intention_size();
+        // Table 1: 13.4 average intention size. Ours is reverse-engineered
+        // the same way; accept a tolerance.
+        assert!((8.0..=15.0).contains(&avg), "avg = {avg}");
+    }
+
+    #[test]
+    fn fk_relative_cardinalities() {
+        let (_, s, h) = schema(0.1);
+        // Each order belongs to one customer; each customer has ~10 orders
+        // (1.5M / 150k at any SF).
+        assert!((s.rc(h.table("orders"), h.table("customer")) - 1.0).abs() < 1e-9);
+        assert!((s.rc(h.table("customer"), h.table("orders")) - 10.0).abs() < 0.1);
+        // Each lineitem references one order; ~4 lineitems per order.
+        assert!((s.rc(h.table("orders"), h.table("lineitem")) - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lineitem_dominates_volume() {
+        let (g, s, h) = schema(0.1);
+        let li = h.table("lineitem");
+        for e in g.element_ids() {
+            if e != li && g.parent(e) != Some(li) {
+                assert!(s.card(li) >= s.card(e));
+            }
+        }
+    }
+
+    #[test]
+    fn queries_reference_valid_elements() {
+        let (g, _, h) = schema(0.1);
+        for q in queries(&h) {
+            for group in &q.targets {
+                assert_eq!(group.len(), 1);
+                for &e in group {
+                    g.check(e).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_instance_annotates_to_spec_ratios() {
+        use schema_summary_instance::{annotate_schema, check_conformance};
+        let sf = 0.0004;
+        let (g, profile, h) = schema(sf);
+        let tree = materialize(sf, 11);
+        assert!(check_conformance(&g, &tree).is_empty());
+        let measured = annotate_schema(&g, &tree).unwrap();
+        // Row counts match the profile exactly (both round the spec).
+        for (t, _) in TABLES {
+            assert!(
+                (measured.card(h.table(t)) - profile.card(h.table(t))).abs() < 1.5,
+                "{t}: measured {} vs profile {}",
+                measured.card(h.table(t)),
+                profile.card(h.table(t))
+            );
+        }
+        // FK ratios approximate the spec (uniform assignment).
+        let rc = measured.rc(h.table("orders"), h.table("lineitem"));
+        assert!((rc - 4.0).abs() < 0.6, "lineitems per order: {rc}");
+    }
+
+    #[test]
+    fn columns_are_never_null() {
+        let (_, s, h) = schema(0.1);
+        assert!((s.rc(h.table("lineitem"), h.column("l_comment")) - 1.0).abs() < 1e-9);
+    }
+}

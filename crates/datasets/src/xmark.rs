@@ -1,0 +1,557 @@
+//! XMark: the XML auction benchmark (Schmidt et al., used as the paper's
+//! running example and first evaluation dataset).
+//!
+//! The schema graph is derived from the XMark DTD. Because structural links
+//! form a tree, the `item` subtree is instantiated once under each of the
+//! six region elements, exactly as a DTD-to-schema-graph conversion
+//! produces (the paper's 327-element count likewise reflects per-context
+//! duplication; ours lands at a comparable size — the small difference
+//! comes from where the DTD's recursive `parlist`/`text` content models are
+//! cut off, see EXPERIMENTS.md).
+//!
+//! Cardinalities follow `xmlgen`'s proportions at a configurable scale
+//! factor: 25 500 persons, 21 750 items split unevenly across regions,
+//! 12 000 open and 9 750 closed auctions, ~4 bidders per open auction, and
+//! heavy markup (`text`/`keyword`/`bold`/`emph`) content — the skew that
+//! makes purely data-driven summarization fail (Figure 9).
+
+use crate::profile::ProfileBuilder;
+use crate::Dataset;
+use schema_summary_core::{ElementId, SchemaGraph, SchemaStats, SchemaType};
+use schema_summary_discovery::QueryIntention;
+use std::collections::BTreeSet;
+
+/// The six XMark regions with their share of the item population.
+pub const REGIONS: [(&str, f64); 6] = [
+    ("africa", 0.0253),
+    ("asia", 0.10),
+    ("australia", 0.10),
+    ("europe", 0.30),
+    ("namerica", 0.4298),
+    ("samerica", 0.0449),
+];
+
+/// Total items at scale factor 1 (xmlgen).
+const ITEMS_SF1: f64 = 21_750.0;
+/// Persons at scale factor 1 (xmlgen).
+const PERSONS_SF1: f64 = 25_500.0;
+/// Open auctions at scale factor 1 (xmlgen).
+const OPEN_AUCTIONS_SF1: f64 = 12_000.0;
+/// Closed auctions at scale factor 1 (xmlgen).
+const CLOSED_AUCTIONS_SF1: f64 = 9_750.0;
+/// Categories at scale factor 1 (xmlgen).
+const CATEGORIES_SF1: f64 = 1_000.0;
+
+/// Element handles for query construction and tests.
+#[derive(Debug, Clone)]
+pub struct XmarkHandles {
+    /// `site/people/person`.
+    pub person: ElementId,
+    /// `person/@id`.
+    pub person_id: ElementId,
+    /// `person/name`.
+    pub person_name: ElementId,
+    /// `person/emailaddress`.
+    pub emailaddress: ElementId,
+    /// `person/phone`.
+    pub phone: ElementId,
+    /// `person/homepage`.
+    pub homepage: ElementId,
+    /// `person/profile`.
+    pub profile: ElementId,
+    /// `profile/@income`.
+    pub income: ElementId,
+    /// `profile/interest`.
+    pub interest: ElementId,
+    /// `interest/@category`.
+    pub interest_category: ElementId,
+    /// `profile/education`.
+    pub education: ElementId,
+    /// `person/watches/watch`.
+    pub watch: ElementId,
+    /// `site/open_auctions/open_auction`.
+    pub open_auction: ElementId,
+    /// `open_auction/initial`.
+    pub initial: ElementId,
+    /// `open_auction/reserve`.
+    pub reserve: ElementId,
+    /// `open_auction/current`.
+    pub current: ElementId,
+    /// `open_auction/bidder`.
+    pub bidder: ElementId,
+    /// `bidder/increase`.
+    pub increase: ElementId,
+    /// `open_auction/seller`.
+    pub seller_open: ElementId,
+    /// `open_auction/itemref`.
+    pub itemref_open: ElementId,
+    /// `open_auction/interval`.
+    pub interval: ElementId,
+    /// `interval/end`.
+    pub interval_end: ElementId,
+    /// `site/closed_auctions/closed_auction`.
+    pub closed_auction: ElementId,
+    /// `closed_auction/price`.
+    pub price: ElementId,
+    /// `closed_auction/buyer`.
+    pub buyer: ElementId,
+    /// `closed_auction/seller`.
+    pub seller_closed: ElementId,
+    /// `site/categories/category`.
+    pub category: ElementId,
+    /// `category/name`.
+    pub category_name: ElementId,
+    /// Per-region `item` elements, in [`REGIONS`] order.
+    pub items: Vec<ElementId>,
+    /// Per-region `item/name`.
+    pub item_names: Vec<ElementId>,
+    /// Per-region `item/location`.
+    pub item_locations: Vec<ElementId>,
+    /// Per-region `item/quantity`.
+    pub item_quantities: Vec<ElementId>,
+    /// Per-region `item/description`.
+    pub item_descriptions: Vec<ElementId>,
+}
+
+/// Build the XMark schema and its cardinality profile at `scale`
+/// (the paper uses scale factor 1).
+pub fn schema(scale: f64) -> (SchemaGraph, SchemaStats, XmarkHandles) {
+    let mut p = ProfileBuilder::new("site");
+    let site = p.root();
+
+    // -- categories -------------------------------------------------------
+    let categories = p.child(site, "categories", SchemaType::rcd(), 1.0);
+    let category = p.child(
+        categories,
+        "category",
+        SchemaType::set_of_rcd(),
+        CATEGORIES_SF1 * scale,
+    );
+    let category_id = p.child(category, "@id", SchemaType::simple_id(), 1.0);
+    let category_name = p.child(category, "name", SchemaType::simple_str(), 1.0);
+    description(&mut p, category, 1.0);
+    let _ = category_id;
+
+    // -- catgraph ----------------------------------------------------------
+    let catgraph = p.child(site, "catgraph", SchemaType::rcd(), 1.0);
+    let edge = p.child(catgraph, "edge", SchemaType::set_of_rcd(), CATEGORIES_SF1 * scale);
+    p.child(edge, "@from", SchemaType::simple_idref(), 1.0);
+    p.child(edge, "@to", SchemaType::simple_idref(), 1.0);
+    // @from and @to both reference categories: two references per edge,
+    // consolidated onto one value link (n-ary links are decomposed and
+    // parallel RCs aggregate, Section 2).
+    p.vlink(edge, category, 2.0);
+
+    // -- regions ------------------------------------------------------------
+    let regions = p.child(site, "regions", SchemaType::rcd(), 1.0);
+    let mut items = Vec::new();
+    let mut item_names = Vec::new();
+    let mut item_locations = Vec::new();
+    let mut item_quantities = Vec::new();
+    let mut item_descriptions = Vec::new();
+    for &(name, share) in REGIONS.iter() {
+        let region = p.child(regions, name, SchemaType::rcd(), 1.0);
+        let item = p.child(
+            region,
+            "item",
+            SchemaType::set_of_rcd(),
+            ITEMS_SF1 * scale * share,
+        );
+        p.child(item, "@id", SchemaType::simple_id(), 1.0);
+        p.child(item, "@featured", SchemaType::simple_str(), 0.1);
+        let location = p.child(item, "location", SchemaType::simple_str(), 1.0);
+        let quantity = p.child(item, "quantity", SchemaType::simple_int(), 1.0);
+        let iname = p.child(item, "name", SchemaType::simple_str(), 1.0);
+        let payment = p.child(item, "payment", SchemaType::simple_str(), 1.0);
+        let desc = description(&mut p, item, 1.0);
+        let shipping = p.child(item, "shipping", SchemaType::simple_str(), 1.0);
+        let incategory = p.child(item, "incategory", SchemaType::set_of_rcd(), 1.8);
+        p.child(incategory, "@category", SchemaType::simple_idref(), 1.0);
+        p.vlink(incategory, category, 1.0);
+        let mailbox = p.child(item, "mailbox", SchemaType::rcd(), 1.0);
+        let mail = p.child(mailbox, "mail", SchemaType::set_of_rcd(), 1.0);
+        p.child(mail, "from", SchemaType::simple_str(), 1.0);
+        p.child(mail, "to", SchemaType::simple_str(), 1.0);
+        p.child(mail, "date", SchemaType::simple_str(), 1.0);
+        text(&mut p, mail, 1.0);
+        let _ = (payment, shipping);
+        items.push(item);
+        item_names.push(iname);
+        item_locations.push(location);
+        item_quantities.push(quantity);
+        item_descriptions.push(desc);
+    }
+
+    // -- people --------------------------------------------------------------
+    let people = p.child(site, "people", SchemaType::rcd(), 1.0);
+    let person = p.child(people, "person", SchemaType::set_of_rcd(), PERSONS_SF1 * scale);
+    let person_id = p.child(person, "@id", SchemaType::simple_id(), 1.0);
+    let person_name = p.child(person, "name", SchemaType::simple_str(), 1.0);
+    let emailaddress = p.child(person, "emailaddress", SchemaType::simple_str(), 0.8);
+    let phone = p.child(person, "phone", SchemaType::simple_str(), 0.5);
+    let address = p.child(person, "address", SchemaType::rcd(), 0.6);
+    p.child(address, "street", SchemaType::simple_str(), 1.0);
+    p.child(address, "city", SchemaType::simple_str(), 1.0);
+    p.child(address, "country", SchemaType::simple_str(), 1.0);
+    p.child(address, "province", SchemaType::simple_str(), 0.25);
+    p.child(address, "zipcode", SchemaType::simple_str(), 1.0);
+    let homepage = p.child(person, "homepage", SchemaType::simple_str(), 0.5);
+    p.child(person, "creditcard", SchemaType::simple_str(), 0.5);
+    let profile = p.child(person, "profile", SchemaType::rcd(), 0.6);
+    let income = p.child(profile, "@income", SchemaType::simple_str(), 1.0);
+    let interest = p.child(profile, "interest", SchemaType::set_of_rcd(), 2.0);
+    let interest_category = p.child(interest, "@category", SchemaType::simple_idref(), 1.0);
+    p.vlink(interest, category, 1.0);
+    let education = p.child(profile, "education", SchemaType::simple_str(), 0.4);
+    p.child(profile, "gender", SchemaType::simple_str(), 0.5);
+    p.child(profile, "business", SchemaType::simple_str(), 1.0);
+    p.child(profile, "age", SchemaType::simple_int(), 0.4);
+    let watches = p.child(person, "watches", SchemaType::rcd(), 0.5);
+    let watch = p.child(watches, "watch", SchemaType::set_of_rcd(), 3.0);
+    p.child(watch, "@open_auction", SchemaType::simple_idref(), 1.0);
+
+    // -- open auctions ---------------------------------------------------------
+    let open_auctions = p.child(site, "open_auctions", SchemaType::rcd(), 1.0);
+    let open_auction = p.child(
+        open_auctions,
+        "open_auction",
+        SchemaType::set_of_rcd(),
+        OPEN_AUCTIONS_SF1 * scale,
+    );
+    p.child(open_auction, "@id", SchemaType::simple_id(), 1.0);
+    let initial = p.child(open_auction, "initial", SchemaType::simple_float(), 1.0);
+    let reserve = p.child(open_auction, "reserve", SchemaType::simple_float(), 0.5);
+    let bidder = p.child(open_auction, "bidder", SchemaType::set_of_rcd(), 4.0);
+    p.child(bidder, "date", SchemaType::simple_str(), 1.0);
+    p.child(bidder, "time", SchemaType::simple_str(), 1.0);
+    let increase = p.child(bidder, "increase", SchemaType::simple_float(), 1.0);
+    p.child(bidder, "@person", SchemaType::simple_idref(), 1.0);
+    p.vlink(bidder, person, 1.0);
+    let current = p.child(open_auction, "current", SchemaType::simple_float(), 1.0);
+    p.child(open_auction, "privacy", SchemaType::simple_str(), 0.3);
+    let itemref_open = p.child(open_auction, "itemref", SchemaType::rcd(), 1.0);
+    p.child(itemref_open, "@item", SchemaType::simple_idref(), 1.0);
+    for (i, &(_, share)) in REGIONS.iter().enumerate() {
+        p.vlink(itemref_open, items[i], share);
+    }
+    let seller_open = p.child(open_auction, "seller", SchemaType::rcd(), 1.0);
+    p.child(seller_open, "@person", SchemaType::simple_idref(), 1.0);
+    p.vlink(seller_open, person, 1.0);
+    annotation(&mut p, open_auction, 0.6, person);
+    p.child(open_auction, "quantity", SchemaType::simple_int(), 1.0);
+    p.child(open_auction, "type", SchemaType::simple_str(), 1.0);
+    let interval = p.child(open_auction, "interval", SchemaType::rcd(), 1.0);
+    p.child(interval, "start", SchemaType::simple_str(), 1.0);
+    let interval_end = p.child(interval, "end", SchemaType::simple_str(), 1.0);
+    p.vlink(watch, open_auction, 1.0);
+
+    // -- closed auctions --------------------------------------------------------
+    let closed_auctions = p.child(site, "closed_auctions", SchemaType::rcd(), 1.0);
+    let closed_auction = p.child(
+        closed_auctions,
+        "closed_auction",
+        SchemaType::set_of_rcd(),
+        CLOSED_AUCTIONS_SF1 * scale,
+    );
+    let seller_closed = p.child(closed_auction, "seller", SchemaType::rcd(), 1.0);
+    p.child(seller_closed, "@person", SchemaType::simple_idref(), 1.0);
+    p.vlink(seller_closed, person, 1.0);
+    let buyer = p.child(closed_auction, "buyer", SchemaType::rcd(), 1.0);
+    p.child(buyer, "@person", SchemaType::simple_idref(), 1.0);
+    p.vlink(buyer, person, 1.0);
+    let itemref_closed = p.child(closed_auction, "itemref", SchemaType::rcd(), 1.0);
+    p.child(itemref_closed, "@item", SchemaType::simple_idref(), 1.0);
+    for (i, &(_, share)) in REGIONS.iter().enumerate() {
+        p.vlink(itemref_closed, items[i], share);
+    }
+    let price = p.child(closed_auction, "price", SchemaType::simple_float(), 1.0);
+    p.child(closed_auction, "date", SchemaType::simple_str(), 1.0);
+    p.child(closed_auction, "quantity", SchemaType::simple_int(), 1.0);
+    p.child(closed_auction, "type", SchemaType::simple_str(), 1.0);
+    annotation(&mut p, closed_auction, 0.6, person);
+
+    let (graph, stats) = p.finish();
+    let handles = XmarkHandles {
+        person,
+        person_id,
+        person_name,
+        emailaddress,
+        phone,
+        homepage,
+        profile,
+        income,
+        interest,
+        interest_category,
+        education,
+        watch,
+        open_auction,
+        initial,
+        reserve,
+        current,
+        bidder,
+        increase,
+        seller_open,
+        itemref_open,
+        interval,
+        interval_end,
+        closed_auction,
+        price,
+        buyer,
+        seller_closed,
+        category,
+        category_name,
+        items,
+        item_names,
+        item_locations,
+        item_quantities,
+        item_descriptions,
+    };
+    (graph, stats, handles)
+}
+
+/// The DTD's `text` content model (`(#PCDATA | bold | keyword | emph)*`),
+/// cut at one level of markup nesting.
+fn text(p: &mut ProfileBuilder, parent: ElementId, per_parent: f64) -> ElementId {
+    let t = p.child(parent, "text", SchemaType::set_of_rcd(), per_parent);
+    p.child(t, "bold", SchemaType::simple_str(), 0.8);
+    p.child(t, "keyword", SchemaType::simple_str(), 1.2);
+    p.child(t, "emph", SchemaType::simple_str(), 0.7);
+    t
+}
+
+/// The DTD's `description` model (`(text | parlist)`), with `parlist`
+/// recursion cut after one `listitem` level.
+fn description(p: &mut ProfileBuilder, parent: ElementId, per_parent: f64) -> ElementId {
+    let d = p.child(parent, "description", SchemaType::choice(), per_parent);
+    text(p, d, 0.7);
+    let parlist = p.child(d, "parlist", SchemaType::rcd(), 0.3);
+    let listitem = p.child(parlist, "listitem", SchemaType::set_of_rcd(), 2.0);
+    text(p, listitem, 1.0);
+    d
+}
+
+/// The DTD's `annotation` model (`(author, description?, happiness)`).
+fn annotation(p: &mut ProfileBuilder, parent: ElementId, per_parent: f64, person: ElementId) {
+    let a = p.child(parent, "annotation", SchemaType::rcd(), per_parent);
+    let author = p.child(a, "author", SchemaType::rcd(), 1.0);
+    p.child(author, "@person", SchemaType::simple_idref(), 1.0);
+    p.vlink(author, person, 1.0);
+    description(p, a, 1.0);
+    p.child(a, "happiness", SchemaType::simple_int(), 1.0);
+}
+
+/// The 20-query XMark workload expressed as query intentions. Queries that
+/// target the per-region `item` subtrees use disjunctive groups ("any
+/// region's item"), matching a user who does not care which region an item
+/// lives in.
+pub fn queries(handles: &XmarkHandles) -> Vec<QueryIntention> {
+    let h = handles;
+    let one = |e: ElementId| BTreeSet::from([e]);
+    let group = |v: &[ElementId]| v.iter().copied().collect::<BTreeSet<_>>();
+    let q = |name: &str, targets: Vec<BTreeSet<ElementId>>| QueryIntention {
+        name: name.to_string(),
+        targets,
+    };
+    vec![
+        // Q1: name of the person with a given id.
+        q("xmark-q01", vec![one(h.person), one(h.person_id), one(h.person_name)]),
+        // Q2: initial increases of all open auctions.
+        q("xmark-q02", vec![one(h.open_auction), one(h.bidder), one(h.increase)]),
+        // Q3: auctions whose first bid doubled the initial price.
+        q(
+            "xmark-q03",
+            vec![one(h.open_auction), one(h.bidder), one(h.increase), one(h.initial)],
+        ),
+        // Q4: bidder ordering within an auction.
+        q("xmark-q04", vec![one(h.open_auction), one(h.bidder), one(h.person)]),
+        // Q5: sold items with price over threshold.
+        q("xmark-q05", vec![one(h.closed_auction), one(h.price)]),
+        // Q6: items per region.
+        q("xmark-q06", vec![group(&h.items)]),
+        // Q7: amount of prose (descriptions, mails, annotations).
+        q(
+            "xmark-q07",
+            vec![group(&h.item_descriptions), one(h.closed_auction)],
+        ),
+        // Q8: purchases per buyer.
+        q("xmark-q08", vec![one(h.person), one(h.buyer), one(h.closed_auction)]),
+        // Q9: purchased items per buyer.
+        q(
+            "xmark-q09",
+            vec![one(h.person), one(h.buyer), one(h.closed_auction), group(&h.items)],
+        ),
+        // Q10: person profiles grouped by interest category.
+        q(
+            "xmark-q10",
+            vec![
+                one(h.person),
+                one(h.interest),
+                one(h.interest_category),
+                one(h.education),
+                one(h.income),
+            ],
+        ),
+        // Q11: auctions a person can afford (income vs initial).
+        q(
+            "xmark-q11",
+            vec![one(h.person), one(h.income), one(h.open_auction), one(h.initial)],
+        ),
+        // Q12: as Q11 with reserve prices.
+        q(
+            "xmark-q12",
+            vec![one(h.person), one(h.income), one(h.open_auction), one(h.reserve)],
+        ),
+        // Q13: item names and descriptions in one region.
+        q(
+            "xmark-q13",
+            vec![one(h.items[4]), one(h.item_names[4]), one(h.item_descriptions[4])],
+        ),
+        // Q14: items whose description mentions a keyword.
+        q(
+            "xmark-q14",
+            vec![group(&h.items), group(&h.item_names), group(&h.item_descriptions)],
+        ),
+        // Q15: deeply nested annotation prose in closed auctions.
+        q(
+            "xmark-q15",
+            vec![one(h.closed_auction), one(h.seller_closed), one(h.price)],
+        ),
+        // Q16: sellers of auctions with deep annotations.
+        q(
+            "xmark-q16",
+            vec![one(h.closed_auction), one(h.seller_closed), one(h.person), one(h.person_id)],
+        ),
+        // Q17: persons without homepages.
+        q("xmark-q17", vec![one(h.person), one(h.person_name), one(h.homepage)]),
+        // Q18: user-defined conversion of reserve prices.
+        q("xmark-q18", vec![one(h.open_auction), one(h.reserve)]),
+        // Q19: item listing with location ordering.
+        q(
+            "xmark-q19",
+            vec![group(&h.items), group(&h.item_locations), group(&h.item_names), group(&h.item_quantities)],
+        ),
+        // Q20: income distribution of people.
+        q("xmark-q20", vec![one(h.person), one(h.profile), one(h.income)]),
+    ]
+}
+
+/// The full XMark dataset at `scale`.
+pub fn dataset(scale: f64) -> Dataset {
+    let (graph, stats, handles) = schema(scale);
+    let queries = queries(&handles);
+    Dataset {
+        name: "XMark",
+        graph,
+        stats,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_size_is_paper_scale() {
+        let (g, _, _) = schema(1.0);
+        // The paper reports 327 elements; the exact number depends on where
+        // the DTD's recursive content models are cut. We require the same
+        // order of size.
+        assert!(
+            (260..=360).contains(&g.len()),
+            "XMark schema has {} elements",
+            g.len()
+        );
+    }
+
+    #[test]
+    fn data_volume_matches_table1() {
+        let (_, s, _) = schema(1.0);
+        // Table 1: 1,573k data elements at SF 1. Accept ±15%.
+        let total = s.total_card();
+        assert!(
+            (1_340_000.0..=1_810_000.0).contains(&total),
+            "total data elements = {total}"
+        );
+    }
+
+    #[test]
+    fn scale_factor_scales_volume() {
+        let (_, s1, _) = schema(1.0);
+        let (_, s01, _) = schema(0.1);
+        let ratio = s1.total_card() / s01.total_card();
+        assert!((8.0..=12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_shape_matches_table1() {
+        let d = dataset(1.0);
+        assert_eq!(d.queries.len(), 20);
+        let avg = d.avg_intention_size();
+        // Table 1: 3.65 average intention size.
+        assert!((3.0..=4.3).contains(&avg), "avg intention size {avg}");
+    }
+
+    #[test]
+    fn key_relative_cardinalities() {
+        let (_, s, h) = schema(1.0);
+        // ~4 bidders per open auction, each bidder tied to one auction.
+        assert!((s.rc(h.open_auction, h.bidder) - 4.0).abs() < 0.05);
+        assert!((s.rc(h.bidder, h.open_auction) - 1.0).abs() < 1e-9);
+        // Each bidder references one person; persons receive many bids.
+        assert!((s.rc(h.bidder, h.person) - 1.0).abs() < 1e-9);
+        assert!(s.rc(h.person, h.bidder) > 1.0);
+    }
+
+    #[test]
+    fn items_split_across_regions() {
+        let (_, s, h) = schema(1.0);
+        let total: f64 = h.items.iter().map(|&i| s.card(i)).sum();
+        assert!((total - 21_750.0).abs() < 10.0, "items total {total}");
+        // namerica is the largest region.
+        let namerica = s.card(h.items[4]);
+        for (i, &item) in h.items.iter().enumerate() {
+            if i != 4 {
+                assert!(s.card(item) <= namerica);
+            }
+        }
+    }
+
+    #[test]
+    fn itemref_links_resolve_by_share() {
+        let (_, s, h) = schema(1.0);
+        // Each open-auction itemref references exactly one item overall.
+        let total: f64 = h.items.iter().map(|&i| s.rc(h.itemref_open, i)).sum();
+        assert!((total - 1.0).abs() < 0.01, "itemref out-RC sums to {total}");
+    }
+
+    #[test]
+    fn queries_are_well_formed() {
+        let (g, _, h) = schema(1.0);
+        for q in queries(&h) {
+            assert!(!q.targets.is_empty(), "{}", q.name);
+            for group in &q.targets {
+                for &e in group {
+                    g.check(e).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn markup_dominates_raw_cardinality() {
+        // The Figure 9 precondition: among the highest-cardinality elements
+        // there must be markup/leaf noise, so data-only summaries go wrong.
+        let (g, s, h) = schema(1.0);
+        let mut by_card: Vec<ElementId> = g.element_ids().collect();
+        by_card.sort_by(|&a, &b| s.card(b).partial_cmp(&s.card(a)).unwrap());
+        let top10: Vec<&str> = by_card[..10].iter().map(|&e| g.label(e)).collect();
+        // person should NOT be the single top element; noise like bidder
+        // fields / keyword / watch floods the top.
+        assert!(
+            top10.iter().filter(|l| ["keyword", "date", "time", "increase", "@person", "watch", "@open_auction", "bold", "emph", "text"].contains(l)).count() >= 4,
+            "top-10 by cardinality: {top10:?}"
+        );
+        let _ = h;
+    }
+}

@@ -1,0 +1,14 @@
+use schema_summary_algo::{PairMatrices, PathConfig};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn probe_xmark_matrices_cost() {
+    let (g, s, _) = schema_summary_datasets::xmark::schema(1.0);
+    for max_edges in [6, 8, 10] {
+        let cfg = PathConfig { max_edges, max_expansions: 2_000_000, ..Default::default() };
+        let t = Instant::now();
+        let m = PairMatrices::compute(&s, &cfg);
+        println!("xmark n={} max_edges={max_edges} took {:?} truncated={}", g.len(), t.elapsed(), m.truncated());
+    }
+}

@@ -1,0 +1,86 @@
+//! Structural-shape assertions over the three datasets: the schema
+//! characteristics that drive the paper's per-dataset observations
+//! (Section 5.4) must actually hold in our reconstructions.
+
+use schema_summary_core::GraphMetrics;
+use schema_summary_datasets::{mimi, tpch, xmark};
+
+#[test]
+fn tpch_is_flat_and_xml_datasets_are_deep() {
+    let x = GraphMetrics::compute(&xmark::dataset(1.0).graph);
+    let t = GraphMetrics::compute(&tpch::dataset(0.1).graph);
+    let m = GraphMetrics::compute(&mimi::dataset(mimi::Version::Jan06).graph);
+    // Relational mapping: root -> relations -> columns, depth exactly 2.
+    assert_eq!(t.max_depth, 2);
+    // XML schemas nest much deeper.
+    assert!(x.max_depth >= 6, "XMark depth {}", x.max_depth);
+    assert!(m.max_depth >= 4, "MiMI depth {}", m.max_depth);
+}
+
+#[test]
+fn lineitem_has_the_widest_fanout_in_tpch() {
+    let d = tpch::dataset(0.1);
+    let m = GraphMetrics::compute(&d.graph);
+    // 16 columns; the root has 8 children.
+    assert_eq!(m.max_fanout, 16);
+}
+
+#[test]
+fn value_link_density_varies_by_dataset() {
+    let x = GraphMetrics::compute(&xmark::dataset(1.0).graph);
+    let t = GraphMetrics::compute(&tpch::dataset(0.1).graph);
+    let m = GraphMetrics::compute(&mimi::dataset(mimi::Version::Jan06).graph);
+    assert_eq!(t.value_links, 10, "TPC-H: one per FK");
+    // XMark: per-region itemrefs plus person/category references.
+    assert!(x.value_links >= 15, "XMark has {}", x.value_links);
+    assert!(m.value_links >= 4, "MiMI has {}", m.value_links);
+}
+
+#[test]
+fn hubs_are_where_the_paper_says() {
+    let d = xmark::dataset(1.0);
+    let (_, _, h) = xmark::schema(1.0);
+    // person receives value links from bidders, sellers, buyers, authors,
+    // plus its many children: the highest-degree element in the schema.
+    let person_degree = d.graph.degree(h.person);
+    for e in d.graph.element_ids() {
+        assert!(
+            d.graph.degree(e) <= person_degree,
+            "{} has degree {} > person's {}",
+            d.graph.label(e),
+            d.graph.degree(e),
+            person_degree
+        );
+    }
+}
+
+#[test]
+fn every_dataset_has_a_connected_structural_tree() {
+    for d in [
+        xmark::dataset(1.0),
+        tpch::dataset(0.1),
+        mimi::dataset(mimi::Version::Jan06),
+    ] {
+        assert_eq!(d.graph.preorder().len(), d.graph.len(), "{}", d.name);
+        let m = GraphMetrics::compute(&d.graph);
+        assert_eq!(m.structural_links, d.graph.len() - 1);
+    }
+}
+
+#[test]
+fn leaf_share_is_realistic() {
+    // Most schema elements are attributes/leaf fields in all datasets.
+    for d in [
+        xmark::dataset(1.0),
+        tpch::dataset(0.1),
+        mimi::dataset(mimi::Version::Jan06),
+    ] {
+        let m = GraphMetrics::compute(&d.graph);
+        let share = m.leaves as f64 / m.elements as f64;
+        assert!(
+            (0.4..0.95).contains(&share),
+            "{}: leaf share {share:.2}",
+            d.name
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Expert-comparison metrics (Section 5.2).
+//!
+//! "The agreement between two schema summaries is defined as the percentage
+//! of the number of elements selected by both the user and the system over
+//! the summary size." A *consensus* summary retains only elements selected
+//! by a majority of the experts.
+
+use schema_summary_core::ElementId;
+use std::collections::BTreeSet;
+
+/// Pairwise agreement between two selections of (nominally) the same size:
+/// `|a ∩ b| / max(|a|, |b|)`.
+pub fn agreement(a: &[ElementId], b: &[ElementId]) -> f64 {
+    let denom = a.len().max(b.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    let sa: BTreeSet<_> = a.iter().copied().collect();
+    let common = b.iter().filter(|e| sa.contains(e)).count();
+    common as f64 / denom as f64
+}
+
+/// Elements selected by at least `majority` of the given selections, in
+/// element-id order (the paper's consensus summary with `majority = 2` of
+/// three experts).
+pub fn consensus(selections: &[Vec<ElementId>], majority: usize) -> Vec<ElementId> {
+    let mut counts: std::collections::BTreeMap<ElementId, usize> = Default::default();
+    for sel in selections {
+        for &e in sel.iter().collect::<BTreeSet<_>>() {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c >= majority)
+        .map(|(e, _)| e)
+        .collect()
+}
+
+/// Fraction of the nominal summary size on which **all** selections agree
+/// (the paper's "User Agreement" row).
+pub fn unanimous_agreement(selections: &[Vec<ElementId>]) -> f64 {
+    let Some(first) = selections.first() else {
+        return 1.0;
+    };
+    let size = selections.iter().map(Vec::len).max().unwrap_or(0);
+    if size == 0 {
+        return 1.0;
+    }
+    let mut common: BTreeSet<ElementId> = first.iter().copied().collect();
+    for sel in &selections[1..] {
+        let s: BTreeSet<_> = sel.iter().copied().collect();
+        common.retain(|e| s.contains(e));
+    }
+    common.len() as f64 / size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ElementId> {
+        v.iter().map(|&i| ElementId(i)).collect()
+    }
+
+    #[test]
+    fn agreement_basics() {
+        assert_eq!(agreement(&ids(&[1, 2, 3]), &ids(&[1, 2, 3])), 1.0);
+        assert_eq!(agreement(&ids(&[1, 2, 3]), &ids(&[4, 5, 6])), 0.0);
+        assert!((agreement(&ids(&[1, 2, 3, 4, 5]), &ids(&[1, 2, 3, 7, 8])) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_is_symmetric() {
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[3, 4, 5, 6]);
+        assert_eq!(agreement(&a, &b), agreement(&b, &a));
+    }
+
+    #[test]
+    fn agreement_with_unequal_sizes_uses_larger() {
+        assert!((agreement(&ids(&[1, 2]), &ids(&[1, 2, 3, 4])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_selections_agree_trivially() {
+        assert_eq!(agreement(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn consensus_majority() {
+        let sels = vec![ids(&[1, 2, 3]), ids(&[2, 3, 4]), ids(&[3, 4, 5])];
+        assert_eq!(consensus(&sels, 2), ids(&[2, 3, 4]));
+        assert_eq!(consensus(&sels, 3), ids(&[3]));
+        assert_eq!(consensus(&sels, 1), ids(&[1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn unanimous_agreement_matches_paper_semantics() {
+        // Three experts, size 5, all share exactly 3 elements → 60%.
+        let sels = vec![
+            ids(&[1, 2, 3, 4, 5]),
+            ids(&[1, 2, 3, 6, 7]),
+            ids(&[1, 2, 3, 8, 9]),
+        ];
+        assert!((unanimous_agreement(&sels) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanimous_agreement_edge_cases() {
+        assert_eq!(unanimous_agreement(&[]), 1.0);
+        assert_eq!(unanimous_agreement(&[ids(&[1, 2])]), 1.0);
+    }
+}

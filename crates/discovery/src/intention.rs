@@ -1,0 +1,232 @@
+//! Query intentions: the schema elements a user wants to locate.
+//!
+//! An intention is a list of **target groups**. Each group is a set of
+//! schema elements any one of which satisfies that component of the query —
+//! this models label-level intentions on schemas where the same label
+//! occurs in several structural contexts (e.g. XMark's `item` element under
+//! each of the six regions: a user looking for "item" is satisfied by
+//! finding any of them). Path-based construction pins a group to a single
+//! element for queries where the context matters (`person/name` vs
+//! `item/name`).
+
+use schema_summary_core::{ElementId, SchemaError, SchemaGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A user's query intention.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryIntention {
+    /// Identifier for reports (e.g. `"xmark-q1"`).
+    pub name: String,
+    /// Target groups; the query is discovered when every group has at
+    /// least one visited element.
+    pub targets: Vec<BTreeSet<ElementId>>,
+}
+
+impl QueryIntention {
+    /// Build an intention from explicit single-element targets.
+    pub fn from_elements(name: impl Into<String>, elements: &[ElementId]) -> Self {
+        QueryIntention {
+            name: name.into(),
+            targets: elements
+                .iter()
+                .map(|&e| BTreeSet::from([e]))
+                .collect(),
+        }
+    }
+
+    /// Build an intention from labels; each label resolves to the group of
+    /// **all** elements carrying it.
+    pub fn from_labels(
+        graph: &SchemaGraph,
+        name: impl Into<String>,
+        labels: &[&str],
+    ) -> Result<Self, SchemaError> {
+        let mut targets = Vec::with_capacity(labels.len());
+        for &label in labels {
+            let matches = graph.find_by_label(label);
+            if matches.is_empty() {
+                return Err(SchemaError::Invalid(format!(
+                    "intention label '{label}' matches no schema element"
+                )));
+            }
+            targets.push(matches.into_iter().collect());
+        }
+        Ok(QueryIntention {
+            name: name.into(),
+            targets,
+        })
+    }
+
+    /// Build an intention from slash-separated label paths (each path pins
+    /// one element).
+    pub fn from_paths(
+        graph: &SchemaGraph,
+        name: impl Into<String>,
+        paths: &[&str],
+    ) -> Result<Self, SchemaError> {
+        let mut elements = Vec::with_capacity(paths.len());
+        for &p in paths {
+            let e = graph
+                .find_by_path(p)
+                .ok_or_else(|| SchemaError::Invalid(format!("intention path '{p}' not found")))?;
+            elements.push(e);
+        }
+        Ok(Self::from_elements(name, &elements))
+    }
+
+    /// Number of target groups — the paper's "query intention size"
+    /// (Table 1 reports its average per workload).
+    pub fn size(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether `e` belongs to any target group (such visits are free).
+    pub fn is_target(&self, e: ElementId) -> bool {
+        self.targets.iter().any(|g| g.contains(&e))
+    }
+
+    /// Every element appearing in some target group.
+    pub fn all_elements(&self) -> BTreeSet<ElementId> {
+        self.targets.iter().flatten().copied().collect()
+    }
+}
+
+/// Tracks which target groups are satisfied during one discovery run.
+#[derive(Debug, Clone)]
+pub struct SatisfactionTracker<'a> {
+    intention: &'a QueryIntention,
+    satisfied: Vec<bool>,
+    remaining: usize,
+}
+
+impl<'a> SatisfactionTracker<'a> {
+    /// Start tracking `intention` with nothing satisfied.
+    pub fn new(intention: &'a QueryIntention) -> Self {
+        SatisfactionTracker {
+            intention,
+            satisfied: vec![false; intention.targets.len()],
+            remaining: intention.targets.len(),
+        }
+    }
+
+    /// Record a visit to `e`; marks every group containing it satisfied.
+    /// Returns `true` if `e` is a target member (the visit is free).
+    pub fn visit(&mut self, e: ElementId) -> bool {
+        let mut is_target = false;
+        for (i, group) in self.intention.targets.iter().enumerate() {
+            if group.contains(&e) {
+                is_target = true;
+                if !self.satisfied[i] {
+                    self.satisfied[i] = true;
+                    self.remaining -= 1;
+                }
+            }
+        }
+        is_target
+    }
+
+    /// Whether every target group is satisfied.
+    pub fn done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Whether any **unsatisfied** group intersects `set`-membership given
+    /// by the predicate.
+    pub fn any_unsatisfied<F: Fn(ElementId) -> bool>(&self, contains: F) -> bool {
+        self.intention
+            .targets
+            .iter()
+            .zip(&self.satisfied)
+            .filter(|&(_, &s)| !s)
+            .any(|(group, _)| group.iter().any(|&e| contains(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::types::SchemaType;
+
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("site");
+        let r1 = b.add_child(b.root(), "asia", SchemaType::rcd()).unwrap();
+        let r2 = b.add_child(b.root(), "europe", SchemaType::rcd()).unwrap();
+        let i1 = b.add_child(r1, "item", SchemaType::set_of_rcd()).unwrap();
+        let i2 = b.add_child(r2, "item", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(i1, "name", SchemaType::simple_str()).unwrap();
+        b.add_child(i2, "name", SchemaType::simple_str()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn label_groups_collect_all_matches() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["item", "name"]).unwrap();
+        assert_eq!(q.size(), 2);
+        assert_eq!(q.targets[0].len(), 2);
+        assert_eq!(q.targets[1].len(), 2);
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        let g = graph();
+        assert!(QueryIntention::from_labels(&g, "q", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn paths_pin_single_elements() {
+        let g = graph();
+        let q = QueryIntention::from_paths(&g, "q", &["site/asia/item"]).unwrap();
+        assert_eq!(q.size(), 1);
+        assert_eq!(q.targets[0].len(), 1);
+        assert!(QueryIntention::from_paths(&g, "q", &["site/mars/item"]).is_err());
+    }
+
+    #[test]
+    fn tracker_satisfies_groups_disjunctively() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["item"]).unwrap();
+        let items = g.find_by_label("item");
+        let mut t = SatisfactionTracker::new(&q);
+        assert!(!t.done());
+        assert!(t.visit(items[0]));
+        assert!(t.done());
+        // The other item is still a free visit even though the group is
+        // already satisfied.
+        assert!(t.visit(items[1]));
+    }
+
+    #[test]
+    fn tracker_needs_every_group() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["item", "name"]).unwrap();
+        let mut t = SatisfactionTracker::new(&q);
+        t.visit(g.find_by_label("item")[0]);
+        assert!(!t.done());
+        t.visit(g.find_by_label("name")[1]);
+        assert!(t.done());
+    }
+
+    #[test]
+    fn any_unsatisfied_respects_satisfaction() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["item", "name"]).unwrap();
+        let items = g.find_by_label("item");
+        let mut t = SatisfactionTracker::new(&q);
+        t.visit(items[0]);
+        // items no longer drive exploration; names still do.
+        assert!(!t.any_unsatisfied(|e| items.contains(&e)));
+        assert!(t.any_unsatisfied(|e| g.find_by_label("name").contains(&e)));
+    }
+
+    #[test]
+    fn non_target_visit_is_charged() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["name"]).unwrap();
+        let mut t = SatisfactionTracker::new(&q);
+        assert!(!t.visit(g.root()));
+        assert!(!q.is_target(g.root()));
+    }
+}

@@ -1,0 +1,44 @@
+//! Query discovery cost (Section 5.3) and summary-agreement metrics
+//! (Section 5.2).
+//!
+//! The paper evaluates summaries objectively by modeling **query
+//! discovery**: a user with an implicit *query intention* (a set of schema
+//! elements whose locations she does not know) explores the schema — or a
+//! schema summary — one element at a time, paying one unit for every
+//! visited element that is not part of her intention (and for every
+//! abstract element). This crate implements:
+//!
+//! * [`intention::QueryIntention`] — intentions as target groups
+//!   (label-based lookups resolve to "any element with this label");
+//! * [`strategy`] — the three schema-exploration baselines: depth-first
+//!   pre-order, breadth-first pre-order, and oracle-guided best-first;
+//! * [`summary_discovery`] — best-first discovery over a schema summary
+//!   with abstract-element expansion;
+//! * [`agreement`] — the expert-comparison metrics of Section 5.2
+//!   (pairwise agreement, consensus, all-experts agreement);
+//! * [`multilevel`] — drill-down discovery over multi-level summaries
+//!   (Section 2's extension);
+//! * [`report`] — workload-level aggregation (mean / median / p95);
+//! * [`session`] — learning-curve replays where the user remembers what
+//!   they have already explored (relaxing §5.3's fresh-user assumption).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agreement;
+pub mod intention;
+pub mod multilevel;
+pub mod report;
+pub mod session;
+pub mod strategy;
+pub mod summary_discovery;
+
+pub use intention::QueryIntention;
+pub use strategy::{
+    best_first_cost, best_first_cost_with_memory, breadth_first_cost, depth_first_cost,
+    linear_scan_cost, CostModel, DiscoveryCost, VisitMemory,
+};
+pub use multilevel::multilevel_cost;
+pub use report::WorkloadReport;
+pub use session::{session_best_first, session_with_summary, SessionCurve};
+pub use summary_discovery::{summary_cost, summary_cost_session, summary_cost_with, ExpansionModel};

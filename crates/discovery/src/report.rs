@@ -1,0 +1,151 @@
+//! Workload-level cost reports: aggregate a discovery strategy over a
+//! query workload with the statistics the evaluation tables need.
+
+use crate::intention::QueryIntention;
+use crate::strategy::DiscoveryCost;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated discovery costs of one strategy over one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Strategy label (e.g. `"best-first"`).
+    pub strategy: String,
+    /// Per-query `(query name, cost)` in workload order.
+    pub per_query: Vec<(String, usize)>,
+    /// Mean cost.
+    pub mean: f64,
+    /// Median cost.
+    pub median: f64,
+    /// 95th-percentile cost (nearest-rank).
+    pub p95: usize,
+    /// Maximum cost and the query that incurred it.
+    pub worst: (String, usize),
+    /// Whether every query found all its targets.
+    pub complete: bool,
+}
+
+impl WorkloadReport {
+    /// Run `strategy_fn` over `queries` and aggregate.
+    pub fn run<F>(
+        strategy: impl Into<String>,
+        queries: &[QueryIntention],
+        mut strategy_fn: F,
+    ) -> Self
+    where
+        F: FnMut(&QueryIntention) -> DiscoveryCost,
+    {
+        assert!(!queries.is_empty(), "workload must be non-empty");
+        let mut per_query = Vec::with_capacity(queries.len());
+        let mut complete = true;
+        for q in queries {
+            let r = strategy_fn(q);
+            complete &= r.found_all;
+            per_query.push((q.name.clone(), r.cost));
+        }
+        let mut costs: Vec<usize> = per_query.iter().map(|&(_, c)| c).collect();
+        costs.sort_unstable();
+        let n = costs.len();
+        let mean = costs.iter().sum::<usize>() as f64 / n as f64;
+        let median = if n % 2 == 1 {
+            costs[n / 2] as f64
+        } else {
+            (costs[n / 2 - 1] + costs[n / 2]) as f64 / 2.0
+        };
+        let p95 = costs[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+        let worst = per_query
+            .iter()
+            .max_by_key(|&&(_, c)| c)
+            .cloned()
+            .expect("non-empty");
+        WorkloadReport {
+            strategy: strategy.into(),
+            per_query,
+            mean,
+            median,
+            p95,
+            worst,
+            complete,
+        }
+    }
+
+    /// Percentage saving of this report relative to `baseline` (by mean).
+    pub fn saving_vs(&self, baseline: &WorkloadReport) -> f64 {
+        if baseline.mean <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.mean / baseline.mean) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{best_first_cost, depth_first_cost, CostModel};
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    fn setup() -> (schema_summary_core::SchemaGraph, Vec<QueryIntention>) {
+        let mut b = SchemaGraphBuilder::new("db");
+        for i in 0..4 {
+            let s = b
+                .add_child(b.root(), format!("s{i}"), SchemaType::rcd())
+                .unwrap();
+            b.add_child(s, format!("f{i}"), SchemaType::simple_str()).unwrap();
+        }
+        let g = b.build().unwrap();
+        let queries = (0..4)
+            .map(|i| QueryIntention::from_labels(&g, format!("q{i}"), &[&format!("f{i}")]).unwrap())
+            .collect();
+        (g, queries)
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let (g, queries) = setup();
+        let r = WorkloadReport::run("df", &queries, |q| depth_first_cost(&g, q));
+        assert_eq!(r.per_query.len(), 4);
+        assert!(r.complete);
+        assert!(r.mean > 0.0);
+        assert!(r.median > 0.0);
+        assert!(r.p95 >= r.median as usize);
+        assert_eq!(r.worst.1, r.p95.max(r.worst.1));
+        // DF costs here: f0 at position 3 (root,s0,f0 → cost 2), f3 → cost 8.
+        assert_eq!(r.worst.0, "q3");
+    }
+
+    #[test]
+    fn saving_comparison() {
+        let (g, queries) = setup();
+        let df = WorkloadReport::run("df", &queries, |q| depth_first_cost(&g, q));
+        let best = WorkloadReport::run("best", &queries, |q| {
+            best_first_cost(&g, q, CostModel::SiblingScan)
+        });
+        assert!(best.mean <= df.mean);
+        assert!(best.saving_vs(&df) >= 0.0);
+        assert_eq!(df.saving_vs(&df), 0.0);
+    }
+
+    #[test]
+    fn median_of_even_sets() {
+        let (g, queries) = setup();
+        let r = WorkloadReport::run("df", &queries, |q| depth_first_cost(&g, q));
+        let mut costs: Vec<usize> = r.per_query.iter().map(|&(_, c)| c).collect();
+        costs.sort_unstable();
+        assert_eq!(r.median, (costs[1] + costs[2]) as f64 / 2.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (g, queries) = setup();
+        let r = WorkloadReport::run("df", &queries, |q| depth_first_cost(&g, q));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: WorkloadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_workload_panics() {
+        let (g, _) = setup();
+        let _ = WorkloadReport::run("df", &[], |q| depth_first_cost(&g, q));
+    }
+}

@@ -1,0 +1,179 @@
+//! User sessions: a sequence of queries by one user who *learns* the
+//! schema as they explore it.
+//!
+//! The paper's cost metric prices each query in isolation — a fresh user
+//! every time. §5.3's limitations discussion acknowledges real users
+//! behave differently; the sharpest difference is memory: an element
+//! visited while answering query 3 is familiar during query 7. This module
+//! replays a workload with cross-query [`VisitMemory`], yielding a
+//! learning curve. Two findings fall out (see `repro extensions`):
+//! summaries help most at the start of a session (when nothing is
+//! familiar), and the per-query cost of both strategies decays toward the
+//! residual cost of genuinely new schema regions.
+
+use crate::intention::QueryIntention;
+use crate::strategy::{best_first_cost_with_memory, CostModel, VisitMemory};
+use crate::summary_discovery::{summary_cost_session, ExpansionModel};
+use schema_summary_core::{SchemaGraph, SchemaSummary};
+use serde::{Deserialize, Serialize};
+
+/// Per-query costs of one session replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCurve {
+    /// `(query name, cost)` in replay order.
+    pub per_query: Vec<(String, usize)>,
+    /// Number of schema elements familiar at the end.
+    pub elements_learned: usize,
+}
+
+impl SessionCurve {
+    /// Total cost across the session.
+    pub fn total(&self) -> usize {
+        self.per_query.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Mean cost over the first `n` queries (clamped to the session).
+    pub fn mean_of_first(&self, n: usize) -> f64 {
+        let n = n.min(self.per_query.len()).max(1);
+        self.per_query[..n].iter().map(|&(_, c)| c).sum::<usize>() as f64 / n as f64
+    }
+
+    /// Mean cost over the last `n` queries (clamped).
+    pub fn mean_of_last(&self, n: usize) -> f64 {
+        let len = self.per_query.len();
+        let n = n.min(len).max(1);
+        self.per_query[len - n..].iter().map(|&(_, c)| c).sum::<usize>() as f64 / n as f64
+    }
+}
+
+/// Replay `queries` best-first without a summary, accumulating familiarity.
+pub fn session_best_first(
+    graph: &SchemaGraph,
+    queries: &[QueryIntention],
+    model: CostModel,
+) -> SessionCurve {
+    let mut memory = VisitMemory::new(graph.len());
+    let per_query = queries
+        .iter()
+        .map(|q| {
+            let r = best_first_cost_with_memory(graph, q, model, &mut memory);
+            debug_assert!(r.found_all);
+            (q.name.clone(), r.cost)
+        })
+        .collect();
+    SessionCurve {
+        per_query,
+        elements_learned: memory.count(),
+    }
+}
+
+/// Replay `queries` with a summary, accumulating familiarity (both over
+/// original elements and over abstract groups).
+pub fn session_with_summary(
+    graph: &SchemaGraph,
+    summary: &SchemaSummary,
+    queries: &[QueryIntention],
+    model: CostModel,
+    expansion: ExpansionModel,
+) -> SessionCurve {
+    let mut memory = VisitMemory::new(graph.len());
+    let per_query = queries
+        .iter()
+        .map(|q| {
+            let r = summary_cost_session(graph, summary, q, model, expansion, Some(&mut memory));
+            debug_assert!(r.found_all);
+            (q.name.clone(), r.cost)
+        })
+        .collect();
+    SessionCurve {
+        per_query,
+        elements_learned: memory.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::best_first_cost;
+    use schema_summary_algo::{Algorithm, Summarizer};
+    use schema_summary_core::{SchemaGraphBuilder, SchemaStats, SchemaType};
+
+    fn fixture() -> (SchemaGraph, SchemaStats, Vec<QueryIntention>) {
+        let mut b = SchemaGraphBuilder::new("db");
+        for i in 0..5 {
+            let sec = b
+                .add_child(b.root(), format!("s{i}"), SchemaType::rcd())
+                .unwrap();
+            let ent = b
+                .add_child(sec, format!("e{i}"), SchemaType::set_of_rcd())
+                .unwrap();
+            b.add_child(ent, format!("f{i}"), SchemaType::simple_str()).unwrap();
+        }
+        let g = b.build().unwrap();
+        let s = SchemaStats::uniform(&g);
+        // Repeated interest in section 0, then excursions.
+        let qs = ["f0", "f0", "f1", "f0", "f2", "f1", "f3"]
+            .iter()
+            .enumerate()
+            .map(|(i, l)| QueryIntention::from_labels(&g, format!("q{i}"), &[l]).unwrap())
+            .collect();
+        (g, s, qs)
+    }
+
+    #[test]
+    fn repeat_queries_become_free() {
+        let (g, _, qs) = fixture();
+        let curve = session_best_first(&g, &qs, CostModel::SiblingScan);
+        // q0 pays; q1 (same target) is fully familiar.
+        assert!(curve.per_query[0].1 > 0);
+        assert_eq!(curve.per_query[1].1, 0);
+        // Returning to f0 later (q3) is also free.
+        assert_eq!(curve.per_query[3].1, 0);
+        assert!(curve.elements_learned > 0);
+    }
+
+    #[test]
+    fn session_total_never_exceeds_memoryless_total() {
+        let (g, _, qs) = fixture();
+        let session = session_best_first(&g, &qs, CostModel::SiblingScan);
+        let memoryless: usize = qs
+            .iter()
+            .map(|q| best_first_cost(&g, q, CostModel::SiblingScan).cost)
+            .sum();
+        assert!(session.total() <= memoryless);
+    }
+
+    #[test]
+    fn learning_curve_decays() {
+        let (g, _, qs) = fixture();
+        let curve = session_best_first(&g, &qs, CostModel::SiblingScan);
+        assert!(curve.mean_of_first(2) >= curve.mean_of_last(2));
+    }
+
+    #[test]
+    fn summary_sessions_complete_and_learn() {
+        let (g, s, qs) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let summary = sum.summarize(3, Algorithm::Balance).unwrap();
+        let curve = session_with_summary(
+            &g,
+            &summary,
+            &qs,
+            CostModel::SiblingScan,
+            ExpansionModel::Scan,
+        );
+        assert_eq!(curve.per_query.len(), qs.len());
+        // Repeat of q0 is free with a summary too.
+        assert_eq!(curve.per_query[1].1, 0);
+        assert!(curve.elements_learned > 0);
+    }
+
+    #[test]
+    fn first_query_matches_memoryless_cost() {
+        let (g, s, qs) = fixture();
+        let curve = session_best_first(&g, &qs, CostModel::SiblingScan);
+        let fresh = best_first_cost(&g, &qs[0], CostModel::SiblingScan);
+        assert_eq!(curve.per_query[0].1, fresh.cost);
+        let _ = s;
+    }
+}

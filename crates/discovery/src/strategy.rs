@@ -1,0 +1,417 @@
+//! Schema-exploration strategies without a summary (Section 5.3).
+//!
+//! All strategies traverse the structural tree from the root, charging one
+//! unit per visited element that is not part of the query intention, and
+//! stopping as soon as every target group is satisfied.
+//!
+//! * **Depth-first pre-order** and **breadth-first pre-order** scan blindly
+//!   in document order — the paper's naive baselines.
+//! * **Best-first** makes the optimistic assumption that "the label of each
+//!   sub-tree root perfectly indicates whether an element of interest to
+//!   the user is in the sub-tree": the user never descends into a useless
+//!   subtree. Under the default [`CostModel::SiblingScan`], the user still
+//!   "examines children of the current node one at a time until it finds
+//!   one that it should visit", paying for each examined child; under
+//!   [`CostModel::PathOnly`] only the union of root→target paths is paid
+//!   for (a strictly more optimistic reading; see DESIGN.md §3.5).
+
+use crate::intention::{QueryIntention, SatisfactionTracker};
+use schema_summary_core::{ElementId, SchemaGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the best-first user is charged (DESIGN.md §3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CostModel {
+    /// Charge every examined sibling: the user scans a node's children in
+    /// order and pays for each visited child, useful or not, until the
+    /// subtree holds no more unsatisfied targets. Reproduces the paper's
+    /// Table 3 magnitudes.
+    #[default]
+    SiblingScan,
+    /// Charge only the union of root→target paths (the user teleports past
+    /// useless siblings).
+    PathOnly,
+}
+
+/// Result of one discovery run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoveryCost {
+    /// Accumulated cost units.
+    pub cost: usize,
+    /// Total elements visited (targets included).
+    pub visited: usize,
+    /// Whether every target group was satisfied. `false` means the
+    /// intention references elements unreachable by the strategy.
+    pub found_all: bool,
+}
+
+/// Flat scan over the element array in declaration order — the paper's
+/// "naive approach ... scan through all the elements until the ones of
+/// interest are found", which ignores even the tree structure. Included as
+/// the floor baseline; on tree-shaped schemas it coincides with the
+/// depth-first scan whenever declaration order equals document order
+/// (which [`schema_summary_core::SchemaGraphBuilder`] does not guarantee
+/// for interleaved construction).
+pub fn linear_scan_cost(graph: &SchemaGraph, intention: &QueryIntention) -> DiscoveryCost {
+    let mut tracker = SatisfactionTracker::new(intention);
+    let mut cost = 0usize;
+    let mut visited = 0usize;
+    for e in graph.element_ids() {
+        visited += 1;
+        if !tracker.visit(e) {
+            cost += 1;
+        }
+        if tracker.done() {
+            return DiscoveryCost { cost, visited, found_all: true };
+        }
+    }
+    DiscoveryCost { cost, visited, found_all: tracker.done() }
+}
+
+/// Depth-first pre-order scan of the structural tree.
+pub fn depth_first_cost(graph: &SchemaGraph, intention: &QueryIntention) -> DiscoveryCost {
+    let mut tracker = SatisfactionTracker::new(intention);
+    let mut cost = 0usize;
+    let mut visited = 0usize;
+    let mut stack = vec![graph.root()];
+    while let Some(e) = stack.pop() {
+        visited += 1;
+        if !tracker.visit(e) {
+            cost += 1;
+        }
+        if tracker.done() {
+            return DiscoveryCost { cost, visited, found_all: true };
+        }
+        for &c in graph.children(e).iter().rev() {
+            stack.push(c);
+        }
+    }
+    DiscoveryCost { cost, visited, found_all: tracker.done() }
+}
+
+/// Breadth-first pre-order scan of the structural tree.
+pub fn breadth_first_cost(graph: &SchemaGraph, intention: &QueryIntention) -> DiscoveryCost {
+    let mut tracker = SatisfactionTracker::new(intention);
+    let mut cost = 0usize;
+    let mut visited = 0usize;
+    let mut queue = VecDeque::from([graph.root()]);
+    while let Some(e) = queue.pop_front() {
+        visited += 1;
+        if !tracker.visit(e) {
+            cost += 1;
+        }
+        if tracker.done() {
+            return DiscoveryCost { cost, visited, found_all: true };
+        }
+        queue.extend(graph.children(e).iter().copied());
+    }
+    DiscoveryCost { cost, visited, found_all: tracker.done() }
+}
+
+/// Cross-query visit memory for session experiments: an element already
+/// visited in an earlier query is familiar and costs nothing to pass again
+/// (the user has learned that part of the schema).
+#[derive(Debug, Clone)]
+pub struct VisitMemory {
+    seen: Vec<bool>,
+}
+
+impl VisitMemory {
+    /// Fresh memory over a schema of `n` elements.
+    pub fn new(n: usize) -> Self {
+        VisitMemory { seen: vec![false; n] }
+    }
+
+    /// Whether `e` has been visited before.
+    pub fn seen(&self, e: ElementId) -> bool {
+        self.seen[e.index()]
+    }
+
+    /// Record a visit to `e`; returns whether it was already seen.
+    pub fn record(&mut self, e: ElementId) -> bool {
+        std::mem::replace(&mut self.seen[e.index()], true)
+    }
+
+    /// Number of elements seen so far.
+    pub fn count(&self) -> usize {
+        self.seen.iter().filter(|&&s| s).count()
+    }
+}
+
+/// Oracle-guided best-first exploration (Section 5.3's strongest
+/// no-summary strategy).
+pub fn best_first_cost(
+    graph: &SchemaGraph,
+    intention: &QueryIntention,
+    model: CostModel,
+) -> DiscoveryCost {
+    let mut memory = VisitMemory::new(graph.len());
+    best_first_cost_with_memory(graph, intention, model, &mut memory)
+}
+
+/// Best-first exploration that charges only for *first* visits of
+/// non-target elements, accumulating familiarity in `memory` across calls.
+pub fn best_first_cost_with_memory(
+    graph: &SchemaGraph,
+    intention: &QueryIntention,
+    model: CostModel,
+    memory: &mut VisitMemory,
+) -> DiscoveryCost {
+    // Precompute subtree membership: for each element, does its structural
+    // subtree contain each target? We answer "does subtree(e) contain any
+    // unsatisfied target" by checking each unsatisfied group against the
+    // subtree; memberships are cheap via Euler intervals.
+    let intervals = euler_intervals(graph);
+    let in_subtree = |root: ElementId, e: ElementId| {
+        let (s, t) = intervals[root.index()];
+        let (es, _) = intervals[e.index()];
+        s <= es && es < t
+    };
+
+    let mut tracker = SatisfactionTracker::new(intention);
+    let mut cost = 0usize;
+    let mut visited = 0usize;
+
+    let mut visit = |e: ElementId, tracker: &mut SatisfactionTracker<'_>| {
+        visited += 1;
+        let is_target = tracker.visit(e);
+        let was_seen = memory.record(e);
+        if !is_target && !was_seen {
+            cost += 1;
+        }
+    };
+
+    // Explicit-stack DFS guided by the oracle; each frame remembers how
+    // many children it has already examined.
+    visit(graph.root(), &mut tracker);
+    let mut stack: Vec<(ElementId, usize)> = vec![(graph.root(), 0)];
+    while !stack.is_empty() {
+        if tracker.done() {
+            break;
+        }
+        let top = stack.len() - 1;
+        let (node, next_child) = stack[top];
+        // Any unsatisfied target left below this node?
+        if !tracker.any_unsatisfied(|t| in_subtree(node, t)) {
+            stack.pop();
+            continue;
+        }
+        let children = graph.children(node);
+        if next_child >= children.len() {
+            stack.pop();
+            continue;
+        }
+        let child = children[next_child];
+        stack[top].1 += 1;
+        let child_useful = tracker.any_unsatisfied(|t| in_subtree(child, t));
+        match model {
+            CostModel::SiblingScan => {
+                // The user examines this child regardless; descend only if
+                // its subtree is useful.
+                visit(child, &mut tracker);
+                if child_useful && !tracker.done() {
+                    stack.push((child, 0));
+                }
+            }
+            CostModel::PathOnly => {
+                if child_useful {
+                    visit(child, &mut tracker);
+                    if !tracker.done() {
+                        stack.push((child, 0));
+                    }
+                }
+            }
+        }
+    }
+    DiscoveryCost { cost, visited, found_all: tracker.done() }
+}
+
+/// Euler-tour intervals `[start, end)` for subtree containment tests.
+pub(crate) fn euler_intervals(graph: &SchemaGraph) -> Vec<(usize, usize)> {
+    let mut intervals = vec![(0usize, 0usize); graph.len()];
+    let mut counter = 0usize;
+    // Iterative post-order assignment of (entry, exit).
+    enum Phase {
+        Enter(ElementId),
+        Exit(ElementId),
+    }
+    let mut stack = vec![Phase::Enter(graph.root())];
+    while let Some(phase) = stack.pop() {
+        match phase {
+            Phase::Enter(e) => {
+                intervals[e.index()].0 = counter;
+                counter += 1;
+                stack.push(Phase::Exit(e));
+                for &c in graph.children(e).iter().rev() {
+                    stack.push(Phase::Enter(c));
+                }
+            }
+            Phase::Exit(e) => {
+                intervals[e.index()].1 = counter;
+            }
+        }
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::types::SchemaType;
+
+    /// site
+    ///  ├─ regions ── asia ── item ── name
+    ///  ├─ people ── person ── {pname, age}
+    ///  └─ auctions ── auction ── bidder
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("site");
+        let regions = b.add_child(b.root(), "regions", SchemaType::rcd()).unwrap();
+        let asia = b.add_child(regions, "asia", SchemaType::rcd()).unwrap();
+        let item = b.add_child(asia, "item", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(item, "name", SchemaType::simple_str()).unwrap();
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "pname", SchemaType::simple_str()).unwrap();
+        b.add_child(person, "age", SchemaType::simple_int()).unwrap();
+        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
+        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn depth_first_hand_computed() {
+        let g = graph();
+        // Preorder: site, regions, asia, item, name, people, person, pname,
+        // age, auctions, auction, bidder.
+        let q = QueryIntention::from_labels(&g, "q", &["pname"]).unwrap();
+        let r = depth_first_cost(&g, &q);
+        // Visits site..pname = 8 elements, 7 of them non-target.
+        assert_eq!(r.visited, 8);
+        assert_eq!(r.cost, 7);
+        assert!(r.found_all);
+    }
+
+    #[test]
+    fn breadth_first_hand_computed() {
+        let g = graph();
+        // BFS order: site | regions people auctions | asia person auction |
+        // item pname age bidder | ...
+        let q = QueryIntention::from_labels(&g, "q", &["pname"]).unwrap();
+        let r = breadth_first_cost(&g, &q);
+        assert_eq!(r.visited, 9); // site,3,3, then item, pname
+        assert_eq!(r.cost, 8);
+        assert!(r.found_all);
+    }
+
+    #[test]
+    fn best_first_path_only_is_union_of_paths() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["pname"]).unwrap();
+        let r = best_first_cost(&g, &q, CostModel::PathOnly);
+        // Path: site, people, person, pname → 3 non-target visits.
+        assert_eq!(r.cost, 3);
+        assert!(r.found_all);
+    }
+
+    #[test]
+    fn best_first_sibling_scan_charges_scanned_siblings() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["pname"]).unwrap();
+        let r = best_first_cost(&g, &q, CostModel::SiblingScan);
+        // site(1) → scan regions(1, useless) → people(1) → person(1) →
+        // pname(free). Total 4 charged.
+        assert_eq!(r.cost, 4);
+        assert!(r.found_all);
+    }
+
+    #[test]
+    fn best_first_never_beats_path_only() {
+        let g = graph();
+        for labels in [vec!["pname"], vec!["bidder", "name"], vec!["age", "item"]] {
+            let q = QueryIntention::from_labels(&g, "q", &labels).unwrap();
+            let scan = best_first_cost(&g, &q, CostModel::SiblingScan);
+            let path = best_first_cost(&g, &q, CostModel::PathOnly);
+            assert!(scan.cost >= path.cost, "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn strategy_ordering_matches_paper() {
+        // DF ≥ BF is not universal, but best-first must never lose to
+        // either on any intention (it visits a subset of useful nodes).
+        let g = graph();
+        for labels in [vec!["pname"], vec!["bidder"], vec!["name"], vec!["age", "bidder"]] {
+            let q = QueryIntention::from_labels(&g, "q", &labels).unwrap();
+            let df = depth_first_cost(&g, &q);
+            let bf = breadth_first_cost(&g, &q);
+            let best = best_first_cost(&g, &q, CostModel::SiblingScan);
+            assert!(best.cost <= df.cost.max(bf.cost), "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn multi_target_all_groups_needed() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["name", "bidder"]).unwrap();
+        let r = best_first_cost(&g, &q, CostModel::SiblingScan);
+        assert!(r.found_all);
+        // Must have visited both subtrees.
+        assert!(r.visited >= 7);
+    }
+
+    #[test]
+    fn root_as_target_is_free() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["site"]).unwrap();
+        for r in [
+            depth_first_cost(&g, &q),
+            breadth_first_cost(&g, &q),
+            best_first_cost(&g, &q, CostModel::SiblingScan),
+        ] {
+            assert_eq!(r.cost, 0);
+            assert!(r.found_all);
+        }
+    }
+
+    #[test]
+    fn linear_scan_is_the_floor_baseline() {
+        let g = graph();
+        let q = QueryIntention::from_labels(&g, "q", &["bidder"]).unwrap();
+        let lin = linear_scan_cost(&g, &q);
+        assert!(lin.found_all);
+        // bidder is the last declared element: the scan pays for everything
+        // before it.
+        assert_eq!(lin.visited, g.len());
+        assert_eq!(lin.cost, g.len() - 1);
+        // Oracle-guided search is never worse than the flat scan here.
+        let best = best_first_cost(&g, &q, CostModel::SiblingScan);
+        assert!(best.cost <= lin.cost);
+    }
+
+    #[test]
+    fn linear_scan_reports_unreachable_targets() {
+        let g = graph();
+        let mut q = QueryIntention::from_labels(&g, "q", &["pname"]).unwrap();
+        // Inject a group that no element can satisfy.
+        q.targets.push(std::collections::BTreeSet::new());
+        let r = linear_scan_cost(&g, &q);
+        assert!(!r.found_all);
+    }
+
+    #[test]
+    fn euler_intervals_are_nesting() {
+        let g = graph();
+        let iv = euler_intervals(&g);
+        let person = g.find_unique("person").unwrap();
+        let pname = g.find_unique("pname").unwrap();
+        let item = g.find_unique("item").unwrap();
+        let (ps, pt) = iv[person.index()];
+        let (ns, _) = iv[pname.index()];
+        assert!(ps <= ns && ns < pt);
+        let (is_, _) = iv[item.index()];
+        assert!(!(ps <= is_ && is_ < pt));
+    }
+}

@@ -1,0 +1,588 @@
+//! Query discovery with a schema summary (Section 5.3).
+//!
+//! "Query discovery with a schema summary proceeds just as with \[a\] regular
+//! schema, except that now the traversal also includes abstract elements in
+//! addition to original elements. When an abstract element of interest is
+//! visited, it can be expanded, and the enclosed original elements visited.
+//! One unit of cost is applied to every abstract element visited as well as
+//! to every original element visited that is not in the query intention."
+//!
+//! Concretely, the user best-first explores the **summary tree** (the
+//! summary's nodes connected by its structural links / structural abstract
+//! links, BFS-rooted at the schema root). Visiting an abstract element
+//! always costs one unit; when its own member set holds unsatisfied
+//! targets, the user expands it and explores the group's internal member
+//! forest, paying for every visited non-target original element.
+//!
+//! How much of an expanded group the user must wade through depends on the
+//! [`ExpansionModel`]. Under the default [`ExpansionModel::Scan`] the user
+//! examines internal siblings one at a time — the same charging rule as
+//! schema-level best-first, and the reading that preserves the paper's
+//! Figure 8 story (too-small summaries hurt, because expanding an
+//! over-abstracted group costs real exploration). The more optimistic
+//! [`ExpansionModel::Reveal`] treats expansion as showing the group's
+//! internal structure all at once (Figure 2(C)), charging only the internal
+//! paths to targets; it yields larger savings (closer to the paper's
+//! Table 3 magnitudes) but flattens Figure 8's left edge — the
+//! `ablate_costmodel` bench quantifies the difference.
+
+use crate::intention::{QueryIntention, SatisfactionTracker};
+use crate::strategy::{euler_intervals, CostModel, DiscoveryCost, VisitMemory};
+use schema_summary_core::summary::SummaryNode;
+use schema_summary_core::{ElementId, SchemaGraph, SchemaSummary};
+use std::collections::{HashMap, VecDeque};
+
+/// How an expanded abstract element is explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpansionModel {
+    /// Expansion reveals the whole group subgraph at once (Figure 2(C));
+    /// the user pays only for the internal paths leading to targets.
+    Reveal,
+    /// The user examines internal siblings one at a time, as in
+    /// schema-level best-first under [`CostModel::SiblingScan`].
+    #[default]
+    Scan,
+}
+
+/// Cost of discovering `intention` with the help of `summary`, using the
+/// default [`ExpansionModel::Scan`] within expanded groups.
+pub fn summary_cost(
+    graph: &SchemaGraph,
+    summary: &SchemaSummary,
+    intention: &QueryIntention,
+    model: CostModel,
+) -> DiscoveryCost {
+    summary_cost_with(graph, summary, intention, model, ExpansionModel::default())
+}
+
+/// Cost of discovering `intention` with the help of `summary`, with
+/// explicit summary-level and expansion cost models (the expansion model is
+/// ablated by the `ablate_costmodel` bench).
+pub fn summary_cost_with(
+    graph: &SchemaGraph,
+    summary: &SchemaSummary,
+    intention: &QueryIntention,
+    model: CostModel,
+    expansion: ExpansionModel,
+) -> DiscoveryCost {
+    summary_cost_session(graph, summary, intention, model, expansion, None)
+}
+
+/// Session-aware summary discovery: with a [`VisitMemory`], elements (and
+/// abstract groups) already seen in earlier queries of the same session are
+/// familiar and free — modeling a user who learns the summary as they use
+/// it.
+pub fn summary_cost_session(
+    graph: &SchemaGraph,
+    summary: &SchemaSummary,
+    intention: &QueryIntention,
+    model: CostModel,
+    expansion: ExpansionModel,
+    memory: Option<&mut VisitMemory>,
+) -> DiscoveryCost {
+    let view = SummaryTree::build(graph, summary);
+    let mut run = Run {
+        graph,
+        summary,
+        view: &view,
+        tracker: SatisfactionTracker::new(intention),
+        charge: Charge::with_memory(memory),
+        model,
+        expansion,
+    };
+    run.explore();
+    DiscoveryCost {
+        cost: run.charge.cost,
+        visited: run.charge.visited,
+        found_all: run.tracker.done(),
+    }
+}
+
+/// A tree view over the summary's nodes, rooted at the schema root.
+struct SummaryTree {
+    nodes: Vec<SummaryNode>,
+    /// Tree children (indices into `nodes`), in represented-document order.
+    children: Vec<Vec<usize>>,
+    /// For each tree node, the set of original elements represented by it
+    /// and all its tree descendants.
+    cover: Vec<Vec<bool>>,
+    root: usize,
+}
+
+impl SummaryTree {
+    fn build(graph: &SchemaGraph, summary: &SchemaSummary) -> Self {
+        // Collect nodes: kept originals + abstracts.
+        let mut nodes: Vec<SummaryNode> = summary
+            .kept()
+            .iter()
+            .map(|&e| SummaryNode::Original(e))
+            .collect();
+        nodes.extend(summary.abstract_ids().map(SummaryNode::Abstract));
+        let index: HashMap<SummaryNode, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+        // Structural adjacency between summary nodes.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for &(p, c) in summary.kept_structural() {
+            adj[index[&SummaryNode::Original(p)]].push(index[&SummaryNode::Original(c)]);
+        }
+        for l in summary.abstract_links() {
+            if l.has_structural() {
+                adj[index[&l.from]].push(index[&l.to]);
+            }
+        }
+
+        // Document-order sort key: the smallest element id a node represents.
+        let min_repr = |n: SummaryNode| -> u32 {
+            match n {
+                SummaryNode::Original(e) => e.0,
+                SummaryNode::Abstract(aid) => summary.abstracts()[aid.index()]
+                    .members
+                    .iter()
+                    .map(|m| m.0)
+                    .min()
+                    .unwrap_or(u32::MAX),
+            }
+        };
+        for list in &mut adj {
+            list.sort_by_key(|&i| min_repr(nodes[i]));
+            list.dedup();
+        }
+
+        // BFS tree from the root node (abstract structural links can form
+        // cycles between groups; first discovery wins).
+        let root = index[&SummaryNode::Original(summary.root())];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut seen = vec![false; nodes.len()];
+        seen[root] = true;
+        let mut queue = VecDeque::from([root]);
+        let mut order = vec![root];
+        while let Some(n) = queue.pop_front() {
+            for &c in &adj[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    children[n].push(c);
+                    queue.push_back(c);
+                    order.push(c);
+                }
+            }
+        }
+
+        // Coverage sets, accumulated bottom-up in reverse BFS order.
+        let ne = graph.len();
+        let mut cover: Vec<Vec<bool>> = vec![vec![false; ne]; nodes.len()];
+        for &n in order.iter().rev() {
+            match nodes[n] {
+                SummaryNode::Original(e) => cover[n][e.index()] = true,
+                SummaryNode::Abstract(aid) => {
+                    for &m in &summary.abstracts()[aid.index()].members {
+                        cover[n][m.index()] = true;
+                    }
+                }
+            }
+            // Children were processed already (reverse BFS order).
+            let kids = children[n].clone();
+            for c in kids {
+                for i in 0..ne {
+                    if cover[c][i] {
+                        cover[n][i] = true;
+                    }
+                }
+            }
+        }
+
+        SummaryTree {
+            nodes,
+            children,
+            cover,
+            root,
+        }
+    }
+}
+
+/// Mutable cost/visit counters shared between the summary walk and group
+/// expansions (also used by multi-level drill-down). With a
+/// [`VisitMemory`] attached, only *first* visits of non-target elements
+/// are charged (session mode: the user remembers what they have seen).
+#[derive(Debug, Default)]
+pub(crate) struct Charge<'m> {
+    pub cost: usize,
+    pub visited: usize,
+    pub memory: Option<&'m mut VisitMemory>,
+}
+
+impl<'m> Charge<'m> {
+    pub(crate) fn with_memory(memory: Option<&'m mut VisitMemory>) -> Self {
+        Charge {
+            cost: 0,
+            visited: 0,
+            memory,
+        }
+    }
+
+    /// Visit an original element: free if it is a target (or, in session
+    /// mode, already familiar).
+    pub(crate) fn visit_original(
+        &mut self,
+        e: ElementId,
+        tracker: &mut SatisfactionTracker<'_>,
+    ) {
+        self.visited += 1;
+        let is_target = tracker.visit(e);
+        let was_seen = match &mut self.memory {
+            Some(m) => m.record(e),
+            None => false,
+        };
+        if !is_target && !was_seen {
+            self.cost += 1;
+        }
+    }
+
+    /// Visit an abstract element (always one unit in §5.3; in session mode
+    /// only the first encounter of the group — keyed by its representative
+    /// — is charged).
+    pub(crate) fn visit_abstract(&mut self, representative: ElementId) {
+        self.visited += 1;
+        let was_seen = match &mut self.memory {
+            Some(m) => m.record(representative),
+            None => false,
+        };
+        if !was_seen {
+            self.cost += 1;
+        }
+    }
+}
+
+/// Best-first exploration of an expanded group's internal member forest
+/// (shared by flat summaries and multi-level drill-down).
+pub(crate) fn explore_group(
+    graph: &SchemaGraph,
+    members: &[ElementId],
+    tracker: &mut SatisfactionTracker<'_>,
+    expansion: ExpansionModel,
+    charge: &mut Charge,
+) {
+    let mut in_group = vec![false; graph.len()];
+    for &m in members {
+        in_group[m.index()] = true;
+    }
+    let eff = match expansion {
+        ExpansionModel::Reveal => CostModel::PathOnly,
+        ExpansionModel::Scan => CostModel::SiblingScan,
+    };
+    let intervals = euler_intervals(graph);
+    // Internal roots: members whose structural parent is outside the group.
+    let mut roots: Vec<ElementId> = members
+        .iter()
+        .copied()
+        .filter(|&m| graph.parent(m).map_or(true, |p| !in_group[p.index()]))
+        .collect();
+    roots.sort_unstable();
+
+    let useful = |tracker: &SatisfactionTracker<'_>, m: ElementId| {
+        let (s, t) = intervals[m.index()];
+        tracker.any_unsatisfied(|tgt| {
+            let (es, _) = intervals[tgt.index()];
+            in_group[tgt.index()] && s <= es && es < t
+        })
+    };
+    let group_has_unsatisfied =
+        |tracker: &SatisfactionTracker<'_>| tracker.any_unsatisfied(|t| in_group[t.index()]);
+
+    for &r in &roots {
+        if !group_has_unsatisfied(tracker) {
+            break;
+        }
+        let r_useful = useful(tracker, r);
+        if eff == CostModel::PathOnly && !r_useful {
+            continue;
+        }
+        charge.visit_original(r, tracker);
+        if !r_useful {
+            continue;
+        }
+        let mut stack: Vec<(ElementId, usize)> = vec![(r, 0)];
+        while !stack.is_empty() {
+            if tracker.done() {
+                return;
+            }
+            let top = stack.len() - 1;
+            let (node, next_child) = stack[top];
+            if !useful(tracker, node) {
+                stack.pop();
+                continue;
+            }
+            let kids: Vec<ElementId> = graph
+                .children(node)
+                .iter()
+                .copied()
+                .filter(|c| in_group[c.index()])
+                .collect();
+            if next_child >= kids.len() {
+                stack.pop();
+                continue;
+            }
+            let child = kids[next_child];
+            stack[top].1 += 1;
+            let child_useful = useful(tracker, child);
+            match eff {
+                CostModel::SiblingScan => {
+                    charge.visit_original(child, tracker);
+                    if child_useful {
+                        stack.push((child, 0));
+                    }
+                }
+                CostModel::PathOnly => {
+                    if child_useful {
+                        charge.visit_original(child, tracker);
+                        stack.push((child, 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Run<'a, 'm> {
+    graph: &'a SchemaGraph,
+    summary: &'a SchemaSummary,
+    view: &'a SummaryTree,
+    tracker: SatisfactionTracker<'a>,
+    charge: Charge<'m>,
+    model: CostModel,
+    expansion: ExpansionModel,
+}
+
+impl<'a, 'm> Run<'a, 'm> {
+    fn explore(&mut self) {
+        self.visit_node(self.view.root);
+        let mut stack: Vec<(usize, usize)> = vec![(self.view.root, 0)];
+        while !stack.is_empty() {
+            if self.tracker.done() {
+                break;
+            }
+            let top = stack.len() - 1;
+            let (node, next_child) = stack[top];
+            if !self.node_useful(node) {
+                stack.pop();
+                continue;
+            }
+            let kids = &self.view.children[node];
+            if next_child >= kids.len() {
+                stack.pop();
+                continue;
+            }
+            let child = kids[next_child];
+            stack[top].1 += 1;
+            let useful = self.node_useful(child);
+            match self.model {
+                CostModel::SiblingScan => {
+                    self.visit_node(child);
+                    if useful && !self.tracker.done() {
+                        stack.push((child, 0));
+                    }
+                }
+                CostModel::PathOnly => {
+                    if useful {
+                        self.visit_node(child);
+                        if !self.tracker.done() {
+                            stack.push((child, 0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether any unsatisfied target lies under `node` in the summary tree
+    /// (in terms of represented original elements).
+    fn node_useful(&self, node: usize) -> bool {
+        let cover = &self.view.cover[node];
+        self.tracker.any_unsatisfied(|t| cover[t.index()])
+    }
+
+    /// Visit a summary node: abstract elements always cost one unit;
+    /// original elements cost one unit unless they are targets. Visiting an
+    /// abstract element whose own members hold unsatisfied targets expands
+    /// it on the spot.
+    fn visit_node(&mut self, node: usize) {
+        match self.view.nodes[node] {
+            SummaryNode::Original(e) => {
+                self.charge.visit_original(e, &mut self.tracker);
+            }
+            SummaryNode::Abstract(aid) => {
+                let rep = self.summary.abstracts()[aid.index()].representative;
+                self.charge.visit_abstract(rep);
+                let members = &self.summary.abstracts()[aid.index()].members;
+                let mut in_group = vec![false; self.graph.len()];
+                for &m in members {
+                    in_group[m.index()] = true;
+                }
+                if self.tracker.any_unsatisfied(|t| in_group[t.index()]) {
+                    explore_group(
+                        self.graph,
+                        members,
+                        &mut self.tracker,
+                        self.expansion,
+                        &mut self.charge,
+                    );
+                }
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::best_first_cost;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::types::SchemaType;
+
+    /// site -> {people -> person* -> {pname, profile -> interest*},
+    ///          auctions -> auction* -> {bidder*, seller},
+    ///          regions -> asia -> item* -> iname}
+    fn graph() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "pname", SchemaType::simple_str()).unwrap();
+        let profile = b.add_child(person, "profile", SchemaType::rcd()).unwrap();
+        b.add_child(profile, "interest", SchemaType::set_of_rcd()).unwrap();
+        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
+        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(auction, "seller", SchemaType::rcd()).unwrap();
+        // Filler sections a blind best-first scan must wade through but a
+        // summary folds away (they sit between auctions and regions in
+        // document order).
+        for i in 0..8 {
+            b.add_child(b.root(), format!("meta{i}"), SchemaType::simple_str())
+                .unwrap();
+        }
+        let regions = b.add_child(b.root(), "regions", SchemaType::rcd()).unwrap();
+        let asia = b.add_child(regions, "asia", SchemaType::rcd()).unwrap();
+        let item = b.add_child(asia, "item", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(item, "iname", SchemaType::simple_str()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Summary with three groups: person-ish, auction-ish, item-ish.
+    fn summary(g: &SchemaGraph) -> SchemaSummary {
+        let find = |l: &str| g.find_unique(l).unwrap();
+        let groups = vec![
+            (
+                find("person"),
+                vec![find("people"), find("person"), find("pname"), find("profile"), find("interest")],
+            ),
+            (
+                find("auction"),
+                {
+                    let mut m =
+                        vec![find("auctions"), find("auction"), find("bidder"), find("seller")];
+                    m.extend((0..8).map(|i| find(&format!("meta{i}"))));
+                    m
+                },
+            ),
+            (
+                find("item"),
+                vec![find("regions"), find("asia"), find("item"), find("iname")],
+            ),
+        ];
+        SchemaSummary::from_grouping(g, groups, vec![]).unwrap()
+    }
+
+    #[test]
+    fn summary_discovery_finds_everything() {
+        let g = graph();
+        let s = summary(&g);
+        for labels in [vec!["pname"], vec!["interest"], vec!["bidder", "iname"]] {
+            let q = QueryIntention::from_labels(&g, "q", &labels).unwrap();
+            let r = summary_cost(&g, &s, &q, CostModel::SiblingScan);
+            assert!(r.found_all, "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn summary_cost_hand_computed() {
+        let g = graph();
+        let s = summary(&g);
+        // Looking for pname: root site (1, non-target) → scan summary
+        // children in document order: person-group is first (min element id
+        // = people). Visit abstract person (1), members contain pname →
+        // expand: internal root 'people' (1), descend: person (1), children
+        // scan: pname (free, found). Total = 4.
+        let q = QueryIntention::from_labels(&g, "q", &["pname"]).unwrap();
+        let r = summary_cost(&g, &s, &q, CostModel::SiblingScan);
+        assert_eq!(r.cost, 4);
+        assert!(r.found_all);
+    }
+
+    #[test]
+    fn summary_beats_best_first_for_deep_targets() {
+        let g = graph();
+        let s = summary(&g);
+        // interest is deep; summary jumps straight into the person group.
+        let q = QueryIntention::from_labels(&g, "q", &["interest", "iname"]).unwrap();
+        let with = summary_cost(&g, &s, &q, CostModel::SiblingScan);
+        let without = best_first_cost(&g, &q, CostModel::SiblingScan);
+        assert!(
+            with.cost <= without.cost,
+            "summary {} vs best-first {}",
+            with.cost,
+            without.cost
+        );
+    }
+
+    #[test]
+    fn abstract_visits_always_cost() {
+        let g = graph();
+        let s = summary(&g);
+        // Target in the last group: the user must pass over / examine
+        // earlier abstract elements; each costs one unit.
+        let q = QueryIntention::from_labels(&g, "q", &["iname"]).unwrap();
+        let r = summary_cost(&g, &s, &q, CostModel::SiblingScan);
+        // site(1) + person-group(1, scanned) + auction-group(1, scanned) +
+        // item-group(1) + expansion: regions(1), asia(1), item(1), iname(0).
+        assert_eq!(r.cost, 7);
+    }
+
+    #[test]
+    fn path_only_skips_useless_groups() {
+        let g = graph();
+        let s = summary(&g);
+        let q = QueryIntention::from_labels(&g, "q", &["iname"]).unwrap();
+        let scan = summary_cost(&g, &s, &q, CostModel::SiblingScan);
+        let path = summary_cost(&g, &s, &q, CostModel::PathOnly);
+        assert!(path.cost < scan.cost);
+        assert!(path.found_all);
+    }
+
+    #[test]
+    fn expanded_summary_keeps_working() {
+        let g = graph();
+        let s = summary(&g);
+        // Expand the person group; its members become kept originals.
+        let aid = s
+            .abstract_ids()
+            .find(|&a| g.label(s.abstracts()[a.index()].representative) == "person")
+            .unwrap();
+        let e = s.expand(&g, aid).unwrap();
+        let q = QueryIntention::from_labels(&g, "q", &["pname", "bidder"]).unwrap();
+        let r = summary_cost(&g, &e, &q, CostModel::SiblingScan);
+        assert!(r.found_all);
+    }
+
+    #[test]
+    fn targets_in_multiple_groups_all_found() {
+        let g = graph();
+        let s = summary(&g);
+        let q =
+            QueryIntention::from_labels(&g, "q", &["pname", "seller", "iname"]).unwrap();
+        let r = summary_cost(&g, &s, &q, CostModel::SiblingScan);
+        assert!(r.found_all);
+        assert!(r.cost >= 3); // at least the three abstract visits
+    }
+}

@@ -1,0 +1,168 @@
+//! `annotateSchema` (Figure 3): derive cardinality statistics from data.
+//!
+//! The pass visits the database in depth-first preorder using an explicit
+//! stack. At each data node it increments (a) the cardinality of the node's
+//! schema element, (b) the instance count of the structural link from its
+//! parent element, and (c) the instance count of each value link induced by
+//! the node's references. Relative cardinalities then fall out as
+//! `RC(e1 → e2) = linkCard / Card(e1)` on each side (Figure 3, line 15).
+
+use crate::tree::DataTree;
+use schema_summary_core::stats::LinkCount;
+use schema_summary_core::{SchemaError, SchemaGraph, SchemaStats};
+use std::collections::HashMap;
+
+/// Annotate `graph` with cardinalities derived from `data`.
+///
+/// Returns an error if `data` references schema elements outside `graph` or
+/// uses links the schema does not declare (run
+/// [`crate::conformance::check_conformance`] first for a precise report).
+pub fn annotate_schema(graph: &SchemaGraph, data: &DataTree) -> Result<SchemaStats, SchemaError> {
+    let mut card = vec![0u64; graph.len()];
+    let mut link_counts: HashMap<(u32, u32), u64> = HashMap::new();
+
+    // Depth-first preorder traversal with an explicit stack (Figure 3 line 4).
+    let mut stack = vec![data.root()];
+    while let Some(nid) = stack.pop() {
+        let node = data.node(nid);
+        let e = node.element;
+        graph.check(e)?;
+        // Line 9: e.Card++.
+        card[e.index()] += 1;
+        // Lines 10-11: increment the structural link from the parent element.
+        if let Some(pid) = node.parent {
+            let pe = data.node(pid).element;
+            if graph.parent(e) != Some(pe) {
+                return Err(SchemaError::Invalid(format!(
+                    "data node {nid} instantiates {} under parent element {}, which is not its schema parent",
+                    graph.label(e),
+                    graph.label(pe)
+                )));
+            }
+            *link_counts.entry((pe.0, e.0)).or_insert(0) += 1;
+        }
+        // Lines 12-13: increment value links for each reference.
+        for &rid in &node.refs {
+            let re = data.node(rid).element;
+            if !graph.value_links_from(e).contains(&re) {
+                return Err(SchemaError::Invalid(format!(
+                    "data node {nid} references element {} but schema declares no value link {} -> {}",
+                    graph.label(re),
+                    graph.label(e),
+                    graph.label(re)
+                )));
+            }
+            *link_counts.entry((e.0, re.0)).or_insert(0) += 1;
+        }
+        for &c in node.children.iter().rev() {
+            stack.push(c);
+        }
+    }
+
+    let counts: Vec<LinkCount> = link_counts
+        .into_iter()
+        .map(|((f, t), count)| LinkCount {
+            from: schema_summary_core::ElementId(f),
+            to: schema_summary_core::ElementId(t),
+            count,
+        })
+        .collect();
+    SchemaStats::from_link_counts(graph, &card, &counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DataTreeBuilder;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::types::SchemaType;
+    use schema_summary_core::ElementId;
+
+    /// site -> open_auctions -> open_auction* -> bidder*; people -> person*;
+    /// bidder ->V person.
+    fn schema() -> (SchemaGraph, ElementId, ElementId, ElementId, ElementId, ElementId) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let oas = b.add_child(b.root(), "open_auctions", SchemaType::rcd()).unwrap();
+        let oa = b.add_child(oas, "open_auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        let g = b.build().unwrap();
+        (g, oas, oa, bidder, people, person)
+    }
+
+    #[test]
+    fn annotation_matches_hand_count() {
+        let (g, oas, oa, bidder, people, person) = schema();
+        let mut t = DataTreeBuilder::new(g.root());
+        let oas_n = t.add_node(t.root(), oas);
+        let people_n = t.add_node(t.root(), people);
+        let p1 = t.add_node(people_n, person);
+        let p2 = t.add_node(people_n, person);
+        // Two auctions: one with 3 bidders, one with 1.
+        let a1 = t.add_node(oas_n, oa);
+        let a2 = t.add_node(oas_n, oa);
+        for target in [p1, p2, p1] {
+            let b = t.add_node(a1, bidder);
+            t.add_ref(b, target);
+        }
+        let b4 = t.add_node(a2, bidder);
+        t.add_ref(b4, p2);
+        let data = t.build();
+
+        let s = annotate_schema(&g, &data).unwrap();
+        assert_eq!(s.card(oa), 2.0);
+        assert_eq!(s.card(bidder), 4.0);
+        assert_eq!(s.card(person), 2.0);
+        // RC(oa -> bidder) = 4/2 = 2 bidders per auction on average.
+        assert!((s.rc(oa, bidder) - 2.0).abs() < 1e-12);
+        // RC(bidder -> oa) = 4/4 = 1.
+        assert!((s.rc(bidder, oa) - 1.0).abs() < 1e-12);
+        // RC(person -> bidder) = 4 refs / 2 persons = 2.
+        assert!((s.rc(person, bidder) - 2.0).abs() < 1e-12);
+        // RC(bidder -> person) = 4/4 = 1.
+        assert!((s.rc(bidder, person) - 1.0).abs() < 1e-12);
+        // Total card = number of data nodes.
+        assert_eq!(s.total_card(), data.len() as f64);
+    }
+
+    #[test]
+    fn rejects_wrong_parent() {
+        let (g, _oas, oa, _bidder, people, _person) = schema();
+        let mut t = DataTreeBuilder::new(g.root());
+        let people_n = t.add_node(t.root(), people);
+        // open_auction under people: schema violation.
+        t.add_node(people_n, oa);
+        let err = annotate_schema(&g, &t.build()).unwrap_err();
+        assert!(matches!(err, SchemaError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_undeclared_reference() {
+        let (g, oas, oa, _bidder, people, person) = schema();
+        let mut t = DataTreeBuilder::new(g.root());
+        let oas_n = t.add_node(t.root(), oas);
+        let a = t.add_node(oas_n, oa);
+        let people_n = t.add_node(t.root(), people);
+        let p = t.add_node(people_n, person);
+        // oa -> person is not a declared value link.
+        t.add_ref(a, p);
+        let err = annotate_schema(&g, &t.build()).unwrap_err();
+        assert!(matches!(err, SchemaError::Invalid(_)));
+    }
+
+    #[test]
+    fn empty_sections_get_zero_rc() {
+        let (g, _oas, oa, bidder, people, person) = schema();
+        // Only people populated; auctions absent entirely.
+        let mut t = DataTreeBuilder::new(g.root());
+        let people_n = t.add_node(t.root(), people);
+        t.add_node(people_n, person);
+        let s = annotate_schema(&g, &t.build()).unwrap();
+        assert_eq!(s.card(oa), 0.0);
+        assert_eq!(s.rc(oa, bidder), 0.0);
+        assert_eq!(s.rc(person, bidder), 0.0);
+        assert!(s.card(person) > 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Conformance checking between a data tree and a schema graph.
+//!
+//! Definition 1 footnotes the notion of conformance from the XML Schema
+//! recommendation; we implement the structural core of it:
+//!
+//! 1. every data node instantiates an element of the schema, and the root
+//!    node instantiates the schema root;
+//! 2. a child node's element must be a structural child of its parent
+//!    node's element;
+//! 3. an element whose type is not `SetOf ...` occurs at most once under
+//!    each parent node;
+//! 4. a `Choice`-typed node has at most one child;
+//! 5. every value reference follows a declared value link, and `Simple`
+//!    nodes have no children.
+
+use crate::tree::{DataTree, NodeId};
+use schema_summary_core::{ElementId, SchemaGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A single conformance violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// The root node does not instantiate the schema root.
+    WrongRoot {
+        /// Element the root node actually instantiates.
+        found: ElementId,
+    },
+    /// A node references a schema element the graph does not contain.
+    UnknownElement {
+        /// Offending data node.
+        node: NodeId,
+    },
+    /// A child node's element is not a structural child of the parent's.
+    NotAChild {
+        /// Offending data node.
+        node: NodeId,
+        /// Element of the child node.
+        child: ElementId,
+        /// Element of its parent node.
+        parent: ElementId,
+    },
+    /// A non-`SetOf` element occurs more than once under one parent node.
+    MultiplicityExceeded {
+        /// The parent data node.
+        parent: NodeId,
+        /// The element occurring too often.
+        element: ElementId,
+        /// How many times it occurred.
+        count: usize,
+    },
+    /// A `Choice`-typed node has more than one child.
+    ChoiceViolation {
+        /// The offending data node.
+        node: NodeId,
+        /// Number of children found.
+        count: usize,
+    },
+    /// A `Simple`-typed node has children.
+    SimpleWithChildren {
+        /// The offending data node.
+        node: NodeId,
+    },
+    /// A value reference does not follow a declared value link.
+    UndeclaredReference {
+        /// Referrer data node.
+        from: NodeId,
+        /// Referrer element.
+        from_element: ElementId,
+        /// Referee element.
+        to_element: ElementId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WrongRoot { found } => write!(f, "root node instantiates {found}"),
+            Violation::UnknownElement { node } => write!(f, "{node}: unknown schema element"),
+            Violation::NotAChild {
+                node,
+                child,
+                parent,
+            } => write!(f, "{node}: {child} is not a schema child of {parent}"),
+            Violation::MultiplicityExceeded {
+                parent,
+                element,
+                count,
+            } => write!(
+                f,
+                "{parent}: non-set element {element} occurs {count} times"
+            ),
+            Violation::ChoiceViolation { node, count } => {
+                write!(f, "{node}: choice node has {count} children")
+            }
+            Violation::SimpleWithChildren { node } => {
+                write!(f, "{node}: simple node has children")
+            }
+            Violation::UndeclaredReference {
+                from,
+                from_element,
+                to_element,
+            } => write!(
+                f,
+                "{from}: undeclared value reference {from_element} -> {to_element}"
+            ),
+        }
+    }
+}
+
+/// Check that `data` conforms to `graph`, returning all violations found
+/// (empty when conformant).
+pub fn check_conformance(graph: &SchemaGraph, data: &DataTree) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let root_el = data.node(data.root()).element;
+    if root_el != graph.root() {
+        out.push(Violation::WrongRoot { found: root_el });
+    }
+    for nid in data.node_ids() {
+        let node = data.node(nid);
+        if graph.check(node.element).is_err() {
+            out.push(Violation::UnknownElement { node: nid });
+            continue;
+        }
+        let ty = graph.ty(node.element);
+        if ty.is_simple() && !node.children.is_empty() {
+            out.push(Violation::SimpleWithChildren { node: nid });
+        }
+        if matches!(ty.base(), schema_summary_core::SchemaType::Choice) && node.children.len() > 1
+        {
+            out.push(Violation::ChoiceViolation {
+                node: nid,
+                count: node.children.len(),
+            });
+        }
+        // Child element legality + multiplicity.
+        let mut per_element: HashMap<ElementId, usize> = HashMap::new();
+        for &cid in &node.children {
+            let ce = data.node(cid).element;
+            if graph.check(ce).is_err() {
+                continue; // reported when the child itself is visited
+            }
+            if graph.parent(ce) != Some(node.element) {
+                out.push(Violation::NotAChild {
+                    node: cid,
+                    child: ce,
+                    parent: node.element,
+                });
+            } else {
+                *per_element.entry(ce).or_insert(0) += 1;
+            }
+        }
+        for (ce, count) in per_element {
+            if count > 1 && !graph.ty(ce).is_set() {
+                out.push(Violation::MultiplicityExceeded {
+                    parent: nid,
+                    element: ce,
+                    count,
+                });
+            }
+        }
+        // Reference legality.
+        for &rid in &node.refs {
+            let re = data.node(rid).element;
+            if !graph.value_links_from(node.element).contains(&re) {
+                out.push(Violation::UndeclaredReference {
+                    from: nid,
+                    from_element: node.element,
+                    to_element: re,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DataTreeBuilder;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::types::SchemaType;
+
+    fn schema() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("db");
+        let person = b.add_child(b.root(), "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let contact = b.add_child(person, "contact", SchemaType::choice()).unwrap();
+        b.add_child(contact, "email", SchemaType::simple_str()).unwrap();
+        b.add_child(contact, "phone", SchemaType::simple_str()).unwrap();
+        let friend = b.add_child(person, "friend", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(friend, person).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn conformant_instance_passes() {
+        let g = schema();
+        let person = g.find_unique("person").unwrap();
+        let name = g.find_unique("name").unwrap();
+        let contact = g.find_unique("contact").unwrap();
+        let email = g.find_unique("email").unwrap();
+        let friend = g.find_unique("friend").unwrap();
+
+        let mut t = DataTreeBuilder::new(g.root());
+        let p1 = t.add_node(t.root(), person);
+        t.add_node(p1, name);
+        let c1 = t.add_node(p1, contact);
+        t.add_node(c1, email);
+        let p2 = t.add_node(t.root(), person);
+        t.add_node(p2, name);
+        let f = t.add_node(p2, friend);
+        t.add_ref(f, p1);
+        assert!(check_conformance(&g, &t.build()).is_empty());
+    }
+
+    #[test]
+    fn detects_wrong_root_and_unknown_element() {
+        let g = schema();
+        let person = g.find_unique("person").unwrap();
+        let t = DataTreeBuilder::new(person).build();
+        let v = check_conformance(&g, &t);
+        assert!(v.iter().any(|x| matches!(x, Violation::WrongRoot { .. })));
+
+        let mut t2 = DataTreeBuilder::new(g.root());
+        t2.add_node(t2.root(), schema_summary_core::ElementId(99));
+        let v2 = check_conformance(&g, &t2.build());
+        assert!(v2.iter().any(|x| matches!(x, Violation::UnknownElement { .. })));
+    }
+
+    #[test]
+    fn detects_multiplicity_violation() {
+        let g = schema();
+        let person = g.find_unique("person").unwrap();
+        let name = g.find_unique("name").unwrap();
+        let mut t = DataTreeBuilder::new(g.root());
+        let p = t.add_node(t.root(), person);
+        t.add_node(p, name);
+        t.add_node(p, name); // name is not SetOf: violation
+        let v = check_conformance(&g, &t.build());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MultiplicityExceeded { count: 2, .. })));
+    }
+
+    #[test]
+    fn detects_choice_violation() {
+        let g = schema();
+        let person = g.find_unique("person").unwrap();
+        let contact = g.find_unique("contact").unwrap();
+        let email = g.find_unique("email").unwrap();
+        let phone = g.find_unique("phone").unwrap();
+        let mut t = DataTreeBuilder::new(g.root());
+        let p = t.add_node(t.root(), person);
+        let c = t.add_node(p, contact);
+        t.add_node(c, email);
+        t.add_node(c, phone); // both branches of a choice
+        let v = check_conformance(&g, &t.build());
+        assert!(v.iter().any(|x| matches!(x, Violation::ChoiceViolation { count: 2, .. })));
+    }
+
+    #[test]
+    fn detects_misplaced_child_and_bad_ref() {
+        let g = schema();
+        let person = g.find_unique("person").unwrap();
+        let name = g.find_unique("name").unwrap();
+        let mut t = DataTreeBuilder::new(g.root());
+        let n = t.add_node(t.root(), name); // name directly under root
+        let p = t.add_node(t.root(), person);
+        t.add_ref(p, n); // person -> name is not a declared value link
+        let v = check_conformance(&g, &t.build());
+        assert!(v.iter().any(|x| matches!(x, Violation::NotAChild { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UndeclaredReference { .. })));
+    }
+
+    #[test]
+    fn detects_simple_with_children() {
+        let g = schema();
+        let person = g.find_unique("person").unwrap();
+        let name = g.find_unique("name").unwrap();
+        let mut t = DataTreeBuilder::new(g.root());
+        let p = t.add_node(t.root(), person);
+        let n = t.add_node(p, name);
+        t.add_node(n, name); // children under a Simple node
+        let v = check_conformance(&g, &t.build());
+        assert!(v.iter().any(|x| matches!(x, Violation::SimpleWithChildren { .. })));
+    }
+}

@@ -1,0 +1,273 @@
+//! Seeded random instance generation.
+//!
+//! Generates data trees conforming to a schema graph, with configurable
+//! expected fan-outs for `SetOf` elements and presence probabilities for
+//! optional ones. Used by property tests (annotation invariants must hold on
+//! *any* conformant instance) and by examples that need plausible data
+//! without shipping a dataset.
+
+use crate::tree::{DataTree, DataTreeBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use schema_summary_core::{ElementId, SchemaGraph, SchemaType};
+use std::collections::HashMap;
+
+/// Configuration for [`generate_instance`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed; identical seeds produce identical instances.
+    pub seed: u64,
+    /// Default expected number of instances for `SetOf` children.
+    pub default_fanout: f64,
+    /// Probability that a non-set child is present (models optionality /
+    /// nullable columns).
+    pub presence_probability: f64,
+    /// Hard cap on the number of generated nodes; generation stops adding
+    /// children once reached (the tree stays conformant because only
+    /// optional/child counts are truncated).
+    pub max_nodes: usize,
+    /// Per-element fan-out overrides (applied when the element is a `SetOf`
+    /// child; key is the child element).
+    pub fanout_overrides: HashMap<ElementId, f64>,
+    /// Per-element presence-probability overrides for non-set children
+    /// (models element-specific optionality).
+    pub presence_overrides: HashMap<ElementId, f64>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0,
+            default_fanout: 2.0,
+            presence_probability: 0.9,
+            max_nodes: 100_000,
+            fanout_overrides: HashMap::new(),
+            presence_overrides: HashMap::new(),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Builder-style seed setter.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style fan-out override for `element`.
+    pub fn with_fanout(mut self, element: ElementId, fanout: f64) -> Self {
+        self.fanout_overrides.insert(element, fanout);
+        self
+    }
+
+    /// Builder-style presence-probability override for `element`.
+    pub fn with_presence(mut self, element: ElementId, probability: f64) -> Self {
+        self.presence_overrides.insert(element, probability.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Derive a generator configuration whose expected per-parent child
+    /// counts match the relative cardinalities of `stats`: set-typed
+    /// children get the structural `RC(parent → child)` as their fan-out,
+    /// non-set children get it as their presence probability. Materialized
+    /// instances then annotate back to approximately the same statistics
+    /// (value-link reference counts are one-per-referrer, which matches
+    /// profiles whose per-referrer rates are 1).
+    pub fn from_stats(
+        graph: &schema_summary_core::SchemaGraph,
+        stats: &schema_summary_core::SchemaStats,
+        seed: u64,
+        max_nodes: usize,
+    ) -> Self {
+        let mut config = GeneratorConfig {
+            seed,
+            max_nodes,
+            ..Default::default()
+        };
+        for (parent, child) in graph.structural_links() {
+            let rc = stats.rc(parent, child);
+            if graph.ty(child).is_set() {
+                config.fanout_overrides.insert(child, rc);
+            } else {
+                config.presence_overrides.insert(child, rc.clamp(0.0, 1.0));
+            }
+        }
+        config
+    }
+}
+
+/// Generate a random conformant instance of `graph`.
+///
+/// Set-typed children get a geometric-ish number of instances with the
+/// configured mean; non-set children appear with `presence_probability`
+/// (choice children: exactly one branch is picked). After the tree is
+/// built, every declared value link `(referrer → referee)` is instantiated
+/// by giving each referrer node one reference to a uniformly random referee
+/// node (if any referee nodes exist).
+pub fn generate_instance(graph: &SchemaGraph, config: &GeneratorConfig) -> DataTree {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DataTreeBuilder::new(graph.root());
+    let mut nodes_of: Vec<Vec<NodeId>> = vec![Vec::new(); graph.len()];
+    nodes_of[graph.root().index()].push(b.root());
+
+    // Breadth-first expansion keeps truncation (max_nodes) spread across the
+    // whole schema instead of starving late siblings.
+    let mut frontier = vec![(b.root(), graph.root())];
+    while let Some((nid, eid)) = frontier.pop() {
+        if b.len() >= config.max_nodes {
+            break;
+        }
+        let children = graph.children(eid);
+        if children.is_empty() {
+            continue;
+        }
+        if matches!(graph.ty(eid).base(), SchemaType::Choice) {
+            // Exactly one branch of a choice.
+            let pick = children[rng.random_range(0..children.len())];
+            let cid = b.add_node(nid, pick);
+            nodes_of[pick.index()].push(cid);
+            frontier.push((cid, pick));
+            continue;
+        }
+        for &ce in children {
+            let count = if graph.ty(ce).is_set() {
+                let mean = config
+                    .fanout_overrides
+                    .get(&ce)
+                    .copied()
+                    .unwrap_or(config.default_fanout);
+                sample_count(&mut rng, mean)
+            } else {
+                let p = config
+                    .presence_overrides
+                    .get(&ce)
+                    .copied()
+                    .unwrap_or(config.presence_probability);
+                usize::from(rng.random::<f64>() < p)
+            };
+            for _ in 0..count {
+                if b.len() >= config.max_nodes {
+                    break;
+                }
+                let cid = b.add_node(nid, ce);
+                nodes_of[ce.index()].push(cid);
+                frontier.push((cid, ce));
+            }
+        }
+    }
+
+    // Instantiate value links.
+    for (from_e, to_e) in graph.value_links() {
+        let targets = &nodes_of[to_e.index()];
+        if targets.is_empty() {
+            continue;
+        }
+        // Clone the referrer list: add_ref borrows the builder mutably.
+        let referrers = nodes_of[from_e.index()].clone();
+        for from_n in referrers {
+            let t = targets[rng.random_range(0..targets.len())];
+            b.add_ref(from_n, t);
+        }
+    }
+    b.build()
+}
+
+/// Sample a non-negative count with the given mean: `floor(mean)` plus a
+/// Bernoulli for the fractional part, then ±1 jitter (clamped at 0) to add
+/// variance while keeping the expectation close to `mean`.
+fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let base = mean.floor() as i64;
+    let frac_extra = i64::from(rng.random::<f64>() < mean.fract());
+    let jitter = rng.random_range(-1..=1);
+    (base + frac_extra + jitter).max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_schema;
+    use crate::conformance::check_conformance;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+
+    fn schema() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let contact = b.add_child(person, "contact", SchemaType::choice()).unwrap();
+        b.add_child(contact, "email", SchemaType::simple_str()).unwrap();
+        b.add_child(contact, "phone", SchemaType::simple_str()).unwrap();
+        let oas = b.add_child(b.root(), "open_auctions", SchemaType::rcd()).unwrap();
+        let oa = b.add_child(oas, "open_auction", SchemaType::set_of_rcd()).unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generated_instances_conform() {
+        let g = schema();
+        for seed in 0..10 {
+            let t = generate_instance(&g, &GeneratorConfig::default().with_seed(seed));
+            let violations = check_conformance(&g, &t);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = schema();
+        let cfg = GeneratorConfig::default().with_seed(42);
+        let a = generate_instance(&g, &cfg);
+        let b2 = generate_instance(&g, &cfg);
+        assert_eq!(a, b2);
+        let c = generate_instance(&g, &GeneratorConfig::default().with_seed(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fanout_override_steers_counts() {
+        let g = schema();
+        let person = g.find_unique("person").unwrap();
+        let cfg = GeneratorConfig {
+            seed: 7,
+            default_fanout: 2.0,
+            ..Default::default()
+        }
+        .with_fanout(person, 50.0);
+        let t = generate_instance(&g, &cfg);
+        assert!(t.count_of(person) >= 40, "got {}", t.count_of(person));
+    }
+
+    #[test]
+    fn node_cap_respected() {
+        let g = schema();
+        let cfg = GeneratorConfig {
+            seed: 1,
+            default_fanout: 10.0,
+            max_nodes: 50,
+            ..Default::default()
+        };
+        let t = generate_instance(&g, &cfg);
+        assert!(t.len() <= 50);
+        // Still conformant even when truncated.
+        assert!(check_conformance(&g, &t).is_empty());
+    }
+
+    #[test]
+    fn generated_instance_annotates() {
+        let g = schema();
+        let t = generate_instance(&g, &GeneratorConfig::default().with_seed(3));
+        let s = annotate_schema(&g, &t).unwrap();
+        assert_eq!(s.total_card(), t.len() as f64);
+        // Bidders reference persons, so if both exist RC(person->bidder) > 0.
+        let person = g.find_unique("person").unwrap();
+        let bidder = g.find_unique("bidder").unwrap();
+        if s.card(bidder) > 0.0 && s.card(person) > 0.0 {
+            assert!(s.rc(person, bidder) > 0.0);
+        }
+    }
+}

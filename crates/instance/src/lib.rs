@@ -1,0 +1,30 @@
+//! Database instances and the `annotateSchema` cardinality pass.
+//!
+//! The paper's algorithms observe the database through two statistics —
+//! element cardinalities and link relative cardinalities — computed by a
+//! single depth-first pass over the data (Figure 3). This crate provides:
+//!
+//! * [`tree::DataTree`] — a materialized hierarchical database instance
+//!   (XML documents; relational databases are mapped onto the same shape
+//!   with one node per row and one child node per column value);
+//! * [`conformance`] — validation that an instance conforms to a schema
+//!   graph (the notion of conformance referenced in Definition 1);
+//! * [`annotate`] — the faithful Figure-3 implementation producing
+//!   [`schema_summary_core::SchemaStats`];
+//! * [`relational::RelationalInstance`] — a table/row representation that
+//!   lowers to a [`tree::DataTree`] under the artificial root;
+//! * [`generate`] — a seeded random instance generator used by property
+//!   tests and examples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annotate;
+pub mod conformance;
+pub mod generate;
+pub mod relational;
+pub mod tree;
+
+pub use annotate::annotate_schema;
+pub use conformance::check_conformance;
+pub use tree::{DataTree, DataTreeBuilder, NodeId};

@@ -1,0 +1,256 @@
+//! Relational instances and their lowering onto the hierarchical data model.
+//!
+//! Section 2 maps a relational schema onto the schema graph by introducing
+//! an artificial root with structural links to every relation element;
+//! relations are `SetOf Rcd` elements and columns their `Simple` children.
+//! Correspondingly, a relational *instance* lowers to a [`DataTree`]: one
+//! node per row under the relation element, one child node per non-null
+//! column value, and one value reference per resolved foreign key.
+
+use crate::tree::{DataTree, DataTreeBuilder, NodeId};
+use schema_summary_core::{ElementId, SchemaError, SchemaGraph};
+use std::collections::HashMap;
+
+/// A foreign-key reference from a row to a row of another table, by primary
+/// key value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForeignKey {
+    /// The referee relation element.
+    pub to_table: ElementId,
+    /// The primary-key value of the referenced row.
+    pub key: u64,
+}
+
+/// One row: its primary key, which columns are non-null, and its foreign
+/// keys. Column presence is all the summarizer needs; actual values are
+/// irrelevant to cardinality statistics.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Primary-key value identifying this row within its table.
+    pub key: u64,
+    /// Subset of the table's column elements that are non-null in this row.
+    pub columns: Vec<ElementId>,
+    /// Outgoing foreign keys.
+    pub fks: Vec<ForeignKey>,
+}
+
+/// A populated table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The relation element this table instantiates.
+    pub element: ElementId,
+    /// The table's rows.
+    pub rows: Vec<Row>,
+}
+
+/// A relational database instance over a relational-style schema graph.
+#[derive(Debug, Clone, Default)]
+pub struct RelationalInstance {
+    /// All populated tables.
+    pub tables: Vec<Table>,
+}
+
+impl RelationalInstance {
+    /// Create an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table, returning `self` for chaining.
+    pub fn with_table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Lower this instance to a [`DataTree`] under `graph`'s artificial
+    /// root.
+    ///
+    /// Foreign keys must reference existing rows; dangling references and
+    /// tables whose element is not a child of the root are reported as
+    /// errors.
+    pub fn to_data_tree(&self, graph: &SchemaGraph) -> Result<DataTree, SchemaError> {
+        let mut b = DataTreeBuilder::new(graph.root());
+        // First pass: create all row nodes so FKs can resolve forward.
+        let mut row_nodes: HashMap<(ElementId, u64), NodeId> = HashMap::new();
+        for table in &self.tables {
+            graph.check(table.element)?;
+            if graph.parent(table.element) != Some(graph.root()) {
+                return Err(SchemaError::Invalid(format!(
+                    "table element {} is not a child of the artificial root",
+                    graph.label(table.element)
+                )));
+            }
+            for row in &table.rows {
+                let nid = b.add_node(b.root(), table.element);
+                if row_nodes.insert((table.element, row.key), nid).is_some() {
+                    return Err(SchemaError::Invalid(format!(
+                        "duplicate key {} in table {}",
+                        row.key,
+                        graph.label(table.element)
+                    )));
+                }
+            }
+        }
+        // Second pass: column nodes and resolved references.
+        for table in &self.tables {
+            for row in &table.rows {
+                let rnode = row_nodes[&(table.element, row.key)];
+                for &col in &row.columns {
+                    if graph.parent(col) != Some(table.element) {
+                        return Err(SchemaError::Invalid(format!(
+                            "column {} is not a column of table {}",
+                            graph.label(col),
+                            graph.label(table.element)
+                        )));
+                    }
+                    b.add_node(rnode, col);
+                }
+                for fk in &row.fks {
+                    let target =
+                        row_nodes
+                            .get(&(fk.to_table, fk.key))
+                            .ok_or_else(|| {
+                                SchemaError::Invalid(format!(
+                                    "dangling foreign key {}({}) from table {}",
+                                    graph.label(fk.to_table),
+                                    fk.key,
+                                    graph.label(table.element)
+                                ))
+                            })?;
+                    b.add_ref(rnode, *target);
+                }
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_schema;
+    use schema_summary_core::graph::SchemaGraphBuilder;
+    use schema_summary_core::types::SchemaType;
+
+    /// db -> {customer(c_id, c_name), orders(o_id, o_total)};
+    /// orders ->V customer.
+    fn schema() -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("db");
+        let customer = b.add_child(b.root(), "customer", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(customer, "c_id", SchemaType::simple_id()).unwrap();
+        b.add_child(customer, "c_name", SchemaType::simple_str()).unwrap();
+        let orders = b.add_child(b.root(), "orders", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(orders, "o_id", SchemaType::simple_id()).unwrap();
+        b.add_child(orders, "o_total", SchemaType::simple_int()).unwrap();
+        b.add_value_link(orders, customer).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lowering_counts_match() {
+        let g = schema();
+        let customer = g.find_unique("customer").unwrap();
+        let orders = g.find_unique("orders").unwrap();
+        let c_id = g.find_unique("c_id").unwrap();
+        let c_name = g.find_unique("c_name").unwrap();
+        let o_id = g.find_unique("o_id").unwrap();
+        let o_total = g.find_unique("o_total").unwrap();
+
+        let inst = RelationalInstance::new()
+            .with_table(Table {
+                element: customer,
+                rows: (0..4)
+                    .map(|k| Row {
+                        key: k,
+                        columns: vec![c_id, c_name],
+                        fks: vec![],
+                    })
+                    .collect(),
+            })
+            .with_table(Table {
+                element: orders,
+                rows: (0..12)
+                    .map(|k| Row {
+                        key: k,
+                        columns: vec![o_id, o_total],
+                        fks: vec![ForeignKey {
+                            to_table: customer,
+                            key: k % 4,
+                        }],
+                    })
+                    .collect(),
+            });
+
+        let tree = inst.to_data_tree(&g).unwrap();
+        // 1 root + 4 customers + 8 customer columns + 12 orders + 24 order columns.
+        assert_eq!(tree.len(), 1 + 4 + 8 + 12 + 24);
+        let stats = annotate_schema(&g, &tree).unwrap();
+        assert_eq!(stats.card(customer), 4.0);
+        assert_eq!(stats.card(orders), 12.0);
+        // 3 orders per customer.
+        assert!((stats.rc(customer, orders) - 3.0).abs() < 1e-12);
+        assert!((stats.rc(orders, customer) - 1.0).abs() < 1e-12);
+        // Every order has exactly one o_total.
+        assert!((stats.rc(orders, o_total) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_columns_reduce_rc() {
+        let g = schema();
+        let customer = g.find_unique("customer").unwrap();
+        let c_id = g.find_unique("c_id").unwrap();
+        let c_name = g.find_unique("c_name").unwrap();
+        let inst = RelationalInstance::new().with_table(Table {
+            element: customer,
+            rows: vec![
+                Row { key: 0, columns: vec![c_id, c_name], fks: vec![] },
+                Row { key: 1, columns: vec![c_id], fks: vec![] }, // null name
+            ],
+        });
+        let tree = inst.to_data_tree(&g).unwrap();
+        let stats = annotate_schema(&g, &tree).unwrap();
+        assert!((stats.rc(customer, c_name) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dangling_fk_rejected() {
+        let g = schema();
+        let customer = g.find_unique("customer").unwrap();
+        let orders = g.find_unique("orders").unwrap();
+        let inst = RelationalInstance::new().with_table(Table {
+            element: orders,
+            rows: vec![Row {
+                key: 0,
+                columns: vec![],
+                fks: vec![ForeignKey { to_table: customer, key: 42 }],
+            }],
+        });
+        assert!(inst.to_data_tree(&g).is_err());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let g = schema();
+        let customer = g.find_unique("customer").unwrap();
+        let inst = RelationalInstance::new().with_table(Table {
+            element: customer,
+            rows: vec![
+                Row { key: 7, columns: vec![], fks: vec![] },
+                Row { key: 7, columns: vec![], fks: vec![] },
+            ],
+        });
+        assert!(inst.to_data_tree(&g).is_err());
+    }
+
+    #[test]
+    fn foreign_column_rejected() {
+        let g = schema();
+        let customer = g.find_unique("customer").unwrap();
+        let o_id = g.find_unique("o_id").unwrap();
+        let inst = RelationalInstance::new().with_table(Table {
+            element: customer,
+            rows: vec![Row { key: 0, columns: vec![o_id], fks: vec![] }],
+        });
+        assert!(inst.to_data_tree(&g).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Materialized hierarchical database instances.
+//!
+//! A [`DataTree`] is a forest-free tree of data nodes, each tagged with the
+//! schema element it instantiates, plus resolved value references between
+//! nodes (`IDREF`s, foreign keys). Atomic values themselves are irrelevant
+//! to summarization (only counts matter), so nodes do not store values; the
+//! `io` crate's XML loader discards text content after resolving references.
+
+use schema_summary_core::ids::ElementId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data node within a [`DataTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One data node: an instance of a schema element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataNode {
+    /// The schema element this node instantiates.
+    pub element: ElementId,
+    /// Parent data node (`None` only for the root).
+    pub parent: Option<NodeId>,
+    /// Child data nodes in document order.
+    pub children: Vec<NodeId>,
+    /// Value references from this node to referee nodes.
+    pub refs: Vec<NodeId>,
+}
+
+/// A materialized database instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataTree {
+    nodes: Vec<DataNode>,
+    root: NodeId,
+}
+
+impl DataTree {
+    /// Number of data nodes (the paper's "# data elements").
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes (never true for built trees).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root data node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node record for `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &DataNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterator over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth-first preorder traversal (children in document order), using an
+    /// explicit stack exactly as Figure 3 prescribes.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.node(n).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Number of nodes instantiating `element`.
+    pub fn count_of(&self, element: ElementId) -> usize {
+        self.nodes.iter().filter(|n| n.element == element).count()
+    }
+}
+
+/// Incremental builder for [`DataTree`].
+#[derive(Debug, Clone)]
+pub struct DataTreeBuilder {
+    nodes: Vec<DataNode>,
+}
+
+impl DataTreeBuilder {
+    /// Start a tree whose root node instantiates `root_element`.
+    pub fn new(root_element: ElementId) -> Self {
+        DataTreeBuilder {
+            nodes: vec![DataNode {
+                element: root_element,
+                parent: None,
+                children: Vec::new(),
+                refs: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root node id (always `NodeId(0)`).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes added so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Append a child node instantiating `element` under `parent`.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a node of this builder.
+    pub fn add_node(&mut self, parent: NodeId, element: ElementId) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "unknown parent {parent}");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(DataNode {
+            element,
+            parent: Some(parent),
+            children: Vec::new(),
+            refs: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Record a value reference from `from` to `to`.
+    ///
+    /// # Panics
+    /// Panics if either node is unknown.
+    pub fn add_ref(&mut self, from: NodeId, to: NodeId) {
+        assert!(from.index() < self.nodes.len(), "unknown node {from}");
+        assert!(to.index() < self.nodes.len(), "unknown node {to}");
+        self.nodes[from.index()].refs.push(to);
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> DataTree {
+        DataTree {
+            nodes: self.nodes,
+            root: NodeId(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_traverse() {
+        let e = |i| ElementId(i);
+        let mut b = DataTreeBuilder::new(e(0));
+        let a = b.add_node(b.root(), e(1));
+        let _a1 = b.add_node(a, e(2));
+        let _a2 = b.add_node(a, e(2));
+        let c = b.add_node(b.root(), e(3));
+        b.add_ref(c, a);
+        let t = b.build();
+
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.count_of(e(2)), 2);
+        let order = t.preorder();
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], t.root());
+        // Preorder: root, a, a1, a2, c.
+        assert_eq!(t.node(order[1]).element, e(1));
+        assert_eq!(t.node(order[4]).element, e(3));
+        assert_eq!(t.node(c).refs, vec![a]);
+        assert_eq!(t.node(a).parent, Some(t.root()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_panics() {
+        let mut b = DataTreeBuilder::new(ElementId(0));
+        b.add_node(NodeId(99), ElementId(1));
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        // root -> (x -> (y), z); preorder must be root, x, y, z.
+        let mut b = DataTreeBuilder::new(ElementId(0));
+        let x = b.add_node(b.root(), ElementId(1));
+        let _y = b.add_node(x, ElementId(2));
+        let _z = b.add_node(b.root(), ElementId(3));
+        let t = b.build();
+        let els: Vec<u32> = t.preorder().iter().map(|&n| t.node(n).element.0).collect();
+        assert_eq!(els, vec![0, 1, 2, 3]);
+    }
+}

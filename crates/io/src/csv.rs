@@ -1,0 +1,290 @@
+//! CSV front-end: populate a relational schema graph from CSV table dumps.
+//!
+//! Each CSV corresponds to one relation element; the header row names the
+//! relation's column elements. Cells:
+//!
+//! * the column typed `Id` supplies the row key (rows without one are
+//!   keyed by position);
+//! * columns typed `IdRef` hold foreign keys; the n-th `IdRef` column (in
+//!   schema declaration order) resolves against the n-th declared value
+//!   link of the relation — the convention the DDL front-end produces;
+//! * empty cells are NULLs (the column node is simply absent, lowering the
+//!   column's relative cardinality exactly as Figure 3 would measure).
+//!
+//! Quoting follows RFC-4180 basics: fields may be double-quoted, with `""`
+//! as the escape.
+
+use crate::ParseError;
+use schema_summary_core::{AtomicType, ElementId, SchemaGraph};
+use schema_summary_instance::relational::{ForeignKey, RelationalInstance, Row, Table};
+use schema_summary_instance::DataTree;
+use std::collections::HashMap;
+
+/// Load CSV dumps (`(table label, csv text)` pairs) into a data tree over
+/// `graph`.
+pub fn load_csv_instance(
+    graph: &SchemaGraph,
+    inputs: &[(&str, &str)],
+) -> Result<DataTree, ParseError> {
+    let mut instance = RelationalInstance::new();
+    // String keys are interned to u64 per table for the relational model.
+    let mut key_interner: HashMap<(ElementId, String), u64> = HashMap::new();
+    let mut next_key: HashMap<ElementId, u64> = HashMap::new();
+    let mut intern = |table: ElementId, raw: &str| -> u64 {
+        if let Some(&k) = key_interner.get(&(table, raw.to_string())) {
+            return k;
+        }
+        let counter = next_key.entry(table).or_insert(0);
+        let k = *counter;
+        *counter += 1;
+        key_interner.insert((table, raw.to_string()), k);
+        k
+    };
+
+    // First pass: rows and keys (so forward foreign keys resolve).
+    let mut parsed: Vec<(ElementId, Vec<Vec<Option<String>>>, Vec<ElementId>)> = Vec::new();
+    for &(label, text) in inputs {
+        let table = graph
+            .find_unique(label)
+            .ok_or_else(|| ParseError::new(0, format!("unknown table '{label}'")))?;
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (hline, header) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(1, format!("{label}: empty CSV")))?;
+        let header = split_csv_line(header, hline + 1)?;
+        let columns: Vec<ElementId> = header
+            .iter()
+            .map(|name| {
+                graph
+                    .children(table)
+                    .iter()
+                    .copied()
+                    .find(|&c| graph.label(c) == name.trim())
+                    .ok_or_else(|| {
+                        ParseError::new(
+                            hline + 1,
+                            format!("'{}' is not a column of {label}", name.trim()),
+                        )
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut rows = Vec::new();
+        for (lno, line) in lines {
+            let cells = split_csv_line(line, lno + 1)?;
+            if cells.len() != columns.len() {
+                return Err(ParseError::new(
+                    lno + 1,
+                    format!(
+                        "{label}: row has {} cells, header has {}",
+                        cells.len(),
+                        columns.len()
+                    ),
+                ));
+            }
+            rows.push(
+                cells
+                    .into_iter()
+                    .map(|c| if c.is_empty() { None } else { Some(c) })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        parsed.push((table, rows, columns));
+    }
+
+    // Second pass: build rows with interned keys and resolved FKs.
+    for (table, rows, columns) in &parsed {
+        // Positions of special columns.
+        let id_col = columns
+            .iter()
+            .position(|&c| graph.ty(c).atomic() == Some(AtomicType::Id));
+        let idref_cols: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| graph.ty(c).atomic() == Some(AtomicType::IdRef))
+            .map(|(i, _)| i)
+            .collect();
+        let fk_targets = graph.value_links_from(*table);
+        if idref_cols.len() > fk_targets.len() {
+            return Err(ParseError::new(
+                0,
+                format!(
+                    "{}: {} IdRef columns but only {} declared foreign keys",
+                    graph.label(*table),
+                    idref_cols.len(),
+                    fk_targets.len()
+                ),
+            ));
+        }
+        let mut out_rows = Vec::with_capacity(rows.len());
+        for (ri, cells) in rows.iter().enumerate() {
+            let key = match id_col.and_then(|i| cells[i].as_deref()) {
+                Some(raw) => intern(*table, raw),
+                None => intern(*table, &format!("__row{ri}")),
+            };
+            let present: Vec<ElementId> = columns
+                .iter()
+                .zip(cells)
+                .filter(|&(_, cell)| cell.is_some())
+                .map(|(&c, _)| c)
+                .collect();
+            let mut fks = Vec::new();
+            for (fk_idx, &ci) in idref_cols.iter().enumerate() {
+                if let Some(raw) = cells[ci].as_deref() {
+                    let target_table = fk_targets[fk_idx];
+                    fks.push(ForeignKey {
+                        to_table: target_table,
+                        key: intern(target_table, raw),
+                    });
+                }
+            }
+            out_rows.push(Row {
+                key,
+                columns: present,
+                fks,
+            });
+        }
+        instance = instance.with_table(Table {
+            element: *table,
+            rows: out_rows,
+        });
+    }
+    instance
+        .to_data_tree(graph)
+        .map_err(|e| ParseError::new(0, e.to_string()))
+}
+
+/// Split one CSV line into fields (RFC-4180 quoting, `""` escapes).
+fn split_csv_line(line: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => return Err(ParseError::new(lineno, "stray quote inside field")),
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(ParseError::new(lineno, "unterminated quoted field"));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::parse_ddl;
+    use schema_summary_instance::{annotate_schema, check_conformance};
+
+    const DDL: &str = r"
+        CREATE TABLE dept (d_id INTEGER PRIMARY KEY, d_name VARCHAR(20));
+        CREATE TABLE emp (
+            e_id   INTEGER PRIMARY KEY,
+            e_name VARCHAR(20),
+            e_dept INTEGER REFERENCES dept
+        );
+    ";
+
+    #[test]
+    fn loads_tables_and_resolves_fks() {
+        let g = parse_ddl(DDL, "db").unwrap();
+        let tree = load_csv_instance(
+            &g,
+            &[
+                ("dept", "d_id,d_name\n1,Eng\n2,Sales\n"),
+                ("emp", "e_id,e_name,e_dept\n10,Ada,1\n11,Grace,1\n12,Edsger,2\n"),
+            ],
+        )
+        .unwrap();
+        assert!(check_conformance(&g, &tree).is_empty());
+        let stats = annotate_schema(&g, &tree).unwrap();
+        let dept = g.find_unique("dept").unwrap();
+        let emp = g.find_unique("emp").unwrap();
+        assert_eq!(stats.card(dept), 2.0);
+        assert_eq!(stats.card(emp), 3.0);
+        assert!((stats.rc(dept, emp) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_cells_lower_column_rc() {
+        let g = parse_ddl(DDL, "db").unwrap();
+        let tree = load_csv_instance(
+            &g,
+            &[
+                ("dept", "d_id,d_name\n1,Eng\n2,\n"),
+                ("emp", "e_id,e_name,e_dept\n10,Ada,1\n"),
+            ],
+        )
+        .unwrap();
+        let stats = annotate_schema(&g, &tree).unwrap();
+        let dept = g.find_unique("dept").unwrap();
+        let d_name = g.find_unique("d_name").unwrap();
+        assert!((stats.rc(dept, d_name) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let fields =
+            split_csv_line(r#"1,"hello, world","she said ""hi""",plain"#, 1).unwrap();
+        assert_eq!(fields, vec!["1", "hello, world", "she said \"hi\"", "plain"]);
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected() {
+        assert!(split_csv_line(r#""unterminated"#, 1).is_err());
+        let g = parse_ddl(DDL, "db").unwrap();
+        // Wrong cell count.
+        assert!(load_csv_instance(&g, &[("dept", "d_id,d_name\n1\n")]).is_err());
+        // Unknown column.
+        assert!(load_csv_instance(&g, &[("dept", "d_id,bogus\n1,x\n")]).is_err());
+        // Unknown table.
+        assert!(load_csv_instance(&g, &[("nope", "a\n1\n")]).is_err());
+    }
+
+    #[test]
+    fn dangling_fk_reaches_relational_check() {
+        let g = parse_ddl(DDL, "db").unwrap();
+        // e_dept=9 interns a dept key that has no row: to_data_tree rejects.
+        let err = load_csv_instance(
+            &g,
+            &[
+                ("dept", "d_id,d_name\n1,Eng\n"),
+                ("emp", "e_id,e_name,e_dept\n10,Ada,9\n"),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.message.contains("dangling"), "{err}");
+    }
+
+    #[test]
+    fn string_keys_are_interned() {
+        let ddl = r"
+            CREATE TABLE t (code VARCHAR(4) PRIMARY KEY, v VARCHAR(4));
+            CREATE TABLE u (x VARCHAR(4) REFERENCES t);
+        ";
+        let g = parse_ddl(ddl, "db").unwrap();
+        let tree = load_csv_instance(
+            &g,
+            &[("t", "code,v\nAA,1\nBB,2\n"), ("u", "x\nAA\nAA\nBB\n")],
+        )
+        .unwrap();
+        let stats = annotate_schema(&g, &tree).unwrap();
+        let t = g.find_unique("t").unwrap();
+        let u = g.find_unique("u").unwrap();
+        assert!((stats.rc(t, u) - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,348 @@
+//! SQL DDL front-end: `CREATE TABLE` statements → relational schema graph.
+//!
+//! Supports the subset needed to express benchmark schemas:
+//!
+//! ```sql
+//! CREATE TABLE customer (
+//!     c_custkey   INTEGER PRIMARY KEY,
+//!     c_name      VARCHAR(25),
+//!     c_nationkey INTEGER REFERENCES nation,
+//!     c_comment   VARCHAR(117)
+//! );
+//! ```
+//!
+//! Tables become `SetOf Rcd` elements under an artificial root (Section 2's
+//! relational mapping), columns become `Simple` children typed from the SQL
+//! type, and `REFERENCES` clauses (or table-level `FOREIGN KEY ...
+//! REFERENCES ...`) become value links between the two relation elements.
+
+use crate::ParseError;
+use schema_summary_core::{AtomicType, SchemaGraph, SchemaGraphBuilder, SchemaType};
+
+/// Parse DDL text into a schema graph rooted at `root_label`.
+pub fn parse_ddl(input: &str, root_label: &str) -> Result<SchemaGraph, ParseError> {
+    let mut lexer = Lexer::new(input);
+    let mut builder = SchemaGraphBuilder::new(root_label);
+    // (referrer table, referee table, line) resolved after all tables exist.
+    let mut pending_fks: Vec<(String, String, usize)> = Vec::new();
+    let mut tables: Vec<(String, schema_summary_core::ElementId)> = Vec::new();
+
+    while let Some(tok) = lexer.peek()? {
+        if !tok.eq_ignore_ascii_case("create") {
+            return Err(ParseError::new(lexer.line, format!("expected CREATE, got '{tok}'")));
+        }
+        lexer.next_token()?;
+        lexer.expect_keyword("table")?;
+        let table_name = lexer.ident()?;
+        let table_el = builder
+            .add_child(builder.root(), table_name.clone(), SchemaType::set_of_rcd())
+            .map_err(|e| ParseError::new(lexer.line, e.to_string()))?;
+        tables.push((table_name.clone(), table_el));
+        lexer.expect_symbol('(')?;
+
+        loop {
+            let first = lexer.ident()?;
+            if first.eq_ignore_ascii_case("primary") {
+                lexer.expect_keyword("key")?;
+                lexer.skip_parenthesized()?;
+            } else if first.eq_ignore_ascii_case("foreign") {
+                lexer.expect_keyword("key")?;
+                lexer.skip_parenthesized()?;
+                lexer.expect_keyword("references")?;
+                let target = lexer.ident()?;
+                if lexer.peek_symbol('(') {
+                    lexer.skip_parenthesized()?;
+                }
+                pending_fks.push((table_name.clone(), target, lexer.line));
+            } else {
+                // Column definition: name type [modifiers...].
+                let col_name = first;
+                let sql_type = lexer.ident()?;
+                if lexer.peek_symbol('(') {
+                    lexer.skip_parenthesized()?; // VARCHAR(25), DECIMAL(15,2)
+                }
+                let mut atomic = atomic_of(&sql_type);
+                // Column modifiers until ',' or ')'.
+                loop {
+                    match lexer.peek()? {
+                        Some(word) if word.eq_ignore_ascii_case("primary") => {
+                            lexer.next_token()?;
+                            lexer.expect_keyword("key")?;
+                            atomic = AtomicType::Id;
+                        }
+                        Some(word) if word.eq_ignore_ascii_case("references") => {
+                            lexer.next_token()?;
+                            let target = lexer.ident()?;
+                            if lexer.peek_symbol('(') {
+                                lexer.skip_parenthesized()?;
+                            }
+                            atomic = AtomicType::IdRef;
+                            pending_fks.push((table_name.clone(), target, lexer.line));
+                        }
+                        Some(word)
+                            if word.eq_ignore_ascii_case("not")
+                                || word.eq_ignore_ascii_case("null")
+                                || word.eq_ignore_ascii_case("unique") =>
+                        {
+                            lexer.next_token()?;
+                        }
+                        _ => break,
+                    }
+                }
+                builder
+                    .add_child(table_el, col_name, SchemaType::Simple(atomic))
+                    .map_err(|e| ParseError::new(lexer.line, e.to_string()))?;
+            }
+            if lexer.peek_symbol(',') {
+                lexer.expect_symbol(',')?;
+                continue;
+            }
+            break;
+        }
+        lexer.expect_symbol(')')?;
+        if lexer.peek_symbol(';') {
+            lexer.expect_symbol(';')?;
+        }
+    }
+
+    for (from, to, line) in pending_fks {
+        let find = |name: &str| {
+            tables
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|&(_, e)| e)
+        };
+        let from_el = find(&from)
+            .ok_or_else(|| ParseError::new(line, format!("unknown table '{from}'")))?;
+        let to_el =
+            find(&to).ok_or_else(|| ParseError::new(line, format!("unknown table '{to}'")))?;
+        // Multiple FKs between the same tables collapse onto one value link.
+        let _ = builder.add_value_link(from_el, to_el);
+    }
+
+    builder
+        .build()
+        .map_err(|e| ParseError::new(0, e.to_string()))
+}
+
+fn atomic_of(sql_type: &str) -> AtomicType {
+    match sql_type.to_ascii_lowercase().as_str() {
+        "integer" | "int" | "bigint" | "smallint" => AtomicType::Int,
+        "decimal" | "numeric" | "float" | "double" | "real" => AtomicType::Float,
+        "date" | "timestamp" | "datetime" | "time" => AtomicType::Date,
+        "boolean" | "bool" => AtomicType::Bool,
+        _ => AtomicType::Str,
+    }
+}
+
+/// Minimal whitespace/comment-aware token stream over DDL text.
+struct Lexer<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { rest: input, line: 1 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let before = self.rest;
+            while let Some(c) = self.rest.chars().next() {
+                if c.is_whitespace() {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.rest = &self.rest[c.len_utf8()..];
+                } else {
+                    break;
+                }
+            }
+            if let Some(stripped) = self.rest.strip_prefix("--") {
+                match stripped.find('\n') {
+                    Some(i) => self.rest = &stripped[i..],
+                    None => self.rest = "",
+                }
+            }
+            if self.rest.len() == before.len() && self.rest == before {
+                break;
+            }
+        }
+    }
+
+    /// Peek the next word (identifier/keyword) without consuming; `None` at
+    /// end of input. Symbols are returned as single-char strings.
+    fn peek(&mut self) -> Result<Option<&'a str>, ParseError> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            return Ok(None);
+        }
+        let c = self.rest.chars().next().expect("non-empty");
+        if c.is_alphanumeric() || c == '_' {
+            let end = self
+                .rest
+                .find(|ch: char| !ch.is_alphanumeric() && ch != '_')
+                .unwrap_or(self.rest.len());
+            Ok(Some(&self.rest[..end]))
+        } else {
+            Ok(Some(&self.rest[..c.len_utf8()]))
+        }
+    }
+
+    fn next_token(&mut self) -> Result<&'a str, ParseError> {
+        let tok = self
+            .peek()?
+            .ok_or_else(|| ParseError::new(self.line, "unexpected end of input"))?;
+        self.rest = &self.rest[tok.len()..];
+        Ok(tok)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let tok = self.next_token()?;
+        if tok.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+            Ok(tok.to_string())
+        } else {
+            Err(ParseError::new(self.line, format!("expected identifier, got '{tok}'")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let tok = self.next_token()?;
+        if tok.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.line, format!("expected {kw}, got '{tok}'")))
+        }
+    }
+
+    fn peek_symbol(&mut self, sym: char) -> bool {
+        self.skip_ws();
+        self.rest.starts_with(sym)
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.rest.starts_with(sym) {
+            self.rest = &self.rest[sym.len_utf8()..];
+            Ok(())
+        } else {
+            Err(ParseError::new(self.line, format!("expected '{sym}'")))
+        }
+    }
+
+    /// Skip a balanced parenthesized group, e.g. `(15, 2)`.
+    fn skip_parenthesized(&mut self) -> Result<(), ParseError> {
+        self.expect_symbol('(')?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            let Some(c) = self.rest.chars().next() else {
+                return Err(ParseError::new(self.line, "unbalanced parentheses"));
+            };
+            if c == '(' {
+                depth += 1;
+            } else if c == ')' {
+                depth -= 1;
+            } else if c == '\n' {
+                self.line += 1;
+            }
+            self.rest = &self.rest[c.len_utf8()..];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = r"
+        -- two tables with a foreign key
+        CREATE TABLE nation (
+            n_nationkey INTEGER PRIMARY KEY,
+            n_name      VARCHAR(25) NOT NULL,
+            n_comment   VARCHAR(152)
+        );
+        CREATE TABLE customer (
+            c_custkey   INTEGER PRIMARY KEY,
+            c_name      VARCHAR(25),
+            c_acctbal   DECIMAL(15,2),
+            c_nationkey INTEGER REFERENCES nation (n_nationkey)
+        );
+    ";
+
+    #[test]
+    fn parses_tables_columns_fks() {
+        let g = parse_ddl(SIMPLE, "db").unwrap();
+        assert_eq!(g.len(), 1 + 2 + 3 + 4);
+        let nation = g.find_unique("nation").unwrap();
+        let customer = g.find_unique("customer").unwrap();
+        assert_eq!(g.children(nation).len(), 3);
+        assert_eq!(g.children(customer).len(), 4);
+        assert_eq!(g.value_links_from(customer), &[nation]);
+        assert!(g.ty(nation).is_set());
+        assert!(g.ty(nation).is_composite());
+    }
+
+    #[test]
+    fn column_types_map_to_atomics() {
+        let g = parse_ddl(SIMPLE, "db").unwrap();
+        let key = g.find_unique("n_nationkey").unwrap();
+        assert_eq!(g.ty(key).atomic(), Some(AtomicType::Id));
+        let bal = g.find_unique("c_acctbal").unwrap();
+        assert_eq!(g.ty(bal).atomic(), Some(AtomicType::Float));
+        let fk = g.find_unique("c_nationkey").unwrap();
+        assert_eq!(g.ty(fk).atomic(), Some(AtomicType::IdRef));
+        let name = g.find_unique("c_name").unwrap();
+        assert_eq!(g.ty(name).atomic(), Some(AtomicType::Str));
+    }
+
+    #[test]
+    fn table_level_foreign_key_clause() {
+        let ddl = r"
+            CREATE TABLE a (x INTEGER PRIMARY KEY);
+            CREATE TABLE b (
+                y INTEGER,
+                FOREIGN KEY (y) REFERENCES a (x)
+            );
+        ";
+        let g = parse_ddl(ddl, "db").unwrap();
+        let a = g.find_unique("a").unwrap();
+        let b = g.find_unique("b").unwrap();
+        assert_eq!(g.value_links_from(b), &[a]);
+    }
+
+    #[test]
+    fn unknown_reference_is_an_error() {
+        let ddl = "CREATE TABLE b (y INTEGER REFERENCES missing);";
+        let err = parse_ddl(ddl, "db").unwrap_err();
+        assert!(err.message.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_line_numbers() {
+        let err = parse_ddl("CREATE TABLE t (x INTEGER", "db").unwrap_err();
+        assert!(!err.message.is_empty());
+        let err2 = parse_ddl("DROP TABLE t;", "db").unwrap_err();
+        assert!(err2.message.contains("CREATE"));
+    }
+
+    #[test]
+    fn tpch_full_schema_parses_to_seventy_elements() {
+        // Mirrors the datasets crate's TPC-H definition through the DDL
+        // front-end.
+        let ddl = r"
+            CREATE TABLE region (r_regionkey INTEGER PRIMARY KEY, r_name VARCHAR(25), r_comment VARCHAR(152));
+            CREATE TABLE nation (n_nationkey INTEGER PRIMARY KEY, n_name VARCHAR(25), n_regionkey INTEGER REFERENCES region, n_comment VARCHAR(152));
+            CREATE TABLE supplier (s_suppkey INTEGER PRIMARY KEY, s_name VARCHAR(25), s_address VARCHAR(40), s_nationkey INTEGER REFERENCES nation, s_phone VARCHAR(15), s_acctbal DECIMAL(15,2), s_comment VARCHAR(101));
+            CREATE TABLE customer (c_custkey INTEGER PRIMARY KEY, c_name VARCHAR(25), c_address VARCHAR(40), c_nationkey INTEGER REFERENCES nation, c_phone VARCHAR(15), c_acctbal DECIMAL(15,2), c_mktsegment VARCHAR(10), c_comment VARCHAR(117));
+            CREATE TABLE part (p_partkey INTEGER PRIMARY KEY, p_name VARCHAR(55), p_mfgr VARCHAR(25), p_brand VARCHAR(10), p_type VARCHAR(25), p_size INTEGER, p_container VARCHAR(10), p_retailprice DECIMAL(15,2), p_comment VARCHAR(23));
+            CREATE TABLE partsupp (ps_partkey INTEGER REFERENCES part, ps_suppkey INTEGER REFERENCES supplier, ps_availqty INTEGER, ps_supplycost DECIMAL(15,2), ps_comment VARCHAR(199));
+            CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_custkey INTEGER REFERENCES customer, o_orderstatus VARCHAR(1), o_totalprice DECIMAL(15,2), o_orderdate DATE, o_orderpriority VARCHAR(15), o_clerk VARCHAR(15), o_shippriority INTEGER, o_comment VARCHAR(79));
+            CREATE TABLE lineitem (l_orderkey INTEGER REFERENCES orders, l_partkey INTEGER REFERENCES part, l_suppkey INTEGER REFERENCES supplier, l_linenumber INTEGER, l_quantity DECIMAL(15,2), l_extendedprice DECIMAL(15,2), l_discount DECIMAL(15,2), l_tax DECIMAL(15,2), l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, l_shipinstruct VARCHAR(25), l_shipmode VARCHAR(10), l_comment VARCHAR(44));
+        ";
+        let g = parse_ddl(ddl, "tpch").unwrap();
+        assert_eq!(g.len(), 70, "Table 1's TPC-H element count");
+        assert_eq!(g.num_value_links(), 9); // lineitem→partsupp needs a compound FK
+    }
+}

@@ -1,0 +1,311 @@
+//! Exporters: Graphviz DOT for schema graphs and summaries, JSON helpers.
+//!
+//! The DOT renderings follow the paper's figure conventions: solid arrows
+//! for structural links, dashed arrows for value links (and for abstract
+//! links that represent at least one value link), boxes for elements, and
+//! double boxes ("component" shape) for abstract elements.
+
+use schema_summary_core::summary::SummaryNode;
+use schema_summary_core::{SchemaGraph, SchemaSummary};
+use std::fmt::Write;
+
+/// Render a schema graph as Graphviz DOT (Figure 1 style).
+pub fn schema_to_dot(graph: &SchemaGraph) -> String {
+    let mut out = String::from("digraph schema {\n  rankdir=TB;\n  node [shape=box];\n");
+    for e in graph.element_ids() {
+        let star = if graph.ty(e).is_set() { "*" } else { "" };
+        writeln!(out, "  {} [label=\"{}{}\"];", e.0, escape(graph.label(e)), star)
+            .expect("writing to String cannot fail");
+    }
+    for (p, c) in graph.structural_links() {
+        writeln!(out, "  {} -> {};", p.0, c.0).expect("infallible");
+    }
+    for (f, t) in graph.value_links() {
+        writeln!(out, "  {} -> {} [style=dashed];", f.0, t.0).expect("infallible");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a schema summary as Graphviz DOT (Figure 2 style).
+pub fn summary_to_dot(graph: &SchemaGraph, summary: &SchemaSummary) -> String {
+    let mut out = String::from("digraph summary {\n  rankdir=TB;\n");
+    let node_id = |n: SummaryNode| match n {
+        SummaryNode::Original(e) => format!("o{}", e.0),
+        SummaryNode::Abstract(a) => format!("a{}", a.0),
+    };
+    for &e in summary.kept() {
+        writeln!(
+            out,
+            "  o{} [shape=box, label=\"{}\"];",
+            e.0,
+            escape(graph.label(e))
+        )
+        .expect("infallible");
+    }
+    for (i, a) in summary.abstracts().iter().enumerate() {
+        writeln!(
+            out,
+            "  a{i} [shape=box, peripheries=2, label=\"{} ({})\"];",
+            escape(graph.label(a.representative)),
+            a.members.len()
+        )
+        .expect("infallible");
+    }
+    for &(p, c) in summary.kept_structural() {
+        writeln!(out, "  o{} -> o{};", p.0, c.0).expect("infallible");
+    }
+    for &(f, t) in summary.kept_value() {
+        writeln!(out, "  o{} -> o{} [style=dashed];", f.0, t.0).expect("infallible");
+    }
+    for l in summary.abstract_links() {
+        let style = if l.has_value() && !l.has_structural() {
+            " [style=dashed]"
+        } else if l.has_value() {
+            " [style=\"dashed,bold\"]"
+        } else {
+            ""
+        };
+        writeln!(out, "  {} -> {}{};", node_id(l.from), node_id(l.to), style)
+            .expect("infallible");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a schema graph back to the XSD subset [`crate::xsd::parse_xsd`]
+/// accepts, including `ss:ref` declarations for value links — so schemas
+/// built programmatically (or parsed from DDL/DTD) can be shared in a
+/// standard-ish form and round-tripped.
+pub fn schema_to_xsd(graph: &SchemaGraph) -> String {
+    use schema_summary_core::{AtomicType, ElementId, SchemaType};
+    fn xsd_type(a: AtomicType) -> &'static str {
+        match a {
+            AtomicType::Str => "xs:string",
+            AtomicType::Int => "xs:integer",
+            AtomicType::Float => "xs:decimal",
+            AtomicType::Bool => "xs:boolean",
+            AtomicType::Date => "xs:date",
+            AtomicType::Id => "xs:ID",
+            AtomicType::IdRef => "xs:IDREF",
+        }
+    }
+    fn emit(graph: &SchemaGraph, e: ElementId, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let label = graph.label(e);
+        let max_occurs = if graph.ty(e).is_set() {
+            " maxOccurs=\"unbounded\""
+        } else {
+            ""
+        };
+        if let Some(atomic) = graph.ty(e).atomic() {
+            if let Some(attr) = label.strip_prefix('@') {
+                writeln!(
+                    out,
+                    "{pad}<xs:attribute name=\"{attr}\" type=\"{}\"/>",
+                    xsd_type(atomic)
+                )
+                .expect("infallible");
+            } else {
+                writeln!(
+                    out,
+                    "{pad}<xs:element name=\"{label}\" type=\"{}\"{max_occurs}/>",
+                    xsd_type(atomic)
+                )
+                .expect("infallible");
+            }
+            return;
+        }
+        writeln!(out, "{pad}<xs:element name=\"{label}\"{max_occurs}>").expect("infallible");
+        writeln!(out, "{pad}  <xs:complexType>").expect("infallible");
+        let (subelems, attrs): (Vec<_>, Vec<_>) = graph
+            .children(e)
+            .iter()
+            .partition(|&&c| !graph.label(c).starts_with('@'));
+        let group = match graph.ty(e).base() {
+            SchemaType::Choice => "xs:choice",
+            _ => "xs:sequence",
+        };
+        if !subelems.is_empty() {
+            writeln!(out, "{pad}    <{group}>").expect("infallible");
+            for &c in subelems {
+                emit(graph, c, indent + 3, out);
+            }
+            writeln!(out, "{pad}    </{group}>").expect("infallible");
+        }
+        for &a in attrs {
+            let attr = graph.label(a).trim_start_matches('@');
+            let atomic = graph.ty(a).atomic().unwrap_or(AtomicType::Str);
+            writeln!(
+                out,
+                "{pad}    <xs:attribute name=\"{attr}\" type=\"{}\"/>",
+                xsd_type(atomic)
+            )
+            .expect("infallible");
+        }
+        writeln!(out, "{pad}  </xs:complexType>").expect("infallible");
+        writeln!(out, "{pad}</xs:element>").expect("infallible");
+    }
+    let mut out = String::from(
+        "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+    );
+    emit(graph, graph.root(), 1, &mut out);
+    for (f, t) in graph.value_links() {
+        writeln!(
+            out,
+            "  <ss:ref from=\"{}\" to=\"{}\"/>",
+            graph.label_path(f),
+            graph.label_path(t)
+        )
+        .expect("infallible");
+    }
+    out.push_str("</xs:schema>\n");
+    out
+}
+
+/// Render a summary as a Markdown document — the format a documentation
+/// portal or repository README would embed: one section per abstract
+/// element with its member listing, plus the consolidated link table.
+pub fn summary_to_markdown(graph: &SchemaGraph, summary: &SchemaSummary) -> String {
+    let mut out = String::new();
+    let nl = '\n';
+    writeln!(out, "# Schema summary of `{}`{nl}", graph.label(graph.root())).expect("infallible");
+    writeln!(
+        out,
+        "{} abstract elements over {} schema elements.{nl}",
+        summary.abstracts().len(),
+        graph.len()
+    )
+    .expect("infallible");
+    for a in summary.abstracts() {
+        writeln!(
+            out,
+            "## {} ({} elements){nl}",
+            graph.label(a.representative),
+            a.members.len()
+        )
+        .expect("infallible");
+        writeln!(
+            out,
+            "Representative: `{}`{nl}",
+            graph.label_path(a.representative)
+        )
+        .expect("infallible");
+        if a.members.len() > 1 {
+            writeln!(out, "Contains:").expect("infallible");
+            for &m in &a.members {
+                if m != a.representative {
+                    writeln!(out, "- `{}`", graph.label_path(m)).expect("infallible");
+                }
+            }
+            out.push(nl);
+        }
+    }
+    if !summary.abstract_links().is_empty() {
+        writeln!(out, "## Relationships{nl}").expect("infallible");
+        writeln!(out, "| from | to | kind |").expect("infallible");
+        writeln!(out, "|---|---|---|").expect("infallible");
+        for l in summary.abstract_links() {
+            let kind = match (l.has_structural(), l.has_value()) {
+                (true, true) => "containment + reference",
+                (true, false) => "containment",
+                (false, true) => "reference",
+                (false, false) => "-",
+            };
+            writeln!(
+                out,
+                "| {} | {} | {} |",
+                summary.node_label(graph, l.from),
+                summary.node_label(graph, l.to),
+                kind
+            )
+            .expect("infallible");
+        }
+    }
+    out
+}
+
+/// Serialize any serde-serializable artifact to pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(value)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    fn fixture() -> (SchemaGraph, SchemaSummary) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let auction = b.add_child(b.root(), "auction", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(auction, person).unwrap();
+        let g = b.build().unwrap();
+        let name = g.find_unique("name").unwrap();
+        let s = SchemaSummary::from_grouping(
+            &g,
+            vec![
+                (person, vec![people, person, name]),
+                (auction, vec![auction]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn schema_dot_contains_all_elements_and_link_styles() {
+        let (g, _) = fixture();
+        let dot = schema_to_dot(&g);
+        assert!(dot.contains("digraph schema"));
+        assert!(dot.contains("person*")); // SetOf marker
+        assert!(dot.contains("[style=dashed]")); // value link
+        assert_eq!(dot.matches(" -> ").count(), g.num_structural_links() + 1);
+    }
+
+    #[test]
+    fn summary_dot_marks_abstract_elements() {
+        let (g, s) = fixture();
+        let dot = summary_to_dot(&g, &s);
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("person (3)"));
+        assert!(dot.contains("auction (1)"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut b = SchemaGraphBuilder::new("we\"ird");
+        b.add_child(b.root(), "child", SchemaType::simple_str()).unwrap();
+        let g = b.build().unwrap();
+        let dot = schema_to_dot(&g);
+        assert!(dot.contains("we\\\"ird"));
+    }
+
+    #[test]
+    fn markdown_lists_groups_and_links() {
+        let (g, s) = fixture();
+        let md = summary_to_markdown(&g, &s);
+        assert!(md.contains("# Schema summary of `site`"));
+        assert!(md.contains("## person (3 elements)"));
+        assert!(md.contains("- `site/people`"));
+        assert!(md.contains("| auction | person | reference |"));
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        let (g, s) = fixture();
+        let json = to_json(&s).unwrap();
+        let back: SchemaSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        let gjson = to_json(&g).unwrap();
+        assert!(gjson.contains("person"));
+    }
+}

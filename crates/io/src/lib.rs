@@ -1,0 +1,69 @@
+//! Schema and data I/O.
+//!
+//! The summarizer is model-agnostic (Section 2 maps both hierarchical and
+//! relational schemas onto the schema graph); this crate provides the
+//! front-ends that get real-world inputs into that form:
+//!
+//! * [`xsd`] — a parser for a pragmatic XML-Schema subset (nested
+//!   `element`/`complexType`/`sequence`/`choice`/`attribute`, `maxOccurs`,
+//!   `xs:ID`/`xs:IDREF` with `keyref`-style reference declarations);
+//! * [`ddl`] — a parser for a SQL DDL subset (`CREATE TABLE` with column
+//!   types, `PRIMARY KEY`, and `REFERENCES`/`FOREIGN KEY` clauses),
+//!   producing the artificial-root relational schema graph;
+//! * [`csv`] — a loader for CSV table dumps over a relational schema
+//!   graph, with key interning and foreign-key resolution;
+//! * [`xml`] — a loader for XML documents into
+//!   [`schema_summary_instance::DataTree`]s, resolving `id`/`idref`
+//!   attributes into value references;
+//! * [`export`] — DOT (Graphviz) rendering of schema graphs and summaries,
+//!   plus JSON serialization helpers.
+//!
+//! All parsers are hand-rolled recursive-descent over a small lexer — no
+//! external parsing dependencies — and aim for the subset the paper's
+//! datasets need, with clear errors beyond it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod ddl;
+pub mod dtd;
+pub(crate) mod xmlparse;
+pub mod export;
+pub mod xml;
+pub mod xsd;
+
+pub use csv::load_csv_instance;
+pub use dtd::{parse_dtd, DtdConfig};
+pub use ddl::parse_ddl;
+pub use export::{schema_to_dot, schema_to_xsd, summary_to_dot, summary_to_markdown};
+pub use xml::parse_xml_instance;
+pub use xsd::parse_xsd;
+
+use std::fmt;
+
+/// Errors produced by the parsers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line where the problem was detected.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,261 @@
+//! XML instance loader: documents → [`DataTree`]s over a schema graph.
+//!
+//! Elements are matched to schema elements by label within the current
+//! parent's children; attributes become data nodes of the corresponding
+//! `@name` schema child. Attributes whose schema type is `Id` register the
+//! host node under their value; attributes typed `IdRef` produce value
+//! references, resolved after the whole document is read (forward
+//! references are legal in XML).
+
+use crate::xmlparse::{XmlEvent, XmlReader};
+use crate::ParseError;
+use schema_summary_core::{AtomicType, ElementId, SchemaGraph};
+use schema_summary_instance::{DataTree, DataTreeBuilder, NodeId};
+use std::collections::HashMap;
+
+/// Parse an XML document into a data tree conforming to `graph`.
+pub fn parse_xml_instance(graph: &SchemaGraph, input: &str) -> Result<DataTree, ParseError> {
+    let mut reader = XmlReader::new(input);
+
+    // Find the document element.
+    let (root_name, root_attrs) = loop {
+        match reader.next_event()? {
+            Some(XmlEvent::Open { name, attrs, self_closing }) => {
+                if self_closing {
+                    // A one-element document.
+                    if name != graph.label(graph.root()) {
+                        return Err(ParseError::new(
+                            reader.line,
+                            format!("document element <{name}> does not match schema root"),
+                        ));
+                    }
+                }
+                break (name, attrs);
+            }
+            Some(_) => continue,
+            None => return Err(ParseError::new(reader.line, "empty document")),
+        }
+    };
+    if root_name != graph.label(graph.root()) {
+        return Err(ParseError::new(
+            reader.line,
+            format!(
+                "document element <{root_name}> does not match schema root '{}'",
+                graph.label(graph.root())
+            ),
+        ));
+    }
+
+    let mut builder = DataTreeBuilder::new(graph.root());
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut pending_refs: Vec<(NodeId, String, usize)> = Vec::new();
+
+    let root_node = builder.root();
+    process_attrs(
+        graph,
+        &mut builder,
+        root_node,
+        graph.root(),
+        &root_attrs,
+        &mut ids,
+        &mut pending_refs,
+        reader.line,
+    )?;
+
+    // (data node, schema element) stack.
+    let mut stack: Vec<(NodeId, ElementId)> = vec![(builder.root(), graph.root())];
+    loop {
+        match reader.next_event()? {
+            Some(XmlEvent::Open { name, attrs, self_closing }) => {
+                let &(parent_node, parent_el) = stack.last().ok_or_else(|| {
+                    ParseError::new(reader.line, "content after document element")
+                })?;
+                let child_el = *graph
+                    .children(parent_el)
+                    .iter()
+                    .find(|&&c| graph.label(c) == name)
+                    .ok_or_else(|| {
+                        ParseError::new(
+                            reader.line,
+                            format!(
+                                "<{name}> is not a child of <{}> in the schema",
+                                graph.label(parent_el)
+                            ),
+                        )
+                    })?;
+                let node = builder.add_node(parent_node, child_el);
+                process_attrs(
+                    graph,
+                    &mut builder,
+                    node,
+                    child_el,
+                    &attrs,
+                    &mut ids,
+                    &mut pending_refs,
+                    reader.line,
+                )?;
+                if !self_closing {
+                    stack.push((node, child_el));
+                }
+            }
+            Some(XmlEvent::Close(_)) => {
+                stack.pop();
+                if stack.is_empty() {
+                    break;
+                }
+            }
+            Some(XmlEvent::Text(_)) => {} // values are irrelevant to counts
+            None => break,
+        }
+    }
+
+    // Resolve idrefs.
+    for (node, key, line) in pending_refs {
+        let target = ids.get(&key).ok_or_else(|| {
+            ParseError::new(line, format!("unresolved reference '{key}'"))
+        })?;
+        builder.add_ref(node, *target);
+    }
+    Ok(builder.build())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_attrs(
+    graph: &SchemaGraph,
+    builder: &mut DataTreeBuilder,
+    node: NodeId,
+    element: ElementId,
+    attrs: &[(String, String)],
+    ids: &mut HashMap<String, NodeId>,
+    pending: &mut Vec<(NodeId, String, usize)>,
+    line: usize,
+) -> Result<(), ParseError> {
+    for (name, value) in attrs {
+        let label = format!("@{name}");
+        let attr_el = *graph
+            .children(element)
+            .iter()
+            .find(|&&c| graph.label(c) == label)
+            .ok_or_else(|| {
+                ParseError::new(
+                    line,
+                    format!("attribute '{name}' not declared on <{}>", graph.label(element)),
+                )
+            })?;
+        builder.add_node(node, attr_el);
+        match graph.ty(attr_el).atomic() {
+            Some(AtomicType::Id) => {
+                if ids.insert(value.clone(), node).is_some() {
+                    return Err(ParseError::new(line, format!("duplicate id '{value}'")));
+                }
+            }
+            Some(AtomicType::IdRef) => {
+                // Whitespace-separated IDREFS are decomposed.
+                for key in value.split_whitespace() {
+                    pending.push((node, key.to_string(), line));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xsd::parse_xsd;
+    use schema_summary_instance::{annotate_schema, check_conformance};
+
+    const SCHEMA: &str = r#"
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="site">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="person" maxOccurs="unbounded">
+              <xs:complexType>
+                <xs:sequence>
+                  <xs:element name="name" type="xs:string"/>
+                </xs:sequence>
+                <xs:attribute name="id" type="xs:ID"/>
+              </xs:complexType>
+            </xs:element>
+            <xs:element name="bid" maxOccurs="unbounded">
+              <xs:complexType>
+                <xs:attribute name="person" type="xs:IDREF"/>
+              </xs:complexType>
+            </xs:element>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <ss:ref from="site/bid" to="site/person"/>
+    </xs:schema>"#;
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+    <site>
+      <person id="p1"><name>Ada</name></person>
+      <person id="p2"><name>Grace</name></person>
+      <bid person="p1"/>
+      <bid person="p1"/>
+      <bid person="p2"/>
+    </site>"#;
+
+    #[test]
+    fn loads_and_conforms() {
+        let g = parse_xsd(SCHEMA).unwrap();
+        let t = parse_xml_instance(&g, DOC).unwrap();
+        // site + 2 persons + 2 @id + 2 names + 3 bids + 3 @person = 13.
+        assert_eq!(t.len(), 13);
+        assert!(check_conformance(&g, &t).is_empty());
+    }
+
+    #[test]
+    fn references_resolve_and_annotate() {
+        let g = parse_xsd(SCHEMA).unwrap();
+        let t = parse_xml_instance(&g, DOC).unwrap();
+        let stats = annotate_schema(&g, &t).unwrap();
+        let person = g.find_unique("person").unwrap();
+        let bid = g.find_unique("bid").unwrap();
+        assert_eq!(stats.card(person), 2.0);
+        assert_eq!(stats.card(bid), 3.0);
+        // 3 references over 2 persons.
+        assert!((stats.rc(person, bid) - 1.5).abs() < 1e-9);
+        assert!((stats.rc(bid, person) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_element_is_rejected() {
+        let g = parse_xsd(SCHEMA).unwrap();
+        let err = parse_xml_instance(&g, "<site><alien/></site>").unwrap_err();
+        assert!(err.message.contains("alien"), "{err}");
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        let g = parse_xsd(SCHEMA).unwrap();
+        let err =
+            parse_xml_instance(&g, r#"<site><person color="red"/></site>"#).unwrap_err();
+        assert!(err.message.contains("color"), "{err}");
+    }
+
+    #[test]
+    fn dangling_reference_is_rejected() {
+        let g = parse_xsd(SCHEMA).unwrap();
+        let err = parse_xml_instance(&g, r#"<site><bid person="ghost"/></site>"#).unwrap_err();
+        assert!(err.message.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn wrong_root_is_rejected() {
+        let g = parse_xsd(SCHEMA).unwrap();
+        assert!(parse_xml_instance(&g, "<other/>").is_err());
+    }
+
+    #[test]
+    fn duplicate_id_is_rejected() {
+        let g = parse_xsd(SCHEMA).unwrap();
+        let doc = r#"<site><person id="p1"/><person id="p1"/></site>"#;
+        let err = parse_xml_instance(&g, doc).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+}

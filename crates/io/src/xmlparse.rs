@@ -1,0 +1,205 @@
+//! A minimal, dependency-free XML pull parser.
+//!
+//! Supports the subset the `xsd` and `xml` front-ends need: elements with
+//! attributes, self-closing tags, text content, comments, XML declarations,
+//! and processing instructions. No namespaces resolution (prefixes are kept
+//! as part of the name), no DTDs, no entities beyond the five predefined
+//! ones.
+
+use crate::ParseError;
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlEvent {
+    /// An opening tag (`self_closing` when `<a/>`).
+    Open {
+        /// Tag name (prefix included verbatim).
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag closed itself.
+        self_closing: bool,
+    },
+    /// A closing tag.
+    Close(String),
+    /// Non-whitespace text content (entity-decoded).
+    Text(String),
+}
+
+/// Pull parser over an XML string.
+pub struct XmlReader<'a> {
+    rest: &'a str,
+    /// Current 1-based line.
+    pub line: usize,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlReader { rest: input, line: 1 }
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.line += self.rest[..n].bytes().filter(|&b| b == b'\n').count();
+        self.rest = &self.rest[n..];
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, msg)
+    }
+
+    /// Next event, or `None` at end of input.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, ParseError> {
+        loop {
+            if self.rest.is_empty() {
+                return Ok(None);
+            }
+            if let Some(after) = self.rest.strip_prefix("<!--") {
+                let end = after
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.advance(4 + end + 3);
+                continue;
+            }
+            if self.rest.starts_with("<?") {
+                let end = self
+                    .rest
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
+                self.advance(end + 2);
+                continue;
+            }
+            if self.rest.starts_with("<!") {
+                let end = self.rest.find('>').ok_or_else(|| self.err("unterminated declaration"))?;
+                self.advance(end + 1);
+                continue;
+            }
+            if let Some(after) = self.rest.strip_prefix("</") {
+                let end = after.find('>').ok_or_else(|| self.err("unterminated closing tag"))?;
+                let name = after[..end].trim().to_string();
+                self.advance(2 + end + 1);
+                return Ok(Some(XmlEvent::Close(name)));
+            }
+            if self.rest.starts_with('<') {
+                return self.read_open_tag().map(Some);
+            }
+            // Text run until the next '<'.
+            let end = self.rest.find('<').unwrap_or(self.rest.len());
+            let raw = &self.rest[..end];
+            let text = decode_entities(raw.trim());
+            self.advance(end);
+            if !text.is_empty() {
+                return Ok(Some(XmlEvent::Text(text)));
+            }
+        }
+    }
+
+    fn read_open_tag(&mut self) -> Result<XmlEvent, ParseError> {
+        let end = self.rest.find('>').ok_or_else(|| self.err("unterminated tag"))?;
+        let inner = &self.rest[1..end];
+        let (inner, self_closing) = match inner.strip_suffix('/') {
+            Some(stripped) => (stripped, true),
+            None => (inner, false),
+        };
+        let mut chars = inner.char_indices();
+        let name_end = chars
+            .find(|&(_, c)| c.is_whitespace())
+            .map(|(i, _)| i)
+            .unwrap_or(inner.len());
+        let name = inner[..name_end].to_string();
+        if name.is_empty() {
+            return Err(self.err("empty tag name"));
+        }
+        let mut attrs = Vec::new();
+        let mut rest = inner[name_end..].trim_start();
+        while !rest.is_empty() {
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| self.err(format!("malformed attribute in <{name}>")))?;
+            let attr_name = rest[..eq].trim().to_string();
+            rest = rest[eq + 1..].trim_start();
+            let quote = rest
+                .chars()
+                .next()
+                .filter(|&c| c == '"' || c == '\'')
+                .ok_or_else(|| self.err(format!("unquoted attribute value in <{name}>")))?;
+            let close = rest[1..]
+                .find(quote)
+                .ok_or_else(|| self.err(format!("unterminated attribute value in <{name}>")))?;
+            let value = decode_entities(&rest[1..1 + close]);
+            attrs.push((attr_name, value));
+            rest = rest[1 + close + 1..].trim_start();
+        }
+        self.advance(end + 1);
+        Ok(XmlEvent::Open {
+            name,
+            attrs,
+            self_closing,
+        })
+    }
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        let mut r = XmlReader::new(input);
+        let mut out = Vec::new();
+        while let Some(e) = r.next_event().unwrap() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn basic_document() {
+        let ev = events(r#"<?xml version="1.0"?><a x="1"><b/>hello</a>"#);
+        assert_eq!(ev.len(), 4);
+        assert!(matches!(&ev[0], XmlEvent::Open { name, attrs, self_closing: false }
+            if name == "a" && attrs == &[("x".to_string(), "1".to_string())]));
+        assert!(matches!(&ev[1], XmlEvent::Open { name, self_closing: true, .. } if name == "b"));
+        assert_eq!(ev[2], XmlEvent::Text("hello".into()));
+        assert_eq!(ev[3], XmlEvent::Close("a".into()));
+    }
+
+    #[test]
+    fn comments_and_entities() {
+        let ev = events("<a><!-- ignore &amp; me -->x &amp; y</a>");
+        assert_eq!(ev[1], XmlEvent::Text("x & y".into()));
+    }
+
+    #[test]
+    fn multiple_attributes_and_quotes() {
+        let ev = events(r#"<e a="1" b='two' c="a &lt; b"/>"#);
+        let XmlEvent::Open { attrs, .. } = &ev[0] else { panic!() };
+        assert_eq!(attrs.len(), 3);
+        assert_eq!(attrs[2].1, "a < b");
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let mut r = XmlReader::new("<a>\n<b>\n<unclosed");
+        r.next_event().unwrap();
+        r.next_event().unwrap();
+        let err = r.next_event().unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn whitespace_text_is_skipped() {
+        let ev = events("<a>\n   \n<b/></a>");
+        assert_eq!(ev.len(), 3);
+    }
+}

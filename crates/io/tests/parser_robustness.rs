@@ -1,0 +1,84 @@
+//! Robustness: the hand-rolled parsers must never panic, whatever the
+//! input — they either parse or return a `ParseError`.
+
+use proptest::prelude::*;
+use schema_summary_io::{parse_ddl, parse_dtd, parse_xsd, DtdConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ddl_never_panics(input in ".{0,300}") {
+        let _ = parse_ddl(&input, "db");
+    }
+
+    #[test]
+    fn xsd_never_panics(input in ".{0,300}") {
+        let _ = parse_xsd(&input);
+    }
+
+    #[test]
+    fn dtd_never_panics(input in ".{0,300}") {
+        let _ = parse_dtd(&input, "root", &DtdConfig::default());
+    }
+
+    #[test]
+    fn ddl_never_panics_on_sqlish_fragments(
+        tables in prop::collection::vec("[a-z]{1,8}", 1..4),
+        cols in prop::collection::vec("[a-z_]{1,10}", 1..6),
+        junk in "[(),;'\" \n]{0,40}",
+    ) {
+        let mut ddl = String::new();
+        for t in &tables {
+            ddl.push_str(&format!("CREATE TABLE {t} ("));
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 { ddl.push(','); }
+                ddl.push_str(&format!("{c}{i} INTEGER"));
+            }
+            ddl.push_str(");");
+        }
+        ddl.push_str(&junk);
+        let _ = parse_ddl(&ddl, "db");
+    }
+
+    #[test]
+    fn wellformed_ddl_roundtrips_structure(
+        n_tables in 1usize..5,
+        n_cols in 1usize..8,
+    ) {
+        let mut ddl = String::new();
+        for t in 0..n_tables {
+            ddl.push_str(&format!("CREATE TABLE t{t} ("));
+            for c in 0..n_cols {
+                if c > 0 { ddl.push_str(", "); }
+                ddl.push_str(&format!("c{t}_{c} INTEGER"));
+            }
+            ddl.push_str(");\n");
+        }
+        let g = parse_ddl(&ddl, "db").unwrap();
+        prop_assert_eq!(g.len(), 1 + n_tables * (1 + n_cols));
+        for t in 0..n_tables {
+            let table = g.find_unique(&format!("t{t}")).unwrap();
+            prop_assert_eq!(g.children(table).len(), n_cols);
+        }
+    }
+
+    #[test]
+    fn xml_loader_never_panics(input in ".{0,300}") {
+        use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+        let mut b = SchemaGraphBuilder::new("r");
+        b.add_child(b.root(), "a", SchemaType::set_of_rcd()).unwrap();
+        let g = b.build().unwrap();
+        let _ = schema_summary_io::parse_xml_instance(&g, &input);
+    }
+
+    #[test]
+    fn csv_loader_never_panics(input in ".{0,200}") {
+        use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+        let mut b = SchemaGraphBuilder::new("r");
+        let t = b.add_child(b.root(), "t", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(t, "x", SchemaType::simple_id()).unwrap();
+        let g = b.build().unwrap();
+        let _ = schema_summary_io::load_csv_instance(&g, &[("t", &input)]);
+    }
+}

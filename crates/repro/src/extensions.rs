@@ -1,0 +1,215 @@
+//! Extension experiments beyond the paper's evaluation: multi-level
+//! summaries (Section 2's extension) and query-history-informed importance
+//! (Section 5.4's discussion item).
+
+use crate::util::*;
+use schema_summary_algo::history::{compute_importance_with_history, QueryHistory};
+use schema_summary_algo::{Algorithm, ImportanceConfig, Summarizer};
+use schema_summary_datasets::mimi;
+use schema_summary_discovery::agreement::agreement;
+
+/// Multi-level summarization on MiMI: a 15-element fine level under a
+/// 5-element overview.
+pub fn multilevel() {
+    header("Extension: multi-level summary (MiMI, levels 15 -> 5)");
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let ml = s
+        .multi_level(&[15, 5], Algorithm::Balance)
+        .expect("multi-level builds");
+    ml.validate(&d.graph).expect("levels nest");
+    for (i, level) in ml.levels().iter().enumerate() {
+        let names: Vec<&str> = level
+            .visible_elements()
+            .iter()
+            .map(|&e| d.graph.label(e))
+            .collect();
+        println!("level {i} (size {:>2}): {}", level.size(), names.join(", "));
+    }
+    // Discovery cost: drilling through the two levels vs flat summaries.
+    use schema_summary_discovery::{
+        multilevel_cost, summary_cost, CostModel, ExpansionModel,
+    };
+    let flat5 = s.summarize(5, Algorithm::Balance).expect("flat 5");
+    let flat15 = s.summarize(15, Algorithm::Balance).expect("flat 15");
+    let avg = |f: &dyn Fn(&schema_summary_discovery::QueryIntention) -> usize| -> f64 {
+        d.queries.iter().map(|q| f(q)).sum::<usize>() as f64 / d.queries.len() as f64
+    };
+    let c5 = avg(&|q| summary_cost(&d.graph, &flat5, q, CostModel::SiblingScan).cost);
+    let c15 = avg(&|q| summary_cost(&d.graph, &flat15, q, CostModel::SiblingScan).cost);
+    let cml = avg(&|q| {
+        let r = multilevel_cost(&d.graph, &ml, q, CostModel::SiblingScan, ExpansionModel::Scan);
+        assert!(r.found_all, "{}", q.name);
+        r.cost
+    });
+    println!("avg discovery cost: flat-5 {c5:.2}, flat-15 {c15:.2}, drill 15->5 {cml:.2}");
+
+    // Drill-down map.
+    let coarse = ml.level(1);
+    for g in coarse.abstract_ids() {
+        let children = ml.child_groups(0, g);
+        let rep = d.graph.label(coarse.abstracts()[g.index()].representative);
+        let kids: Vec<&str> = children
+            .iter()
+            .map(|&c| d.graph.label(ml.level(0).abstracts()[c.index()].representative))
+            .collect();
+        println!("  {rep} expands to: {}", kids.join(", "));
+    }
+}
+
+/// Expanded summaries (Figure 2(C)): before each query, the group holding
+/// most of the user's intention is pre-expanded — modeling a UI that keeps
+/// the user's focus component open.
+pub fn expanded() {
+    header("Extension: expanded summaries (MiMI, size 10)");
+    use schema_summary_core::summary::SummaryNode;
+    use schema_summary_discovery::{summary_cost, CostModel};
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let summary = s.summarize(10, Algorithm::Balance).expect("summary builds");
+    let mut full_total = 0usize;
+    let mut expanded_total = 0usize;
+    for q in &d.queries {
+        full_total += summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).cost;
+        // The group containing the most intention elements.
+        let mut counts = vec![0usize; summary.abstracts().len()];
+        for group in &q.targets {
+            for &e in group {
+                if let SummaryNode::Abstract(aid) = summary.node_of(e) {
+                    counts[aid.index()] += 1;
+                }
+            }
+        }
+        let focus = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| schema_summary_core::AbstractId(i as u32));
+        let cost = match focus {
+            Some(aid) if counts[aid.index()] > 0 => {
+                let pre = summary.expand(&d.graph, aid).expect("expansion");
+                summary_cost(&d.graph, &pre, q, CostModel::SiblingScan).cost
+            }
+            _ => summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).cost,
+        };
+        expanded_total += cost;
+    }
+    let n = d.queries.len() as f64;
+    println!(
+        "avg cost: full summary {:.2}, focus group pre-expanded {:.2} ({:.0}% further saving)",
+        full_total as f64 / n,
+        expanded_total as f64 / n,
+        saving(full_total as f64, expanded_total as f64)
+    );
+}
+
+/// Session learning curves on MiMI: a single user runs the whole 52-query
+/// trace, remembering what they have seen.
+pub fn sessions() {
+    header("Extension: session learning curves (MiMI, 52-query trace)");
+    use schema_summary_discovery::{
+        session_best_first, session_with_summary, CostModel, ExpansionModel,
+    };
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let summary = s.summarize(10, Algorithm::Balance).expect("summary builds");
+    let plain = session_best_first(&d.graph, &d.queries, CostModel::SiblingScan);
+    let with = session_with_summary(
+        &d.graph,
+        &summary,
+        &d.queries,
+        CostModel::SiblingScan,
+        ExpansionModel::Scan,
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "", "total", "first 10", "last 10", "learned"
+    );
+    for (label, curve) in [("best-first", &plain), ("with summary", &with)] {
+        println!(
+            "{:<22} {:>10} {:>12.2} {:>12.2} {:>10}",
+            label,
+            curve.total(),
+            curve.mean_of_first(10),
+            curve.mean_of_last(10),
+            curve.elements_learned
+        );
+    }
+    println!(
+        "summary advantage: {:.0}% of the whole-session total, {:.0}% of the first 10 queries",
+        saving(plain.total() as f64, with.total() as f64),
+        saving(plain.mean_of_first(10), with.mean_of_first(10))
+    );
+}
+
+/// Query-history-blended importance on MiMI, trained on the first half of
+/// the trace and evaluated on the second half.
+pub fn history() {
+    header("Extension: query-history-informed importance (MiMI)");
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let (train, eval) = d.queries.split_at(d.queries.len() / 2);
+
+    let mut h = QueryHistory::for_graph(&d.graph);
+    for q in train {
+        let elements: Vec<_> = q.all_elements().into_iter().collect();
+        h.record(&elements);
+    }
+
+    println!(
+        "{:<10} {:>12} {:>14}",
+        "blend", "eval cost", "vs no history"
+    );
+    let mut baseline_cost = None;
+    for blend in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let imp = compute_importance_with_history(
+            &d.graph,
+            &d.stats,
+            &h,
+            &ImportanceConfig::default(),
+            blend,
+        );
+        // Select by the blended ranking (MaxImportance over it), then build
+        // and evaluate on the held-out half.
+        let selection = imp.top_k(&d.graph, 10);
+        let mut s = Summarizer::new(&d.graph, &d.stats);
+        let summary = s.summarize_selection(&selection).expect("summary builds");
+        let cost = {
+            let total: usize = eval
+                .iter()
+                .map(|q| {
+                    schema_summary_discovery::summary_cost(
+                        &d.graph,
+                        &summary,
+                        q,
+                        schema_summary_discovery::CostModel::SiblingScan,
+                    )
+                    .cost
+                })
+                .sum();
+            total as f64 / eval.len() as f64
+        };
+        let base = *baseline_cost.get_or_insert(cost);
+        println!("{blend:<10} {cost:>12.2} {:>13.1}%", saving(base, cost));
+        if blend == 1.0 {
+            println!("  pure-history selection: {}", labels(&d.graph, &selection));
+        }
+    }
+
+    // Stability note: summaries from blended vs plain importance.
+    let plain = {
+        let mut s = Summarizer::new(&d.graph, &d.stats);
+        s.select(10, Algorithm::MaxImportance).expect("selects")
+    };
+    let blended = compute_importance_with_history(
+        &d.graph,
+        &d.stats,
+        &h,
+        &ImportanceConfig::default(),
+        0.5,
+    )
+    .top_k(&d.graph, 10);
+    println!(
+        "selection agreement, history-blend 0.5 vs plain: {:.0}%",
+        agreement(&plain, &blended) * 100.0
+    );
+}

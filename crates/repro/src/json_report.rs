@@ -1,0 +1,238 @@
+//! Machine-readable reproduction report (`repro json [PATH]`).
+//!
+//! Recomputes the headline experiments into one serde structure so that
+//! downstream tooling (plots, regression checks against EXPERIMENTS.md)
+//! does not have to scrape the human-readable tables.
+
+use crate::util::*;
+use schema_summary_algo::{Algorithm, ImportanceConfig, ImportanceMode, Summarizer, SummarizerConfig};
+use schema_summary_baselines::{cafp_select, cafp_select_seeded, twbk_select, twbk_select_seeded, Weighting};
+use schema_summary_datasets::{mimi, tpch, xmark, Dataset};
+use schema_summary_discovery::agreement::agreement;
+use serde::Serialize;
+
+/// Per-dataset statistics (Table 1).
+#[derive(Debug, Serialize)]
+pub struct DatasetStats {
+    pub name: String,
+    pub schema_elements: usize,
+    pub data_elements: f64,
+    pub queries: usize,
+    pub avg_intention_size: f64,
+}
+
+/// Per-dataset discovery costs (Tables 3 and 4).
+#[derive(Debug, Serialize)]
+pub struct DiscoveryCosts {
+    pub name: String,
+    pub depth_first: f64,
+    pub breadth_first: f64,
+    pub best_first: f64,
+    pub balance: f64,
+    pub max_importance: f64,
+    pub max_coverage: f64,
+    pub summary_size: usize,
+    pub balance_saving_pct: f64,
+}
+
+/// One Figure 8 point.
+#[derive(Debug, Serialize)]
+pub struct SizePoint {
+    pub size: usize,
+    pub avg_cost: f64,
+}
+
+/// One Figure 9 row.
+#[derive(Debug, Serialize)]
+pub struct ModeCosts {
+    pub mode: String,
+    pub xmark: f64,
+    pub tpch: f64,
+    pub mimi: f64,
+}
+
+/// Table 5 row.
+#[derive(Debug, Serialize)]
+pub struct EvolutionRow {
+    pub pair: String,
+    pub change_pct: f64,
+    pub agreement_pct: Vec<f64>,
+}
+
+/// Table 6 row.
+#[derive(Debug, Serialize)]
+pub struct BaselineRow {
+    pub technique: String,
+    pub avg_cost: f64,
+    pub saving_pct: f64,
+}
+
+/// The full report.
+#[derive(Debug, Serialize)]
+pub struct ReproReport {
+    pub table1: Vec<DatasetStats>,
+    pub table3_4: Vec<DiscoveryCosts>,
+    pub fig8: Vec<SizePoint>,
+    pub fig9: Vec<ModeCosts>,
+    pub table5: Vec<EvolutionRow>,
+    pub table6: Vec<BaselineRow>,
+}
+
+fn dataset_list() -> Vec<Dataset> {
+    vec![xmark::dataset(1.0), tpch::dataset(0.1), mimi::dataset(mimi::Version::Jan06)]
+}
+
+/// Compute the report.
+pub fn build() -> ReproReport {
+    let datasets = dataset_list();
+
+    let table1 = datasets
+        .iter()
+        .map(|d| DatasetStats {
+            name: d.name.to_string(),
+            schema_elements: d.graph.len(),
+            data_elements: d.stats.total_card(),
+            queries: d.queries.len(),
+            avg_intention_size: d.avg_intention_size(),
+        })
+        .collect();
+
+    let table3_4 = datasets
+        .iter()
+        .map(|d| {
+            let (df, bf, best) = baseline_costs(&d.graph, &d.queries);
+            let k = paper_summary_size(d.name);
+            let balance = algorithm_avg_cost(d, k, Algorithm::Balance);
+            DiscoveryCosts {
+                name: d.name.to_string(),
+                depth_first: df,
+                breadth_first: bf,
+                best_first: best,
+                balance,
+                max_importance: algorithm_avg_cost(d, k, Algorithm::MaxImportance),
+                max_coverage: algorithm_avg_cost(d, k, Algorithm::MaxCoverage),
+                summary_size: k,
+                balance_saving_pct: saving(best, balance),
+            }
+        })
+        .collect();
+
+    // Figure 8 on MiMI.
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let fig8 = [1usize, 3, 5, 7, 9, 11, 13, 15, 17, 20, 25, 30, 40]
+        .iter()
+        .map(|&k| {
+            let summary = s.summarize(k, Algorithm::Balance).expect("summary builds");
+            SizePoint {
+                size: k,
+                avg_cost: summary_avg_cost(&d.graph, &summary, &d.queries),
+            }
+        })
+        .collect();
+
+    // Figure 9 over the three datasets.
+    let fig9 = [
+        ("data_only", ImportanceMode::DataOnly),
+        ("schema_only", ImportanceMode::SchemaOnly),
+        ("data_and_schema", ImportanceMode::DataAndSchema),
+    ]
+    .iter()
+    .map(|&(label, mode)| {
+        let mut costs = Vec::new();
+        for d in &datasets {
+            let config = SummarizerConfig {
+                importance: ImportanceConfig::default().with_mode(mode),
+                ..Default::default()
+            };
+            let mut s = Summarizer::with_config(&d.graph, &d.stats, config);
+            let summary = s
+                .summarize(paper_summary_size(d.name), Algorithm::MaxImportance)
+                .expect("summary builds");
+            costs.push(summary_avg_cost(&d.graph, &summary, &d.queries));
+        }
+        ModeCosts {
+            mode: label.to_string(),
+            xmark: costs[0],
+            tpch: costs[1],
+            mimi: costs[2],
+        }
+    })
+    .collect();
+
+    // Table 5.
+    let versions = mimi::Version::ALL;
+    let mut selections = Vec::new();
+    let mut totals = Vec::new();
+    for &v in &versions {
+        let (g, st, _) = mimi::schema(v);
+        totals.push(st.total_card());
+        let mut sum = Summarizer::new(&g, &st);
+        selections.push(
+            [5usize, 10, 15]
+                .iter()
+                .map(|&sz| sum.select(sz, Algorithm::Balance).expect("selects"))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let table5 = [(0usize, 1usize), (0, 2), (1, 2)]
+        .iter()
+        .map(|&(a, b)| EvolutionRow {
+            pair: format!("{} vs {}", versions[a].name(), versions[b].name()),
+            change_pct: (1.0 - totals[a] / totals[b]) * 100.0,
+            agreement_pct: (0..3)
+                .map(|i| agreement(&selections[a][i], &selections[b][i]) * 100.0)
+                .collect(),
+        })
+        .collect();
+
+    // Table 6.
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let (_, _, h) = mimi::schema(mimi::Version::Jan06);
+    let seeds = mimi::major_entities(&h);
+    let (_, _, best) = baseline_costs(&d.graph, &d.queries);
+    let k = 10;
+    let mut table6 = vec![{
+        let c = algorithm_avg_cost(&d, k, Algorithm::Balance);
+        BaselineRow {
+            technique: "BalanceSummary".into(),
+            avg_cost: c,
+            saving_pct: saving(best, c),
+        }
+    }];
+    for (label, sel) in [
+        ("TWBK w/o human", twbk_select(&d.graph, Weighting::unsupervised(), k)),
+        ("TWBK with human", twbk_select_seeded(&d.graph, Weighting::human(), k, &seeds)),
+        ("CAFP w/o human", cafp_select(&d.graph, Weighting::unsupervised(), k)),
+        ("CAFP with human", cafp_select_seeded(&d.graph, Weighting::human(), k, &seeds)),
+    ] {
+        let c = selection_avg_cost(&d, &sel);
+        table6.push(BaselineRow {
+            technique: label.into(),
+            avg_cost: c,
+            saving_pct: saving(best, c),
+        });
+    }
+
+    ReproReport {
+        table1,
+        table3_4,
+        fig8,
+        fig9,
+        table5,
+        table6,
+    }
+}
+
+/// Compute the report and write it to `path` (or stdout when `None`).
+pub fn run(path: Option<&str>) {
+    let report = build();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match path {
+        Some(p) => {
+            std::fs::write(p, &json).expect("report file writes");
+            eprintln!("[repro] wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+}

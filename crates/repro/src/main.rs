@@ -1,0 +1,65 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [table1|table2|table3|table4|table5|table6|fig8|fig9|convergence|all]
+//! ```
+//!
+//! Each subcommand prints the corresponding table/figure with our measured
+//! numbers; EXPERIMENTS.md records these against the paper's. `all` (the
+//! default) runs everything in order.
+
+mod extensions;
+mod figures;
+mod json_report;
+mod tables;
+mod util;
+
+use std::time::Instant;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let started = Instant::now();
+    match arg.as_str() {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "table3" => tables::table3(),
+        "table4" => tables::table4(),
+        "table5" => tables::table5(),
+        "table6" => tables::table6(),
+        "fig8" => figures::fig8(),
+        "fig9" => figures::fig9(),
+        "convergence" => figures::convergence(),
+        "extensions" => {
+            extensions::multilevel();
+            extensions::expanded();
+            extensions::sessions();
+            extensions::history();
+        }
+        "all" => {
+            tables::table1();
+            tables::table2();
+            tables::table3();
+            tables::table4();
+            tables::table5();
+            tables::table6();
+            figures::fig8();
+            figures::fig9();
+            figures::convergence();
+            extensions::multilevel();
+            extensions::expanded();
+            extensions::sessions();
+            extensions::history();
+        }
+        "json" => json_report::run(std::env::args().nth(2).as_deref()),
+        "debug" => tables::debug_xmark(),
+        "debug-mimi" => tables::debug_mimi(),
+        "debug-fig9" => tables::debug_fig9(),
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected table1..table6, fig8, fig9, convergence, extensions, json, all"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[repro] total wall-clock: {:.1?}", started.elapsed());
+}

@@ -1,0 +1,374 @@
+//! Tables 1–6 of the paper's evaluation.
+
+use crate::util::*;
+use schema_summary_algo::{Algorithm, Summarizer};
+use schema_summary_baselines::{cafp_select, cafp_select_seeded, twbk_select, twbk_select_seeded, Weighting};
+use schema_summary_datasets::{experts, mimi, tpch, xmark, Dataset};
+use schema_summary_discovery::agreement::{agreement, consensus, unanimous_agreement};
+
+fn datasets() -> Vec<Dataset> {
+    vec![xmark::dataset(1.0), tpch::dataset(0.1), mimi::dataset(mimi::Version::Jan06)]
+}
+
+/// Diagnostic dump for the XMark pipeline (not part of the paper).
+pub fn debug_xmark() {
+    use schema_summary_discovery::{best_first_cost, summary_cost, CostModel};
+    let d = xmark::dataset(1.0);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let imp = s.importance().clone();
+    let ranked = imp.ranked(&d.graph);
+    println!("top-15 by importance:");
+    for &e in ranked.iter().take(15) {
+        println!(
+            "  {:<30} imp={:>12.0} card={:>10.0}",
+            d.graph.label_path(e),
+            imp.score(e),
+            d.stats.card(e)
+        );
+    }
+    let sel = s.select(10, Algorithm::Balance).unwrap();
+    println!("\nbalance selection (10): {}", labels(&d.graph, &sel));
+    let summary = s.summarize_selection(&sel).unwrap();
+    for a in summary.abstracts() {
+        println!(
+            "  group {:<26} {} members",
+            d.graph.label_path(a.representative),
+            a.members.len()
+        );
+    }
+    println!("\nper-query: best-first vs with-summary");
+    for q in &d.queries {
+        let b = best_first_cost(&d.graph, q, CostModel::SiblingScan);
+        let w = summary_cost(&d.graph, &summary, q, CostModel::SiblingScan);
+        println!("  {:<12} best={:>4} summary={:>4}", q.name, b.cost, w.cost);
+    }
+}
+
+/// Table 1: dataset statistics.
+pub fn table1() {
+    header("Table 1: Dataset statistics");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "", "XMark", "TPC-H", "MiMI"
+    );
+    let ds = datasets();
+    print!("{:<28}", "# Schema elements");
+    for d in &ds {
+        print!(" {:>10}", d.graph.len());
+    }
+    println!();
+    print!("{:<28}", "# Data elements (in 000s)");
+    for d in &ds {
+        print!(" {:>10.0}", d.stats.total_card() / 1000.0);
+    }
+    println!();
+    print!("{:<28}", "# Queries");
+    for d in &ds {
+        print!(" {:>10}", d.queries.len());
+    }
+    println!();
+    print!("{:<28}", "Avg. query intention size");
+    for d in &ds {
+        print!(" {:>10.2}", d.avg_intention_size());
+    }
+    println!();
+}
+
+/// Table 2: agreement between automatic and expert summaries.
+pub fn table2() {
+    header("Table 2: Agreement with expert summaries (XMark & MiMI)");
+    for name in ["XMark", "MiMI"] {
+        println!("\n{name}:");
+        println!(
+            "{:<22} {:>10} {:>10} {:>10}",
+            "", "5-element", "10-element", "15-element"
+        );
+        let (graph, stats, expert_sets): (_, _, Vec<Vec<Vec<_>>>) = match name {
+            "XMark" => {
+                let (g, s, h) = xmark::schema(1.0);
+                let sets = experts::EXPERT_SIZES
+                    .iter()
+                    .map(|&sz| experts::xmark_experts(&h, sz))
+                    .collect();
+                (g, s, sets)
+            }
+            _ => {
+                let (g, s, h) = mimi::schema(mimi::Version::Jan06);
+                let sets = experts::EXPERT_SIZES
+                    .iter()
+                    .map(|&sz| experts::mimi_experts(&h, sz))
+                    .collect();
+                (g, s, sets)
+            }
+        };
+        let mut s = Summarizer::new(&graph, &stats);
+        let autos: Vec<Vec<_>> = experts::EXPERT_SIZES
+            .iter()
+            .map(|&sz| s.select(sz, Algorithm::Balance).expect("balance selects"))
+            .collect();
+        for user in 0..3 {
+            print!("{:<22}", format!("User {} vs. Auto.", user + 1));
+            for (i, _) in experts::EXPERT_SIZES.iter().enumerate() {
+                print!(" {:>9.0}%", agreement(&expert_sets[i][user], &autos[i]) * 100.0);
+            }
+            println!();
+        }
+        print!("{:<22}", "User Agreement");
+        for (i, _) in experts::EXPERT_SIZES.iter().enumerate() {
+            print!(" {:>9.0}%", unanimous_agreement(&expert_sets[i]) * 100.0);
+        }
+        println!();
+        print!("{:<22}", "Consen. vs. Auto.");
+        for (i, _) in experts::EXPERT_SIZES.iter().enumerate() {
+            let cons = consensus(&expert_sets[i], 2);
+            // Agreement normalized by the nominal summary size, as the
+            // paper's consensus summary targets the same size.
+            let sz = experts::EXPERT_SIZES[i];
+            let inter = autos[i].iter().filter(|e| cons.contains(e)).count();
+            print!(" {:>9.0}%", inter as f64 / sz as f64 * 100.0);
+        }
+        println!();
+    }
+}
+
+/// Table 3: average query-discovery cost with and without summaries.
+pub fn table3() {
+    use schema_summary_discovery::{
+        best_first_cost, breadth_first_cost, depth_first_cost, summary_cost, CostModel,
+        WorkloadReport,
+    };
+    header("Table 3: Query discovery cost (BalanceSummary)");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "Avg. cost", "XMark", "TPC-H", "MiMI"
+    );
+    let ds = datasets();
+    // Full per-strategy reports; the table prints means, the extended rows
+    // add the distribution the paper's averages hide.
+    let mut reports: Vec<[WorkloadReport; 4]> = Vec::new();
+    for d in &ds {
+        let k = paper_summary_size(d.name);
+        let mut s = Summarizer::new(&d.graph, &d.stats);
+        let summary = s.summarize(k, Algorithm::Balance).expect("summary builds");
+        reports.push([
+            WorkloadReport::run("depth-first", &d.queries, |q| depth_first_cost(&d.graph, q)),
+            WorkloadReport::run("breadth-first", &d.queries, |q| {
+                breadth_first_cost(&d.graph, q)
+            }),
+            WorkloadReport::run("best-first", &d.queries, |q| {
+                best_first_cost(&d.graph, q, CostModel::SiblingScan)
+            }),
+            WorkloadReport::run("with-summary", &d.queries, |q| {
+                summary_cost(&d.graph, &summary, q, CostModel::SiblingScan)
+            }),
+        ]);
+    }
+    for (label, pick) in [
+        ("Depth First", 0usize),
+        ("Breadth First", 1),
+        ("Best First", 2),
+        ("w/ summary", 3),
+    ] {
+        print!("{:<18}", label);
+        for r in &reports {
+            print!(" {:>10.2}", r[pick].mean);
+        }
+        println!();
+    }
+    print!("{:<18}", "size (Summ.%)");
+    for d in &ds {
+        let k = paper_summary_size(d.name);
+        print!(
+            " {:>10}",
+            format!("{k} ({:.1}%)", k as f64 / d.graph.len() as f64 * 100.0)
+        );
+    }
+    println!();
+    print!("{:<18}", "Saving%");
+    for r in &reports {
+        print!(" {:>9.1}%", r[3].saving_vs(&r[2]));
+    }
+    println!();
+    // Extended distribution rows (not in the paper's table; the medians
+    // show the mean is not carried by outliers).
+    print!("{:<18}", "  median (best/summ)");
+    for r in &reports {
+        print!(" {:>10}", format!("{:.1}/{:.1}", r[2].median, r[3].median));
+    }
+    println!();
+    print!("{:<18}", "  p95 (best/summ)");
+    for r in &reports {
+        print!(" {:>10}", format!("{}/{}", r[2].p95, r[3].p95));
+    }
+    println!();
+}
+
+/// Table 4: impact of balancing importance and coverage.
+pub fn table4() {
+    header("Table 4: BalanceSummary vs MaxImportance vs MaxCoverage");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "Avg. cost", "XMark", "TPC-H", "MiMI"
+    );
+    let ds = datasets();
+    let mut best = Vec::new();
+    print!("{:<22}", "w/o summary (Best)");
+    for d in &ds {
+        let (_, _, b) = baseline_costs(&d.graph, &d.queries);
+        print!(" {:>10.2}", b);
+        best.push(b);
+    }
+    println!();
+    let mut balance_saving = Vec::new();
+    for (label, alg) in [
+        ("w/ BalanceSummary", Algorithm::Balance),
+        ("w/ MaxImportance", Algorithm::MaxImportance),
+        ("w/ MaxCoverage", Algorithm::MaxCoverage),
+    ] {
+        let mut costs = Vec::new();
+        print!("{:<22}", label);
+        for d in &ds {
+            let k = paper_summary_size(d.name);
+            let c = algorithm_avg_cost(d, k, alg);
+            print!(" {:>10.2}", c);
+            costs.push(c);
+        }
+        println!();
+        print!("{:<22}", "  Saving%");
+        for (i, &c) in costs.iter().enumerate() {
+            print!(" {:>9.1}%", saving(best[i], c));
+        }
+        println!();
+        if alg == Algorithm::Balance {
+            balance_saving = costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| saving(best[i], c))
+                .collect();
+        } else {
+            print!("{:<22}", "  Saving Reduction%");
+            for (i, &c) in costs.iter().enumerate() {
+                let s = saving(best[i], c);
+                let red = if balance_saving[i] > 0.0 {
+                    (balance_saving[i] - s) / balance_saving[i] * 100.0
+                } else {
+                    0.0
+                };
+                print!(" {:>9.1}%", red);
+            }
+            println!();
+        }
+    }
+}
+
+/// Table 5: summary stability across MiMI versions.
+pub fn table5() {
+    header("Table 5: Agreement between summaries on MiMI versions");
+    let versions = mimi::Version::ALL;
+    let mut selections: Vec<Vec<Vec<_>>> = Vec::new(); // [version][size_idx]
+    let mut totals = Vec::new();
+    for &v in &versions {
+        let (g, s, _) = mimi::schema(v);
+        totals.push(s.total_card());
+        let mut sum = Summarizer::new(&g, &s);
+        selections.push(
+            experts::EXPERT_SIZES
+                .iter()
+                .map(|&sz| sum.select(sz, Algorithm::Balance).expect("selects"))
+                .collect(),
+        );
+    }
+    println!(
+        "{:<22} {:>8} {:>8} {:>9} {:>9}",
+        "", "change%", "5-ele.", "10-ele.", "15-ele."
+    );
+    let pairs = [(0usize, 1usize), (0, 2), (1, 2)];
+    for &(a, b) in &pairs {
+        let change = (1.0 - totals[a] / totals[b]) * 100.0;
+        print!(
+            "{:<22} {:>7.0}%",
+            format!("{} vs. {}", versions[a].name(), versions[b].name()),
+            change
+        );
+        for i in 0..experts::EXPERT_SIZES.len() {
+            print!(
+                " {:>7.0}%",
+                agreement(&selections[a][i], &selections[b][i]) * 100.0
+            );
+        }
+        println!();
+    }
+}
+
+/// Table 6: comparison against ER model abstraction on MiMI.
+pub fn table6() {
+    header("Table 6: ER model abstraction techniques on MiMI (size 10)");
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let (_, _, _, seeds) = {
+        let (g, s, h) = mimi::schema(mimi::Version::Jan06);
+        let seeds = mimi::major_entities(&h);
+        (g, s, h, seeds)
+    };
+    let (_, _, best) = baseline_costs(&d.graph, &d.queries);
+    let k = 10;
+    println!("{:<26} {:>10} {:>10}", "", "Avg. cost", "Saving%");
+    let balance = algorithm_avg_cost(&d, k, Algorithm::Balance);
+    println!(
+        "{:<26} {:>10.2} {:>9.1}%",
+        "with BalanceSummary",
+        balance,
+        saving(best, balance)
+    );
+    for (label, sel) in [
+        ("TWBK w/o human", twbk_select(&d.graph, Weighting::unsupervised(), k)),
+        ("TWBK with human", twbk_select_seeded(&d.graph, Weighting::human(), k, &seeds)),
+        ("CAFP w/o human", cafp_select(&d.graph, Weighting::unsupervised(), k)),
+        ("CAFP with human", cafp_select_seeded(&d.graph, Weighting::human(), k, &seeds)),
+    ] {
+        let cost = selection_avg_cost(&d, &sel);
+        println!("{:<26} {:>10.2} {:>9.1}%", label, cost, saving(best, cost));
+        println!("{:<26}   [{}]", "", labels(&d.graph, &sel));
+    }
+}
+
+/// Diagnostic dump for the MiMI pipeline (not part of the paper).
+pub fn debug_mimi() {
+    use schema_summary_discovery::{best_first_cost, summary_cost, CostModel};
+    let d = mimi::dataset(mimi::Version::Jan06);
+    let (_, _, h) = mimi::schema(mimi::Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let sel = s.select(10, Algorithm::Balance).unwrap();
+    println!("balance selection (10): {}", labels(&d.graph, &sel));
+    let seeded = twbk_select_seeded(&d.graph, Weighting::human(), 10, &mimi::major_entities(&h));
+    println!("seeded selection (10): {}", labels(&d.graph, &seeded));
+    let sum_bal = s.summarize_selection(&sel).unwrap();
+    let sum_seed = s.summarize_selection(&seeded).unwrap();
+    for (name, sum) in [("balance", &sum_bal), ("seeded", &sum_seed)] {
+        println!("\n{name} groups:");
+        for a in sum.abstracts() {
+            println!("  {:<40} {} members", d.graph.label_path(a.representative), a.members.len());
+        }
+    }
+    println!("\nper-query: best vs balance-summary vs seeded-summary");
+    for q in &d.queries {
+        let b = best_first_cost(&d.graph, q, CostModel::SiblingScan);
+        let w1 = summary_cost(&d.graph, &sum_bal, q, CostModel::SiblingScan);
+        let w2 = summary_cost(&d.graph, &sum_seed, q, CostModel::SiblingScan);
+        println!("  {:<10} best={:>4} bal={:>4} seed={:>4}", q.name, b.cost, w1.cost, w2.cost);
+    }
+}
+
+/// Diagnostic: MiMI schema-only and data-only top selections.
+pub fn debug_fig9() {
+    use schema_summary_algo::{ImportanceConfig, ImportanceMode, SummarizerConfig};
+    let d = mimi::dataset(mimi::Version::Jan06);
+    for mode in [ImportanceMode::SchemaOnly, ImportanceMode::DataOnly] {
+        let config = SummarizerConfig {
+            importance: ImportanceConfig::default().with_mode(mode),
+            ..Default::default()
+        };
+        let mut s = Summarizer::with_config(&d.graph, &d.stats, config);
+        let sel = s.select(10, Algorithm::MaxImportance).unwrap();
+        println!("{mode:?}: {}", labels(&d.graph, &sel));
+    }
+}

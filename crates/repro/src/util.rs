@@ -1,0 +1,88 @@
+//! Shared helpers for the reproduction driver.
+
+use schema_summary_algo::{Algorithm, Summarizer};
+use schema_summary_core::{ElementId, SchemaGraph, SchemaSummary};
+use schema_summary_datasets::Dataset;
+use schema_summary_discovery::{
+    best_first_cost, breadth_first_cost, depth_first_cost, summary_cost, CostModel, QueryIntention,
+};
+
+/// The summary sizes the paper uses in Tables 3, 4 and 6.
+pub fn paper_summary_size(dataset: &str) -> usize {
+    match dataset {
+        "TPC-H" => 5,
+        _ => 10,
+    }
+}
+
+/// Average query-discovery cost over a workload for a no-summary strategy.
+pub fn avg_cost<F>(queries: &[QueryIntention], f: F) -> f64
+where
+    F: Fn(&QueryIntention) -> schema_summary_discovery::DiscoveryCost,
+{
+    let mut total = 0usize;
+    for q in queries {
+        let r = f(q);
+        assert!(r.found_all, "query {} did not complete", q.name);
+        total += r.cost;
+    }
+    total as f64 / queries.len() as f64
+}
+
+/// Average depth-first / breadth-first / best-first costs for a dataset.
+pub fn baseline_costs(graph: &SchemaGraph, queries: &[QueryIntention]) -> (f64, f64, f64) {
+    (
+        avg_cost(queries, |q| depth_first_cost(graph, q)),
+        avg_cost(queries, |q| breadth_first_cost(graph, q)),
+        avg_cost(queries, |q| best_first_cost(graph, q, CostModel::SiblingScan)),
+    )
+}
+
+/// Average with-summary cost for a dataset.
+pub fn summary_avg_cost(
+    graph: &SchemaGraph,
+    summary: &SchemaSummary,
+    queries: &[QueryIntention],
+) -> f64 {
+    avg_cost(queries, |q| summary_cost(graph, summary, q, CostModel::SiblingScan))
+}
+
+/// Build a summary from an explicit selection and measure its average cost.
+pub fn selection_avg_cost(d: &Dataset, selection: &[ElementId]) -> f64 {
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let summary = s
+        .summarize_selection(selection)
+        .expect("selection materializes");
+    summary_avg_cost(&d.graph, &summary, &d.queries)
+}
+
+/// Run `algorithm` at size `k` and measure the summary's average cost.
+pub fn algorithm_avg_cost(d: &Dataset, k: usize, algorithm: Algorithm) -> f64 {
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let summary = s.summarize(k, algorithm).expect("summary builds");
+    summary_avg_cost(&d.graph, &summary, &d.queries)
+}
+
+/// Percentage saving of `with` relative to `without`.
+pub fn saving(without: f64, with: f64) -> f64 {
+    if without <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - with / without) * 100.0
+}
+
+/// Render selected element labels, for qualitative inspection.
+pub fn labels(graph: &SchemaGraph, selection: &[ElementId]) -> String {
+    selection
+        .iter()
+        .map(|&e| graph.label(e))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}

@@ -1,0 +1,71 @@
+//! Watch a summary evolve with the database (the paper's Table 5 story):
+//! the MiMI-style dataset grows from April 2004 to January 2006, with
+//! protein-domain data imported in October 2005 — the summary stays stable
+//! under same-distribution growth and shifts only when the distribution
+//! genuinely changes.
+//!
+//! ```text
+//! cargo run --release --example evolving_data
+//! ```
+
+use schema_summary::prelude::*;
+use schema_summary::algo::SummaryMonitor;
+use schema_summary_datasets::mimi::{self, Version};
+use schema_summary_discovery::agreement::agreement;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deployment would run the monitor on a schedule; here the three
+    // archived versions stand in for three scheduled refreshes.
+    let (graph, _, _) = mimi::schema(Version::Apr04);
+    let mut monitor = SummaryMonitor::new(10, Algorithm::Balance);
+    let mut selections = Vec::new();
+    for &version in &Version::ALL {
+        let (g, stats, handles) = mimi::schema(version);
+        assert_eq!(g, graph, "the schema itself never changes");
+        let report = monitor.refresh(&graph, &stats)?;
+        let names: Vec<&str> = report.selection.iter().map(|&e| graph.label(e)).collect();
+        println!(
+            "{:<8} {:>6.2}M data elements, size-10 summary: {}",
+            version.name(),
+            stats.total_card() / 1e6,
+            names.join(", ")
+        );
+        if report.changed {
+            println!(
+                "         summary CHANGED: +{:?} -{:?}",
+                report.entered.iter().map(|&e| graph.label(e)).collect::<Vec<_>>(),
+                report.left.iter().map(|&e| graph.label(e)).collect::<Vec<_>>()
+            );
+        }
+        let domain = handles.get("domain");
+        if stats.card(domain) > 0.0 {
+            println!("         (domain data present: {:.0} domains)", stats.card(domain));
+        }
+        selections.push(report.selection);
+    }
+    println!(
+        "\nmonitor: {} refreshes, {} changes",
+        monitor.refreshes(),
+        monitor.changes()
+    );
+
+    println!("\npairwise summary agreement:");
+    let labels = ["Apr 04", "Jan 05", "Now"];
+    for i in 0..selections.len() {
+        for j in (i + 1)..selections.len() {
+            println!(
+                "  {:<7} vs {:<7} {:>4.0}%",
+                labels[i],
+                labels[j],
+                agreement(&selections[i], &selections[j]) * 100.0
+            );
+        }
+    }
+    println!(
+        "\nGrowth that follows the existing distribution leaves the summary\n\
+         untouched; the October 2005 domain import is a real distribution\n\
+         change, and the summary adapts — which the paper argues is exactly\n\
+         the desired behaviour (Section 3.3)."
+    );
+    Ok(())
+}

@@ -1,0 +1,326 @@
+//! `schema-summary` — summarize a schema from the command line.
+//!
+//! ```text
+//! schema-summary inspect   (--xsd FILE | --ddl FILE) [--xml FILE]
+//! schema-summary summarize (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
+//!                          [--algorithm balance|importance|coverage]
+//!                          [--levels N,M,...] [--dot OUT] [--json OUT]
+//! schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
+//!                          --query label1,label2,...
+//! ```
+//!
+//! Schemas come from an XSD subset or SQL DDL; statistics come from an XML
+//! instance (`--xml`) when given, and default to uniform (schema-driven)
+//! otherwise. `summarize` prints the summary outline and can export
+//! Graphviz DOT and JSON; `discover` compares query-discovery costs with
+//! and without the summary.
+
+use schema_summary::prelude::*;
+use schema_summary_io::{parse_ddl, parse_xml_instance, parse_xsd, schema_to_dot, schema_to_xsd, summary_to_dot, summary_to_markdown};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Piping output into `head` closes stdout early; treat the resulting
+    // broken pipe as a normal exit instead of a panic (Rust has no default
+    // SIGPIPE handling).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if is_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "help".into());
+    let opts = parse_opts(args)?;
+    match command.as_str() {
+        "inspect" => inspect(&opts),
+        "summarize" => summarize(&opts),
+        "discover" => discover(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try 'schema-summary help'")),
+    }
+}
+
+const USAGE: &str = "\
+schema-summary — automatic schema summarization (Yu & Jagadish, VLDB 2006)
+
+USAGE:
+  schema-summary inspect   (--xsd FILE | --ddl FILE) [--xml FILE]
+  schema-summary summarize (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
+                           [--algorithm balance|importance|coverage]
+                           [--levels N,M,...] [--dot OUT] [--json OUT]
+  schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
+                           --query label1,label2,...
+
+OPTIONS:
+  --xsd FILE        schema from an XML-Schema subset
+  --ddl FILE        schema from SQL CREATE TABLE statements
+  --xml FILE        database instance (XML) for cardinality statistics
+  -k N              summary size (default 5)
+  --algorithm A     balance (default) | importance | coverage
+  --levels N,M,...  build a multi-level summary with these level sizes
+  --explain true    print per-element evidence (ranks, groups, dominance)
+  --dot FILE        write the summary as Graphviz DOT
+  --md FILE         write the summary as Markdown documentation
+  --json FILE       write the summary as JSON
+  --query LABELS    comma-separated element labels the user seeks
+  --xsd-out FILE    (inspect) export the schema back to the XSD subset
+";
+
+fn parse_opts(
+    args: impl Iterator<Item = String>,
+) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        if !flag.starts_with('-') {
+            return Err(format!("unexpected argument '{flag}'"));
+        }
+        let key = flag.trim_start_matches('-').to_string();
+        let value = args
+            .next()
+            .ok_or_else(|| format!("flag '{flag}' needs a value"))?;
+        opts.insert(key, value);
+    }
+    Ok(opts)
+}
+
+fn load_schema(opts: &HashMap<String, String>) -> Result<SchemaGraph, String> {
+    match (opts.get("xsd"), opts.get("ddl")) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_xsd(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_ddl(&text, "db").map_err(|e| format!("{path}: {e}"))
+        }
+        _ => Err("exactly one of --xsd or --ddl is required".into()),
+    }
+}
+
+fn load_stats(
+    graph: &SchemaGraph,
+    opts: &HashMap<String, String>,
+) -> Result<SchemaStats, String> {
+    match opts.get("xml") {
+        None => Ok(SchemaStats::uniform(graph)),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let data = parse_xml_instance(graph, &text).map_err(|e| format!("{path}: {e}"))?;
+            let violations = check_conformance(graph, &data);
+            if !violations.is_empty() {
+                return Err(format!(
+                    "{path}: instance does not conform ({} violations; first: {})",
+                    violations.len(),
+                    violations[0]
+                ));
+            }
+            annotate_schema(graph, &data).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn algorithm_of(opts: &HashMap<String, String>) -> Result<Algorithm, String> {
+    match opts.get("algorithm").map(String::as_str) {
+        None | Some("balance") => Ok(Algorithm::Balance),
+        Some("importance") => Ok(Algorithm::MaxImportance),
+        Some("coverage") => Ok(Algorithm::MaxCoverage),
+        Some(other) => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn size_of(opts: &HashMap<String, String>) -> Result<usize, String> {
+    match opts.get("k") {
+        None => Ok(5),
+        Some(v) => v.parse().map_err(|_| format!("invalid -k value '{v}'")),
+    }
+}
+
+fn inspect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = load_schema(opts)?;
+    let stats = load_stats(&graph, opts)?;
+    let metrics = schema_summary::core::GraphMetrics::compute(&graph);
+    println!("{metrics}");
+    println!("{:.0} data elements", stats.total_card());
+    print!("{}", graph.outline());
+    if let Some(path) = opts.get("xsd-out") {
+        std::fs::write(path, schema_to_xsd(&graph)).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let mut s = Summarizer::new(&graph, &stats);
+    let imp = s.importance().clone();
+    println!("\ntop elements by importance:");
+    for &e in imp.ranked(&graph).iter().take(10) {
+        println!(
+            "  {:<40} {:>12.1}",
+            graph.label_path(e),
+            imp.score(e)
+        );
+    }
+    Ok(())
+}
+
+fn summarize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = load_schema(opts)?;
+    let stats = load_stats(&graph, opts)?;
+    let k = size_of(opts)?;
+    let algorithm = algorithm_of(opts)?;
+    let mut s = Summarizer::new(&graph, &stats);
+
+    if let Some(levels) = opts.get("levels") {
+        let sizes: Vec<usize> = levels
+            .split(',')
+            .map(|v| v.trim().parse().map_err(|_| format!("bad level size '{v}'")))
+            .collect::<Result<_, _>>()?;
+        let ml = s
+            .multi_level(&sizes, algorithm)
+            .map_err(|e| e.to_string())?;
+        for (i, level) in ml.levels().iter().enumerate() {
+            println!("--- level {i} (size {}) ---", level.size());
+            print!("{}", level.outline(&graph));
+        }
+        return Ok(());
+    }
+
+    let summary = s.summarize(k, algorithm).map_err(|e| e.to_string())?;
+    print!("{}", summary.outline(&graph));
+    println!(
+        "importance R = {:.3}, coverage C = {:.3}",
+        s.selection_importance(&summary.visible_elements()),
+        s.selection_coverage(&summary.visible_elements())
+    );
+    if opts.get("explain").map(String::as_str) == Some("true") {
+        print!("{}", s.explain(&summary).render());
+    }
+    if let Some(path) = opts.get("dot") {
+        std::fs::write(path, summary_to_dot(&graph, &summary))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = opts.get("md") {
+        std::fs::write(path, summary_to_markdown(&graph, &summary))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = opts.get("json") {
+        let json =
+            schema_summary_io::export::to_json(&summary).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    // Also offer the full-schema DOT for side-by-side rendering.
+    if opts.get("dot").is_some() {
+        let _ = schema_to_dot(&graph); // validated render path
+    }
+    Ok(())
+}
+
+fn discover(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = load_schema(opts)?;
+    let stats = load_stats(&graph, opts)?;
+    let k = size_of(opts)?;
+    let labels: Vec<&str> = opts
+        .get("query")
+        .ok_or("discover requires --query label1,label2,...")?
+        .split(',')
+        .map(str::trim)
+        .collect();
+    let q = QueryIntention::from_labels(&graph, "cli", &labels).map_err(|e| e.to_string())?;
+
+    let mut s = Summarizer::new(&graph, &stats);
+    let summary = s.summarize(k, Algorithm::Balance).map_err(|e| e.to_string())?;
+    let lin = schema_summary::discovery::linear_scan_cost(&graph, &q);
+    let df = depth_first_cost(&graph, &q);
+    let bf = breadth_first_cost(&graph, &q);
+    let best = best_first_cost(&graph, &q, CostModel::SiblingScan);
+    let with = summary_cost(&graph, &summary, &q, CostModel::SiblingScan);
+    println!("query {:?}", labels);
+    println!("  linear scan    {:>5}", lin.cost);
+    println!("  depth-first    {:>5}", df.cost);
+    println!("  breadth-first  {:>5}", bf.cost);
+    println!("  best-first     {:>5}", best.cost);
+    println!("  with summary   {:>5}  (size {k})", with.cost);
+    if best.cost > 0 {
+        println!(
+            "  saving         {:>4.0}%",
+            (1.0 - with.cost as f64 / best.cost as f64) * 100.0
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_opts_pairs_flags_with_values() {
+        let parsed = parse_opts(
+            ["--xsd", "a.xsd", "-k", "7"].iter().map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(parsed["xsd"], "a.xsd");
+        assert_eq!(parsed["k"], "7");
+    }
+
+    #[test]
+    fn parse_opts_rejects_bare_arguments_and_dangling_flags() {
+        assert!(parse_opts(["stray"].iter().map(|s| s.to_string())).is_err());
+        assert!(parse_opts(["--xsd"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_resolve() {
+        assert_eq!(algorithm_of(&opts(&[])).unwrap(), Algorithm::Balance);
+        assert_eq!(
+            algorithm_of(&opts(&[("algorithm", "importance")])).unwrap(),
+            Algorithm::MaxImportance
+        );
+        assert_eq!(
+            algorithm_of(&opts(&[("algorithm", "coverage")])).unwrap(),
+            Algorithm::MaxCoverage
+        );
+        assert!(algorithm_of(&opts(&[("algorithm", "bogus")])).is_err());
+    }
+
+    #[test]
+    fn size_parses_with_default() {
+        assert_eq!(size_of(&opts(&[])).unwrap(), 5);
+        assert_eq!(size_of(&opts(&[("k", "12")])).unwrap(), 12);
+        assert!(size_of(&opts(&[("k", "x")])).is_err());
+    }
+
+    #[test]
+    fn schema_loading_demands_exactly_one_source() {
+        assert!(load_schema(&opts(&[])).is_err());
+        assert!(load_schema(&opts(&[("xsd", "a"), ("ddl", "b")])).is_err());
+        assert!(load_schema(&opts(&[("xsd", "/nonexistent/x.xsd")])).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! # schema-summary
+//!
+//! Automatic schema summarization for relational and hierarchical
+//! databases — a from-scratch Rust implementation of *Schema Summarization*
+//! (Cong Yu & H. V. Jagadish, VLDB 2006).
+//!
+//! Complex schemas are hard to comprehend; a **schema summary** groups the
+//! schema's elements under a handful of *abstract elements* chosen to be
+//! important (well-connected, data-heavy) and to cover the schema broadly,
+//! so that a user can understand the database at a glance and drill into
+//! just the component they need.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] | schema graphs, summaries, cardinality statistics |
+//! | [`instance`] | data trees, conformance, the `annotateSchema` pass |
+//! | [`algo`] | importance / affinity / coverage formulas and the three selection algorithms |
+//! | [`discovery`] | the query-discovery cost metric and agreement measures |
+//! | [`datasets`] | XMark, TPC-H and MiMI-style evaluation datasets |
+//! | [`baselines`] | TWBK / CAFP ER-abstraction baselines |
+//! | [`io`] | XSD / SQL-DDL / XML front-ends, DOT & JSON export |
+//!
+//! # Example
+//!
+//! ```
+//! use schema_summary::prelude::*;
+//!
+//! // A schema: people with profiles, auctions with bidders.
+//! let mut b = SchemaGraphBuilder::new("site");
+//! let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+//! let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+//! b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+//! let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
+//! let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
+//! let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+//! b.add_value_link(bidder, person).unwrap();
+//! let graph = b.build().unwrap();
+//!
+//! // Statistics from data (here: schema-only, uniform).
+//! let stats = SchemaStats::uniform(&graph);
+//!
+//! // Summarize to 2 abstract elements.
+//! let mut s = Summarizer::new(&graph, &stats);
+//! let summary = s.summarize(2, Algorithm::Balance).unwrap();
+//! assert_eq!(summary.size(), 2);
+//! summary.validate(&graph).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use schema_summary_algo as algo;
+pub use schema_summary_baselines as baselines;
+pub use schema_summary_core as core;
+pub use schema_summary_datasets as datasets;
+pub use schema_summary_discovery as discovery;
+pub use schema_summary_instance as instance;
+pub use schema_summary_io as io;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use schema_summary_algo::{
+        Algorithm, ImportanceConfig, ImportanceMode, PathConfig, Summarizer, SummarizerConfig,
+    };
+    pub use schema_summary_core::{
+        AtomicType, ElementId, SchemaError, SchemaGraph, SchemaGraphBuilder, SchemaStats,
+        SchemaSummary, SchemaType,
+    };
+    pub use schema_summary_discovery::{
+        best_first_cost, breadth_first_cost, depth_first_cost, summary_cost, CostModel,
+        DiscoveryCost, QueryIntention,
+    };
+    pub use schema_summary_instance::generate::{generate_instance, GeneratorConfig};
+    pub use schema_summary_instance::{annotate_schema, check_conformance, DataTree, DataTreeBuilder};
+}

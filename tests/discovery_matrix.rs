@@ -1,0 +1,146 @@
+//! Every discovery strategy against every dataset: completeness, cost
+//! bounds, and the orderings that make the evaluation meaningful.
+
+use schema_summary::prelude::*;
+use schema_summary_datasets::{mimi, tpch, xmark, Dataset};
+use schema_summary_discovery::{
+    linear_scan_cost, multilevel_cost, session_best_first, session_with_summary, ExpansionModel,
+    WorkloadReport,
+};
+
+fn datasets() -> Vec<Dataset> {
+    vec![
+        xmark::dataset(1.0),
+        tpch::dataset(0.1),
+        mimi::dataset(mimi::Version::Jan06),
+    ]
+}
+
+#[test]
+fn every_strategy_completes_every_query() {
+    for d in datasets() {
+        let mut s = Summarizer::new(&d.graph, &d.stats);
+        let summary = s.summarize(5, Algorithm::Balance).unwrap();
+        for q in &d.queries {
+            for (name, r) in [
+                ("linear", linear_scan_cost(&d.graph, q)),
+                ("df", depth_first_cost(&d.graph, q)),
+                ("bf", breadth_first_cost(&d.graph, q)),
+                ("best-scan", best_first_cost(&d.graph, q, CostModel::SiblingScan)),
+                ("best-path", best_first_cost(&d.graph, q, CostModel::PathOnly)),
+                ("summary", summary_cost(&d.graph, &summary, q, CostModel::SiblingScan)),
+            ] {
+                assert!(r.found_all, "{}/{}: {name} incomplete", d.name, q.name);
+                assert!(
+                    r.cost <= d.graph.len() + summary.size(),
+                    "{}/{}: {name} cost {} exceeds schema size",
+                    d.name,
+                    q.name,
+                    r.cost
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pathonly_lower_bounds_sibling_scan_everywhere() {
+    for d in datasets() {
+        for q in &d.queries {
+            let scan = best_first_cost(&d.graph, q, CostModel::SiblingScan);
+            let path = best_first_cost(&d.graph, q, CostModel::PathOnly);
+            assert!(
+                path.cost <= scan.cost,
+                "{}/{}: path {} > scan {}",
+                d.name,
+                q.name,
+                path.cost,
+                scan.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_scan_is_never_better_than_depth_first_on_these_schemas() {
+    // Declaration order equals document order for the dataset builders, so
+    // the two coincide per query.
+    for d in datasets() {
+        for q in &d.queries {
+            let lin = linear_scan_cost(&d.graph, q);
+            let df = depth_first_cost(&d.graph, q);
+            assert_eq!(lin.cost, df.cost, "{}/{}", d.name, q.name);
+        }
+    }
+}
+
+#[test]
+fn workload_reports_agree_with_direct_averages() {
+    for d in datasets() {
+        let report = WorkloadReport::run("best", &d.queries, |q| {
+            best_first_cost(&d.graph, q, CostModel::SiblingScan)
+        });
+        let direct: f64 = d
+            .queries
+            .iter()
+            .map(|q| best_first_cost(&d.graph, q, CostModel::SiblingScan).cost)
+            .sum::<usize>() as f64
+            / d.queries.len() as f64;
+        assert!((report.mean - direct).abs() < 1e-9, "{}", d.name);
+        assert!(report.complete);
+        assert_eq!(report.per_query.len(), d.queries.len());
+    }
+}
+
+#[test]
+fn multilevel_discovery_completes_on_every_dataset() {
+    for d in datasets() {
+        let mut s = Summarizer::new(&d.graph, &d.stats);
+        let ml = s.multi_level(&[12, 4], Algorithm::Balance).unwrap();
+        ml.validate(&d.graph).unwrap();
+        for q in &d.queries {
+            let r = multilevel_cost(
+                &d.graph,
+                &ml,
+                q,
+                CostModel::SiblingScan,
+                ExpansionModel::Scan,
+            );
+            assert!(r.found_all, "{}/{}", d.name, q.name);
+        }
+    }
+}
+
+#[test]
+fn sessions_learn_on_every_dataset() {
+    for d in datasets() {
+        let mut s = Summarizer::new(&d.graph, &d.stats);
+        let summary = s.summarize(paper_size(d.name), Algorithm::Balance).unwrap();
+        let plain = session_best_first(&d.graph, &d.queries, CostModel::SiblingScan);
+        let with = session_with_summary(
+            &d.graph,
+            &summary,
+            &d.queries,
+            CostModel::SiblingScan,
+            ExpansionModel::Scan,
+        );
+        // Learning monotonicity for both arms.
+        assert!(plain.mean_of_first(5) >= plain.mean_of_last(5), "{}", d.name);
+        assert!(with.mean_of_first(5) >= with.mean_of_last(5), "{}", d.name);
+        // A session is never costlier than memoryless discovery.
+        let memoryless: usize = d
+            .queries
+            .iter()
+            .map(|q| best_first_cost(&d.graph, q, CostModel::SiblingScan).cost)
+            .sum();
+        assert!(plain.total() <= memoryless, "{}", d.name);
+    }
+}
+
+fn paper_size(name: &str) -> usize {
+    if name == "TPC-H" {
+        5
+    } else {
+        10
+    }
+}

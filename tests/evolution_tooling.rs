@@ -1,0 +1,99 @@
+//! The operational tooling around the paper's data-evolution story
+//! (Section 3.3), exercised end-to-end on the MiMI versions: the
+//! [`SummaryMonitor`] detects the October-2005 domain import, the
+//! [`SummaryDiff`] explains it, and session replays quantify the user-side
+//! impact.
+
+use schema_summary::algo::SummaryMonitor;
+use schema_summary::core::SummaryDiff;
+use schema_summary::prelude::*;
+use schema_summary_datasets::mimi::{self, Version};
+use schema_summary_discovery::{session_with_summary, ExpansionModel};
+
+#[test]
+fn monitor_detects_the_domain_import() {
+    let (graph, _, handles) = mimi::schema(Version::Apr04);
+    let mut monitor = SummaryMonitor::new(15, Algorithm::Balance);
+    for &v in &[Version::Apr04, Version::Jan05] {
+        let (_, stats, _) = mimi::schema(v);
+        monitor.refresh(&graph, &stats).unwrap();
+    }
+    let pre_changes = monitor.changes();
+
+    let (_, stats06, _) = mimi::schema(Version::Jan06);
+    let report = monitor.refresh(&graph, &stats06).unwrap();
+    assert!(report.changed, "the domain import must register");
+    assert!(
+        report.entered.contains(&handles.get("domain")),
+        "domain should enter the size-15 summary: {:?}",
+        report
+            .entered
+            .iter()
+            .map(|&e| graph.label(e))
+            .collect::<Vec<_>>()
+    );
+    assert!(monitor.changes() > pre_changes);
+}
+
+#[test]
+fn diff_explains_the_version_change() {
+    let (graph, stats05, _) = mimi::schema(Version::Jan05);
+    let (_, stats06, handles) = mimi::schema(Version::Jan06);
+    let mut s05 = Summarizer::new(&graph, &stats05);
+    let mut s06 = Summarizer::new(&graph, &stats06);
+    let old = s05.summarize(15, Algorithm::Balance).unwrap();
+    let new = s06.summarize(15, Algorithm::Balance).unwrap();
+    let diff = SummaryDiff::compute(&graph, &old, &new);
+    assert!(!diff.is_empty());
+    // The new groups include the domain element.
+    assert!(
+        diff.added_groups.contains(&handles.get("domain")),
+        "added: {:?}",
+        diff.added_groups
+            .iter()
+            .map(|&e| graph.label(e))
+            .collect::<Vec<_>>()
+    );
+    // Most of the schema keeps its grouping.
+    assert!(diff.stability() > 0.5, "stability {}", diff.stability());
+    let text = diff.render(&graph);
+    assert!(text.contains("domain"), "{text}");
+}
+
+#[test]
+fn sessions_complete_across_versions() {
+    // The workload replays against every version's statistics (domains
+    // carry no data before Jan 06, yet their queries must still complete:
+    // discovery is over the schema, not the data).
+    for &v in &Version::ALL {
+        let (graph, stats, _) = mimi::schema(v);
+        let queries = mimi::dataset(v).queries;
+        let mut s = Summarizer::new(&graph, &stats);
+        let summary = s.summarize(10, Algorithm::Balance).unwrap();
+        let curve = session_with_summary(
+            &graph,
+            &summary,
+            &queries,
+            CostModel::SiblingScan,
+            ExpansionModel::Scan,
+        );
+        assert_eq!(curve.per_query.len(), queries.len(), "{}", v.name());
+        assert!(curve.elements_learned > 20, "{}", v.name());
+        // Learning monotonicity: later queries are on average no more
+        // expensive than early ones.
+        assert!(curve.mean_of_first(10) >= curve.mean_of_last(10));
+    }
+}
+
+#[test]
+fn monitor_materializes_consistent_summaries() {
+    let (graph, stats, _) = mimi::schema(Version::Jan06);
+    let mut monitor = SummaryMonitor::new(10, Algorithm::Balance);
+    monitor.refresh(&graph, &stats).unwrap();
+    let from_monitor = monitor.materialize(&graph, &stats).unwrap();
+    from_monitor.validate(&graph).unwrap();
+    let mut s = Summarizer::new(&graph, &stats);
+    let direct = s.summarize(10, Algorithm::Balance).unwrap();
+    // Same selection, same grouping.
+    assert!(SummaryDiff::compute(&graph, &direct, &from_monitor).is_empty());
+}

@@ -1,0 +1,145 @@
+//! End-to-end MiMI pipeline: the real-dataset behaviours the paper
+//! highlights — biggest summary benefit, stability under data evolution,
+//! and the ER-baseline comparison ordering.
+
+use schema_summary::prelude::*;
+use schema_summary_baselines::{cafp_select, twbk_select, twbk_select_seeded, Weighting};
+use schema_summary_datasets::mimi::{self, Version};
+use schema_summary_discovery::agreement::agreement;
+
+fn avg_with_summary(d: &schema_summary_datasets::Dataset, summary: &SchemaSummary) -> f64 {
+    d.queries
+        .iter()
+        .map(|q| {
+            let r = summary_cost(&d.graph, summary, q, CostModel::SiblingScan);
+            assert!(r.found_all, "{}", q.name);
+            r.cost
+        })
+        .sum::<usize>() as f64
+        / d.queries.len() as f64
+}
+
+fn avg_best(d: &schema_summary_datasets::Dataset) -> f64 {
+    d.queries
+        .iter()
+        .map(|q| best_first_cost(&d.graph, q, CostModel::SiblingScan).cost)
+        .sum::<usize>() as f64
+        / d.queries.len() as f64
+}
+
+#[test]
+fn real_workloads_benefit_most() {
+    // Paper Section 5.4: "schema summarization was most effective for the
+    // one real data set" — MiMI's saving must exceed TPC-H's.
+    let mimi = mimi::dataset(Version::Jan06);
+    let tpch = schema_summary_datasets::tpch::dataset(0.1);
+    let saving = |d: &schema_summary_datasets::Dataset, k: usize| {
+        let mut s = Summarizer::new(&d.graph, &d.stats);
+        let summary = s.summarize(k, Algorithm::Balance).unwrap();
+        1.0 - avg_with_summary(d, &summary) / avg_best(d)
+    };
+    let mimi_saving = saving(&mimi, 10);
+    let tpch_saving = saving(&tpch, 5);
+    assert!(
+        mimi_saving > tpch_saving,
+        "MiMI saving {mimi_saving:.2} vs TPC-H {tpch_saving:.2}"
+    );
+    assert!(mimi_saving > 0.2, "MiMI saving should be substantial");
+}
+
+#[test]
+fn summaries_stay_stable_under_proportional_growth() {
+    // Table 5: Apr 04 → Jan 05 grows volume without changing distribution.
+    let sel = |v: Version, k: usize| {
+        let (g, s, _) = mimi::schema(v);
+        let mut sum = Summarizer::new(&g, &s);
+        sum.select(k, Algorithm::Balance).unwrap()
+    };
+    for k in [5, 10, 15] {
+        let a = sel(Version::Apr04, k);
+        let b = sel(Version::Jan05, k);
+        assert!(
+            agreement(&a, &b) >= 0.8,
+            "size {k}: agreement {} too low",
+            agreement(&a, &b)
+        );
+    }
+    // Size-5 summaries are fully stable even across the domain import.
+    let a = sel(Version::Apr04, 5);
+    let c = sel(Version::Jan06, 5);
+    assert!(agreement(&a, &c) >= 0.6);
+}
+
+#[test]
+fn domain_import_shifts_larger_summaries() {
+    // The October 2005 domain import is a genuine distribution change; the
+    // domain element must enter the Jan 06 importance ranking prominently.
+    let (g, s, h) = mimi::schema(Version::Jan06);
+    let mut sum = Summarizer::new(&g, &s);
+    let rank: Vec<_> = sum.importance().ranked(&g);
+    let pos = rank.iter().position(|&e| e == h.get("domain")).unwrap();
+    assert!(pos < 30, "domain ranked only #{pos} after the import");
+
+    let (g4, s4, h4) = mimi::schema(Version::Apr04);
+    let mut sum4 = Summarizer::new(&g4, &s4);
+    let rank4: Vec<_> = sum4.importance().ranked(&g4);
+    let pos4 = rank4.iter().position(|&e| e == h4.get("domain")).unwrap();
+    assert!(pos4 > pos, "domain should rank lower before the import");
+}
+
+#[test]
+fn er_baselines_order_as_in_table6() {
+    let d = mimi::dataset(Version::Jan06);
+    let (_, _, h) = mimi::schema(Version::Jan06);
+    let seeds = mimi::major_entities(&h);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let eval = |s: &mut Summarizer, sel: &[ElementId]| {
+        let summary = s.summarize_selection(sel).unwrap();
+        avg_with_summary(&d, &summary)
+    };
+    let balance = {
+        let summary = s.summarize(10, Algorithm::Balance).unwrap();
+        avg_with_summary(&d, &summary)
+    };
+    let twbk_human = eval(&mut s, &twbk_select_seeded(&d.graph, Weighting::human(), 10, &seeds));
+    let twbk_auto = eval(&mut s, &twbk_select(&d.graph, Weighting::unsupervised(), 10));
+    let cafp_auto = eval(&mut s, &cafp_select(&d.graph, Weighting::unsupervised(), 10));
+    // Paper Table 6 ordering: BalanceSummary ≈ with-human < w/o-human.
+    assert!(balance <= twbk_human + 1.0, "balance {balance} vs twbk+human {twbk_human}");
+    assert!(twbk_human < twbk_auto, "human labels must help TWBK");
+    assert!(balance < cafp_auto, "balance must beat unsupervised CAFP");
+}
+
+#[test]
+fn figure8_shape_u_curve() {
+    let d = mimi::dataset(Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let cost_at = |s: &mut Summarizer, k: usize| {
+        let summary = s.summarize(k, Algorithm::Balance).unwrap();
+        avg_with_summary(&d, &summary)
+    };
+    let tiny = cost_at(&mut s, 1);
+    let basin = cost_at(&mut s, 11);
+    let big = cost_at(&mut s, 120);
+    // Figure 8: very small summaries lose effectiveness, a mid-size basin
+    // is best, and overly large summaries degrade again.
+    assert!(tiny > basin, "size-1 ({tiny}) should cost more than size-11 ({basin})");
+    assert!(big > basin, "size-120 ({big}) should cost more than size-11 ({basin})");
+}
+
+#[test]
+fn queries_complete_under_every_algorithm() {
+    let d = mimi::dataset(Version::Jan06);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    for alg in [Algorithm::Balance, Algorithm::MaxImportance, Algorithm::MaxCoverage] {
+        let summary = s.summarize(10, alg).unwrap();
+        summary.validate(&d.graph).unwrap();
+        for q in &d.queries {
+            assert!(
+                summary_cost(&d.graph, &summary, q, CostModel::SiblingScan).found_all,
+                "{alg:?} / {}",
+                q.name
+            );
+        }
+    }
+}

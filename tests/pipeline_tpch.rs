@@ -1,0 +1,81 @@
+//! End-to-end TPC-H pipeline, exercising the relational mapping both from
+//! the built-in dataset and through the DDL front-end.
+
+use schema_summary::prelude::*;
+use schema_summary_datasets::tpch;
+
+#[test]
+fn table1_statistics_reproduce() {
+    let d = tpch::dataset(0.1);
+    assert_eq!(d.graph.len(), 70, "Table 1: 70 schema elements");
+    assert_eq!(d.queries.len(), 22, "Table 1: 22 queries");
+    let volume = d.stats.total_card();
+    assert!(
+        (12_000_000.0..13_000_000.0).contains(&volume),
+        "Table 1: 12.55M data elements at SF 0.1, got {volume}"
+    );
+    let avg = d.avg_intention_size();
+    assert!((10.0..15.0).contains(&avg), "Table 1: avg 13.4, got {avg}");
+}
+
+#[test]
+fn summary_helps_even_flat_relational_schemas() {
+    let d = tpch::dataset(0.1);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let summary = s.summarize(5, Algorithm::Balance).unwrap();
+    summary.validate(&d.graph).unwrap();
+    let mut best = 0usize;
+    let mut with = 0usize;
+    for q in &d.queries {
+        best += best_first_cost(&d.graph, q, CostModel::SiblingScan).cost;
+        let r = summary_cost(&d.graph, &summary, q, CostModel::SiblingScan);
+        assert!(r.found_all);
+        with += r.cost;
+    }
+    // Paper Table 3: saving is smallest on TPC-H but still positive.
+    assert!(with < best, "summary {with} vs best-first {best}");
+}
+
+#[test]
+fn summary_selects_the_big_tables() {
+    let d = tpch::dataset(0.1);
+    let mut s = Summarizer::new(&d.graph, &d.stats);
+    let sel = s.select(5, Algorithm::Balance).unwrap();
+    let labels: Vec<&str> = sel.iter().map(|&e| d.graph.label(e)).collect();
+    // lineitem and orders dominate both data volume and connectivity; any
+    // reasonable summary keeps them.
+    assert!(labels.contains(&"lineitem"), "{labels:?}");
+    assert!(labels.contains(&"orders"), "{labels:?}");
+}
+
+#[test]
+fn ddl_frontend_agrees_with_builtin_schema() {
+    let ddl = r"
+        CREATE TABLE region (r_regionkey INTEGER PRIMARY KEY, r_name VARCHAR(25), r_comment VARCHAR(152));
+        CREATE TABLE nation (n_nationkey INTEGER PRIMARY KEY, n_name VARCHAR(25), n_regionkey INTEGER REFERENCES region, n_comment VARCHAR(152));
+        CREATE TABLE customer (c_custkey INTEGER PRIMARY KEY, c_name VARCHAR(25), c_address VARCHAR(40), c_nationkey INTEGER REFERENCES nation, c_phone VARCHAR(15), c_acctbal DECIMAL(15,2), c_mktsegment VARCHAR(10), c_comment VARCHAR(117));
+        CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_custkey INTEGER REFERENCES customer, o_orderstatus VARCHAR(1), o_totalprice DECIMAL(15,2), o_orderdate DATE, o_orderpriority VARCHAR(15), o_clerk VARCHAR(15), o_shippriority INTEGER, o_comment VARCHAR(79));
+    ";
+    let g = schema_summary_io::parse_ddl(ddl, "tpch").unwrap();
+    assert_eq!(g.len(), 1 + 4 + 3 + 4 + 8 + 9);
+    // Same labels as the built-in TPC-H subset, same FK topology.
+    let orders = g.find_unique("orders").unwrap();
+    let customer = g.find_unique("customer").unwrap();
+    assert_eq!(g.value_links_from(orders), &[customer]);
+    // And it summarizes.
+    let stats = SchemaStats::uniform(&g);
+    let mut s = Summarizer::new(&g, &stats);
+    let summary = s.summarize(2, Algorithm::Balance).unwrap();
+    summary.validate(&g).unwrap();
+}
+
+#[test]
+fn fk_rc_matches_spec_ratios() {
+    let (_, stats, h) = tpch::schema(1.0);
+    // 6M lineitems / 1.5M orders = 4 per order at any scale factor.
+    assert!((stats.rc(h.table("orders"), h.table("lineitem")) - 4.0).abs() < 0.01);
+    // 800k partsupps / 200k parts = 4 suppliers per part.
+    assert!((stats.rc(h.table("part"), h.table("partsupp")) - 4.0).abs() < 0.01);
+    // 25 nations over 5 regions.
+    assert!((stats.rc(h.table("region"), h.table("nation")) - 5.0).abs() < 0.01);
+}

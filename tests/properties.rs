@@ -1,0 +1,212 @@
+//! Property-based tests over randomly generated schemas and databases.
+//!
+//! Every invariant here is one the paper states or relies on: importance
+//! mass conservation, affinity/coverage bounds, Definition 2
+//! well-formedness for every algorithm's output, Theorem 1's swap
+//! guarantee, and discovery completeness.
+
+use proptest::prelude::*;
+use schema_summary::prelude::*;
+use schema_summary_algo::{DominanceSet, PairMatrices};
+use schema_summary_algo::assignment::{assign_elements, summary_coverage};
+use schema_summary_instance::generate::{generate_instance, GeneratorConfig};
+
+/// A random schema graph: a structural tree over 2..=28 elements with a few
+/// value links between composite elements, plus annotated statistics from a
+/// random conformant instance.
+fn arb_schema() -> impl Strategy<Value = (SchemaGraph, SchemaStats)> {
+    (2usize..28, any::<u64>()).prop_map(|(n, seed)| {
+        // Deterministic pseudo-random construction from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = SchemaGraphBuilder::new("root");
+        let mut composites = vec![b.root()];
+        let mut all = vec![b.root()];
+        for i in 1..n {
+            let parent = composites[(next() as usize) % composites.len()];
+            let roll = next() % 4;
+            let ty = match roll {
+                0 => SchemaType::simple_str(),
+                1 => SchemaType::set_of_rcd(),
+                2 => SchemaType::rcd(),
+                _ => SchemaType::simple_int(),
+            };
+            let id = b
+                .add_child(parent, format!("e{i}"), ty.clone())
+                .expect("parent is composite");
+            if ty.is_composite() {
+                composites.push(id);
+            }
+            all.push(id);
+        }
+        // A few value links between distinct composites.
+        let n_links = (next() % 4) as usize;
+        for _ in 0..n_links {
+            if composites.len() < 2 {
+                break;
+            }
+            let from = composites[(next() as usize) % composites.len()];
+            let to = composites[(next() as usize) % composites.len()];
+            let _ = b.add_value_link(from, to); // self/dup links rejected, fine
+        }
+        let graph = b.build().expect("valid construction");
+        let data = generate_instance(
+            &graph,
+            &GeneratorConfig {
+                seed,
+                default_fanout: 3.0,
+                max_nodes: 3_000,
+                ..Default::default()
+            },
+        );
+        let stats = annotate_schema(&graph, &data).expect("conformant by construction");
+        (graph, stats)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn importance_mass_is_conserved((graph, stats) in arb_schema()) {
+        let r = schema_summary_algo::importance::compute_importance(
+            &graph, &stats, &ImportanceConfig::default());
+        let total = stats.total_card();
+        prop_assert!((r.total() - total).abs() <= total.max(1.0) * 1e-6,
+            "mass {} vs cardinality {}", r.total(), total);
+        prop_assert!(r.converged);
+        for e in graph.element_ids() {
+            prop_assert!(r.score(e) >= -1e-9, "negative importance at {e}");
+        }
+    }
+
+    #[test]
+    fn affinity_and_coverage_bounds((graph, stats) in arb_schema()) {
+        let m = PairMatrices::compute(&stats, &PathConfig::default());
+        for a in graph.element_ids() {
+            prop_assert_eq!(m.affinity(a, a), 1.0);
+            prop_assert!((m.coverage(a, a) - stats.card(a)).abs() < 1e-9);
+            for t in graph.element_ids() {
+                let aff = m.affinity(a, t);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&aff),
+                    "affinity {aff} out of range");
+                let cov = m.coverage(a, t);
+                prop_assert!(cov <= stats.card(t) + 1e-9,
+                    "coverage {cov} exceeds cardinality {}", stats.card(t));
+                prop_assert!(cov >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_builds_valid_summaries((graph, stats) in arb_schema()) {
+        let max_k = (graph.len() - 1).min(5);
+        let mut s = Summarizer::new(&graph, &stats);
+        for k in 1..=max_k {
+            for alg in [Algorithm::Balance, Algorithm::MaxImportance, Algorithm::MaxCoverage] {
+                let summary = s.summarize(k, alg).expect("summary builds");
+                prop_assert!(summary.validate(&graph).is_ok(), "{alg:?} k={k}");
+                prop_assert_eq!(summary.size(), k);
+                prop_assert!(summary.is_full());
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_swap_never_lowers_coverage((graph, stats) in arb_schema()) {
+        let m = PairMatrices::compute(&stats, &PathConfig::default());
+        let ds = DominanceSet::compute(&graph, &stats, &m);
+        for (dominator, dominated) in ds.pairs() {
+            if dominator == graph.root() || dominated == graph.root() {
+                continue;
+            }
+            let with_dominated = vec![dominated];
+            let with_dominator = vec![dominator];
+            let a1 = assign_elements(&graph, &m, &with_dominated);
+            let a2 = assign_elements(&graph, &m, &with_dominator);
+            let c1 = summary_coverage(&graph, &stats, &m, &with_dominated, &a1);
+            let c2 = summary_coverage(&graph, &stats, &m, &with_dominator, &a2);
+            prop_assert!(c2 >= c1 - 1e-9,
+                "swap {} -> {} lowered coverage {c1} -> {c2}",
+                graph.label(dominated), graph.label(dominator));
+        }
+    }
+
+    #[test]
+    fn discovery_always_completes((graph, stats) in arb_schema(), pick in any::<u64>()) {
+        // A random 1-3 element intention.
+        let n = graph.len() as u64;
+        let targets: Vec<ElementId> = (0..=(pick % 3))
+            .map(|i| ElementId(((pick.rotate_left(i as u32 * 7)) % n) as u32))
+            .collect();
+        let q = QueryIntention::from_elements("q", &targets);
+        for r in [
+            depth_first_cost(&graph, &q),
+            breadth_first_cost(&graph, &q),
+            best_first_cost(&graph, &q, CostModel::SiblingScan),
+            best_first_cost(&graph, &q, CostModel::PathOnly),
+        ] {
+            prop_assert!(r.found_all);
+            prop_assert!(r.cost <= graph.len());
+        }
+        // And with a summary.
+        let mut s = Summarizer::new(&graph, &stats);
+        let k = (graph.len() - 1).min(3);
+        let summary = s.summarize(k, Algorithm::Balance).expect("builds");
+        let r = summary_cost(&graph, &summary, &q, CostModel::SiblingScan);
+        prop_assert!(r.found_all, "summary discovery incomplete");
+    }
+
+    #[test]
+    fn coverage_metric_is_bounded_and_saturates((graph, stats) in arb_schema()) {
+        // Summary coverage is NOT monotone in the selected set (a newly
+        // added element can steal members by affinity while covering them
+        // worse), so we assert only what Definition 4 guarantees: values
+        // in (0, 1], and exactly 1 when every element represents itself.
+        let mut s = Summarizer::new(&graph, &stats);
+        let max_k = (graph.len() - 1).min(4);
+        for k in 1..=max_k {
+            let sel = s.select(k, Algorithm::MaxCoverage).expect("selects");
+            let cov = s.selection_coverage(&sel);
+            prop_assert!(cov > 0.0, "zero coverage at k={k}");
+            prop_assert!(cov <= 1.0 + 1e-9, "coverage {cov} above 1 at k={k}");
+        }
+        let full: Vec<ElementId> = graph
+            .element_ids()
+            .filter(|&e| e != graph.root())
+            .collect();
+        let cov = s.selection_coverage(&full);
+        prop_assert!((cov - 1.0).abs() < 1e-9, "full selection covers {cov}");
+    }
+
+    #[test]
+    fn summary_serde_roundtrip((graph, stats) in arb_schema()) {
+        let mut s = Summarizer::new(&graph, &stats);
+        let summary = s.summarize(1.max((graph.len() - 1).min(3)), Algorithm::Balance)
+            .expect("builds");
+        let json = serde_json::to_string(&summary).expect("serializes");
+        let back: SchemaSummary = serde_json::from_str(&json).expect("deserializes");
+        prop_assert!(back.validate(&graph).is_ok());
+    }
+
+    #[test]
+    fn expansion_preserves_wellformedness((graph, stats) in arb_schema()) {
+        let mut s = Summarizer::new(&graph, &stats);
+        let k = (graph.len() - 1).min(3);
+        let summary = s.summarize(k, Algorithm::Balance).expect("builds");
+        for aid in summary.abstract_ids() {
+            let expanded = summary.expand(&graph, aid).expect("expands");
+            prop_assert!(expanded.validate(&graph).is_ok());
+            // Re-expansion of another group still validates.
+            if let Some(other) = expanded.abstract_ids().next() {
+                let twice = expanded.expand(&graph, other).expect("expands again");
+                prop_assert!(twice.validate(&graph).is_ok());
+            }
+        }
+    }
+}
