@@ -34,9 +34,9 @@ pub struct RefreshReport {
     pub selection: Vec<ElementId>,
     /// Whether the selection differs from the previous one.
     pub changed: bool,
-    /// Elements newly selected.
+    /// Elements newly selected, in element-id order.
     pub entered: Vec<ElementId>,
-    /// Elements dropped from the selection.
+    /// Elements dropped from the selection, in element-id order.
     pub left: Vec<ElementId>,
     /// `|old ∩ new| / k`; 1.0 on the first refresh.
     pub agreement: f64,
@@ -95,10 +95,15 @@ impl SummaryMonitor {
                 agreement: 1.0,
             },
             Some(old) => {
-                let entered: Vec<ElementId> =
+                // Report in element-id order, not selection order: the
+                // selection order varies by algorithm, and downstream
+                // consumers (logs, invalidation, tests) need stable output.
+                let mut entered: Vec<ElementId> =
                     new.iter().copied().filter(|e| !old.contains(e)).collect();
-                let left: Vec<ElementId> =
+                entered.sort_unstable();
+                let mut left: Vec<ElementId> =
                     old.iter().copied().filter(|e| !new.contains(e)).collect();
+                left.sort_unstable();
                 let common = new.iter().filter(|e| old.contains(e)).count();
                 let changed = !entered.is_empty() || !left.is_empty();
                 if changed {

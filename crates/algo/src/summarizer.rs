@@ -17,7 +17,7 @@ use schema_summary_core::{ElementId, SchemaError, SchemaGraph, SchemaStats, Sche
 use serde::{Deserialize, Serialize};
 
 /// Which selection algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Algorithm {
     /// `MaxImportance` (Figure 4).
     MaxImportance,
@@ -26,6 +26,30 @@ pub enum Algorithm {
     /// `BalanceSummary` (Figure 7) — the paper's recommended algorithm.
     #[default]
     Balance,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Algorithm::MaxImportance => "importance",
+            Algorithm::MaxCoverage => "coverage",
+            Algorithm::Balance => "balance",
+        })
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Accepts the CLI spellings: `balance`, `importance`, `coverage`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "balance" => Ok(Algorithm::Balance),
+            "importance" => Ok(Algorithm::MaxImportance),
+            "coverage" => Ok(Algorithm::MaxCoverage),
+            other => Err(format!("unknown algorithm '{other}'")),
+        }
+    }
 }
 
 /// Combined configuration for all algorithm stages.

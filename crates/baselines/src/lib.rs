@@ -127,7 +127,19 @@ pub(crate) fn representatives(
         members.entry(c).or_default().push(i);
     }
     let mut clusters: Vec<Vec<usize>> = members.into_values().collect();
-    clusters.sort_by_key(|m| std::cmp::Reverse(m.len()));
+    // Tie-break equal sizes by the cluster's strongest member (the same
+    // semantic-weight centrality used to pick representatives), then by
+    // lowest member index. Clusters leave the map in arbitrary hash order,
+    // and without a total order the k-truncation below would pick
+    // different clusters from run to run.
+    clusters.sort_by(|x, y| {
+        let sx = x.iter().map(|&i| strength[i]).fold(f64::MIN, f64::max);
+        let sy = y.iter().map(|&i| strength[i]).fold(f64::MIN, f64::max);
+        y.len()
+            .cmp(&x.len())
+            .then(sy.partial_cmp(&sx).expect("weights are finite"))
+            .then(x[0].cmp(&y[0]))
+    });
     let mut out: Vec<ElementId> = Vec::new();
     for m in clusters.iter().take(k) {
         let rep = *m

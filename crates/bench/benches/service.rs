@@ -1,0 +1,86 @@
+//! Serving-layer benchmarks: the cold path (register a schema and compute
+//! a summary from scratch) against the warm path (identical repeated
+//! request answered from the memoized artifacts and the LRU result
+//! cache). The acceptance bar is a ≥5× warm-vs-cold speedup on XMark; in
+//! practice the warm path is a hash lookup and the gap is orders of
+//! magnitude on both datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_summary_algo::Algorithm;
+use schema_summary_bench::paper_summary_size;
+use schema_summary_datasets::{tpch, xmark, Dataset};
+use schema_summary_service::SummaryService;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn served_datasets() -> Vec<Dataset> {
+    vec![xmark::dataset(1.0), tpch::dataset(0.1)]
+}
+
+fn cold_requests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_cold");
+    for d in served_datasets() {
+        let graph = Arc::new(d.graph.clone());
+        let stats = Arc::new(d.stats.clone());
+        let k = paper_summary_size(d.name);
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, _| {
+            b.iter(|| {
+                // A fresh service per iteration: every request pays for
+                // registration, the importance fixpoint, the all-pairs
+                // matrices, and the dominance set.
+                let service = SummaryService::default();
+                let fp = service.register(Arc::clone(&graph), Arc::clone(&stats));
+                black_box(service.summarize(fp, Algorithm::Balance, k).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn warm_requests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_warm");
+    for d in served_datasets() {
+        let service = SummaryService::default();
+        let fp = service.register(Arc::new(d.graph.clone()), Arc::new(d.stats.clone()));
+        let k = paper_summary_size(d.name);
+        // Prime the cache; every timed request is a pure hit.
+        service.summarize(fp, Algorithm::Balance, k).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, _| {
+            b.iter(|| black_box(service.summarize(fp, Algorithm::Balance, k).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn warm_mixed_requests(c: &mut Criterion) {
+    // Rotating (algorithm, k) requests: hits on distinct cache keys, the
+    // interactive-exploration shape the service exists for.
+    let mut g = c.benchmark_group("service_warm_mixed");
+    for d in served_datasets() {
+        let service = SummaryService::default();
+        let fp = service.register(Arc::new(d.graph.clone()), Arc::new(d.stats.clone()));
+        let requests: Vec<(Algorithm, usize)> = [
+            Algorithm::MaxImportance,
+            Algorithm::MaxCoverage,
+            Algorithm::Balance,
+        ]
+        .iter()
+        .flat_map(|&alg| (2..=6).map(move |k| (alg, k)))
+        .collect();
+        for &(alg, k) in &requests {
+            service.summarize(fp, alg, k).unwrap();
+        }
+        let mut next = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, _| {
+            b.iter(|| {
+                let (alg, k) = requests[next % requests.len()];
+                next += 1;
+                black_box(service.summarize(fp, alg, k).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cold_requests, warm_requests, warm_mixed_requests);
+criterion_main!(benches);

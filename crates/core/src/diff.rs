@@ -1,15 +1,24 @@
-//! Structured diffs between two summaries of the same schema.
+//! Structured diffs between summaries and between annotated schemas.
 //!
 //! The data-evolution story (Section 3.3, Table 5) needs more than an
 //! agreement percentage: when a refreshed summary changes, operators want
 //! to know *what* changed — which abstract elements appeared or vanished,
 //! and which schema elements moved between groups. [`SummaryDiff`] reports
-//! exactly that.
+//! exactly that. [`SchemaDelta`] diffs two *annotated schemas* (graph +
+//! statistics) and is what the serving layer consumes to invalidate
+//! exactly the affected catalog entries.
+//!
+//! All reported change lists are sorted, so diff output is deterministic
+//! and order-stable regardless of construction order — tests and cache
+//! invalidation can compare reports structurally.
 
+use crate::fingerprint::SchemaFingerprint;
 use crate::ids::ElementId;
+use crate::stats::SchemaStats;
 use crate::summary::SchemaSummary;
 use crate::SchemaGraph;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A structured difference between two summaries over the same graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,16 +48,21 @@ impl SummaryDiff {
         };
         let old_reps: Vec<ElementId> = old.abstracts().iter().map(|a| a.representative).collect();
         let new_reps: Vec<ElementId> = new.abstracts().iter().map(|a| a.representative).collect();
-        let added_groups: Vec<ElementId> = new_reps
+        let mut added_groups: Vec<ElementId> = new_reps
             .iter()
             .copied()
             .filter(|r| !old_reps.contains(r))
             .collect();
-        let removed_groups: Vec<ElementId> = old_reps
+        let mut removed_groups: Vec<ElementId> = old_reps
             .iter()
             .copied()
             .filter(|r| !new_reps.contains(r))
             .collect();
+        // Sort every change list: summaries enumerate groups in selection
+        // order, which depends on algorithm tie-breaking, and downstream
+        // consumers (invalidation, golden tests) need order-stable reports.
+        added_groups.sort_unstable();
+        removed_groups.sort_unstable();
         let mut moved = Vec::new();
         let mut stable = 0usize;
         for e in graph.element_ids() {
@@ -60,6 +74,7 @@ impl SummaryDiff {
                 moved.push((e, o, n));
             }
         }
+        moved.sort_unstable();
         SummaryDiff {
             added_groups,
             removed_groups,
@@ -121,6 +136,162 @@ impl SummaryDiff {
         ));
         out
     }
+}
+
+/// A structured difference between two *annotated schemas* — (graph,
+/// statistics) pairs that may differ in structure, links, or
+/// cardinalities.
+///
+/// Elements are matched across the two graphs by their root label path
+/// (element ids are graph-local and not comparable across builds), and
+/// every change list is sorted lexicographically, so equal inputs always
+/// produce byte-identical reports. The serving layer feeds deltas to its
+/// invalidation hook: a non-empty delta means `old_fingerprint` is stale
+/// and exactly that catalog entry (and its cached results) must go.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaDelta {
+    /// Fingerprint of the old annotated schema.
+    pub old_fingerprint: SchemaFingerprint,
+    /// Fingerprint of the new annotated schema.
+    pub new_fingerprint: SchemaFingerprint,
+    /// Label paths present only in the new schema, sorted.
+    pub added_elements: Vec<String>,
+    /// Label paths present only in the old schema, sorted.
+    pub removed_elements: Vec<String>,
+    /// Label paths present in both schemas whose type changed, sorted.
+    pub retyped_elements: Vec<String>,
+    /// Value links `(referrer path, referee path)` present only in the new
+    /// schema, sorted.
+    pub added_value_links: Vec<(String, String)>,
+    /// Value links present only in the old schema, sorted.
+    pub removed_value_links: Vec<(String, String)>,
+    /// Label paths present in both schemas whose cardinality or outgoing
+    /// relative cardinalities changed, sorted.
+    pub changed_cardinalities: Vec<String>,
+}
+
+impl SchemaDelta {
+    /// Diff two annotated schemas.
+    pub fn compute(
+        old_graph: &SchemaGraph,
+        old_stats: &SchemaStats,
+        new_graph: &SchemaGraph,
+        new_stats: &SchemaStats,
+    ) -> Self {
+        let paths_of = |g: &SchemaGraph| -> BTreeMap<String, ElementId> {
+            g.element_ids().map(|e| (g.label_path(e), e)).collect()
+        };
+        let old_paths = paths_of(old_graph);
+        let new_paths = paths_of(new_graph);
+
+        let added_elements: Vec<String> = new_paths
+            .keys()
+            .filter(|p| !old_paths.contains_key(*p))
+            .cloned()
+            .collect();
+        let removed_elements: Vec<String> = old_paths
+            .keys()
+            .filter(|p| !new_paths.contains_key(*p))
+            .cloned()
+            .collect();
+        let mut retyped_elements = Vec::new();
+        let mut changed_cardinalities = Vec::new();
+        for (path, &oe) in &old_paths {
+            let Some(&ne) = new_paths.get(path) else {
+                continue;
+            };
+            if old_graph.ty(oe) != new_graph.ty(ne) {
+                retyped_elements.push(path.clone());
+            }
+            if stats_differ(old_graph, old_stats, oe, new_graph, new_stats, ne) {
+                changed_cardinalities.push(path.clone());
+            }
+        }
+        // BTreeMap iteration is already sorted; these inherit that order.
+
+        let links_of = |g: &SchemaGraph| -> BTreeSet<(String, String)> {
+            g.value_links()
+                .map(|(f, t)| (g.label_path(f), g.label_path(t)))
+                .collect()
+        };
+        let old_links = links_of(old_graph);
+        let new_links = links_of(new_graph);
+        let added_value_links: Vec<(String, String)> =
+            new_links.difference(&old_links).cloned().collect();
+        let removed_value_links: Vec<(String, String)> =
+            old_links.difference(&new_links).cloned().collect();
+
+        SchemaDelta {
+            old_fingerprint: SchemaFingerprint::of_annotated(old_graph, old_stats),
+            new_fingerprint: SchemaFingerprint::of_annotated(new_graph, new_stats),
+            added_elements,
+            removed_elements,
+            retyped_elements,
+            added_value_links,
+            removed_value_links,
+            changed_cardinalities,
+        }
+    }
+
+    /// Whether the two annotated schemas are observably identical (the
+    /// fingerprints agree and no change list has entries).
+    pub fn is_empty(&self) -> bool {
+        self.old_fingerprint == self.new_fingerprint
+            && self.added_elements.is_empty()
+            && self.removed_elements.is_empty()
+            && self.retyped_elements.is_empty()
+            && self.added_value_links.is_empty()
+            && self.removed_value_links.is_empty()
+            && self.changed_cardinalities.is_empty()
+    }
+
+    /// Render a short human-readable change report (sorted, stable).
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "no change".to_string();
+        }
+        let mut out = String::new();
+        let mut section = |title: &str, items: &[String]| {
+            if !items.is_empty() {
+                out.push_str(title);
+                out.push_str(": ");
+                out.push_str(&items.join(", "));
+                out.push('\n');
+            }
+        };
+        section("added elements", &self.added_elements);
+        section("removed elements", &self.removed_elements);
+        section("retyped elements", &self.retyped_elements);
+        let fmt_links = |ls: &[(String, String)]| -> Vec<String> {
+            ls.iter().map(|(f, t)| format!("{f} -> {t}")).collect()
+        };
+        section("added value links", &fmt_links(&self.added_value_links));
+        section("removed value links", &fmt_links(&self.removed_value_links));
+        section("changed cardinalities", &self.changed_cardinalities);
+        out
+    }
+}
+
+fn stats_differ(
+    old_graph: &SchemaGraph,
+    old_stats: &SchemaStats,
+    oe: ElementId,
+    new_graph: &SchemaGraph,
+    new_stats: &SchemaStats,
+    ne: ElementId,
+) -> bool {
+    if old_stats.card(oe) != new_stats.card(ne) {
+        return true;
+    }
+    // Compare outgoing RC adjacency by neighbor label path (ids are not
+    // comparable across graphs).
+    let adj = |g: &SchemaGraph, s: &SchemaStats, e: ElementId| -> BTreeMap<String, f64> {
+        s.rc_neighbors(e)
+            .iter()
+            .map(|&(nb, rc)| (g.label_path(nb), rc))
+            .collect()
+    };
+    adj(old_graph, old_stats, oe) != adj(new_graph, new_stats, ne)
 }
 
 #[cfg(test)]
@@ -200,6 +371,85 @@ mod tests {
         let d = SummaryDiff::compute(&g, &old, &new);
         let json = serde_json::to_string(&d).unwrap();
         let back: SummaryDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    fn delta_graph(with_extra: bool, with_link: bool) -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b.add_child(b.root(), "a", SchemaType::set_of_rcd()).unwrap();
+        b.add_child(a, "a1", SchemaType::simple_str()).unwrap();
+        let c = b.add_child(b.root(), "c", SchemaType::set_of_rcd()).unwrap();
+        if with_extra {
+            b.add_child(c, "c1", SchemaType::simple_str()).unwrap();
+        }
+        if with_link {
+            b.add_value_link(c, a).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schema_delta_empty_for_identical_inputs() {
+        let g = delta_graph(true, true);
+        let s = SchemaStats::uniform(&g);
+        let d = SchemaDelta::compute(&g, &s, &g, &s);
+        assert!(d.is_empty());
+        assert_eq!(d.old_fingerprint, d.new_fingerprint);
+        assert_eq!(d.render(), "no change");
+    }
+
+    #[test]
+    fn schema_delta_reports_sorted_changes() {
+        let old = delta_graph(false, false);
+        let new = delta_graph(true, true);
+        let d = SchemaDelta::compute(
+            &old,
+            &SchemaStats::uniform(&old),
+            &new,
+            &SchemaStats::uniform(&new),
+        );
+        assert_ne!(d.old_fingerprint, d.new_fingerprint);
+        assert_eq!(d.added_elements, vec!["db/c/c1".to_string()]);
+        assert!(d.removed_elements.is_empty());
+        assert_eq!(
+            d.added_value_links,
+            vec![("db/c".to_string(), "db/a".to_string())]
+        );
+        // Adding the link/child changes RC adjacency of existing elements;
+        // the affected paths come back sorted.
+        let mut sorted = d.changed_cardinalities.clone();
+        sorted.sort();
+        assert_eq!(d.changed_cardinalities, sorted);
+        let text = d.render();
+        assert!(text.contains("added elements: db/c/c1"));
+        assert!(text.contains("added value links: db/c -> db/a"));
+    }
+
+    #[test]
+    fn schema_delta_detects_pure_cardinality_change() {
+        let g = delta_graph(true, false);
+        let s1 = SchemaStats::uniform(&g);
+        let s2 = s1.scaled(2.0);
+        let d = SchemaDelta::compute(&g, &s1, &g, &s2);
+        assert!(!d.is_empty());
+        assert!(d.added_elements.is_empty());
+        assert!(d.removed_elements.is_empty());
+        assert!(!d.changed_cardinalities.is_empty());
+        assert_ne!(d.old_fingerprint, d.new_fingerprint);
+    }
+
+    #[test]
+    fn schema_delta_serde_roundtrip() {
+        let old = delta_graph(false, false);
+        let new = delta_graph(true, true);
+        let d = SchemaDelta::compute(
+            &old,
+            &SchemaStats::uniform(&old),
+            &new,
+            &SchemaStats::uniform(&new),
+        );
+        let json = serde_json::to_string(&d).unwrap();
+        let back: SchemaDelta = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);
     }
 }

@@ -1,0 +1,326 @@
+//! Content fingerprints for (annotated) schema graphs.
+//!
+//! The serving layer (`schema-summary-service`) keys its catalog, its
+//! memoized matrices, and its result cache by schema *content*, not by
+//! object identity: two structurally identical annotated graphs must share
+//! every cached artifact, and any observable change — a label, a type, a
+//! link, a cardinality — must produce a different key so stale results can
+//! never be served.
+//!
+//! [`SchemaFingerprint`] is a 128-bit deterministic hash over a canonical
+//! byte encoding of the graph (element labels and types in id order,
+//! parent/child structure, sorted value links) and, for annotated
+//! fingerprints, the cardinality statistics (per-element `Card`, sorted
+//! per-element `RC` adjacency). Two independent FNV-1a streams over the
+//! same byte sequence keep accidental collisions out of practical reach
+//! while staying dependency-free and byte-for-byte reproducible across
+//! platforms and processes.
+
+use crate::graph::SchemaGraph;
+use crate::stats::SchemaStats;
+use crate::types::{AtomicType, SchemaType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 128-bit content fingerprint of a schema graph, optionally including
+/// its cardinality annotations.
+///
+/// Fingerprints are stable across processes and platforms: equal content
+/// always yields equal fingerprints, and the value is safe to persist or
+/// exchange between services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SchemaFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl SchemaFingerprint {
+    /// Fingerprint of the graph structure alone: labels, types, structural
+    /// links (with child order), and value links. Statistics are ignored,
+    /// so re-annotating a database does not change this value.
+    pub fn of_graph(graph: &SchemaGraph) -> Self {
+        let mut h = Fnv2::new();
+        write_graph(&mut h, graph);
+        h.finish()
+    }
+
+    /// Fingerprint of an annotated graph: everything
+    /// [`of_graph`](Self::of_graph) covers plus every element cardinality
+    /// and every relative-cardinality entry. This is the catalog key used
+    /// by the serving layer — any change the summarization algorithms
+    /// could observe changes this value.
+    pub fn of_annotated(graph: &SchemaGraph, stats: &SchemaStats) -> Self {
+        let mut h = Fnv2::new();
+        write_graph(&mut h, graph);
+        write_stats(&mut h, graph, stats);
+        h.finish()
+    }
+
+    /// The fingerprint as 32 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parse a fingerprint previously rendered with
+    /// [`to_hex`](Self::to_hex) / `Display`.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(SchemaFingerprint { hi, lo })
+    }
+}
+
+impl fmt::Display for SchemaFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Two independent 64-bit FNV-1a streams over the same byte feed. The
+/// second stream perturbs each input byte so the two halves decorrelate.
+struct Fnv2 {
+    hi: u64,
+    lo: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv2 {
+    fn new() -> Self {
+        Fnv2 {
+            hi: FNV_OFFSET,
+            lo: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.hi = (self.hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self.lo = (self.lo ^ u64::from(b ^ 0x5a)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        // to_bits distinguishes -0.0 from 0.0 and is total on NaN; stats
+        // never produce NaN, and bit-identity is the right equivalence for
+        // a cache key anyway.
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(self) -> SchemaFingerprint {
+        SchemaFingerprint {
+            hi: self.hi,
+            lo: self.lo,
+        }
+    }
+}
+
+fn write_type(h: &mut Fnv2, ty: &SchemaType) {
+    match ty {
+        SchemaType::Simple(at) => {
+            h.byte(1);
+            h.byte(match at {
+                AtomicType::Str => 0,
+                AtomicType::Int => 1,
+                AtomicType::Float => 2,
+                AtomicType::Bool => 3,
+                AtomicType::Date => 4,
+                AtomicType::Id => 5,
+                AtomicType::IdRef => 6,
+            });
+        }
+        SchemaType::SetOf(inner) => {
+            h.byte(2);
+            write_type(h, inner);
+        }
+        SchemaType::Rcd => h.byte(3),
+        SchemaType::Choice => h.byte(4),
+    }
+}
+
+fn write_graph(h: &mut Fnv2, graph: &SchemaGraph) {
+    h.byte(0x01);
+    h.u64(graph.len() as u64);
+    for e in graph.element_ids() {
+        h.str(graph.label(e));
+        write_type(h, graph.ty(e));
+    }
+    h.byte(0x02);
+    for e in graph.element_ids() {
+        h.u64(graph.parent(e).map_or(u64::MAX, |p| u64::from(p.0)));
+    }
+    // Child order is part of the schema (document order), so it is hashed
+    // as stored rather than sorted.
+    h.byte(0x03);
+    for e in graph.element_ids() {
+        h.u64(graph.children(e).len() as u64);
+        for &c in graph.children(e) {
+            h.u64(u64::from(c.0));
+        }
+    }
+    h.byte(0x04);
+    let mut value_links: Vec<(u32, u32)> = graph.value_links().map(|(f, t)| (f.0, t.0)).collect();
+    value_links.sort_unstable();
+    h.u64(value_links.len() as u64);
+    for (f, t) in value_links {
+        h.u64(u64::from(f));
+        h.u64(u64::from(t));
+    }
+}
+
+fn write_stats(h: &mut Fnv2, graph: &SchemaGraph, stats: &SchemaStats) {
+    h.byte(0x05);
+    for e in graph.element_ids() {
+        h.f64(stats.card(e));
+    }
+    h.byte(0x06);
+    for e in graph.element_ids() {
+        let mut adj: Vec<(u32, f64)> = stats
+            .rc_neighbors(e)
+            .iter()
+            .map(|&(nb, rc)| (nb.0, rc))
+            .collect();
+        adj.sort_unstable_by_key(|&(nb, _)| nb);
+        h.u64(adj.len() as u64);
+        for (nb, rc) in adj {
+            h.u64(u64::from(nb));
+            h.f64(rc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SchemaGraphBuilder;
+    use crate::stats::LinkCount;
+
+    fn build(extra_link: bool) -> SchemaGraph {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
+        let oa = b
+            .add_child(b.root(), "open_auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        if extra_link {
+            b.add_value_link(oa, person).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_graphs_hash_equal() {
+        let a = build(false);
+        let b = build(false);
+        assert_eq!(
+            SchemaFingerprint::of_graph(&a),
+            SchemaFingerprint::of_graph(&b)
+        );
+        let s1 = SchemaStats::uniform(&a);
+        let s2 = SchemaStats::uniform(&b);
+        assert_eq!(
+            SchemaFingerprint::of_annotated(&a, &s1),
+            SchemaFingerprint::of_annotated(&b, &s2)
+        );
+    }
+
+    #[test]
+    fn structural_change_changes_fingerprint() {
+        let a = build(false);
+        let b = build(true);
+        assert_ne!(
+            SchemaFingerprint::of_graph(&a),
+            SchemaFingerprint::of_graph(&b)
+        );
+    }
+
+    #[test]
+    fn label_change_changes_fingerprint() {
+        let g = build(false);
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "fullname", SchemaType::simple_str())
+            .unwrap();
+        let oa = b
+            .add_child(b.root(), "open_auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        let g2 = b.build().unwrap();
+        assert_ne!(
+            SchemaFingerprint::of_graph(&g),
+            SchemaFingerprint::of_graph(&g2)
+        );
+    }
+
+    #[test]
+    fn cardinality_change_changes_annotated_but_not_structural() {
+        let g = build(false);
+        let uniform = SchemaStats::uniform(&g);
+        let person = g.find_unique("person").unwrap();
+        let people = g.find_unique("people").unwrap();
+        let mut cards = vec![1u64; g.len()];
+        cards[person.index()] = 500;
+        let counts = vec![LinkCount {
+            from: people,
+            to: person,
+            count: 500,
+        }];
+        let skewed = SchemaStats::from_link_counts(&g, &cards, &counts).unwrap();
+        assert_ne!(
+            SchemaFingerprint::of_annotated(&g, &uniform),
+            SchemaFingerprint::of_annotated(&g, &skewed)
+        );
+        // The structural fingerprint ignores statistics entirely.
+        assert_eq!(
+            SchemaFingerprint::of_graph(&g),
+            SchemaFingerprint::of_graph(&g)
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let g = build(false);
+        let fp = SchemaFingerprint::of_graph(&g);
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(SchemaFingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(format!("{fp}"), hex);
+        assert_eq!(SchemaFingerprint::from_hex("nope"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = build(false);
+        let fp = SchemaFingerprint::of_annotated(&g, &SchemaStats::uniform(&g));
+        let json = serde_json::to_string(&fp).unwrap();
+        let back: SchemaFingerprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(fp, back);
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod diff;
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod ids;
 pub mod metrics;
@@ -45,8 +46,9 @@ pub mod stats;
 pub mod summary;
 pub mod types;
 
-pub use diff::SummaryDiff;
+pub use diff::{SchemaDelta, SummaryDiff};
 pub use error::SchemaError;
+pub use fingerprint::SchemaFingerprint;
 pub use graph::{LinkKind, SchemaGraph, SchemaGraphBuilder};
 pub use ids::{AbstractId, ElementId};
 pub use metrics::GraphMetrics;

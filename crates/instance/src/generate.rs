@@ -181,7 +181,7 @@ fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
     }
     let base = mean.floor() as i64;
     let frac_extra = i64::from(rng.random::<f64>() < mean.fract());
-    let jitter = rng.random_range(-1..=1);
+    let jitter: i64 = rng.random_range(-1..=1);
     (base + frac_extra + jitter).max(0) as usize
 }
 

@@ -1,0 +1,271 @@
+//! The schema catalog: annotated graphs registered under their content
+//! fingerprint, each carrying lazily memoized algorithm artifacts.
+//!
+//! Registering the same annotated schema twice (even from different
+//! processes or rebuilt object graphs) lands on the same
+//! [`SchemaFingerprint`] and therefore shares one [`CatalogEntry`] — and
+//! with it one importance fixpoint, one all-pairs matrix computation, and
+//! one dominance set per algorithm configuration, no matter how many
+//! concurrent requests arrive.
+
+use schema_summary_algo::importance::compute_importance;
+use schema_summary_algo::{DominanceSet, ImportanceResult, PairMatrices, SummarizerConfig};
+use schema_summary_core::{SchemaFingerprint, SchemaGraph, SchemaStats};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Heavy per-schema intermediates, computed at most once per
+/// `(fingerprint, configuration)` and shared across requests via `Arc`.
+///
+/// All three artifacts are lazy: a service that only ever answers
+/// `MaxImportance` requests never pays for the all-pairs matrices.
+pub struct Artifacts {
+    graph: Arc<SchemaGraph>,
+    stats: Arc<SchemaStats>,
+    config: SummarizerConfig,
+    importance: OnceLock<Arc<ImportanceResult>>,
+    matrices: OnceLock<Arc<PairMatrices>>,
+    dominance: OnceLock<Arc<DominanceSet>>,
+}
+
+impl Artifacts {
+    fn new(graph: Arc<SchemaGraph>, stats: Arc<SchemaStats>, config: SummarizerConfig) -> Self {
+        Artifacts {
+            graph,
+            stats,
+            config,
+            importance: OnceLock::new(),
+            matrices: OnceLock::new(),
+            dominance: OnceLock::new(),
+        }
+    }
+
+    /// Importance scores (Formula 1), computed on first use.
+    pub fn importance(&self) -> &ImportanceResult {
+        self.importance.get_or_init(|| {
+            Arc::new(compute_importance(
+                &self.graph,
+                &self.stats,
+                &self.config.importance,
+            ))
+        })
+    }
+
+    /// All-pairs affinity/coverage matrices (Formulas 2–3), computed on
+    /// first use.
+    pub fn matrices(&self) -> &PairMatrices {
+        self.matrices
+            .get_or_init(|| Arc::new(PairMatrices::compute(&self.stats, &self.config.paths)))
+    }
+
+    /// Dominance pairs (Theorem 1), computed on first use (forces the
+    /// matrices).
+    pub fn dominance(&self) -> &DominanceSet {
+        self.dominance.get_or_init(|| {
+            Arc::new(DominanceSet::compute(
+                &self.graph,
+                &self.stats,
+                self.matrices(),
+            ))
+        })
+    }
+}
+
+/// One registered annotated schema plus its memoized artifacts.
+pub struct CatalogEntry {
+    fingerprint: SchemaFingerprint,
+    graph: Arc<SchemaGraph>,
+    stats: Arc<SchemaStats>,
+    /// Artifacts keyed by the canonical JSON of the summarizer
+    /// configuration that produced them.
+    memo: Mutex<HashMap<String, Arc<Artifacts>>>,
+}
+
+impl CatalogEntry {
+    /// The entry's content fingerprint.
+    pub fn fingerprint(&self) -> SchemaFingerprint {
+        self.fingerprint
+    }
+
+    /// The registered schema graph.
+    pub fn graph(&self) -> &Arc<SchemaGraph> {
+        &self.graph
+    }
+
+    /// The registered statistics.
+    pub fn stats(&self) -> &Arc<SchemaStats> {
+        &self.stats
+    }
+
+    /// Shared artifacts for `config`, creating the (lazy) holder on first
+    /// request for that configuration.
+    pub fn artifacts(&self, config: &SummarizerConfig) -> Arc<Artifacts> {
+        let key = serde_json::to_string(config).expect("config serializes");
+        let mut memo = self.memo.lock().expect("catalog memo poisoned");
+        memo.entry(key)
+            .or_insert_with(|| {
+                Arc::new(Artifacts::new(
+                    Arc::clone(&self.graph),
+                    Arc::clone(&self.stats),
+                    config.clone(),
+                ))
+            })
+            .clone()
+    }
+}
+
+/// Thread-safe registry of annotated schemas keyed by content fingerprint.
+#[derive(Default)]
+pub struct SchemaCatalog {
+    entries: RwLock<HashMap<SchemaFingerprint, Arc<CatalogEntry>>>,
+}
+
+impl SchemaCatalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an annotated schema, returning its fingerprint and entry.
+    /// Registering content that is already present returns the existing
+    /// entry (and keeps its memoized artifacts).
+    pub fn register(
+        &self,
+        graph: Arc<SchemaGraph>,
+        stats: Arc<SchemaStats>,
+    ) -> (SchemaFingerprint, Arc<CatalogEntry>) {
+        let fingerprint = SchemaFingerprint::of_annotated(&graph, &stats);
+        let mut entries = self.entries.write().expect("catalog poisoned");
+        let entry = entries
+            .entry(fingerprint)
+            .or_insert_with(|| {
+                Arc::new(CatalogEntry {
+                    fingerprint,
+                    graph,
+                    stats,
+                    memo: Mutex::new(HashMap::new()),
+                })
+            })
+            .clone();
+        (fingerprint, entry)
+    }
+
+    /// Look up a registered schema.
+    pub fn get(&self, fingerprint: SchemaFingerprint) -> Option<Arc<CatalogEntry>> {
+        self.entries
+            .read()
+            .expect("catalog poisoned")
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Remove a registered schema, dropping its memoized artifacts.
+    /// Returns whether an entry was present.
+    pub fn remove(&self, fingerprint: SchemaFingerprint) -> bool {
+        self.entries
+            .write()
+            .expect("catalog poisoned")
+            .remove(&fingerprint)
+            .is_some()
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("catalog poisoned").len()
+    }
+
+    /// Whether no schemas are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All registered fingerprints, sorted (deterministic listing order).
+    pub fn fingerprints(&self) -> Vec<SchemaFingerprint> {
+        let mut fps: Vec<SchemaFingerprint> = self
+            .entries
+            .read()
+            .expect("catalog poisoned")
+            .keys()
+            .copied()
+            .collect();
+        fps.sort_unstable();
+        fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    fn fixture() -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "a", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(a, "a1", SchemaType::simple_str()).unwrap();
+        b.add_child(b.root(), "c", SchemaType::set_of_rcd())
+            .unwrap();
+        let g = Arc::new(b.build().unwrap());
+        let s = Arc::new(SchemaStats::uniform(&g));
+        (g, s)
+    }
+
+    #[test]
+    fn register_is_idempotent_by_content() {
+        let catalog = SchemaCatalog::new();
+        let (g, s) = fixture();
+        let (fp1, e1) = catalog.register(Arc::clone(&g), Arc::clone(&s));
+        // A rebuilt but identical graph must land on the same entry.
+        let (g2, s2) = fixture();
+        let (fp2, e2) = catalog.register(g2, s2);
+        assert_eq!(fp1, fp2);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn artifacts_shared_per_config() {
+        let catalog = SchemaCatalog::new();
+        let (g, s) = fixture();
+        let (_, entry) = catalog.register(g, s);
+        let cfg = SummarizerConfig::default();
+        let a1 = entry.artifacts(&cfg);
+        let a2 = entry.artifacts(&cfg);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        // Same underlying computation regardless of which handle forces it.
+        let i1 = a1.importance().iterations;
+        let i2 = a2.importance().iterations;
+        assert_eq!(i1, i2);
+        assert!(!a1.matrices().is_empty());
+        let _ = a1.dominance();
+    }
+
+    #[test]
+    fn remove_forgets_the_entry() {
+        let catalog = SchemaCatalog::new();
+        let (g, s) = fixture();
+        let (fp, _) = catalog.register(g, s);
+        assert!(catalog.get(fp).is_some());
+        assert!(catalog.remove(fp));
+        assert!(!catalog.remove(fp));
+        assert!(catalog.get(fp).is_none());
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_listing_is_sorted() {
+        let catalog = SchemaCatalog::new();
+        let (g, s) = fixture();
+        catalog.register(g, Arc::clone(&s));
+        let mut b = SchemaGraphBuilder::new("other");
+        b.add_child(b.root(), "x", SchemaType::simple_str())
+            .unwrap();
+        let g2 = Arc::new(b.build().unwrap());
+        let s2 = Arc::new(SchemaStats::uniform(&g2));
+        catalog.register(g2, s2);
+        let fps = catalog.fingerprints();
+        assert_eq!(fps.len(), 2);
+        assert!(fps[0] < fps[1]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Concurrent summary-serving layer for schema summarization.
+//!
+//! The paper's use case is interactive (Section 5): users explore an
+//! unfamiliar schema by repeatedly requesting summaries at different sizes
+//! and with different algorithms over a mostly-static database. The
+//! one-shot pipeline recomputes cardinality annotations, the importance
+//! fixpoint, and the all-pairs affinity matrices on every call; this crate
+//! turns it into an embeddable, thread-safe service that pays those costs
+//! once per schema:
+//!
+//! * [`SchemaCatalog`] registers annotated schema graphs under a
+//!   content [`SchemaFingerprint`](schema_summary_core::SchemaFingerprint)
+//!   — structurally identical registrations share one entry;
+//! * each catalog entry memoizes the importance vector, the all-pairs
+//!   affinity/coverage matrices, and the dominance set once per
+//!   configuration, shared across requests via `Arc`;
+//! * [`SummaryService`] answers `MaxImportance` / `MaxCoverage` /
+//!   `BalanceSummary` requests through a sharded LRU result cache keyed by
+//!   `(fingerprint, algorithm, k, options)`, with hit/miss/eviction
+//!   counters;
+//! * invalidation consumes [`SchemaDelta`](schema_summary_core::SchemaDelta)s
+//!   to evict exactly the affected fingerprint instead of flushing the
+//!   world.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use schema_summary_core::{SchemaGraphBuilder, SchemaType, SchemaStats};
+//! use schema_summary_algo::Algorithm;
+//! use schema_summary_service::SummaryService;
+//!
+//! let mut b = SchemaGraphBuilder::new("db");
+//! let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+//! let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+//! b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+//! let graph = Arc::new(b.build().unwrap());
+//! let stats = Arc::new(SchemaStats::uniform(&graph));
+//!
+//! let service = SummaryService::default();
+//! let fp = service.register(graph, stats);
+//! let cold = service.summarize(fp, Algorithm::Balance, 1).unwrap();
+//! let warm = service.summarize(fp, Algorithm::Balance, 1).unwrap();
+//! assert!(!cold.from_cache && warm.from_cache);
+//! assert_eq!(cold.result.selection, warm.result.selection);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+mod lru;
+pub mod service;
+
+pub use catalog::{Artifacts, CatalogEntry, SchemaCatalog};
+pub use service::{
+    CacheStats, ServedSummary, ServiceConfig, ServiceError, SummaryRequest, SummaryResult,
+    SummaryService,
+};

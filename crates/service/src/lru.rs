@@ -1,0 +1,254 @@
+//! A sharded least-recently-used map for cached summary results.
+//!
+//! The result cache is read-mostly but every hit mutates recency, so a
+//! single global lock would serialize all readers. Keys are therefore
+//! hashed onto a fixed set of shards, each an independent LRU list behind
+//! its own mutex; contention is limited to requests that collide on a
+//! shard. Each shard keeps an intrusive doubly-linked list over a slab so
+//! get/insert are O(1).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: a capacity-bounded map with recency eviction.
+struct Shard<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slots[i].value.clone())
+    }
+
+    /// Insert `key`, returning how many entries were evicted (0 or 1).
+    /// Re-inserting an existing key refreshes its value and recency.
+    fn insert(&mut self, key: K, value: V) -> usize {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            evicted = 1;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i].key = key.clone();
+                self.slots[i].value = value;
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    /// Drop every entry whose key fails `keep`, returning how many were
+    /// removed.
+    fn retain(&mut self, keep: impl Fn(&K) -> bool) -> usize {
+        let doomed: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| !keep(k))
+            .map(|(_, &i)| i)
+            .collect();
+        for i in doomed.iter().copied() {
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            self.free.push(i);
+        }
+        doomed.len()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Sharded LRU map: `get` and `insert` lock only the owning shard.
+pub(crate) struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// Create a cache with `capacity` total entries spread over `shards`
+    /// locks. Per-shard capacity is rounded up, so the effective total may
+    /// slightly exceed `capacity`.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().expect("lru shard poisoned").get(key)
+    }
+
+    /// Insert, returning the number of evicted entries.
+    pub fn insert(&self, key: K, value: V) -> usize {
+        self.shard(&key)
+            .lock()
+            .expect("lru shard poisoned")
+            .insert(key, value)
+    }
+
+    /// Drop entries whose key fails `keep` across all shards; returns the
+    /// number removed.
+    pub fn retain(&self, keep: impl Fn(&K) -> bool) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard poisoned").retain(&keep))
+            .sum()
+    }
+
+    /// Current number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(8, 2);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.insert(1, 10), 0);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
+        c.insert(1, 10);
+        assert_eq!(c.insert(1, 20), 0);
+        assert_eq!(c.get(&1), Some(20));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // 2 is now LRU
+        assert_eq!(c.insert(3, 30), 1);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn retain_drops_matching_entries() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(16, 4);
+        for i in 0..10 {
+            c.insert(i, i);
+        }
+        let removed = c.retain(|&k| k % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.get(&4), Some(4));
+    }
+
+    #[test]
+    fn eviction_then_reuse_of_slots() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(3, 1);
+        for i in 0..50 {
+            c.insert(i, i * 2);
+        }
+        assert_eq!(c.len(), 3);
+        for i in 47..50 {
+            assert_eq!(c.get(&i), Some(i * 2));
+        }
+    }
+}

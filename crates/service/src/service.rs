@@ -1,0 +1,605 @@
+//! The concurrent summary service: catalog + memoized artifacts + sharded
+//! LRU result cache + delta-driven invalidation.
+
+use crate::catalog::SchemaCatalog;
+use crate::lru::ShardedLru;
+use schema_summary_algo::algorithms::{balance_summary, max_coverage, max_importance};
+use schema_summary_algo::assignment::{assign_elements, summary_coverage, summary_importance};
+use schema_summary_algo::{Algorithm, SummarizerConfig};
+use schema_summary_core::diff::SchemaDelta;
+use schema_summary_core::{ElementId, SchemaError, SchemaFingerprint, SchemaGraph, SchemaStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Total result-cache capacity (entries across all shards).
+    pub cache_capacity: usize,
+    /// Number of independent LRU shards (locks).
+    pub cache_shards: usize,
+    /// Default algorithm configuration used when a request does not
+    /// override it.
+    pub summarizer: SummarizerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 1024,
+            cache_shards: 8,
+            summarizer: SummarizerConfig::default(),
+        }
+    }
+}
+
+/// A summarize request as carried by the JSONL batch driver. All fields
+/// are optional; [`SummaryService::handle`] fills in defaults (the sole
+/// registered schema, the `balance` algorithm, `k = 5`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SummaryRequest {
+    /// Name of a registered schema (defaults to the only one registered).
+    pub schema: Option<String>,
+    /// Algorithm name: `balance`, `importance`, or `coverage`.
+    pub algorithm: Option<String>,
+    /// Summary size.
+    pub k: Option<usize>,
+}
+
+/// A computed (and cacheable) summary answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryResult {
+    /// Fingerprint of the annotated schema that was summarized.
+    pub fingerprint: SchemaFingerprint,
+    /// Algorithm that produced the selection.
+    pub algorithm: Algorithm,
+    /// Requested summary size.
+    pub k: usize,
+    /// Selected elements, in algorithm order.
+    pub selection: Vec<ElementId>,
+    /// Root label paths of the selected elements, in the same order.
+    pub labels: Vec<String>,
+    /// Summary importance `R_SS` (Definition 3).
+    pub importance: f64,
+    /// Summary coverage `C_SS` (Definition 4).
+    pub coverage: f64,
+}
+
+/// A service answer: the (shared) result plus whether it came from the
+/// cache.
+#[derive(Debug, Clone)]
+pub struct ServedSummary {
+    /// The summary, shared with the cache.
+    pub result: Arc<SummaryResult>,
+    /// `true` if the result was served from the LRU cache without running
+    /// any algorithm.
+    pub from_cache: bool,
+}
+
+/// Why a request could not be answered.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The request named a schema that is not registered.
+    UnknownSchema(String),
+    /// The request carried a fingerprint that is not in the catalog.
+    UnknownFingerprint(SchemaFingerprint),
+    /// The request was ambiguous or malformed (e.g. no schema named while
+    /// several are registered).
+    BadRequest(String),
+    /// The selection algorithm rejected the request.
+    Algo(SchemaError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSchema(name) => write!(f, "unknown schema '{name}'"),
+            ServiceError::UnknownFingerprint(fp) => write!(f, "unknown fingerprint {fp}"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Algo(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SchemaError> for ServiceError {
+    fn from(e: SchemaError) -> Self {
+        ServiceError::Algo(e)
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from the result cache.
+    pub hits: u64,
+    /// Requests that ran an algorithm.
+    pub misses: u64,
+    /// Entries displaced by LRU capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation.
+    pub invalidations: u64,
+    /// Results currently cached.
+    pub entries: usize,
+    /// Schemas currently registered.
+    pub schemas: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was requested yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: SchemaFingerprint,
+    algorithm: Algorithm,
+    k: usize,
+    /// Canonical JSON of the summarizer configuration.
+    options: String,
+}
+
+/// A thread-safe, embeddable summary-serving layer.
+///
+/// All methods take `&self`; one `SummaryService` (typically inside an
+/// `Arc`) serves any number of threads. Heavy intermediates are computed
+/// once per `(schema fingerprint, configuration)` and full answers once
+/// per `(fingerprint, algorithm, k, configuration)`.
+pub struct SummaryService {
+    config: ServiceConfig,
+    catalog: SchemaCatalog,
+    names: RwLock<HashMap<String, SchemaFingerprint>>,
+    cache: ShardedLru<CacheKey, Arc<SummaryResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for SummaryService {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl SummaryService {
+    /// Create a service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = ShardedLru::new(config.cache_capacity, config.cache_shards);
+        SummaryService {
+            config,
+            catalog: SchemaCatalog::new(),
+            names: RwLock::new(HashMap::new()),
+            cache,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The catalog backing this service.
+    pub fn catalog(&self) -> &SchemaCatalog {
+        &self.catalog
+    }
+
+    /// Register an annotated schema; returns its content fingerprint.
+    /// Content-identical registrations are deduplicated.
+    pub fn register(&self, graph: Arc<SchemaGraph>, stats: Arc<SchemaStats>) -> SchemaFingerprint {
+        self.catalog.register(graph, stats).0
+    }
+
+    /// Register an annotated schema under a name for use in requests.
+    /// Re-registering a name points it at the new content (the old content
+    /// stays registered until invalidated).
+    pub fn register_named(
+        &self,
+        name: impl Into<String>,
+        graph: Arc<SchemaGraph>,
+        stats: Arc<SchemaStats>,
+    ) -> SchemaFingerprint {
+        let fp = self.register(graph, stats);
+        self.names
+            .write()
+            .expect("names poisoned")
+            .insert(name.into(), fp);
+        fp
+    }
+
+    /// Resolve a registered name to its fingerprint.
+    pub fn fingerprint_of(&self, name: &str) -> Option<SchemaFingerprint> {
+        self.names
+            .read()
+            .expect("names poisoned")
+            .get(name)
+            .copied()
+    }
+
+    /// Answer a summarize request against a registered fingerprint, using
+    /// the service's default algorithm configuration.
+    pub fn summarize(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        k: usize,
+    ) -> Result<ServedSummary, ServiceError> {
+        let config = self.config.summarizer.clone();
+        self.summarize_with(fingerprint, algorithm, k, &config)
+    }
+
+    /// Answer a summarize request with an explicit algorithm
+    /// configuration; results are cached per configuration.
+    pub fn summarize_with(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        k: usize,
+        config: &SummarizerConfig,
+    ) -> Result<ServedSummary, ServiceError> {
+        let key = CacheKey {
+            fingerprint,
+            algorithm,
+            k,
+            options: serde_json::to_string(config).expect("config serializes"),
+        };
+        if let Some(result) = self.cache.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(ServedSummary {
+                result,
+                from_cache: true,
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = self
+            .catalog
+            .get(fingerprint)
+            .ok_or(ServiceError::UnknownFingerprint(fingerprint))?;
+        let graph = entry.graph();
+        let stats = entry.stats();
+        let artifacts = entry.artifacts(config);
+        let selection = match algorithm {
+            Algorithm::MaxImportance => max_importance(graph, artifacts.importance(), k)?,
+            Algorithm::MaxCoverage => max_coverage(
+                graph,
+                stats,
+                artifacts.matrices(),
+                artifacts.dominance(),
+                k,
+                config.search,
+            )?,
+            Algorithm::Balance => {
+                balance_summary(graph, artifacts.importance(), artifacts.dominance(), k)?
+            }
+        };
+        let matrices = artifacts.matrices();
+        let assignment = assign_elements(graph, matrices, &selection);
+        let importance = summary_importance(graph, artifacts.importance(), &selection);
+        let coverage = summary_coverage(graph, stats, matrices, &selection, &assignment);
+        let labels = selection.iter().map(|&e| graph.label_path(e)).collect();
+        let result = Arc::new(SummaryResult {
+            fingerprint,
+            algorithm,
+            k,
+            selection,
+            labels,
+            importance,
+            coverage,
+        });
+        let evicted = self.cache.insert(key, Arc::clone(&result));
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        Ok(ServedSummary {
+            result,
+            from_cache: false,
+        })
+    }
+
+    /// Answer a [`SummaryRequest`] from the JSONL driver: resolves the
+    /// schema name (defaulting to the sole registered schema), parses the
+    /// algorithm name, and applies `k = 5` when unspecified.
+    pub fn handle(&self, request: &SummaryRequest) -> Result<ServedSummary, ServiceError> {
+        let fingerprint = match &request.schema {
+            Some(name) => self
+                .fingerprint_of(name)
+                .ok_or_else(|| ServiceError::UnknownSchema(name.clone()))?,
+            None => {
+                let names = self.names.read().expect("names poisoned");
+                match names.len() {
+                    0 => return Err(ServiceError::BadRequest("no schema registered".into())),
+                    1 => *names.values().next().expect("len checked"),
+                    n => {
+                        return Err(ServiceError::BadRequest(format!(
+                            "request names no schema but {n} are registered"
+                        )))
+                    }
+                }
+            }
+        };
+        let algorithm = match request.algorithm.as_deref() {
+            None => Algorithm::Balance,
+            Some(name) => name.parse().map_err(ServiceError::BadRequest)?,
+        };
+        self.summarize(fingerprint, algorithm, request.k.unwrap_or(5))
+    }
+
+    /// Evict one fingerprint: its catalog entry (with all memoized
+    /// artifacts) and every cached result computed from it. Returns the
+    /// number of cached results dropped.
+    pub fn invalidate(&self, fingerprint: SchemaFingerprint) -> usize {
+        self.catalog.remove(fingerprint);
+        let dropped = self.cache.retain(|key| key.fingerprint != fingerprint);
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Invalidation hook for schema deltas (`schema_summary_core::diff`):
+    /// a non-empty delta evicts exactly the old fingerprint; an empty one
+    /// (content unchanged) evicts nothing. Returns the number of cached
+    /// results dropped.
+    pub fn apply_delta(&self, delta: &SchemaDelta) -> usize {
+        if delta.is_empty() {
+            0
+        } else {
+            self.invalidate(delta.old_fingerprint)
+        }
+    }
+
+    /// Re-register a named schema with fresh content: computes the
+    /// [`SchemaDelta`] against the currently registered content, applies
+    /// it (evicting the stale fingerprint if anything changed), registers
+    /// the new content under the name, and returns the delta.
+    pub fn update_named(
+        &self,
+        name: &str,
+        graph: Arc<SchemaGraph>,
+        stats: Arc<SchemaStats>,
+    ) -> Result<SchemaDelta, ServiceError> {
+        let old_fp = self
+            .fingerprint_of(name)
+            .ok_or_else(|| ServiceError::UnknownSchema(name.to_string()))?;
+        let old = self
+            .catalog
+            .get(old_fp)
+            .ok_or(ServiceError::UnknownFingerprint(old_fp))?;
+        let delta = SchemaDelta::compute(old.graph(), old.stats(), &graph, &stats);
+        self.apply_delta(&delta);
+        self.register_named(name, graph, stats);
+        Ok(delta)
+    }
+
+    /// Current cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.cache.len(),
+            schemas: self.catalog.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    fn fixture() -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
+        let auctions = b
+            .add_child(b.root(), "auctions", SchemaType::rcd())
+            .unwrap();
+        let auction = b
+            .add_child(auctions, "auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b
+            .add_child(auction, "bidder", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        let g = b.build().unwrap();
+        let find = |l: &str| g.find_unique(l).unwrap();
+        let mut cards = vec![1u64; g.len()];
+        for (label, c) in [
+            ("person", 200u64),
+            ("name", 200),
+            ("auction", 100),
+            ("bidder", 600),
+        ] {
+            cards[find(label).index()] = c;
+        }
+        let links = vec![
+            LinkCount {
+                from: g.root(),
+                to: find("people"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("people"),
+                to: find("person"),
+                count: 200,
+            },
+            LinkCount {
+                from: find("person"),
+                to: find("name"),
+                count: 200,
+            },
+            LinkCount {
+                from: g.root(),
+                to: find("auctions"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("auctions"),
+                to: find("auction"),
+                count: 100,
+            },
+            LinkCount {
+                from: find("auction"),
+                to: find("bidder"),
+                count: 600,
+            },
+            LinkCount {
+                from: find("bidder"),
+                to: find("person"),
+                count: 600,
+            },
+        ];
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (Arc::new(g), Arc::new(s))
+    }
+
+    #[test]
+    fn second_identical_request_hits_the_cache() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp = service.register(g, s);
+        let first = service.summarize(fp, Algorithm::Balance, 2).unwrap();
+        assert!(!first.from_cache);
+        let second = service.summarize(fp, Algorithm::Balance, 2).unwrap();
+        assert!(second.from_cache);
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_match_the_summarizer_facade() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp = service.register(Arc::clone(&g), Arc::clone(&s));
+        for algorithm in [
+            Algorithm::MaxImportance,
+            Algorithm::MaxCoverage,
+            Algorithm::Balance,
+        ] {
+            for k in [1, 2, 3] {
+                let served = service.summarize(fp, algorithm, k).unwrap();
+                let mut facade = schema_summary_algo::Summarizer::new(&g, &s);
+                let expected = facade.select(k, algorithm).unwrap();
+                assert_eq!(served.result.selection, expected, "{algorithm:?} k={k}");
+                assert_eq!(served.result.labels.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn named_requests_and_defaults() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        service.register_named("site", g, s);
+        let served = service.handle(&SummaryRequest::default()).unwrap();
+        assert_eq!(served.result.k, 5);
+        assert_eq!(served.result.algorithm, Algorithm::Balance);
+        let named = service
+            .handle(&SummaryRequest {
+                schema: Some("site".into()),
+                algorithm: Some("importance".into()),
+                k: Some(2),
+            })
+            .unwrap();
+        assert_eq!(named.result.algorithm, Algorithm::MaxImportance);
+        assert!(matches!(
+            service.handle(&SummaryRequest {
+                schema: Some("nope".into()),
+                ..Default::default()
+            }),
+            Err(ServiceError::UnknownSchema(_))
+        ));
+        assert!(matches!(
+            service.handle(&SummaryRequest {
+                algorithm: Some("bogus".into()),
+                ..Default::default()
+            }),
+            Err(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn invalidation_evicts_exactly_the_stale_fingerprint() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp_old = service.register_named("site", Arc::clone(&g), Arc::clone(&s));
+        service.summarize(fp_old, Algorithm::Balance, 2).unwrap();
+        service
+            .summarize(fp_old, Algorithm::MaxImportance, 2)
+            .unwrap();
+
+        // Same structure, doubled cardinalities: a genuine delta.
+        let s2 = Arc::new(s.scaled(2.0));
+        let delta = service
+            .update_named("site", Arc::clone(&g), Arc::clone(&s2))
+            .unwrap();
+        assert!(!delta.is_empty());
+        assert_eq!(delta.old_fingerprint, fp_old);
+
+        // Old results are gone; the old fingerprint no longer resolves.
+        assert_eq!(service.cache_stats().entries, 0);
+        assert!(matches!(
+            service.summarize(fp_old, Algorithm::Balance, 2),
+            Err(ServiceError::UnknownFingerprint(_))
+        ));
+        // The name now serves the new content.
+        let served = service.handle(&SummaryRequest::default()).unwrap();
+        assert_eq!(served.result.fingerprint, delta.new_fingerprint);
+        assert_eq!(service.cache_stats().invalidations, 2);
+    }
+
+    #[test]
+    fn no_op_update_keeps_cache_warm() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp = service.register_named("site", Arc::clone(&g), Arc::clone(&s));
+        service.summarize(fp, Algorithm::Balance, 2).unwrap();
+        // Re-registering identical content produces an empty delta and
+        // must not evict anything.
+        let delta = service.update_named("site", g, s).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(service.cache_stats().entries, 1);
+        assert!(
+            service
+                .summarize(fp, Algorithm::Balance, 2)
+                .unwrap()
+                .from_cache
+        );
+    }
+
+    #[test]
+    fn capacity_pressure_counts_evictions() {
+        let service = SummaryService::new(ServiceConfig {
+            cache_capacity: 2,
+            cache_shards: 1,
+            summarizer: SummarizerConfig::default(),
+        });
+        let (g, s) = fixture();
+        let fp = service.register(g, s);
+        for k in 1..=4 {
+            service.summarize(fp, Algorithm::Balance, k).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 2);
+    }
+}

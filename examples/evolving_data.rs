@@ -19,24 +19,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (graph, _, _) = mimi::schema(Version::Apr04);
     let mut monitor = SummaryMonitor::new(10, Algorithm::Balance);
     let mut selections = Vec::new();
+    let mut previous: Option<(SchemaStats, SchemaFingerprint)> = None;
     for &version in &Version::ALL {
         let (g, stats, handles) = mimi::schema(version);
         assert_eq!(g, graph, "the schema itself never changes");
         let report = monitor.refresh(&graph, &stats)?;
         let names: Vec<&str> = report.selection.iter().map(|&e| graph.label(e)).collect();
+        let fp = SchemaFingerprint::of_annotated(&graph, &stats);
         println!(
             "{:<8} {:>6.2}M data elements, size-10 summary: {}",
             version.name(),
             stats.total_card() / 1e6,
             names.join(", ")
         );
+        println!("         annotated fingerprint {fp}");
         if report.changed {
+            // `entered`/`left` arrive in element-id order, so this line is
+            // byte-for-byte reproducible across runs.
             println!(
                 "         summary CHANGED: +{:?} -{:?}",
                 report.entered.iter().map(|&e| graph.label(e)).collect::<Vec<_>>(),
                 report.left.iter().map(|&e| graph.label(e)).collect::<Vec<_>>()
             );
         }
+        // The same delta a serving layer would use to decide whether its
+        // cached summaries for the old fingerprint are still valid.
+        if let Some((old_stats, old_fp)) = previous.take() {
+            let delta = SchemaDelta::compute(&graph, &old_stats, &graph, &stats);
+            println!(
+                "         vs previous: {} cardinality changes → {}",
+                delta.changed_cardinalities.len(),
+                if delta.is_empty() { "cache stays warm" } else { "invalidate old entries" }
+            );
+            assert_eq!(old_fp, delta.old_fingerprint);
+        }
+        previous = Some((stats.clone(), fp));
         let domain = handles.get("domain");
         if stats.card(domain) > 0.0 {
             println!("         (domain data present: {:.0} domains)", stats.card(domain));

@@ -1,0 +1,505 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal serde implementation. Instead of serde's visitor-based data
+//! model, this shim serializes through an owned JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`];
+//! * [`Deserialize`] rebuilds a type from a [`Value`];
+//! * the companion `serde_json` shim converts [`Value`] to and from JSON
+//!   text.
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the sibling
+//! `serde_derive` shim and supports named structs, tuple structs (arity 1
+//! is transparent, like serde newtypes), and externally tagged enums —
+//! exactly the shapes used in this repository.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An owned JSON-like value: the interchange format of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A negative integer (JSON numbers without fraction or exponent).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other shapes or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`, if losslessly possible.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialize into a [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization errors and the helpers the derive macro generates calls
+/// to.
+pub mod de {
+    use super::{Deserialize, Value};
+    use std::fmt;
+
+    /// A deserialization error with a human-readable message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl Error {
+        /// Build an error from any displayable message.
+        pub fn custom(msg: impl fmt::Display) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Expect an object, with `what` naming the target type in errors.
+    pub fn as_object<'v>(v: &'v Value, what: &str) -> Result<&'v [(String, Value)], Error> {
+        match v {
+            Value::Object(o) => Ok(o),
+            other => Err(Error::custom(format!("expected object for {what}, found {other:?}"))),
+        }
+    }
+
+    /// Expect an array of exactly `n` elements.
+    pub fn as_array<'v>(v: &'v Value, what: &str, n: usize) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Array(a) if a.len() == n => Ok(a),
+            Value::Array(a) => Err(Error::custom(format!(
+                "expected {n} elements for {what}, found {}",
+                a.len()
+            ))),
+            other => Err(Error::custom(format!("expected array for {what}, found {other:?}"))),
+        }
+    }
+
+    /// Fetch and deserialize a named field. Missing keys deserialize from
+    /// `null` so `Option` fields default to `None`.
+    pub fn field<T: Deserialize>(o: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match o.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------- Serialize
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+fn map_key(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        other => panic!("unsupported map key {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (map_key(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (map_key(k.to_value()), v.to_value()))
+            .collect();
+        // Deterministic output regardless of hash order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ----------------------------------------------------------- Deserialize
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool()
+            .ok_or_else(|| de::Error::custom(format!("expected bool, found {v:?}")))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| de::Error::custom(format!("expected unsigned int, found {v:?}")))?;
+                <$t>::try_from(u)
+                    .map_err(|_| de::Error::custom(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let i: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| de::Error::custom(format!("{u} out of range for i64")))?,
+                    _ => return Err(de::Error::custom(format!("expected int, found {v:?}"))),
+                };
+                <$t>::try_from(i)
+                    .map_err(|_| de::Error::custom(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match *v {
+            // Non-finite floats serialize as null (JSON has no NaN).
+            Value::Null => Ok(f64::NAN),
+            _ => v
+                .as_f64()
+                .ok_or_else(|| de::Error::custom(format!("expected number, found {v:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::custom(format!("expected char, found {v:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::custom(format!("expected string, found {v:?}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(de::Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(de::Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let a = de::as_array(v, "tuple", $len)?;
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Map keys parse back from their string form.
+pub trait FromMapKey: Sized {
+    /// Parse a map key rendered by serialization.
+    fn from_map_key(key: &str) -> Result<Self, de::Error>;
+}
+
+impl FromMapKey for String {
+    fn from_map_key(key: &str) -> Result<Self, de::Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! from_map_key_num {
+    ($($t:ty),*) => {$(
+        impl FromMapKey for $t {
+            fn from_map_key(key: &str) -> Result<Self, de::Error> {
+                key.parse()
+                    .map_err(|_| de::Error::custom(format!("bad numeric map key {key:?}")))
+            }
+        }
+    )*};
+}
+from_map_key_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: FromMapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let o = de::as_object(v, "map")?;
+        o.iter()
+            .map(|(k, val)| Ok((K::from_map_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: FromMapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let o = de::as_object(v, "map")?;
+        o.iter()
+            .map(|(k, val)| Ok((K::from_map_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

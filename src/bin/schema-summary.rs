@@ -7,18 +7,28 @@
 //!                          [--levels N,M,...] [--dot OUT] [--json OUT]
 //! schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
 //!                          --query label1,label2,...
+//! schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
+//!                          [--requests FILE] [--cache N]
 //! ```
 //!
 //! Schemas come from an XSD subset or SQL DDL; statistics come from an XML
 //! instance (`--xml`) when given, and default to uniform (schema-driven)
 //! otherwise. `summarize` prints the summary outline and can export
 //! Graphviz DOT and JSON; `discover` compares query-discovery costs with
-//! and without the summary.
+//! and without the summary; `serve` answers a JSONL request stream from
+//! the caching service layer and reports per-request latency plus cache
+//! statistics.
 
 use schema_summary::prelude::*;
-use schema_summary_io::{parse_ddl, parse_xml_instance, parse_xsd, schema_to_dot, schema_to_xsd, summary_to_dot, summary_to_markdown};
+use schema_summary_io::{
+    parse_ddl, parse_xml_instance, parse_xsd, schema_to_dot, schema_to_xsd, summary_to_dot,
+    summary_to_markdown,
+};
+use schema_summary_service::{ServiceConfig, SummaryRequest, SummaryService};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     // Piping output into `head` closes stdout early; treat the resulting
@@ -52,11 +62,14 @@ fn run() -> Result<(), String> {
         "inspect" => inspect(&opts),
         "summarize" => summarize(&opts),
         "discover" => discover(&opts),
+        "serve" => serve(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'; try 'schema-summary help'")),
+        other => Err(format!(
+            "unknown command '{other}'; try 'schema-summary help'"
+        )),
     }
 }
 
@@ -70,6 +83,8 @@ USAGE:
                            [--levels N,M,...] [--dot OUT] [--json OUT]
   schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
                            --query label1,label2,...
+  schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
+                           [--requests FILE] [--cache N]
 
 OPTIONS:
   --xsd FILE        schema from an XML-Schema subset
@@ -84,11 +99,12 @@ OPTIONS:
   --json FILE       write the summary as JSON
   --query LABELS    comma-separated element labels the user seeks
   --xsd-out FILE    (inspect) export the schema back to the XSD subset
+  --requests FILE   (serve) JSONL request stream, one object per line:
+                    {\"algorithm\":\"balance\",\"k\":10}; default stdin
+  --cache N         (serve) result-cache capacity (default 1024)
 ";
 
-fn parse_opts(
-    args: impl Iterator<Item = String>,
-) -> Result<HashMap<String, String>, String> {
+fn parse_opts(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
@@ -118,10 +134,7 @@ fn load_schema(opts: &HashMap<String, String>) -> Result<SchemaGraph, String> {
     }
 }
 
-fn load_stats(
-    graph: &SchemaGraph,
-    opts: &HashMap<String, String>,
-) -> Result<SchemaStats, String> {
+fn load_stats(graph: &SchemaGraph, opts: &HashMap<String, String>) -> Result<SchemaStats, String> {
     match opts.get("xml") {
         None => Ok(SchemaStats::uniform(graph)),
         Some(path) => {
@@ -171,11 +184,7 @@ fn inspect(opts: &HashMap<String, String>) -> Result<(), String> {
     let imp = s.importance().clone();
     println!("\ntop elements by importance:");
     for &e in imp.ranked(&graph).iter().take(10) {
-        println!(
-            "  {:<40} {:>12.1}",
-            graph.label_path(e),
-            imp.score(e)
-        );
+        println!("  {:<40} {:>12.1}", graph.label_path(e), imp.score(e));
     }
     Ok(())
 }
@@ -190,7 +199,11 @@ fn summarize(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(levels) = opts.get("levels") {
         let sizes: Vec<usize> = levels
             .split(',')
-            .map(|v| v.trim().parse().map_err(|_| format!("bad level size '{v}'")))
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| format!("bad level size '{v}'"))
+            })
             .collect::<Result<_, _>>()?;
         let ml = s
             .multi_level(&sizes, algorithm)
@@ -223,8 +236,7 @@ fn summarize(opts: &HashMap<String, String>) -> Result<(), String> {
         println!("wrote {path}");
     }
     if let Some(path) = opts.get("json") {
-        let json =
-            schema_summary_io::export::to_json(&summary).map_err(|e| e.to_string())?;
+        let json = schema_summary_io::export::to_json(&summary).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
     }
@@ -248,7 +260,9 @@ fn discover(opts: &HashMap<String, String>) -> Result<(), String> {
     let q = QueryIntention::from_labels(&graph, "cli", &labels).map_err(|e| e.to_string())?;
 
     let mut s = Summarizer::new(&graph, &stats);
-    let summary = s.summarize(k, Algorithm::Balance).map_err(|e| e.to_string())?;
+    let summary = s
+        .summarize(k, Algorithm::Balance)
+        .map_err(|e| e.to_string())?;
     let lin = schema_summary::discovery::linear_scan_cost(&graph, &q);
     let df = depth_first_cost(&graph, &q);
     let bf = breadth_first_cost(&graph, &q);
@@ -269,6 +283,88 @@ fn discover(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Batch driver for the serving layer: load one schema, register it with
+/// a [`SummaryService`], then answer a JSONL request stream (file or
+/// stdin), printing per-request latency, cache disposition, and final
+/// cache statistics.
+fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = Arc::new(load_schema(opts)?);
+    let stats = Arc::new(load_stats(&graph, opts)?);
+    let capacity = match opts.get("cache") {
+        None => 1024,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --cache value '{v}'"))?,
+    };
+    let service = SummaryService::new(ServiceConfig {
+        cache_capacity: capacity,
+        ..Default::default()
+    });
+    let name = graph.label(graph.root()).to_string();
+    let fingerprint = service.register_named(&name, Arc::clone(&graph), stats);
+    println!("serving schema '{name}' (fingerprint {fingerprint}, cache capacity {capacity})");
+
+    let input = match opts.get("requests") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        }
+    };
+
+    // One batch entry per request line; a bad line reports its error and
+    // the batch keeps going, so the driver always reaches the stats line.
+    let mut served = 0usize;
+    let mut failed = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let n = served + failed + 1;
+        let request: SummaryRequest = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(e) => {
+                failed += 1;
+                println!("#{n} error: request line {}: {e}", lineno + 1);
+                continue;
+            }
+        };
+        let started = Instant::now();
+        match service.handle(&request) {
+            Ok(answer) => {
+                let elapsed = started.elapsed();
+                served += 1;
+                println!(
+                    "#{n} alg={} k={} {} {:>9.1?}  {}",
+                    answer.result.algorithm,
+                    answer.result.k,
+                    if answer.from_cache { "hit " } else { "miss" },
+                    elapsed,
+                    answer.result.labels.join(", ")
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!("#{n} error: {e}");
+            }
+        }
+    }
+
+    let cache = service.cache_stats();
+    println!(
+        "\n{served} served, {failed} failed; cache: {} hits, {} misses ({:.0}% hit rate), {} evictions, {} entries",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.evictions,
+        cache.entries
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,10 +378,8 @@ mod tests {
 
     #[test]
     fn parse_opts_pairs_flags_with_values() {
-        let parsed = parse_opts(
-            ["--xsd", "a.xsd", "-k", "7"].iter().map(|s| s.to_string()),
-        )
-        .unwrap();
+        let parsed =
+            parse_opts(["--xsd", "a.xsd", "-k", "7"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(parsed["xsd"], "a.xsd");
         assert_eq!(parsed["k"], "7");
     }

@@ -65,8 +65,8 @@ pub mod prelude {
         Algorithm, ImportanceConfig, ImportanceMode, PathConfig, Summarizer, SummarizerConfig,
     };
     pub use schema_summary_core::{
-        AtomicType, ElementId, SchemaError, SchemaGraph, SchemaGraphBuilder, SchemaStats,
-        SchemaSummary, SchemaType,
+        AtomicType, ElementId, SchemaDelta, SchemaError, SchemaFingerprint, SchemaGraph,
+        SchemaGraphBuilder, SchemaStats, SchemaSummary, SchemaType,
     };
     pub use schema_summary_discovery::{
         best_first_cost, breadth_first_cost, depth_first_cost, summary_cost, CostModel,

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use schema_summary::prelude::*;
-use schema_summary_algo::{DominanceSet, PairMatrices};
 use schema_summary_algo::assignment::{assign_elements, summary_coverage};
+use schema_summary_algo::{DominanceSet, PairMatrices};
 use schema_summary_instance::generate::{generate_instance, GeneratorConfig};
 
 /// A random schema graph: a structural tree over 2..=28 elements with a few
@@ -67,6 +67,55 @@ fn arb_schema() -> impl Strategy<Value = (SchemaGraph, SchemaStats)> {
         let stats = annotate_schema(&graph, &data).expect("conformant by construction");
         (graph, stats)
     })
+}
+
+/// Rebuild `graph` element by element (ids are assigned in the same order,
+/// since parents always predate children), optionally perturbing one
+/// element's label or type along the way.
+fn rebuild(
+    graph: &SchemaGraph,
+    relabel: Option<ElementId>,
+    retype: Option<ElementId>,
+    add_link: Option<(ElementId, ElementId)>,
+) -> SchemaGraph {
+    let mut b = SchemaGraphBuilder::with_root_type(
+        graph.label(graph.root()),
+        graph.ty(graph.root()).clone(),
+    );
+    let mut map = vec![b.root(); graph.len()];
+    for e in graph.element_ids().skip(1) {
+        let parent = map[graph.parent(e).expect("non-root").index()];
+        let mut label = graph.label(e).to_string();
+        if relabel == Some(e) {
+            label.push('_');
+        }
+        let mut ty = graph.ty(e).clone();
+        if retype == Some(e) {
+            ty = flip_type(&ty);
+        }
+        map[e.index()] = b.add_child(parent, label, ty).expect("rebuild add");
+    }
+    for (f, t) in graph.value_links() {
+        b.add_value_link(map[f.index()], map[t.index()])
+            .expect("rebuild link");
+    }
+    if let Some((f, t)) = add_link {
+        b.add_value_link(map[f.index()], map[t.index()])
+            .expect("extra link");
+    }
+    b.build().expect("rebuild valid")
+}
+
+/// A minimal type change that keeps the element's child-bearing capacity
+/// (simple stays simple, composite stays composite).
+fn flip_type(ty: &SchemaType) -> SchemaType {
+    match ty {
+        SchemaType::Simple(AtomicType::Str) => SchemaType::simple_int(),
+        SchemaType::Simple(_) => SchemaType::simple_str(),
+        SchemaType::SetOf(inner) => SchemaType::SetOf(Box::new(flip_type(inner))),
+        SchemaType::Rcd => SchemaType::choice(),
+        SchemaType::Choice => SchemaType::rcd(),
+    }
 }
 
 proptest! {
@@ -182,6 +231,70 @@ proptest! {
             .collect();
         let cov = s.selection_coverage(&full);
         prop_assert!((cov - 1.0).abs() < 1e-9, "full selection covers {cov}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_structural_copies((graph, stats) in arb_schema()) {
+        let copy = rebuild(&graph, None, None, None);
+        prop_assert_eq!(
+            SchemaFingerprint::of_graph(&graph),
+            SchemaFingerprint::of_graph(&copy),
+            "structurally equal graphs must fingerprint equal"
+        );
+        prop_assert_eq!(
+            SchemaFingerprint::of_annotated(&graph, &stats),
+            SchemaFingerprint::of_annotated(&copy, &stats)
+        );
+    }
+
+    #[test]
+    fn fingerprint_changes_on_any_single_mutation(
+        (graph, _stats) in arb_schema(),
+        pick in any::<u64>(),
+    ) {
+        let base = SchemaFingerprint::of_graph(&graph);
+        let victim = ElementId(1 + (pick % (graph.len() as u64 - 1)) as u32);
+
+        // A single relabel is a different schema.
+        let relabeled = rebuild(&graph, Some(victim), None, None);
+        prop_assert_ne!(base, SchemaFingerprint::of_graph(&relabeled));
+
+        // A single type flip is a different schema.
+        let retyped = rebuild(&graph, None, Some(victim), None);
+        prop_assert_ne!(base, SchemaFingerprint::of_graph(&retyped));
+
+        // Adding one value link (where none exists) is a different schema.
+        let existing: std::collections::HashSet<(ElementId, ElementId)> =
+            graph.value_links().collect();
+        let composites: Vec<ElementId> = graph
+            .element_ids()
+            .filter(|&e| graph.ty(e).is_composite())
+            .collect();
+        let fresh_pair = composites.iter().flat_map(|&f| {
+            composites.iter().map(move |&t| (f, t))
+        }).find(|&(f, t)| f != t && !existing.contains(&(f, t)));
+        if let Some(pair) = fresh_pair {
+            let linked = rebuild(&graph, None, None, Some(pair));
+            prop_assert_ne!(base, SchemaFingerprint::of_graph(&linked));
+        }
+
+        // A single cardinality change alters the annotated fingerprint
+        // while leaving the structural one untouched.
+        let n = graph.len();
+        let cards: Vec<u64> = vec![7; n];
+        let mut bumped = cards.clone();
+        bumped[victim.index()] += 1;
+        let flat = SchemaStats::from_link_counts(&graph, &cards, &[]).expect("shape ok");
+        let bent = SchemaStats::from_link_counts(&graph, &bumped, &[]).expect("shape ok");
+        prop_assert_eq!(
+            SchemaFingerprint::of_graph(&graph),
+            base,
+            "stats never affect the structural fingerprint"
+        );
+        prop_assert_ne!(
+            SchemaFingerprint::of_annotated(&graph, &flat),
+            SchemaFingerprint::of_annotated(&graph, &bent)
+        );
     }
 
     #[test]
