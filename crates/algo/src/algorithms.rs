@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// reported dataset sizes (DESIGN.md §3.3), so greedy marginal-gain
 /// selection is the default; exhaustive search remains available for small
 /// inputs and is used by tests to confirm the greedy result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum SetSearch {
     /// Enumerate every K-subset of the pruned candidates (errors out when
     /// more than the given number of subsets would be examined).
@@ -27,18 +27,13 @@ pub enum SetSearch {
         max_sets: u64,
     },
     /// Greedy marginal-gain selection (default).
+    #[default]
     Greedy,
     /// Beam search keeping the best `width` partial sets per round.
     Beam {
         /// Number of partial sets retained per round.
         width: usize,
     },
-}
-
-impl Default for SetSearch {
-    fn default() -> Self {
-        SetSearch::Greedy
-    }
 }
 
 /// `MaxImportance` (Figure 4): the `K` elements with the highest importance
@@ -109,7 +104,7 @@ fn greedy(
             selected.push(c);
             let score = eval(&selected);
             selected.pop();
-            if best.map_or(true, |(_, b)| score > b) {
+            if best.is_none_or(|(_, b)| score > b) {
                 best = Some((i, score));
             }
         }
@@ -180,7 +175,7 @@ fn exhaustive(
     ) {
         if current.len() == k {
             let score = eval(current);
-            if best.as_ref().map_or(true, |(_, b)| score > *b) {
+            if best.as_ref().is_none_or(|(_, b)| score > *b) {
                 *best = Some((current.clone(), score));
             }
             return;

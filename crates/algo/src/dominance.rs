@@ -52,7 +52,7 @@ impl DominanceSet {
                         continue;
                     }
                     let c = matrices.coverage(src, target);
-                    if best.map_or(true, |(_, bc)| c > bc) {
+                    if best.is_none_or(|(_, bc)| c > bc) {
                         best = Some((src, c));
                     }
                 }

@@ -19,7 +19,7 @@ use schema_summary_core::{ElementId, SchemaGraph, SchemaStats};
 use serde::{Deserialize, Serialize};
 
 /// Which inputs drive the importance computation (Section 5.4's ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ImportanceMode {
     /// Both schema structure and data distribution (the paper's default).
     #[default]
@@ -53,6 +53,30 @@ impl Default for ImportanceConfig {
             max_iterations: 5_000,
             mode: ImportanceMode::DataAndSchema,
         }
+    }
+}
+
+// Configurations key memoized artifacts and cached results, so equality
+// and hashing must be total and bit-stable. Comparing the floats by bit
+// pattern gives exactly that: two configs hash alike iff they serialize
+// alike (NaN configs are degenerate but still consistent).
+impl PartialEq for ImportanceConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.p.to_bits() == other.p.to_bits()
+            && self.epsilon.to_bits() == other.epsilon.to_bits()
+            && self.max_iterations == other.max_iterations
+            && self.mode == other.mode
+    }
+}
+
+impl Eq for ImportanceConfig {}
+
+impl std::hash::Hash for ImportanceConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.p.to_bits().hash(state);
+        self.epsilon.to_bits().hash(state);
+        self.max_iterations.hash(state);
+        self.mode.hash(state);
     }
 }
 

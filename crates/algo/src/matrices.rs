@@ -54,8 +54,8 @@ impl PairMatrices {
                         let res = explore_from(src, stats, config);
                         trunc |= res.truncated;
                         aff_row.copy_from_slice(&res.best_affinity);
-                        for b in 0..n {
-                            cov_row[b] =
+                        for (b, slot) in cov_row.iter_mut().enumerate() {
+                            *slot =
                                 stats.card(ElementId(b as u32)) * res.best_cov_product[b];
                         }
                     }

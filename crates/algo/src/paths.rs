@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// example (`A(b→o) ≈ 1.0` for a direct edge with `RC(b→o) = 1`) is only
 /// consistent with counting *edges*. We follow the worked example by
 /// default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PathLength {
     /// `n_i` = number of edges (matches the paper's worked example).
     #[default]
@@ -36,7 +36,7 @@ pub enum PathLength {
 }
 
 /// Configuration for path enumeration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PathConfig {
     /// Maximum number of edges on an enumerated path. Longer paths carry a
     /// `1/n` penalty and per-edge products ≤ 1 in the common case, so they
@@ -214,7 +214,7 @@ mod tests {
         let g = builder.build().unwrap();
         // card(o)=100, card(b)=200 (2 per o), card(c_i)=100 (1 per o).
         let mut cards = vec![100u64, 200];
-        cards.extend(std::iter::repeat(100).take(10));
+        cards.extend(std::iter::repeat_n(100, 10));
         let mut links = vec![LinkCount { from: g.root(), to: b, count: 200 }];
         for &c in &others {
             links.push(LinkCount { from: g.root(), to: c, count: 100 });

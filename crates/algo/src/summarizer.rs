@@ -53,7 +53,11 @@ impl std::str::FromStr for Algorithm {
 }
 
 /// Combined configuration for all algorithm stages.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Implements `Hash + Eq` (floats compared by bit pattern) so services can
+/// key memoized artifacts and cached results by the configuration itself
+/// rather than a serialized form.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SummarizerConfig {
     /// Importance iteration parameters (Formula 1).
     pub importance: ImportanceConfig,
@@ -342,6 +346,22 @@ mod tests {
         let summary = sum.summarize_selection(&[person]).unwrap();
         summary.validate(&g).unwrap();
         assert_eq!(summary.size(), 1);
+    }
+
+    #[test]
+    fn config_is_a_stable_map_key() {
+        use std::collections::HashMap;
+        let base = SummarizerConfig::default();
+        let mut map = HashMap::new();
+        map.insert(base.clone(), 1);
+        // A clone is the same key; a changed float is a different one.
+        assert_eq!(map.get(&SummarizerConfig::default()), Some(&1));
+        let mut tweaked = base.clone();
+        tweaked.importance.p = 0.75;
+        assert_ne!(base, tweaked);
+        assert_eq!(map.get(&tweaked), None);
+        map.insert(tweaked.clone(), 2);
+        assert_eq!(map.len(), 2);
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl EntityView {
         }
         let mut links: Vec<(usize, usize, f64)> =
             links.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-        links.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        links.sort_by_key(|x| (x.0, x.1));
         let strength_bonus = entities
             .iter()
             .map(|&e| {

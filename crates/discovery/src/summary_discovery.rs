@@ -183,10 +183,15 @@ impl SummaryTree {
             // Children were processed already (reverse BFS order).
             let kids = children[n].clone();
             for c in kids {
-                for i in 0..ne {
-                    if cover[c][i] {
-                        cover[n][i] = true;
-                    }
+                let (src, dst) = if c < n {
+                    let (lo, hi) = cover.split_at_mut(n);
+                    (&lo[c], &mut hi[0])
+                } else {
+                    let (lo, hi) = cover.split_at_mut(c);
+                    (&hi[0], &mut lo[n])
+                };
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d |= s;
                 }
             }
         }
@@ -275,7 +280,7 @@ pub(crate) fn explore_group(
     let mut roots: Vec<ElementId> = members
         .iter()
         .copied()
-        .filter(|&m| graph.parent(m).map_or(true, |p| !in_group[p.index()]))
+        .filter(|&m| graph.parent(m).is_none_or(|p| !in_group[p.index()]))
         .collect();
     roots.sort_unstable();
 

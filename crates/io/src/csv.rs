@@ -20,6 +20,10 @@ use schema_summary_instance::relational::{ForeignKey, RelationalInstance, Row, T
 use schema_summary_instance::DataTree;
 use std::collections::HashMap;
 
+/// One table's first-pass parse: the table element, its raw row cells
+/// (`None` = NULL), and its columns in header order.
+type ParsedTable = (ElementId, Vec<Vec<Option<String>>>, Vec<ElementId>);
+
 /// Load CSV dumps (`(table label, csv text)` pairs) into a data tree over
 /// `graph`.
 pub fn load_csv_instance(
@@ -42,7 +46,7 @@ pub fn load_csv_instance(
     };
 
     // First pass: rows and keys (so forward foreign keys resolve).
-    let mut parsed: Vec<(ElementId, Vec<Vec<Option<String>>>, Vec<ElementId>)> = Vec::new();
+    let mut parsed: Vec<ParsedTable> = Vec::new();
     for &(label, text) in inputs {
         let table = graph
             .find_unique(label)

@@ -144,11 +144,10 @@ fn process_attrs(
             })?;
         builder.add_node(node, attr_el);
         match graph.ty(attr_el).atomic() {
-            Some(AtomicType::Id) => {
-                if ids.insert(value.clone(), node).is_some() {
+            Some(AtomicType::Id)
+                if ids.insert(value.clone(), node).is_some() => {
                     return Err(ParseError::new(line, format!("duplicate id '{value}'")));
                 }
-            }
             Some(AtomicType::IdRef) => {
                 // Whitespace-separated IDREFS are decomposed.
                 for key in value.split_whitespace() {

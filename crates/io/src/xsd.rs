@@ -202,7 +202,7 @@ fn parse_model_group(
                     let child_name = attr(&attrs, "name")
                         .ok_or_else(|| ParseError::new(reader.line, "element without name"))?;
                     let multi = attr(&attrs, "maxOccurs")
-                        .map(|m| m == "unbounded" || m.parse::<u64>().map_or(false, |v| v > 1))
+                        .map(|m| m == "unbounded" || m.parse::<u64>().is_ok_and(|v| v > 1))
                         .unwrap_or(false);
                     let base = match attr(&attrs, "type") {
                         Some(t) => SchemaType::Simple(atomic_of(&t)),

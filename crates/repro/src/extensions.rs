@@ -33,7 +33,7 @@ pub fn multilevel() {
     let flat5 = s.summarize(5, Algorithm::Balance).expect("flat 5");
     let flat15 = s.summarize(15, Algorithm::Balance).expect("flat 15");
     let avg = |f: &dyn Fn(&schema_summary_discovery::QueryIntention) -> usize| -> f64 {
-        d.queries.iter().map(|q| f(q)).sum::<usize>() as f64 / d.queries.len() as f64
+        d.queries.iter().map(f).sum::<usize>() as f64 / d.queries.len() as f64
     };
     let c5 = avg(&|q| summary_cost(&d.graph, &flat5, q, CostModel::SiblingScan).cost);
     let c15 = avg(&|q| summary_cost(&d.graph, &flat15, q, CostModel::SiblingScan).cost);

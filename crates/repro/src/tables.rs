@@ -108,8 +108,8 @@ pub fn table2() {
             .collect();
         for user in 0..3 {
             print!("{:<22}", format!("User {} vs. Auto.", user + 1));
-            for (i, _) in experts::EXPERT_SIZES.iter().enumerate() {
-                print!(" {:>9.0}%", agreement(&expert_sets[i][user], &autos[i]) * 100.0);
+            for (experts_at_size, auto) in expert_sets.iter().zip(&autos) {
+                print!(" {:>9.0}%", agreement(&experts_at_size[user], auto) * 100.0);
             }
             println!();
         }
@@ -290,11 +290,8 @@ pub fn table5() {
             format!("{} vs. {}", versions[a].name(), versions[b].name()),
             change
         );
-        for i in 0..experts::EXPERT_SIZES.len() {
-            print!(
-                " {:>7.0}%",
-                agreement(&selections[a][i], &selections[b][i]) * 100.0
-            );
+        for (sel_a, sel_b) in selections[a].iter().zip(&selections[b]) {
+            print!(" {:>7.0}%", agreement(sel_a, sel_b) * 100.0);
         }
         println!();
     }

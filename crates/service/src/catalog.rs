@@ -76,9 +76,8 @@ pub struct CatalogEntry {
     fingerprint: SchemaFingerprint,
     graph: Arc<SchemaGraph>,
     stats: Arc<SchemaStats>,
-    /// Artifacts keyed by the canonical JSON of the summarizer
-    /// configuration that produced them.
-    memo: Mutex<HashMap<String, Arc<Artifacts>>>,
+    /// Artifacts keyed by the summarizer configuration that produced them.
+    memo: Mutex<HashMap<SummarizerConfig, Arc<Artifacts>>>,
 }
 
 impl CatalogEntry {
@@ -100,9 +99,8 @@ impl CatalogEntry {
     /// Shared artifacts for `config`, creating the (lazy) holder on first
     /// request for that configuration.
     pub fn artifacts(&self, config: &SummarizerConfig) -> Arc<Artifacts> {
-        let key = serde_json::to_string(config).expect("config serializes");
         let mut memo = self.memo.lock().expect("catalog memo poisoned");
-        memo.entry(key)
+        memo.entry(config.clone())
             .or_insert_with(|| {
                 Arc::new(Artifacts::new(
                     Arc::clone(&self.graph),

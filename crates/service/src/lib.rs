@@ -20,7 +20,14 @@
 //!   counters;
 //! * invalidation consumes [`SchemaDelta`](schema_summary_core::SchemaDelta)s
 //!   to evict exactly the affected fingerprint instead of flushing the
-//!   world.
+//!   world;
+//! * cold computations are deduplicated per key (single-flight): N
+//!   threads missing on the same key run the algorithm exactly once;
+//! * [`SummaryServer`] fronts the service over TCP — line-delimited JSON
+//!   with request pipelining, a bounded worker queue that sheds load with
+//!   structured `overloaded` errors, per-request timeouts, a connection
+//!   cap, and graceful shutdown (standard library only, no async
+//!   runtime).
 //!
 //! # Example
 //!
@@ -50,9 +57,12 @@
 
 pub mod catalog;
 mod lru;
+mod pool;
+pub mod server;
 pub mod service;
 
 pub use catalog::{Artifacts, CatalogEntry, SchemaCatalog};
+pub use server::{ServerConfig, ServerReply, ServerStats, SummaryServer, WireError};
 pub use service::{
     CacheStats, ServedSummary, ServiceConfig, ServiceError, SummaryRequest, SummaryResult,
     SummaryService,

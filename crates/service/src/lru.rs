@@ -15,10 +15,19 @@ use std::sync::Mutex;
 const NIL: usize = usize::MAX;
 
 struct Slot<K, V> {
-    key: K,
-    value: V,
+    /// The live entry, or `None` for a slot on the free list. Eviction and
+    /// `retain` take the entry out immediately — a freed slot must not keep
+    /// its old key/value alive until reuse (a cached `Arc<SummaryResult>`
+    /// could otherwise stay resident indefinitely).
+    entry: Option<(K, V)>,
     prev: usize,
     next: usize,
+}
+
+impl<K, V> Slot<K, V> {
+    fn value(&self) -> &V {
+        &self.entry.as_ref().expect("live slot has an entry").1
+    }
 }
 
 /// One LRU shard: a capacity-bounded map with recency eviction.
@@ -75,14 +84,22 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
         let &i = self.map.get(key)?;
         self.unlink(i);
         self.push_front(i);
-        Some(self.slots[i].value.clone())
+        Some(self.slots[i].value().clone())
+    }
+
+    /// Unlink slot `i`, drop its entry, and return it to the free list.
+    fn release(&mut self, i: usize) {
+        self.unlink(i);
+        let (key, _value) = self.slots[i].entry.take().expect("releasing a live slot");
+        self.map.remove(&key);
+        self.free.push(i);
     }
 
     /// Insert `key`, returning how many entries were evicted (0 or 1).
     /// Re-inserting an existing key refreshes its value and recency.
     fn insert(&mut self, key: K, value: V) -> usize {
         if let Some(&i) = self.map.get(&key) {
-            self.slots[i].value = value;
+            self.slots[i].entry = Some((key, value));
             self.unlink(i);
             self.push_front(i);
             return 0;
@@ -90,21 +107,17 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
         let mut evicted = 0;
         if self.map.len() >= self.capacity {
             let lru = self.tail;
-            self.unlink(lru);
-            self.map.remove(&self.slots[lru].key);
-            self.free.push(lru);
+            self.release(lru);
             evicted = 1;
         }
         let i = match self.free.pop() {
             Some(i) => {
-                self.slots[i].key = key.clone();
-                self.slots[i].value = value;
+                self.slots[i].entry = Some((key.clone(), value));
                 i
             }
             None => {
                 self.slots.push(Slot {
-                    key: key.clone(),
-                    value,
+                    entry: Some((key.clone(), value)),
                     prev: NIL,
                     next: NIL,
                 });
@@ -126,9 +139,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
             .map(|(_, &i)| i)
             .collect();
         for i in doomed.iter().copied() {
-            self.unlink(i);
-            self.map.remove(&self.slots[i].key);
-            self.free.push(i);
+            self.release(i);
         }
         doomed.len()
     }
@@ -238,6 +249,43 @@ mod tests {
         assert_eq!(c.len(), 5);
         assert_eq!(c.get(&3), None);
         assert_eq!(c.get(&4), Some(4));
+    }
+
+    #[test]
+    fn eviction_drops_the_value_immediately() {
+        use std::sync::Arc;
+        let c: ShardedLru<u32, Arc<String>> = ShardedLru::new(1, 1);
+        let first = Arc::new("first".to_string());
+        c.insert(1, Arc::clone(&first));
+        assert_eq!(Arc::strong_count(&first), 2);
+        // Capacity 1: inserting a second key evicts the first. The slot is
+        // freed but not yet reused — the evicted Arc must still be dropped.
+        assert_eq!(c.insert(2, Arc::new("second".to_string())), 1);
+        assert_eq!(
+            Arc::strong_count(&first),
+            1,
+            "evicted value retained by a free slot"
+        );
+    }
+
+    #[test]
+    fn retain_drops_the_values_immediately() {
+        use std::sync::Arc;
+        let c: ShardedLru<u32, Arc<String>> = ShardedLru::new(8, 2);
+        let values: Vec<Arc<String>> = (0..6).map(|i| Arc::new(format!("v{i}"))).collect();
+        for (i, v) in values.iter().enumerate() {
+            c.insert(i as u32, Arc::clone(v));
+        }
+        let removed = c.retain(|&k| k < 2);
+        assert_eq!(removed, 4);
+        for (i, v) in values.iter().enumerate() {
+            let expected = if i < 2 { 2 } else { 1 };
+            assert_eq!(
+                Arc::strong_count(v),
+                expected,
+                "key {i}: retained-out value must be dropped"
+            );
+        }
     }
 
     #[test]

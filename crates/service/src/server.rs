@@ -1,0 +1,409 @@
+//! TCP front-end for [`SummaryService`]: line-delimited JSON over
+//! `std::net` with a fixed worker pool, bounded admission, per-request
+//! timeouts, a connection cap, and graceful shutdown.
+//!
+//! # Protocol
+//!
+//! One [`SummaryRequest`] JSON object per line in, one [`ServerReply`]
+//! JSON object per line out, in request order. Clients may pipeline:
+//! write any number of request lines without waiting; replies come back
+//! in the same order, each echoing a 1-based per-connection `seq`. Blank
+//! lines and lines starting with `#` are ignored (same as the JSONL batch
+//! driver).
+//!
+//! # Backpressure and failure semantics
+//!
+//! * Requests are executed by a fixed pool of workers behind a **bounded**
+//!   queue; when the queue is full the request is answered immediately
+//!   with an `overloaded` error instead of buffering without bound.
+//! * Connections beyond [`ServerConfig::max_connections`] receive one
+//!   `overloaded` reply and are closed.
+//! * A request that does not complete within
+//!   [`ServerConfig::request_timeout`] is answered with a `timeout` error;
+//!   the computation keeps running on its worker and warms the cache for
+//!   the next attempt.
+//! * [`SummaryServer::shutdown`] stops accepting, lets every connection
+//!   finish the requests it has already read, drains the worker queue,
+//!   and joins all threads.
+
+use crate::pool::WorkerPool;
+use crate::service::{ServiceError, SummaryRequest, SummaryResult, SummaryService};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked reads wake up to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Tuning knobs for [`SummaryServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing summarize requests.
+    pub workers: usize,
+    /// Bound on requests waiting for a worker; beyond it requests are shed
+    /// with an `overloaded` error.
+    pub queue_capacity: usize,
+    /// Concurrent connection cap; further connections get one
+    /// `overloaded` reply and are closed.
+    pub max_connections: usize,
+    /// Per-request wall-clock budget; slower answers become `timeout`
+    /// errors.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_connections: 64,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Point-in-time server counters, alongside
+/// [`CacheStats`](crate::CacheStats) for the cache underneath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// TCP connections accepted (including ones shed by the connection
+    /// cap).
+    pub accepted: u64,
+    /// Requests answered, successfully or with a request-level error.
+    pub served: u64,
+    /// Requests and connections shed by the queue bound or connection cap.
+    pub shed: u64,
+    /// Requests that exceeded the per-request timeout.
+    pub timed_out: u64,
+    /// Connections currently open.
+    pub active_connections: usize,
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accepted, {} served, {} shed, {} timed out, {} active",
+            self.accepted, self.served, self.shed, self.timed_out, self.active_connections
+        )
+    }
+}
+
+/// One response line. Exactly one of `ok` / `error` is set. `seq` echoes
+/// the 1-based position of the request on its connection so pipelined
+/// clients can correlate. Cache disposition is deliberately *not* on the
+/// wire: concurrent clients must receive byte-identical answers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerReply {
+    /// 1-based request number within the connection (0 on connection-level
+    /// errors such as the connection cap, which precede any request).
+    pub seq: u64,
+    /// The computed summary, when the request succeeded.
+    pub ok: Option<SummaryResult>,
+    /// The structured error, when it did not.
+    pub error: Option<WireError>,
+}
+
+impl ServerReply {
+    fn ok(seq: u64, result: &SummaryResult) -> Self {
+        ServerReply {
+            seq,
+            ok: Some(result.clone()),
+            error: None,
+        }
+    }
+
+    fn error(seq: u64, kind: &str, message: impl Into<String>) -> Self {
+        ServerReply {
+            seq,
+            ok: None,
+            error: Some(WireError {
+                kind: kind.to_string(),
+                message: message.into(),
+            }),
+        }
+    }
+}
+
+/// A structured request failure: a stable machine-readable `kind`
+/// (`overloaded`, `timeout`, `malformed`, `bad_request`, `unknown_schema`,
+/// `unknown_fingerprint`, `algo`, `internal`) plus a human-readable
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable error class.
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn service_error_kind(e: &ServiceError) -> &'static str {
+    match e {
+        ServiceError::UnknownSchema(_) => "unknown_schema",
+        ServiceError::UnknownFingerprint(_) => "unknown_fingerprint",
+        ServiceError::BadRequest(_) => "bad_request",
+        ServiceError::Algo(_) => "algo",
+    }
+}
+
+struct Inner {
+    service: Arc<SummaryService>,
+    config: ServerConfig,
+    pool: WorkerPool,
+    stopping: AtomicBool,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    active: AtomicUsize,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    /// Parse and answer one request line (already non-empty, non-comment).
+    fn process_line(&self, seq: u64, line: &str) -> ServerReply {
+        let request: SummaryRequest = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                return ServerReply::error(seq, "malformed", format!("{e}"));
+            }
+        };
+        let (tx, rx) = mpsc::channel();
+        let service = Arc::clone(&self.service);
+        let admitted = self.pool.try_execute(move || {
+            let _ = tx.send(service.handle(&request));
+        });
+        if admitted.is_err() {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return ServerReply::error(seq, "overloaded", "request queue is full");
+        }
+        match rx.recv_timeout(self.config.request_timeout) {
+            Ok(Ok(served)) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                ServerReply::ok(seq, &served.result)
+            }
+            Ok(Err(e)) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                ServerReply::error(seq, service_error_kind(&e), format!("{e}"))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.timed_out.fetch_add(1, Ordering::Relaxed);
+                ServerReply::error(
+                    seq,
+                    "timeout",
+                    format!("request exceeded {:?}", self.config.request_timeout),
+                )
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                ServerReply::error(seq, "internal", "worker dropped the request")
+            }
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &ServerReply) -> std::io::Result<()> {
+    let line = serde_json::to_string(reply).expect("reply serializes");
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Serve one connection: split the byte stream on `\n`, answer each line
+/// in order. Reads poll with a short timeout so the thread notices
+/// shutdown; lines already received are always answered before exit.
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut seq = 0u64;
+    loop {
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            seq += 1;
+            let reply = inner.process_line(seq, line);
+            if write_reply(&mut stream, &reply).is_err() {
+                return;
+            }
+        }
+        if inner.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    for incoming in listener.incoming() {
+        if inner.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let mut stream = match incoming {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        inner.accepted.fetch_add(1, Ordering::Relaxed);
+        // Only this thread increments `active`, so check-then-increment
+        // cannot overshoot the cap.
+        if inner.active.load(Ordering::Acquire) >= inner.config.max_connections {
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_reply(
+                &mut stream,
+                &ServerReply::error(0, "overloaded", "connection limit reached"),
+            );
+            continue;
+        }
+        inner.active.fetch_add(1, Ordering::AcqRel);
+        let worker_inner = Arc::clone(inner);
+        let handle = std::thread::spawn(move || {
+            handle_connection(&worker_inner, stream);
+            worker_inner.active.fetch_sub(1, Ordering::AcqRel);
+        });
+        let mut connections = inner.connections.lock().expect("connections poisoned");
+        // Reap finished threads so the handle list tracks live
+        // connections instead of growing with connection count.
+        let mut i = 0;
+        while i < connections.len() {
+            if connections[i].is_finished() {
+                let done = connections.swap_remove(i);
+                let _ = done.join();
+            } else {
+                i += 1;
+            }
+        }
+        connections.push(handle);
+    }
+}
+
+/// A running TCP front-end over a shared [`SummaryService`].
+///
+/// Bind with [`SummaryServer::bind`], connect line-delimited JSON clients
+/// to [`SummaryServer::local_addr`], and stop with
+/// [`SummaryServer::shutdown`] (or drop the server, which shuts down too).
+pub struct SummaryServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SummaryServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections for `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<SummaryService>,
+        config: ServerConfig,
+    ) -> std::io::Result<SummaryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            service,
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            config,
+            stopping: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            connections: Mutex::new(Vec::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread =
+            std::thread::spawn(move || accept_loop(&accept_inner, listener));
+        Ok(SummaryServer {
+            inner,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<SummaryService> {
+        &self.inner.service
+    }
+
+    /// Block on the accept loop (which runs until shutdown or a listener
+    /// failure). Used by the CLI's socket mode; connections keep being
+    /// served while this blocks.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, answer every request already
+    /// read from open connections, drain the worker queue, join all
+    /// threads. Returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_in_place();
+        self.inner.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        // Unblock `accept` with a throwaway connection; harmless if the
+        // listener already failed.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let connections: Vec<JoinHandle<()>> = self
+            .inner
+            .connections
+            .lock()
+            .expect("connections poisoned")
+            .drain(..)
+            .collect();
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.inner.pool.shutdown();
+    }
+}
+
+impl Drop for SummaryServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}

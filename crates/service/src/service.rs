@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Service construction parameters.
 #[derive(Debug, Clone)]
@@ -115,9 +115,11 @@ impl From<SchemaError> for ServiceError {
 /// Point-in-time cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Requests answered from the result cache.
+    /// Requests answered without running an algorithm: result-cache hits
+    /// plus single-flight followers served by a concurrent leader.
     pub hits: u64,
-    /// Requests that ran an algorithm.
+    /// Requests that ran an algorithm. Single-flight guarantees at most
+    /// one miss per distinct in-flight key, however many threads race.
     pub misses: u64,
     /// Entries displaced by LRU capacity pressure.
     pub evictions: u64,
@@ -146,8 +148,72 @@ struct CacheKey {
     fingerprint: SchemaFingerprint,
     algorithm: Algorithm,
     k: usize,
-    /// Canonical JSON of the summarizer configuration.
-    options: String,
+    /// The summarizer configuration itself (`SummarizerConfig` is
+    /// `Hash + Eq` with bit-stable float comparison), so the key survives
+    /// float-formatting and field-order changes and costs no allocation
+    /// beyond the clone.
+    options: SummarizerConfig,
+}
+
+/// One in-flight cold computation (single-flight): the first thread to
+/// miss on a key becomes the leader and computes; followers block here
+/// until the leader publishes, then serve the shared result without ever
+/// running the algorithm themselves.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    /// `Some` carries the leader's answer; `None` means the leader failed
+    /// (or panicked) and followers must compute for themselves.
+    Done(Option<Arc<SummaryResult>>),
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Option<Arc<SummaryResult>> {
+        let guard = self.state.lock().expect("flight poisoned");
+        let guard = self
+            .cv
+            .wait_while(guard, |s| matches!(s, FlightState::Pending))
+            .expect("flight poisoned");
+        match &*guard {
+            FlightState::Done(result) => result.clone(),
+            FlightState::Pending => unreachable!("wait_while admits only Done"),
+        }
+    }
+}
+
+/// Publishes the leader's outcome on drop — including during a panic
+/// unwind — so followers are never stranded on a vanished leader. The
+/// in-flight entry is removed *after* the cache insert (done by the
+/// computation itself), so late arrivals find the cached result.
+struct FlightPublisher<'a> {
+    service: &'a SummaryService,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    result: Option<Arc<SummaryResult>>,
+}
+
+impl Drop for FlightPublisher<'_> {
+    fn drop(&mut self) {
+        self.service
+            .in_flight
+            .lock()
+            .expect("in-flight map poisoned")
+            .remove(&self.key);
+        *self.flight.state.lock().expect("flight poisoned") =
+            FlightState::Done(self.result.take());
+        self.flight.cv.notify_all();
+    }
 }
 
 /// A thread-safe, embeddable summary-serving layer.
@@ -161,6 +227,8 @@ pub struct SummaryService {
     catalog: SchemaCatalog,
     names: RwLock<HashMap<String, SchemaFingerprint>>,
     cache: ShardedLru<CacheKey, Arc<SummaryResult>>,
+    /// Cold computations currently running, for cache-miss single-flight.
+    in_flight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -182,6 +250,7 @@ impl SummaryService {
             catalog: SchemaCatalog::new(),
             names: RwLock::new(HashMap::new()),
             cache,
+            in_flight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -240,6 +309,11 @@ impl SummaryService {
 
     /// Answer a summarize request with an explicit algorithm
     /// configuration; results are cached per configuration.
+    ///
+    /// Cold computations are deduplicated per key (single-flight): when N
+    /// threads miss on the same key concurrently, exactly one runs the
+    /// algorithm; the others block until it publishes and are counted as
+    /// hits (they were served without computing).
     pub fn summarize_with(
         &self,
         fingerprint: SchemaFingerprint,
@@ -251,16 +325,64 @@ impl SummaryService {
             fingerprint,
             algorithm,
             k,
-            options: serde_json::to_string(config).expect("config serializes"),
+            options: config.clone(),
         };
-        if let Some(result) = self.cache.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(ServedSummary {
-                result,
-                from_cache: true,
-            });
+        loop {
+            if let Some(result) = self.cache.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(ServedSummary {
+                    result,
+                    from_cache: true,
+                });
+            }
+            let (flight, leader) = {
+                let mut in_flight = self.in_flight.lock().expect("in-flight map poisoned");
+                match in_flight.get(&key) {
+                    Some(flight) => (Arc::clone(flight), false),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        in_flight.insert(key.clone(), Arc::clone(&flight));
+                        (Arc::clone(&flight), true)
+                    }
+                }
+            };
+            if leader {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let mut publisher = FlightPublisher {
+                    service: self,
+                    key: key.clone(),
+                    flight,
+                    result: None,
+                };
+                let served = self.compute_and_cache(&key)?;
+                publisher.result = Some(Arc::clone(&served.result));
+                return Ok(served);
+            }
+            match flight.wait() {
+                Some(result) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(ServedSummary {
+                        result,
+                        from_cache: true,
+                    });
+                }
+                // The leader failed; retry from the top (most likely
+                // becoming the new leader and reporting the same error).
+                None => continue,
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Run the selection algorithm for `key` and insert the answer into
+    /// the result cache. Only ever called by a single-flight leader.
+    fn compute_and_cache(&self, key: &CacheKey) -> Result<ServedSummary, ServiceError> {
+        let CacheKey {
+            fingerprint,
+            algorithm,
+            k,
+            options: config,
+        } = key;
+        let (fingerprint, algorithm, k) = (*fingerprint, *algorithm, *k);
         let entry = self
             .catalog
             .get(fingerprint)
@@ -296,7 +418,7 @@ impl SummaryService {
             importance,
             coverage,
         });
-        let evicted = self.cache.insert(key, Arc::clone(&result));
+        let evicted = self.cache.insert(key.clone(), Arc::clone(&result));
         self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
         Ok(ServedSummary {
             result,

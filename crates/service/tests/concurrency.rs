@@ -87,15 +87,44 @@ fn concurrent_mixed_requests_match_single_threaded() {
     // Every request is either a hit or a miss — nothing lost, nothing
     // double-counted.
     assert_eq!(stats.hits + stats.misses, total);
-    // Each distinct key misses at least once; racing threads may compute a
-    // key concurrently, but never more often than once per thread.
-    assert!(stats.misses >= requests.len() as u64);
-    assert!(stats.misses <= (requests.len() * THREADS) as u64);
+    // Single-flight: each distinct key is computed exactly once, no
+    // matter how many threads race on it cold.
+    assert_eq!(stats.misses, requests.len() as u64);
     // Capacity (default 1024) is far above the working set: no evictions,
     // and every distinct key stays resident.
     assert_eq!(stats.evictions, 0);
     assert_eq!(stats.entries, requests.len());
     assert_eq!(stats.schemas, 2);
+}
+
+#[test]
+fn identical_cold_requests_are_computed_exactly_once() {
+    // N threads released simultaneously onto the same cold key: the
+    // single-flight leader computes, everyone else waits and shares the
+    // answer — exactly one miss, N-1 hits, one shared allocation.
+    let (service, fps) = build_service();
+    let service = Arc::new(service);
+    let fp = fps[0];
+    const THREADS: usize = 8;
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.summarize(fp, Algorithm::Balance, 4).unwrap().result
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &results[1..] {
+        assert!(Arc::ptr_eq(&results[0], r), "all threads share one result");
+    }
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, 1, "stampede: cold key computed more than once");
+    assert_eq!(stats.hits, (THREADS - 1) as u64);
+    assert_eq!(stats.entries, 1);
 }
 
 #[test]

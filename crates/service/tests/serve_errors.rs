@@ -1,0 +1,108 @@
+//! Request-resolution error paths of [`SummaryService::handle`]: unknown
+//! schema names, the ambiguous default when several schemas are
+//! registered, malformed request payloads, and out-of-range `k`.
+
+use schema_summary_datasets::{tpch, xmark};
+use schema_summary_service::{ServiceError, SummaryRequest, SummaryService};
+use std::sync::Arc;
+
+fn service_with(names: &[&str]) -> SummaryService {
+    let service = SummaryService::default();
+    for &name in names {
+        match name {
+            "xmark" => {
+                let (g, s, _) = xmark::schema(1.0);
+                service.register_named(name, Arc::new(g), Arc::new(s));
+            }
+            "tpch" => {
+                let (g, s, _) = tpch::schema(1.0);
+                service.register_named(name, Arc::new(g), Arc::new(s));
+            }
+            other => panic!("unknown fixture '{other}'"),
+        }
+    }
+    service
+}
+
+#[test]
+fn unknown_schema_name_is_reported_with_the_name() {
+    let service = service_with(&["xmark"]);
+    let err = service
+        .handle(&SummaryRequest {
+            schema: Some("nope".into()),
+            ..Default::default()
+        })
+        .unwrap_err();
+    match err {
+        ServiceError::UnknownSchema(name) => assert_eq!(name, "nope"),
+        other => panic!("expected UnknownSchema, got {other}"),
+    }
+}
+
+#[test]
+fn defaulting_is_ambiguous_with_two_schemas_registered() {
+    let service = service_with(&["xmark", "tpch"]);
+    let err = service.handle(&SummaryRequest::default()).unwrap_err();
+    match err {
+        ServiceError::BadRequest(msg) => {
+            assert!(msg.contains("2 are registered"), "message: {msg}")
+        }
+        other => panic!("expected BadRequest, got {other}"),
+    }
+    // Naming either schema resolves the ambiguity.
+    for name in ["xmark", "tpch"] {
+        service
+            .handle(&SummaryRequest {
+                schema: Some(name.into()),
+                k: Some(2),
+                ..Default::default()
+            })
+            .unwrap_or_else(|e| panic!("named request '{name}' must succeed: {e}"));
+    }
+}
+
+#[test]
+fn defaulting_with_no_schema_is_a_bad_request() {
+    let service = SummaryService::default();
+    assert!(matches!(
+        service.handle(&SummaryRequest::default()),
+        Err(ServiceError::BadRequest(_))
+    ));
+}
+
+#[test]
+fn zero_and_oversized_k_are_algorithm_errors_not_panics() {
+    let service = service_with(&["xmark"]);
+    for k in [0, usize::MAX, 10_000] {
+        let err = service
+            .handle(&SummaryRequest {
+                schema: Some("xmark".into()),
+                k: Some(k),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Algo(_)), "k={k}: {err}");
+    }
+    // Errors are not cached: a sane request right after still works.
+    let served = service
+        .handle(&SummaryRequest {
+            schema: Some("xmark".into()),
+            k: Some(3),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(served.result.k, 3);
+    assert_eq!(service.cache_stats().entries, 1);
+}
+
+#[test]
+fn malformed_request_lines_fail_to_parse_but_valid_ones_follow() {
+    // The driver protocol: each line parses independently, so one bad
+    // line cannot poison the stream.
+    let bad = serde_json::from_str::<SummaryRequest>("{not json");
+    assert!(bad.is_err());
+    let good: SummaryRequest =
+        serde_json::from_str("{\"schema\":\"xmark\",\"algorithm\":\"balance\",\"k\":2}").unwrap();
+    let service = service_with(&["xmark"]);
+    assert!(service.handle(&good).is_ok());
+}

@@ -1,0 +1,302 @@
+//! Loopback integration tests for the TCP front-end: concurrent
+//! pipelined clients, load shedding, per-request timeouts, the connection
+//! cap, and graceful shutdown.
+
+use schema_summary_datasets::{tpch, xmark};
+use schema_summary_service::{
+    ServerConfig, ServerReply, SummaryRequest, SummaryService, SummaryServer,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_service() -> Arc<SummaryService> {
+    let service = SummaryService::default();
+    let (xg, xs, _) = xmark::schema(1.0);
+    let (tg, ts, _) = tpch::schema(1.0);
+    service.register_named("xmark", Arc::new(xg), Arc::new(xs));
+    service.register_named("tpch", Arc::new(tg), Arc::new(ts));
+    Arc::new(service)
+}
+
+/// The pipelined workload every client sends, one JSON object per line.
+fn request_lines() -> Vec<String> {
+    let mut lines = vec![
+        "# exploration session".to_string(),
+        String::new(), // blank lines are skipped
+    ];
+    for k in 1..=4 {
+        lines.push(format!("{{\"schema\":\"xmark\",\"algorithm\":\"balance\",\"k\":{k}}}"));
+    }
+    lines.push("{\"schema\":\"xmark\",\"algorithm\":\"importance\",\"k\":3}".to_string());
+    lines.push("{\"schema\":\"tpch\",\"algorithm\":\"coverage\",\"k\":3}".to_string());
+    lines.push("{\"schema\":\"tpch\",\"k\":2}".to_string());
+    lines
+}
+
+/// What a single-threaded service answers for `request_lines()`, in the
+/// exact bytes the server puts on the wire.
+fn expected_reply_lines() -> Vec<String> {
+    let reference = build_service();
+    let mut seq = 0u64;
+    request_lines()
+        .iter()
+        .filter(|l| !l.trim().is_empty() && !l.trim().starts_with('#'))
+        .map(|line| {
+            let request: SummaryRequest = serde_json::from_str(line).unwrap();
+            let served = reference.handle(&request).unwrap();
+            seq += 1;
+            serde_json::to_string(&ServerReply {
+                seq,
+                ok: Some((*served.result).clone()),
+                error: None,
+            })
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Connect, write every line up front (pipelining), then collect `n`
+/// reply lines.
+fn pipelined_session(addr: std::net::SocketAddr, lines: &[String], n: usize) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let payload = lines.join("\n") + "\n";
+    stream.write_all(payload.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    (0..n)
+        .map(|_| {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_pipelined_clients_match_single_threaded_answers() {
+    let expected = Arc::new(expected_reply_lines());
+    let server = SummaryServer::bind(
+        "127.0.0.1:0",
+        build_service(),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_connections: 32,
+            request_timeout: Duration::from_secs(60),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 10;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let replies = pipelined_session(addr, &request_lines(), expected.len());
+                assert_eq!(
+                    replies, *expected,
+                    "socket replies must be byte-identical to the single-threaded service"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client panicked");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, CLIENTS as u64);
+    assert_eq!(stats.served, (CLIENTS * expected.len()) as u64);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.active_connections, 0);
+}
+
+#[test]
+fn queue_overflow_sheds_with_structured_overloaded_error() {
+    // One worker, queue bound 1: simultaneous cold requests on distinct
+    // keys cannot all be buffered — the excess must be answered with a
+    // structured `overloaded` error, keeping server memory bounded.
+    let server = SummaryServer::bind(
+        "127.0.0.1:0",
+        build_service(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_connections: 64,
+            request_timeout: Duration::from_secs(60),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 16;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                // Distinct k per client: distinct cache keys, so
+                // single-flight cannot collapse the stampede.
+                let line =
+                    format!("{{\"schema\":\"xmark\",\"algorithm\":\"coverage\",\"k\":{}}}", c + 1);
+                let replies = pipelined_session(addr, &[line], 1);
+                let reply: ServerReply = serde_json::from_str(&replies[0]).unwrap();
+                match (&reply.ok, &reply.error) {
+                    (Some(_), None) => false,
+                    (None, Some(err)) => {
+                        assert_eq!(err.kind, "overloaded", "unexpected error: {err:?}");
+                        true
+                    }
+                    other => panic!("reply must be ok xor error, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let shed_replies = handles
+        .into_iter()
+        .map(|h| h.join().expect("client panicked"))
+        .filter(|&was_shed| was_shed)
+        .count();
+
+    let stats = server.shutdown();
+    assert!(
+        shed_replies >= 1 && stats.shed as usize == shed_replies,
+        "16 simultaneous cold requests through a 1-deep queue must shed \
+         (clients saw {shed_replies}, server counted {})",
+        stats.shed
+    );
+    assert_eq!(stats.accepted, CLIENTS as u64);
+}
+
+#[test]
+fn slow_request_trips_the_timeout_and_later_completes_from_cache() {
+    let server = SummaryServer::bind(
+        "127.0.0.1:0",
+        build_service(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_connections: 8,
+            // Far below any cold computation: the first attempt must time
+            // out while the worker keeps computing and warms the cache.
+            request_timeout: Duration::from_millis(1),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let line = "{\"schema\":\"xmark\",\"algorithm\":\"coverage\",\"k\":5}".to_string();
+    let replies = pipelined_session(addr, std::slice::from_ref(&line), 1);
+    let reply: ServerReply = serde_json::from_str(&replies[0]).unwrap();
+    let err = reply.error.expect("cold request must exceed a 1ms budget");
+    assert_eq!(err.kind, "timeout");
+    assert!(reply.ok.is_none());
+    assert!(server.stats().timed_out >= 1);
+
+    // The computation was not abandoned: it finishes on the worker and
+    // lands in the cache, so a retry eventually answers within the same
+    // 1ms budget.
+    let mut served = None;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(50));
+        let replies = pipelined_session(addr, std::slice::from_ref(&line), 1);
+        let reply: ServerReply = serde_json::from_str(&replies[0]).unwrap();
+        if let Some(result) = reply.ok {
+            served = Some(result);
+            break;
+        }
+    }
+    let result = served.expect("timed-out computation must eventually serve from cache");
+    assert_eq!(result.k, 5);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_with_structured_error() {
+    let server = SummaryServer::bind(
+        "127.0.0.1:0",
+        build_service(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            max_connections: 2,
+            request_timeout: Duration::from_secs(10),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Two idle connections occupy the cap (accepted in connect order).
+    let _c1 = TcpStream::connect(addr).unwrap();
+    let _c2 = TcpStream::connect(addr).unwrap();
+    let c3 = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(c3);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply: ServerReply = serde_json::from_str(&line).unwrap();
+    let err = reply.error.expect("third connection must be shed");
+    assert_eq!(err.kind, "overloaded");
+    assert_eq!(reply.seq, 0);
+    // The capped connection is closed after the error line.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF");
+
+    let stats = server.shutdown();
+    assert!(stats.shed >= 1);
+    assert_eq!(stats.active_connections, 0);
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_requests_and_joins() {
+    let server = SummaryServer::bind(
+        "127.0.0.1:0",
+        build_service(),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            max_connections: 8,
+            request_timeout: Duration::from_secs(60),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A client with a slow cold request in flight when shutdown begins.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"{\"schema\":\"xmark\",\"algorithm\":\"coverage\",\"k\":6}\n")
+        .unwrap();
+    stream.flush().unwrap();
+    // Give the connection thread time to read the line; shutdown must
+    // then wait for the answer to go out rather than cutting it off.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply: ServerReply = serde_json::from_str(&line).unwrap();
+    assert!(
+        reply.ok.is_some(),
+        "in-flight request must be answered during graceful shutdown: {line}"
+    );
+
+    let stats = shutdown.join().expect("shutdown panicked");
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.active_connections, 0);
+
+    // The listener is gone: new connections are refused or immediately
+    // closed without service.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            let _ = s.write_all(b"{\"k\":1}\n");
+            let mut r = BufReader::new(s);
+            let mut l = String::new();
+            assert_eq!(r.read_line(&mut l).unwrap_or(0), 0, "no service after shutdown");
+        }
+    }
+}

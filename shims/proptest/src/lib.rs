@@ -514,6 +514,9 @@ macro_rules! __proptest_tests {
             let mut __ok: u32 = 0;
             let mut __rejected: u32 = 0;
             while __ok < __config.cases {
+                // The immediately-called closure gives `prop_assume!` a
+                // `?`-style early exit without a labelled block.
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::std::result::Result<(), $crate::Reject> = (|| {
                     $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
                     $body

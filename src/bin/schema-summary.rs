@@ -9,6 +9,8 @@
 //!                          --query label1,label2,...
 //! schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
 //!                          [--requests FILE] [--cache N]
+//!                          [--listen ADDR [--workers N] [--queue N]
+//!                           [--max-conns N] [--timeout-ms N]]
 //! ```
 //!
 //! Schemas come from an XSD subset or SQL DDL; statistics come from an XML
@@ -17,14 +19,18 @@
 //! Graphviz DOT and JSON; `discover` compares query-discovery costs with
 //! and without the summary; `serve` answers a JSONL request stream from
 //! the caching service layer and reports per-request latency plus cache
-//! statistics.
+//! statistics — or, with `--listen`, serves the same line-delimited JSON
+//! protocol over TCP with a worker pool, bounded-queue load shedding,
+//! per-request timeouts, and a connection cap.
 
 use schema_summary::prelude::*;
 use schema_summary_io::{
     parse_ddl, parse_xml_instance, parse_xsd, schema_to_dot, schema_to_xsd, summary_to_dot,
     summary_to_markdown,
 };
-use schema_summary_service::{ServiceConfig, SummaryRequest, SummaryService};
+use schema_summary_service::{
+    ServerConfig, ServiceConfig, SummaryRequest, SummaryServer, SummaryService,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -85,6 +91,8 @@ USAGE:
                            --query label1,label2,...
   schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
                            [--requests FILE] [--cache N]
+                           [--listen ADDR [--workers N] [--queue N]
+                            [--max-conns N] [--timeout-ms N]]
 
 OPTIONS:
   --xsd FILE        schema from an XML-Schema subset
@@ -102,6 +110,14 @@ OPTIONS:
   --requests FILE   (serve) JSONL request stream, one object per line:
                     {\"algorithm\":\"balance\",\"k\":10}; default stdin
   --cache N         (serve) result-cache capacity (default 1024)
+  --listen ADDR     (serve) serve line-delimited JSON over TCP on ADDR
+                    (e.g. 127.0.0.1:7878) instead of a batch stream
+  --workers N       (serve --listen) worker threads (default 4)
+  --queue N         (serve --listen) pending-request bound; excess requests
+                    get a structured 'overloaded' error (default 64)
+  --max-conns N     (serve --listen) concurrent connection cap (default 64)
+  --timeout-ms N    (serve --listen) per-request wall-clock budget in
+                    milliseconds (default 10000)
 ";
 
 fn parse_opts(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
@@ -304,6 +320,10 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let fingerprint = service.register_named(&name, Arc::clone(&graph), stats);
     println!("serving schema '{name}' (fingerprint {fingerprint}, cache capacity {capacity})");
 
+    if let Some(addr) = opts.get("listen") {
+        return serve_socket(service, addr, opts);
+    }
+
     let input = match opts.get("requests") {
         Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
         None => {
@@ -362,6 +382,47 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
         cache.evictions,
         cache.entries
     );
+    Ok(())
+}
+
+/// Socket mode: front the service with a TCP server speaking the same
+/// line-delimited JSON protocol (one `SummaryRequest` per line in, one
+/// reply per line out, pipelined in order) and block until the process is
+/// killed. Overload is shed with structured `overloaded` errors; slow
+/// requests are answered with `timeout` errors while the computation
+/// finishes and warms the cache.
+fn serve_socket(
+    service: SummaryService,
+    addr: &str,
+    opts: &HashMap<String, String>,
+) -> Result<(), String> {
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        match opts.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid --{key} value '{v}'")),
+        }
+    };
+    let defaults = ServerConfig::default();
+    let timeout_ms = parse_usize("timeout-ms", defaults.request_timeout.as_millis() as usize)?;
+    let config = ServerConfig {
+        workers: parse_usize("workers", defaults.workers)?,
+        queue_capacity: parse_usize("queue", defaults.queue_capacity)?,
+        max_connections: parse_usize("max-conns", defaults.max_connections)?,
+        request_timeout: std::time::Duration::from_millis(timeout_ms as u64),
+    };
+    let server = SummaryServer::bind(addr, Arc::new(service), config.clone())
+        .map_err(|e| format!("{addr}: {e}"))?;
+    println!(
+        "listening on {} ({} workers, queue {}, {} connections max, {}ms timeout)",
+        server.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        config.max_connections,
+        timeout_ms
+    );
+    server.wait();
     Ok(())
 }
 
