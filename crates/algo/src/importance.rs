@@ -127,10 +127,7 @@ impl ImportanceResult {
     /// The root is **excluded**: it is always kept in a summary and never a
     /// candidate representative.
     pub fn ranked(&self, graph: &SchemaGraph) -> Vec<ElementId> {
-        let mut ids: Vec<ElementId> = graph
-            .element_ids()
-            .filter(|&e| e != graph.root())
-            .collect();
+        let mut ids: Vec<ElementId> = graph.element_ids().filter(|&e| e != graph.root()).collect();
         ids.sort_by(|&a, &b| {
             self.scores[b.index()]
                 .partial_cmp(&self.scores[a.index()])
@@ -195,21 +192,18 @@ fn iterate(
 ) -> ImportanceResult {
     let n = graph.len();
     let p = config.p.clamp(0.0, 1.0);
-    // Precompute, for every element j, its outgoing (neighbor, weight)
-    // pairs. Weights per source sum to 1 (or the list is empty for isolated
-    // elements / zero RC mass).
-    let weights: Vec<Vec<(u32, f64)>> = (0..n as u32)
+    // The iteration consumes the statistics' CSR adjacency directly:
+    // W(j → nb) = rc / rc_sum(j) per Formula 1, computed from the flat edge
+    // records instead of materializing a nested weight table. An element
+    // donates only when it has neighbors and positive RC mass; otherwise it
+    // keeps everything (isolated elements retain their mass).
+    let rc_mass: Vec<f64> = (0..n as u32)
         .map(|j| {
             let j = ElementId(j);
-            let s = stats.rc_sum(j);
-            if s <= 0.0 {
-                Vec::new()
+            if stats.edges(j).is_empty() {
+                0.0
             } else {
-                stats
-                    .rc_neighbors(j)
-                    .iter()
-                    .map(|&(nb, rc)| (nb.0, rc / s))
-                    .collect()
+                stats.rc_sum(j)
             }
         })
         .collect();
@@ -223,16 +217,20 @@ fn iterate(
         iterations += 1;
         // Retained share; elements that donate nothing keep everything.
         for i in 0..n {
-            new[i] = if weights[i].is_empty() { cur[i] } else { p * cur[i] };
+            new[i] = if rc_mass[i] <= 0.0 {
+                cur[i]
+            } else {
+                p * cur[i]
+            };
         }
         // Push (1-p) of each donor's mass along its weighted links.
-        for (j, out) in weights.iter().enumerate() {
-            if out.is_empty() {
+        for (j, &mass) in rc_mass.iter().enumerate() {
+            if mass <= 0.0 {
                 continue;
             }
             let share = (1.0 - p) * cur[j];
-            for &(to, w) in out {
-                new[to as usize] += share * w;
+            for edge in stats.edges(ElementId(j as u32)) {
+                new[edge.neighbor.index()] += share * (edge.rc / mass);
             }
         }
         let mut done = true;
@@ -266,12 +264,18 @@ mod tests {
     /// a -> b (structural) with RC(a→b)=2, RC(b→a)=1; cards 10, 20.
     fn two_node() -> (SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("a");
-        let bid = b.add_child(b.root(), "b", SchemaType::set_of_rcd()).unwrap();
+        let bid = b
+            .add_child(b.root(), "b", SchemaType::set_of_rcd())
+            .unwrap();
         let g = b.build().unwrap();
         let s = SchemaStats::from_link_counts(
             &g,
             &[10, 20],
-            &[LinkCount { from: g.root(), to: bid, count: 20 }],
+            &[LinkCount {
+                from: g.root(),
+                to: bid,
+                count: 20,
+            }],
         )
         .unwrap();
         (g, s)
@@ -317,9 +321,12 @@ mod tests {
         let mut b = SchemaGraphBuilder::new("root");
         let hub = b.add_child(b.root(), "hub", SchemaType::rcd()).unwrap();
         for i in 0..4 {
-            b.add_child(hub, format!("leaf{i}"), SchemaType::simple_str()).unwrap();
+            b.add_child(hub, format!("leaf{i}"), SchemaType::simple_str())
+                .unwrap();
         }
-        let lonely = b.add_child(b.root(), "lonely", SchemaType::simple_str()).unwrap();
+        let lonely = b
+            .add_child(b.root(), "lonely", SchemaType::simple_str())
+            .unwrap();
         let g = b.build().unwrap();
         let card = vec![1u64; g.len()];
         let s = SchemaStats::from_link_counts(&g, &card, &[]).unwrap();
@@ -335,15 +342,27 @@ mod tests {
     fn high_rc_attracts_importance() {
         // root -> {popular*, niche*}: 100 popular instances, 1 niche.
         let mut b = SchemaGraphBuilder::new("root");
-        let popular = b.add_child(b.root(), "popular", SchemaType::set_of_rcd()).unwrap();
-        let niche = b.add_child(b.root(), "niche", SchemaType::set_of_rcd()).unwrap();
+        let popular = b
+            .add_child(b.root(), "popular", SchemaType::set_of_rcd())
+            .unwrap();
+        let niche = b
+            .add_child(b.root(), "niche", SchemaType::set_of_rcd())
+            .unwrap();
         let g = b.build().unwrap();
         let s = SchemaStats::from_link_counts(
             &g,
             &[1, 100, 1],
             &[
-                LinkCount { from: g.root(), to: popular, count: 100 },
-                LinkCount { from: g.root(), to: niche, count: 1 },
+                LinkCount {
+                    from: g.root(),
+                    to: popular,
+                    count: 100,
+                },
+                LinkCount {
+                    from: g.root(),
+                    to: niche,
+                    count: 1,
+                },
             ],
         )
         .unwrap();

@@ -61,5 +61,5 @@ pub use importance::{ImportanceConfig, ImportanceMode, ImportanceResult};
 pub use matrices::PairMatrices;
 pub use monitor::{RefreshReport, SummaryMonitor};
 pub use multilevel::{build_multi_level, MultiLevelSummary};
-pub use paths::{PathConfig, PathLength};
+pub use paths::{Explorer, PathConfig, PathKernel, PathLength};
 pub use summarizer::{Algorithm, Summarizer, SummarizerConfig};

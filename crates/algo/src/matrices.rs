@@ -6,9 +6,21 @@
 //! milliseconds; both `MaxCoverage` and summary construction consume the
 //! matrices repeatedly, so computing them once up front dominates
 //! recomputation.
+//!
+//! Per-source explorations are fully independent, so the cold pass scales by
+//! fanning sources out to scoped worker threads. Sources are handed out
+//! through a shared atomic counter (work stealing) rather than static
+//! chunks: exploration cost varies wildly per source — a source inside a
+//! densely value-linked region can cost orders of magnitude more than a
+//! leaf — and static chunking strands every other worker behind the
+//! unluckiest chunk. Workers send finished rows over a channel and the
+//! calling thread assembles the matrices, keeping the crate free of
+//! `unsafe` row aliasing.
 
-use crate::paths::{explore_from, PathConfig};
+use crate::paths::{Explorer, PathConfig, SourceResult};
 use schema_summary_core::{ElementId, SchemaStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Dense all-pairs affinity and coverage matrices.
 #[derive(Debug, Clone)]
@@ -17,88 +29,99 @@ pub struct PairMatrices {
     affinity: Vec<f64>,
     coverage: Vec<f64>,
     truncated: bool,
+    floored: bool,
+    expansions: u64,
 }
 
 impl PairMatrices {
     /// Compute both matrices for `stats` under `config`, parallelizing
-    /// across source elements for larger schemas (each source's exploration
-    /// is independent; scoped threads keep the API dependency-free).
+    /// across source elements when the schema reaches
+    /// [`PathConfig::parallel_threshold`] and more than one CPU is
+    /// available.
     pub fn compute(stats: &SchemaStats, config: &PathConfig) -> Self {
-        let n = stats.len();
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
-        if n < 64 || threads < 2 {
+        Self::compute_with_threads(stats, config, threads)
+    }
+
+    /// [`compute`](Self::compute) with an explicit worker-thread count
+    /// (primarily for tests and benchmarks that need the parallel path on
+    /// machines where `available_parallelism` would fall back to serial).
+    pub fn compute_with_threads(stats: &SchemaStats, config: &PathConfig, threads: usize) -> Self {
+        let n = stats.len();
+        if n < config.parallel_threshold || threads < 2 {
             return Self::compute_serial(stats, config);
         }
-        let chunk = n.div_ceil(threads);
-        let mut affinity = vec![0.0; n * n];
-        let mut coverage = vec![0.0; n * n];
-        let mut truncated = false;
+        let mut out = Self::zeroed(n);
+        let next_source = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, SourceResult)>();
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, (aff_chunk, cov_chunk)) in affinity
-                .chunks_mut(chunk * n)
-                .zip(coverage.chunks_mut(chunk * n))
-                .enumerate()
-            {
-                handles.push(scope.spawn(move || {
-                    let start = t * chunk;
-                    let mut trunc = false;
-                    for (i, (aff_row, cov_row)) in aff_chunk
-                        .chunks_mut(n)
-                        .zip(cov_chunk.chunks_mut(n))
-                        .enumerate()
-                    {
-                        let src = ElementId((start + i) as u32);
-                        let res = explore_from(src, stats, config);
-                        trunc |= res.truncated;
-                        aff_row.copy_from_slice(&res.best_affinity);
-                        for (b, slot) in cov_row.iter_mut().enumerate() {
-                            *slot =
-                                stats.card(ElementId(b as u32)) * res.best_cov_product[b];
+            for _ in 0..threads.min(n) {
+                let tx = tx.clone();
+                let next_source = &next_source;
+                scope.spawn(move || {
+                    let mut explorer = Explorer::new(n);
+                    loop {
+                        let a = next_source.fetch_add(1, Ordering::Relaxed);
+                        if a >= n {
+                            break;
+                        }
+                        let res = explorer.explore(ElementId(a as u32), stats, config);
+                        if tx.send((a, res)).is_err() {
+                            break;
                         }
                     }
-                    trunc
-                }));
+                });
             }
-            for h in handles {
-                truncated |= h.join().expect("exploration threads do not panic");
+            drop(tx);
+            while let Ok((a, res)) = rx.recv() {
+                out.write_source_row(a, &res, stats);
             }
         });
+        out
+    }
+
+    /// Single-threaded reference implementation (also used below the
+    /// parallel threshold, where thread spawn overhead dominates). The
+    /// parallel path runs the exact same per-source kernel, so its output
+    /// is bit-identical to this one.
+    pub fn compute_serial(stats: &SchemaStats, config: &PathConfig) -> Self {
+        let n = stats.len();
+        let mut out = Self::zeroed(n);
+        let mut explorer = Explorer::new(n);
+        for a in 0..n {
+            let res = explorer.explore(ElementId(a as u32), stats, config);
+            out.write_source_row(a, &res, stats);
+        }
+        out
+    }
+
+    fn zeroed(n: usize) -> Self {
         PairMatrices {
             n,
-            affinity,
-            coverage,
-            truncated,
+            affinity: vec![0.0; n * n],
+            coverage: vec![0.0; n * n],
+            truncated: false,
+            floored: false,
+            expansions: 0,
         }
     }
 
-    /// Single-threaded reference implementation (also used for small
-    /// schemas where thread spawn overhead dominates).
-    pub fn compute_serial(stats: &SchemaStats, config: &PathConfig) -> Self {
-        let n = stats.len();
-        let mut affinity = vec![0.0; n * n];
-        let mut coverage = vec![0.0; n * n];
-        let mut truncated = false;
-        for a in 0..n {
-            let src = ElementId(a as u32);
-            let res = explore_from(src, stats, config);
-            truncated |= res.truncated;
-            let row = a * n;
-            affinity[row..row + n].copy_from_slice(&res.best_affinity);
-            for b in 0..n {
-                // Formula 3: C(a→b) = Card_b · max path product; the special
-                // case C(a→a) = Card_a falls out since the product is 1.
-                coverage[row + b] = stats.card(ElementId(b as u32)) * res.best_cov_product[b];
-            }
+    /// The shared per-source kernel: fold one exploration result into row
+    /// `a` of both matrices and the run-wide flags.
+    fn write_source_row(&mut self, a: usize, res: &SourceResult, stats: &SchemaStats) {
+        let n = self.n;
+        let row = a * n;
+        self.affinity[row..row + n].copy_from_slice(&res.best_affinity);
+        for b in 0..n {
+            // Formula 3: C(a→b) = Card_b · max path product; the special
+            // case C(a→a) = Card_a falls out since the product is 1.
+            self.coverage[row + b] = stats.card(ElementId(b as u32)) * res.best_cov_product[b];
         }
-        PairMatrices {
-            n,
-            affinity,
-            coverage,
-            truncated,
-        }
+        self.truncated |= res.truncated;
+        self.floored |= res.floored;
+        self.expansions += res.expansions;
     }
 
     /// Number of elements covered.
@@ -131,6 +154,20 @@ impl PairMatrices {
     pub fn truncated(&self) -> bool {
         self.truncated
     }
+
+    /// Whether any exploration cut branches at the
+    /// [`PathConfig::min_product`] floor (entries are then lower bounds).
+    #[inline]
+    pub fn floored(&self) -> bool {
+        self.floored
+    }
+
+    /// Total edge expansions across all sources — the cold pass's unit of
+    /// work, comparable across configurations to measure pruning.
+    #[inline]
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
 }
 
 #[cfg(test)]
@@ -142,15 +179,25 @@ mod tests {
 
     fn chain_stats() -> (schema_summary_core::SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("r");
-        let a = b.add_child(b.root(), "a", SchemaType::set_of_rcd()).unwrap();
+        let a = b
+            .add_child(b.root(), "a", SchemaType::set_of_rcd())
+            .unwrap();
         let c = b.add_child(a, "c", SchemaType::set_of_rcd()).unwrap();
         let g = b.build().unwrap();
         let s = SchemaStats::from_link_counts(
             &g,
             &[1, 10, 40],
             &[
-                LinkCount { from: g.root(), to: a, count: 10 },
-                LinkCount { from: a, to: c, count: 40 },
+                LinkCount {
+                    from: g.root(),
+                    to: a,
+                    count: 10,
+                },
+                LinkCount {
+                    from: a,
+                    to: c,
+                    count: 40,
+                },
             ],
         )
         .unwrap();
@@ -202,5 +249,35 @@ mod tests {
         assert_ne!(m.affinity(a, c), m.affinity(c, a));
         assert_ne!(m.coverage(a, c), m.coverage(c, a));
         assert!(!m.truncated());
+    }
+
+    #[test]
+    fn forced_parallel_matches_serial_bitwise() {
+        let (g, s) = chain_stats();
+        // parallel_threshold 0 forces the work-stealing path even for this
+        // tiny schema; 4 workers on any machine.
+        let cfg = PathConfig {
+            parallel_threshold: 0,
+            ..Default::default()
+        };
+        let par = PairMatrices::compute_with_threads(&s, &cfg, 4);
+        let ser = PairMatrices::compute_serial(&s, &cfg);
+        for a in g.element_ids() {
+            for b in g.element_ids() {
+                assert_eq!(par.affinity(a, b).to_bits(), ser.affinity(a, b).to_bits());
+                assert_eq!(par.coverage(a, b).to_bits(), ser.coverage(a, b).to_bits());
+            }
+        }
+        assert_eq!(par.truncated(), ser.truncated());
+        assert_eq!(par.floored(), ser.floored());
+        assert_eq!(par.expansions(), ser.expansions());
+    }
+
+    #[test]
+    fn expansions_are_reported() {
+        let (_, s) = chain_stats();
+        let m = PairMatrices::compute_serial(&s, &PathConfig::default());
+        assert!(m.expansions() > 0);
+        assert!(!m.floored());
     }
 }

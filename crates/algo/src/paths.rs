@@ -5,7 +5,22 @@
 //! elements): walks that revisit elements could pump the products without
 //! bound whenever an edge has `RC < 1` (optional children), so simple paths
 //! are the only sound reading (see DESIGN.md §3.2). Schema graphs are trees
-//! plus a handful of value links, so bounded-depth enumeration is cheap.
+//! plus a handful of value links, so bounded-depth enumeration is cheap —
+//! but "cheap" stops scaling once value links multiply the path count, so
+//! the kernel here is built for the cold-path budget of the serving layer:
+//!
+//! * the exploration walks the CSR edge records of
+//!   [`SchemaStats::edges`](schema_summary_core::SchemaStats::edges), whose
+//!   precomputed `rc_factor`/`w_back` remove every per-expansion adjacency
+//!   scan;
+//! * the depth-first search is an explicit-stack iteration over a reusable
+//!   [`Explorer`] scratch, so per-source work allocates nothing beyond the
+//!   result rows;
+//! * **branch-and-bound pruning** (see DESIGN.md §3.14): every per-edge
+//!   factor is clamped to `[0, 1]`, so both path products are monotone
+//!   non-increasing in path length. A branch whose best continuation can no
+//!   longer strictly beat *any* recorded per-target maximum is cut, and the
+//!   cut is exact — the surviving paths include every argmax path.
 //!
 //! One depth-first exploration per source element simultaneously maintains:
 //!
@@ -35,8 +50,32 @@ pub enum PathLength {
     Nodes,
 }
 
+/// Which exact kernel evaluates the per-target path maxima.
+///
+/// Both kernels compute the same quantities; they differ in how they search.
+/// The clamp on per-edge factors (everything ∈ [0, 1]) makes the two
+/// provably equivalent: removing a cycle from a walk divides the product by
+/// factors ≤ 1 (so the product can only grow) and shortens the path (so the
+/// affinity denominator can only shrink) — hence the max over arbitrary
+/// walks equals the max over simple paths, and a layered relaxation over
+/// walks is exact for the simple-path formulas (DESIGN.md §3.14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PathKernel {
+    /// Layered max-product relaxation (Bellman–Ford over the `(max, ×)`
+    /// semiring): `O(max_edges · |edges|)` per source, independent of the
+    /// number of simple paths. The default — orders of magnitude faster on
+    /// densely value-linked schemas.
+    #[default]
+    Layered,
+    /// Explicit-stack depth-first enumeration of simple paths with exact
+    /// branch-and-bound pruning. The reference kernel; also the only one
+    /// honoring the [`PathConfig::min_product`] floor's joint
+    /// affinity/coverage semantics.
+    Dfs,
+}
+
 /// Configuration for path enumeration.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PathConfig {
     /// Maximum number of edges on an enumerated path. Longer paths carry a
     /// `1/n` penalty and per-edge products ≤ 1 in the common case, so they
@@ -49,6 +88,26 @@ pub struct PathConfig {
     pub max_expansions: usize,
     /// Path-length convention for the affinity denominator.
     pub path_length: PathLength,
+    /// Which exact kernel to run (see [`PathKernel`]). A positive
+    /// [`min_product`](Self::min_product) always selects the DFS kernel,
+    /// whose floor cuts a branch only when *both* products fall below the
+    /// floor — the layered kernel relaxes affinity and coverage
+    /// independently and cannot express that joint condition.
+    pub kernel: PathKernel,
+    /// Branch-and-bound pruning of branches that can no longer improve any
+    /// per-target maximum. The cut is **exact** — per-edge factors are
+    /// clamped ≤ 1, so products only shrink along a path (DESIGN.md §3.14).
+    /// Disable only to measure pruning effectiveness or cross-check results.
+    pub prune: bool,
+    /// Approximate-mode floor: branches whose affinity *and* coverage
+    /// products both fall below this value are cut and the result is
+    /// flagged [`SourceResult::floored`] (maxima become lower bounds, like
+    /// `truncated`). `0.0` (the default) keeps exploration exact.
+    pub min_product: f64,
+    /// Minimum element count before [`crate::PairMatrices::compute`]
+    /// parallelizes across source elements; below it, thread spawn overhead
+    /// dominates and the serial kernel runs instead.
+    pub parallel_threshold: usize,
 }
 
 impl Default for PathConfig {
@@ -57,7 +116,40 @@ impl Default for PathConfig {
             max_edges: 10,
             max_expansions: 4_000_000,
             path_length: PathLength::Edges,
+            kernel: PathKernel::Layered,
+            prune: true,
+            min_product: 0.0,
+            parallel_threshold: 64,
         }
+    }
+}
+
+// Configurations key memoized artifacts and cached results, so equality and
+// hashing must be total and bit-stable; `min_product` is compared by bit
+// pattern (as in `ImportanceConfig`).
+impl PartialEq for PathConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_edges == other.max_edges
+            && self.max_expansions == other.max_expansions
+            && self.path_length == other.path_length
+            && self.kernel == other.kernel
+            && self.prune == other.prune
+            && self.min_product.to_bits() == other.min_product.to_bits()
+            && self.parallel_threshold == other.parallel_threshold
+    }
+}
+
+impl Eq for PathConfig {}
+
+impl std::hash::Hash for PathConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.max_edges.hash(state);
+        self.max_expansions.hash(state);
+        self.path_length.hash(state);
+        self.kernel.hash(state);
+        self.prune.hash(state);
+        self.min_product.to_bits().hash(state);
+        self.parallel_threshold.hash(state);
     }
 }
 
@@ -72,7 +164,9 @@ impl PathConfig {
     /// ("the affinities will be close to 1.0 and 0.5") where affinity tops
     /// out at 1 for a perfect 1:1 step. We therefore clamp the per-edge
     /// factor at 1 (DESIGN.md §3.9); all of the paper's worked examples
-    /// have `RC ≥ 1` and are unaffected.
+    /// have `RC ≥ 1` and are unaffected. The same clamped factor is
+    /// precomputed per edge in the statistics' CSR records
+    /// (`EdgeRec::rc_factor`), which is what the exploration consumes.
     #[inline]
     pub fn rc_factor(&self, rc: f64) -> f64 {
         (1.0 / rc).min(1.0)
@@ -85,6 +179,17 @@ impl PathConfig {
         match self.path_length {
             PathLength::Edges => self.rc_factor(rc),
             PathLength::Nodes => 0.5 * self.rc_factor(rc),
+        }
+    }
+
+    /// The constant the clamped `rc_factor` is scaled by when it enters the
+    /// coverage product: 1 under the `Edges` convention, 0.5 under `Nodes`
+    /// (every edge affinity halves, cf. [`PathConfig::edge_affinity`]).
+    #[inline]
+    fn affinity_scale(&self) -> f64 {
+        match self.path_length {
+            PathLength::Edges => 1.0,
+            PathLength::Nodes => 0.5,
         }
     }
 
@@ -108,84 +213,394 @@ pub struct SourceResult {
     /// Whether the expansion budget was exhausted (maxima become lower
     /// bounds).
     pub truncated: bool,
+    /// Whether the [`PathConfig::min_product`] floor cut any branch
+    /// (approximate mode; maxima become lower bounds).
+    pub floored: bool,
+    /// Edge traversals actually performed for this source. With pruning on,
+    /// the gap to the unpruned count measures pruning effectiveness.
+    pub expansions: u64,
 }
 
-/// Enumerate all simple paths from `source` and record per-target maxima of
-/// the affinity and coverage products.
+/// One explicit-stack DFS frame: a node on the current path plus the
+/// position of the next CSR edge to expand.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    node: u32,
+    /// Index of the next edge within `stats.edges(node)`.
+    cursor: u32,
+    /// Affinity product of the path from the source to `node`.
+    aff: f64,
+    /// Coverage product of the path from the source to `node`.
+    cov: f64,
+}
+
+/// Reusable per-thread scratch for path exploration.
 ///
-/// Edges with `RC(u → v) = 0` (no data instances on the `u` side) are not
-/// traversable: affinity through them is undefined (the formula divides by
-/// RC) and semantically there is no data connectivity.
-pub fn explore_from(
-    source: ElementId,
-    stats: &SchemaStats,
-    config: &PathConfig,
-) -> SourceResult {
-    let n = stats.len();
-    let mut result = SourceResult {
-        best_affinity: vec![0.0; n],
-        best_cov_product: vec![0.0; n],
-        truncated: false,
-    };
-    result.best_affinity[source.index()] = 1.0;
-    result.best_cov_product[source.index()] = 1.0;
-
-    let mut visited = vec![false; n];
-    visited[source.index()] = true;
-    let mut budget = config.max_expansions;
-    dfs(source, 1.0, 1.0, 0, stats, config, &mut visited, &mut budget, &mut result);
-    result
+/// One `Explorer` serves any number of sources over schemas of up to the
+/// constructed element count; [`PairMatrices::compute`](crate::PairMatrices)
+/// keeps one per worker thread so the cold all-pairs pass performs no
+/// per-source allocation beyond its output rows.
+#[derive(Debug)]
+pub struct Explorer {
+    visited: Vec<bool>,
+    frames: Vec<Frame>,
+    /// Scratch for the per-source reachability pass that seeds the pruning
+    /// thresholds: membership flags plus the component's node list.
+    in_component: Vec<bool>,
+    component: Vec<u32>,
+    /// Layered-kernel scratch: per-node max walk products at the current
+    /// and next edge count (affinity and coverage relax independently — the
+    /// two maxima may be achieved on different paths). The value arrays are
+    /// kept all-zero between sources; only entries listed in the frontier
+    /// are live, so sparse layers cost O(frontier), not O(n).
+    cur_aff: Vec<f64>,
+    cur_cov: Vec<f64>,
+    next_aff: Vec<f64>,
+    next_cov: Vec<f64>,
+    frontier: Vec<u32>,
+    next_frontier: Vec<u32>,
+    in_next: Vec<bool>,
+    /// Per-depth pre-multiplied affinity cut thresholds,
+    /// `aff_cut[d] = prune_aff · denom(d + 1)`, so the hot prune filter is
+    /// a compare instead of a division.
+    aff_cut: Vec<f64>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dfs(
-    cur: ElementId,
-    aff_prod: f64,
-    cov_prod: f64,
-    edges: usize,
-    stats: &SchemaStats,
-    config: &PathConfig,
-    visited: &mut [bool],
-    budget: &mut usize,
-    result: &mut SourceResult,
-) {
-    if edges >= config.max_edges {
-        return;
-    }
-    // Copy the adjacency (small) so the recursive borrow is clean.
-    for &(nb, rc) in stats.rc_neighbors(cur) {
-        if visited[nb.index()] || rc <= 0.0 {
-            continue;
-        }
-        if *budget == 0 {
-            result.truncated = true;
-            return;
-        }
-        *budget -= 1;
-
-        let new_aff = aff_prod * config.rc_factor(rc);
-        // Coverage factor: edge affinity forward × neighbor weight backward.
-        let w_back = stats.neighbor_weight(nb, cur);
-        let new_cov = cov_prod * config.edge_affinity(rc) * w_back;
-        let new_edges = edges + 1;
-
-        let aff_here = new_aff / config.length_denominator(new_edges);
-        let i = nb.index();
-        if aff_here > result.best_affinity[i] {
-            result.best_affinity[i] = aff_here;
-        }
-        if new_cov > result.best_cov_product[i] {
-            result.best_cov_product[i] = new_cov;
-        }
-
-        // Extending through a zero coverage product can still improve
-        // affinity, so recurse whenever either product is live.
-        if new_aff > 0.0 || new_cov > 0.0 {
-            visited[i] = true;
-            dfs(nb, new_aff, new_cov, new_edges, stats, config, visited, budget, result);
-            visited[i] = false;
+impl Explorer {
+    /// Scratch sized for schemas of `n` elements.
+    pub fn new(n: usize) -> Self {
+        Explorer {
+            visited: vec![false; n],
+            frames: Vec::with_capacity(64),
+            in_component: vec![false; n],
+            component: Vec::with_capacity(n),
+            cur_aff: vec![0.0; n],
+            cur_cov: vec![0.0; n],
+            next_aff: vec![0.0; n],
+            next_cov: vec![0.0; n],
+            frontier: Vec::with_capacity(n),
+            next_frontier: Vec::with_capacity(n),
+            in_next: vec![false; n],
+            aff_cut: Vec::new(),
         }
     }
+
+    /// Compute, for every target, the maxima of the affinity and coverage
+    /// path products from `source`, using the configured kernel.
+    ///
+    /// Edges with `RC(u → v) = 0` (no data instances on the `u` side) are
+    /// not traversable: affinity through them is undefined (the formula
+    /// divides by RC) and semantically there is no data connectivity.
+    pub fn explore(
+        &mut self,
+        source: ElementId,
+        stats: &SchemaStats,
+        config: &PathConfig,
+    ) -> SourceResult {
+        let n = stats.len();
+        assert!(
+            self.visited.len() >= n,
+            "explorer sized for {} elements, got {}",
+            self.visited.len(),
+            n
+        );
+        let mut result = SourceResult {
+            best_affinity: vec![0.0; n],
+            best_cov_product: vec![0.0; n],
+            truncated: false,
+            floored: false,
+            expansions: 0,
+        };
+        result.best_affinity[source.index()] = 1.0;
+        result.best_cov_product[source.index()] = 1.0;
+        if config.max_edges == 0 || n == 0 {
+            return result;
+        }
+        if config.kernel == PathKernel::Layered && config.min_product <= 0.0 {
+            self.relax_layered(source, stats, config, &mut result);
+            return result;
+        }
+
+        self.visited[..n].fill(false);
+        self.frames.clear();
+        if config.prune {
+            self.collect_component(source, stats, n, config.max_edges);
+        }
+
+        // Pruning thresholds: stale lower bounds on the minimum recorded
+        // per-target maxima over the source's component. Stale is safe —
+        // recorded maxima only grow, so the cached minimum only
+        // underestimates and pruning stays exact; it is refreshed every
+        // ~|component| expansions (amortized O(1) per expansion).
+        let mut prune_aff = 0.0f64;
+        let mut prune_cov = 0.0f64;
+        let refresh_interval = (self.component.len() as u64).max(64);
+        let mut refresh_countdown = refresh_interval;
+        self.aff_cut.clear();
+        self.aff_cut.resize(config.max_edges + 1, 0.0);
+
+        let aff_scale = config.affinity_scale();
+        let mut budget = config.max_expansions;
+        self.visited[source.index()] = true;
+        self.frames.push(Frame {
+            node: source.0,
+            cursor: 0,
+            aff: 1.0,
+            cov: 1.0,
+        });
+
+        'explore: while let Some(frame) = self.frames.last_mut() {
+            let node = frame.node;
+            let edges = stats.edges(ElementId(node));
+            let Some(edge) = edges.get(frame.cursor as usize) else {
+                // All edges of this node expanded: backtrack.
+                self.visited[node as usize] = false;
+                self.frames.pop();
+                continue;
+            };
+            frame.cursor += 1;
+            let nb = edge.neighbor;
+            if self.visited[nb.index()] || edge.rc <= 0.0 {
+                continue;
+            }
+            if budget == 0 {
+                result.truncated = true;
+                break 'explore;
+            }
+            budget -= 1;
+            result.expansions += 1;
+
+            let new_aff = frame.aff * edge.rc_factor;
+            // Coverage factor: edge affinity forward × neighbor weight
+            // backward, both precomputed on the CSR edge record.
+            let new_cov = frame.cov * (aff_scale * edge.rc_factor) * edge.w_back;
+            // The source frame is depth 1, so the path to `nb` has exactly
+            // `frames.len()` edges.
+            let new_edges = self.frames.len();
+
+            let aff_here = new_aff / config.length_denominator(new_edges);
+            let i = nb.index();
+            if aff_here > result.best_affinity[i] {
+                result.best_affinity[i] = aff_here;
+            }
+            if new_cov > result.best_cov_product[i] {
+                result.best_cov_product[i] = new_cov;
+            }
+
+            // Descend unless the branch is dead (extending through a zero
+            // coverage product can still improve affinity, so either live
+            // product keeps it alive) or already at the depth limit; the
+            // floor and pruning checks run only on descent-eligible
+            // expansions — at the deepest level there is nothing to cut.
+            if (new_aff > 0.0 || new_cov > 0.0) && new_edges < config.max_edges {
+                // Approximate-mode floor: cut the branch once both
+                // products sink below it.
+                if config.min_product > 0.0
+                    && new_aff < config.min_product
+                    && new_cov < config.min_product
+                {
+                    result.floored = true;
+                    continue;
+                }
+                // Branch-and-bound: every deeper target sees products ≤
+                // the current ones and an affinity denominator ≥ the next
+                // depth's, so if neither bound strictly beats the smallest
+                // recorded maximum, no descendant of this branch can beat
+                // *any* recorded maximum (factors are clamped ≤ 1; the cut
+                // is exact).
+                if config.prune {
+                    if refresh_countdown == 0 {
+                        prune_aff = Self::min_over(&self.component, &result.best_affinity);
+                        prune_cov = Self::min_over(&self.component, &result.best_cov_product);
+                        for (d, slot) in self.aff_cut.iter_mut().enumerate() {
+                            *slot = prune_aff * config.length_denominator(d + 1);
+                        }
+                        refresh_countdown = refresh_interval;
+                    } else {
+                        refresh_countdown -= 1;
+                    }
+                    // Two-stage cut: the pre-multiplied per-depth threshold
+                    // is a cheap compare (a rounded-down table entry only
+                    // *misses* cuts, never adds them); the division — the
+                    // exact arbiter — runs only on the rare candidates that
+                    // pass the filter.
+                    if new_cov <= prune_cov
+                        && new_aff <= self.aff_cut[new_edges]
+                        && new_aff / config.length_denominator(new_edges + 1) <= prune_aff
+                    {
+                        continue;
+                    }
+                }
+                self.visited[i] = true;
+                self.frames.push(Frame {
+                    node: nb.0,
+                    cursor: 0,
+                    aff: new_aff,
+                    cov: new_cov,
+                });
+            }
+        }
+        // Leave scratch clean for the next source whether we broke out of
+        // the loop (budget) or drained the stack.
+        for frame in self.frames.drain(..) {
+            self.visited[frame.node as usize] = false;
+        }
+        result
+    }
+
+    /// The layered kernel: Bellman–Ford over the `(max, ×)` semiring.
+    ///
+    /// `cur_*[v]` holds the maximum product over *walks* of exactly
+    /// `edges_used - 1` edges from the source to `v`; each layer relaxes
+    /// every traversable edge once. Because all per-edge factors are clamped
+    /// to `[0, 1]`, the walk maxima equal the simple-path maxima of
+    /// Formulas 2 and 3 (cycle removal never decreases a product nor
+    /// lengthens a path — DESIGN.md §3.14), so recording each layer's
+    /// values yields exactly the DFS kernel's results in
+    /// `O(max_edges · |edges|)` instead of enumerating paths.
+    fn relax_layered(
+        &mut self,
+        source: ElementId,
+        stats: &SchemaStats,
+        config: &PathConfig,
+        result: &mut SourceResult,
+    ) {
+        let aff_scale = config.affinity_scale();
+        let mut budget = config.max_expansions;
+        // Invariant: the value arrays are all-zero on entry (enforced by
+        // zeroing exactly the frontier entries before returning), so a
+        // sparse layer touches O(frontier · degree) entries, not O(n).
+        self.frontier.clear();
+        self.frontier.push(source.0);
+        self.cur_aff[source.index()] = 1.0;
+        self.cur_cov[source.index()] = 1.0;
+        for edges_used in 1..=config.max_edges {
+            self.next_frontier.clear();
+            let mut exhausted = false;
+            'relax: for &u in &self.frontier {
+                let a = self.cur_aff[u as usize];
+                let c = self.cur_cov[u as usize];
+                for edge in stats.edges(ElementId(u)) {
+                    if edge.rc <= 0.0 {
+                        continue;
+                    }
+                    if budget == 0 {
+                        exhausted = true;
+                        break 'relax;
+                    }
+                    budget -= 1;
+                    result.expansions += 1;
+                    let i = edge.neighbor.index();
+                    // Same multiply chains as the DFS kernel, so a walk's
+                    // value is bit-identical to the corresponding path's.
+                    let na = a * edge.rc_factor;
+                    let nc = c * (aff_scale * edge.rc_factor) * edge.w_back;
+                    if self.in_next[i] {
+                        if na > self.next_aff[i] {
+                            self.next_aff[i] = na;
+                        }
+                        if nc > self.next_cov[i] {
+                            self.next_cov[i] = nc;
+                        }
+                    } else {
+                        self.in_next[i] = true;
+                        self.next_frontier.push(edge.neighbor.0);
+                        self.next_aff[i] = na;
+                        self.next_cov[i] = nc;
+                    }
+                }
+            }
+            // Fold this layer (possibly partial, if the budget ran out) into
+            // the per-target maxima; partial layers are lower bounds, which
+            // is exactly what `truncated` signals.
+            let denom = config.length_denominator(edges_used);
+            for &v in &self.next_frontier {
+                let v = v as usize;
+                self.in_next[v] = false;
+                let a = self.next_aff[v];
+                if a > 0.0 {
+                    let val = a / denom;
+                    if val > result.best_affinity[v] {
+                        result.best_affinity[v] = val;
+                    }
+                }
+                let cv = self.next_cov[v];
+                if cv > 0.0 && cv > result.best_cov_product[v] {
+                    result.best_cov_product[v] = cv;
+                }
+            }
+            // Re-zero the consumed layer, then promote the next one.
+            for &u in &self.frontier {
+                self.cur_aff[u as usize] = 0.0;
+                self.cur_cov[u as usize] = 0.0;
+            }
+            std::mem::swap(&mut self.cur_aff, &mut self.next_aff);
+            std::mem::swap(&mut self.cur_cov, &mut self.next_cov);
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+            if exhausted {
+                result.truncated = true;
+                break;
+            }
+            if self.frontier.is_empty() {
+                break;
+            }
+        }
+        // Restore the all-zero invariant for the next source.
+        for &u in &self.frontier {
+            self.cur_aff[u as usize] = 0.0;
+            self.cur_cov[u as usize] = 0.0;
+        }
+        self.frontier.clear();
+    }
+
+    /// Nodes reachable from `source` within `max_edges` hops over
+    /// traversable (`rc > 0`) edges — the only targets whose maxima this
+    /// source can ever improve, and therefore the set the pruning
+    /// thresholds are minimized over. Nodes outside it (unreachable, or
+    /// whose shortest distance exceeds the depth limit) stay 0 forever and
+    /// would pin the minimum there, disabling pruning entirely.
+    fn collect_component(
+        &mut self,
+        source: ElementId,
+        stats: &SchemaStats,
+        n: usize,
+        max_edges: usize,
+    ) {
+        self.in_component[..n].fill(false);
+        self.component.clear();
+        self.in_component[source.index()] = true;
+        self.component.push(source.0);
+        let mut head = 0;
+        let mut frontier_end = self.component.len();
+        let mut depth = 0;
+        while head < self.component.len() && depth < max_edges {
+            while head < frontier_end {
+                let u = ElementId(self.component[head]);
+                head += 1;
+                for edge in stats.edges(u) {
+                    if edge.rc > 0.0 && !self.in_component[edge.neighbor.index()] {
+                        self.in_component[edge.neighbor.index()] = true;
+                        self.component.push(edge.neighbor.0);
+                    }
+                }
+            }
+            frontier_end = self.component.len();
+            depth += 1;
+        }
+    }
+
+    fn min_over(nodes: &[u32], values: &[f64]) -> f64 {
+        nodes
+            .iter()
+            .map(|&i| values[i as usize])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Enumerate all simple paths from `source` with one-shot scratch. Callers
+/// exploring many sources should reuse an [`Explorer`] instead.
+pub fn explore_from(source: ElementId, stats: &SchemaStats, config: &PathConfig) -> SourceResult {
+    Explorer::new(stats.len()).explore(source, stats, config)
 }
 
 #[cfg(test)]
@@ -215,9 +630,17 @@ mod tests {
         // card(o)=100, card(b)=200 (2 per o), card(c_i)=100 (1 per o).
         let mut cards = vec![100u64, 200];
         cards.extend(std::iter::repeat_n(100, 10));
-        let mut links = vec![LinkCount { from: g.root(), to: b, count: 200 }];
+        let mut links = vec![LinkCount {
+            from: g.root(),
+            to: b,
+            count: 200,
+        }];
         for &c in &others {
-            links.push(LinkCount { from: g.root(), to: c, count: 100 });
+            links.push(LinkCount {
+                from: g.root(),
+                to: c,
+                count: 100,
+            });
         }
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         let root = g.root();
@@ -262,7 +685,9 @@ mod tests {
     fn longer_paths_are_penalized() {
         // Chain r - a - b, all RC 1. A(r→a) = 1/1 = 1; A(r→b) = 1/2.
         let mut builder = SchemaGraphBuilder::new("r");
-        let a = builder.add_child(builder.root(), "a", SchemaType::rcd()).unwrap();
+        let a = builder
+            .add_child(builder.root(), "a", SchemaType::rcd())
+            .unwrap();
         let b = builder.add_child(a, "b", SchemaType::rcd()).unwrap();
         let g = builder.build().unwrap();
         let s = SchemaStats::uniform(&g);
@@ -276,21 +701,45 @@ mod tests {
         // Diamond: r has children a (RC 1) and b (RC 10); both value-link to
         // t. Path through a: product 1/1 · 1/rc(a→t); through b: 1/10 · ...
         let mut builder = SchemaGraphBuilder::new("r");
-        let a = builder.add_child(builder.root(), "a", SchemaType::rcd()).unwrap();
+        let a = builder
+            .add_child(builder.root(), "a", SchemaType::rcd())
+            .unwrap();
         let b = builder
             .add_child(builder.root(), "b", SchemaType::set_of_rcd())
             .unwrap();
-        let t = builder.add_child(builder.root(), "t", SchemaType::rcd()).unwrap();
+        let t = builder
+            .add_child(builder.root(), "t", SchemaType::rcd())
+            .unwrap();
         builder.add_value_link(a, t).unwrap();
         builder.add_value_link(b, t).unwrap();
         let g = builder.build().unwrap();
         let cards = vec![1u64, 1, 10, 1];
         let links = vec![
-            LinkCount { from: g.root(), to: a, count: 1 },
-            LinkCount { from: g.root(), to: b, count: 10 },
-            LinkCount { from: g.root(), to: t, count: 1 },
-            LinkCount { from: a, to: t, count: 1 },
-            LinkCount { from: b, to: t, count: 10 },
+            LinkCount {
+                from: g.root(),
+                to: a,
+                count: 1,
+            },
+            LinkCount {
+                from: g.root(),
+                to: b,
+                count: 10,
+            },
+            LinkCount {
+                from: g.root(),
+                to: t,
+                count: 1,
+            },
+            LinkCount {
+                from: a,
+                to: t,
+                count: 1,
+            },
+            LinkCount {
+                from: b,
+                to: t,
+                count: 10,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         let res = explore_from(g.root(), &s, &PathConfig::default());
@@ -299,7 +748,9 @@ mod tests {
         // Through a: (1/1 · 1/1)/2 = 0.5 < 1, so the direct edge wins —
         // verify by removing it: recompute on a graph without r→t.
         let mut builder2 = SchemaGraphBuilder::new("r");
-        let a2 = builder2.add_child(builder2.root(), "a", SchemaType::rcd()).unwrap();
+        let a2 = builder2
+            .add_child(builder2.root(), "a", SchemaType::rcd())
+            .unwrap();
         let b2 = builder2
             .add_child(builder2.root(), "b", SchemaType::set_of_rcd())
             .unwrap();
@@ -308,10 +759,26 @@ mod tests {
         let g2 = builder2.build().unwrap();
         let cards2 = vec![1u64, 1, 10, 1];
         let links2 = vec![
-            LinkCount { from: g2.root(), to: a2, count: 1 },
-            LinkCount { from: g2.root(), to: b2, count: 10 },
-            LinkCount { from: a2, to: t2, count: 1 },
-            LinkCount { from: b2, to: t2, count: 10 },
+            LinkCount {
+                from: g2.root(),
+                to: a2,
+                count: 1,
+            },
+            LinkCount {
+                from: g2.root(),
+                to: b2,
+                count: 10,
+            },
+            LinkCount {
+                from: a2,
+                to: t2,
+                count: 1,
+            },
+            LinkCount {
+                from: b2,
+                to: t2,
+                count: 10,
+            },
         ];
         let s2 = SchemaStats::from_link_counts(&g2, &cards2, &links2).unwrap();
         let res2 = explore_from(g2.root(), &s2, &PathConfig::default());
@@ -326,29 +793,40 @@ mod tests {
         let mut prev = builder.root();
         let mut ids = vec![prev];
         for i in 0..15 {
-            prev = builder.add_child(prev, format!("n{i}"), SchemaType::rcd()).unwrap();
+            prev = builder
+                .add_child(prev, format!("n{i}"), SchemaType::rcd())
+                .unwrap();
             ids.push(prev);
         }
         let g = builder.build().unwrap();
         let s = SchemaStats::uniform(&g);
-        let cfg = PathConfig { max_edges: 5, ..Default::default() };
+        let cfg = PathConfig {
+            max_edges: 5,
+            ..Default::default()
+        };
         let res = explore_from(g.root(), &s, &cfg);
         assert!(res.best_affinity[ids[5].index()] > 0.0);
         assert_eq!(res.best_affinity[ids[6].index()], 0.0);
     }
 
     #[test]
-    fn budget_truncation_is_flagged(){
+    fn budget_truncation_is_flagged() {
         let (_, o, _, s) = paper_example();
-        let cfg = PathConfig { max_expansions: 3, ..Default::default() };
+        let cfg = PathConfig {
+            max_expansions: 3,
+            ..Default::default()
+        };
         let res = explore_from(o, &s, &cfg);
         assert!(res.truncated);
+        assert_eq!(res.expansions, 3);
     }
 
     #[test]
     fn zero_rc_edges_are_not_traversable() {
         let mut builder = SchemaGraphBuilder::new("r");
-        let a = builder.add_child(builder.root(), "a", SchemaType::rcd()).unwrap();
+        let a = builder
+            .add_child(builder.root(), "a", SchemaType::rcd())
+            .unwrap();
         let g = builder.build().unwrap();
         // a has zero cardinality: no data connectivity at all.
         let s = SchemaStats::from_link_counts(&g, &[1, 0], &[]).unwrap();
@@ -363,5 +841,218 @@ mod tests {
         assert_eq!(res.best_affinity[b.index()], 1.0);
         assert_eq!(res.best_cov_product[b.index()], 1.0);
         let _ = o;
+    }
+
+    /// Build a diamond-rich graph where many paths exist so pruning has
+    /// something to cut: a 3-level tree with cross value links.
+    fn braided() -> (SchemaGraph, SchemaStats) {
+        let mut b = SchemaGraphBuilder::new("r");
+        let mut level1 = Vec::new();
+        let mut level2 = Vec::new();
+        for i in 0..4 {
+            let s1 = b
+                .add_child(b.root(), format!("a{i}"), SchemaType::set_of_rcd())
+                .unwrap();
+            level1.push(s1);
+            for j in 0..3 {
+                level2.push(
+                    b.add_child(s1, format!("a{i}b{j}"), SchemaType::set_of_rcd())
+                        .unwrap(),
+                );
+            }
+        }
+        for (i, &f) in level2.iter().enumerate() {
+            let t = level2[(i + 5) % level2.len()];
+            let _ = b.add_value_link(f, t);
+        }
+        let g = b.build().unwrap();
+        let mut cards = vec![1u64; g.len()];
+        for (i, c) in cards.iter_mut().enumerate().skip(1) {
+            *c = 1 + (i as u64 * 7) % 13;
+        }
+        let mut links = Vec::new();
+        for (p, c) in g.structural_links().collect::<Vec<_>>() {
+            links.push(LinkCount {
+                from: p,
+                to: c,
+                count: cards[c.index()],
+            });
+        }
+        for (f, t) in g.value_links().collect::<Vec<_>>() {
+            links.push(LinkCount {
+                from: f,
+                to: t,
+                count: cards[f.index()].min(cards[t.index()]),
+            });
+        }
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn pruning_is_exact_and_cuts_expansions() {
+        let (g, s) = braided();
+        let pruned_cfg = PathConfig {
+            kernel: PathKernel::Dfs,
+            ..Default::default()
+        };
+        let unpruned_cfg = PathConfig {
+            kernel: PathKernel::Dfs,
+            prune: false,
+            ..Default::default()
+        };
+        let mut pruned_total = 0;
+        let mut unpruned_total = 0;
+        for e in g.element_ids() {
+            let pruned = explore_from(e, &s, &pruned_cfg);
+            let unpruned = explore_from(e, &s, &unpruned_cfg);
+            assert!(!pruned.truncated && !unpruned.truncated);
+            assert!(!pruned.floored && !unpruned.floored);
+            assert_eq!(pruned.best_affinity, unpruned.best_affinity, "source {e}");
+            assert_eq!(
+                pruned.best_cov_product, unpruned.best_cov_product,
+                "source {e}"
+            );
+            pruned_total += pruned.expansions;
+            unpruned_total += unpruned.expansions;
+        }
+        assert!(
+            pruned_total < unpruned_total,
+            "pruning cut nothing: {pruned_total} vs {unpruned_total}"
+        );
+    }
+
+    #[test]
+    fn min_product_floor_is_flagged_and_lower_bounds() {
+        let (g, s) = braided();
+        let exact_cfg = PathConfig {
+            kernel: PathKernel::Dfs,
+            ..Default::default()
+        };
+        // Compare expansion counts with pruning off: the floor cuts a strict
+        // subset of the unpruned search tree, whereas under pruning a
+        // floored run can expand *more* (its lower recorded maxima weaken
+        // the prune thresholds).
+        let unpruned_cfg = PathConfig {
+            kernel: PathKernel::Dfs,
+            prune: false,
+            ..Default::default()
+        };
+        let floored_cfg = PathConfig {
+            kernel: PathKernel::Dfs,
+            min_product: 0.05,
+            prune: false,
+            ..Default::default()
+        };
+        let mut any_floored = false;
+        for e in g.element_ids() {
+            let exact = explore_from(e, &s, &exact_cfg);
+            let unpruned = explore_from(e, &s, &unpruned_cfg);
+            let approx = explore_from(e, &s, &floored_cfg);
+            any_floored |= approx.floored;
+            for i in 0..s.len() {
+                assert!(approx.best_affinity[i] <= exact.best_affinity[i] + 1e-15);
+                assert!(approx.best_cov_product[i] <= exact.best_cov_product[i] + 1e-15);
+            }
+            assert!(approx.expansions <= unpruned.expansions);
+        }
+        assert!(
+            any_floored,
+            "floor of 0.05 cut nothing on the braided graph"
+        );
+    }
+
+    #[test]
+    fn explorer_scratch_is_reusable_across_sources() {
+        let (g, s) = braided();
+        let mut explorer = Explorer::new(s.len());
+        let cfg = PathConfig::default();
+        for e in g.element_ids() {
+            let reused = explorer.explore(e, &s, &cfg);
+            let fresh = explore_from(e, &s, &cfg);
+            assert_eq!(reused.best_affinity, fresh.best_affinity, "source {e}");
+            assert_eq!(
+                reused.best_cov_product, fresh.best_cov_product,
+                "source {e}"
+            );
+            assert_eq!(reused.expansions, fresh.expansions);
+        }
+    }
+
+    #[test]
+    fn truncated_exploration_leaves_scratch_clean() {
+        let (g, s) = braided();
+        for kernel in [PathKernel::Dfs, PathKernel::Layered] {
+            let mut explorer = Explorer::new(s.len());
+            let tight = PathConfig {
+                kernel,
+                max_expansions: 5,
+                ..Default::default()
+            };
+            let res = explorer.explore(g.root(), &s, &tight);
+            assert!(res.truncated);
+            // A subsequent full exploration on the same scratch must be
+            // correct.
+            let full = PathConfig {
+                kernel,
+                ..Default::default()
+            };
+            let after = explorer.explore(g.root(), &s, &full);
+            let fresh = explore_from(g.root(), &s, &full);
+            assert_eq!(after.best_affinity, fresh.best_affinity);
+            assert_eq!(after.best_cov_product, fresh.best_cov_product);
+        }
+    }
+
+    #[test]
+    fn layered_kernel_matches_dfs_enumeration() {
+        let (g, s) = braided();
+        let layered_cfg = PathConfig::default();
+        assert_eq!(layered_cfg.kernel, PathKernel::Layered);
+        let dfs_cfg = PathConfig {
+            kernel: PathKernel::Dfs,
+            ..Default::default()
+        };
+        for e in g.element_ids() {
+            let layered = explore_from(e, &s, &layered_cfg);
+            let dfs = explore_from(e, &s, &dfs_cfg);
+            assert!(!layered.truncated && !dfs.truncated);
+            for i in 0..s.len() {
+                let (la, da) = (layered.best_affinity[i], dfs.best_affinity[i]);
+                assert!(
+                    (la - da).abs() <= 1e-12 * da.max(1.0),
+                    "aff {e}→{i}: {la} vs {da}"
+                );
+                let (lc, dc) = (layered.best_cov_product[i], dfs.best_cov_product[i]);
+                assert!(
+                    (lc - dc).abs() <= 1e-12 * dc.max(1.0),
+                    "cov {e}→{i}: {lc} vs {dc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_min_product_falls_back_to_dfs_semantics() {
+        // A layered config with a positive floor must behave like the DFS
+        // kernel with the same floor (the layered kernel cannot express the
+        // joint affinity/coverage floor).
+        let (g, s) = braided();
+        let via_layered = PathConfig {
+            min_product: 0.05,
+            ..Default::default()
+        };
+        let via_dfs = PathConfig {
+            kernel: PathKernel::Dfs,
+            min_product: 0.05,
+            ..Default::default()
+        };
+        for e in g.element_ids() {
+            let a = explore_from(e, &s, &via_layered);
+            let b = explore_from(e, &s, &via_dfs);
+            assert_eq!(a.best_affinity, b.best_affinity);
+            assert_eq!(a.best_cov_product, b.best_cov_product);
+            assert_eq!(a.expansions, b.expansions);
+        }
     }
 }

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 use schema_summary_algo::importance::compute_importance;
 use schema_summary_algo::{
-    Algorithm, DominanceSet, ImportanceConfig, PairMatrices, PathConfig, PathLength, Summarizer,
+    Algorithm, DominanceSet, ImportanceConfig, PairMatrices, PathConfig, PathKernel, PathLength,
+    Summarizer,
 };
 use schema_summary_core::stats::LinkCount;
 use schema_summary_core::{ElementId, SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType};
@@ -18,10 +19,14 @@ fn build(
     z_per_b: u64,
 ) -> (SchemaGraph, SchemaStats, [ElementId; 5]) {
     let mut builder = SchemaGraphBuilder::new("root");
-    let a = builder.add_child(builder.root(), "a", SchemaType::set_of_rcd()).unwrap();
+    let a = builder
+        .add_child(builder.root(), "a", SchemaType::set_of_rcd())
+        .unwrap();
     let x = builder.add_child(a, "x", SchemaType::simple_str()).unwrap();
     let y = builder.add_child(a, "y", SchemaType::set_of_rcd()).unwrap();
-    let b = builder.add_child(builder.root(), "b", SchemaType::set_of_rcd()).unwrap();
+    let b = builder
+        .add_child(builder.root(), "b", SchemaType::set_of_rcd())
+        .unwrap();
     let z = builder.add_child(b, "z", SchemaType::set_of_rcd()).unwrap();
     builder.add_value_link(b, a).unwrap();
     let g = builder.build().unwrap();
@@ -34,15 +39,107 @@ fn build(
         b_card * z_per_b,
     ];
     let links = vec![
-        LinkCount { from: g.root(), to: a, count: a_card },
-        LinkCount { from: a, to: x, count: a_card },
-        LinkCount { from: a, to: y, count: a_card * y_per_a },
-        LinkCount { from: g.root(), to: b, count: b_card },
-        LinkCount { from: b, to: z, count: b_card * z_per_b },
-        LinkCount { from: b, to: a, count: b_card },
+        LinkCount {
+            from: g.root(),
+            to: a,
+            count: a_card,
+        },
+        LinkCount {
+            from: a,
+            to: x,
+            count: a_card,
+        },
+        LinkCount {
+            from: a,
+            to: y,
+            count: a_card * y_per_a,
+        },
+        LinkCount {
+            from: g.root(),
+            to: b,
+            count: b_card,
+        },
+        LinkCount {
+            from: b,
+            to: z,
+            count: b_card * z_per_b,
+        },
+        LinkCount {
+            from: b,
+            to: a,
+            count: b_card,
+        },
     ];
     let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
     (g, s, [a, x, y, b, z])
+}
+
+/// A randomized tree-with-value-links schema: one section per entry of
+/// `secs` (card, leaf fan-out), leaves under each section, plus value links
+/// picked by index pairs (invalid or duplicate picks are skipped). Value
+/// links create diamonds and cycles, which is exactly the regime where the
+/// path kernels disagree if one of them is wrong.
+fn linked_schema(
+    secs: &[(u64, usize)],
+    link_picks: &[(usize, usize)],
+) -> (SchemaGraph, SchemaStats) {
+    let mut builder = SchemaGraphBuilder::new("root");
+    let mut all = vec![builder.root()];
+    for (i, &(_, fan)) in secs.iter().enumerate() {
+        let sec = builder
+            .add_child(builder.root(), format!("s{i}"), SchemaType::set_of_rcd())
+            .unwrap();
+        all.push(sec);
+        for j in 0..fan {
+            all.push(
+                builder
+                    .add_child(sec, format!("s{i}f{j}"), SchemaType::set_of_rcd())
+                    .unwrap(),
+            );
+        }
+    }
+    let mut value_links = Vec::new();
+    for &(f, t) in link_picks {
+        let from = all[f % all.len()];
+        let to = all[t % all.len()];
+        if from != to && builder.add_value_link(from, to).is_ok() {
+            value_links.push((from, to));
+        }
+    }
+    let g = builder.build().unwrap();
+    // Cardinalities: root 1; section i its given card; each leaf a distinct
+    // multiple of its section's card so RCs vary per edge.
+    let mut cards = vec![0u64; g.len()];
+    cards[g.root().index()] = 1;
+    let mut links = Vec::new();
+    let mut cursor = 1;
+    for &(card, fan) in secs {
+        let sec = all[cursor];
+        cursor += 1;
+        cards[sec.index()] = card;
+        links.push(LinkCount {
+            from: g.root(),
+            to: sec,
+            count: card,
+        });
+        for j in 0..fan {
+            let leaf = all[cursor];
+            cursor += 1;
+            let leaf_card = card * (j as u64 + 1);
+            cards[leaf.index()] = leaf_card;
+            links.push(LinkCount {
+                from: sec,
+                to: leaf,
+                count: leaf_card,
+            });
+        }
+    }
+    for (from, to) in value_links {
+        let count = cards[from.index()].min(cards[to.index()]);
+        links.push(LinkCount { from, to, count });
+    }
+    let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+    (g, s)
 }
 
 proptest! {
@@ -146,45 +243,81 @@ proptest! {
         }
     }
 
-    /// Parallel and serial matrix computation agree bit-for-bit.
+    /// Work-stealing parallel and serial matrix computation agree
+    /// bit-for-bit on randomized value-linked graphs, for both kernels.
+    /// `parallel_threshold: 0` plus an explicit thread count forces the
+    /// parallel path even on single-core machines and small schemas.
     #[test]
-    fn parallel_matrices_match_serial(a in 2u64..60, y in 1u64..10, b in 2u64..60, z in 1u64..10) {
-        // Build a wider schema (> 64 elements) so the parallel path runs.
-        let mut builder = SchemaGraphBuilder::new("root");
-        let mut leaves = Vec::new();
-        for i in 0..9 {
-            let sec = builder
-                .add_child(builder.root(), format!("s{i}"), SchemaType::set_of_rcd())
-                .unwrap();
-            for j in 0..7 {
-                leaves.push(
-                    builder
-                        .add_child(sec, format!("s{i}f{j}"), SchemaType::simple_str())
-                        .unwrap(),
-                );
+    fn parallel_matrices_match_serial(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+    ) {
+        let (g, s) = linked_schema(&secs, &picks);
+        for kernel in [PathKernel::Layered, PathKernel::Dfs] {
+            let cfg = PathConfig { kernel, parallel_threshold: 0, ..Default::default() };
+            let par = PairMatrices::compute_with_threads(&s, &cfg, 4);
+            let ser = PairMatrices::compute_serial(&s, &cfg);
+            for x in g.element_ids() {
+                for t in g.element_ids() {
+                    prop_assert_eq!(par.affinity(x, t).to_bits(), ser.affinity(x, t).to_bits());
+                    prop_assert_eq!(par.coverage(x, t).to_bits(), ser.coverage(x, t).to_bits());
+                }
             }
+            prop_assert_eq!(par.truncated(), ser.truncated());
+            prop_assert_eq!(par.floored(), ser.floored());
+            prop_assert_eq!(par.expansions(), ser.expansions());
         }
-        let g = builder.build().unwrap();
-        let mut cards = vec![1u64];
-        let mut links = Vec::new();
-        for i in 0..9 {
-            let sec = ElementId(1 + (i * 8) as u32);
-            let c = [a, y * 3, b, z * 5, a + b, y + z, 7, a + 1, b + 2][i];
-            cards.push(c);
-            links.push(LinkCount { from: g.root(), to: sec, count: c });
-            for j in 0..7 {
-                let f = ElementId(sec.0 + 1 + j as u32);
-                cards.push(c);
-                links.push(LinkCount { from: sec, to: f, count: c });
-            }
-        }
-        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
-        let par = PairMatrices::compute(&s, &PathConfig::default());
-        let ser = PairMatrices::compute_serial(&s, &PathConfig::default());
+    }
+
+    /// Branch-and-bound pruning is exact: pruned and unpruned DFS
+    /// enumeration produce bit-identical matrices on randomized
+    /// value-linked graphs.
+    #[test]
+    fn pruned_dfs_matches_unpruned(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+    ) {
+        let (g, s) = linked_schema(&secs, &picks);
+        let pruned_cfg = PathConfig { kernel: PathKernel::Dfs, prune: true, ..Default::default() };
+        let unpruned_cfg = PathConfig { kernel: PathKernel::Dfs, prune: false, ..Default::default() };
+        let pruned = PairMatrices::compute_serial(&s, &pruned_cfg);
+        let unpruned = PairMatrices::compute_serial(&s, &unpruned_cfg);
+        // Budget exhaustion stops the two searches at different points;
+        // exactness is only claimed for complete explorations.
+        prop_assume!(!unpruned.truncated());
         for x in g.element_ids() {
             for t in g.element_ids() {
-                prop_assert_eq!(par.affinity(x, t), ser.affinity(x, t));
-                prop_assert_eq!(par.coverage(x, t), ser.coverage(x, t));
+                prop_assert_eq!(pruned.affinity(x, t).to_bits(), unpruned.affinity(x, t).to_bits());
+                prop_assert_eq!(pruned.coverage(x, t).to_bits(), unpruned.coverage(x, t).to_bits());
+            }
+        }
+        prop_assert!(pruned.expansions() <= unpruned.expansions());
+    }
+
+    /// The layered relaxation kernel agrees with exhaustive DFS enumeration
+    /// on randomized value-linked graphs — the empirical counterpart of the
+    /// walks-equal-paths argument (DESIGN.md §3.14).
+    #[test]
+    fn layered_kernel_matches_dfs(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+    ) {
+        let (g, s) = linked_schema(&secs, &picks);
+        let layered = PairMatrices::compute_serial(
+            &s,
+            &PathConfig { kernel: PathKernel::Layered, ..Default::default() },
+        );
+        let dfs = PairMatrices::compute_serial(
+            &s,
+            &PathConfig { kernel: PathKernel::Dfs, ..Default::default() },
+        );
+        prop_assume!(!dfs.truncated() && !layered.truncated());
+        for x in g.element_ids() {
+            for t in g.element_ids() {
+                let (la, da) = (layered.affinity(x, t), dfs.affinity(x, t));
+                prop_assert!((la - da).abs() <= 1e-12 * da.max(1.0), "aff {x}→{t}: {la} vs {da}");
+                let (lc, dc) = (layered.coverage(x, t), dfs.coverage(x, t));
+                prop_assert!((lc - dc).abs() <= 1e-12 * dc.max(1.0), "cov {x}→{t}: {lc} vs {dc}");
             }
         }
     }

@@ -1,0 +1,39 @@
+//! Cold-path all-pairs matrix computation over synthetic schemas of growing
+//! size — the serving layer's dominant cold-start cost. Exercises the
+//! default layered kernel end to end (CSR statistics → per-source
+//! relaxation → row assembly) at sizes well beyond the paper's datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_summary_algo::{PairMatrices, PathConfig};
+use schema_summary_bench::synthetic::random_schema;
+use std::hint::black_box;
+
+fn cold_matrices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cold_matrices");
+    g.sample_size(10);
+    for n in [100usize, 500, 2000] {
+        let (_, s) = random_schema(n, 0.05, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(PairMatrices::compute(&s, &PathConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+/// The same workload at a higher value-link density: value links multiply
+/// simple paths combinatorially, which is the regime the layered kernel
+/// exists for.
+fn cold_matrices_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cold_matrices_dense");
+    g.sample_size(10);
+    for n in [100usize, 500] {
+        let (_, s) = random_schema(n, 0.20, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(PairMatrices::compute(&s, &PathConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cold_matrices, cold_matrices_dense);
+criterion_main!(benches);

@@ -54,7 +54,9 @@ fn selection(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, d| {
             // Caches are warm: this isolates the Figure 7 walk itself.
             let mut s = Summarizer::new(&d.graph, &d.stats);
-            let _ = s.select(paper_summary_size(d.name), Algorithm::Balance).unwrap();
+            let _ = s
+                .select(paper_summary_size(d.name), Algorithm::Balance)
+                .unwrap();
             b.iter(|| {
                 black_box(
                     s.select(paper_summary_size(d.name), Algorithm::Balance)
@@ -88,59 +90,10 @@ fn end_to_end(c: &mut Criterion) {
 /// Scalability beyond the paper's datasets: random schemas of growing size
 /// (tree + 5% value links, profile statistics), full pipeline.
 fn scale(c: &mut Criterion) {
-    use schema_summary_core::stats::LinkCount;
-    use schema_summary_core::{ElementId, SchemaGraphBuilder, SchemaStats, SchemaType};
-
-    fn random_schema(n: usize) -> (schema_summary_core::SchemaGraph, SchemaStats) {
-        // Deterministic xorshift so the bench is stable.
-        let mut state = 0x9e3779b97f4a7c15u64 ^ n as u64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut b = SchemaGraphBuilder::new("root");
-        let mut composites = vec![b.root()];
-        for i in 1..n {
-            let parent = composites[(next() as usize) % composites.len()];
-            let ty = match next() % 3 {
-                0 => SchemaType::simple_str(),
-                1 => SchemaType::set_of_rcd(),
-                _ => SchemaType::rcd(),
-            };
-            let id = b.add_child(parent, format!("e{i}"), ty.clone()).unwrap();
-            if ty.is_composite() {
-                composites.push(id);
-            }
-        }
-        for _ in 0..n / 20 {
-            let f = composites[(next() as usize) % composites.len()];
-            let t = composites[(next() as usize) % composites.len()];
-            let _ = b.add_value_link(f, t);
-        }
-        let g = b.build().unwrap();
-        let mut cards = vec![0u64; g.len()];
-        cards[0] = 1;
-        let mut links = Vec::new();
-        for (p, c) in g.structural_links().collect::<Vec<_>>() {
-            let fan = 1 + next() % 5;
-            let count = cards[p.index()].max(1) * fan;
-            cards[c.index()] = count;
-            links.push(LinkCount { from: p, to: c, count });
-        }
-        for (f, t) in g.value_links().collect::<Vec<_>>() {
-            links.push(LinkCount { from: f, to: t, count: cards[f.index()].max(1) });
-        }
-        let _ = ElementId(0);
-        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
-        (g, s)
-    }
-
     let mut group = c.benchmark_group("scale_end_to_end");
     group.sample_size(10);
     for n in [100usize, 300, 1000] {
-        let (g, s) = random_schema(n);
+        let (g, s) = schema_summary_bench::synthetic::random_schema(n, 0.05, n as u64);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut sum = Summarizer::new(&g, &s);

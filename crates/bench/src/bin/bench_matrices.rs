@@ -1,0 +1,112 @@
+//! Harness target emitting `BENCH_matrices.json`: before/after numbers for
+//! the cold all-pairs matrix pass.
+//!
+//! "Before" is the pre-overhaul algorithm re-measured on this machine — the
+//! DFS enumeration without pruning, which performs the same expansions as
+//! the old recursive kernel — alongside the pruned DFS and the layered
+//! relaxation kernel that is now the default. The XMark SF 1.0 rows are the
+//! acceptance measurement; the synthetic rows show scaling in element count
+//! and value-link density.
+//!
+//! Run with `cargo run --release -p schema-summary-bench --bin bench_matrices`.
+
+use schema_summary_algo::{PairMatrices, PathConfig, PathKernel};
+use schema_summary_bench::synthetic::random_schema;
+use schema_summary_core::SchemaStats;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    mean_ms: f64,
+    expansions: u64,
+    truncated: bool,
+}
+
+#[derive(Serialize)]
+struct DatasetRows {
+    dataset: String,
+    elements: usize,
+    kernels: Vec<KernelRow>,
+    speedup_layered_vs_dfs_unpruned: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: String,
+    config: String,
+    datasets: Vec<DatasetRows>,
+}
+
+fn time_kernel(stats: &SchemaStats, kernel: PathKernel, prune: bool, reps: usize) -> KernelRow {
+    let cfg = PathConfig {
+        kernel,
+        prune,
+        max_expansions: 50_000_000,
+        ..Default::default()
+    };
+    // Warm-up run, then the timed repetitions.
+    let m = PairMatrices::compute(stats, &cfg);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(PairMatrices::compute(stats, &cfg));
+    }
+    let mean_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    KernelRow {
+        kernel: match (kernel, prune) {
+            (PathKernel::Layered, _) => "layered (default)".into(),
+            (PathKernel::Dfs, true) => "dfs pruned".into(),
+            (PathKernel::Dfs, false) => "dfs unpruned (pre-overhaul algorithm)".into(),
+        },
+        mean_ms,
+        expansions: m.expansions(),
+        truncated: m.truncated(),
+    }
+}
+
+fn measure(dataset: String, stats: &SchemaStats, dfs_too: bool) -> DatasetRows {
+    let mut kernels = vec![time_kernel(stats, PathKernel::Layered, true, 5)];
+    if dfs_too {
+        kernels.push(time_kernel(stats, PathKernel::Dfs, true, 3));
+        kernels.push(time_kernel(stats, PathKernel::Dfs, false, 3));
+    }
+    let layered = kernels[0].mean_ms;
+    let unpruned = kernels.last().map_or(layered, |k| k.mean_ms);
+    DatasetRows {
+        dataset,
+        elements: stats.len(),
+        kernels,
+        speedup_layered_vs_dfs_unpruned: unpruned / layered,
+    }
+}
+
+fn main() {
+    let mut datasets = Vec::new();
+
+    let (g, s, _) = schema_summary_datasets::xmark::schema(1.0);
+    datasets.push(measure(format!("XMark SF 1.0 (n={})", g.len()), &s, true));
+
+    for (n, density) in [(100usize, 0.05), (500, 0.05), (2000, 0.05), (500, 0.20)] {
+        let (_, s) = random_schema(n, density, 42);
+        // DFS enumeration on dense synthetic graphs is combinatorial; only
+        // run the comparison where it finishes in reasonable time.
+        let dfs_too = n <= 500 && density <= 0.05;
+        datasets.push(measure(
+            format!("synthetic n={n} density={density}"),
+            &s,
+            dfs_too,
+        ));
+    }
+
+    let report = Report {
+        description: "Cold PairMatrices::compute wall time per kernel; \
+                      'dfs unpruned' re-measures the pre-overhaul algorithm"
+            .into(),
+        config: "PathConfig::default() except kernel/prune (max_edges=10)".into(),
+        datasets,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_matrices.json", &json).expect("write BENCH_matrices.json");
+    println!("{json}");
+}

@@ -24,3 +24,70 @@ pub fn paper_summary_size(name: &str) -> usize {
         _ => 10,
     }
 }
+
+/// Deterministic synthetic schemas for scaling benchmarks beyond the
+/// paper's datasets (its largest, XMark, has 295 annotated elements).
+pub mod synthetic {
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType};
+
+    /// A random schema of `n` elements: a tree grown by attaching each new
+    /// element to a uniformly chosen composite ancestor, plus
+    /// `n · link_density` value links between random composite pairs, with
+    /// profiled statistics (per-edge fan-out 1–5). Fully deterministic in
+    /// `(n, link_density, seed)` — the same inputs always produce the same
+    /// schema, so bench runs are comparable across machines and commits.
+    pub fn random_schema(n: usize, link_density: f64, seed: u64) -> (SchemaGraph, SchemaStats) {
+        // Deterministic xorshift so the bench is stable.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ seed ^ (n as u64).rotate_left(17);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = SchemaGraphBuilder::new("root");
+        let mut composites = vec![b.root()];
+        for i in 1..n {
+            let parent = composites[(next() as usize) % composites.len()];
+            let ty = match next() % 3 {
+                0 => SchemaType::simple_str(),
+                1 => SchemaType::set_of_rcd(),
+                _ => SchemaType::rcd(),
+            };
+            let id = b.add_child(parent, format!("e{i}"), ty.clone()).unwrap();
+            if ty.is_composite() {
+                composites.push(id);
+            }
+        }
+        let value_links = (n as f64 * link_density).round() as usize;
+        for _ in 0..value_links {
+            let f = composites[(next() as usize) % composites.len()];
+            let t = composites[(next() as usize) % composites.len()];
+            let _ = b.add_value_link(f, t);
+        }
+        let g = b.build().unwrap();
+        let mut cards = vec![0u64; g.len()];
+        cards[g.root().index()] = 1;
+        let mut links = Vec::new();
+        for (p, c) in g.structural_links().collect::<Vec<_>>() {
+            let fan = 1 + next() % 5;
+            let count = cards[p.index()].max(1) * fan;
+            cards[c.index()] = count;
+            links.push(LinkCount {
+                from: p,
+                to: c,
+                count,
+            });
+        }
+        for (f, t) in g.value_links().collect::<Vec<_>>() {
+            links.push(LinkCount {
+                from: f,
+                to: t,
+                count: cards[f.index()].max(1),
+            });
+        }
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (g, s)
+    }
+}

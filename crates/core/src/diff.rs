@@ -287,8 +287,7 @@ fn stats_differ(
     // comparable across graphs).
     let adj = |g: &SchemaGraph, s: &SchemaStats, e: ElementId| -> BTreeMap<String, f64> {
         s.rc_neighbors(e)
-            .iter()
-            .map(|&(nb, rc)| (g.label_path(nb), rc))
+            .map(|(nb, rc)| (g.label_path(nb), rc))
             .collect()
     };
     adj(old_graph, old_stats, oe) != adj(new_graph, new_stats, ne)
@@ -302,9 +301,13 @@ mod tests {
 
     fn graph() -> SchemaGraph {
         let mut b = SchemaGraphBuilder::new("db");
-        let a = b.add_child(b.root(), "a", SchemaType::set_of_rcd()).unwrap();
+        let a = b
+            .add_child(b.root(), "a", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_child(a, "a1", SchemaType::simple_str()).unwrap();
-        let c = b.add_child(b.root(), "c", SchemaType::set_of_rcd()).unwrap();
+        let c = b
+            .add_child(b.root(), "c", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_child(c, "c1", SchemaType::simple_str()).unwrap();
         b.build().unwrap()
     }
@@ -376,9 +379,13 @@ mod tests {
 
     fn delta_graph(with_extra: bool, with_link: bool) -> SchemaGraph {
         let mut b = SchemaGraphBuilder::new("db");
-        let a = b.add_child(b.root(), "a", SchemaType::set_of_rcd()).unwrap();
+        let a = b
+            .add_child(b.root(), "a", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_child(a, "a1", SchemaType::simple_str()).unwrap();
-        let c = b.add_child(b.root(), "c", SchemaType::set_of_rcd()).unwrap();
+        let c = b
+            .add_child(b.root(), "c", SchemaType::set_of_rcd())
+            .unwrap();
         if with_extra {
             b.add_child(c, "c1", SchemaType::simple_str()).unwrap();
         }

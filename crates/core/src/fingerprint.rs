@@ -192,11 +192,7 @@ fn write_stats(h: &mut Fnv2, graph: &SchemaGraph, stats: &SchemaStats) {
     }
     h.byte(0x06);
     for e in graph.element_ids() {
-        let mut adj: Vec<(u32, f64)> = stats
-            .rc_neighbors(e)
-            .iter()
-            .map(|&(nb, rc)| (nb.0, rc))
-            .collect();
+        let mut adj: Vec<(u32, f64)> = stats.rc_neighbors(e).map(|(nb, rc)| (nb.0, rc)).collect();
         adj.sort_unstable_by_key(|&(nb, _)| nb);
         h.u64(adj.len() as u64);
         for (nb, rc) in adj {

@@ -52,6 +52,6 @@ pub use fingerprint::SchemaFingerprint;
 pub use graph::{LinkKind, SchemaGraph, SchemaGraphBuilder};
 pub use ids::{AbstractId, ElementId};
 pub use metrics::GraphMetrics;
-pub use stats::SchemaStats;
+pub use stats::{EdgeRec, SchemaStats};
 pub use summary::{SchemaSummary, SummaryNode};
 pub use types::{AtomicType, SchemaType};

@@ -34,13 +34,41 @@ pub struct LinkCount {
     pub count: u64,
 }
 
+/// One record of the flat CSR adjacency: everything the path-exploration
+/// and importance kernels need about an edge `u → neighbor`, precomputed so
+/// the innermost loops never scan an adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeRec {
+    /// The other endpoint.
+    pub neighbor: ElementId,
+    /// `RC(u → neighbor)`, aggregated over parallel links.
+    pub rc: f64,
+    /// `min(1, 1/rc)` — the clamped per-edge affinity factor of Formula 2
+    /// (see `PathConfig::rc_factor`); 0 when the edge is not traversable
+    /// (`rc == 0`).
+    pub rc_factor: f64,
+    /// `W(neighbor → u)` — the *backward* neighbor weight of Formula 1,
+    /// i.e. the weight the coverage product (Formula 3) multiplies in when
+    /// a path crosses this edge forward.
+    pub w_back: f64,
+}
+
 /// Cardinality and relative-cardinality annotations for a schema graph.
+///
+/// The adjacency is stored in compressed-sparse-row form: `adj_off[e]..
+/// adj_off[e+1]` indexes the [`EdgeRec`]s of element `e` in the flat `adj`
+/// array. Edge records carry the derived per-edge factors (`rc_factor`,
+/// `w_back`) so the hot kernels in `schema-summary-algo` are single-pass
+/// over contiguous memory.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchemaStats {
     card: Vec<f64>,
-    /// Per element: `(neighbor, RC(self → neighbor))`, aggregated over
-    /// parallel links between the same pair.
-    rc_adj: Vec<Vec<(ElementId, f64)>>,
+    /// CSR row offsets: element `e`'s edges live at `adj[adj_off[e] ..
+    /// adj_off[e + 1]]`.
+    adj_off: Vec<u32>,
+    /// Flat edge array, aggregated over parallel links between the same
+    /// pair.
+    adj: Vec<EdgeRec>,
     /// Per element: sum of outgoing RCs (denominator of the neighbor weight
     /// in Formula 1).
     rc_sum: Vec<f64>,
@@ -74,8 +102,7 @@ impl SchemaStats {
         // Collect the set of schema links so we can validate inputs and
         // default unmentioned links to zero.
         let mut counts: Vec<(ElementId, ElementId, f64)> = Vec::new();
-        let mut seen =
-            std::collections::HashMap::<(ElementId, ElementId), usize>::new();
+        let mut seen = std::collections::HashMap::<(ElementId, ElementId), usize>::new();
         for (p, c) in graph.structural_links() {
             seen.insert((p, c), counts.len());
             counts.push((p, c, 0.0));
@@ -112,17 +139,55 @@ impl SchemaStats {
             accumulate(&mut rc_adj[e2.index()], e1, rc_bwd);
         }
 
-        let rc_sum = rc_adj
+        let total = card.iter().sum();
+        Ok(Self::from_adjacency(card, rc_adj, total))
+    }
+
+    /// Finalize statistics from per-element cardinalities and a nested
+    /// outgoing-RC adjacency: flattens to CSR and precomputes the per-edge
+    /// factors (`rc_factor`, `w_back`) consumed by the exploration and
+    /// importance kernels.
+    fn from_adjacency(card: Vec<f64>, rc_adj: Vec<Vec<(ElementId, f64)>>, total: f64) -> Self {
+        let n = card.len();
+        let rc_sum: Vec<f64> = rc_adj
             .iter()
             .map(|adj| adj.iter().map(|&(_, rc)| rc).sum())
             .collect();
-        let total = card.iter().sum();
-        Ok(SchemaStats {
+        let mut adj_off = Vec::with_capacity(n + 1);
+        adj_off.push(0u32);
+        let mut adj = Vec::with_capacity(rc_adj.iter().map(Vec::len).sum());
+        for (u, out) in rc_adj.iter().enumerate() {
+            for &(nb, rc) in out {
+                let rc_factor = if rc > 0.0 { (1.0 / rc).min(1.0) } else { 0.0 };
+                // W(nb → u): the reverse edge always exists because the
+                // adjacency is built symmetrically, but its RC (and the
+                // neighbor's whole RC mass) may be zero.
+                let rc_back = rc_adj[nb.index()]
+                    .iter()
+                    .find(|&&(e, _)| e.index() == u)
+                    .map(|&(_, rc)| rc)
+                    .unwrap_or(0.0);
+                let w_back = if rc_sum[nb.index()] > 0.0 {
+                    rc_back / rc_sum[nb.index()]
+                } else {
+                    0.0
+                };
+                adj.push(EdgeRec {
+                    neighbor: nb,
+                    rc,
+                    rc_factor,
+                    w_back,
+                });
+            }
+            adj_off.push(adj.len() as u32);
+        }
+        SchemaStats {
             card,
-            rc_adj,
+            adj_off,
+            adj,
             rc_sum,
             total,
-        })
+        }
     }
 
     /// Schema-driven statistics (Section 5.4's "Full Schema Driven" mode):
@@ -140,37 +205,22 @@ impl SchemaStats {
             accumulate(&mut rc_adj[f.index()], t, 1.0);
             accumulate(&mut rc_adj[t.index()], f, 1.0);
         }
-        let rc_sum = rc_adj
-            .iter()
-            .map(|adj| adj.iter().map(|&(_, rc)| rc).sum())
-            .collect();
-        SchemaStats {
-            card,
-            rc_adj,
-            rc_sum,
-            total: n as f64,
-        }
+        Self::from_adjacency(card, rc_adj, n as f64)
     }
 
     /// A copy of these statistics with every relative cardinality forced to
     /// 1 but cardinalities retained. Combined with uniform initial
     /// importance this realizes the paper's fully-schema-driven ablation.
     pub fn with_unit_rc(&self) -> Self {
-        let rc_adj: Vec<Vec<(ElementId, f64)>> = self
-            .rc_adj
-            .iter()
-            .map(|adj| adj.iter().map(|&(nb, _)| (nb, 1.0)).collect())
+        let rc_adj: Vec<Vec<(ElementId, f64)>> = (0..self.card.len())
+            .map(|u| {
+                self.edges(ElementId(u as u32))
+                    .iter()
+                    .map(|e| (e.neighbor, 1.0))
+                    .collect()
+            })
             .collect();
-        let rc_sum = rc_adj
-            .iter()
-            .map(|adj: &Vec<(ElementId, f64)>| adj.iter().map(|&(_, rc)| rc).sum())
-            .collect();
-        SchemaStats {
-            card: self.card.clone(),
-            rc_adj,
-            rc_sum,
-            total: self.total,
-        }
+        Self::from_adjacency(self.card.clone(), rc_adj, self.total)
     }
 
     /// Number of elements covered by these statistics.
@@ -202,18 +252,27 @@ impl SchemaStats {
     /// nodes connected to each `from` data node. Zero if the two elements
     /// are not linked.
     pub fn rc(&self, from: ElementId, to: ElementId) -> f64 {
-        self.rc_adj[from.index()]
+        self.edges(from)
             .iter()
-            .find(|&&(nb, _)| nb == to)
-            .map(|&(_, rc)| rc)
+            .find(|e| e.neighbor == to)
+            .map(|e| e.rc)
             .unwrap_or(0.0)
+    }
+
+    /// The CSR edge records of `e`: neighbors with their outgoing RCs and
+    /// the precomputed per-edge factors, aggregated over parallel links.
+    #[inline]
+    pub fn edges(&self, e: ElementId) -> &[EdgeRec] {
+        let lo = self.adj_off[e.index()] as usize;
+        let hi = self.adj_off[e.index() + 1] as usize;
+        &self.adj[lo..hi]
     }
 
     /// All neighbors of `e` with their outgoing RCs, aggregated over
     /// parallel links.
     #[inline]
-    pub fn rc_neighbors(&self, e: ElementId) -> &[(ElementId, f64)] {
-        &self.rc_adj[e.index()]
+    pub fn rc_neighbors(&self, e: ElementId) -> impl Iterator<Item = (ElementId, f64)> + '_ {
+        self.edges(e).iter().map(|edge| (edge.neighbor, edge.rc))
     }
 
     /// `Σ_k RC(e → e_k)` over all neighbors — the neighbor-weight
@@ -242,7 +301,8 @@ impl SchemaStats {
     pub fn scaled(&self, factor: f64) -> Self {
         SchemaStats {
             card: self.card.iter().map(|&c| c * factor).collect(),
-            rc_adj: self.rc_adj.clone(),
+            adj_off: self.adj_off.clone(),
+            adj: self.adj.clone(),
             rc_sum: self.rc_sum.clone(),
             total: self.total * factor,
         }
@@ -250,7 +310,7 @@ impl SchemaStats {
 
     /// Ids of elements adjacent to `e` (via either link kind).
     pub fn neighbor_ids(&self, e: ElementId) -> impl Iterator<Item = ElementId> + '_ {
-        self.rc_adj[e.index()].iter().map(|&(nb, _)| nb)
+        self.edges(e).iter().map(|edge| edge.neighbor)
     }
 }
 
@@ -271,12 +331,18 @@ mod tests {
     /// people -> person*; bidder ->V person, seller ->V person.
     fn graph() -> (SchemaGraph, [ElementId; 6]) {
         let mut b = SchemaGraphBuilder::new("site");
-        let oas = b.add_child(b.root(), "open_auctions", SchemaType::rcd()).unwrap();
-        let oa = b.add_child(oas, "open_auction", SchemaType::set_of_rcd()).unwrap();
+        let oas = b
+            .add_child(b.root(), "open_auctions", SchemaType::rcd())
+            .unwrap();
+        let oa = b
+            .add_child(oas, "open_auction", SchemaType::set_of_rcd())
+            .unwrap();
         let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
         let seller = b.add_child(oa, "seller", SchemaType::rcd()).unwrap();
         let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
-        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_value_link(bidder, person).unwrap();
         b.add_value_link(seller, person).unwrap();
         let g = b.build().unwrap();
@@ -290,14 +356,46 @@ mod tests {
         // 1 people, 200 persons.
         let card = vec![1, 1, 100, 500, 100, 1, 200];
         let links = vec![
-            LinkCount { from: ElementId(0), to: oas, count: 1 },
-            LinkCount { from: oas, to: oa, count: 100 },
-            LinkCount { from: oa, to: bidder, count: 500 },
-            LinkCount { from: oa, to: seller, count: 100 },
-            LinkCount { from: ElementId(0), to: people, count: 1 },
-            LinkCount { from: people, to: person, count: 200 },
-            LinkCount { from: bidder, to: person, count: 500 },
-            LinkCount { from: seller, to: person, count: 100 },
+            LinkCount {
+                from: ElementId(0),
+                to: oas,
+                count: 1,
+            },
+            LinkCount {
+                from: oas,
+                to: oa,
+                count: 100,
+            },
+            LinkCount {
+                from: oa,
+                to: bidder,
+                count: 500,
+            },
+            LinkCount {
+                from: oa,
+                to: seller,
+                count: 100,
+            },
+            LinkCount {
+                from: ElementId(0),
+                to: people,
+                count: 1,
+            },
+            LinkCount {
+                from: people,
+                to: person,
+                count: 200,
+            },
+            LinkCount {
+                from: bidder,
+                to: person,
+                count: 500,
+            },
+            LinkCount {
+                from: seller,
+                to: person,
+                count: 100,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &card, &links).unwrap();
         (g, ids, s)
@@ -327,10 +425,7 @@ mod tests {
     fn neighbor_weights_normalize() {
         let (g, _, s) = stats();
         for e in g.element_ids() {
-            let total: f64 = s
-                .neighbor_ids(e)
-                .map(|nb| s.neighbor_weight(e, nb))
-                .sum();
+            let total: f64 = s.neighbor_ids(e).map(|nb| s.neighbor_weight(e, nb)).sum();
             if s.rc_sum(e) > 0.0 {
                 assert!((total - 1.0).abs() < 1e-9, "weights of {e} sum to {total}");
             }
@@ -421,14 +516,22 @@ mod tests {
         let g = b.build().unwrap();
         let card = vec![1, 10, 30];
         let links = vec![
-            LinkCount { from: a, to: c, count: 30 }, // structural: 3 per a
-            LinkCount { from: a, to: c, count: 10 }, // value: 1 per a
+            LinkCount {
+                from: a,
+                to: c,
+                count: 30,
+            }, // structural: 3 per a
+            LinkCount {
+                from: a,
+                to: c,
+                count: 10,
+            }, // value: 1 per a
         ];
         let s = SchemaStats::from_link_counts(&g, &card, &links).unwrap();
         // Parallel RCs add: 4 per a. (But note from_link_counts merges the
         // two LinkCount entries into the *same* schema link here since both
         // structural and value links exist; count sums to 40.)
         assert!(s.rc(a, c) > 0.0);
-        assert_eq!(s.rc_neighbors(a).len(), 2); // root + c
+        assert_eq!(s.rc_neighbors(a).count(), 2); // root + c
     }
 }

@@ -1,4 +1,4 @@
-use schema_summary_algo::{PairMatrices, PathConfig};
+use schema_summary_algo::{PairMatrices, PathConfig, PathKernel};
 use std::time::Instant;
 
 #[test]
@@ -6,9 +6,27 @@ use std::time::Instant;
 fn probe_xmark_matrices_cost() {
     let (g, s, _) = schema_summary_datasets::xmark::schema(1.0);
     for max_edges in [6, 8, 10] {
-        let cfg = PathConfig { max_edges, max_expansions: 2_000_000, ..Default::default() };
-        let t = Instant::now();
-        let m = PairMatrices::compute(&s, &cfg);
-        println!("xmark n={} max_edges={max_edges} took {:?} truncated={}", g.len(), t.elapsed(), m.truncated());
+        for (label, kernel, prune) in [
+            ("dfs-unpruned", PathKernel::Dfs, false),
+            ("dfs-pruned", PathKernel::Dfs, true),
+            ("layered", PathKernel::Layered, true),
+        ] {
+            let cfg = PathConfig {
+                max_edges,
+                max_expansions: 20_000_000,
+                kernel,
+                prune,
+                ..Default::default()
+            };
+            let t = Instant::now();
+            let m = PairMatrices::compute(&s, &cfg);
+            println!(
+                "xmark n={} max_edges={max_edges} kernel={label} took {:?} truncated={} expansions={}",
+                g.len(),
+                t.elapsed(),
+                m.truncated(),
+                m.expansions()
+            );
+        }
     }
 }

@@ -12,7 +12,9 @@ use schema_summary_algo::importance::compute_importance;
 use schema_summary_algo::{DominanceSet, ImportanceResult, PairMatrices, SummarizerConfig};
 use schema_summary_core::{SchemaFingerprint, SchemaGraph, SchemaStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 /// Heavy per-schema intermediates, computed at most once per
 /// `(fingerprint, configuration)` and shared across requests via `Arc`.
@@ -25,6 +27,10 @@ pub struct Artifacts {
     config: SummarizerConfig,
     importance: OnceLock<Arc<ImportanceResult>>,
     matrices: OnceLock<Arc<PairMatrices>>,
+    /// Wall time the matrices took to compute, in microseconds (floored at
+    /// 1 once computed, so 0 means "not computed yet"). This is the
+    /// recomputation cost a cache eviction policy should weigh.
+    matrices_micros: AtomicU64,
     dominance: OnceLock<Arc<DominanceSet>>,
 }
 
@@ -36,6 +42,7 @@ impl Artifacts {
             config,
             importance: OnceLock::new(),
             matrices: OnceLock::new(),
+            matrices_micros: AtomicU64::new(0),
             dominance: OnceLock::new(),
         }
     }
@@ -52,10 +59,22 @@ impl Artifacts {
     }
 
     /// All-pairs affinity/coverage matrices (Formulas 2–3), computed on
-    /// first use.
+    /// first use. The computation's wall time is recorded for
+    /// [`Artifacts::matrices_cost_micros`].
     pub fn matrices(&self) -> &PairMatrices {
-        self.matrices
-            .get_or_init(|| Arc::new(PairMatrices::compute(&self.stats, &self.config.paths)))
+        self.matrices.get_or_init(|| {
+            let start = Instant::now();
+            let matrices = Arc::new(PairMatrices::compute(&self.stats, &self.config.paths));
+            let micros = (start.elapsed().as_micros() as u64).max(1);
+            self.matrices_micros.store(micros, Ordering::Relaxed);
+            matrices
+        })
+    }
+
+    /// Wall time (microseconds, ≥ 1) the all-pairs matrices took to
+    /// compute, or 0 if they have not been forced yet.
+    pub fn matrices_cost_micros(&self) -> u64 {
+        self.matrices_micros.load(Ordering::Relaxed)
     }
 
     /// Dominance pairs (Theorem 1), computed on first use (forces the
@@ -237,6 +256,17 @@ mod tests {
         assert_eq!(i1, i2);
         assert!(!a1.matrices().is_empty());
         let _ = a1.dominance();
+    }
+
+    #[test]
+    fn matrices_cost_is_zero_until_forced() {
+        let catalog = SchemaCatalog::new();
+        let (g, s) = fixture();
+        let (_, entry) = catalog.register(g, s);
+        let a = entry.artifacts(&SummarizerConfig::default());
+        assert_eq!(a.matrices_cost_micros(), 0);
+        let _ = a.matrices();
+        assert!(a.matrices_cost_micros() >= 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A sharded least-recently-used map for cached summary results.
+//! A sharded least-recently-used map for cached summary results, with
+//! cost-weighted eviction.
 //!
 //! The result cache is read-mostly but every hit mutates recency, so a
 //! single global lock would serialize all readers. Keys are therefore
@@ -6,6 +7,13 @@
 //! its own mutex; contention is limited to requests that collide on a
 //! shard. Each shard keeps an intrusive doubly-linked list over a slab so
 //! get/insert are O(1).
+//!
+//! Every entry carries its recomputation cost (microseconds of wall time
+//! the producer spent computing it). Under capacity pressure the victim is
+//! not blindly the list tail: among the [`EVICTION_WINDOW`] least-recently
+//! used entries, the cheapest one is displaced, so a cold-but-expensive
+//! all-pairs matrix result outlives a cold-and-trivial one. With equal
+//! costs this degenerates to exact LRU (ties keep the colder entry).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -14,12 +22,19 @@ use std::sync::Mutex;
 
 const NIL: usize = usize::MAX;
 
+/// How many of the least-recently-used entries compete for eviction; the
+/// cheapest of the window is displaced. The most-recently-used entry is
+/// never victimized (it was just inserted or hit).
+const EVICTION_WINDOW: usize = 4;
+
 struct Slot<K, V> {
     /// The live entry, or `None` for a slot on the free list. Eviction and
     /// `retain` take the entry out immediately — a freed slot must not keep
     /// its old key/value alive until reuse (a cached `Arc<SummaryResult>`
     /// could otherwise stay resident indefinitely).
     entry: Option<(K, V)>,
+    /// Recomputation cost of the entry, in producer-reported microseconds.
+    cost: u64,
     prev: usize,
     next: usize,
 }
@@ -87,37 +102,67 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
         Some(self.slots[i].value().clone())
     }
 
-    /// Unlink slot `i`, drop its entry, and return it to the free list.
-    fn release(&mut self, i: usize) {
+    /// Unlink slot `i`, return its entry, and put the slot on the free
+    /// list.
+    fn release(&mut self, i: usize) -> (K, V) {
         self.unlink(i);
-        let (key, _value) = self.slots[i].entry.take().expect("releasing a live slot");
+        let (key, value) = self.slots[i].entry.take().expect("releasing a live slot");
         self.map.remove(&key);
         self.free.push(i);
+        (key, value)
     }
 
-    /// Insert `key`, returning how many entries were evicted (0 or 1).
-    /// Re-inserting an existing key refreshes its value and recency.
-    fn insert(&mut self, key: K, value: V) -> usize {
+    /// The cheapest entry among the [`EVICTION_WINDOW`] least-recently
+    /// used ones; ties keep the colder entry, and the most-recently-used
+    /// entry only loses when it is the sole entry.
+    fn victim(&self) -> usize {
+        let mut best = self.tail;
+        let mut best_cost = self.slots[best].cost;
+        let mut cur = self.tail;
+        for _ in 1..EVICTION_WINDOW {
+            if cur == self.head {
+                break;
+            }
+            cur = self.slots[cur].prev;
+            if cur == self.head {
+                break;
+            }
+            if self.slots[cur].cost < best_cost {
+                best = cur;
+                best_cost = self.slots[cur].cost;
+            }
+        }
+        best
+    }
+
+    /// Insert `key` with its recomputation cost, returning the displaced
+    /// entry (and its cost) if capacity forced one out. Re-inserting an
+    /// existing key refreshes its value, cost, and recency.
+    fn insert(&mut self, key: K, value: V, cost: u64) -> Option<(K, V, u64)> {
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].entry = Some((key, value));
+            self.slots[i].cost = cost;
             self.unlink(i);
             self.push_front(i);
-            return 0;
+            return None;
         }
-        let mut evicted = 0;
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
-            let lru = self.tail;
-            self.release(lru);
-            evicted = 1;
+            let victim = self.victim();
+            let victim_cost = self.slots[victim].cost;
+            let (k, v) = self.release(victim);
+            evicted = Some((k, v, victim_cost));
         }
         let i = match self.free.pop() {
             Some(i) => {
                 self.slots[i].entry = Some((key.clone(), value));
+                self.slots[i].cost = cost;
                 i
             }
             None => {
                 self.slots.push(Slot {
                     entry: Some((key.clone(), value)),
+                    cost,
                     prev: NIL,
                     next: NIL,
                 });
@@ -139,13 +184,17 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
             .map(|(_, &i)| i)
             .collect();
         for i in doomed.iter().copied() {
-            self.release(i);
+            let _ = self.release(i);
         }
         doomed.len()
     }
 
     fn len(&self) -> usize {
         self.map.len()
+    }
+
+    fn total_cost(&self) -> u64 {
+        self.map.values().map(|&i| self.slots[i].cost).sum()
     }
 }
 
@@ -178,12 +227,14 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         self.shard(key).lock().expect("lru shard poisoned").get(key)
     }
 
-    /// Insert, returning the number of evicted entries.
-    pub fn insert(&self, key: K, value: V) -> usize {
+    /// Insert an entry with its recomputation cost (microseconds),
+    /// returning the displaced entry and its cost if capacity forced an
+    /// eviction.
+    pub fn insert(&self, key: K, value: V, cost: u64) -> Option<(K, V, u64)> {
         self.shard(&key)
             .lock()
             .expect("lru shard poisoned")
-            .insert(key, value)
+            .insert(key, value, cost)
     }
 
     /// Drop entries whose key fails `keep` across all shards; returns the
@@ -202,6 +253,15 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
             .map(|s| s.lock().expect("lru shard poisoned").len())
             .sum()
     }
+
+    /// Summed recomputation cost (microseconds) of every resident entry —
+    /// what it would take to rebuild the cache from nothing.
+    pub fn total_cost(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard poisoned").total_cost())
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -212,37 +272,60 @@ mod tests {
     fn get_insert_roundtrip() {
         let c: ShardedLru<u32, u32> = ShardedLru::new(8, 2);
         assert_eq!(c.get(&1), None);
-        assert_eq!(c.insert(1, 10), 0);
+        assert_eq!(c.insert(1, 10, 5), None);
         assert_eq!(c.get(&1), Some(10));
         assert_eq!(c.len(), 1);
+        assert_eq!(c.total_cost(), 5);
     }
 
     #[test]
-    fn reinsert_refreshes_value() {
+    fn reinsert_refreshes_value_and_cost() {
         let c: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
-        c.insert(1, 10);
-        assert_eq!(c.insert(1, 20), 0);
+        c.insert(1, 10, 3);
+        assert_eq!(c.insert(1, 20, 7), None);
         assert_eq!(c.get(&1), Some(20));
         assert_eq!(c.len(), 1);
+        assert_eq!(c.total_cost(), 7);
     }
 
     #[test]
-    fn evicts_least_recently_used() {
+    fn equal_costs_evict_least_recently_used() {
         let c: ShardedLru<u32, u32> = ShardedLru::new(2, 1);
-        c.insert(1, 10);
-        c.insert(2, 20);
+        c.insert(1, 10, 1);
+        c.insert(2, 20, 1);
         assert_eq!(c.get(&1), Some(10)); // 2 is now LRU
-        assert_eq!(c.insert(3, 30), 1);
+        assert_eq!(c.insert(3, 30, 1), Some((2, 20, 1)));
         assert_eq!(c.get(&2), None);
         assert_eq!(c.get(&1), Some(10));
         assert_eq!(c.get(&3), Some(30));
     }
 
     #[test]
+    fn cheap_entry_loses_to_a_colder_expensive_one() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(3, 1);
+        c.insert(1, 10, 100); // coldest, but expensive
+        c.insert(2, 20, 1); // cheap
+        c.insert(3, 30, 100); // most recent — never victimized
+        assert_eq!(c.insert(4, 40, 100), Some((2, 20, 1)));
+        assert_eq!(c.get(&1), Some(10), "expensive cold entry survives");
+        assert_eq!(c.get(&2), None, "cheap entry was displaced");
+        assert_eq!(c.total_cost(), 300);
+    }
+
+    #[test]
+    fn most_recent_entry_survives_even_when_cheapest() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(2, 1);
+        c.insert(1, 10, 50);
+        c.insert(2, 20, 1); // MRU, cheapest — still protected
+        assert_eq!(c.insert(3, 30, 50), Some((1, 10, 50)));
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
     fn retain_drops_matching_entries() {
         let c: ShardedLru<u32, u32> = ShardedLru::new(16, 4);
         for i in 0..10 {
-            c.insert(i, i);
+            c.insert(i, i, 1);
         }
         let removed = c.retain(|&k| k % 2 == 0);
         assert_eq!(removed, 5);
@@ -256,11 +339,14 @@ mod tests {
         use std::sync::Arc;
         let c: ShardedLru<u32, Arc<String>> = ShardedLru::new(1, 1);
         let first = Arc::new("first".to_string());
-        c.insert(1, Arc::clone(&first));
+        c.insert(1, Arc::clone(&first), 1);
         assert_eq!(Arc::strong_count(&first), 2);
         // Capacity 1: inserting a second key evicts the first. The slot is
-        // freed but not yet reused — the evicted Arc must still be dropped.
-        assert_eq!(c.insert(2, Arc::new("second".to_string())), 1);
+        // freed but not yet reused — once the returned entry is dropped the
+        // evicted Arc must be gone.
+        let evicted = c.insert(2, Arc::new("second".to_string()), 1);
+        assert!(matches!(evicted, Some((1, _, 1))));
+        drop(evicted);
         assert_eq!(
             Arc::strong_count(&first),
             1,
@@ -274,7 +360,7 @@ mod tests {
         let c: ShardedLru<u32, Arc<String>> = ShardedLru::new(8, 2);
         let values: Vec<Arc<String>> = (0..6).map(|i| Arc::new(format!("v{i}"))).collect();
         for (i, v) in values.iter().enumerate() {
-            c.insert(i as u32, Arc::clone(v));
+            c.insert(i as u32, Arc::clone(v), 1);
         }
         let removed = c.retain(|&k| k < 2);
         assert_eq!(removed, 4);
@@ -292,7 +378,7 @@ mod tests {
     fn eviction_then_reuse_of_slots() {
         let c: ShardedLru<u32, u32> = ShardedLru::new(3, 1);
         for i in 0..50 {
-            c.insert(i, i * 2);
+            c.insert(i, i * 2, 1);
         }
         assert_eq!(c.len(), 3);
         for i in 47..50 {

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// Service construction parameters.
 #[derive(Debug, Clone)]
@@ -129,6 +130,15 @@ pub struct CacheStats {
     pub entries: usize,
     /// Schemas currently registered.
     pub schemas: usize,
+    /// Cumulative wall time (µs) spent computing cold results — each cache
+    /// entry is admitted with its share of this as its recomputation cost.
+    pub compute_micros: u64,
+    /// Recomputation cost (µs) of the currently resident entries: what a
+    /// cold restart would pay to rebuild the cache.
+    pub cached_compute_micros: u64,
+    /// Recomputation cost (µs) displaced by capacity eviction — the loss
+    /// the cost-weighted victim selection works to minimize.
+    pub evicted_compute_micros: u64,
 }
 
 impl CacheStats {
@@ -210,8 +220,7 @@ impl Drop for FlightPublisher<'_> {
             .lock()
             .expect("in-flight map poisoned")
             .remove(&self.key);
-        *self.flight.state.lock().expect("flight poisoned") =
-            FlightState::Done(self.result.take());
+        *self.flight.state.lock().expect("flight poisoned") = FlightState::Done(self.result.take());
         self.flight.cv.notify_all();
     }
 }
@@ -233,6 +242,8 @@ pub struct SummaryService {
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    compute_micros: AtomicU64,
+    evicted_compute_micros: AtomicU64,
 }
 
 impl Default for SummaryService {
@@ -255,6 +266,8 @@ impl SummaryService {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            compute_micros: AtomicU64::new(0),
+            evicted_compute_micros: AtomicU64::new(0),
         }
     }
 
@@ -374,8 +387,11 @@ impl SummaryService {
     }
 
     /// Run the selection algorithm for `key` and insert the answer into
-    /// the result cache. Only ever called by a single-flight leader.
+    /// the result cache, recording the computation's wall time as the
+    /// entry's recomputation cost. Only ever called by a single-flight
+    /// leader.
     fn compute_and_cache(&self, key: &CacheKey) -> Result<ServedSummary, ServiceError> {
+        let started = Instant::now();
         let CacheKey {
             fingerprint,
             algorithm,
@@ -418,8 +434,18 @@ impl SummaryService {
             importance,
             coverage,
         });
-        let evicted = self.cache.insert(key.clone(), Arc::clone(&result));
-        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        // Floored at 1µs so even trivially fast entries carry a nonzero
+        // cost (a zero would make them permanent eviction victims for the
+        // wrong reason: "free", not "cheap").
+        let cost = (started.elapsed().as_micros() as u64).max(1);
+        self.compute_micros.fetch_add(cost, Ordering::Relaxed);
+        if let Some((_, _, evicted_cost)) =
+            self.cache.insert(key.clone(), Arc::clone(&result), cost)
+        {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evicted_compute_micros
+                .fetch_add(evicted_cost, Ordering::Relaxed);
+        }
         Ok(ServedSummary {
             result,
             from_cache: false,
@@ -509,6 +535,9 @@ impl SummaryService {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.cache.len(),
             schemas: self.catalog.len(),
+            compute_micros: self.compute_micros.load(Ordering::Relaxed),
+            cached_compute_micros: self.cache.total_cost(),
+            evicted_compute_micros: self.evicted_compute_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -723,5 +752,35 @@ mod tests {
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.evictions, 2);
         assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn compute_cost_is_conserved_across_eviction() {
+        let service = SummaryService::new(ServiceConfig {
+            cache_capacity: 2,
+            cache_shards: 1,
+            summarizer: SummarizerConfig::default(),
+        });
+        let (g, s) = fixture();
+        let fp = service.register(g, s);
+        for k in 1..=2 {
+            service.summarize(fp, Algorithm::Balance, k).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert!(stats.compute_micros >= 2, "every entry costs at least 1µs");
+        assert_eq!(stats.cached_compute_micros, stats.compute_micros);
+        assert_eq!(stats.evicted_compute_micros, 0);
+        // Overflowing capacity moves cost from resident to evicted; the
+        // two buckets always partition the total.
+        for k in 3..=4 {
+            service.summarize(fp, Algorithm::Balance, k).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(
+            stats.cached_compute_micros + stats.evicted_compute_micros,
+            stats.compute_micros
+        );
+        assert!(stats.evicted_compute_micros >= 2);
+        assert!(stats.cached_compute_micros >= 2);
     }
 }
