@@ -168,6 +168,75 @@ impl PairMatrices {
     pub fn expansions(&self) -> u64 {
         self.expansions
     }
+
+    /// Serialize to a compact binary form that round-trips bit-exactly:
+    /// every `f64` is stored as its IEEE-754 bit pattern, so
+    /// [`from_bytes`](Self::from_bytes) rebuilds matrices indistinguishable
+    /// from the originals. This is the persistence format of the serving
+    /// layer's disk tier.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n;
+        let mut out = Vec::with_capacity(8 + 2 + 8 + 16 * n * n);
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.push(u8::from(self.truncated));
+        out.push(u8::from(self.floored));
+        out.extend_from_slice(&self.expansions.to_le_bytes());
+        for &v in &self.affinity {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for &v in &self.coverage {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuild matrices from [`to_bytes`](Self::to_bytes) output. Returns
+    /// `None` on any malformed input (short, long, or inconsistent) —
+    /// callers treat that as a cache miss and recompute.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, len: usize| -> Option<&[u8]> {
+            let end = pos.checked_add(len)?;
+            let slice = bytes.get(*pos..end)?;
+            *pos = end;
+            Some(slice)
+        };
+        let n = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+        // Reject sizes whose matrix byte count cannot even be addressed.
+        let cells = n.checked_mul(n)?;
+        let truncated = match take(&mut pos, 1)?[0] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let floored = match take(&mut pos, 1)?[0] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let expansions = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let read_matrix = |pos: &mut usize| -> Option<Vec<f64>> {
+            let raw = take(pos, cells.checked_mul(8)?)?;
+            Some(
+                raw.chunks_exact(8)
+                    .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                    .collect(),
+            )
+        };
+        let affinity = read_matrix(&mut pos)?;
+        let coverage = read_matrix(&mut pos)?;
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(PairMatrices {
+            n,
+            affinity,
+            coverage,
+            truncated,
+            floored,
+            expansions,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -279,5 +348,37 @@ mod tests {
         let m = PairMatrices::compute_serial(&s, &PathConfig::default());
         assert!(m.expansions() > 0);
         assert!(!m.floored());
+    }
+
+    #[test]
+    fn byte_codec_roundtrips_bitwise() {
+        let (g, s) = chain_stats();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let bytes = m.to_bytes();
+        let back = PairMatrices::from_bytes(&bytes).unwrap();
+        for a in g.element_ids() {
+            for b in g.element_ids() {
+                assert_eq!(m.affinity(a, b).to_bits(), back.affinity(a, b).to_bits());
+                assert_eq!(m.coverage(a, b).to_bits(), back.coverage(a, b).to_bits());
+            }
+        }
+        assert_eq!(m.truncated(), back.truncated());
+        assert_eq!(m.floored(), back.floored());
+        assert_eq!(m.expansions(), back.expansions());
+    }
+
+    #[test]
+    fn byte_codec_rejects_malformed_input() {
+        let (_, s) = chain_stats();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let bytes = m.to_bytes();
+        assert!(PairMatrices::from_bytes(&[]).is_none());
+        assert!(PairMatrices::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(PairMatrices::from_bytes(&long).is_none());
+        let mut bad_flag = bytes;
+        bad_flag[8] = 7; // truncated flag must be 0 or 1
+        assert!(PairMatrices::from_bytes(&bad_flag).is_none());
     }
 }

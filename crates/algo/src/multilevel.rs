@@ -45,6 +45,13 @@ impl MultiLevelSummary {
         &self.levels
     }
 
+    /// Summary sizes per level, finest first — the `sizes` a caller would
+    /// pass to rebuild this stack (level 0's size followed by the coarser
+    /// sizes).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.size()).collect()
+    }
+
     /// The level-`level + 1` group containing level-`level` group `g`.
     pub fn parent_group(&self, level: usize, g: AbstractId) -> Option<AbstractId> {
         self.parent.get(level).map(|p| p[g.index()])

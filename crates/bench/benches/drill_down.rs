@@ -1,0 +1,64 @@
+//! Drill-down benchmarks: interactive exploration is a cold multi-level
+//! build followed by many `expand` requests over the cached stack. The
+//! cold path pays registration, the importance fixpoint, the all-pairs
+//! matrices, and one clustering pass per level; a warm expand is a cache
+//! lookup plus a walk of the stored parent maps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schema_summary_algo::Algorithm;
+use schema_summary_datasets::xmark;
+use schema_summary_service::SummaryService;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SIZES: [usize; 3] = [12, 6, 3];
+
+fn cold_multilevel(c: &mut Criterion) {
+    let (g, s, _) = xmark::schema(1.0);
+    let (graph, stats) = (Arc::new(g), Arc::new(s));
+    c.bench_function("drill_down/cold_multilevel_xmark", |b| {
+        b.iter(|| {
+            // Fresh service per iteration: the full cold path.
+            let service = SummaryService::default();
+            let fp = service.register(Arc::clone(&graph), Arc::clone(&stats));
+            black_box(service.multi_level(fp, Algorithm::Balance, &SIZES).unwrap())
+        })
+    });
+}
+
+fn warm_expand(c: &mut Criterion) {
+    let (g, s, _) = xmark::schema(1.0);
+    let service = SummaryService::default();
+    let fp = service.register(Arc::new(g), Arc::new(s));
+    // Prime the stack; every timed expand walks it without computing.
+    service.multi_level(fp, Algorithm::Balance, &SIZES).unwrap();
+    let mut next = 0usize;
+    c.bench_function("drill_down/warm_expand_xmark", |b| {
+        b.iter(|| {
+            let group = next % SIZES[2];
+            next += 1;
+            black_box(
+                service
+                    .expand(fp, Algorithm::Balance, &SIZES, 2, group)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn cold_flat_summarize(c: &mut Criterion) {
+    // The pre-existing interactive unit of work, for scale: what a user
+    // paid per exploration step before stacks were cached service-side.
+    let (g, s, _) = xmark::schema(1.0);
+    let (graph, stats) = (Arc::new(g), Arc::new(s));
+    c.bench_function("drill_down/cold_flat_summarize_xmark", |b| {
+        b.iter(|| {
+            let service = SummaryService::default();
+            let fp = service.register(Arc::clone(&graph), Arc::clone(&stats));
+            black_box(service.summarize(fp, Algorithm::Balance, SIZES[0]).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, cold_multilevel, warm_expand, cold_flat_summarize);
+criterion_main!(benches);

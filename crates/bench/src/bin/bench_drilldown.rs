@@ -1,0 +1,106 @@
+//! Harness target emitting `BENCH_drilldown.json`: cold multi-level build
+//! versus warm drill-down through the serving layer on XMark SF 1.0.
+//!
+//! The acceptance bar is a ≥10× advantage for a warm `expand` over the
+//! cold flat `summarize` it replaces in an interactive session — the warm
+//! path reuses the cached level stack and memoized matrices instead of
+//! recomputing from the schema graph.
+//!
+//! Run with `cargo run --release -p schema-summary-bench --bin bench_drilldown`.
+
+use schema_summary_algo::Algorithm;
+use schema_summary_datasets::xmark;
+use schema_summary_service::SummaryService;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [12, 6, 3];
+
+#[derive(Serialize)]
+struct Report {
+    description: String,
+    dataset: String,
+    sizes: Vec<usize>,
+    cold_summarize_us: f64,
+    cold_multilevel_us: f64,
+    warm_multilevel_us: f64,
+    warm_expand_us: f64,
+    speedup_warm_expand_vs_cold_summarize: f64,
+    speedup_warm_expand_vs_cold_multilevel: f64,
+}
+
+fn main() {
+    let (g, s, _) = xmark::schema(1.0);
+    let (graph, stats) = (Arc::new(g), Arc::new(s));
+
+    // Cold flat summarize: fresh service per repetition.
+    const COLD_REPS: u32 = 10;
+    let start = Instant::now();
+    for _ in 0..COLD_REPS {
+        let service = SummaryService::default();
+        let fp = service.register(Arc::clone(&graph), Arc::clone(&stats));
+        std::hint::black_box(service.summarize(fp, Algorithm::Balance, SIZES[0]).unwrap());
+    }
+    let cold_summarize_us = start.elapsed().as_secs_f64() * 1e6 / COLD_REPS as f64;
+
+    // Cold multi-level build: fresh service per repetition.
+    let start = Instant::now();
+    for _ in 0..COLD_REPS {
+        let service = SummaryService::default();
+        let fp = service.register(Arc::clone(&graph), Arc::clone(&stats));
+        std::hint::black_box(service.multi_level(fp, Algorithm::Balance, &SIZES).unwrap());
+    }
+    let cold_multilevel_us = start.elapsed().as_secs_f64() * 1e6 / COLD_REPS as f64;
+
+    // One long-lived service: the interactive session shape.
+    let service = SummaryService::default();
+    let fp = service.register(Arc::clone(&graph), Arc::clone(&stats));
+    service.multi_level(fp, Algorithm::Balance, &SIZES).unwrap();
+
+    const WARM_REPS: u32 = 10_000;
+    let start = Instant::now();
+    for _ in 0..WARM_REPS {
+        std::hint::black_box(service.multi_level(fp, Algorithm::Balance, &SIZES).unwrap());
+    }
+    let warm_multilevel_us = start.elapsed().as_secs_f64() * 1e6 / WARM_REPS as f64;
+
+    let start = Instant::now();
+    for i in 0..WARM_REPS {
+        let level = 1 + (i as usize) % 2;
+        let group = (i as usize) % SIZES[level];
+        std::hint::black_box(
+            service
+                .expand(fp, Algorithm::Balance, &SIZES, level, group)
+                .unwrap(),
+        );
+    }
+    let warm_expand_us = start.elapsed().as_secs_f64() * 1e6 / WARM_REPS as f64;
+
+    // The whole warm phase never recomputed anything.
+    let cache = service.cache_stats();
+    assert_eq!(cache.misses, 1, "warm phase must not recompute summaries");
+    assert_eq!(cache.matrices_computed, 1, "warm phase must not recompute matrices");
+
+    let report = Report {
+        description: "Cold multi-level build vs warm drill-down through the \
+                      serving layer; warm expands walk the cached level stack"
+            .into(),
+        dataset: format!("XMark SF 1.0 (n={})", graph.len()),
+        sizes: SIZES.to_vec(),
+        cold_summarize_us,
+        cold_multilevel_us,
+        warm_multilevel_us,
+        warm_expand_us,
+        speedup_warm_expand_vs_cold_summarize: cold_summarize_us / warm_expand_us,
+        speedup_warm_expand_vs_cold_multilevel: cold_multilevel_us / warm_expand_us,
+    };
+    assert!(
+        report.speedup_warm_expand_vs_cold_summarize >= 10.0,
+        "acceptance: warm expand must be >=10x faster than cold summarize \
+         (cold {cold_summarize_us:.1}us vs warm {warm_expand_us:.1}us)"
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_drilldown.json", &json).expect("write BENCH_drilldown.json");
+    println!("{json}");
+}

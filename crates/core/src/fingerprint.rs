@@ -56,6 +56,33 @@ impl SchemaFingerprint {
         h.finish()
     }
 
+    /// Stable 128-bit digest of arbitrary bytes, using the same dual
+    /// FNV-1a streams as the graph fingerprint. The serving layer's disk
+    /// tier keys store files and checksums payloads with this: equal bytes
+    /// always yield equal digests, across processes and platforms.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let mut h = Fnv2::new();
+        h.bytes(bytes);
+        h.finish()
+    }
+
+    /// The fingerprint as 16 little-endian bytes (`hi` then `lo`), for
+    /// fixed-width binary encodings such as store-file checksums.
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.hi.to_le_bytes());
+        out[8..].copy_from_slice(&self.lo.to_le_bytes());
+        out
+    }
+
+    /// Rebuild a fingerprint from [`to_le_bytes`](Self::to_le_bytes).
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
+        SchemaFingerprint {
+            hi: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            lo: u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+        }
+    }
+
     /// The fingerprint as 32 lowercase hex digits.
     pub fn to_hex(self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
@@ -309,6 +336,16 @@ mod tests {
         assert_eq!(SchemaFingerprint::from_hex(&hex), Some(fp));
         assert_eq!(format!("{fp}"), hex);
         assert_eq!(SchemaFingerprint::from_hex("nope"), None);
+    }
+
+    #[test]
+    fn byte_digest_is_stable_and_distinguishes_content() {
+        let a = SchemaFingerprint::of_bytes(b"hello");
+        let b = SchemaFingerprint::of_bytes(b"hello");
+        let c = SchemaFingerprint::of_bytes(b"hellp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(SchemaFingerprint::from_le_bytes(a.to_le_bytes()), a);
     }
 
     #[test]

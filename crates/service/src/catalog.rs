@@ -7,14 +7,56 @@
 //! with it one importance fixpoint, one all-pairs matrix computation, and
 //! one dominance set per algorithm configuration, no matter how many
 //! concurrent requests arrive.
+//!
+//! The registry itself is sharded: fingerprints hash onto a fixed set of
+//! independent `RwLock`ed maps, so registrations and lookups of different
+//! schemas never contend on one lock. [`SchemaCatalog::shard_lens`]
+//! exposes the per-shard entry counts so load balance is observable.
+//!
+//! When the owning store has a disk tier, the all-pairs matrices — the
+//! most expensive artifact — are spilled there in their bit-exact binary
+//! form and rehydrated on the next process's first request instead of
+//! recomputed. [`SchemaCatalog::compute_counters`] tells the two apart.
 
+use crate::disk::{DiskTier, KIND_MATRICES};
 use schema_summary_algo::importance::compute_importance;
 use schema_summary_algo::{DominanceSet, ImportanceResult, PairMatrices, SummarizerConfig};
 use schema_summary_core::{SchemaFingerprint, SchemaGraph, SchemaStats};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+/// Default number of catalog shards (independent registry locks).
+pub const DEFAULT_CATALOG_SHARDS: usize = 8;
+
+/// How matrices were obtained, cumulatively: actually computed vs
+/// rehydrated from the disk tier. Shared by every [`Artifacts`] of one
+/// catalog.
+#[derive(Default)]
+pub(crate) struct ComputeCounters {
+    matrices_computed: AtomicU64,
+    matrices_rehydrated: AtomicU64,
+}
+
+impl ComputeCounters {
+    pub fn matrices_computed(&self) -> u64 {
+        self.matrices_computed.load(Ordering::Relaxed)
+    }
+
+    pub fn matrices_rehydrated(&self) -> u64 {
+        self.matrices_rehydrated.load(Ordering::Relaxed)
+    }
+}
+
+/// Canonical disk-tier key-meta for one schema's matrices under one
+/// configuration.
+fn matrices_meta(fingerprint: SchemaFingerprint, config: &SummarizerConfig) -> String {
+    let options = serde_json::to_string(config).expect("config serializes");
+    format!("mat|{}|{options}", fingerprint.to_hex())
+}
 
 /// Heavy per-schema intermediates, computed at most once per
 /// `(fingerprint, configuration)` and shared across requests via `Arc`.
@@ -22,24 +64,39 @@ use std::time::Instant;
 /// All three artifacts are lazy: a service that only ever answers
 /// `MaxImportance` requests never pays for the all-pairs matrices.
 pub struct Artifacts {
+    fingerprint: SchemaFingerprint,
     graph: Arc<SchemaGraph>,
     stats: Arc<SchemaStats>,
     config: SummarizerConfig,
+    disk: Option<Arc<DiskTier>>,
+    counters: Arc<ComputeCounters>,
     importance: OnceLock<Arc<ImportanceResult>>,
     matrices: OnceLock<Arc<PairMatrices>>,
     /// Wall time the matrices took to compute, in microseconds (floored at
     /// 1 once computed, so 0 means "not computed yet"). This is the
-    /// recomputation cost a cache eviction policy should weigh.
+    /// recomputation cost a cache eviction policy should weigh; a
+    /// rehydrated matrix restores the cost its original computation
+    /// reported.
     matrices_micros: AtomicU64,
     dominance: OnceLock<Arc<DominanceSet>>,
 }
 
 impl Artifacts {
-    fn new(graph: Arc<SchemaGraph>, stats: Arc<SchemaStats>, config: SummarizerConfig) -> Self {
+    fn new(
+        fingerprint: SchemaFingerprint,
+        graph: Arc<SchemaGraph>,
+        stats: Arc<SchemaStats>,
+        config: SummarizerConfig,
+        disk: Option<Arc<DiskTier>>,
+        counters: Arc<ComputeCounters>,
+    ) -> Self {
         Artifacts {
+            fingerprint,
             graph,
             stats,
             config,
+            disk,
+            counters,
             importance: OnceLock::new(),
             matrices: OnceLock::new(),
             matrices_micros: AtomicU64::new(0),
@@ -58,15 +115,46 @@ impl Artifacts {
         })
     }
 
-    /// All-pairs affinity/coverage matrices (Formulas 2–3), computed on
-    /// first use. The computation's wall time is recorded for
-    /// [`Artifacts::matrices_cost_micros`].
+    /// All-pairs affinity/coverage matrices (Formulas 2–3), obtained on
+    /// first use: rehydrated bit-exactly from the disk tier when a
+    /// previous process spilled them there, computed (and spilled)
+    /// otherwise. The recomputation cost is recorded for
+    /// [`Artifacts::matrices_cost_micros`] either way.
     pub fn matrices(&self) -> &PairMatrices {
         self.matrices.get_or_init(|| {
+            if let Some(disk) = &self.disk {
+                let meta = matrices_meta(self.fingerprint, &self.config);
+                if let Some((payload, cost)) = disk.load(self.fingerprint, KIND_MATRICES, &meta) {
+                    if let Some(matrices) = PairMatrices::from_bytes(&payload) {
+                        self.counters
+                            .matrices_rehydrated
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.matrices_micros.store(cost.max(1), Ordering::Relaxed);
+                        return Arc::new(matrices);
+                    }
+                    eprintln!(
+                        "warning: schema-summary store: matrices payload for {} did not decode; recomputing",
+                        self.fingerprint
+                    );
+                }
+            }
             let start = Instant::now();
             let matrices = Arc::new(PairMatrices::compute(&self.stats, &self.config.paths));
             let micros = (start.elapsed().as_micros() as u64).max(1);
             self.matrices_micros.store(micros, Ordering::Relaxed);
+            self.counters
+                .matrices_computed
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(disk) = &self.disk {
+                let meta = matrices_meta(self.fingerprint, &self.config);
+                disk.store(
+                    self.fingerprint,
+                    KIND_MATRICES,
+                    &meta,
+                    micros,
+                    &matrices.to_bytes(),
+                );
+            }
             matrices
         })
     }
@@ -95,6 +183,8 @@ pub struct CatalogEntry {
     fingerprint: SchemaFingerprint,
     graph: Arc<SchemaGraph>,
     stats: Arc<SchemaStats>,
+    disk: Option<Arc<DiskTier>>,
+    counters: Arc<ComputeCounters>,
     /// Artifacts keyed by the summarizer configuration that produced them.
     memo: Mutex<HashMap<SummarizerConfig, Arc<Artifacts>>>,
 }
@@ -122,25 +212,62 @@ impl CatalogEntry {
         memo.entry(config.clone())
             .or_insert_with(|| {
                 Arc::new(Artifacts::new(
+                    self.fingerprint,
                     Arc::clone(&self.graph),
                     Arc::clone(&self.stats),
                     config.clone(),
+                    self.disk.clone(),
+                    Arc::clone(&self.counters),
                 ))
             })
             .clone()
     }
 }
 
-/// Thread-safe registry of annotated schemas keyed by content fingerprint.
-#[derive(Default)]
+/// Thread-safe, sharded registry of annotated schemas keyed by content
+/// fingerprint.
 pub struct SchemaCatalog {
-    entries: RwLock<HashMap<SchemaFingerprint, Arc<CatalogEntry>>>,
+    shards: Vec<RwLock<HashMap<SchemaFingerprint, Arc<CatalogEntry>>>>,
+    disk: Option<Arc<DiskTier>>,
+    counters: Arc<ComputeCounters>,
+}
+
+impl Default for SchemaCatalog {
+    fn default() -> Self {
+        Self::with_tiers(DEFAULT_CATALOG_SHARDS, None)
+    }
 }
 
 impl SchemaCatalog {
-    /// Create an empty catalog.
+    /// Create an empty catalog with the default shard count and no disk
+    /// tier.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty catalog with `shards` registry locks and an
+    /// optional disk tier for matrix spill/rehydration.
+    pub(crate) fn with_tiers(shards: usize, disk: Option<Arc<DiskTier>>) -> Self {
+        SchemaCatalog {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            disk,
+            counters: Arc::new(ComputeCounters::default()),
+        }
+    }
+
+    fn shard(
+        &self,
+        fingerprint: SchemaFingerprint,
+    ) -> &RwLock<HashMap<SchemaFingerprint, Arc<CatalogEntry>>> {
+        let mut h = DefaultHasher::new();
+        fingerprint.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    pub(crate) fn compute_counters(&self) -> &ComputeCounters {
+        &self.counters
     }
 
     /// Register an annotated schema, returning its fingerprint and entry.
@@ -152,7 +279,7 @@ impl SchemaCatalog {
         stats: Arc<SchemaStats>,
     ) -> (SchemaFingerprint, Arc<CatalogEntry>) {
         let fingerprint = SchemaFingerprint::of_annotated(&graph, &stats);
-        let mut entries = self.entries.write().expect("catalog poisoned");
+        let mut entries = self.shard(fingerprint).write().expect("catalog poisoned");
         let entry = entries
             .entry(fingerprint)
             .or_insert_with(|| {
@@ -160,6 +287,8 @@ impl SchemaCatalog {
                     fingerprint,
                     graph,
                     stats,
+                    disk: self.disk.clone(),
+                    counters: Arc::clone(&self.counters),
                     memo: Mutex::new(HashMap::new()),
                 })
             })
@@ -169,7 +298,7 @@ impl SchemaCatalog {
 
     /// Look up a registered schema.
     pub fn get(&self, fingerprint: SchemaFingerprint) -> Option<Arc<CatalogEntry>> {
-        self.entries
+        self.shard(fingerprint)
             .read()
             .expect("catalog poisoned")
             .get(&fingerprint)
@@ -179,7 +308,7 @@ impl SchemaCatalog {
     /// Remove a registered schema, dropping its memoized artifacts.
     /// Returns whether an entry was present.
     pub fn remove(&self, fingerprint: SchemaFingerprint) -> bool {
-        self.entries
+        self.shard(fingerprint)
             .write()
             .expect("catalog poisoned")
             .remove(&fingerprint)
@@ -188,7 +317,10 @@ impl SchemaCatalog {
 
     /// Number of registered schemas.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("catalog poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("catalog poisoned").len())
+            .sum()
     }
 
     /// Whether no schemas are registered.
@@ -196,14 +328,27 @@ impl SchemaCatalog {
         self.len() == 0
     }
 
+    /// Per-shard entry counts, in shard order — how evenly the registered
+    /// schemas spread over the registry locks.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("catalog poisoned").len())
+            .collect()
+    }
+
     /// All registered fingerprints, sorted (deterministic listing order).
     pub fn fingerprints(&self) -> Vec<SchemaFingerprint> {
         let mut fps: Vec<SchemaFingerprint> = self
-            .entries
-            .read()
-            .expect("catalog poisoned")
-            .keys()
-            .copied()
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("catalog poisoned")
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
             .collect();
         fps.sort_unstable();
         fps
@@ -256,6 +401,8 @@ mod tests {
         assert_eq!(i1, i2);
         assert!(!a1.matrices().is_empty());
         let _ = a1.dominance();
+        assert_eq!(catalog.compute_counters().matrices_computed(), 1);
+        assert_eq!(catalog.compute_counters().matrices_rehydrated(), 0);
     }
 
     #[test]
@@ -295,5 +442,63 @@ mod tests {
         let fps = catalog.fingerprints();
         assert_eq!(fps.len(), 2);
         assert!(fps[0] < fps[1]);
+    }
+
+    #[test]
+    fn shard_lens_sum_to_len() {
+        let catalog = SchemaCatalog::with_tiers(4, None);
+        let (g, s) = fixture();
+        catalog.register(g, Arc::clone(&s));
+        let mut b = SchemaGraphBuilder::new("other");
+        b.add_child(b.root(), "x", SchemaType::simple_str())
+            .unwrap();
+        let g2 = Arc::new(b.build().unwrap());
+        let s2 = Arc::new(SchemaStats::uniform(&g2));
+        catalog.register(g2, s2);
+        let lens = catalog.shard_lens();
+        assert_eq!(lens.len(), 4);
+        assert_eq!(lens.iter().sum::<usize>(), catalog.len());
+    }
+
+    #[test]
+    fn matrices_rehydrate_bit_exactly_across_catalogs() {
+        let dir = std::env::temp_dir().join(format!(
+            "schema-summary-catalog-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = Arc::new(DiskTier::open(&dir).unwrap());
+        let (g, s) = fixture();
+        let cfg = SummarizerConfig::default();
+
+        // First catalog computes and spills.
+        let first = SchemaCatalog::with_tiers(2, Some(Arc::clone(&disk)));
+        let (_, entry) = first.register(Arc::clone(&g), Arc::clone(&s));
+        let computed = entry.artifacts(&cfg);
+        let reference = computed.matrices().clone();
+        assert_eq!(first.compute_counters().matrices_computed(), 1);
+        assert!(disk.writes() >= 1);
+
+        // A fresh catalog on the same directory rehydrates, not recomputes.
+        let second = SchemaCatalog::with_tiers(2, Some(Arc::clone(&disk)));
+        let (_, entry) = second.register(Arc::clone(&g), Arc::clone(&s));
+        let rehydrated = entry.artifacts(&cfg);
+        let matrices = rehydrated.matrices();
+        assert_eq!(second.compute_counters().matrices_computed(), 0);
+        assert_eq!(second.compute_counters().matrices_rehydrated(), 1);
+        assert!(rehydrated.matrices_cost_micros() >= 1);
+        for a in g.element_ids() {
+            for b in g.element_ids() {
+                assert_eq!(
+                    matrices.affinity(a, b).to_bits(),
+                    reference.affinity(a, b).to_bits()
+                );
+                assert_eq!(
+                    matrices.coverage(a, b).to_bits(),
+                    reference.coverage(a, b).to_bits()
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

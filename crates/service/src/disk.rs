@@ -1,0 +1,321 @@
+//! The optional disk tier of the artifact store: serialized artifacts
+//! spilled under their stable content key and rehydrated on restart.
+//!
+//! Every artifact lives in its own file named
+//! `<fingerprint-hex>-<kind>-<keydigest-hex>.art`, where the key digest is
+//! the content fingerprint of a canonical key-meta string (algorithm,
+//! sizes, summarizer options). The file carries a self-describing
+//! envelope — magic, kind byte, the key-meta itself, the producer-reported
+//! recomputation cost, the payload, and a 128-bit content checksum — so a
+//! load can verify end-to-end that the bytes on disk are exactly an
+//! artifact for the requested key.
+//!
+//! Loading is corruption-tolerant by design: any mismatch (truncated file,
+//! wrong magic, checksum failure, key-meta collision) logs a warning,
+//! bumps the `corrupt` counter, and returns `None` — the caller recomputes
+//! and overwrites. A bad file is never fatal and never served.
+//!
+//! Writes go through a temp file in the same directory followed by a
+//! rename, so a crash mid-write leaves either the old artifact or none —
+//! never a torn one (the checksum catches torn renames on filesystems
+//! without atomic rename anyway).
+
+use schema_summary_core::SchemaFingerprint;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Envelope magic: identifies a schema-summary artifact file, version 1.
+const MAGIC: &[u8; 8] = b"SSUMART1";
+
+/// Kind byte for serialized [`PairMatrices`](schema_summary_algo::PairMatrices).
+pub(crate) const KIND_MATRICES: u8 = 1;
+/// Kind byte for a flat [`SummaryResult`](crate::SummaryResult) (JSON payload).
+pub(crate) const KIND_FLAT: u8 = 2;
+/// Kind byte for a [`MultiLevelArtifact`](crate::MultiLevelArtifact) (JSON payload).
+pub(crate) const KIND_MULTILEVEL: u8 = 3;
+
+fn kind_tag(kind: u8) -> &'static str {
+    match kind {
+        KIND_MATRICES => "mat",
+        KIND_FLAT => "sum",
+        KIND_MULTILEVEL => "mls",
+        _ => "unk",
+    }
+}
+
+/// Counters for the disk tier, surfaced through
+/// [`CacheStats`](crate::CacheStats).
+pub(crate) struct DiskTier {
+    root: PathBuf,
+    hits: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl DiskTier {
+    /// Open (creating if necessary) a store directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskTier {
+            root,
+            hits: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        })
+    }
+
+    fn path_for(&self, fingerprint: SchemaFingerprint, kind: u8, meta: &str) -> PathBuf {
+        let digest = SchemaFingerprint::of_bytes(meta.as_bytes());
+        self.root.join(format!(
+            "{}-{}-{}.art",
+            fingerprint.to_hex(),
+            kind_tag(kind),
+            digest.to_hex()
+        ))
+    }
+
+    fn discard(&self, path: &Path, reason: &str) -> Option<(Vec<u8>, u64)> {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "warning: schema-summary store: discarding corrupt artifact {} ({reason}); will recompute",
+            path.display()
+        );
+        // Best-effort removal so the bad file is not re-parsed forever.
+        let _ = std::fs::remove_file(path);
+        None
+    }
+
+    /// Load the payload and recomputation cost stored for
+    /// `(fingerprint, kind, meta)`, or `None` when absent or corrupt.
+    pub fn load(&self, fingerprint: SchemaFingerprint, kind: u8, meta: &str) -> Option<(Vec<u8>, u64)> {
+        let path = self.path_for(fingerprint, kind, meta);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return None, // absent (or unreadable): plain miss
+        };
+        // magic(8) kind(1) meta_len(4) meta cost(8) payload_len(8) payload checksum(16)
+        if bytes.len() < 8 + 1 + 4 + 8 + 8 + 16 {
+            return self.discard(&path, "truncated header");
+        }
+        if &bytes[..8] != MAGIC {
+            return self.discard(&path, "bad magic");
+        }
+        let body = &bytes[8..bytes.len() - 16];
+        let checksum = SchemaFingerprint::of_bytes(body).to_le_bytes();
+        if checksum != bytes[bytes.len() - 16..] {
+            return self.discard(&path, "checksum mismatch");
+        }
+        if body[0] != kind {
+            return self.discard(&path, "kind mismatch");
+        }
+        let meta_len = u32::from_le_bytes(body[1..5].try_into().expect("4 bytes")) as usize;
+        let rest = &body[5..];
+        if rest.len() < meta_len + 16 {
+            return self.discard(&path, "truncated key-meta");
+        }
+        if &rest[..meta_len] != meta.as_bytes() {
+            // A digest collision or a file renamed by hand: not ours.
+            return self.discard(&path, "key-meta mismatch");
+        }
+        let rest = &rest[meta_len..];
+        let cost = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+        let payload_len = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes")) as usize;
+        let payload = &rest[16..];
+        if payload.len() != payload_len {
+            return self.discard(&path, "payload length mismatch");
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some((payload.to_vec(), cost))
+    }
+
+    /// Spill `payload` for `(fingerprint, kind, meta)`. Best-effort: an
+    /// I/O failure logs a warning and the artifact simply stays
+    /// memory-only.
+    pub fn store(
+        &self,
+        fingerprint: SchemaFingerprint,
+        kind: u8,
+        meta: &str,
+        cost: u64,
+        payload: &[u8],
+    ) {
+        let path = self.path_for(fingerprint, kind, meta);
+        let mut body =
+            Vec::with_capacity(1 + 4 + meta.len() + 8 + 8 + payload.len());
+        body.push(kind);
+        body.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        body.extend_from_slice(meta.as_bytes());
+        body.extend_from_slice(&cost.to_le_bytes());
+        body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        body.extend_from_slice(payload);
+        let checksum = SchemaFingerprint::of_bytes(&body).to_le_bytes();
+        let mut file = Vec::with_capacity(8 + body.len() + 16);
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&checksum);
+        // Temp-then-rename in the same directory: concurrent writers of the
+        // same key race to an identical final content, and readers never
+        // observe a half-written file under the final name.
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("artifact")
+        ));
+        let outcome = std::fs::write(&tmp, &file).and_then(|()| std::fs::rename(&tmp, &path));
+        match outcome {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                eprintln!(
+                    "warning: schema-summary store: could not spill artifact {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Remove every spilled artifact of one fingerprint (invalidation).
+    pub fn purge(&self, fingerprint: SchemaFingerprint) {
+        let prefix = format!("{}-", fingerprint.to_hex());
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if name
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".art"))
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Artifacts successfully rehydrated from disk. Service-level code
+    /// distinguishes result rehydrations (`CacheStats::disk_hits`) from
+    /// matrix rehydrations (`CacheStats::matrices_rehydrated`); this raw
+    /// total is only asserted by the tier's own tests.
+    #[cfg(test)]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Artifacts spilled to disk.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Files discarded as corrupt (and recomputed).
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier() -> (DiskTier, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "schema-summary-disk-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (DiskTier::open(&dir).unwrap(), dir)
+    }
+
+    fn fp(seed: &str) -> SchemaFingerprint {
+        SchemaFingerprint::of_bytes(seed.as_bytes())
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_payload_and_cost() {
+        let (t, dir) = tier();
+        let f = fp("a");
+        t.store(f, KIND_MATRICES, "meta-1", 42, b"payload bytes");
+        assert_eq!(
+            t.load(f, KIND_MATRICES, "meta-1"),
+            Some((b"payload bytes".to_vec(), 42))
+        );
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.writes(), 1);
+        assert_eq!(t.corrupt(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn absent_and_mismatched_keys_are_plain_misses() {
+        let (t, dir) = tier();
+        let f = fp("b");
+        assert_eq!(t.load(f, KIND_FLAT, "nothing"), None);
+        t.store(f, KIND_FLAT, "meta-a", 1, b"x");
+        // Different meta hashes to a different file: a miss, not corruption.
+        assert_eq!(t.load(f, KIND_FLAT, "meta-b"), None);
+        assert_eq!(t.corrupt(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncated_file_is_discarded_as_corrupt() {
+        let (t, dir) = tier();
+        let f = fp("c");
+        t.store(f, KIND_MULTILEVEL, "meta", 7, b"some payload");
+        let path = t.path_for(f, KIND_MULTILEVEL, "meta");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(t.load(f, KIND_MULTILEVEL, "meta"), None);
+        assert_eq!(t.corrupt(), 1);
+        // The corrupt file was removed; the next load is a plain miss.
+        assert_eq!(t.load(f, KIND_MULTILEVEL, "meta"), None);
+        assert_eq!(t.corrupt(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn garbage_file_is_discarded_as_corrupt() {
+        let (t, dir) = tier();
+        let f = fp("d");
+        let path = t.path_for(f, KIND_FLAT, "meta");
+        std::fs::write(&path, b"this is not an artifact file at all, but long enough to parse")
+            .unwrap();
+        assert_eq!(t.load(f, KIND_FLAT, "meta"), None);
+        assert_eq!(t.corrupt(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let (t, dir) = tier();
+        let f = fp("e");
+        t.store(f, KIND_MATRICES, "meta", 3, b"sensitive payload");
+        let path = t.path_for(f, KIND_MATRICES, "meta");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(t.load(f, KIND_MATRICES, "meta"), None);
+        assert_eq!(t.corrupt(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn purge_removes_only_the_fingerprints_files() {
+        let (t, dir) = tier();
+        let (f1, f2) = (fp("f1"), fp("f2"));
+        t.store(f1, KIND_FLAT, "m1", 1, b"one");
+        t.store(f1, KIND_MATRICES, "m2", 1, b"two");
+        t.store(f2, KIND_FLAT, "m1", 1, b"three");
+        t.purge(f1);
+        assert_eq!(t.load(f1, KIND_FLAT, "m1"), None);
+        assert_eq!(t.load(f1, KIND_MATRICES, "m2"), None);
+        assert_eq!(t.load(f2, KIND_FLAT, "m1"), Some((b"three".to_vec(), 1)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -15,12 +15,19 @@
 //!   affinity/coverage matrices, and the dominance set once per
 //!   configuration, shared across requests via `Arc`;
 //! * [`SummaryService`] answers `MaxImportance` / `MaxCoverage` /
-//!   `BalanceSummary` requests through a sharded LRU result cache keyed by
-//!   `(fingerprint, algorithm, k, options)`, with hit/miss/eviction
-//!   counters;
+//!   `BalanceSummary` requests through a tiered `ArtifactStore`: a sharded
+//!   LRU result cache keyed by `(fingerprint, shape, options)` — where a
+//!   shape is a flat size `k` or a multi-level size stack — plus an
+//!   optional disk tier ([`ServiceConfig::store_dir`]) that spills
+//!   serialized matrices and results and rehydrates them across restarts,
+//!   tolerating corrupt files by recomputing;
+//! * multi-level summaries are first-class requests: `levels` builds and
+//!   caches a whole drill-down stack once, and `expand` opens one group a
+//!   level down by walking the cached stack — a warm expand never
+//!   recomputes matrices;
 //! * invalidation consumes [`SchemaDelta`](schema_summary_core::SchemaDelta)s
-//!   to evict exactly the affected fingerprint instead of flushing the
-//!   world;
+//!   to evict exactly the affected fingerprint — from every tier,
+//!   including spilled files — instead of flushing the world;
 //! * cold computations are deduplicated per key (single-flight): N
 //!   threads missing on the same key run the algorithm exactly once;
 //! * [`SummaryServer`] fronts the service over TCP — line-delimited JSON
@@ -56,14 +63,17 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+mod disk;
 mod lru;
 mod pool;
 pub mod server;
 pub mod service;
+mod store;
 
 pub use catalog::{Artifacts, CatalogEntry, SchemaCatalog};
 pub use server::{ServerConfig, ServerReply, ServerStats, SummaryServer, WireError};
 pub use service::{
-    CacheStats, ServedSummary, ServiceConfig, ServiceError, SummaryRequest, SummaryResult,
-    SummaryService,
+    CacheStats, CatalogStats, ExpandResult, ExpandSpec, GroupView, LevelView, MultiLevelArtifact,
+    MultiLevelResult, ServedExpansion, ServedMultiLevel, ServedReply, ServedSummary,
+    ServiceConfig, ServiceError, SummaryRequest, SummaryResult, SummaryService,
 };

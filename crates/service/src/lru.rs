@@ -254,6 +254,15 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
             .sum()
     }
 
+    /// Per-shard entry counts, in shard order — the load-balance view a
+    /// contention investigation starts from.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard poisoned").len())
+            .collect()
+    }
+
     /// Summed recomputation cost (microseconds) of every resident entry —
     /// what it would take to rebuild the cache from nothing.
     pub fn total_cost(&self) -> u64 {

@@ -27,7 +27,10 @@
 //!   and joins all threads.
 
 use crate::pool::WorkerPool;
-use crate::service::{ServiceError, SummaryRequest, SummaryResult, SummaryService};
+use crate::service::{
+    ExpandResult, MultiLevelResult, ServedReply, ServiceError, SummaryRequest, SummaryResult,
+    SummaryService,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
@@ -94,38 +97,65 @@ impl fmt::Display for ServerStats {
     }
 }
 
-/// One response line. Exactly one of `ok` / `error` is set. `seq` echoes
-/// the 1-based position of the request on its connection so pipelined
-/// clients can correlate. Cache disposition is deliberately *not* on the
-/// wire: concurrent clients must receive byte-identical answers.
+/// One response line. Exactly one of `ok` / `multilevel` / `expansion` /
+/// `error` is set, matching the request shape. `seq` echoes the 1-based
+/// position of the request on its connection so pipelined clients can
+/// correlate. Cache disposition is deliberately *not* on the wire:
+/// concurrent clients must receive byte-identical answers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerReply {
     /// 1-based request number within the connection (0 on connection-level
     /// errors such as the connection cap, which precede any request).
     pub seq: u64,
-    /// The computed summary, when the request succeeded.
+    /// The computed flat summary, when a flat request succeeded.
     pub ok: Option<SummaryResult>,
-    /// The structured error, when it did not.
+    /// The multi-level summary, when a `levels` request succeeded.
+    pub multilevel: Option<MultiLevelResult>,
+    /// The drill-down expansion, when an `expand` request succeeded.
+    pub expansion: Option<ExpandResult>,
+    /// The structured error, when the request did not succeed.
     pub error: Option<WireError>,
 }
 
 impl ServerReply {
-    fn ok(seq: u64, result: &SummaryResult) -> Self {
+    fn empty(seq: u64) -> Self {
         ServerReply {
             seq,
-            ok: Some(result.clone()),
+            ok: None,
+            multilevel: None,
+            expansion: None,
             error: None,
+        }
+    }
+
+    fn ok(seq: u64, result: &SummaryResult) -> Self {
+        ServerReply {
+            ok: Some(result.clone()),
+            ..Self::empty(seq)
+        }
+    }
+
+    fn multilevel(seq: u64, result: &MultiLevelResult) -> Self {
+        ServerReply {
+            multilevel: Some(result.clone()),
+            ..Self::empty(seq)
+        }
+    }
+
+    fn expansion(seq: u64, result: ExpandResult) -> Self {
+        ServerReply {
+            expansion: Some(result),
+            ..Self::empty(seq)
         }
     }
 
     fn error(seq: u64, kind: &str, message: impl Into<String>) -> Self {
         ServerReply {
-            seq,
-            ok: None,
             error: Some(WireError {
                 kind: kind.to_string(),
                 message: message.into(),
             }),
+            ..Self::empty(seq)
         }
     }
 }
@@ -177,7 +207,7 @@ impl Inner {
         let (tx, rx) = mpsc::channel();
         let service = Arc::clone(&self.service);
         let admitted = self.pool.try_execute(move || {
-            let _ = tx.send(service.handle(&request));
+            let _ = tx.send(service.handle_request(&request));
         });
         if admitted.is_err() {
             self.shed.fetch_add(1, Ordering::Relaxed);
@@ -186,7 +216,11 @@ impl Inner {
         match rx.recv_timeout(self.config.request_timeout) {
             Ok(Ok(served)) => {
                 self.served.fetch_add(1, Ordering::Relaxed);
-                ServerReply::ok(seq, &served.result)
+                match served {
+                    ServedReply::Flat(flat) => ServerReply::ok(seq, &flat.result),
+                    ServedReply::MultiLevel(ml) => ServerReply::multilevel(seq, &ml.result.view),
+                    ServedReply::Expansion(exp) => ServerReply::expansion(seq, exp.result),
+                }
             }
             Ok(Err(e)) => {
                 self.served.fetch_add(1, Ordering::Relaxed);

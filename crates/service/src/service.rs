@@ -1,19 +1,24 @@
-//! The concurrent summary service: catalog + memoized artifacts + sharded
-//! LRU result cache + delta-driven invalidation.
+//! The concurrent summary service: a tiered artifact store (sharded
+//! catalog + memoized artifacts + sharded LRU results + optional disk
+//! spill) behind flat, multi-level, and drill-down requests, with
+//! delta-driven invalidation.
 
 use crate::catalog::SchemaCatalog;
-use crate::lru::ShardedLru;
+use crate::disk::DiskTier;
+use crate::store::{ArtifactStore, CachedArtifact, ResultKey, ResultShape};
 use schema_summary_algo::algorithms::{balance_summary, max_coverage, max_importance};
 use schema_summary_algo::assignment::{assign_elements, summary_coverage, summary_importance};
+use schema_summary_algo::multilevel::{build_multi_level, MultiLevelSummary};
 use schema_summary_algo::{Algorithm, SummarizerConfig};
 use schema_summary_core::diff::SchemaDelta;
-use schema_summary_core::{ElementId, SchemaError, SchemaFingerprint, SchemaGraph, SchemaStats};
+use schema_summary_core::{
+    AbstractId, ElementId, SchemaError, SchemaFingerprint, SchemaGraph, SchemaStats,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
 
 /// Service construction parameters.
 #[derive(Debug, Clone)]
@@ -22,6 +27,12 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Number of independent LRU shards (locks).
     pub cache_shards: usize,
+    /// Number of independent schema-catalog shards (locks).
+    pub catalog_shards: usize,
+    /// Directory for the persistent artifact tier. When set, computed
+    /// matrices and results are spilled there and rehydrated on restart;
+    /// when `None` the store is memory-only.
+    pub store_dir: Option<PathBuf>,
     /// Default algorithm configuration used when a request does not
     /// override it.
     pub summarizer: SummarizerConfig,
@@ -32,22 +43,42 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_capacity: 1024,
             cache_shards: 8,
+            catalog_shards: crate::catalog::DEFAULT_CATALOG_SHARDS,
+            store_dir: None,
             summarizer: SummarizerConfig::default(),
         }
     }
 }
 
-/// A summarize request as carried by the JSONL batch driver. All fields
-/// are optional; [`SummaryService::handle`] fills in defaults (the sole
-/// registered schema, the `balance` algorithm, `k = 5`).
+/// One drill-down step in a [`SummaryRequest`]: expand group `group` of
+/// level `level` of the multi-level summary named by the request's
+/// `levels`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpandSpec {
+    /// Which level the expanded group lives in (0 = finest).
+    pub level: usize,
+    /// Group index within that level.
+    pub group: usize,
+}
+
+/// A request as carried by the JSONL batch driver and the TCP server. All
+/// fields are optional; the service fills in defaults (the sole
+/// registered schema, the `balance` algorithm, `k = 5`). `levels` asks
+/// for a multi-level summary; `expand` (which requires `levels`) drills
+/// one group of it down a level.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SummaryRequest {
     /// Name of a registered schema (defaults to the only one registered).
     pub schema: Option<String>,
     /// Algorithm name: `balance`, `importance`, or `coverage`.
     pub algorithm: Option<String>,
-    /// Summary size.
+    /// Summary size (flat requests).
     pub k: Option<usize>,
+    /// Multi-level summary sizes, finest first, strictly decreasing
+    /// (e.g. `[12, 6, 3]`).
+    pub levels: Option<Vec<usize>>,
+    /// Drill one group of the `levels` stack down a level.
+    pub expand: Option<ExpandSpec>,
 }
 
 /// A computed (and cacheable) summary answer.
@@ -69,15 +100,115 @@ pub struct SummaryResult {
     pub coverage: f64,
 }
 
+/// One abstract element of one level, as put on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupView {
+    /// Group index within its level.
+    pub group: usize,
+    /// Root label path of the group's representative element.
+    pub representative: String,
+    /// Number of schema elements the group contains.
+    pub size: usize,
+}
+
+/// One level of a multi-level summary, as put on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelView {
+    /// Number of groups in this level.
+    pub size: usize,
+    /// The level's groups, in group order.
+    pub groups: Vec<GroupView>,
+}
+
+/// The wire answer to a `multilevel` request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiLevelResult {
+    /// Fingerprint of the annotated schema that was summarized.
+    pub fingerprint: SchemaFingerprint,
+    /// Algorithm that selected the finest level.
+    pub algorithm: Algorithm,
+    /// Level sizes, finest first.
+    pub sizes: Vec<usize>,
+    /// The levels, finest first.
+    pub levels: Vec<LevelView>,
+}
+
+/// The wire answer to an `expand` request: one group opened one level
+/// down.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpandResult {
+    /// Fingerprint of the annotated schema that was summarized.
+    pub fingerprint: SchemaFingerprint,
+    /// Algorithm that selected the finest level.
+    pub algorithm: Algorithm,
+    /// Level sizes of the underlying stack, finest first.
+    pub sizes: Vec<usize>,
+    /// The expanded group's level (0 = finest).
+    pub level: usize,
+    /// The expanded group's index within its level.
+    pub group: usize,
+    /// Root label path of the expanded group's representative.
+    pub representative: String,
+    /// The finer-level groups inside the expanded group (empty when
+    /// `level` is 0 — there is no finer level of groups).
+    pub children: Vec<GroupView>,
+    /// The schema elements inside the expanded group (only populated when
+    /// `level` is 0, where drilling down reveals raw elements).
+    pub elements: Vec<String>,
+}
+
+/// A cached multi-level summary: the full level stack (for drill-down)
+/// plus its precomputed wire view. Built once per
+/// `(fingerprint, algorithm, sizes, options)` and shared via `Arc`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLevelArtifact {
+    /// The nested level stack, finest first.
+    pub summary: MultiLevelSummary,
+    /// The wire view served for `multilevel` requests.
+    pub view: MultiLevelResult,
+}
+
 /// A service answer: the (shared) result plus whether it came from the
 /// cache.
 #[derive(Debug, Clone)]
 pub struct ServedSummary {
     /// The summary, shared with the cache.
     pub result: Arc<SummaryResult>,
-    /// `true` if the result was served from the LRU cache without running
+    /// `true` if the result was served from a cache tier without running
     /// any algorithm.
     pub from_cache: bool,
+}
+
+/// A served multi-level summary (the whole stack plus its wire view).
+#[derive(Debug, Clone)]
+pub struct ServedMultiLevel {
+    /// The artifact, shared with the cache.
+    pub result: Arc<MultiLevelArtifact>,
+    /// `true` if the stack was served from a cache tier without running
+    /// any algorithm.
+    pub from_cache: bool,
+}
+
+/// A served drill-down expansion.
+#[derive(Debug, Clone)]
+pub struct ServedExpansion {
+    /// The expansion (small: built by walking the cached level stack).
+    pub result: ExpandResult,
+    /// `true` if the underlying stack came from a cache tier — a warm
+    /// expand never touches the matrices.
+    pub from_cache: bool,
+}
+
+/// Any service answer, for callers (the TCP server, the batch driver)
+/// that route whole [`SummaryRequest`]s.
+#[derive(Debug, Clone)]
+pub enum ServedReply {
+    /// A flat summary.
+    Flat(ServedSummary),
+    /// A multi-level summary.
+    MultiLevel(ServedMultiLevel),
+    /// A drill-down expansion.
+    Expansion(ServedExpansion),
 }
 
 /// Why a request could not be answered.
@@ -116,17 +247,21 @@ impl From<SchemaError> for ServiceError {
 /// Point-in-time cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Requests answered without running an algorithm: result-cache hits
-    /// plus single-flight followers served by a concurrent leader.
+    /// Requests answered from memory without running an algorithm:
+    /// result-cache hits plus single-flight followers served by a
+    /// concurrent leader.
     pub hits: u64,
     /// Requests that ran an algorithm. Single-flight guarantees at most
     /// one miss per distinct in-flight key, however many threads race.
     pub misses: u64,
+    /// Requests answered by rehydrating a spilled result from the disk
+    /// tier (counted in neither `hits` nor `misses`).
+    pub disk_hits: u64,
     /// Entries displaced by LRU capacity pressure.
     pub evictions: u64,
     /// Entries dropped by explicit invalidation.
     pub invalidations: u64,
-    /// Results currently cached.
+    /// Results currently cached in memory.
     pub entries: usize,
     /// Schemas currently registered.
     pub schemas: usize,
@@ -134,15 +269,25 @@ pub struct CacheStats {
     /// entry is admitted with its share of this as its recomputation cost.
     pub compute_micros: u64,
     /// Recomputation cost (µs) of the currently resident entries: what a
-    /// cold restart would pay to rebuild the cache.
+    /// cold restart without a disk tier would pay to rebuild the cache.
     pub cached_compute_micros: u64,
     /// Recomputation cost (µs) displaced by capacity eviction — the loss
     /// the cost-weighted victim selection works to minimize.
     pub evicted_compute_micros: u64,
+    /// All-pairs matrix computations actually run.
+    pub matrices_computed: u64,
+    /// All-pairs matrix computations avoided by rehydrating spilled bytes.
+    pub matrices_rehydrated: u64,
+    /// Artifact files spilled to the disk tier.
+    pub disk_writes: u64,
+    /// Disk-tier files discarded as corrupt (and recomputed).
+    pub disk_corrupt: u64,
 }
 
 impl CacheStats {
     /// `hits / (hits + misses)`, or 0 when nothing was requested yet.
+    /// Disk hits are excluded on both sides: the rate measures the
+    /// memory tier.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -153,76 +298,16 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    fingerprint: SchemaFingerprint,
-    algorithm: Algorithm,
-    k: usize,
-    /// The summarizer configuration itself (`SummarizerConfig` is
-    /// `Hash + Eq` with bit-stable float comparison), so the key survives
-    /// float-formatting and field-order changes and costs no allocation
-    /// beyond the clone.
-    options: SummarizerConfig,
-}
-
-/// One in-flight cold computation (single-flight): the first thread to
-/// miss on a key becomes the leader and computes; followers block here
-/// until the leader publishes, then serve the shared result without ever
-/// running the algorithm themselves.
-struct Flight {
-    state: Mutex<FlightState>,
-    cv: Condvar,
-}
-
-enum FlightState {
-    Pending,
-    /// `Some` carries the leader's answer; `None` means the leader failed
-    /// (or panicked) and followers must compute for themselves.
-    Done(Option<Arc<SummaryResult>>),
-}
-
-impl Flight {
-    fn new() -> Self {
-        Flight {
-            state: Mutex::new(FlightState::Pending),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn wait(&self) -> Option<Arc<SummaryResult>> {
-        let guard = self.state.lock().expect("flight poisoned");
-        let guard = self
-            .cv
-            .wait_while(guard, |s| matches!(s, FlightState::Pending))
-            .expect("flight poisoned");
-        match &*guard {
-            FlightState::Done(result) => result.clone(),
-            FlightState::Pending => unreachable!("wait_while admits only Done"),
-        }
-    }
-}
-
-/// Publishes the leader's outcome on drop — including during a panic
-/// unwind — so followers are never stranded on a vanished leader. The
-/// in-flight entry is removed *after* the cache insert (done by the
-/// computation itself), so late arrivals find the cached result.
-struct FlightPublisher<'a> {
-    service: &'a SummaryService,
-    key: CacheKey,
-    flight: Arc<Flight>,
-    result: Option<Arc<SummaryResult>>,
-}
-
-impl Drop for FlightPublisher<'_> {
-    fn drop(&mut self) {
-        self.service
-            .in_flight
-            .lock()
-            .expect("in-flight map poisoned")
-            .remove(&self.key);
-        *self.flight.state.lock().expect("flight poisoned") = FlightState::Done(self.result.take());
-        self.flight.cv.notify_all();
-    }
+/// Per-shard occupancy of the sharded tiers, for contention
+/// investigations ([`SummaryService::catalog_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogStats {
+    /// Schemas currently registered (sum of `catalog_shard_entries`).
+    pub schemas: usize,
+    /// Registered schemas per catalog shard, in shard order.
+    pub catalog_shard_entries: Vec<usize>,
+    /// Cached results per LRU shard, in shard order.
+    pub result_shard_entries: Vec<usize>,
 }
 
 /// A thread-safe, embeddable summary-serving layer.
@@ -230,20 +315,12 @@ impl Drop for FlightPublisher<'_> {
 /// All methods take `&self`; one `SummaryService` (typically inside an
 /// `Arc`) serves any number of threads. Heavy intermediates are computed
 /// once per `(schema fingerprint, configuration)` and full answers once
-/// per `(fingerprint, algorithm, k, configuration)`.
+/// per `(fingerprint, shape, configuration)`, where a shape is a flat
+/// size `k` or a multi-level size stack.
 pub struct SummaryService {
     config: ServiceConfig,
-    catalog: SchemaCatalog,
     names: RwLock<HashMap<String, SchemaFingerprint>>,
-    cache: ShardedLru<CacheKey, Arc<SummaryResult>>,
-    /// Cold computations currently running, for cache-miss single-flight.
-    in_flight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
-    compute_micros: AtomicU64,
-    evicted_compute_micros: AtomicU64,
+    store: ArtifactStore,
 }
 
 impl Default for SummaryService {
@@ -254,32 +331,44 @@ impl Default for SummaryService {
 
 impl SummaryService {
     /// Create a service with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.store_dir` is set but cannot be created or
+    /// opened; use [`SummaryService::try_new`] to handle that error.
     pub fn new(config: ServiceConfig) -> Self {
-        let cache = ShardedLru::new(config.cache_capacity, config.cache_shards);
-        SummaryService {
+        Self::try_new(config).expect("store directory must be creatable")
+    }
+
+    /// Create a service, propagating a failure to open the persistent
+    /// store directory instead of panicking.
+    pub fn try_new(config: ServiceConfig) -> std::io::Result<Self> {
+        let disk = match &config.store_dir {
+            Some(dir) => Some(Arc::new(DiskTier::open(dir)?)),
+            None => None,
+        };
+        let store = ArtifactStore::new(
+            config.cache_capacity,
+            config.cache_shards,
+            config.catalog_shards,
+            disk,
+        );
+        Ok(SummaryService {
             config,
-            catalog: SchemaCatalog::new(),
             names: RwLock::new(HashMap::new()),
-            cache,
-            in_flight: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            compute_micros: AtomicU64::new(0),
-            evicted_compute_micros: AtomicU64::new(0),
-        }
+            store,
+        })
     }
 
     /// The catalog backing this service.
     pub fn catalog(&self) -> &SchemaCatalog {
-        &self.catalog
+        self.store.catalog()
     }
 
     /// Register an annotated schema; returns its content fingerprint.
     /// Content-identical registrations are deduplicated.
     pub fn register(&self, graph: Arc<SchemaGraph>, stats: Arc<SchemaStats>) -> SchemaFingerprint {
-        self.catalog.register(graph, stats).0
+        self.store.catalog().register(graph, stats).0
     }
 
     /// Register an annotated schema under a name for use in requests.
@@ -334,75 +423,165 @@ impl SummaryService {
         k: usize,
         config: &SummarizerConfig,
     ) -> Result<ServedSummary, ServiceError> {
-        let key = CacheKey {
+        let key = ResultKey {
             fingerprint,
-            algorithm,
-            k,
+            shape: ResultShape::Flat { algorithm, k },
             options: config.clone(),
         };
-        loop {
-            if let Some(result) = self.cache.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(ServedSummary {
-                    result,
-                    from_cache: true,
-                });
-            }
-            let (flight, leader) = {
-                let mut in_flight = self.in_flight.lock().expect("in-flight map poisoned");
-                match in_flight.get(&key) {
-                    Some(flight) => (Arc::clone(flight), false),
-                    None => {
-                        let flight = Arc::new(Flight::new());
-                        in_flight.insert(key.clone(), Arc::clone(&flight));
-                        (Arc::clone(&flight), true)
-                    }
-                }
-            };
-            if leader {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let mut publisher = FlightPublisher {
-                    service: self,
-                    key: key.clone(),
-                    flight,
-                    result: None,
-                };
-                let served = self.compute_and_cache(&key)?;
-                publisher.result = Some(Arc::clone(&served.result));
-                return Ok(served);
-            }
-            match flight.wait() {
-                Some(result) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(ServedSummary {
-                        result,
-                        from_cache: true,
-                    });
-                }
-                // The leader failed; retry from the top (most likely
-                // becoming the new leader and reporting the same error).
-                None => continue,
+        let (artifact, from_cache) = self.store.serve(&key, &|| {
+            self.compute_flat(fingerprint, algorithm, k, config)
+                .map(CachedArtifact::Flat)
+        })?;
+        match artifact {
+            CachedArtifact::Flat(result) => Ok(ServedSummary { result, from_cache }),
+            CachedArtifact::MultiLevel(_) => {
+                unreachable!("a flat key only ever stores a flat artifact")
             }
         }
     }
 
-    /// Run the selection algorithm for `key` and insert the answer into
-    /// the result cache, recording the computation's wall time as the
-    /// entry's recomputation cost. Only ever called by a single-flight
-    /// leader.
-    fn compute_and_cache(&self, key: &CacheKey) -> Result<ServedSummary, ServiceError> {
-        let started = Instant::now();
-        let CacheKey {
+    /// Build (or serve from a cache tier) a multi-level summary for the
+    /// given level sizes (finest first, strictly decreasing), using the
+    /// service's default algorithm configuration.
+    pub fn multi_level(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        sizes: &[usize],
+    ) -> Result<ServedMultiLevel, ServiceError> {
+        let config = self.config.summarizer.clone();
+        self.multi_level_with(fingerprint, algorithm, sizes, &config)
+    }
+
+    /// Build (or serve from a cache tier) a multi-level summary with an
+    /// explicit algorithm configuration. The whole stack is one cache
+    /// entry, so every later drill-down reuses it.
+    pub fn multi_level_with(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        sizes: &[usize],
+        config: &SummarizerConfig,
+    ) -> Result<ServedMultiLevel, ServiceError> {
+        if sizes.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "levels must name at least one size".into(),
+            ));
+        }
+        let key = ResultKey {
             fingerprint,
-            algorithm,
-            k,
-            options: config,
-        } = key;
-        let (fingerprint, algorithm, k) = (*fingerprint, *algorithm, *k);
+            shape: ResultShape::MultiLevel {
+                algorithm,
+                sizes: sizes.to_vec(),
+            },
+            options: config.clone(),
+        };
+        let (artifact, from_cache) = self.store.serve(&key, &|| {
+            self.compute_multi_level(fingerprint, algorithm, sizes, config)
+                .map(CachedArtifact::MultiLevel)
+        })?;
+        match artifact {
+            CachedArtifact::MultiLevel(result) => Ok(ServedMultiLevel { result, from_cache }),
+            CachedArtifact::Flat(_) => {
+                unreachable!("a multi-level key only ever stores a multi-level artifact")
+            }
+        }
+    }
+
+    /// Drill one group of a multi-level summary down a level, using the
+    /// service's default algorithm configuration. The underlying stack is
+    /// built (and cached) on first use; a warm expand only walks the
+    /// cached stack — it never recomputes matrices or selections.
+    pub fn expand(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        sizes: &[usize],
+        level: usize,
+        group: usize,
+    ) -> Result<ServedExpansion, ServiceError> {
+        let config = self.config.summarizer.clone();
+        self.expand_with(fingerprint, algorithm, sizes, level, group, &config)
+    }
+
+    /// Drill-down with an explicit algorithm configuration.
+    pub fn expand_with(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        sizes: &[usize],
+        level: usize,
+        group: usize,
+        config: &SummarizerConfig,
+    ) -> Result<ServedExpansion, ServiceError> {
+        let served = self.multi_level_with(fingerprint, algorithm, sizes, config)?;
+        let ml = &served.result.summary;
+        if level >= ml.depth() {
+            return Err(ServiceError::BadRequest(format!(
+                "level {level} out of range (stack depth {})",
+                ml.depth()
+            )));
+        }
+        let level_summary = ml.level(level);
+        let Some(expanded) = level_summary.abstracts().get(group) else {
+            return Err(ServiceError::BadRequest(format!(
+                "group {group} out of range at level {level} (size {})",
+                level_summary.size()
+            )));
+        };
         let entry = self
-            .catalog
+            .store
+            .catalog()
             .get(fingerprint)
             .ok_or(ServiceError::UnknownFingerprint(fingerprint))?;
+        let graph = entry.graph();
+        let (children, elements) = if level == 0 {
+            let elements = expanded
+                .members
+                .iter()
+                .map(|&e| graph.label_path(e))
+                .collect();
+            (Vec::new(), elements)
+        } else {
+            let fine = ml.level(level - 1);
+            let children = ml
+                .child_groups(level - 1, AbstractId(group as u32))
+                .into_iter()
+                .map(|cg| {
+                    let child = &fine.abstracts()[cg.index()];
+                    GroupView {
+                        group: cg.index(),
+                        representative: graph.label_path(child.representative),
+                        size: child.members.len(),
+                    }
+                })
+                .collect();
+            (children, Vec::new())
+        };
+        Ok(ServedExpansion {
+            result: ExpandResult {
+                fingerprint,
+                algorithm,
+                sizes: ml.sizes(),
+                level,
+                group,
+                representative: graph.label_path(expanded.representative),
+                children,
+                elements,
+            },
+            from_cache: served.from_cache,
+        })
+    }
+
+    /// Run the selection algorithm shared by flat and multi-level
+    /// requests.
+    fn select_elements(
+        &self,
+        entry: &crate::catalog::CatalogEntry,
+        algorithm: Algorithm,
+        k: usize,
+        config: &SummarizerConfig,
+    ) -> Result<Vec<ElementId>, ServiceError> {
         let graph = entry.graph();
         let stats = entry.stats();
         let artifacts = entry.artifacts(config);
@@ -420,12 +599,32 @@ impl SummaryService {
                 balance_summary(graph, artifacts.importance(), artifacts.dominance(), k)?
             }
         };
+        Ok(selection)
+    }
+
+    /// Compute a cold flat summary (called by a single-flight leader).
+    fn compute_flat(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        k: usize,
+        config: &SummarizerConfig,
+    ) -> Result<Arc<SummaryResult>, ServiceError> {
+        let entry = self
+            .store
+            .catalog()
+            .get(fingerprint)
+            .ok_or(ServiceError::UnknownFingerprint(fingerprint))?;
+        let selection = self.select_elements(&entry, algorithm, k, config)?;
+        let graph = entry.graph();
+        let stats = entry.stats();
+        let artifacts = entry.artifacts(config);
         let matrices = artifacts.matrices();
         let assignment = assign_elements(graph, matrices, &selection);
         let importance = summary_importance(graph, artifacts.importance(), &selection);
         let coverage = summary_coverage(graph, stats, matrices, &selection, &assignment);
         let labels = selection.iter().map(|&e| graph.label_path(e)).collect();
-        let result = Arc::new(SummaryResult {
+        Ok(Arc::new(SummaryResult {
             fingerprint,
             algorithm,
             k,
@@ -433,29 +632,70 @@ impl SummaryService {
             labels,
             importance,
             coverage,
-        });
-        // Floored at 1µs so even trivially fast entries carry a nonzero
-        // cost (a zero would make them permanent eviction victims for the
-        // wrong reason: "free", not "cheap").
-        let cost = (started.elapsed().as_micros() as u64).max(1);
-        self.compute_micros.fetch_add(cost, Ordering::Relaxed);
-        if let Some((_, _, evicted_cost)) =
-            self.cache.insert(key.clone(), Arc::clone(&result), cost)
-        {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            self.evicted_compute_micros
-                .fetch_add(evicted_cost, Ordering::Relaxed);
-        }
-        Ok(ServedSummary {
-            result,
-            from_cache: false,
-        })
+        }))
     }
 
-    /// Answer a [`SummaryRequest`] from the JSONL driver: resolves the
-    /// schema name (defaulting to the sole registered schema), parses the
-    /// algorithm name, and applies `k = 5` when unspecified.
-    pub fn handle(&self, request: &SummaryRequest) -> Result<ServedSummary, ServiceError> {
+    /// Compute a cold multi-level stack (called by a single-flight
+    /// leader): select the finest level, then derive the coarser levels
+    /// from the memoized matrices.
+    fn compute_multi_level(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        sizes: &[usize],
+        config: &SummarizerConfig,
+    ) -> Result<Arc<MultiLevelArtifact>, ServiceError> {
+        let entry = self
+            .store
+            .catalog()
+            .get(fingerprint)
+            .ok_or(ServiceError::UnknownFingerprint(fingerprint))?;
+        let selection = self.select_elements(&entry, algorithm, sizes[0], config)?;
+        let graph = entry.graph();
+        let artifacts = entry.artifacts(config);
+        let summary = build_multi_level(graph, artifacts.matrices(), &selection, &sizes[1..])?;
+        let view = Self::view_of(graph, fingerprint, algorithm, &summary);
+        Ok(Arc::new(MultiLevelArtifact { summary, view }))
+    }
+
+    /// Project a level stack onto its wire view.
+    fn view_of(
+        graph: &SchemaGraph,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        summary: &MultiLevelSummary,
+    ) -> MultiLevelResult {
+        let levels = summary
+            .levels()
+            .iter()
+            .map(|level| LevelView {
+                size: level.size(),
+                groups: level
+                    .abstracts()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| GroupView {
+                        group: i,
+                        representative: graph.label_path(a.representative),
+                        size: a.members.len(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        MultiLevelResult {
+            fingerprint,
+            algorithm,
+            sizes: summary.sizes(),
+            levels,
+        }
+    }
+
+    /// Resolve a request's schema name (defaulting to the sole registered
+    /// schema) and algorithm.
+    fn resolve(
+        &self,
+        request: &SummaryRequest,
+    ) -> Result<(SchemaFingerprint, Algorithm), ServiceError> {
         let fingerprint = match &request.schema {
             Some(name) => self
                 .fingerprint_of(name)
@@ -477,18 +717,55 @@ impl SummaryService {
             None => Algorithm::Balance,
             Some(name) => name.parse().map_err(ServiceError::BadRequest)?,
         };
-        self.summarize(fingerprint, algorithm, request.k.unwrap_or(5))
+        Ok((fingerprint, algorithm))
     }
 
-    /// Evict one fingerprint: its catalog entry (with all memoized
-    /// artifacts) and every cached result computed from it. Returns the
-    /// number of cached results dropped.
+    /// Answer any [`SummaryRequest`]: `expand` (requires `levels`) drills
+    /// a cached stack, `levels` builds/serves a multi-level summary, and
+    /// otherwise a flat summary with `k = 5` by default.
+    pub fn handle_request(&self, request: &SummaryRequest) -> Result<ServedReply, ServiceError> {
+        let (fingerprint, algorithm) = self.resolve(request)?;
+        let config = self.config.summarizer.clone();
+        match (&request.levels, &request.expand) {
+            (None, Some(_)) => Err(ServiceError::BadRequest(
+                "expand requires levels (the stack to drill into)".into(),
+            )),
+            (Some(sizes), Some(spec)) => self
+                .expand_with(
+                    fingerprint,
+                    algorithm,
+                    sizes,
+                    spec.level,
+                    spec.group,
+                    &config,
+                )
+                .map(ServedReply::Expansion),
+            (Some(sizes), None) => self
+                .multi_level_with(fingerprint, algorithm, sizes, &config)
+                .map(ServedReply::MultiLevel),
+            (None, None) => self
+                .summarize(fingerprint, algorithm, request.k.unwrap_or(5))
+                .map(ServedReply::Flat),
+        }
+    }
+
+    /// Answer a flat [`SummaryRequest`] (compatibility entry point for
+    /// embedders; multi-level requests go through
+    /// [`SummaryService::handle_request`]).
+    pub fn handle(&self, request: &SummaryRequest) -> Result<ServedSummary, ServiceError> {
+        match self.handle_request(request)? {
+            ServedReply::Flat(served) => Ok(served),
+            _ => Err(ServiceError::BadRequest(
+                "multi-level request answered through handle(); use handle_request()".into(),
+            )),
+        }
+    }
+
+    /// Evict one fingerprint from every tier: its catalog entry (with all
+    /// memoized artifacts), every cached result computed from it, and its
+    /// spilled files. Returns the number of cached results dropped.
     pub fn invalidate(&self, fingerprint: SchemaFingerprint) -> usize {
-        self.catalog.remove(fingerprint);
-        let dropped = self.cache.retain(|key| key.fingerprint != fingerprint);
-        self.invalidations
-            .fetch_add(dropped as u64, Ordering::Relaxed);
-        dropped
+        self.store.invalidate(fingerprint)
     }
 
     /// Invalidation hook for schema deltas (`schema_summary_core::diff`):
@@ -517,7 +794,8 @@ impl SummaryService {
             .fingerprint_of(name)
             .ok_or_else(|| ServiceError::UnknownSchema(name.to_string()))?;
         let old = self
-            .catalog
+            .store
+            .catalog()
             .get(old_fp)
             .ok_or(ServiceError::UnknownFingerprint(old_fp))?;
         let delta = SchemaDelta::compute(old.graph(), old.stats(), &graph, &stats);
@@ -528,16 +806,36 @@ impl SummaryService {
 
     /// Current cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
+        let counters = self.store.catalog().compute_counters();
+        let (disk_writes, disk_corrupt) = match self.store.disk() {
+            Some(disk) => (disk.writes(), disk.corrupt()),
+            None => (0, 0),
+        };
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self.cache.len(),
-            schemas: self.catalog.len(),
-            compute_micros: self.compute_micros.load(Ordering::Relaxed),
-            cached_compute_micros: self.cache.total_cost(),
-            evicted_compute_micros: self.evicted_compute_micros.load(Ordering::Relaxed),
+            hits: self.store.hits(),
+            misses: self.store.misses(),
+            disk_hits: self.store.disk_hits(),
+            evictions: self.store.evictions(),
+            invalidations: self.store.invalidations(),
+            entries: self.store.entries(),
+            schemas: self.store.catalog().len(),
+            compute_micros: self.store.compute_micros(),
+            cached_compute_micros: self.store.cached_compute_micros(),
+            evicted_compute_micros: self.store.evicted_compute_micros(),
+            matrices_computed: counters.matrices_computed(),
+            matrices_rehydrated: counters.matrices_rehydrated(),
+            disk_writes,
+            disk_corrupt,
+        }
+    }
+
+    /// Per-shard occupancy of the catalog and result tiers.
+    pub fn catalog_stats(&self) -> CatalogStats {
+        let catalog_shard_entries = self.store.catalog().shard_lens();
+        CatalogStats {
+            schemas: catalog_shard_entries.iter().sum(),
+            catalog_shard_entries,
+            result_shard_entries: self.store.result_shard_lens(),
         }
     }
 }
@@ -668,6 +966,7 @@ mod tests {
                 schema: Some("site".into()),
                 algorithm: Some("importance".into()),
                 k: Some(2),
+                ..Default::default()
             })
             .unwrap();
         assert_eq!(named.result.algorithm, Algorithm::MaxImportance);
@@ -741,7 +1040,7 @@ mod tests {
         let service = SummaryService::new(ServiceConfig {
             cache_capacity: 2,
             cache_shards: 1,
-            summarizer: SummarizerConfig::default(),
+            ..Default::default()
         });
         let (g, s) = fixture();
         let fp = service.register(g, s);
@@ -759,7 +1058,7 @@ mod tests {
         let service = SummaryService::new(ServiceConfig {
             cache_capacity: 2,
             cache_shards: 1,
-            summarizer: SummarizerConfig::default(),
+            ..Default::default()
         });
         let (g, s) = fixture();
         let fp = service.register(g, s);
@@ -782,5 +1081,129 @@ mod tests {
         );
         assert!(stats.evicted_compute_micros >= 2);
         assert!(stats.cached_compute_micros >= 2);
+    }
+
+    #[test]
+    fn multilevel_is_cached_and_matches_direct_build() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp = service.register(Arc::clone(&g), Arc::clone(&s));
+        let sizes = [4usize, 2];
+        let cold = service.multi_level(fp, Algorithm::Balance, &sizes).unwrap();
+        assert!(!cold.from_cache);
+        let warm = service.multi_level(fp, Algorithm::Balance, &sizes).unwrap();
+        assert!(warm.from_cache);
+        assert!(Arc::ptr_eq(&cold.result, &warm.result));
+
+        let mut facade = schema_summary_algo::Summarizer::new(&g, &s);
+        let expected = facade.multi_level(&sizes, Algorithm::Balance).unwrap();
+        assert_eq!(cold.result.summary, expected);
+        assert_eq!(cold.result.view.sizes, vec![4, 2]);
+        assert_eq!(cold.result.view.levels.len(), 2);
+        assert_eq!(cold.result.view.levels[0].groups.len(), 4);
+    }
+
+    #[test]
+    fn expand_drills_one_level_and_is_warm_after_the_stack_exists() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp = service.register(Arc::clone(&g), Arc::clone(&s));
+        let sizes = [4usize, 2];
+        // The first expand builds (and caches) the stack.
+        let exp = service.expand(fp, Algorithm::Balance, &sizes, 1, 0).unwrap();
+        assert!(!exp.from_cache);
+        assert!(!exp.result.children.is_empty());
+        let computed_before = service.cache_stats().matrices_computed;
+
+        // Level-1 expansion lists the level-0 child groups.
+        let exp = service.expand(fp, Algorithm::Balance, &sizes, 1, 1).unwrap();
+        assert!(exp.from_cache);
+        assert!(!exp.result.children.is_empty());
+        assert!(exp.result.elements.is_empty());
+        let total_children: usize = (0..2)
+            .map(|grp| {
+                service
+                    .expand(fp, Algorithm::Balance, &sizes, 1, grp)
+                    .unwrap()
+                    .result
+                    .children
+                    .len()
+            })
+            .sum();
+        assert_eq!(total_children, 4, "level-1 groups partition the 4 finer groups");
+
+        // Level-0 expansion lists raw schema elements.
+        let exp = service.expand(fp, Algorithm::Balance, &sizes, 0, 0).unwrap();
+        assert!(exp.result.children.is_empty());
+        assert!(!exp.result.elements.is_empty());
+
+        // None of the warm expands recomputed matrices.
+        assert_eq!(service.cache_stats().matrices_computed, computed_before);
+
+        // Out-of-range requests are BadRequest, not panics.
+        assert!(matches!(
+            service.expand(fp, Algorithm::Balance, &sizes, 2, 0),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert!(matches!(
+            service.expand(fp, Algorithm::Balance, &sizes, 1, 9),
+            Err(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn handle_request_routes_all_three_shapes() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        service.register_named("site", g, s);
+        let flat = service.handle_request(&SummaryRequest::default()).unwrap();
+        assert!(matches!(flat, ServedReply::Flat(_)));
+        let ml = service
+            .handle_request(&SummaryRequest {
+                levels: Some(vec![4, 2]),
+                ..Default::default()
+            })
+            .unwrap();
+        let ServedReply::MultiLevel(ml) = ml else {
+            panic!("levels must produce a multi-level reply");
+        };
+        assert_eq!(ml.result.view.sizes, vec![4, 2]);
+        let exp = service
+            .handle_request(&SummaryRequest {
+                levels: Some(vec![4, 2]),
+                expand: Some(ExpandSpec { level: 1, group: 0 }),
+                ..Default::default()
+            })
+            .unwrap();
+        let ServedReply::Expansion(exp) = exp else {
+            panic!("expand must produce an expansion reply");
+        };
+        assert!(exp.from_cache, "the stack was cached by the previous request");
+        // expand without levels is rejected.
+        assert!(matches!(
+            service.handle_request(&SummaryRequest {
+                expand: Some(ExpandSpec { level: 0, group: 0 }),
+                ..Default::default()
+            }),
+            Err(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn catalog_stats_expose_shard_occupancy() {
+        let service = SummaryService::new(ServiceConfig {
+            catalog_shards: 4,
+            cache_shards: 2,
+            ..Default::default()
+        });
+        let (g, s) = fixture();
+        let fp = service.register(g, s);
+        service.summarize(fp, Algorithm::Balance, 2).unwrap();
+        let stats = service.catalog_stats();
+        assert_eq!(stats.schemas, 1);
+        assert_eq!(stats.catalog_shard_entries.len(), 4);
+        assert_eq!(stats.catalog_shard_entries.iter().sum::<usize>(), 1);
+        assert_eq!(stats.result_shard_entries.len(), 2);
+        assert_eq!(stats.result_shard_entries.iter().sum::<usize>(), 1);
     }
 }

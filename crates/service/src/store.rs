@@ -1,0 +1,368 @@
+//! The unified artifact store: one keyed-entry interface over the schema
+//! catalog, the sharded LRU result tier, and the optional disk tier.
+//!
+//! Every servable artifact — a flat summary or a multi-level stack — is
+//! addressed by a [`ResultKey`]: the schema's content fingerprint, the
+//! result *shape* (algorithm plus `k` or level sizes), and the full
+//! summarizer configuration. The store serves a key through three tiers:
+//!
+//! 1. **memory** — the sharded, cost-weighted LRU (`hits`);
+//! 2. **disk** — the optional spill directory, rehydrated with its
+//!    original recomputation cost and promoted back into memory
+//!    (`disk_hits`);
+//! 3. **compute** — the caller-supplied closure, run under per-key
+//!    single-flight so N concurrent misses on one key compute once
+//!    (`misses`), then spilled to disk and inserted into memory.
+//!
+//! Invalidation drops a fingerprint from all three tiers at once.
+
+use crate::catalog::SchemaCatalog;
+use crate::disk::{DiskTier, KIND_FLAT, KIND_MULTILEVEL};
+use crate::lru::ShardedLru;
+use crate::service::{MultiLevelArtifact, ServiceError, SummaryResult};
+use schema_summary_algo::{Algorithm, SummarizerConfig};
+use schema_summary_core::SchemaFingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What kind of answer a key names (and the request parameters that shape
+/// it). Part of [`ResultKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum ResultShape {
+    /// A flat summary of size `k`.
+    Flat { algorithm: Algorithm, k: usize },
+    /// A multi-level stack with the given level sizes, finest first.
+    MultiLevel {
+        algorithm: Algorithm,
+        sizes: Vec<usize>,
+    },
+}
+
+/// The store's unit of addressing: schema content + result shape + full
+/// summarizer configuration (`SummarizerConfig` is `Hash + Eq` with
+/// bit-stable float comparison).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct ResultKey {
+    pub fingerprint: SchemaFingerprint,
+    pub shape: ResultShape,
+    pub options: SummarizerConfig,
+}
+
+impl ResultKey {
+    /// Disk-tier kind byte for this key's shape.
+    pub fn kind(&self) -> u8 {
+        match self.shape {
+            ResultShape::Flat { .. } => KIND_FLAT,
+            ResultShape::MultiLevel { .. } => KIND_MULTILEVEL,
+        }
+    }
+
+    /// Canonical key-meta string for the disk tier: stable across
+    /// processes, verified byte-for-byte on load.
+    pub fn meta(&self) -> String {
+        let options = serde_json::to_string(&self.options).expect("config serializes");
+        match &self.shape {
+            ResultShape::Flat { algorithm, k } => {
+                format!("flat|{}|{algorithm}|{k}|{options}", self.fingerprint.to_hex())
+            }
+            ResultShape::MultiLevel { algorithm, sizes } => {
+                let sizes = sizes
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("mls|{}|{algorithm}|{sizes}|{options}", self.fingerprint.to_hex())
+            }
+        }
+    }
+}
+
+/// A cached answer, shared with every requester via `Arc`.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedArtifact {
+    Flat(Arc<SummaryResult>),
+    MultiLevel(Arc<MultiLevelArtifact>),
+}
+
+impl CachedArtifact {
+    fn to_payload(&self) -> Vec<u8> {
+        match self {
+            CachedArtifact::Flat(result) => serde_json::to_string(result.as_ref()),
+            CachedArtifact::MultiLevel(artifact) => serde_json::to_string(artifact.as_ref()),
+        }
+        .expect("artifact serializes")
+        .into_bytes()
+    }
+
+    fn from_payload(kind: u8, payload: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(payload).ok()?;
+        match kind {
+            KIND_FLAT => {
+                let result: SummaryResult = serde_json::from_str(text).ok()?;
+                Some(CachedArtifact::Flat(Arc::new(result)))
+            }
+            KIND_MULTILEVEL => {
+                let artifact: MultiLevelArtifact = serde_json::from_str(text).ok()?;
+                Some(CachedArtifact::MultiLevel(Arc::new(artifact)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One in-flight cold computation (single-flight): the first thread to
+/// miss on a key becomes the leader and computes; followers block here
+/// until the leader publishes, then serve the shared result without ever
+/// running the algorithm themselves.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    /// `Some` carries the leader's answer; `None` means the leader failed
+    /// (or panicked) and followers must compute for themselves.
+    Done(Option<CachedArtifact>),
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Option<CachedArtifact> {
+        let guard = self.state.lock().expect("flight poisoned");
+        let guard = self
+            .cv
+            .wait_while(guard, |s| matches!(s, FlightState::Pending))
+            .expect("flight poisoned");
+        match &*guard {
+            FlightState::Done(result) => result.clone(),
+            FlightState::Pending => unreachable!("wait_while admits only Done"),
+        }
+    }
+}
+
+/// Publishes the leader's outcome on drop — including during a panic
+/// unwind — so followers are never stranded on a vanished leader. The
+/// in-flight entry is removed *after* the memory insert, so late arrivals
+/// find the cached result.
+struct FlightPublisher<'a> {
+    store: &'a ArtifactStore,
+    key: ResultKey,
+    flight: Arc<Flight>,
+    result: Option<CachedArtifact>,
+}
+
+impl Drop for FlightPublisher<'_> {
+    fn drop(&mut self) {
+        self.store
+            .in_flight
+            .lock()
+            .expect("in-flight map poisoned")
+            .remove(&self.key);
+        *self.flight.state.lock().expect("flight poisoned") = FlightState::Done(self.result.take());
+        self.flight.cv.notify_all();
+    }
+}
+
+/// The tiered store itself. Owned by
+/// [`SummaryService`](crate::SummaryService); all methods take `&self`.
+pub(crate) struct ArtifactStore {
+    catalog: SchemaCatalog,
+    results: ShardedLru<ResultKey, CachedArtifact>,
+    in_flight: Mutex<HashMap<ResultKey, Arc<Flight>>>,
+    disk: Option<Arc<DiskTier>>,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    compute_micros: AtomicU64,
+    evicted_compute_micros: AtomicU64,
+}
+
+impl ArtifactStore {
+    pub fn new(
+        cache_capacity: usize,
+        cache_shards: usize,
+        catalog_shards: usize,
+        disk: Option<Arc<DiskTier>>,
+    ) -> Self {
+        ArtifactStore {
+            catalog: SchemaCatalog::with_tiers(catalog_shards, disk.clone()),
+            results: ShardedLru::new(cache_capacity, cache_shards),
+            in_flight: Mutex::new(HashMap::new()),
+            disk,
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            compute_micros: AtomicU64::new(0),
+            evicted_compute_micros: AtomicU64::new(0),
+        }
+    }
+
+    pub fn catalog(&self) -> &SchemaCatalog {
+        &self.catalog
+    }
+
+    pub fn disk(&self) -> Option<&Arc<DiskTier>> {
+        self.disk.as_ref()
+    }
+
+    /// Serve `key` through the tiers. Returns the artifact and whether it
+    /// came from a cache tier (memory or disk) rather than `compute`.
+    ///
+    /// `compute` may run more than once only if a leader fails and a
+    /// follower retries — never concurrently for one key.
+    pub fn serve(
+        &self,
+        key: &ResultKey,
+        compute: &dyn Fn() -> Result<CachedArtifact, ServiceError>,
+    ) -> Result<(CachedArtifact, bool), ServiceError> {
+        loop {
+            if let Some(artifact) = self.results.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((artifact, true));
+            }
+            let (flight, leader) = {
+                let mut in_flight = self.in_flight.lock().expect("in-flight map poisoned");
+                match in_flight.get(key) {
+                    Some(flight) => (Arc::clone(flight), false),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        in_flight.insert(key.clone(), Arc::clone(&flight));
+                        (Arc::clone(&flight), true)
+                    }
+                }
+            };
+            if leader {
+                let mut publisher = FlightPublisher {
+                    store: self,
+                    key: key.clone(),
+                    flight,
+                    result: None,
+                };
+                // Disk before compute: a rehydrated artifact keeps its
+                // original recomputation cost for the eviction policy.
+                if let Some(disk) = &self.disk {
+                    if let Some((payload, cost)) = disk.load(key.fingerprint, key.kind(), &key.meta())
+                    {
+                        if let Some(artifact) = CachedArtifact::from_payload(key.kind(), &payload) {
+                            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            self.insert(key, artifact.clone(), cost.max(1));
+                            publisher.result = Some(artifact.clone());
+                            return Ok((artifact, true));
+                        }
+                        // Envelope was valid but the payload did not
+                        // decode: treat as corruption and fall through to
+                        // compute (the overwrite below repairs the file).
+                        eprintln!(
+                            "warning: schema-summary store: artifact payload for key {} did not decode; recomputing",
+                            key.meta()
+                        );
+                    }
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                let artifact = compute()?;
+                // Floored at 1µs so even trivially fast entries carry a
+                // nonzero cost (a zero would make them permanent eviction
+                // victims for the wrong reason: "free", not "cheap").
+                let cost = (started.elapsed().as_micros() as u64).max(1);
+                self.compute_micros.fetch_add(cost, Ordering::Relaxed);
+                if let Some(disk) = &self.disk {
+                    disk.store(
+                        key.fingerprint,
+                        key.kind(),
+                        &key.meta(),
+                        cost,
+                        &artifact.to_payload(),
+                    );
+                }
+                self.insert(key, artifact.clone(), cost);
+                publisher.result = Some(artifact.clone());
+                return Ok((artifact, false));
+            }
+            match flight.wait() {
+                Some(artifact) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((artifact, true));
+                }
+                // The leader failed; retry from the top (most likely
+                // becoming the new leader and reporting the same error).
+                None => continue,
+            }
+        }
+    }
+
+    fn insert(&self, key: &ResultKey, artifact: CachedArtifact, cost: u64) {
+        if let Some((_, _, evicted_cost)) = self.results.insert(key.clone(), artifact, cost) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evicted_compute_micros
+                .fetch_add(evicted_cost, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop one fingerprint from every tier: catalog entry (with memoized
+    /// artifacts), cached results, and spilled files. Returns the number
+    /// of cached results dropped.
+    pub fn invalidate(&self, fingerprint: SchemaFingerprint) -> usize {
+        self.catalog.remove(fingerprint);
+        if let Some(disk) = &self.disk {
+            disk.purge(fingerprint);
+        }
+        let dropped = self.results.retain(|key| key.fingerprint != fingerprint);
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    pub fn compute_micros(&self) -> u64 {
+        self.compute_micros.load(Ordering::Relaxed)
+    }
+
+    pub fn evicted_compute_micros(&self) -> u64 {
+        self.evicted_compute_micros.load(Ordering::Relaxed)
+    }
+
+    pub fn entries(&self) -> usize {
+        self.results.len()
+    }
+
+    pub fn cached_compute_micros(&self) -> u64 {
+        self.results.total_cost()
+    }
+
+    pub fn result_shard_lens(&self) -> Vec<usize> {
+        self.results.shard_lens()
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-level summaries and drill-down over the wire: a pipelined TCP
+//! session that builds a stack and expands its groups must return exactly
+//! the levels `build_multi_level` produces, and once the stack is cached a
+//! drill-down sequence never recomputes the all-pairs matrices.
+
+use schema_summary_algo::multilevel::build_multi_level;
+use schema_summary_algo::{Algorithm, Summarizer, SummarizerConfig};
+use schema_summary_datasets::xmark;
+use schema_summary_service::{ServerConfig, ServerReply, SummaryServer, SummaryService};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [12, 6, 3];
+
+fn build_server() -> SummaryServer {
+    let service = SummaryService::default();
+    let (g, s, _) = xmark::schema(1.0);
+    service.register_named("xmark", Arc::new(g), Arc::new(s));
+    SummaryServer::bind(
+        "127.0.0.1:0",
+        Arc::new(service),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_connections: 16,
+            request_timeout: Duration::from_secs(60),
+        },
+    )
+    .unwrap()
+}
+
+/// Pipeline `lines` on one connection; parse the `n` ordered replies.
+fn pipelined(addr: std::net::SocketAddr, lines: &[String], n: usize) -> Vec<ServerReply> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let payload = lines.join("\n") + "\n";
+    stream.write_all(payload.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    (0..n)
+        .map(|_| {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            serde_json::from_str(&reply).expect("reply parses")
+        })
+        .collect()
+}
+
+#[test]
+fn pipelined_drill_down_matches_direct_build_multi_level() {
+    let server = build_server();
+    let addr = server.local_addr();
+
+    // One pipelined exploration session: build the stack, then drill into
+    // every coarsest group, then open one finest group down to elements.
+    let mut lines = vec![format!(
+        "{{\"schema\":\"xmark\",\"levels\":[{},{},{}]}}",
+        SIZES[0], SIZES[1], SIZES[2]
+    )];
+    for group in 0..SIZES[2] {
+        lines.push(format!(
+            "{{\"schema\":\"xmark\",\"levels\":[{},{},{}],\"expand\":{{\"level\":2,\"group\":{group}}}}}",
+            SIZES[0], SIZES[1], SIZES[2]
+        ));
+    }
+    lines.push(format!(
+        "{{\"schema\":\"xmark\",\"levels\":[{},{},{}],\"expand\":{{\"level\":0,\"group\":0}}}}",
+        SIZES[0], SIZES[1], SIZES[2]
+    ));
+    let replies = pipelined(addr, &lines, lines.len());
+
+    // The reference stack, computed directly from the algorithm crate.
+    let (g, s, _) = xmark::schema(1.0);
+    let mut facade = Summarizer::with_config(&g, &s, SummarizerConfig::default());
+    let expected = facade.multi_level(&SIZES, Algorithm::Balance).unwrap();
+    // Sanity-check the reference against a from-parts build so the wire
+    // comparison really pins down the whole pipeline.
+    let direct = {
+        let selection = facade.select(SIZES[0], Algorithm::Balance).unwrap();
+        build_multi_level(&g, facade.matrices(), &selection, &SIZES[1..]).unwrap()
+    };
+    assert_eq!(expected, direct);
+
+    // Reply 0: the multi-level view mirrors the direct stack level by
+    // level — sizes, group count, and each group's representative label.
+    let view = replies[0]
+        .multilevel
+        .as_ref()
+        .expect("levels request returns a multilevel reply");
+    assert_eq!(view.sizes, SIZES.to_vec());
+    assert_eq!(view.levels.len(), expected.depth());
+    for (wire_level, direct_level) in view.levels.iter().zip(expected.levels()) {
+        assert_eq!(wire_level.size, direct_level.size());
+        for (wire_group, direct_group) in wire_level.groups.iter().zip(direct_level.abstracts()) {
+            assert_eq!(wire_group.representative, g.label_path(direct_group.representative));
+            assert_eq!(wire_group.size, direct_group.members.len());
+        }
+    }
+
+    // Replies 1..=3: expanding the coarsest level partitions the middle
+    // level — every middle-level group appears under exactly one parent.
+    let mut seen_children = Vec::new();
+    for (i, reply) in replies[1..=SIZES[2]].iter().enumerate() {
+        let exp = reply
+            .expansion
+            .as_ref()
+            .unwrap_or_else(|| panic!("expand reply {i} missing: {:?}", reply.error));
+        assert_eq!(exp.level, 2);
+        assert!(exp.elements.is_empty());
+        assert!(!exp.children.is_empty());
+        seen_children.extend(exp.children.iter().map(|c| c.group));
+    }
+    seen_children.sort_unstable();
+    assert_eq!(
+        seen_children,
+        (0..SIZES[1]).collect::<Vec<_>>(),
+        "coarsest groups must partition the middle level"
+    );
+
+    // Last reply: a finest-level expansion lists raw schema elements.
+    let leaf = replies.last().unwrap().expansion.as_ref().unwrap();
+    assert_eq!(leaf.level, 0);
+    assert!(leaf.children.is_empty());
+    assert!(!leaf.elements.is_empty());
+    assert_eq!(
+        leaf.elements.len(),
+        expected.level(0).abstracts()[0].members.len()
+    );
+
+    // The whole session computed the matrices exactly once, and only the
+    // first request ran an algorithm; every expand walked the cached stack.
+    let stats = server.service().cache_stats();
+    assert_eq!(stats.matrices_computed, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits as usize, SIZES[2] + 1);
+    server.shutdown();
+}
+
+#[test]
+fn warm_expand_never_recomputes_matrices() {
+    let server = build_server();
+    let addr = server.local_addr();
+
+    // Warm the stack.
+    let build = format!(
+        "{{\"schema\":\"xmark\",\"levels\":[{},{},{}]}}",
+        SIZES[0], SIZES[1], SIZES[2]
+    );
+    pipelined(addr, std::slice::from_ref(&build), 1);
+    let warm_stats = server.service().cache_stats();
+    assert_eq!(warm_stats.matrices_computed, 1);
+    assert_eq!(warm_stats.misses, 1);
+
+    // A storm of concurrent drill-downs over every level and group.
+    let handles: Vec<_> = (0..4)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let lines: Vec<String> = (0..SIZES[2])
+                    .map(|group| {
+                        format!(
+                            "{{\"schema\":\"xmark\",\"levels\":[{},{},{}],\"expand\":{{\"level\":{},\"group\":{group}}}}}",
+                            SIZES[0], SIZES[1], SIZES[2],
+                            client % 3,
+                        )
+                    })
+                    .collect();
+                let replies = pipelined(addr, &lines, lines.len());
+                for reply in replies {
+                    assert!(reply.expansion.is_some(), "drill-down failed: {:?}", reply.error);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client panicked");
+    }
+
+    // Every drill-down was served from the cached stack: no new matrix
+    // computation, no new algorithm run.
+    let stats = server.service().cache_stats();
+    assert_eq!(stats.matrices_computed, 1, "warm expand recomputed matrices");
+    assert_eq!(stats.misses, 1, "warm expand recomputed a summary");
+    assert_eq!(stats.hits, 4 * SIZES[2] as u64);
+
+    // Malformed drill-downs fail cleanly without disturbing the cache.
+    let bad = "{\"schema\":\"xmark\",\"expand\":{\"level\":0,\"group\":0}}".to_string();
+    let replies = pipelined(addr, std::slice::from_ref(&bad), 1);
+    let err = replies[0].error.as_ref().expect("expand without levels is rejected");
+    assert_eq!(err.kind, "bad_request");
+    assert_eq!(server.service().cache_stats().misses, 1);
+    server.shutdown();
+}

@@ -50,6 +50,8 @@ fn expected_reply_lines() -> Vec<String> {
             serde_json::to_string(&ServerReply {
                 seq,
                 ok: Some((*served.result).clone()),
+                multilevel: None,
+                expansion: None,
                 error: None,
             })
             .unwrap()

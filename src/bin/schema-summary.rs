@@ -8,7 +8,7 @@
 //! schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
 //!                          --query label1,label2,...
 //! schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
-//!                          [--requests FILE] [--cache N]
+//!                          [--requests FILE] [--cache N] [--store-dir DIR]
 //!                          [--listen ADDR [--workers N] [--queue N]
 //!                           [--max-conns N] [--timeout-ms N]]
 //! ```
@@ -21,7 +21,11 @@
 //! the caching service layer and reports per-request latency plus cache
 //! statistics — or, with `--listen`, serves the same line-delimited JSON
 //! protocol over TCP with a worker pool, bounded-queue load shedding,
-//! per-request timeouts, and a connection cap.
+//! per-request timeouts, and a connection cap. `--store-dir` adds a
+//! persistent artifact tier: computed matrices and summaries are spilled
+//! to disk and rehydrated on restart. Requests may be flat
+//! (`{"k":10}`), multi-level (`{"levels":[12,6,3]}`), or drill-downs
+//! (`{"levels":[12,6,3],"expand":{"level":1,"group":0}}`).
 
 use schema_summary::prelude::*;
 use schema_summary_io::{
@@ -29,7 +33,7 @@ use schema_summary_io::{
     summary_to_markdown,
 };
 use schema_summary_service::{
-    ServerConfig, ServiceConfig, SummaryRequest, SummaryServer, SummaryService,
+    ServedReply, ServerConfig, ServiceConfig, SummaryRequest, SummaryServer, SummaryService,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -90,7 +94,7 @@ USAGE:
   schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
                            --query label1,label2,...
   schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
-                           [--requests FILE] [--cache N]
+                           [--requests FILE] [--cache N] [--store-dir DIR]
                            [--listen ADDR [--workers N] [--queue N]
                             [--max-conns N] [--timeout-ms N]]
 
@@ -108,8 +112,14 @@ OPTIONS:
   --query LABELS    comma-separated element labels the user seeks
   --xsd-out FILE    (inspect) export the schema back to the XSD subset
   --requests FILE   (serve) JSONL request stream, one object per line:
-                    {\"algorithm\":\"balance\",\"k\":10}; default stdin
+                    {\"algorithm\":\"balance\",\"k\":10} for a flat summary,
+                    {\"levels\":[12,6,3]} for a multi-level one, or
+                    {\"levels\":[12,6,3],\"expand\":{\"level\":1,\"group\":0}}
+                    to drill one group down a level; default stdin
   --cache N         (serve) result-cache capacity (default 1024)
+  --store-dir DIR   (serve) persistent artifact tier: spill computed
+                    matrices and summaries to DIR and rehydrate them on
+                    restart (corrupt files are recomputed, never fatal)
   --listen ADDR     (serve) serve line-delimited JSON over TCP on ADDR
                     (e.g. 127.0.0.1:7878) instead of a batch stream
   --workers N       (serve --listen) worker threads (default 4)
@@ -312,13 +322,24 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("invalid --cache value '{v}'"))?,
     };
-    let service = SummaryService::new(ServiceConfig {
+    let store_dir = opts.get("store-dir").map(std::path::PathBuf::from);
+    let service = SummaryService::try_new(ServiceConfig {
         cache_capacity: capacity,
+        store_dir: store_dir.clone(),
         ..Default::default()
-    });
+    })
+    .map_err(|e| format!("--store-dir: {e}"))?;
     let name = graph.label(graph.root()).to_string();
     let fingerprint = service.register_named(&name, Arc::clone(&graph), stats);
-    println!("serving schema '{name}' (fingerprint {fingerprint}, cache capacity {capacity})");
+    match &store_dir {
+        Some(dir) => println!(
+            "serving schema '{name}' (fingerprint {fingerprint}, cache capacity {capacity}, store {})",
+            dir.display()
+        ),
+        None => println!(
+            "serving schema '{name}' (fingerprint {fingerprint}, cache capacity {capacity})"
+        ),
+    }
 
     if let Some(addr) = opts.get("listen") {
         return serve_socket(service, addr, opts);
@@ -353,8 +374,8 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
             }
         };
         let started = Instant::now();
-        match service.handle(&request) {
-            Ok(answer) => {
+        match service.handle_request(&request) {
+            Ok(ServedReply::Flat(answer)) => {
                 let elapsed = started.elapsed();
                 served += 1;
                 println!(
@@ -364,6 +385,50 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
                     if answer.from_cache { "hit " } else { "miss" },
                     elapsed,
                     answer.result.labels.join(", ")
+                );
+            }
+            Ok(ServedReply::MultiLevel(answer)) => {
+                let elapsed = started.elapsed();
+                served += 1;
+                let view = &answer.result.view;
+                let sizes: Vec<String> = view.sizes.iter().map(|s| s.to_string()).collect();
+                println!(
+                    "#{n} alg={} levels={} {} {:>9.1?}  {}",
+                    view.algorithm,
+                    sizes.join(","),
+                    if answer.from_cache { "hit " } else { "miss" },
+                    elapsed,
+                    view.levels
+                        .last()
+                        .map(|coarsest| {
+                            coarsest
+                                .groups
+                                .iter()
+                                .map(|g| g.representative.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        })
+                        .unwrap_or_default()
+                );
+            }
+            Ok(ServedReply::Expansion(answer)) => {
+                let elapsed = started.elapsed();
+                served += 1;
+                let exp = &answer.result;
+                let contents: Vec<&str> = if exp.level == 0 {
+                    exp.elements.iter().map(|e| e.as_str()).collect()
+                } else {
+                    exp.children.iter().map(|g| g.representative.as_str()).collect()
+                };
+                println!(
+                    "#{n} alg={} expand l{}g{} {} {:>9.1?}  {} -> {}",
+                    exp.algorithm,
+                    exp.level,
+                    exp.group,
+                    if answer.from_cache { "hit " } else { "miss" },
+                    elapsed,
+                    exp.representative,
+                    contents.join(", ")
                 );
             }
             Err(e) => {
@@ -382,6 +447,15 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
         cache.evictions,
         cache.entries
     );
+    if store_dir.is_some() {
+        println!(
+            "store: {} rehydrated, {} written, {} corrupt, {} matrices rebuilt",
+            cache.disk_hits + cache.matrices_rehydrated,
+            cache.disk_writes,
+            cache.disk_corrupt,
+            cache.matrices_computed
+        );
+    }
     Ok(())
 }
 
