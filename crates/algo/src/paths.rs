@@ -61,11 +61,18 @@ pub enum PathLength {
 /// walks is exact for the simple-path formulas (DESIGN.md §3.14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PathKernel {
+    /// Pick per schema by a node-count/density heuristic (see
+    /// [`PathConfig::effective_kernel`]): DFS on small, sparse,
+    /// tree-like schemas where path multiplicity is low (BENCH_matrices.json
+    /// measured layered at 0.45× DFS on the n=100 sparse synthetic),
+    /// layered everywhere else. Both kernels are exact, so the choice only
+    /// affects wall time. The default.
+    #[default]
+    Auto,
     /// Layered max-product relaxation (Bellman–Ford over the `(max, ×)`
     /// semiring): `O(max_edges · |edges|)` per source, independent of the
-    /// number of simple paths. The default — orders of magnitude faster on
-    /// densely value-linked schemas.
-    #[default]
+    /// number of simple paths — orders of magnitude faster on densely
+    /// value-linked schemas.
     Layered,
     /// Explicit-stack depth-first enumeration of simple paths with exact
     /// branch-and-bound pruning. The reference kernel; also the only one
@@ -73,6 +80,20 @@ pub enum PathKernel {
     /// affinity/coverage semantics.
     Dfs,
 }
+
+/// [`PathKernel::Auto`] picks the layered kernel at or beyond this element
+/// count regardless of density: DFS worst-case cost grows with the number
+/// of simple paths while the layered relaxation stays
+/// `O(max_edges · |edges|)`, and BENCH_matrices.json shows layered ~13×
+/// ahead on XMark SF 1.0 (n=295).
+const AUTO_NODE_THRESHOLD: usize = 192;
+
+/// Below [`AUTO_NODE_THRESHOLD`], [`PathKernel::Auto`] picks DFS only for
+/// near-tree densities. A pure tree has average CSR degree ≈ 2 (each edge
+/// appears in both endpoints' rows); every value link adds 2/n more. At
+/// 2.5 the graph carries ~n/4 extra links and path multiplicity starts to
+/// favor the layered kernel.
+const AUTO_AVG_DEGREE_THRESHOLD: f64 = 2.5;
 
 /// Configuration for path enumeration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -116,7 +137,7 @@ impl Default for PathConfig {
             max_edges: 10,
             max_expansions: 4_000_000,
             path_length: PathLength::Edges,
-            kernel: PathKernel::Layered,
+            kernel: PathKernel::Auto,
             prune: true,
             min_product: 0.0,
             parallel_threshold: 64,
@@ -154,6 +175,43 @@ impl std::hash::Hash for PathConfig {
 }
 
 impl PathConfig {
+    /// The kernel that will actually run for `stats` under this
+    /// configuration — never [`PathKernel::Auto`].
+    ///
+    /// A positive [`min_product`](Self::min_product) always resolves to
+    /// DFS (only DFS expresses the joint affinity/coverage floor).
+    /// Otherwise `Auto` resolves by node count and density: layered at or
+    /// beyond [`AUTO_NODE_THRESHOLD`] elements or
+    /// [`AUTO_AVG_DEGREE_THRESHOLD`] average CSR degree, DFS on the small
+    /// sparse remainder where enumeration is cheaper than `max_edges` full
+    /// relaxation sweeps (BENCH_matrices.json). Both kernels are exact, so
+    /// resolution never changes results — only wall time.
+    pub fn effective_kernel(&self, stats: &SchemaStats) -> PathKernel {
+        if self.min_product > 0.0 {
+            return PathKernel::Dfs;
+        }
+        match self.kernel {
+            PathKernel::Auto => {
+                let n = stats.len();
+                if n >= AUTO_NODE_THRESHOLD {
+                    return PathKernel::Layered;
+                }
+                if n == 0 {
+                    return PathKernel::Layered;
+                }
+                let edge_records: usize = (0..n)
+                    .map(|u| stats.edges(ElementId(u as u32)).len())
+                    .sum();
+                if edge_records as f64 / n as f64 >= AUTO_AVG_DEGREE_THRESHOLD {
+                    PathKernel::Layered
+                } else {
+                    PathKernel::Dfs
+                }
+            }
+            kernel => kernel,
+        }
+    }
+
     /// The `1/RC` factor of one edge, clamped at 1.
     ///
     /// Formula 2 divides by the relative cardinality along each step, which
@@ -316,7 +374,7 @@ impl Explorer {
         if config.max_edges == 0 || n == 0 {
             return result;
         }
-        if config.kernel == PathKernel::Layered && config.min_product <= 0.0 {
+        if config.effective_kernel(stats) == PathKernel::Layered {
             self.relax_layered(source, stats, config, &mut result);
             return result;
         }
@@ -1007,8 +1065,10 @@ mod tests {
     #[test]
     fn layered_kernel_matches_dfs_enumeration() {
         let (g, s) = braided();
-        let layered_cfg = PathConfig::default();
-        assert_eq!(layered_cfg.kernel, PathKernel::Layered);
+        let layered_cfg = PathConfig {
+            kernel: PathKernel::Layered,
+            ..Default::default()
+        };
         let dfs_cfg = PathConfig {
             kernel: PathKernel::Dfs,
             ..Default::default()
@@ -1053,6 +1113,76 @@ mod tests {
             assert_eq!(a.best_affinity, b.best_affinity);
             assert_eq!(a.best_cov_product, b.best_cov_product);
             assert_eq!(a.expansions, b.expansions);
+        }
+    }
+
+    /// A pure tree: minimal density, CSR average degree ≈ 2.
+    fn sparse_tree(n: usize) -> SchemaStats {
+        let mut b = SchemaGraphBuilder::new("r");
+        let mut prev = b.root();
+        for i in 1..n {
+            prev = b
+                .add_child(prev, format!("t{i}"), SchemaType::set_of_rcd())
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        SchemaStats::uniform(&g)
+    }
+
+    #[test]
+    fn auto_kernel_resolves_by_node_count_and_density() {
+        let cfg = PathConfig::default();
+        assert_eq!(cfg.kernel, PathKernel::Auto);
+        // Small and tree-sparse: enumeration wins (BENCH_matrices.json,
+        // n=100 sparse synthetic).
+        assert_eq!(cfg.effective_kernel(&sparse_tree(50)), PathKernel::Dfs);
+        // Large: layered regardless of density.
+        assert_eq!(
+            cfg.effective_kernel(&sparse_tree(AUTO_NODE_THRESHOLD)),
+            PathKernel::Layered
+        );
+        // Small but densely value-linked (braided: avg degree > 2.5).
+        let (_, dense) = braided();
+        assert_eq!(cfg.effective_kernel(&dense), PathKernel::Layered);
+        // Explicit kernels resolve to themselves; a positive floor always
+        // resolves to DFS (joint-floor semantics).
+        let explicit = PathConfig {
+            kernel: PathKernel::Layered,
+            ..Default::default()
+        };
+        assert_eq!(explicit.effective_kernel(&sparse_tree(8)), PathKernel::Layered);
+        let floored = PathConfig {
+            min_product: 0.05,
+            ..Default::default()
+        };
+        assert_eq!(floored.effective_kernel(&dense), PathKernel::Dfs);
+    }
+
+    #[test]
+    fn auto_kernel_matches_both_explicit_kernels() {
+        let (g, s) = braided();
+        let auto_cfg = PathConfig::default();
+        for kernel in [PathKernel::Layered, PathKernel::Dfs] {
+            let explicit = PathConfig {
+                kernel,
+                ..Default::default()
+            };
+            for e in g.element_ids() {
+                let a = explore_from(e, &s, &auto_cfg);
+                let b = explore_from(e, &s, &explicit);
+                for i in 0..s.len() {
+                    assert!(
+                        (a.best_affinity[i] - b.best_affinity[i]).abs()
+                            <= 1e-12 * b.best_affinity[i].max(1.0),
+                        "aff {e}→{i} vs {kernel:?}"
+                    );
+                    assert!(
+                        (a.best_cov_product[i] - b.best_cov_product[i]).abs()
+                            <= 1e-12 * b.best_cov_product[i].max(1.0),
+                        "cov {e}→{i} vs {kernel:?}"
+                    );
+                }
+            }
         }
     }
 }

@@ -321,4 +321,31 @@ proptest! {
             }
         }
     }
+
+    /// The auto-switch heuristic (default kernel) always resolves to one of
+    /// the two explicit kernels and reproduces that kernel bit-for-bit on
+    /// randomized value-linked graphs.
+    #[test]
+    fn auto_kernel_matches_its_resolution(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+    ) {
+        let (g, s) = linked_schema(&secs, &picks);
+        let auto_cfg = PathConfig::default();
+        prop_assert_eq!(auto_cfg.kernel, PathKernel::Auto);
+        let resolved = auto_cfg.effective_kernel(&s);
+        prop_assert!(resolved == PathKernel::Layered || resolved == PathKernel::Dfs);
+        let auto = PairMatrices::compute_serial(&s, &auto_cfg);
+        let explicit = PairMatrices::compute_serial(
+            &s,
+            &PathConfig { kernel: resolved, ..Default::default() },
+        );
+        for x in g.element_ids() {
+            for t in g.element_ids() {
+                prop_assert_eq!(auto.affinity(x, t).to_bits(), explicit.affinity(x, t).to_bits());
+                prop_assert_eq!(auto.coverage(x, t).to_bits(), explicit.coverage(x, t).to_bits());
+            }
+        }
+        prop_assert_eq!(auto.expansions(), explicit.expansions());
+    }
 }

@@ -55,7 +55,8 @@ fn time_kernel(stats: &SchemaStats, kernel: PathKernel, prune: bool, reps: usize
     let mean_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
     KernelRow {
         kernel: match (kernel, prune) {
-            (PathKernel::Layered, _) => "layered (default)".into(),
+            (PathKernel::Auto, _) => "auto (default; resolves per schema)".into(),
+            (PathKernel::Layered, _) => "layered".into(),
             (PathKernel::Dfs, true) => "dfs pruned".into(),
             (PathKernel::Dfs, false) => "dfs unpruned (pre-overhaul algorithm)".into(),
         },

@@ -48,22 +48,116 @@ fn kind_tag(kind: u8) -> &'static str {
 /// [`CacheStats`](crate::CacheStats).
 pub(crate) struct DiskTier {
     root: PathBuf,
+    /// Byte budget for the directory; `None` grows without bound.
+    quota: Option<u64>,
+    /// Bytes currently held in `.art` files (best-effort bookkeeping:
+    /// seeded by a directory scan at open, updated on every write and
+    /// removal this process performs).
+    bytes: AtomicU64,
     hits: AtomicU64,
     writes: AtomicU64,
     corrupt: AtomicU64,
+    quota_evictions: AtomicU64,
 }
 
 impl DiskTier {
-    /// Open (creating if necessary) a store directory.
+    /// Open (creating if necessary) a store directory with no byte quota.
+    #[cfg(test)]
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_quota(root, None)
+    }
+
+    /// Open (creating if necessary) a store directory. When `quota` is
+    /// set, every write that pushes the directory past it evicts spilled
+    /// artifacts oldest-first (by modification time) until the total fits
+    /// again — evicted artifacts are recomputed on their next request, so
+    /// the quota trades recompute time for bounded disk.
+    pub fn open_with_quota(root: impl Into<PathBuf>, quota: Option<u64>) -> io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        let mut bytes = 0u64;
+        for entry in std::fs::read_dir(&root)?.flatten() {
+            let is_artifact = entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".art"));
+            if is_artifact {
+                if let Ok(meta) = entry.metadata() {
+                    bytes += meta.len();
+                }
+            }
+        }
         Ok(DiskTier {
             root,
+            quota,
+            bytes: AtomicU64::new(bytes),
             hits: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            quota_evictions: AtomicU64::new(0),
         })
+    }
+
+    /// Subtract a removed file's size from the byte account, saturating
+    /// (concurrent writers make the account best-effort, never wrapping).
+    fn debit(&self, len: u64) {
+        let _ = self
+            .bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(len))
+            });
+    }
+
+    /// Remove `path` if present, debiting its size. Returns whether a file
+    /// was actually removed.
+    fn remove_accounted(&self, path: &Path) -> bool {
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if std::fs::remove_file(path).is_ok() {
+            self.debit(len);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evict spilled artifacts oldest-first until the directory fits the
+    /// quota again. `keep` (the file just written) is never evicted — a
+    /// single artifact larger than the whole quota would otherwise be
+    /// deleted before anyone could read it.
+    fn enforce_quota(&self, keep: &Path) {
+        let Some(quota) = self.quota else {
+            return;
+        };
+        if self.bytes.load(Ordering::Relaxed) <= quota {
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut victims: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(".art"))
+                    && e.path() != keep
+            })
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        // Oldest first; path as a deterministic tiebreak on coarse clocks.
+        victims.sort();
+        for (_, path, _) in victims {
+            if self.bytes.load(Ordering::Relaxed) <= quota {
+                break;
+            }
+            if self.remove_accounted(&path) {
+                self.quota_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn path_for(&self, fingerprint: SchemaFingerprint, kind: u8, meta: &str) -> PathBuf {
@@ -83,7 +177,7 @@ impl DiskTier {
             path.display()
         );
         // Best-effort removal so the bad file is not re-parsed forever.
-        let _ = std::fs::remove_file(path);
+        self.remove_accounted(path);
         None
     }
 
@@ -165,10 +259,15 @@ impl DiskTier {
                 .and_then(|n| n.to_str())
                 .unwrap_or("artifact")
         ));
+        // Debit a file being overwritten before the rename replaces it.
+        let previous = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         let outcome = std::fs::write(&tmp, &file).and_then(|()| std::fs::rename(&tmp, &path));
         match outcome {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
+                self.debit(previous);
+                self.bytes.fetch_add(file.len() as u64, Ordering::Relaxed);
+                self.enforce_quota(&path);
             }
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
@@ -192,9 +291,32 @@ impl DiskTier {
                 .to_str()
                 .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".art"))
             {
-                let _ = std::fs::remove_file(entry.path());
+                self.remove_accounted(&entry.path());
             }
         }
+    }
+
+    /// Remove only the spilled *result* artifacts (flat and multi-level
+    /// summaries) of one fingerprint, keeping the memoized matrices so a
+    /// re-request goes back through scoring without re-exploring the graph.
+    /// Returns how many files were removed.
+    pub fn purge_results(&self, fingerprint: SchemaFingerprint) -> usize {
+        let sum_prefix = format!("{}-{}-", fingerprint.to_hex(), kind_tag(KIND_FLAT));
+        let mls_prefix = format!("{}-{}-", fingerprint.to_hex(), kind_tag(KIND_MULTILEVEL));
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_result = name.to_str().is_some_and(|n| {
+                (n.starts_with(&sum_prefix) || n.starts_with(&mls_prefix)) && n.ends_with(".art")
+            });
+            if is_result && self.remove_accounted(&entry.path()) {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Artifacts successfully rehydrated from disk. Service-level code
@@ -214,6 +336,16 @@ impl DiskTier {
     /// Files discarded as corrupt (and recomputed).
     pub fn corrupt(&self) -> u64 {
         self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently spilled under the store directory (best-effort).
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Artifacts evicted to keep the directory under its byte quota.
+    pub fn quota_evictions(&self) -> u64 {
+        self.quota_evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -302,6 +434,93 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert_eq!(t.load(f, KIND_MATRICES, "meta"), None);
         assert_eq!(t.corrupt(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quota_evicts_oldest_artifacts_first() {
+        let dir = std::env::temp_dir().join(format!(
+            "schema-summary-disk-quota-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Each artifact file is 45 bytes of envelope + 1-byte meta +
+        // 100-byte payload = 146 bytes; a 300-byte quota holds two.
+        let t = DiskTier::open_with_quota(&dir, Some(300)).unwrap();
+        let payload = [0u8; 100];
+        t.store(fp("q1"), KIND_FLAT, "m", 1, &payload);
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        t.store(fp("q2"), KIND_FLAT, "m", 1, &payload);
+        assert_eq!(t.quota_evictions(), 0);
+        assert_eq!(t.bytes_on_disk(), 292);
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        t.store(fp("q3"), KIND_FLAT, "m", 1, &payload);
+        // The oldest artifact made way; the two newest survive.
+        assert_eq!(t.quota_evictions(), 1);
+        assert_eq!(t.bytes_on_disk(), 292);
+        assert_eq!(t.load(fp("q1"), KIND_FLAT, "m"), None);
+        assert!(t.load(fp("q2"), KIND_FLAT, "m").is_some());
+        assert!(t.load(fp("q3"), KIND_FLAT, "m").is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quota_never_evicts_the_artifact_just_written() {
+        let dir = std::env::temp_dir().join(format!(
+            "schema-summary-disk-quota-keep-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Quota smaller than a single artifact: the fresh write survives
+        // anyway (it is the only copy) and everything older is evicted.
+        let t = DiskTier::open_with_quota(&dir, Some(50)).unwrap();
+        t.store(fp("k1"), KIND_FLAT, "m", 1, b"payload one");
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        t.store(fp("k2"), KIND_FLAT, "m", 1, b"payload two");
+        assert_eq!(t.load(fp("k1"), KIND_FLAT, "m"), None);
+        assert!(t.load(fp("k2"), KIND_FLAT, "m").is_some());
+        assert_eq!(t.quota_evictions(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn reopen_seeds_the_byte_account_from_existing_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "schema-summary-disk-reopen-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let t = DiskTier::open(&dir).unwrap();
+            t.store(fp("r1"), KIND_FLAT, "m", 1, b"abc");
+            t.store(fp("r2"), KIND_MATRICES, "m", 1, b"defgh");
+        }
+        let reopened = DiskTier::open_with_quota(&dir, Some(1 << 20)).unwrap();
+        let on_disk: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert_eq!(reopened.bytes_on_disk(), on_disk);
+        assert!(on_disk > 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn purge_results_keeps_matrices() {
+        let (t, dir) = tier();
+        let f = fp("pr");
+        t.store(f, KIND_MATRICES, "m", 1, b"matrices");
+        t.store(f, KIND_FLAT, "m", 1, b"flat");
+        t.store(f, KIND_MULTILEVEL, "m", 1, b"mls");
+        assert_eq!(t.purge_results(f), 2);
+        assert!(t.load(f, KIND_MATRICES, "m").is_some());
+        assert_eq!(t.load(f, KIND_FLAT, "m"), None);
+        assert_eq!(t.load(f, KIND_MULTILEVEL, "m"), None);
+        assert_eq!(t.bytes_on_disk(), 45 + 1 + 8); // the matrices file only
         let _ = std::fs::remove_dir_all(dir);
     }
 

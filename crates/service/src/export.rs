@@ -1,0 +1,83 @@
+//! Condensed, machine-readable schema-summary exports.
+//!
+//! An export is the documentation-shaped projection of a flat summary:
+//! the selected elements with their root label paths, importance scores,
+//! and cardinalities, plus the aggregate importance/coverage of the
+//! summary and enough provenance (schema name, fingerprint, algorithm,
+//! `k`) to reproduce it. The same structure is rendered as JSON (for
+//! pipelines) or markdown (for humans), and is served both by the
+//! `summary export` CLI subcommand and by `GET /v1/export/:fingerprint`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One selected element of an exported summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExportElement {
+    /// Root label path of the element (e.g. `site/people/person`).
+    pub label: String,
+    /// The element's importance score (Definition 2).
+    pub importance: f64,
+    /// The element's cardinality annotation.
+    pub cardinality: f64,
+}
+
+/// A condensed schema-summary document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryExport {
+    /// Registered name of the schema, when it has one.
+    pub schema: Option<String>,
+    /// Content fingerprint of the summarized schema, as hex.
+    pub fingerprint: String,
+    /// Algorithm that produced the selection.
+    pub algorithm: String,
+    /// Requested summary size.
+    pub k: usize,
+    /// Total elements in the underlying schema.
+    pub schema_elements: usize,
+    /// Summary importance `R_SS` (Definition 3).
+    pub importance: f64,
+    /// Summary coverage `C_SS` (Definition 4).
+    pub coverage: f64,
+    /// The selected elements, in algorithm order.
+    pub elements: Vec<ExportElement>,
+}
+
+impl SummaryExport {
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("export serializes")
+    }
+
+    /// Render as a markdown document (header, provenance list, element
+    /// table).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let title = self.schema.as_deref().unwrap_or(&self.fingerprint);
+        let _ = writeln!(out, "# Schema summary: {title}");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "- fingerprint: `{}`", self.fingerprint);
+        let _ = writeln!(out, "- algorithm: {}", self.algorithm);
+        let _ = writeln!(
+            out,
+            "- k: {} (of {} elements)",
+            self.k, self.schema_elements
+        );
+        let _ = writeln!(out, "- importance (R_SS): {:.6}", self.importance);
+        let _ = writeln!(out, "- coverage (C_SS): {:.6}", self.coverage);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| # | element | importance | cardinality |");
+        let _ = writeln!(out, "|--:|---------|-----------:|------------:|");
+        for (i, e) in self.elements.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.6} | {} |",
+                i + 1,
+                e.label,
+                e.importance,
+                e.cardinality
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,407 @@
+//! Incremental HTTP/1.1 request parsing with strict limits.
+//!
+//! The parser consumes a growing byte buffer (whatever the connection has
+//! read so far) and either produces a complete request plus the number of
+//! bytes it consumed, asks for more bytes, or fails with a typed error
+//! that maps onto a status code: `400` for malformed framing, `431` when
+//! the head exceeds its byte limit, `413` when the body exceeds its, and
+//! `505` for HTTP versions other than 1.0/1.1.
+//!
+//! Bodies are framed by `Content-Length` or `Transfer-Encoding: chunked`
+//! (chunked wins when both appear, per RFC 9112 §6.3); a request with
+//! neither has no body. Header names are lower-cased at parse time so
+//! lookups are case-insensitive.
+
+/// Hard cap on the request head (request line + headers), bytes.
+pub(crate) const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Hard cap on a decoded request body, bytes.
+pub(crate) const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// HTTP version of a parsed request (only 1.0 and 1.1 are admitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HttpVersion {
+    Http10,
+    Http11,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub(crate) struct HttpRequest {
+    pub method: String,
+    /// The request target as sent (path plus optional `?query`).
+    pub target: String,
+    pub version: HttpVersion,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The target's path component (before any `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.target,
+        }
+    }
+
+    /// The target's raw query string (after `?`), when present.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection stays open after this exchange: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close`; HTTP/1.0
+    /// defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection").map(str::to_ascii_lowercase);
+        match self.version {
+            HttpVersion::Http11 => !matches!(connection.as_deref(), Some(c) if c.contains("close")),
+            HttpVersion::Http10 => {
+                matches!(connection.as_deref(), Some(c) if c.contains("keep-alive"))
+            }
+        }
+    }
+}
+
+/// Why a request could not be parsed (terminal: the connection closes
+/// after the error response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ParseError {
+    /// Unintelligible framing → `400 Bad Request`.
+    Malformed(&'static str),
+    /// Head exceeded [`MAX_HEAD_BYTES`] → `431 Request Header Fields Too
+    /// Large`.
+    HeadTooLarge,
+    /// Body exceeded [`MAX_BODY_BYTES`] → `413 Content Too Large`.
+    BodyTooLarge,
+    /// Not HTTP/1.0 or HTTP/1.1 → `505 HTTP Version Not Supported`.
+    UnsupportedVersion,
+}
+
+/// One parse attempt over the connection's buffered bytes.
+#[derive(Debug)]
+pub(crate) enum ParseOutcome {
+    /// No complete request yet; read more bytes and retry.
+    Incomplete,
+    /// A complete request consuming the first `usize` bytes of the buffer.
+    Complete(Box<HttpRequest>, usize),
+    /// Unrecoverable; respond with the mapped status and close.
+    Failed(ParseError),
+}
+
+/// Locate the end of the head: the first blank line, tolerating both
+/// `\r\n\r\n` and bare `\n\n`. Returns `(head_end, body_start)`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i] != b'\n' {
+            continue;
+        }
+        // A '\n' terminating an empty line ends the head.
+        let line_start = match buf[..i].iter().rposition(|&b| b == b'\n') {
+            Some(prev) => prev + 1,
+            None => 0,
+        };
+        let line = &buf[line_start..i];
+        if line.is_empty() || line == b"\r" {
+            return Some((line_start, i + 1));
+        }
+    }
+    None
+}
+
+/// Parse the earliest complete request out of `buf`.
+pub(crate) fn parse_request(buf: &[u8]) -> ParseOutcome {
+    let Some((head_end, body_start)) = find_head_end(buf) else {
+        return if buf.len() > MAX_HEAD_BYTES {
+            ParseOutcome::Failed(ParseError::HeadTooLarge)
+        } else {
+            ParseOutcome::Incomplete
+        };
+    };
+    if body_start > MAX_HEAD_BYTES {
+        return ParseOutcome::Failed(ParseError::HeadTooLarge);
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return ParseOutcome::Failed(ParseError::Malformed("head is not UTF-8"));
+    };
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let Some(request_line) = lines.next() else {
+        return ParseOutcome::Failed(ParseError::Malformed("empty head"));
+    };
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Failed(ParseError::Malformed("bad request line"));
+    };
+    if parts.next().is_some() {
+        return ParseOutcome::Failed(ParseError::Malformed("bad request line"));
+    }
+    let version = match version {
+        "HTTP/1.1" => HttpVersion::Http11,
+        "HTTP/1.0" => HttpVersion::Http10,
+        v if v.starts_with("HTTP/") => return ParseOutcome::Failed(ParseError::UnsupportedVersion),
+        _ => return ParseOutcome::Failed(ParseError::Malformed("bad protocol token")),
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ParseOutcome::Failed(ParseError::Malformed("bad method token"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Failed(ParseError::Malformed("header line without a colon"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return ParseOutcome::Failed(ParseError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        version,
+        headers,
+        body: Vec::new(),
+    };
+
+    let chunked = request
+        .header("transfer-encoding")
+        .is_some_and(|te| te.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        return match decode_chunked(&buf[body_start..]) {
+            ChunkedOutcome::Incomplete => ParseOutcome::Incomplete,
+            ChunkedOutcome::Failed(e) => ParseOutcome::Failed(e),
+            ChunkedOutcome::Complete(body, used) => {
+                let mut request = request;
+                request.body = body;
+                ParseOutcome::Complete(Box::new(request), body_start + used)
+            }
+        };
+    }
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ParseOutcome::Failed(ParseError::Malformed("bad content-length")),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return ParseOutcome::Failed(ParseError::BodyTooLarge);
+    }
+    if buf.len() < body_start + content_length {
+        return ParseOutcome::Incomplete;
+    }
+    let mut request = request;
+    request.body = buf[body_start..body_start + content_length].to_vec();
+    ParseOutcome::Complete(Box::new(request), body_start + content_length)
+}
+
+enum ChunkedOutcome {
+    Incomplete,
+    Complete(Vec<u8>, usize),
+    Failed(ParseError),
+}
+
+/// Decode a chunked body from `buf`: size lines in hex (extensions after
+/// `;` ignored), data chunks, a terminating zero chunk, then trailers up
+/// to a blank line. Returns the decoded body and bytes consumed.
+fn decode_chunked(buf: &[u8]) -> ChunkedOutcome {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let Some(line_end) = buf[pos..].iter().position(|&b| b == b'\n').map(|i| pos + i) else {
+            return ChunkedOutcome::Incomplete;
+        };
+        let Ok(line) = std::str::from_utf8(&buf[pos..line_end]) else {
+            return ChunkedOutcome::Failed(ParseError::Malformed("chunk size is not UTF-8"));
+        };
+        let line = line.trim_end_matches('\r');
+        let size_token = line.split(';').next().unwrap_or("").trim();
+        let Ok(size) = usize::from_str_radix(size_token, 16) else {
+            return ChunkedOutcome::Failed(ParseError::Malformed("bad chunk size"));
+        };
+        pos = line_end + 1;
+        if size == 0 {
+            // Trailers: header lines until a blank line.
+            loop {
+                let Some(t_end) = buf[pos..].iter().position(|&b| b == b'\n').map(|i| pos + i)
+                else {
+                    return ChunkedOutcome::Incomplete;
+                };
+                let trailer = &buf[pos..t_end];
+                let blank = trailer.is_empty() || trailer == b"\r";
+                pos = t_end + 1;
+                if blank {
+                    return ChunkedOutcome::Complete(body, pos);
+                }
+            }
+        }
+        if body.len() + size > MAX_BODY_BYTES {
+            return ChunkedOutcome::Failed(ParseError::BodyTooLarge);
+        }
+        if buf.len() < pos + size {
+            return ChunkedOutcome::Incomplete;
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        pos += size;
+        // The CRLF after the chunk data.
+        if buf.len() < pos + 1 {
+            return ChunkedOutcome::Incomplete;
+        }
+        if buf[pos] == b'\r' {
+            pos += 1;
+            if buf.len() < pos + 1 {
+                return ChunkedOutcome::Incomplete;
+            }
+        }
+        if buf[pos] != b'\n' {
+            return ChunkedOutcome::Failed(ParseError::Malformed(
+                "chunk data not newline-terminated",
+            ));
+        }
+        pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (HttpRequest, usize) {
+        match parse_request(buf) {
+            ParseOutcome::Complete(r, n) => (*r, n),
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (r, n) = complete(raw);
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path(), "/healthz");
+        assert_eq!(r.query(), None);
+        assert_eq!(r.version, HttpVersion::Http11);
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive());
+        assert_eq!(n, raw.len());
+    }
+
+    #[test]
+    fn parses_query_and_connection_close() {
+        let (r, _) =
+            complete(b"GET /v1/export/ab?k=3&format=md HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(r.path(), "/v1/export/ab");
+        assert_eq!(r.query(), Some("k=3&format=md"));
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let (r, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.keep_alive());
+        let (r, _) = complete(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn content_length_body_waits_for_all_bytes() {
+        let head = b"POST /v1/summary HTTP/1.1\r\nContent-Length: 5\r\n\r\n";
+        let mut buf = head.to_vec();
+        buf.extend_from_slice(b"12");
+        assert!(matches!(parse_request(&buf), ParseOutcome::Incomplete));
+        buf.extend_from_slice(b"345");
+        let (r, n) = complete(&buf);
+        assert_eq!(r.body, b"12345");
+        assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_only_the_first() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (r, n) = complete(two);
+        assert_eq!(r.path(), "/a");
+        let (r2, _) = complete(&two[n..]);
+        assert_eq!(r2.path(), "/b");
+    }
+
+    #[test]
+    fn chunked_body_decodes() {
+        let raw = b"POST /v1/summary HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let (r, n) = complete(raw);
+        assert_eq!(r.body, b"Wikipedia");
+        assert_eq!(n, raw.len());
+    }
+
+    #[test]
+    fn chunked_body_incomplete_until_terminator() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n";
+        assert!(matches!(parse_request(raw), ParseOutcome::Incomplete));
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        while buf.len() <= MAX_HEAD_BYTES {
+            buf.extend_from_slice(b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert!(matches!(
+            parse_request(&buf),
+            ParseOutcome::Failed(ParseError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_request(raw.as_bytes()),
+            ParseOutcome::Failed(ParseError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for raw in [
+            &b"NOT-A-REQUEST\r\n\r\n"[..],
+            &b"GET / HTTP/1.1 extra\r\n\r\n"[..],
+            &b"get / HTTP/1.1\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbad header line\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(
+                    parse_request(raw),
+                    ParseOutcome::Failed(ParseError::Malformed(_))
+                ),
+                "{}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_505() {
+        assert!(matches!(
+            parse_request(b"GET / HTTP/2.0\r\n\r\n"),
+            ParseOutcome::Failed(ParseError::UnsupportedVersion)
+        ));
+    }
+}

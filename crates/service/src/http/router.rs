@@ -1,0 +1,290 @@
+//! Request routing: maps `(method, path)` onto the service, the
+//! observability plane, and the admin plane.
+//!
+//! | route | handler |
+//! |---|---|
+//! | `POST /v1/summary` | flat summary via the worker pool |
+//! | `POST /v1/levels` | multi-level summary via the worker pool |
+//! | `POST /v1/expand` | drill-down via the worker pool |
+//! | `GET /v1/export/:schema` | condensed summary export (JSON/markdown) |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /healthz` | liveness probe |
+//! | `GET /admin/cache` | resident cache entries + stats |
+//! | `POST /admin/evict` | drop one fingerprint's cached results |
+//!
+//! Summary computation always goes through the caller-supplied `execute`
+//! hook (the bounded worker pool with its timeout), so HTTP clients get
+//! the same load-shedding semantics as the line-JSON protocol: `503` when
+//! the queue is full, `504` on per-request timeout. Inspection endpoints
+//! answer inline — they read counters, not matrices.
+
+use crate::http::metrics;
+use crate::http::request::HttpRequest;
+use crate::http::response::HttpResponse;
+use crate::server::service_error_kind;
+use crate::service::{ServedReply, ServiceError, SummaryRequest, SummaryService};
+use schema_summary_algo::Algorithm;
+use schema_summary_core::SchemaFingerprint;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a pooled execution ended.
+pub(crate) enum ExecOutcome {
+    /// The worker answered (successfully or with a service error).
+    Done(Result<ServedReply, ServiceError>),
+    /// The admission queue was full; nothing ran.
+    Overloaded,
+    /// The worker did not answer within the budget (it keeps running and
+    /// warms the cache for the next attempt).
+    TimedOut(Duration),
+    /// The worker dropped the reply channel (a bug or a poisoned worker).
+    Lost,
+}
+
+/// Everything a route handler may touch.
+pub(crate) struct RouteContext<'a> {
+    pub service: &'a Arc<SummaryService>,
+    pub http_stats: crate::http::HttpServerStats,
+    pub execute: &'a dyn Fn(SummaryRequest) -> ExecOutcome,
+}
+
+fn status_of(e: &ServiceError) -> u16 {
+    match e {
+        ServiceError::UnknownSchema(_) | ServiceError::UnknownFingerprint(_) => 404,
+        ServiceError::BadRequest(_) | ServiceError::Algo(_) => 400,
+    }
+}
+
+fn reply_json(reply: &ServedReply) -> String {
+    match reply {
+        ServedReply::Flat(flat) => {
+            serde_json::to_string(flat.result.as_ref()).expect("result serializes")
+        }
+        ServedReply::MultiLevel(ml) => {
+            serde_json::to_string(&ml.result.view).expect("view serializes")
+        }
+        ServedReply::Expansion(exp) => {
+            serde_json::to_string(&exp.result).expect("expansion serializes")
+        }
+    }
+}
+
+/// Run one summarize-shaped request through the pool and render the
+/// outcome.
+fn run_pooled(ctx: &RouteContext<'_>, request: SummaryRequest) -> HttpResponse {
+    match (ctx.execute)(request) {
+        ExecOutcome::Done(Ok(reply)) => HttpResponse::json(200, reply_json(&reply)),
+        ExecOutcome::Done(Err(e)) => {
+            HttpResponse::error(status_of(&e), service_error_kind(&e), format!("{e}"))
+        }
+        ExecOutcome::Overloaded => HttpResponse::error(503, "overloaded", "request queue is full"),
+        ExecOutcome::TimedOut(budget) => {
+            HttpResponse::error(504, "timeout", format!("request exceeded {budget:?}"))
+        }
+        ExecOutcome::Lost => HttpResponse::error(500, "internal", "worker dropped the request"),
+    }
+}
+
+/// Decode a JSON body (strictly UTF-8) into a request type.
+fn decode_body<T: serde::Deserialize>(body: &[u8], what: &str) -> Result<T, HttpResponse> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpResponse::error(400, "malformed", format!("{what} is not UTF-8")))?;
+    serde_json::from_str(text)
+        .map_err(|e| HttpResponse::error(400, "malformed", format!("{what}: {e}")))
+}
+
+/// Decode and shape-check the body of one of the three summary routes.
+fn summary_body(path: &str, body: &[u8]) -> Result<SummaryRequest, HttpResponse> {
+    let request: SummaryRequest = decode_body(body, "body is not a summary request")?;
+    let shape_error = match path {
+        "/v1/summary" if request.levels.is_some() || request.expand.is_some() => {
+            Some("a flat summary request must not carry levels or expand")
+        }
+        "/v1/levels" if request.levels.is_none() => Some("a levels request must carry levels"),
+        "/v1/levels" if request.expand.is_some() => {
+            Some("a levels request must not carry expand (use /v1/expand)")
+        }
+        "/v1/expand" if request.levels.is_none() || request.expand.is_none() => {
+            Some("an expand request must carry both levels and expand")
+        }
+        _ => None,
+    };
+    match shape_error {
+        Some(msg) => Err(HttpResponse::error(400, "bad_request", msg)),
+        None => Ok(request),
+    }
+}
+
+/// Resolve an export target: a 32-hex-digit fingerprint, or a registered
+/// schema name.
+fn resolve_export_target(
+    service: &SummaryService,
+    target: &str,
+) -> Result<SchemaFingerprint, HttpResponse> {
+    if let Some(fp) = SchemaFingerprint::from_hex(target) {
+        return Ok(fp);
+    }
+    service.fingerprint_of(target).ok_or_else(|| {
+        HttpResponse::error(
+            404,
+            "unknown_schema",
+            format!("unknown schema or fingerprint '{target}'"),
+        )
+    })
+}
+
+fn query_params(query: Option<&str>) -> Vec<(String, String)> {
+    query
+        .unwrap_or("")
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|p| match p.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (p.to_string(), String::new()),
+        })
+        .collect()
+}
+
+fn export(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
+    let target = req.path().trim_start_matches("/v1/export/");
+    if target.is_empty() || target.contains('/') {
+        return HttpResponse::error(404, "not_found", "export target missing");
+    }
+    let fingerprint = match resolve_export_target(ctx.service, target) {
+        Ok(fp) => fp,
+        Err(resp) => return resp,
+    };
+    let params = query_params(req.query());
+    let get = |name: &str| {
+        params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let algorithm: Algorithm = match get("algorithm").unwrap_or("balance").parse() {
+        Ok(a) => a,
+        Err(e) => return HttpResponse::error(400, "bad_request", e),
+    };
+    let k: usize = match get("k").unwrap_or("5").parse() {
+        Ok(k) => k,
+        Err(_) => return HttpResponse::error(400, "bad_request", "k must be a positive integer"),
+    };
+    let format = get("format").unwrap_or("json");
+    let export = match ctx.service.export_summary(fingerprint, algorithm, k) {
+        Ok(e) => e,
+        Err(e) => {
+            return HttpResponse::error(status_of(&e), service_error_kind(&e), format!("{e}"))
+        }
+    };
+    match format {
+        "json" => HttpResponse::json(200, export.to_json()),
+        "markdown" | "md" => {
+            let mut resp = HttpResponse::text(200, export.to_markdown());
+            resp.content_type = "text/markdown; charset=utf-8";
+            resp
+        }
+        other => HttpResponse::error(400, "bad_request", format!("unknown format '{other}'")),
+    }
+}
+
+fn admin_cache(ctx: &RouteContext<'_>) -> HttpResponse {
+    #[derive(serde::Serialize)]
+    struct AdminCacheView {
+        stats: crate::service::CacheStats,
+        entries: Vec<crate::service::CacheEntryInfo>,
+    }
+    let view = AdminCacheView {
+        stats: ctx.service.cache_stats(),
+        entries: ctx.service.cached_entries(),
+    };
+    HttpResponse::json(
+        200,
+        serde_json::to_string(&view).expect("cache view serializes"),
+    )
+}
+
+fn admin_evict(ctx: &RouteContext<'_>, body: &[u8]) -> HttpResponse {
+    #[derive(serde::Deserialize)]
+    struct EvictRequest {
+        fingerprint: Option<String>,
+        schema: Option<String>,
+    }
+    let request: EvictRequest = match decode_body(body, "body is not an evict request") {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let fingerprint = match (&request.fingerprint, &request.schema) {
+        (Some(hex), _) => match SchemaFingerprint::from_hex(hex) {
+            Some(fp) => fp,
+            None => {
+                return HttpResponse::error(400, "bad_request", "fingerprint is not 32 hex digits")
+            }
+        },
+        (None, Some(name)) => match ctx.service.fingerprint_of(name) {
+            Some(fp) => fp,
+            None => {
+                return HttpResponse::error(
+                    404,
+                    "unknown_schema",
+                    format!("unknown schema '{name}'"),
+                )
+            }
+        },
+        (None, None) => {
+            return HttpResponse::error(400, "bad_request", "name a fingerprint or a schema")
+        }
+    };
+    let evicted = ctx.service.evict_fingerprint(fingerprint);
+    #[derive(serde::Serialize)]
+    struct EvictReply {
+        fingerprint: String,
+        evicted: usize,
+    }
+    let reply = EvictReply {
+        fingerprint: fingerprint.to_hex(),
+        evicted,
+    };
+    HttpResponse::json(
+        200,
+        serde_json::to_string(&reply).expect("evict reply serializes"),
+    )
+}
+
+/// Route one parsed request.
+pub(crate) fn route(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
+    let path = req.path();
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/summary" | "/v1/levels" | "/v1/expand") => {
+            match summary_body(path, &req.body) {
+                Ok(request) => run_pooled(ctx, request),
+                Err(resp) => resp,
+            }
+        }
+        ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
+        ("GET", "/metrics") => HttpResponse::text(
+            200,
+            metrics::render(
+                &ctx.service.cache_stats(),
+                &ctx.service.catalog_stats(),
+                &ctx.http_stats,
+            ),
+        ),
+        ("GET", p) if p.starts_with("/v1/export/") => export(ctx, req),
+        ("GET", "/admin/cache") => admin_cache(ctx),
+        ("POST", "/admin/evict") => admin_evict(ctx, &req.body),
+        // Known paths with the wrong method are 405, everything else 404.
+        (
+            _,
+            "/v1/summary" | "/v1/levels" | "/v1/expand" | "/healthz" | "/metrics" | "/admin/cache"
+            | "/admin/evict",
+        ) => HttpResponse::error(
+            405,
+            "method_not_allowed",
+            format!("{} {}", req.method, path),
+        ),
+        (m, p) if p.starts_with("/v1/export/") && m != "GET" => {
+            HttpResponse::error(405, "method_not_allowed", format!("{m} {p}"))
+        }
+        _ => HttpResponse::error(404, "not_found", format!("no route for {path}")),
+    }
+}

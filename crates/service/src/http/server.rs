@@ -1,0 +1,259 @@
+//! The HTTP/1.1 server: per-connection keep-alive loop over the shared
+//! listener plumbing, with summary computation on the bounded worker
+//! pool.
+//!
+//! Each connection gets a thread (same model as the line-JSON server)
+//! that reads into a buffer, parses requests incrementally, and answers
+//! in order. Reads poll with a short timeout so the thread notices
+//! shutdown; a request already fully received is always answered before
+//! the connection closes. Parse failures are terminal: the mapped status
+//! (`400`/`413`/`431`/`505`) is written with `Connection: close` and the
+//! connection ends, because the byte stream can no longer be trusted to
+//! be request-aligned.
+
+use crate::http::request::{parse_request, ParseError, ParseOutcome};
+use crate::http::response::HttpResponse;
+use crate::http::router::{route, ExecOutcome, RouteContext};
+use crate::http::{HttpConfig, HttpServerStats};
+use crate::listener::{accept_loop, ConnectionPlumbing, POLL_INTERVAL};
+use crate::pool::WorkerPool;
+use crate::service::{SummaryRequest, SummaryService};
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+struct Inner {
+    service: Arc<SummaryService>,
+    config: HttpConfig,
+    pool: WorkerPool,
+    plumbing: Arc<ConnectionPlumbing>,
+    served: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+impl Inner {
+    fn stats(&self) -> HttpServerStats {
+        HttpServerStats {
+            accepted: self.plumbing.accepted(),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.plumbing.shed(),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            active_connections: self.plumbing.active(),
+        }
+    }
+
+    /// Run one summary request on the worker pool, waiting up to the
+    /// request timeout.
+    fn execute(&self, request: SummaryRequest) -> ExecOutcome {
+        let (tx, rx) = mpsc::channel();
+        let service = Arc::clone(&self.service);
+        let admitted = self.pool.try_execute(move || {
+            let _ = tx.send(service.handle_request(&request));
+        });
+        if admitted.is_err() {
+            self.plumbing.count_shed();
+            return ExecOutcome::Overloaded;
+        }
+        match rx.recv_timeout(self.config.request_timeout) {
+            Ok(result) => ExecOutcome::Done(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.timed_out.fetch_add(1, Ordering::Relaxed);
+                ExecOutcome::TimedOut(self.config.request_timeout)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => ExecOutcome::Lost,
+        }
+    }
+
+    /// Answer one parsed request and emit the audit line.
+    fn respond(&self, peer: &str, req: &crate::http::request::HttpRequest) -> HttpResponse {
+        let started = Instant::now();
+        let ctx = RouteContext {
+            service: &self.service,
+            http_stats: self.stats(),
+            execute: &|request| self.execute(request),
+        };
+        let response = route(&ctx, req);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        if self.config.log_requests {
+            eprintln!(
+                "http {peer} \"{} {}\" {} {}us",
+                req.method,
+                req.target,
+                response.status,
+                started.elapsed().as_micros()
+            );
+        }
+        response
+    }
+}
+
+fn parse_error_response(e: ParseError) -> HttpResponse {
+    let mut resp = match e {
+        ParseError::Malformed(detail) => HttpResponse::error(400, "malformed", detail),
+        ParseError::HeadTooLarge => HttpResponse::error(
+            431,
+            "headers_too_large",
+            "request head exceeds the byte limit",
+        ),
+        ParseError::BodyTooLarge => {
+            HttpResponse::error(413, "body_too_large", "request body exceeds the byte limit")
+        }
+        ParseError::UnsupportedVersion => {
+            HttpResponse::error(505, "unsupported_version", "only HTTP/1.0 and HTTP/1.1")
+        }
+    };
+    resp.close = true;
+    resp
+}
+
+/// Serve one connection until close, error, or shutdown.
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "-".to_string());
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Answer every complete request already buffered.
+        loop {
+            match parse_request(&pending) {
+                ParseOutcome::Complete(request, consumed) => {
+                    pending.drain(..consumed);
+                    let response = inner.respond(&peer, &request);
+                    let keep_alive = request.keep_alive() && !response.must_close();
+                    if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                        return;
+                    }
+                }
+                ParseOutcome::Failed(e) => {
+                    if inner.config.log_requests {
+                        eprintln!("http {peer} \"<unparseable>\" {e:?}");
+                    }
+                    inner.served.fetch_add(1, Ordering::Relaxed);
+                    let _ = parse_error_response(e).write_to(&mut stream, false);
+                    return;
+                }
+                ParseOutcome::Incomplete => break,
+            }
+        }
+        if inner.plumbing.stopping() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// A running HTTP/1.1 front-end over a shared [`SummaryService`].
+///
+/// Bind with [`HttpServer::bind`], point any HTTP client at
+/// [`HttpServer::local_addr`], and stop with [`HttpServer::shutdown`]
+/// (or drop the server, which shuts down too).
+pub struct HttpServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `service` over HTTP.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<SummaryService>,
+        config: HttpConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            service,
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            plumbing: Arc::new(ConnectionPlumbing::new(config.max_connections)),
+            config,
+            served: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || {
+            let serve_inner = Arc::clone(&accept_inner);
+            let serve: Arc<dyn Fn(TcpStream) + Send + Sync> =
+                Arc::new(move |stream| handle_connection(&serve_inner, stream));
+            accept_loop(
+                &accept_inner.plumbing,
+                listener,
+                |mut stream| {
+                    let mut resp =
+                        HttpResponse::error(503, "overloaded", "connection limit reached");
+                    resp.close = true;
+                    let _ = resp.write_to(&mut stream, false);
+                },
+                serve,
+            );
+        });
+        Ok(HttpServer {
+            inner,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> HttpServerStats {
+        self.inner.stats()
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<SummaryService> {
+        &self.inner.service
+    }
+
+    /// Block on the accept loop (which runs until shutdown or a listener
+    /// failure). Used by the CLI's `serve --http`; connections keep being
+    /// served while this blocks.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, answer every request already
+    /// read from open connections, drain the worker queue, join all
+    /// threads. Returns the final counters.
+    pub fn shutdown(mut self) -> HttpServerStats {
+        self.shutdown_in_place();
+        self.inner.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.inner.plumbing.begin_shutdown(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.inner.plumbing.join_connections();
+        self.inner.pool.shutdown();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}

@@ -64,6 +64,9 @@
 
 pub mod catalog;
 mod disk;
+pub mod export;
+pub mod http;
+mod listener;
 mod lru;
 mod pool;
 pub mod server;
@@ -71,9 +74,11 @@ pub mod service;
 mod store;
 
 pub use catalog::{Artifacts, CatalogEntry, SchemaCatalog};
+pub use export::{ExportElement, SummaryExport};
+pub use http::{HttpConfig, HttpServer, HttpServerStats};
 pub use server::{ServerConfig, ServerReply, ServerStats, SummaryServer, WireError};
 pub use service::{
-    CacheStats, CatalogStats, ExpandResult, ExpandSpec, GroupView, LevelView, MultiLevelArtifact,
-    MultiLevelResult, ServedExpansion, ServedMultiLevel, ServedReply, ServedSummary,
-    ServiceConfig, ServiceError, SummaryRequest, SummaryResult, SummaryService,
+    CacheEntryInfo, CacheStats, CatalogStats, ExpandResult, ExpandSpec, GroupView, LevelView,
+    MultiLevelArtifact, MultiLevelResult, ServedExpansion, ServedMultiLevel, ServedReply,
+    ServedSummary, ServiceConfig, ServiceError, SummaryRequest, SummaryResult, SummaryService,
 };

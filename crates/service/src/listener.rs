@@ -1,0 +1,143 @@
+//! Shared TCP listener plumbing for the front-ends: the line-JSON server
+//! and the HTTP server differ in framing and in how they say "go away",
+//! but not in how they accept, cap, track, and drain connections. This
+//! module owns that common machinery:
+//!
+//! * an accept loop with a connection cap — over-cap connections get a
+//!   protocol-specific rejection (a JSON error line, an HTTP 503) and are
+//!   closed without a thread;
+//! * per-connection thread tracking with opportunistic reaping, so the
+//!   handle list tracks live connections instead of growing forever;
+//! * the shared stop flag that blocked reads poll ([`POLL_INTERVAL`]) and
+//!   the shutdown choreography (stop accepting, poke the listener loose,
+//!   join every connection).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked reads wake up to check for shutdown.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Accept-side bookkeeping shared by every front-end: counters, the
+/// live-connection gauge, the tracked handles, and the stop flag.
+pub(crate) struct ConnectionPlumbing {
+    max_connections: usize,
+    stopping: AtomicBool,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    active: AtomicUsize,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ConnectionPlumbing {
+    pub fn new(max_connections: usize) -> Self {
+        ConnectionPlumbing {
+            max_connections,
+            stopping: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            connections: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether shutdown has begun; per-connection loops poll this between
+    /// reads.
+    pub fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    /// Count a request or connection shed by an admission bound.
+    pub fn count_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Track a connection thread, reaping finished ones first.
+    fn track(&self, handle: JoinHandle<()>) {
+        let mut connections = self.connections.lock().expect("connections poisoned");
+        let mut i = 0;
+        while i < connections.len() {
+            if connections[i].is_finished() {
+                let done = connections.swap_remove(i);
+                let _ = done.join();
+            } else {
+                i += 1;
+            }
+        }
+        connections.push(handle);
+    }
+
+    /// Begin shutdown: raise the stop flag and poke the accept loop loose
+    /// with a throwaway connection (harmless if the listener already
+    /// failed).
+    pub fn begin_shutdown(&self, addr: SocketAddr) {
+        self.stopping.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    /// Join every tracked connection thread (after the accept loop has
+    /// exited, so no new ones appear).
+    pub fn join_connections(&self) {
+        let connections: Vec<JoinHandle<()>> = self
+            .connections
+            .lock()
+            .expect("connections poisoned")
+            .drain(..)
+            .collect();
+        for connection in connections {
+            let _ = connection.join();
+        }
+    }
+}
+
+/// Run the accept loop until shutdown or listener failure. `reject`
+/// writes the protocol-appropriate over-capacity farewell on the caller's
+/// thread; `serve` handles one admitted connection on its own thread (the
+/// live-connection gauge is maintained here).
+pub(crate) fn accept_loop(
+    plumbing: &Arc<ConnectionPlumbing>,
+    listener: TcpListener,
+    reject: impl Fn(TcpStream),
+    serve: Arc<dyn Fn(TcpStream) + Send + Sync>,
+) {
+    for incoming in listener.incoming() {
+        if plumbing.stopping() {
+            return;
+        }
+        let stream = match incoming {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        plumbing.accepted.fetch_add(1, Ordering::Relaxed);
+        // Only this thread increments `active`, so check-then-increment
+        // cannot overshoot the cap.
+        if plumbing.active.load(Ordering::Acquire) >= plumbing.max_connections {
+            plumbing.shed.fetch_add(1, Ordering::Relaxed);
+            reject(stream);
+            continue;
+        }
+        plumbing.active.fetch_add(1, Ordering::AcqRel);
+        let thread_plumbing = Arc::clone(plumbing);
+        let thread_serve = Arc::clone(&serve);
+        let handle = std::thread::spawn(move || {
+            thread_serve(stream);
+            thread_plumbing.active.fetch_sub(1, Ordering::AcqRel);
+        });
+        plumbing.track(handle);
+    }
+}

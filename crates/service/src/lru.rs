@@ -263,6 +263,22 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
             .collect()
     }
 
+    /// Snapshot every resident `(key, recomputation cost)` pair, in no
+    /// particular order. Read-only: recency is untouched.
+    pub fn entries(&self) -> Vec<(K, u64)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                let shard = s.lock().expect("lru shard poisoned");
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, &i)| (k.clone(), shard.slots[i].cost))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// Summed recomputation cost (microseconds) of every resident entry —
     /// what it would take to rebuild the cache from nothing.
     pub fn total_cost(&self) -> u64 {

@@ -26,6 +26,7 @@
 //!   finish the requests it has already read, drains the worker queue,
 //!   and joins all threads.
 
+use crate::listener::{accept_loop, ConnectionPlumbing, POLL_INTERVAL};
 use crate::pool::WorkerPool;
 use crate::service::{
     ExpandResult, MultiLevelResult, ServedReply, ServiceError, SummaryRequest, SummaryResult,
@@ -35,13 +36,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// How often blocked reads wake up to check for shutdown.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Tuning knobs for [`SummaryServer`].
 #[derive(Debug, Clone)]
@@ -172,7 +170,7 @@ pub struct WireError {
     pub message: String,
 }
 
-fn service_error_kind(e: &ServiceError) -> &'static str {
+pub(crate) fn service_error_kind(e: &ServiceError) -> &'static str {
     match e {
         ServiceError::UnknownSchema(_) => "unknown_schema",
         ServiceError::UnknownFingerprint(_) => "unknown_fingerprint",
@@ -185,13 +183,9 @@ struct Inner {
     service: Arc<SummaryService>,
     config: ServerConfig,
     pool: WorkerPool,
-    stopping: AtomicBool,
-    accepted: AtomicU64,
+    plumbing: Arc<ConnectionPlumbing>,
     served: AtomicU64,
-    shed: AtomicU64,
     timed_out: AtomicU64,
-    active: AtomicUsize,
-    connections: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Inner {
@@ -210,7 +204,7 @@ impl Inner {
             let _ = tx.send(service.handle_request(&request));
         });
         if admitted.is_err() {
-            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.plumbing.count_shed();
             return ServerReply::error(seq, "overloaded", "request queue is full");
         }
         match rx.recv_timeout(self.config.request_timeout) {
@@ -243,11 +237,11 @@ impl Inner {
 
     fn stats(&self) -> ServerStats {
         ServerStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
+            accepted: self.plumbing.accepted(),
             served: self.served.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
+            shed: self.plumbing.shed(),
             timed_out: self.timed_out.load(Ordering::Relaxed),
-            active_connections: self.active.load(Ordering::Relaxed),
+            active_connections: self.plumbing.active(),
         }
     }
 }
@@ -282,7 +276,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
                 return;
             }
         }
-        if inner.stopping.load(Ordering::Acquire) {
+        if inner.plumbing.stopping() {
             return;
         }
         match stream.read(&mut chunk) {
@@ -292,48 +286,6 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return,
         }
-    }
-}
-
-fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
-    for incoming in listener.incoming() {
-        if inner.stopping.load(Ordering::Acquire) {
-            return;
-        }
-        let mut stream = match incoming {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        inner.accepted.fetch_add(1, Ordering::Relaxed);
-        // Only this thread increments `active`, so check-then-increment
-        // cannot overshoot the cap.
-        if inner.active.load(Ordering::Acquire) >= inner.config.max_connections {
-            inner.shed.fetch_add(1, Ordering::Relaxed);
-            let _ = write_reply(
-                &mut stream,
-                &ServerReply::error(0, "overloaded", "connection limit reached"),
-            );
-            continue;
-        }
-        inner.active.fetch_add(1, Ordering::AcqRel);
-        let worker_inner = Arc::clone(inner);
-        let handle = std::thread::spawn(move || {
-            handle_connection(&worker_inner, stream);
-            worker_inner.active.fetch_sub(1, Ordering::AcqRel);
-        });
-        let mut connections = inner.connections.lock().expect("connections poisoned");
-        // Reap finished threads so the handle list tracks live
-        // connections instead of growing with connection count.
-        let mut i = 0;
-        while i < connections.len() {
-            if connections[i].is_finished() {
-                let done = connections.swap_remove(i);
-                let _ = done.join();
-            } else {
-                i += 1;
-            }
-        }
-        connections.push(handle);
     }
 }
 
@@ -361,18 +313,28 @@ impl SummaryServer {
         let inner = Arc::new(Inner {
             service,
             pool: WorkerPool::new(config.workers, config.queue_capacity),
+            plumbing: Arc::new(ConnectionPlumbing::new(config.max_connections)),
             config,
-            stopping: AtomicBool::new(false),
-            accepted: AtomicU64::new(0),
             served: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
-            active: AtomicUsize::new(0),
-            connections: Mutex::new(Vec::new()),
         });
         let accept_inner = Arc::clone(&inner);
-        let accept_thread =
-            std::thread::spawn(move || accept_loop(&accept_inner, listener));
+        let accept_thread = std::thread::spawn(move || {
+            let serve_inner = Arc::clone(&accept_inner);
+            let serve: Arc<dyn Fn(TcpStream) + Send + Sync> =
+                Arc::new(move |stream| handle_connection(&serve_inner, stream));
+            accept_loop(
+                &accept_inner.plumbing,
+                listener,
+                |mut stream| {
+                    let _ = write_reply(
+                        &mut stream,
+                        &ServerReply::error(0, "overloaded", "connection limit reached"),
+                    );
+                },
+                serve,
+            );
+        });
         Ok(SummaryServer {
             inner,
             addr,
@@ -413,23 +375,11 @@ impl SummaryServer {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.inner.stopping.store(true, Ordering::Release);
-        // Unblock `accept` with a throwaway connection; harmless if the
-        // listener already failed.
-        let _ = TcpStream::connect(self.addr);
+        self.inner.plumbing.begin_shutdown(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let connections: Vec<JoinHandle<()>> = self
-            .inner
-            .connections
-            .lock()
-            .expect("connections poisoned")
-            .drain(..)
-            .collect();
-        for connection in connections {
-            let _ = connection.join();
-        }
+        self.inner.plumbing.join_connections();
         self.inner.pool.shutdown();
     }
 }

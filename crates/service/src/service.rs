@@ -5,6 +5,7 @@
 
 use crate::catalog::SchemaCatalog;
 use crate::disk::DiskTier;
+use crate::export::{ExportElement, SummaryExport};
 use crate::store::{ArtifactStore, CachedArtifact, ResultKey, ResultShape};
 use schema_summary_algo::algorithms::{balance_summary, max_coverage, max_importance};
 use schema_summary_algo::assignment::{assign_elements, summary_coverage, summary_importance};
@@ -33,6 +34,10 @@ pub struct ServiceConfig {
     /// matrices and results are spilled there and rehydrated on restart;
     /// when `None` the store is memory-only.
     pub store_dir: Option<PathBuf>,
+    /// Byte quota for the persistent tier. When set, spilling past it
+    /// evicts the oldest artifacts first; `None` grows without bound.
+    /// Ignored when `store_dir` is `None`.
+    pub store_max_bytes: Option<u64>,
     /// Default algorithm configuration used when a request does not
     /// override it.
     pub summarizer: SummarizerConfig,
@@ -45,6 +50,7 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             catalog_shards: crate::catalog::DEFAULT_CATALOG_SHARDS,
             store_dir: None,
+            store_max_bytes: None,
             summarizer: SummarizerConfig::default(),
         }
     }
@@ -282,6 +288,13 @@ pub struct CacheStats {
     pub disk_writes: u64,
     /// Disk-tier files discarded as corrupt (and recomputed).
     pub disk_corrupt: u64,
+    /// Bytes currently spilled under the store directory.
+    pub disk_bytes: u64,
+    /// Spilled artifacts evicted to keep the store under its byte quota.
+    pub quota_evictions: u64,
+    /// Cached results dropped through the admin evict API (counted in
+    /// neither `evictions` nor `invalidations`).
+    pub admin_evictions: u64,
 }
 
 impl CacheStats {
@@ -296,6 +309,19 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// One resident result-cache entry, as reported by the admin plane
+/// ([`SummaryService::cached_entries`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CacheEntryInfo {
+    /// Fingerprint (hex) of the schema the result was computed from.
+    pub fingerprint: String,
+    /// Human-readable result shape, e.g. `flat/balance/k=5` or
+    /// `multilevel/balance/12,6,3`.
+    pub shape: String,
+    /// Recomputation cost (µs) the entry was admitted with.
+    pub cost_micros: u64,
 }
 
 /// Per-shard occupancy of the sharded tiers, for contention
@@ -344,7 +370,10 @@ impl SummaryService {
     /// store directory instead of panicking.
     pub fn try_new(config: ServiceConfig) -> std::io::Result<Self> {
         let disk = match &config.store_dir {
-            Some(dir) => Some(Arc::new(DiskTier::open(dir)?)),
+            Some(dir) => Some(Arc::new(DiskTier::open_with_quota(
+                dir,
+                config.store_max_bytes,
+            )?)),
             None => None,
         };
         let store = ArtifactStore::new(
@@ -807,9 +836,14 @@ impl SummaryService {
     /// Current cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         let counters = self.store.catalog().compute_counters();
-        let (disk_writes, disk_corrupt) = match self.store.disk() {
-            Some(disk) => (disk.writes(), disk.corrupt()),
-            None => (0, 0),
+        let (disk_writes, disk_corrupt, disk_bytes, quota_evictions) = match self.store.disk() {
+            Some(disk) => (
+                disk.writes(),
+                disk.corrupt(),
+                disk.bytes_on_disk(),
+                disk.quota_evictions(),
+            ),
+            None => (0, 0, 0, 0),
         };
         CacheStats {
             hits: self.store.hits(),
@@ -826,7 +860,96 @@ impl SummaryService {
             matrices_rehydrated: counters.matrices_rehydrated(),
             disk_writes,
             disk_corrupt,
+            disk_bytes,
+            quota_evictions,
+            admin_evictions: self.store.admin_evictions(),
         }
+    }
+
+    /// Snapshot the resident result-cache entries (the admin inspection
+    /// view), sorted by fingerprint then shape for deterministic output.
+    pub fn cached_entries(&self) -> Vec<CacheEntryInfo> {
+        let mut entries: Vec<CacheEntryInfo> = self
+            .store
+            .result_entries()
+            .into_iter()
+            .map(|(key, cost)| CacheEntryInfo {
+                fingerprint: key.fingerprint.to_hex(),
+                shape: match &key.shape {
+                    ResultShape::Flat { algorithm, k } => format!("flat/{algorithm}/k={k}"),
+                    ResultShape::MultiLevel { algorithm, sizes } => {
+                        let sizes = sizes
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!("multilevel/{algorithm}/{sizes}")
+                    }
+                },
+                cost_micros: cost,
+            })
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// Evict one fingerprint's cached *results* — the in-memory entries
+    /// and the spilled flat/multi-level summaries — while keeping the
+    /// schema registered and its memoized matrices. The next identical
+    /// request is a cache miss that recomputes only the selection; a
+    /// full teardown is [`SummaryService::invalidate`]. Returns the
+    /// number of in-memory results dropped.
+    pub fn evict_fingerprint(&self, fingerprint: SchemaFingerprint) -> usize {
+        self.store.evict_results(fingerprint)
+    }
+
+    /// Build a condensed machine-readable export of a flat summary: the
+    /// selection (served through the cache tiers like any request) joined
+    /// with each element's importance score and cardinality.
+    pub fn export_summary(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        k: usize,
+    ) -> Result<SummaryExport, ServiceError> {
+        let served = self.summarize(fingerprint, algorithm, k)?;
+        let entry = self
+            .store
+            .catalog()
+            .get(fingerprint)
+            .ok_or(ServiceError::UnknownFingerprint(fingerprint))?;
+        let stats = entry.stats();
+        let config = self.config.summarizer.clone();
+        let artifacts = entry.artifacts(&config);
+        let importance = artifacts.importance();
+        let elements = served
+            .result
+            .selection
+            .iter()
+            .zip(&served.result.labels)
+            .map(|(&e, label)| ExportElement {
+                label: label.clone(),
+                importance: importance.score(e),
+                cardinality: stats.card(e),
+            })
+            .collect();
+        let schema = self
+            .names
+            .read()
+            .expect("names poisoned")
+            .iter()
+            .find(|(_, &fp)| fp == fingerprint)
+            .map(|(name, _)| name.clone());
+        Ok(SummaryExport {
+            schema,
+            fingerprint: fingerprint.to_hex(),
+            algorithm: algorithm.to_string(),
+            k: served.result.k,
+            schema_elements: stats.len(),
+            importance: served.result.importance,
+            coverage: served.result.coverage,
+            elements,
+        })
     }
 
     /// Per-shard occupancy of the catalog and result tiers.

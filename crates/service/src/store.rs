@@ -184,6 +184,7 @@ pub(crate) struct ArtifactStore {
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    admin_evictions: AtomicU64,
     compute_micros: AtomicU64,
     evicted_compute_micros: AtomicU64,
 }
@@ -205,6 +206,7 @@ impl ArtifactStore {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            admin_evictions: AtomicU64::new(0),
             compute_micros: AtomicU64::new(0),
             evicted_compute_micros: AtomicU64::new(0),
         }
@@ -326,6 +328,26 @@ impl ArtifactStore {
         dropped
     }
 
+    /// Admin eviction: drop one fingerprint's cached *results* (memory and
+    /// spilled summaries), keeping the catalog entry and memoized matrices
+    /// so the schema stays registered and the next request recomputes only
+    /// the selection. Returns the number of in-memory results dropped.
+    pub fn evict_results(&self, fingerprint: SchemaFingerprint) -> usize {
+        if let Some(disk) = &self.disk {
+            disk.purge_results(fingerprint);
+        }
+        let dropped = self.results.retain(|key| key.fingerprint != fingerprint);
+        self.admin_evictions
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Snapshot the resident result keys with their recomputation costs
+    /// (the `GET /admin/cache` view).
+    pub fn result_entries(&self) -> Vec<(ResultKey, u64)> {
+        self.results.entries()
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -344,6 +366,10 @@ impl ArtifactStore {
 
     pub fn invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
+    }
+
+    pub fn admin_evictions(&self) -> u64 {
+        self.admin_evictions.load(Ordering::Relaxed)
     }
 
     pub fn compute_micros(&self) -> u64 {

@@ -1,0 +1,486 @@
+//! Loopback integration tests for the HTTP/1.1 front-end: routing,
+//! framing limits, keep-alive reuse, the Prometheus metrics plane, and
+//! the admin evict round-trip.
+
+use schema_summary_datasets::{tpch, xmark};
+use schema_summary_service::{HttpConfig, HttpServer, SummaryRequest, SummaryService};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_service() -> Arc<SummaryService> {
+    let service = SummaryService::default();
+    let (xg, xs, _) = xmark::schema(1.0);
+    let (tg, ts, _) = tpch::schema(1.0);
+    service.register_named("xmark", Arc::new(xg), Arc::new(xs));
+    service.register_named("tpch", Arc::new(tg), Arc::new(ts));
+    Arc::new(service)
+}
+
+fn bind(config: HttpConfig) -> HttpServer {
+    HttpServer::bind("127.0.0.1:0", build_service(), config).unwrap()
+}
+
+fn default_config() -> HttpConfig {
+    HttpConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_connections: 16,
+        request_timeout: Duration::from_secs(60),
+        log_requests: false,
+    }
+}
+
+/// A parsed HTTP response off the wire.
+#[derive(Debug)]
+struct Response {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("body is UTF-8")
+    }
+}
+
+/// A raw HTTP client over one TCP connection, so keep-alive reuse is
+/// under test control (no helper library, nothing buffers ahead).
+struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            stream,
+            pending: Vec::new(),
+        }
+    }
+
+    fn send_raw(&mut self, raw: &[u8]) {
+        self.stream.write_all(raw).unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    /// Send one request with optional body; `extra` lets tests inject
+    /// headers like `Connection: close`.
+    fn request(&mut self, method: &str, target: &str, extra: &str, body: Option<&str>) -> Response {
+        let raw = match body {
+            Some(b) => format!(
+                "{method} {target} HTTP/1.1\r\nHost: test\r\n{extra}Content-Length: {}\r\n\r\n{b}",
+                b.len()
+            ),
+            None => format!("{method} {target} HTTP/1.1\r\nHost: test\r\n{extra}\r\n"),
+        };
+        self.send_raw(raw.as_bytes());
+        self.read_response()
+    }
+
+    fn get(&mut self, target: &str) -> Response {
+        self.request("GET", target, "", None)
+    }
+
+    fn post(&mut self, target: &str, body: &str) -> Response {
+        self.request("POST", target, "", Some(body))
+    }
+
+    /// Read exactly one response: head to the blank line, then
+    /// `Content-Length` body bytes (the server always sends a length).
+    fn read_response(&mut self) -> Response {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = find(&self.pending, b"\r\n\r\n") {
+                let head = std::str::from_utf8(&self.pending[..head_end]).unwrap();
+                let mut lines = head.split("\r\n");
+                let status_line = lines.next().unwrap();
+                assert!(
+                    status_line.starts_with("HTTP/1.1 "),
+                    "bad status line: {status_line}"
+                );
+                let status: u16 = status_line
+                    .split_whitespace()
+                    .nth(1)
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                let headers: HashMap<String, String> = lines
+                    .filter_map(|l| l.split_once(':'))
+                    .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+                    .collect();
+                let len: usize = headers
+                    .get("content-length")
+                    .expect("every response carries Content-Length")
+                    .parse()
+                    .unwrap();
+                let body_start = head_end + 4;
+                while self.pending.len() < body_start + len {
+                    let n = self.stream.read(&mut chunk).unwrap();
+                    assert!(n > 0, "EOF mid-body");
+                    self.pending.extend_from_slice(&chunk[..n]);
+                }
+                let body = self.pending[body_start..body_start + len].to_vec();
+                self.pending.drain(..body_start + len);
+                return Response {
+                    status,
+                    headers,
+                    body,
+                };
+            }
+            let n = self.stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "EOF before response head");
+            self.pending.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// The server closed its end: reads return EOF (or reset).
+    fn assert_eof(&mut self) {
+        let mut chunk = [0u8; 64];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => {}
+            Ok(n) => panic!("expected EOF, got {n} bytes"),
+            Err(_) => {} // reset also counts as closed
+        }
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Pull one metric value out of a Prometheus text exposition.
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn routes_summary_levels_expand_export_health_on_one_connection() {
+    let server = bind(default_config());
+    let mut client = Client::connect(server.local_addr());
+
+    // Flat summary: must match what the service answers directly.
+    let reply = client.post("/v1/summary", "{\"schema\":\"xmark\",\"k\":3}");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("content-type"), Some("application/json"));
+    let request: SummaryRequest = serde_json::from_str("{\"schema\":\"xmark\",\"k\":3}").unwrap();
+    let direct = server.service().handle(&request).unwrap();
+    let expected = serde_json::to_string(direct.result.as_ref()).unwrap();
+    assert_eq!(
+        reply.text(),
+        expected,
+        "HTTP body must equal the service's own answer"
+    );
+
+    // Multi-level and drill-down ride the same connection.
+    let reply = client.post("/v1/levels", "{\"schema\":\"xmark\",\"levels\":[6,3]}");
+    assert_eq!(reply.status, 200);
+    assert!(reply.text().contains("\"levels\""));
+    let reply = client.post(
+        "/v1/expand",
+        "{\"schema\":\"xmark\",\"levels\":[6,3],\"expand\":{\"level\":1,\"group\":0}}",
+    );
+    assert_eq!(reply.status, 200);
+
+    // Export: JSON by default, markdown on demand.
+    let reply = client.get("/v1/export/xmark?k=3");
+    assert_eq!(reply.status, 200);
+    assert!(reply.text().contains("\"fingerprint\""));
+    assert!(reply.text().contains("\"elements\""));
+    let reply = client.get("/v1/export/xmark?k=3&format=md");
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.header("content-type"),
+        Some("text/markdown; charset=utf-8")
+    );
+    assert!(reply.text().starts_with("# Schema summary"));
+
+    // Health, unknown paths, wrong methods, bad shapes.
+    let reply = client.get("/healthz");
+    assert_eq!((reply.status, reply.text()), (200, "ok\n"));
+    assert_eq!(client.get("/nope").status, 404);
+    assert_eq!(client.get("/v1/summary").status, 405);
+    assert_eq!(
+        client
+            .post("/v1/summary", "{\"schema\":\"nope\",\"k\":3}")
+            .status,
+        404
+    );
+    assert_eq!(
+        client
+            .post(
+                "/v1/summary",
+                "{\"schema\":\"xmark\",\"k\":3,\"levels\":[4,2]}"
+            )
+            .status,
+        400,
+        "a flat request must not carry levels"
+    );
+    assert_eq!(
+        client
+            .post("/v1/levels", "{\"schema\":\"xmark\",\"k\":3}")
+            .status,
+        400
+    );
+    assert_eq!(client.post("/v1/summary", "not json").status, 400);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 1, "every request rode one connection");
+    assert!(stats.served >= 12);
+}
+
+#[test]
+fn keep_alive_reuses_the_connection_and_close_ends_it() {
+    let server = bind(default_config());
+    let mut client = Client::connect(server.local_addr());
+
+    for _ in 0..3 {
+        let reply = client.get("/healthz");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("connection"), Some("keep-alive"));
+    }
+    assert_eq!(server.stats().accepted, 1);
+    assert_eq!(server.stats().served, 3);
+
+    // `Connection: close` is honored and the socket actually closes.
+    let reply = client.request("GET", "/healthz", "Connection: close\r\n", None);
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("connection"), Some("close"));
+    client.assert_eof();
+
+    // HTTP/1.0 defaults to close.
+    let mut old = Client::connect(server.local_addr());
+    old.send_raw(b"GET /healthz HTTP/1.0\r\n\r\n");
+    let reply = old.read_response();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("connection"), Some("close"));
+    old.assert_eof();
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_and_a_terminal_close() {
+    let server = bind(default_config());
+
+    // Lowercase method: not a token this server admits.
+    let mut client = Client::connect(server.local_addr());
+    client.send_raw(b"get /healthz HTTP/1.1\r\n\r\n");
+    let reply = client.read_response();
+    assert_eq!(reply.status, 400);
+    assert_eq!(reply.header("connection"), Some("close"));
+    assert!(reply.text().contains("\"malformed\""));
+    client.assert_eof();
+
+    // Garbled request line.
+    let mut client = Client::connect(server.local_addr());
+    client.send_raw(b"GET\r\n\r\n");
+    assert_eq!(client.read_response().status, 400);
+    client.assert_eof();
+
+    // Unsupported version.
+    let mut client = Client::connect(server.local_addr());
+    client.send_raw(b"GET / HTTP/2.0\r\n\r\n");
+    assert_eq!(client.read_response().status, 505);
+    client.assert_eof();
+
+    server.shutdown();
+}
+
+#[test]
+fn oversized_head_gets_431_and_oversized_body_413() {
+    let server = bind(default_config());
+
+    let mut client = Client::connect(server.local_addr());
+    let huge = "x".repeat(9 * 1024);
+    client.send_raw(format!("GET /healthz HTTP/1.1\r\nX-Padding: {huge}\r\n\r\n").as_bytes());
+    let reply = client.read_response();
+    assert_eq!(reply.status, 431);
+    assert_eq!(reply.header("connection"), Some("close"));
+    client.assert_eof();
+
+    let mut client = Client::connect(server.local_addr());
+    client.send_raw(b"POST /v1/summary HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n");
+    let reply = client.read_response();
+    assert_eq!(reply.status, 413);
+    client.assert_eof();
+
+    server.shutdown();
+}
+
+#[test]
+fn chunked_bodies_are_decoded() {
+    let server = bind(default_config());
+    let mut client = Client::connect(server.local_addr());
+
+    let body = "{\"schema\":\"tpch\",\"k\":2}";
+    let raw = format!(
+        "POST /v1/summary HTTP/1.1\r\nHost: test\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n{body}\r\n0\r\n\r\n",
+        body.len()
+    );
+    client.send_raw(raw.as_bytes());
+    let reply = client.read_response();
+    assert_eq!(reply.status, 200);
+    assert!(reply.text().contains("\"k\":2"));
+
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_with_a_503_and_closes() {
+    let mut config = default_config();
+    config.max_connections = 1;
+    let server = bind(config);
+
+    // One idle connection occupies the cap; the next gets a structured
+    // 503 and EOF without ever sending a request.
+    let _holder = TcpStream::connect(server.local_addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut shed = Client {
+        stream: TcpStream::connect(server.local_addr()).unwrap(),
+        pending: Vec::new(),
+    };
+    shed.stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reply = shed.read_response();
+    assert_eq!(reply.status, 503);
+    assert!(reply.text().contains("\"overloaded\""));
+    shed.assert_eof();
+
+    assert!(server.shutdown().shed >= 1);
+}
+
+#[test]
+fn metrics_expose_cache_and_server_counters_after_a_cold_warm_pair() {
+    let server = bind(default_config());
+    let mut client = Client::connect(server.local_addr());
+
+    let body = "{\"schema\":\"xmark\",\"k\":4}";
+    assert_eq!(client.post("/v1/summary", body).status, 200); // cold
+    assert_eq!(client.post("/v1/summary", body).status, 200); // warm
+
+    let reply = client.get("/metrics");
+    assert_eq!(reply.status, 200);
+    let text = reply.text();
+    assert!(text.contains("# TYPE schema_summary_cache_hits_total counter"));
+    assert!(metric(text, "schema_summary_cache_hits_total") >= 1.0);
+    assert!(metric(text, "schema_summary_cache_misses_total") >= 1.0);
+    assert!(metric(text, "schema_summary_cache_entries") >= 1.0);
+    assert_eq!(metric(text, "schema_summary_schemas"), 2.0);
+    assert!(metric(text, "schema_summary_compute_micros_total") > 0.0);
+    assert!(metric(text, "schema_summary_matrices_computed_total") >= 1.0);
+    // The /metrics request itself is in flight: served counts the two
+    // summaries, active is this connection.
+    assert!(metric(text, "schema_summary_http_accepted_total") >= 1.0);
+    assert!(metric(text, "schema_summary_http_served_total") >= 2.0);
+    assert_eq!(metric(text, "schema_summary_http_active_connections"), 1.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn admin_evict_round_trip_forces_the_next_request_cold() {
+    let server = bind(default_config());
+    let mut client = Client::connect(server.local_addr());
+    let body = "{\"schema\":\"xmark\",\"k\":5}";
+
+    // Cold, then warm: one miss, one hit, one memoized matrix build.
+    assert_eq!(client.post("/v1/summary", body).status, 200);
+    assert_eq!(client.post("/v1/summary", body).status, 200);
+    let before = server.service().cache_stats();
+    assert_eq!((before.hits, before.misses), (1, 1));
+
+    // The admin plane sees the resident entry.
+    let reply = client.get("/admin/cache");
+    assert_eq!(reply.status, 200);
+    assert!(
+        reply.text().contains("flat/balance/k=5"),
+        "{}",
+        reply.text()
+    );
+
+    // Evict by schema name; the reply names the fingerprint and count.
+    let reply = client.post("/admin/evict", "{\"schema\":\"xmark\"}");
+    assert_eq!(reply.status, 200);
+    assert!(reply.text().contains("\"evicted\":1"), "{}", reply.text());
+    let fingerprint = server.service().fingerprint_of("xmark").unwrap().to_hex();
+    assert!(reply.text().contains(&fingerprint));
+
+    // The same request is now a miss again — the cold path recomputes
+    // the selection (compute time grows) but not the memoized matrices.
+    assert_eq!(client.post("/v1/summary", body).status, 200);
+    let after = server.service().cache_stats();
+    assert_eq!(after.hits, before.hits, "no hit may be served post-evict");
+    assert_eq!(after.misses, before.misses + 1, "evicted key must miss");
+    assert!(
+        after.compute_micros > before.compute_micros,
+        "the selection must actually be recomputed"
+    );
+    assert_eq!(
+        after.matrices_computed, before.matrices_computed,
+        "eviction drops results, not memoized matrices"
+    );
+    assert_eq!(after.admin_evictions, 1);
+
+    // Evicting garbage is a clean client error.
+    assert_eq!(
+        client
+            .post("/admin/evict", "{\"fingerprint\":\"xyz\"}")
+            .status,
+        400
+    );
+    assert_eq!(
+        client.post("/admin/evict", "{\"schema\":\"nope\"}").status,
+        404
+    );
+    assert_eq!(client.post("/admin/evict", "{}").status, 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_buffered_requests_and_refuses_new_ones() {
+    let server = bind(default_config());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+    client.send_raw(
+        b"POST /v1/summary HTTP/1.1\r\nHost: t\r\nContent-Length: 23\r\n\r\n{\"schema\":\"tpch\",\"k\":3}",
+    );
+    // Give the connection thread time to buffer the request, then shut
+    // down: the answer must still go out.
+    std::thread::sleep(Duration::from_millis(100));
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    let reply = client.read_response();
+    assert_eq!(reply.status, 200);
+    let stats = shutdown.join().unwrap();
+    assert_eq!(stats.active_connections, 0);
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut buf = [0u8; 16];
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        }
+    );
+}

@@ -7,23 +7,30 @@
 //!                          [--levels N,M,...] [--dot OUT] [--json OUT]
 //! schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
 //!                          --query label1,label2,...
+//! schema-summary export    (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
+//!                          [--algorithm A] [--format json|md] [--out FILE]
 //! schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
 //!                          [--requests FILE] [--cache N] [--store-dir DIR]
-//!                          [--listen ADDR [--workers N] [--queue N]
-//!                           [--max-conns N] [--timeout-ms N]]
+//!                          [--store-max-bytes N]
+//!                          [--listen ADDR] [--http ADDR] [--workers N]
+//!                          [--queue N] [--max-conns N] [--timeout-ms N]
+//!                          [--log-requests true]
 //! ```
 //!
 //! Schemas come from an XSD subset or SQL DDL; statistics come from an XML
 //! instance (`--xml`) when given, and default to uniform (schema-driven)
 //! otherwise. `summarize` prints the summary outline and can export
 //! Graphviz DOT and JSON; `discover` compares query-discovery costs with
-//! and without the summary; `serve` answers a JSONL request stream from
-//! the caching service layer and reports per-request latency plus cache
-//! statistics — or, with `--listen`, serves the same line-delimited JSON
-//! protocol over TCP with a worker pool, bounded-queue load shedding,
+//! and without the summary; `export` emits the condensed machine-readable
+//! summary (the same shape `GET /v1/export/:schema` serves); `serve`
+//! answers a JSONL request stream from the caching service layer and
+//! reports per-request latency plus cache statistics — or, with
+//! `--listen`/`--http`, serves the line-delimited JSON protocol over TCP
+//! and/or HTTP/1.1 with a worker pool, bounded-queue load shedding,
 //! per-request timeouts, and a connection cap. `--store-dir` adds a
 //! persistent artifact tier: computed matrices and summaries are spilled
-//! to disk and rehydrated on restart. Requests may be flat
+//! to disk and rehydrated on restart; `--store-max-bytes` caps it with
+//! oldest-first eviction. Requests may be flat
 //! (`{"k":10}`), multi-level (`{"levels":[12,6,3]}`), or drill-downs
 //! (`{"levels":[12,6,3],"expand":{"level":1,"group":0}}`).
 
@@ -33,7 +40,8 @@ use schema_summary_io::{
     summary_to_markdown,
 };
 use schema_summary_service::{
-    ServedReply, ServerConfig, ServiceConfig, SummaryRequest, SummaryServer, SummaryService,
+    HttpConfig, HttpServer, ServedReply, ServerConfig, ServiceConfig, SummaryRequest,
+    SummaryServer, SummaryService,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -72,6 +80,7 @@ fn run() -> Result<(), String> {
         "inspect" => inspect(&opts),
         "summarize" => summarize(&opts),
         "discover" => discover(&opts),
+        "export" => export(&opts),
         "serve" => serve(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -93,10 +102,14 @@ USAGE:
                            [--levels N,M,...] [--dot OUT] [--json OUT]
   schema-summary discover  (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
                            --query label1,label2,...
+  schema-summary export    (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
+                           [--algorithm A] [--format json|md] [--out FILE]
   schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
                            [--requests FILE] [--cache N] [--store-dir DIR]
-                           [--listen ADDR [--workers N] [--queue N]
-                            [--max-conns N] [--timeout-ms N]]
+                           [--store-max-bytes N]
+                           [--listen ADDR] [--http ADDR] [--workers N]
+                           [--queue N] [--max-conns N] [--timeout-ms N]
+                           [--log-requests true]
 
 OPTIONS:
   --xsd FILE        schema from an XML-Schema subset
@@ -110,6 +123,10 @@ OPTIONS:
   --md FILE         write the summary as Markdown documentation
   --json FILE       write the summary as JSON
   --query LABELS    comma-separated element labels the user seeks
+  --format F        (export) json (default) | md — condensed summary with
+                    per-element importance and cardinality, the same shape
+                    served at GET /v1/export/:schema
+  --out FILE        (export) write to FILE instead of stdout
   --xsd-out FILE    (inspect) export the schema back to the XSD subset
   --requests FILE   (serve) JSONL request stream, one object per line:
                     {\"algorithm\":\"balance\",\"k\":10} for a flat summary,
@@ -120,14 +137,25 @@ OPTIONS:
   --store-dir DIR   (serve) persistent artifact tier: spill computed
                     matrices and summaries to DIR and rehydrate them on
                     restart (corrupt files are recomputed, never fatal)
+  --store-max-bytes N
+                    (serve) cap the artifact tier at N bytes; over the
+                    quota, the oldest artifacts are evicted first
   --listen ADDR     (serve) serve line-delimited JSON over TCP on ADDR
                     (e.g. 127.0.0.1:7878) instead of a batch stream
-  --workers N       (serve --listen) worker threads (default 4)
-  --queue N         (serve --listen) pending-request bound; excess requests
+  --http ADDR       (serve) serve the HTTP/1.1 API on ADDR (e.g.
+                    127.0.0.1:8080): POST /v1/summary|/v1/levels|/v1/expand,
+                    GET /v1/export/:schema, /metrics, /healthz,
+                    /admin/cache, POST /admin/evict; may be combined
+                    with --listen to run both front-ends on one cache
+  --workers N       (serve, socket) worker threads per server (default 4)
+  --queue N         (serve, socket) pending-request bound; excess requests
                     get a structured 'overloaded' error (default 64)
-  --max-conns N     (serve --listen) concurrent connection cap (default 64)
-  --timeout-ms N    (serve --listen) per-request wall-clock budget in
+  --max-conns N     (serve, socket) concurrent connection cap (default 64)
+  --timeout-ms N    (serve, socket) per-request wall-clock budget in
                     milliseconds (default 10000)
+  --log-requests true
+                    (serve --http) one-line audit record per request on
+                    stderr: peer, method, target, status, latency
 ";
 
 fn parse_opts(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
@@ -323,9 +351,20 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|_| format!("invalid --cache value '{v}'"))?,
     };
     let store_dir = opts.get("store-dir").map(std::path::PathBuf::from);
+    let store_max_bytes = match opts.get("store-max-bytes") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("invalid --store-max-bytes value '{v}'"))?,
+        ),
+    };
+    if store_max_bytes.is_some() && store_dir.is_none() {
+        return Err("--store-max-bytes requires --store-dir".into());
+    }
     let service = SummaryService::try_new(ServiceConfig {
         cache_capacity: capacity,
         store_dir: store_dir.clone(),
+        store_max_bytes,
         ..Default::default()
     })
     .map_err(|e| format!("--store-dir: {e}"))?;
@@ -341,8 +380,8 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
         ),
     }
 
-    if let Some(addr) = opts.get("listen") {
-        return serve_socket(service, addr, opts);
+    if opts.get("listen").is_some() || opts.get("http").is_some() {
+        return serve_socket(Arc::new(service), opts);
     }
 
     let input = match opts.get("requests") {
@@ -459,17 +498,13 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Socket mode: front the service with a TCP server speaking the same
-/// line-delimited JSON protocol (one `SummaryRequest` per line in, one
-/// reply per line out, pipelined in order) and block until the process is
-/// killed. Overload is shed with structured `overloaded` errors; slow
-/// requests are answered with `timeout` errors while the computation
-/// finishes and warms the cache.
-fn serve_socket(
-    service: SummaryService,
-    addr: &str,
-    opts: &HashMap<String, String>,
-) -> Result<(), String> {
+/// Socket mode: front the service with a TCP server speaking the
+/// line-delimited JSON protocol (`--listen`), an HTTP/1.1 server
+/// (`--http`), or both on one shared cache, and block until the process
+/// is killed. Overload is shed with structured `overloaded` errors
+/// (HTTP: `503`); slow requests are answered with `timeout` errors
+/// (HTTP: `504`) while the computation finishes and warms the cache.
+fn serve_socket(service: Arc<SummaryService>, opts: &HashMap<String, String>) -> Result<(), String> {
     let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
         match opts.get(key) {
             None => Ok(default),
@@ -480,23 +515,80 @@ fn serve_socket(
     };
     let defaults = ServerConfig::default();
     let timeout_ms = parse_usize("timeout-ms", defaults.request_timeout.as_millis() as usize)?;
-    let config = ServerConfig {
-        workers: parse_usize("workers", defaults.workers)?,
-        queue_capacity: parse_usize("queue", defaults.queue_capacity)?,
-        max_connections: parse_usize("max-conns", defaults.max_connections)?,
-        request_timeout: std::time::Duration::from_millis(timeout_ms as u64),
+    let workers = parse_usize("workers", defaults.workers)?;
+    let queue_capacity = parse_usize("queue", defaults.queue_capacity)?;
+    let max_connections = parse_usize("max-conns", defaults.max_connections)?;
+    let request_timeout = std::time::Duration::from_millis(timeout_ms as u64);
+
+    let http_server = match opts.get("http") {
+        None => None,
+        Some(addr) => {
+            let config = HttpConfig {
+                workers,
+                queue_capacity,
+                max_connections,
+                request_timeout,
+                log_requests: opts.get("log-requests").map(String::as_str) == Some("true"),
+            };
+            let server = HttpServer::bind(addr, Arc::clone(&service), config)
+                .map_err(|e| format!("{addr}: {e}"))?;
+            println!(
+                "http on {} ({workers} workers, queue {queue_capacity}, {max_connections} connections max, {timeout_ms}ms timeout)",
+                server.local_addr()
+            );
+            Some(server)
+        }
     };
-    let server = SummaryServer::bind(addr, Arc::new(service), config.clone())
-        .map_err(|e| format!("{addr}: {e}"))?;
-    println!(
-        "listening on {} ({} workers, queue {}, {} connections max, {}ms timeout)",
-        server.local_addr(),
-        config.workers,
-        config.queue_capacity,
-        config.max_connections,
-        timeout_ms
-    );
-    server.wait();
+
+    if let Some(addr) = opts.get("listen") {
+        let config = ServerConfig {
+            workers,
+            queue_capacity,
+            max_connections,
+            request_timeout,
+        };
+        let server =
+            SummaryServer::bind(addr, service, config).map_err(|e| format!("{addr}: {e}"))?;
+        println!(
+            "listening on {} ({workers} workers, queue {queue_capacity}, {max_connections} connections max, {timeout_ms}ms timeout)",
+            server.local_addr()
+        );
+        server.wait();
+        return Ok(());
+    }
+
+    http_server.expect("socket mode requires --listen or --http").wait();
+    Ok(())
+}
+
+/// Emit the condensed machine-readable summary — schema name,
+/// fingerprint, provenance, and per-element importance/cardinality — as
+/// JSON (default) or markdown; the same shape `GET /v1/export/:schema`
+/// serves.
+fn export(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = Arc::new(load_schema(opts)?);
+    let stats = Arc::new(load_stats(&graph, opts)?);
+    let k = size_of(opts)?;
+    let algorithm = algorithm_of(opts)?;
+    let service =
+        SummaryService::try_new(ServiceConfig::default()).map_err(|e| e.to_string())?;
+    let name = graph.label(graph.root()).to_string();
+    let fingerprint = service.register_named(&name, Arc::clone(&graph), stats);
+    let summary = service
+        .export_summary(fingerprint, algorithm, k)
+        .map_err(|e| e.to_string())?;
+    let text = match opts.get("format").map(String::as_str) {
+        None | Some("json") => summary.to_json(),
+        Some("md") | Some("markdown") => summary.to_markdown(),
+        Some(other) => return Err(format!("unknown --format '{other}' (json or md)")),
+    };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
     Ok(())
 }
 
