@@ -243,7 +243,9 @@ pub fn balance_summary(
     let mut steps = 0usize;
     let step_cap = 50 * graph.len() + 1_000;
     while selected.len() < k && steps < step_cap {
-        let Some(&rank) = queue.iter().next() else { break };
+        let Some(&rank) = queue.iter().next() else {
+            break;
+        };
         queue.remove(&rank);
         steps += 1;
         let e = ranked[rank];
@@ -296,12 +298,11 @@ pub fn random_select(
     seed: u64,
 ) -> Result<Vec<ElementId>, SchemaError> {
     check_k(graph, k)?;
-    let mut pool: Vec<ElementId> = graph
-        .element_ids()
-        .filter(|&e| e != graph.root())
-        .collect();
+    let mut pool: Vec<ElementId> = graph.element_ids().filter(|&e| e != graph.root()).collect();
     // Splitmix-style seed scrambling so nearby seeds diverge.
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1);
+    let mut state = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x1234_5678_9ABC_DEF1);
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -343,15 +344,28 @@ mod tests {
     fn fixture() -> (SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("site");
         let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
-        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
-        b.add_child(person, "email", SchemaType::simple_str()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
+        b.add_child(person, "email", SchemaType::simple_str())
+            .unwrap();
         let items = b.add_child(b.root(), "items", SchemaType::rcd()).unwrap();
-        let item = b.add_child(items, "item", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(item, "descr", SchemaType::simple_str()).unwrap();
-        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
-        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
-        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        let item = b
+            .add_child(items, "item", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(item, "descr", SchemaType::simple_str())
+            .unwrap();
+        let auctions = b
+            .add_child(b.root(), "auctions", SchemaType::rcd())
+            .unwrap();
+        let auction = b
+            .add_child(auctions, "auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b
+            .add_child(auction, "bidder", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_value_link(bidder, person).unwrap();
         b.add_value_link(auction, item).unwrap();
         let g = b.build().unwrap();
@@ -377,18 +391,66 @@ mod tests {
             cards[e.index()] = c;
         }
         let links = vec![
-            LinkCount { from: g.root(), to: people, count: 1 },
-            LinkCount { from: people, to: person, count: 500 },
-            LinkCount { from: person, to: name, count: 500 },
-            LinkCount { from: person, to: email, count: 450 },
-            LinkCount { from: g.root(), to: items_e, count: 1 },
-            LinkCount { from: items_e, to: item, count: 400 },
-            LinkCount { from: item, to: descr, count: 400 },
-            LinkCount { from: g.root(), to: auctions_e, count: 1 },
-            LinkCount { from: auctions_e, to: auction, count: 300 },
-            LinkCount { from: auction, to: bidder, count: 1500 },
-            LinkCount { from: bidder, to: person, count: 1500 },
-            LinkCount { from: auction, to: item, count: 300 },
+            LinkCount {
+                from: g.root(),
+                to: people,
+                count: 1,
+            },
+            LinkCount {
+                from: people,
+                to: person,
+                count: 500,
+            },
+            LinkCount {
+                from: person,
+                to: name,
+                count: 500,
+            },
+            LinkCount {
+                from: person,
+                to: email,
+                count: 450,
+            },
+            LinkCount {
+                from: g.root(),
+                to: items_e,
+                count: 1,
+            },
+            LinkCount {
+                from: items_e,
+                to: item,
+                count: 400,
+            },
+            LinkCount {
+                from: item,
+                to: descr,
+                count: 400,
+            },
+            LinkCount {
+                from: g.root(),
+                to: auctions_e,
+                count: 1,
+            },
+            LinkCount {
+                from: auctions_e,
+                to: auction,
+                count: 300,
+            },
+            LinkCount {
+                from: auction,
+                to: bidder,
+                count: 1500,
+            },
+            LinkCount {
+                from: bidder,
+                to: person,
+                count: 1500,
+            },
+            LinkCount {
+                from: auction,
+                to: item,
+                count: 300,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         (g, s)
@@ -411,9 +473,17 @@ mod tests {
         let ds = DominanceSet::compute(&g, &s, &m);
         for k in 1..=3 {
             let greedy = max_coverage(&g, &s, &m, &ds, k, SetSearch::Greedy).unwrap();
-            let exact =
-                max_coverage(&g, &s, &m, &ds, k, SetSearch::Exhaustive { max_sets: 1_000_000 })
-                    .unwrap();
+            let exact = max_coverage(
+                &g,
+                &s,
+                &m,
+                &ds,
+                k,
+                SetSearch::Exhaustive {
+                    max_sets: 1_000_000,
+                },
+            )
+            .unwrap();
             let eval = |set: &[ElementId]| {
                 let a = assign_elements(&g, &m, set);
                 summary_coverage(&g, &s, &m, set, &a)
@@ -460,7 +530,12 @@ mod tests {
         for &a in &sel {
             for &b in &sel {
                 if a != b {
-                    assert!(!ds.dominates(a, b), "{} dominates {}", g.label(a), g.label(b));
+                    assert!(
+                        !ds.dominates(a, b),
+                        "{} dominates {}",
+                        g.label(a),
+                        g.label(b)
+                    );
                 }
             }
         }

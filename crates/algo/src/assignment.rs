@@ -31,67 +31,106 @@ pub fn assign_elements(
     matrices: &PairMatrices,
     selected: &[ElementId],
 ) -> Assignment {
-    let n = graph.len();
-    let mut assignment: Assignment = vec![None; n];
-    let is_selected = {
-        let mut v = vec![false; n];
-        for &s in selected {
-            v[s.index()] = true;
-        }
-        v
-    };
+    let assigner = ElementAssigner::new(graph, matrices, selected);
+    graph.element_ids().map(|e| assigner.assign(e)).collect()
+}
 
-    // Fallback distances: multi-source BFS from the selected set over all
-    // links (structural + value, undirected).
-    let mut nearest: Vec<Option<usize>> = vec![None; n];
-    let mut queue = VecDeque::new();
-    for (idx, &s) in selected.iter().enumerate() {
-        nearest[s.index()] = Some(idx);
-        queue.push_back(s);
-    }
-    while let Some(cur) = queue.pop_front() {
-        let owner = nearest[cur.index()];
-        for (nb, _) in graph.neighbors(cur) {
-            if nearest[nb.index()].is_none() {
-                nearest[nb.index()] = owner;
-                queue.push_back(nb);
+/// The assignment rule of [`assign_elements`], factored so callers can
+/// evaluate single elements. Each element's owner depends only on its own
+/// matrix row, the selected elements' rows, and the graph structure — never
+/// on other elements' assignments — so evaluating a subset of elements
+/// yields exactly the entries a full pass would produce. The incremental
+/// re-clustering path (`refresh_multi_level`) leans on this to recompute
+/// only the elements a delta touched.
+pub struct ElementAssigner<'a> {
+    graph: &'a SchemaGraph,
+    matrices: &'a PairMatrices,
+    selected: &'a [ElementId],
+    is_selected: Vec<bool>,
+    /// Fallback owners: multi-source BFS from the selected set over all
+    /// links (structural + value, undirected).
+    nearest: Vec<Option<usize>>,
+    depth: Vec<usize>,
+}
+
+impl<'a> ElementAssigner<'a> {
+    /// Precompute the shared state (selection bitmap, BFS fallback owners,
+    /// structural depths) one full pass needs.
+    pub fn new(
+        graph: &'a SchemaGraph,
+        matrices: &'a PairMatrices,
+        selected: &'a [ElementId],
+    ) -> Self {
+        let n = graph.len();
+        let is_selected = {
+            let mut v = vec![false; n];
+            for &s in selected {
+                v[s.index()] = true;
+            }
+            v
+        };
+
+        let mut nearest: Vec<Option<usize>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for (idx, &s) in selected.iter().enumerate() {
+            nearest[s.index()] = Some(idx);
+            queue.push_back(s);
+        }
+        while let Some(cur) = queue.pop_front() {
+            let owner = nearest[cur.index()];
+            for (nb, _) in graph.neighbors(cur) {
+                if nearest[nb.index()].is_none() {
+                    nearest[nb.index()] = owner;
+                    queue.push_back(nb);
+                }
             }
         }
+
+        let depth: Vec<usize> = graph.element_ids().map(|e| graph.depth(e)).collect();
+        ElementAssigner {
+            graph,
+            matrices,
+            selected,
+            is_selected,
+            nearest,
+            depth,
+        }
     }
 
-    let depth: Vec<usize> = graph.element_ids().map(|e| graph.depth(e)).collect();
-    let tree_dist = |a: ElementId, b: ElementId| -> usize {
+    fn tree_dist(&self, a: ElementId, b: ElementId) -> usize {
         // Distance in the structural tree via the lowest common ancestor.
         let (mut x, mut y) = (a, b);
         let mut d = 0usize;
-        while depth[x.index()] > depth[y.index()] {
-            x = graph.parent(x).expect("deeper node has a parent");
+        while self.depth[x.index()] > self.depth[y.index()] {
+            x = self.graph.parent(x).expect("deeper node has a parent");
             d += 1;
         }
-        while depth[y.index()] > depth[x.index()] {
-            y = graph.parent(y).expect("deeper node has a parent");
+        while self.depth[y.index()] > self.depth[x.index()] {
+            y = self.graph.parent(y).expect("deeper node has a parent");
             d += 1;
         }
         while x != y {
-            x = graph.parent(x).expect("non-root nodes have parents");
-            y = graph.parent(y).expect("non-root nodes have parents");
+            x = self.graph.parent(x).expect("non-root nodes have parents");
+            y = self.graph.parent(y).expect("non-root nodes have parents");
             d += 2;
         }
         d
-    };
+    }
 
-    for e in graph.element_ids() {
-        if e == graph.root() || is_selected[e.index()] {
-            continue;
+    /// The owner of `e`: the entry a full [`assign_elements`] pass would
+    /// put at `e`'s index.
+    pub fn assign(&self, e: ElementId) -> Option<usize> {
+        if e == self.graph.root() || self.is_selected[e.index()] {
+            return None;
         }
         let mut best: Option<(usize, f64, usize, f64)> = None;
-        for (idx, &s) in selected.iter().enumerate() {
-            let a = matrices.affinity(e, s);
+        for (idx, &s) in self.selected.iter().enumerate() {
+            let a = self.matrices.affinity(e, s);
             if a <= 0.0 {
                 continue;
             }
-            let dist = tree_dist(e, s);
-            let c = matrices.coverage(s, e);
+            let dist = self.tree_dist(e, s);
+            let c = self.matrices.coverage(s, e);
             let better = match best {
                 None => true,
                 Some((_, ba, bd, bc)) => {
@@ -102,12 +141,15 @@ pub fn assign_elements(
                 best = Some((idx, a, dist, c));
             }
         }
-        assignment[e.index()] = match best {
+        match best {
             Some((idx, ..)) => Some(idx),
-            None => nearest[e.index()].or(if selected.is_empty() { None } else { Some(0) }),
-        };
+            None => self.nearest[e.index()].or(if self.selected.is_empty() {
+                None
+            } else {
+                Some(0)
+            }),
+        }
     }
-    assignment
 }
 
 /// Summary coverage (Definition 4): the coverage each summary element has of
@@ -170,12 +212,21 @@ mod tests {
     fn fixture() -> (SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("site");
         let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
-        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
         b.add_child(person, "address", SchemaType::rcd()).unwrap();
-        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
-        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
-        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        let auctions = b
+            .add_child(b.root(), "auctions", SchemaType::rcd())
+            .unwrap();
+        let auction = b
+            .add_child(auctions, "auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b
+            .add_child(auction, "bidder", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_value_link(bidder, person).unwrap();
         let g = b.build().unwrap();
         let person_e = g.find_unique("person").unwrap();
@@ -198,14 +249,46 @@ mod tests {
             c
         };
         let links = vec![
-            LinkCount { from: g.root(), to: people_e, count: 1 },
-            LinkCount { from: people_e, to: person_e, count: 100 },
-            LinkCount { from: person_e, to: name, count: 100 },
-            LinkCount { from: person_e, to: address, count: 100 },
-            LinkCount { from: g.root(), to: auctions_e, count: 1 },
-            LinkCount { from: auctions_e, to: auction_e, count: 50 },
-            LinkCount { from: auction_e, to: bidder_e, count: 250 },
-            LinkCount { from: bidder_e, to: person_e, count: 250 },
+            LinkCount {
+                from: g.root(),
+                to: people_e,
+                count: 1,
+            },
+            LinkCount {
+                from: people_e,
+                to: person_e,
+                count: 100,
+            },
+            LinkCount {
+                from: person_e,
+                to: name,
+                count: 100,
+            },
+            LinkCount {
+                from: person_e,
+                to: address,
+                count: 100,
+            },
+            LinkCount {
+                from: g.root(),
+                to: auctions_e,
+                count: 1,
+            },
+            LinkCount {
+                from: auctions_e,
+                to: auction_e,
+                count: 50,
+            },
+            LinkCount {
+                from: auction_e,
+                to: bidder_e,
+                count: 250,
+            },
+            LinkCount {
+                from: bidder_e,
+                to: person_e,
+                count: 250,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         (g, s)
@@ -298,13 +381,19 @@ mod tests {
         // Disconnected-ish: element with zero cardinality has zero RC edges,
         // hence zero affinity everywhere; fallback must still assign it.
         let mut b = SchemaGraphBuilder::new("r");
-        let a = b.add_child(b.root(), "a", SchemaType::set_of_rcd()).unwrap();
+        let a = b
+            .add_child(b.root(), "a", SchemaType::set_of_rcd())
+            .unwrap();
         let dead = b.add_child(b.root(), "dead", SchemaType::rcd()).unwrap();
         let g = b.build().unwrap();
         let s = SchemaStats::from_link_counts(
             &g,
             &[1, 10, 0],
-            &[LinkCount { from: g.root(), to: a, count: 10 }],
+            &[LinkCount {
+                from: g.root(),
+                to: a,
+                count: 10,
+            }],
         )
         .unwrap();
         let m = PairMatrices::compute(&s, &PathConfig::default());

@@ -57,11 +57,20 @@ mod tests {
     fn fixture() -> (SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("site");
         let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
-        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
-        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
-        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
-        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
+        let auctions = b
+            .add_child(b.root(), "auctions", SchemaType::rcd())
+            .unwrap();
+        let auction = b
+            .add_child(auctions, "auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b
+            .add_child(auction, "bidder", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_value_link(bidder, person).unwrap();
         let g = b.build().unwrap();
         let find = |l: &str| g.find_unique(l).unwrap();
@@ -78,13 +87,41 @@ mod tests {
             cards[e.index()] = c;
         }
         let links = vec![
-            LinkCount { from: g.root(), to: find("people"), count: 1 },
-            LinkCount { from: find("people"), to: find("person"), count: 100 },
-            LinkCount { from: find("person"), to: find("name"), count: 100 },
-            LinkCount { from: g.root(), to: find("auctions"), count: 1 },
-            LinkCount { from: find("auctions"), to: find("auction"), count: 50 },
-            LinkCount { from: find("auction"), to: find("bidder"), count: 250 },
-            LinkCount { from: find("bidder"), to: find("person"), count: 250 },
+            LinkCount {
+                from: g.root(),
+                to: find("people"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("people"),
+                to: find("person"),
+                count: 100,
+            },
+            LinkCount {
+                from: find("person"),
+                to: find("name"),
+                count: 100,
+            },
+            LinkCount {
+                from: g.root(),
+                to: find("auctions"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("auctions"),
+                to: find("auction"),
+                count: 50,
+            },
+            LinkCount {
+                from: find("auction"),
+                to: find("bidder"),
+                count: 250,
+            },
+            LinkCount {
+                from: find("bidder"),
+                to: find("person"),
+                count: 250,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         (g, s)

@@ -190,11 +190,17 @@ mod tests {
     /// everything else 1.
     fn figure5() -> (SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("people");
-        let person = b.add_child(b.root(), "person", SchemaType::set_of_rcd()).unwrap();
+        let person = b
+            .add_child(b.root(), "person", SchemaType::set_of_rcd())
+            .unwrap();
         let profile = b.add_child(person, "profile", SchemaType::rcd()).unwrap();
-        let interest = b.add_child(profile, "interest", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(interest, "@category", SchemaType::simple_idref()).unwrap();
-        b.add_child(profile, "education", SchemaType::simple_str()).unwrap();
+        let interest = b
+            .add_child(profile, "interest", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(interest, "@category", SchemaType::simple_idref())
+            .unwrap();
+        b.add_child(profile, "education", SchemaType::simple_str())
+            .unwrap();
         let g = b.build().unwrap();
         let person_e = g.find_unique("person").unwrap();
         let profile_e = g.find_unique("profile").unwrap();
@@ -212,11 +218,31 @@ mod tests {
             c
         };
         let links = vec![
-            LinkCount { from: g.root(), to: person_e, count: 100 },
-            LinkCount { from: person_e, to: profile_e, count: 100 },
-            LinkCount { from: profile_e, to: interest_e, count: 400 },
-            LinkCount { from: interest_e, to: cat, count: 400 },
-            LinkCount { from: profile_e, to: edu, count: 100 },
+            LinkCount {
+                from: g.root(),
+                to: person_e,
+                count: 100,
+            },
+            LinkCount {
+                from: person_e,
+                to: profile_e,
+                count: 100,
+            },
+            LinkCount {
+                from: profile_e,
+                to: interest_e,
+                count: 400,
+            },
+            LinkCount {
+                from: interest_e,
+                to: cat,
+                count: 400,
+            },
+            LinkCount {
+                from: profile_e,
+                to: edu,
+                count: 100,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         (g, s)
@@ -250,9 +276,13 @@ mod tests {
     fn extended_ancestors_follow_value_links() {
         // a -> b; c (sibling of a); b ->V c: c is an extended ancestor of b.
         let mut builder = SchemaGraphBuilder::new("r");
-        let a = builder.add_child(builder.root(), "a", SchemaType::rcd()).unwrap();
+        let a = builder
+            .add_child(builder.root(), "a", SchemaType::rcd())
+            .unwrap();
         let b = builder.add_child(a, "b", SchemaType::rcd()).unwrap();
-        let c = builder.add_child(builder.root(), "c", SchemaType::rcd()).unwrap();
+        let c = builder
+            .add_child(builder.root(), "c", SchemaType::rcd())
+            .unwrap();
         builder.add_value_link(b, c).unwrap();
         let g = builder.build().unwrap();
         let anc = extended_ancestors(&g, b);
@@ -266,8 +296,12 @@ mod tests {
     fn extended_ancestors_handle_value_cycles() {
         // a ->V b, b ->V a: the upward walk must terminate.
         let mut builder = SchemaGraphBuilder::new("r");
-        let a = builder.add_child(builder.root(), "a", SchemaType::rcd()).unwrap();
-        let b = builder.add_child(builder.root(), "b", SchemaType::rcd()).unwrap();
+        let a = builder
+            .add_child(builder.root(), "a", SchemaType::rcd())
+            .unwrap();
+        let b = builder
+            .add_child(builder.root(), "b", SchemaType::rcd())
+            .unwrap();
         builder.add_value_link(a, b).unwrap();
         builder.add_value_link(b, a).unwrap();
         let g = builder.build().unwrap();

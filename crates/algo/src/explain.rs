@@ -118,7 +118,10 @@ pub fn explain(
             element: e,
             path: graph.label_path(e),
             importance_rank: rank_of(e),
-            dominated_by: selected.iter().copied().find(|&s| dominance.dominates(s, e)),
+            dominated_by: selected
+                .iter()
+                .copied()
+                .find(|&s| dominance.dominates(s, e)),
         })
         .collect();
     Explanation {
@@ -135,7 +138,11 @@ impl Explanation {
         for e in &self.elements {
             out.push_str(&format!(
                 "  {:<44} imp #{:<3} ({:.0})  card {:.0}  group {} (cov {:.0})",
-                e.path, e.importance_rank, e.importance, e.cardinality, e.group_size,
+                e.path,
+                e.importance_rank,
+                e.importance,
+                e.cardinality,
+                e.group_size,
                 e.group_coverage
             ));
             if !e.dominates.is_empty() {
@@ -167,11 +174,17 @@ mod tests {
     fn fixture() -> (SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("site");
         let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
-        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
         let items = b.add_child(b.root(), "items", SchemaType::rcd()).unwrap();
-        let item = b.add_child(items, "item", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(item, "title", SchemaType::simple_str()).unwrap();
+        let item = b
+            .add_child(items, "item", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(item, "title", SchemaType::simple_str())
+            .unwrap();
         let g = b.build().unwrap();
         let f = |l: &str| g.find_unique(l).unwrap();
         let cards = {
@@ -190,12 +203,36 @@ mod tests {
             c
         };
         let links = vec![
-            LinkCount { from: g.root(), to: f("people"), count: 1 },
-            LinkCount { from: f("people"), to: f("person"), count: 100 },
-            LinkCount { from: f("person"), to: f("name"), count: 100 },
-            LinkCount { from: g.root(), to: f("items"), count: 1 },
-            LinkCount { from: f("items"), to: f("item"), count: 300 },
-            LinkCount { from: f("item"), to: f("title"), count: 300 },
+            LinkCount {
+                from: g.root(),
+                to: f("people"),
+                count: 1,
+            },
+            LinkCount {
+                from: f("people"),
+                to: f("person"),
+                count: 100,
+            },
+            LinkCount {
+                from: f("person"),
+                to: f("name"),
+                count: 100,
+            },
+            LinkCount {
+                from: g.root(),
+                to: f("items"),
+                count: 1,
+            },
+            LinkCount {
+                from: f("items"),
+                to: f("item"),
+                count: 300,
+            },
+            LinkCount {
+                from: f("item"),
+                to: f("title"),
+                count: 300,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         (g, s)

@@ -76,10 +76,7 @@ pub fn compute_importance_with_history(
     let hist_total = history.total();
     let init: Vec<f64> = graph
         .element_ids()
-        .map(|e| {
-            (1.0 - blend) * stats.card(e)
-                + blend * (history.hits(e) / hist_total) * total
-        })
+        .map(|e| (1.0 - blend) * stats.card(e) + blend * (history.hits(e) / hist_total) * total)
         .collect();
     // Reuse the standard iteration with the blended seed. DataOnly would
     // ignore the seed's purpose; force the full mode.
@@ -97,15 +94,27 @@ mod tests {
     /// root -> {hot*, cold*}: same cardinality, but only `hot` is queried.
     fn fixture() -> (SchemaGraph, SchemaStats, ElementId, ElementId) {
         let mut b = SchemaGraphBuilder::new("db");
-        let hot = b.add_child(b.root(), "hot", SchemaType::set_of_rcd()).unwrap();
-        let cold = b.add_child(b.root(), "cold", SchemaType::set_of_rcd()).unwrap();
+        let hot = b
+            .add_child(b.root(), "hot", SchemaType::set_of_rcd())
+            .unwrap();
+        let cold = b
+            .add_child(b.root(), "cold", SchemaType::set_of_rcd())
+            .unwrap();
         let g = b.build().unwrap();
         let s = SchemaStats::from_link_counts(
             &g,
             &[1, 100, 100],
             &[
-                LinkCount { from: g.root(), to: hot, count: 100 },
-                LinkCount { from: g.root(), to: cold, count: 100 },
+                LinkCount {
+                    from: g.root(),
+                    to: hot,
+                    count: 100,
+                },
+                LinkCount {
+                    from: g.root(),
+                    to: cold,
+                    count: 100,
+                },
             ],
         )
         .unwrap();

@@ -173,6 +173,41 @@ pub fn compute_importance(
     }
 }
 
+/// Compute element importance seeded from a previous fixpoint — the
+/// paper's §3.3 maintenance restart. When the statistics change little,
+/// the previous scores are already near the new fixed point and the
+/// iteration stops after a handful of rounds instead of the hundreds a
+/// cold start needs.
+///
+/// The seed is rescaled so its mass equals the new total cardinality
+/// (Formula 1 conserves mass, so any fixed point must carry exactly that
+/// total). With a degenerate seed (zero or non-finite mass) this falls
+/// back to [`compute_importance`].
+///
+/// Note the trade-off: the seeded restart converges to the *same ε-ball*
+/// as a cold run but generally stops at a *different point inside it*
+/// (the stopping rule sees different iterates), so the scores are
+/// epsilon-close, not bit-identical. The serving layer therefore uses
+/// this for monitoring and advisory refreshes, while bit-exact paths
+/// recompute importance cold — which is cheap next to the matrices.
+pub fn compute_importance_from(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    previous: &[f64],
+    config: &ImportanceConfig,
+) -> ImportanceResult {
+    if previous.len() != graph.len() || config.mode != ImportanceMode::DataAndSchema {
+        return compute_importance(graph, stats, config);
+    }
+    let prev_total: f64 = previous.iter().sum();
+    if !(prev_total.is_finite() && prev_total > 0.0) {
+        return compute_importance(graph, stats, config);
+    }
+    let scale = stats.total_card() / prev_total;
+    let init: Vec<f64> = previous.iter().map(|&v| v * scale).collect();
+    iterate(graph, stats, init, config)
+}
+
 /// Run the Formula-1 iteration from an explicit initial mass vector
 /// (crate-internal: used by the query-history extension).
 pub(crate) fn iterate_from(
@@ -389,6 +424,44 @@ mod tests {
         let r = compute_importance(&g, &s, &ImportanceConfig::default());
         assert_eq!(r.score(g.root()), 7.0);
         assert!(r.converged);
+    }
+
+    #[test]
+    fn seeded_restart_converges_faster_and_close() {
+        let (g, s) = two_node();
+        let cfg = ImportanceConfig::default();
+        let cold = compute_importance(&g, &s, &cfg);
+        // Perturb the statistics slightly (pure growth keeps RCs) and
+        // restart from the old vector.
+        let s2 = s.scaled(1.02);
+        let cold2 = compute_importance(&g, &s2, &cfg);
+        let warm2 = compute_importance_from(&g, &s2, cold.scores(), &cfg);
+        assert!(warm2.converged);
+        assert!(
+            warm2.iterations <= cold2.iterations,
+            "seeded {} vs cold {}",
+            warm2.iterations,
+            cold2.iterations
+        );
+        // Mass is conserved and the scores land in the same epsilon-ball.
+        assert!((warm2.total() - s2.total_card()).abs() < 1e-6);
+        for e in g.element_ids() {
+            let (w, c) = (warm2.score(e), cold2.score(e));
+            assert!((w - c).abs() <= c.abs().max(1.0) * 0.01, "{e}: {w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn seeded_restart_with_degenerate_seed_falls_back_cold() {
+        let (g, s) = two_node();
+        let cfg = ImportanceConfig::default();
+        let cold = compute_importance(&g, &s, &cfg);
+        let zeroed = compute_importance_from(&g, &s, &vec![0.0; g.len()], &cfg);
+        let short = compute_importance_from(&g, &s, &[1.0], &cfg);
+        for e in g.element_ids() {
+            assert_eq!(zeroed.score(e).to_bits(), cold.score(e).to_bits());
+            assert_eq!(short.score(e).to_bits(), cold.score(e).to_bits());
+        }
     }
 
     #[test]

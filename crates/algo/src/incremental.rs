@@ -1,0 +1,391 @@
+//! Incremental maintenance planning for schema deltas (paper §3.3).
+//!
+//! A [`SchemaDelta`](schema_summary_core::SchemaDelta) tells us *what* changed
+//! between two schema versions; this module turns that into a *plan*: the
+//! exact set of [`PairMatrices`](crate::PairMatrices) source rows whose
+//! exploration could possibly observe the change. Everything outside that set
+//! is bitwise-unaffected and can be spliced over from the old matrices via
+//! [`PairMatrices::splice`](crate::PairMatrices::splice).
+//!
+//! # Exactness argument
+//!
+//! Path exploration from a source `a` is a deterministic trace: a sequence
+//! of stats-record reads whose every step is a function of the records
+//! read so far. Crucially, the trace consumes only a *slice* of each
+//! record: the edge-list shape, each edge's traversability (`rc > 0` —
+//! the RC value itself is never multiplied), and the `rc_factor`/`w_back`
+//! bits that enter the path products. Cardinalities are read exactly once
+//! per row, *after* exploration, when the coverage row is written as
+//! `Card(b) · product`. Both kernels record the exact set of elements each
+//! source's trace consulted ([`SourceResult::reads`](crate::paths::
+//! SourceResult)), and the matrices persist it per row together with the
+//! raw path products. So:
+//!
+//! * if every element in row `a`'s recorded read set carries bit-identical
+//!   *exploration-relevant* bits in the old and new versions, the new
+//!   trace reads the same bits at every step and is identical end to end —
+//!   products, pruning decisions, expansion counts, truncation flags, and
+//!   the read set itself;
+//! * the coverage row-write is then redone by the splice for *every* row
+//!   from the stored products under the new cardinalities — the exact
+//!   multiply a cold pass performs — so cardinality bits never force a
+//!   re-exploration at all.
+//!
+//! The plan therefore marks exactly the rows whose read set intersects the
+//! set of elements whose exploration-relevant bits differ ("touched"). A
+//! cardinality-only delta in which every affected `rc_factor` stays
+//! clamped at 1 (the common data-growth case: RC ≤ 1 edges get *less*
+//! selective as the element grows) and `w_back` — a count ratio, computed
+//! count-natively by `SchemaStats::from_link_counts` — is unchanged marks
+//! *zero* rows: the splice is then a pure rescale. This holds for both the
+//! DFS and the layered kernel; the plan additionally refuses to fire when
+//! the resolved kernel differs between versions (it cannot under graph
+//! equality, but the guard keeps the invariant local).
+//!
+//! The plan only applies when the two versions share the same
+//! [`SchemaGraph`](schema_summary_core::SchemaGraph) — structural changes
+//! (added/removed/retyped elements, changed links) renumber or rewire the
+//! element space and always fall back to a cold recompute, as does a delta
+//! touching more than `max_fraction` of the elements (past that point the
+//! splice saves little and the cold path's parallelism wins).
+
+use schema_summary_core::{SchemaDelta, SchemaGraph, SchemaStats};
+
+use crate::matrices::PairMatrices;
+use crate::paths::PathConfig;
+
+/// The outcome of [`plan_delta`]: which matrix rows a warm refresh must
+/// recompute, and how big the delta footprint was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaPlan {
+    /// `recompute[e]` is true iff source row `e` must be re-explored.
+    pub recompute: Vec<bool>,
+    /// Number of elements whose exploration-relevant record bits differ
+    /// between versions.
+    pub touched: usize,
+    /// Number of rows marked for re-exploration (popcount of `recompute`).
+    pub rows: usize,
+    /// Whether any element's cardinality bits changed. The splice rebuilds
+    /// every copied row's coverage from the stored path products, so this
+    /// costs no re-exploration — but it does mean copied rows' coverage
+    /// *values* may differ from the old matrices, which downstream
+    /// row-reuse (e.g. multi-level patching) must treat as changed.
+    pub rescaled: bool,
+}
+
+impl DeltaPlan {
+    /// True when the spliced matrices are guaranteed bitwise equal to the
+    /// old ones (nothing to re-explore *and* no cardinality moved — the
+    /// delta was a no-op at the bit level, e.g. a re-registration of
+    /// identical stats).
+    pub fn is_noop(&self) -> bool {
+        self.rows == 0 && !self.rescaled
+    }
+}
+
+/// Plan a warm matrix refresh for `delta`, or return `None` when the delta
+/// cannot be served warm and the caller must recompute cold.
+///
+/// Warm eligibility requires all of:
+///
+/// * the delta has no structural changes (`old_graph == new_graph` and the
+///   delta lists no added/removed/retyped elements or changed value links);
+/// * both stats cover the same element space as the graph, and
+///   `old_matrices` (the matrices computed over `old_stats`, whose rows the
+///   splice will reuse) carry per-source read sets of the same shape;
+/// * the path kernel resolves identically for both versions (automatic
+///   under graph equality, asserted anyway);
+/// * the re-exploration set covers at most `max_fraction` of all elements
+///   (`max_fraction` outside `(0, 1]` disables that guard). Pure-rescale
+///   plans (zero rows) always qualify: their splice costs one multiply per
+///   matrix cell, no matter how many cardinalities moved.
+///
+/// An empty delta yields a zero-row plan (see [`DeltaPlan::is_noop`]).
+// Two (graph, stats) versions plus the old matrices and knobs: the arity
+// is the problem's, and bundling would just move the names into a struct
+// every caller builds inline.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_delta(
+    delta: &SchemaDelta,
+    old_graph: &SchemaGraph,
+    old_stats: &SchemaStats,
+    new_graph: &SchemaGraph,
+    new_stats: &SchemaStats,
+    old_matrices: &PairMatrices,
+    config: &PathConfig,
+    max_fraction: f64,
+) -> Option<DeltaPlan> {
+    let n = new_graph.len();
+    if delta.is_empty() {
+        return Some(DeltaPlan {
+            recompute: vec![false; n],
+            touched: 0,
+            rows: 0,
+            rescaled: false,
+        });
+    }
+    if !delta.added_elements.is_empty()
+        || !delta.removed_elements.is_empty()
+        || !delta.retyped_elements.is_empty()
+        || !delta.added_value_links.is_empty()
+        || !delta.removed_value_links.is_empty()
+    {
+        return None;
+    }
+    if old_graph != new_graph {
+        return None;
+    }
+    if old_stats.len() != n || new_stats.len() != n {
+        return None;
+    }
+    if config.effective_kernel(old_stats) != config.effective_kernel(new_stats) {
+        return None;
+    }
+
+    // Touched = elements whose *exploration-relevant* record bits differ:
+    // edge-list shape, per-edge traversability (the kernels read `rc` only
+    // through `rc > 0` gates), and the `rc_factor`/`w_back` bits the path
+    // products multiply. Comparing bits (not ==) keeps the exactness
+    // argument airtight: equal-but-for-NaN or signed-zero differences
+    // still force a recompute of affected rows. Cardinality bits (and the
+    // RC-value drift they induce at unchanged positivity, e.g. under a
+    // clamped `rc_factor`) are deliberately excluded — the splice redoes
+    // every coverage row-write from the stored path products, which is the
+    // only place cardinalities are read.
+    let mut touched_set = vec![false; n];
+    let mut touched = 0usize;
+    let mut rescaled = false;
+    for e in new_graph.element_ids() {
+        let old_edges = old_stats.edges(e);
+        let new_edges = new_stats.edges(e);
+        let same = old_edges.len() == new_edges.len()
+            && old_edges.iter().zip(new_edges).all(|(a, b)| {
+                a.neighbor == b.neighbor
+                    && (a.rc > 0.0) == (b.rc > 0.0)
+                    && a.rc_factor.to_bits() == b.rc_factor.to_bits()
+                    && a.w_back.to_bits() == b.w_back.to_bits()
+            });
+        if !same {
+            touched_set[e.index()] = true;
+            touched += 1;
+        }
+        rescaled |= old_stats.card(e).to_bits() != new_stats.card(e).to_bits();
+    }
+
+    // Recompute set: the rows whose recorded read trace consulted a touched
+    // element. Note this is much tighter than "within max_edges hops of a
+    // touched element": a far-away fan-out change leaves every row that
+    // never read it untouched, even in a graph whose diameter is inside the
+    // exploration horizon — and a pure cardinality delta touches no rows at
+    // all.
+    let recompute = old_matrices.rows_reading(&touched_set)?;
+    let rows = recompute.iter().filter(|&&b| b).count();
+    if max_fraction > 0.0 && max_fraction <= 1.0 && (rows as f64) > max_fraction * (n as f64) {
+        return None;
+    }
+    Some(DeltaPlan {
+        recompute,
+        touched,
+        rows,
+        rescaled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::PairMatrices;
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+
+    /// Fully-connected fixture: every structural link carries instance
+    /// counts, so every source's trace reads the whole 5-element graph.
+    /// Element ids: root=0, A=1, x=2, B=3, y=4.
+    fn fixture() -> (SchemaGraph, Vec<u64>, Vec<LinkCount>) {
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "A", SchemaType::set_of_rcd())
+            .unwrap();
+        let x = b.add_child(a, "x", SchemaType::simple_str()).unwrap();
+        let bb = b
+            .add_child(b.root(), "B", SchemaType::set_of_rcd())
+            .unwrap();
+        let y = b.add_child(bb, "y", SchemaType::simple_str()).unwrap();
+        b.add_value_link(x, y).unwrap();
+        let g = b.build().unwrap();
+        let root = g.root();
+        let cards = vec![1, 10, 30, 8, 24];
+        let lc = |from, to, count| LinkCount { from, to, count };
+        let links = vec![
+            lc(root, a, 10),
+            lc(a, x, 30),
+            lc(root, bb, 8),
+            lc(bb, y, 24),
+            lc(x, y, 8),
+        ];
+        (g, cards, links)
+    }
+
+    /// Sparse fixture: structural links carry zero instances, so only the
+    /// value link `x ↔ y` (count 60, `RC(x→y) = 2` — an *unclamped*
+    /// `rc_factor`) is traversable. Sources root/A/B read nothing beyond
+    /// themselves.
+    fn sparse_fixture() -> (SchemaGraph, Vec<u64>, Vec<LinkCount>) {
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "A", SchemaType::set_of_rcd())
+            .unwrap();
+        let x = b.add_child(a, "x", SchemaType::simple_str()).unwrap();
+        let bb = b
+            .add_child(b.root(), "B", SchemaType::set_of_rcd())
+            .unwrap();
+        let y = b.add_child(bb, "y", SchemaType::simple_str()).unwrap();
+        b.add_value_link(x, y).unwrap();
+        let g = b.build().unwrap();
+        let cards = vec![1, 10, 30, 8, 24];
+        let links = vec![LinkCount {
+            from: x,
+            to: y,
+            count: 60,
+        }];
+        (g, cards, links)
+    }
+
+    fn delta_for(g: &SchemaGraph, old: &SchemaStats, new: &SchemaStats) -> SchemaDelta {
+        SchemaDelta::compute(g, old, g, new)
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop_plan() {
+        let (g, cards, links) = fixture();
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let config = PathConfig::default();
+        let m = PairMatrices::compute(&s, &config);
+        let d = delta_for(&g, &s, &s);
+        let plan = plan_delta(&d, &g, &s, &g, &s, &m, &config, 0.25).unwrap();
+        assert!(plan.is_noop());
+        assert!(!plan.rescaled);
+        assert_eq!(plan.recompute, vec![false; g.len()]);
+    }
+
+    #[test]
+    fn cardinality_growth_re_explores_nothing() {
+        let (g, cards, links) = fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let mut new_cards = cards.clone();
+        new_cards[4] = 48; // y grows; its outgoing RCs (≤ 1) stay clamped
+        let new = SchemaStats::from_link_counts(&g, &new_cards, &links).unwrap();
+        let d = delta_for(&g, &old, &new);
+        assert!(!d.is_empty());
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g, &new, &old_m, &config, 1.0).unwrap();
+        // No exploration record moved: the clamp absorbs the RC drift and
+        // w_back is a count ratio. The splice is a pure coverage rescale.
+        assert_eq!(plan.rows, 0);
+        assert_eq!(plan.touched, 0);
+        assert!(plan.rescaled);
+        assert!(!plan.is_noop());
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+        // The rescale is not a copy: y's coverage column actually moved.
+        assert!(!warm.bitwise_eq(&old_m));
+    }
+
+    #[test]
+    fn fanout_delta_marks_exactly_the_reading_rows() {
+        let (g, cards, links) = sparse_fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let mut new_links = links.clone();
+        new_links[0].count = 90; // RC(x→y): 2 → 3, an unclamped factor
+        let new = SchemaStats::from_link_counts(&g, &cards, &new_links).unwrap();
+        let d = delta_for(&g, &old, &new);
+        assert!(!d.is_empty());
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g, &new, &old_m, &config, 1.0).unwrap();
+        // Both ends of the value link see an unclamped rc_factor move
+        // (RC(y→x) = 2.5 → 3.75 as well), and only the x and y traces read
+        // either: root, A, and B sit behind zero-count structural links
+        // and keep their rows.
+        assert_eq!(plan.touched, 2);
+        assert_eq!(plan.recompute, vec![false, false, true, false, true]);
+        assert_eq!(plan.rows, 2);
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+    }
+
+    #[test]
+    fn oversized_delta_falls_back() {
+        let (g, cards, links) = sparse_fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let mut new_links = links.clone();
+        new_links[0].count = 90;
+        let new = SchemaStats::from_link_counts(&g, &cards, &new_links).unwrap();
+        let d = delta_for(&g, &old, &new);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        // 2 of 5 rows re-explore; a 25% budget refuses, a disabled guard
+        // accepts.
+        assert!(plan_delta(&d, &g, &old, &g, &new, &old_m, &config, 0.25).is_none());
+        assert!(plan_delta(&d, &g, &old, &g, &new, &old_m, &config, 0.0).is_some());
+    }
+
+    #[test]
+    fn pure_rescale_bypasses_the_fraction_guard() {
+        let (g, cards, links) = fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let new = old.scaled(2.0);
+        let d = delta_for(&g, &old, &new);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        // Proportional growth leaves every RC (and thus every exploration
+        // record) bit-identical: zero rows, so even the tightest guard
+        // admits it.
+        let plan = plan_delta(&d, &g, &old, &g, &new, &old_m, &config, 0.01).unwrap();
+        assert_eq!(plan.rows, 0);
+        assert!(plan.rescaled);
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+    }
+
+    #[test]
+    fn structural_delta_falls_back() {
+        let (g, cards, links) = fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "A", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(a, "x", SchemaType::simple_str()).unwrap();
+        let g2 = b.build().unwrap();
+        let s2 = SchemaStats::uniform(&g2);
+        let d = SchemaDelta::compute(&g, &old, &g2, &s2);
+        assert!(plan_delta(&d, &g, &old, &g2, &s2, &old_m, &config, 1.0).is_none());
+    }
+
+    #[test]
+    fn spliced_plan_matches_cold_bitwise() {
+        let (g, cards, links) = fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let mut new_cards = cards.clone();
+        // Shrinking A pushes RC(A→x) = 3 to 6: its unclamped rc_factor
+        // moves, so this delta mixes re-explored rows with rescaled ones.
+        new_cards[1] = 5;
+        let new = SchemaStats::from_link_counts(&g, &new_cards, &links).unwrap();
+        let d = delta_for(&g, &old, &new);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g, &new, &old_m, &config, 1.0).unwrap();
+        assert!(plan.rows >= 1);
+        assert!(plan.rescaled);
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+    }
+}

@@ -47,6 +47,7 @@ pub mod dominance;
 pub mod explain;
 pub mod history;
 pub mod importance;
+pub mod incremental;
 pub mod matrices;
 pub mod monitor;
 pub mod multilevel;
@@ -58,8 +59,9 @@ pub use dominance::DominanceSet;
 pub use explain::{explain, Explanation};
 pub use history::{compute_importance_with_history, QueryHistory};
 pub use importance::{ImportanceConfig, ImportanceMode, ImportanceResult};
+pub use incremental::{plan_delta, DeltaPlan};
 pub use matrices::PairMatrices;
 pub use monitor::{RefreshReport, SummaryMonitor};
-pub use multilevel::{build_multi_level, MultiLevelSummary};
+pub use multilevel::{build_multi_level, refresh_multi_level, MultiLevelSummary};
 pub use paths::{Explorer, PathConfig, PathKernel, PathLength};
 pub use summarizer::{Algorithm, Summarizer, SummarizerConfig};

@@ -22,6 +22,44 @@ use schema_summary_core::{ElementId, SchemaStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// Per-source exploration metadata, kept alongside the dense matrices so a
+/// row-level splice ([`PairMatrices::splice`]) can rebuild the run-wide
+/// flags and expansion count as the exact fold a from-scratch compute would
+/// produce. Absent only on matrices decoded from the legacy disk format.
+#[derive(Debug, Clone)]
+struct SourceMeta {
+    truncated: Vec<bool>,
+    floored: Vec<bool>,
+    expansions: Vec<u64>,
+    /// Per-source read sets (sorted element ids): exactly the elements
+    /// whose stats records source `a`'s exploration consulted (see
+    /// [`SourceResult::reads`](crate::paths::SourceResult)). A row is
+    /// invariant under any delta that leaves all of its read records
+    /// bit-identical — the row-selection predicate of
+    /// [`rows_reading`](PairMatrices::rows_reading).
+    visited: Vec<Vec<u32>>,
+    /// The raw per-row path products (`SourceResult::best_cov_product`,
+    /// row-major `n × n`). Exploration never reads cardinalities — they
+    /// enter exactly once, when the coverage row is written as
+    /// `Card(b) · product` — so keeping the products lets
+    /// [`splice`](PairMatrices::splice) redo that final multiply under
+    /// *new* cardinalities for rows it did not re-explore, bit-identically
+    /// to a cold pass.
+    cov_product: Vec<f64>,
+}
+
+impl SourceMeta {
+    fn zeroed(n: usize) -> Self {
+        SourceMeta {
+            truncated: vec![false; n],
+            floored: vec![false; n],
+            expansions: vec![0; n],
+            visited: vec![Vec::new(); n],
+            cov_product: vec![0.0; n * n],
+        }
+    }
+}
+
 /// Dense all-pairs affinity and coverage matrices.
 #[derive(Debug, Clone)]
 pub struct PairMatrices {
@@ -31,6 +69,7 @@ pub struct PairMatrices {
     truncated: bool,
     floored: bool,
     expansions: u64,
+    per_source: Option<SourceMeta>,
 }
 
 impl PairMatrices {
@@ -105,6 +144,7 @@ impl PairMatrices {
             truncated: false,
             floored: false,
             expansions: 0,
+            per_source: Some(SourceMeta::zeroed(n)),
         }
     }
 
@@ -122,6 +162,125 @@ impl PairMatrices {
         self.truncated |= res.truncated;
         self.floored |= res.floored;
         self.expansions += res.expansions;
+        if let Some(meta) = self.per_source.as_mut() {
+            meta.truncated[a] = res.truncated;
+            meta.floored[a] = res.floored;
+            meta.expansions[a] = res.expansions;
+            meta.visited[a] = res.reads.clone();
+            meta.cov_product[row..row + n].copy_from_slice(&res.best_cov_product);
+        }
+    }
+
+    /// Derive the matrices of a *changed* statistics annotation by
+    /// re-exploring only the sources marked in `recompute` and carrying
+    /// every other row over from `self`: affinity, flags, expansion counts,
+    /// and metadata are copied verbatim (exploration never reads
+    /// cardinalities, so an un-marked row's trace — and its products — are
+    /// bit-identical under the new stats), while the coverage row is
+    /// rewritten from the stored path products as `Card(b) · product`,
+    /// the exact multiply [`write_source_row`](Self::write_source_row)
+    /// performs. A cardinality-only delta therefore splices with *zero*
+    /// re-exploration, at one multiply per matrix cell.
+    ///
+    /// The caller is responsible for the soundness of `recompute` (see
+    /// `incremental::plan_delta`): a carried-over row is bit-identical to a
+    /// cold recompute only when none of the exploration-relevant records
+    /// its trace read changed. Given a sound plan, the spliced matrices —
+    /// entries, flags, and expansion counts — are indistinguishable from
+    /// [`compute`](Self::compute) on the new statistics.
+    ///
+    /// Returns `None` when the shapes disagree or `self` lacks per-source
+    /// metadata (matrices rehydrated from the legacy disk format), in which
+    /// case the caller must fall back to a cold compute.
+    pub fn splice(
+        &self,
+        stats: &SchemaStats,
+        config: &PathConfig,
+        recompute: &[bool],
+    ) -> Option<Self> {
+        let n = self.n;
+        if n != stats.len() || recompute.len() != n {
+            return None;
+        }
+        let per = self.per_source.as_ref()?;
+        let mut out = Self::zeroed(n);
+        let mut explorer = Explorer::new(n);
+        for (a, &redo) in recompute.iter().enumerate() {
+            if redo {
+                let res = explorer.explore(ElementId(a as u32), stats, config);
+                out.write_source_row(a, &res, stats);
+            } else {
+                let row = a * n;
+                out.affinity[row..row + n].copy_from_slice(&self.affinity[row..row + n]);
+                // Redo only the final card multiply over the unchanged
+                // products — bitwise what a cold write of this row does.
+                let products = &per.cov_product[row..row + n];
+                for (b, product) in products.iter().enumerate() {
+                    out.coverage[row + b] = stats.card(ElementId(b as u32)) * product;
+                }
+                out.truncated |= per.truncated[a];
+                out.floored |= per.floored[a];
+                out.expansions += per.expansions[a];
+                let meta = out.per_source.as_mut().expect("zeroed carries metadata");
+                meta.truncated[a] = per.truncated[a];
+                meta.floored[a] = per.floored[a];
+                meta.expansions[a] = per.expansions[a];
+                // A carried-over row's trace is unchanged, so its read set
+                // and products are too.
+                meta.visited[a] = per.visited[a].clone();
+                meta.cov_product[row..row + n].copy_from_slice(products);
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether these matrices carry per-source metadata and can therefore
+    /// serve as the base of a [`splice`](Self::splice).
+    #[inline]
+    pub fn has_source_meta(&self) -> bool {
+        self.per_source.is_some()
+    }
+
+    /// The rows whose recorded read set intersects `touched` — exactly the
+    /// sources whose exploration consulted a changed stats record and must
+    /// be re-explored; every other row is bitwise invariant. Returns `None`
+    /// when the metadata is absent (legacy decode) or the shape disagrees.
+    pub fn rows_reading(&self, touched: &[bool]) -> Option<Vec<bool>> {
+        let per = self.per_source.as_ref()?;
+        if touched.len() != self.n {
+            return None;
+        }
+        Some(
+            per.visited
+                .iter()
+                .map(|reads| {
+                    reads
+                        .iter()
+                        .any(|&u| touched.get(u as usize) == Some(&true))
+                })
+                .collect(),
+        )
+    }
+
+    /// Bitwise equality of entries, flags, and expansion counts — the
+    /// equivalence the incremental-maintenance proptests assert between a
+    /// spliced refresh and a cold recompute. Per-source metadata presence
+    /// is intentionally ignored (legacy-decoded matrices lack it).
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.truncated == other.truncated
+            && self.floored == other.floored
+            && self.expansions == other.expansions
+            && self
+                .affinity
+                .iter()
+                .zip(&other.affinity)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self
+                .coverage
+                .iter()
+                .zip(&other.coverage)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
     /// Number of elements covered.
@@ -187,6 +346,29 @@ impl PairMatrices {
         for &v in &self.coverage {
             out.extend_from_slice(&v.to_bits().to_le_bytes());
         }
+        // Per-source metadata rides as a trailing section so pre-existing
+        // readers of the original layout still see a well-formed prefix and
+        // legacy files (no section) decode with `per_source: None`.
+        if let Some(meta) = &self.per_source {
+            for a in 0..n {
+                out.push(u8::from(meta.truncated[a]));
+            }
+            for a in 0..n {
+                out.push(u8::from(meta.floored[a]));
+            }
+            for a in 0..n {
+                out.extend_from_slice(&meta.expansions[a].to_le_bytes());
+            }
+            for a in 0..n {
+                out.extend_from_slice(&(meta.visited[a].len() as u32).to_le_bytes());
+                for &u in &meta.visited[a] {
+                    out.extend_from_slice(&u.to_le_bytes());
+                }
+            }
+            for &v in &meta.cov_product {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
         out
     }
 
@@ -225,6 +407,59 @@ impl PairMatrices {
         };
         let affinity = read_matrix(&mut pos)?;
         let coverage = read_matrix(&mut pos)?;
+        // Legacy files end here; current files carry the per-source section.
+        let per_source = if pos == bytes.len() {
+            None
+        } else {
+            let read_flags = |pos: &mut usize| -> Option<Vec<bool>> {
+                take(pos, n)?
+                    .iter()
+                    .map(|&b| match b {
+                        0 => Some(false),
+                        1 => Some(true),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let src_truncated = read_flags(&mut pos)?;
+            let src_floored = read_flags(&mut pos)?;
+            let src_expansions: Vec<u64> = take(&mut pos, n.checked_mul(8)?)?
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            let mut visited = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+                if len > n {
+                    return None;
+                }
+                let reads: Vec<u32> = take(&mut pos, len.checked_mul(4)?)?
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                // Read sets are sorted element ids within the matrix shape.
+                if reads.iter().any(|&u| u as usize >= n) || reads.windows(2).any(|w| w[0] >= w[1])
+                {
+                    return None;
+                }
+                visited.push(reads);
+            }
+            let cov_product = read_matrix(&mut pos)?;
+            // The section must be internally consistent with the aggregates.
+            if src_truncated.iter().any(|&t| t) != truncated
+                || src_floored.iter().any(|&f| f) != floored
+                || src_expansions.iter().sum::<u64>() != expansions
+            {
+                return None;
+            }
+            Some(SourceMeta {
+                truncated: src_truncated,
+                floored: src_floored,
+                expansions: src_expansions,
+                visited,
+                cov_product,
+            })
+        };
         if pos != bytes.len() {
             return None;
         }
@@ -235,6 +470,7 @@ impl PairMatrices {
             truncated,
             floored,
             expansions,
+            per_source,
         })
     }
 }

@@ -13,7 +13,9 @@
 //! which elements entered and left).
 
 use crate::summarizer::{Algorithm, Summarizer, SummarizerConfig};
-use schema_summary_core::{ElementId, SchemaError, SchemaGraph, SchemaStats, SchemaSummary};
+use schema_summary_core::{
+    ElementId, SchemaError, SchemaFingerprint, SchemaGraph, SchemaStats, SchemaSummary,
+};
 use serde::{Deserialize, Serialize};
 
 /// Tracks a deployed summary across statistics refreshes.
@@ -25,6 +27,13 @@ pub struct SummaryMonitor {
     current: Option<Vec<ElementId>>,
     refreshes: usize,
     changes: usize,
+    /// Fingerprint of the annotated schema seen by the last refresh.
+    /// Fingerprint equality is exactly `SchemaDelta::is_empty` between
+    /// consecutive annotations, so an unchanged fingerprint proves the
+    /// selection cannot have moved and the recompute can be skipped.
+    last_fingerprint: Option<SchemaFingerprint>,
+    /// Refreshes answered by the empty-delta short-circuit.
+    skips: usize,
 }
 
 /// Outcome of one refresh.
@@ -40,6 +49,10 @@ pub struct RefreshReport {
     pub left: Vec<ElementId>,
     /// `|old ∩ new| / k`; 1.0 on the first refresh.
     pub agreement: f64,
+    /// True when the refresh was answered without recomputing because the
+    /// annotated schema was unchanged since the previous refresh (the
+    /// `SchemaDelta` between the two annotations is empty).
+    pub skipped: bool,
 }
 
 impl SummaryMonitor {
@@ -57,6 +70,8 @@ impl SummaryMonitor {
             current: None,
             refreshes: 0,
             changes: 0,
+            last_fingerprint: None,
+            skips: 0,
         }
     }
 
@@ -75,6 +90,12 @@ impl SummaryMonitor {
         self.changes
     }
 
+    /// Number of refreshes answered by the empty-delta short-circuit
+    /// without recomputing the selection.
+    pub fn skips(&self) -> usize {
+        self.skips
+    }
+
     /// Recompute the selection against fresh statistics and report the
     /// delta. The schema must be the same graph the monitor has been
     /// running against (element ids are compared across refreshes).
@@ -83,6 +104,25 @@ impl SummaryMonitor {
         graph: &SchemaGraph,
         stats: &SchemaStats,
     ) -> Result<RefreshReport, SchemaError> {
+        // §3.3 short-circuit: the fingerprint is content-addressed over the
+        // annotated schema, so equality with the previous refresh means the
+        // `SchemaDelta` between the two annotations is empty and the
+        // selection provably cannot have moved.
+        let fp = SchemaFingerprint::of_annotated(graph, stats);
+        if let (Some(old), Some(last)) = (&self.current, &self.last_fingerprint) {
+            if *last == fp {
+                self.refreshes += 1;
+                self.skips += 1;
+                return Ok(RefreshReport {
+                    selection: old.clone(),
+                    changed: false,
+                    entered: Vec::new(),
+                    left: Vec::new(),
+                    agreement: 1.0,
+                    skipped: true,
+                });
+            }
+        }
         let mut s = Summarizer::with_config(graph, stats, self.config.clone());
         let new = s.select(self.k, self.algorithm)?;
         self.refreshes += 1;
@@ -93,6 +133,7 @@ impl SummaryMonitor {
                 entered: Vec::new(),
                 left: Vec::new(),
                 agreement: 1.0,
+                skipped: false,
             },
             Some(old) => {
                 // Report in element-id order, not selection order: the
@@ -115,10 +156,12 @@ impl SummaryMonitor {
                     entered,
                     left,
                     agreement: common as f64 / self.k.max(1) as f64,
+                    skipped: false,
                 }
             }
         };
         self.current = Some(new);
+        self.last_fingerprint = Some(fp);
         Ok(report)
     }
 
@@ -147,11 +190,18 @@ mod tests {
     /// root -> {orders* -> item*, archive* }, with tunable volumes.
     fn graph() -> SchemaGraph {
         let mut b = SchemaGraphBuilder::new("db");
-        let orders = b.add_child(b.root(), "orders", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(orders, "item", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(orders, "total", SchemaType::simple_float()).unwrap();
-        let archive = b.add_child(b.root(), "archive", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(archive, "blob", SchemaType::set_of_rcd()).unwrap();
+        let orders = b
+            .add_child(b.root(), "orders", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(orders, "item", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(orders, "total", SchemaType::simple_float())
+            .unwrap();
+        let archive = b
+            .add_child(b.root(), "archive", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(archive, "blob", SchemaType::set_of_rcd())
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -159,11 +209,31 @@ mod tests {
         let f = |l: &str| g.find_unique(l).unwrap();
         let cards = vec![1, orders, orders * 3, orders, archive, archive * 2];
         let links = vec![
-            LinkCount { from: g.root(), to: f("orders"), count: orders },
-            LinkCount { from: f("orders"), to: f("item"), count: orders * 3 },
-            LinkCount { from: f("orders"), to: f("total"), count: orders },
-            LinkCount { from: g.root(), to: f("archive"), count: archive },
-            LinkCount { from: f("archive"), to: f("blob"), count: archive * 2 },
+            LinkCount {
+                from: g.root(),
+                to: f("orders"),
+                count: orders,
+            },
+            LinkCount {
+                from: f("orders"),
+                to: f("item"),
+                count: orders * 3,
+            },
+            LinkCount {
+                from: f("orders"),
+                to: f("total"),
+                count: orders,
+            },
+            LinkCount {
+                from: g.root(),
+                to: f("archive"),
+                count: archive,
+            },
+            LinkCount {
+                from: f("archive"),
+                to: f("blob"),
+                count: archive * 2,
+            },
         ];
         SchemaStats::from_link_counts(g, &cards, &links).unwrap()
     }
@@ -215,6 +285,26 @@ mod tests {
         m.refresh(&g, &s).unwrap();
         let summary = m.materialize(&g, &s).unwrap();
         summary.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn unchanged_annotation_short_circuits() {
+        let g = graph();
+        let mut m = SummaryMonitor::new(2, Algorithm::Balance);
+        let first = m.refresh(&g, &stats(&g, 100, 10)).unwrap();
+        assert!(!first.skipped);
+        let r = m.refresh(&g, &stats(&g, 100, 10)).unwrap();
+        assert!(r.skipped);
+        assert!(!r.changed);
+        assert_eq!(r.agreement, 1.0);
+        assert_eq!(r.selection, first.selection);
+        assert_eq!(m.refreshes(), 2);
+        assert_eq!(m.skips(), 1);
+        // A real change still recomputes.
+        let r = m.refresh(&g, &stats(&g, 100, 20)).unwrap();
+        assert!(!r.skipped);
+        assert_eq!(m.refreshes(), 3);
+        assert_eq!(m.skips(), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! own representative has the highest affinity toward — the same rule the
 //! paper uses for elements, lifted one level.
 
-use crate::assignment::assign_elements;
+use crate::assignment::ElementAssigner;
 use crate::matrices::PairMatrices;
 use schema_summary_core::{AbstractId, ElementId, SchemaError, SchemaGraph, SchemaSummary};
 use serde::{Deserialize, Serialize};
@@ -114,6 +114,21 @@ pub fn build_multi_level(
     coarser_sizes: &[usize],
 ) -> Result<MultiLevelSummary, SchemaError> {
     let finest = crate::builder::build_summary(graph, matrices, finest_selection)?;
+    coarsen(graph, matrices, finest, finest_selection, coarser_sizes)
+}
+
+/// Stack the coarser levels on top of an already-built finest level. This
+/// is the shared back half of [`build_multi_level`] and
+/// [`refresh_multi_level`]: both produce their finest level first (cold vs
+/// patched) and derive the coarser levels identically, so the two entry
+/// points cannot drift apart.
+fn coarsen(
+    graph: &SchemaGraph,
+    matrices: &PairMatrices,
+    finest: SchemaSummary,
+    finest_selection: &[ElementId],
+    coarser_sizes: &[usize],
+) -> Result<MultiLevelSummary, SchemaError> {
     let mut levels = vec![finest];
     let mut parent: Vec<Vec<AbstractId>> = Vec::new();
 
@@ -152,25 +167,24 @@ pub fn build_multi_level(
         };
 
         // Assign each finer group to a coarse group via its representative's
-        // affinity (the element-level rule, lifted).
+        // affinity (the element-level rule, lifted). Only the fine
+        // representatives' owners are consulted, so evaluate exactly those
+        // instead of a full per-element pass.
         let fine = levels.last().expect("at least the finest level exists");
-        let assignment = assign_elements(graph, matrices, &coarse_reps);
+        let assigner = ElementAssigner::new(graph, matrices, &coarse_reps);
         let mut level_parent: Vec<AbstractId> = Vec::with_capacity(fine.abstracts().len());
         let mut members: Vec<Vec<ElementId>> = vec![Vec::new(); coarse_reps.len()];
         for a in fine.abstracts() {
             let rep = a.representative;
             let coarse_idx = match coarse_reps.iter().position(|&c| c == rep) {
                 Some(i) => i, // a coarse rep absorbs its own fine group
-                None => assignment[rep.index()].unwrap_or(0),
+                None => assigner.assign(rep).unwrap_or(0),
             };
             level_parent.push(AbstractId(coarse_idx as u32));
             members[coarse_idx].extend_from_slice(&a.members);
         }
-        let groups: Vec<(ElementId, Vec<ElementId>)> = coarse_reps
-            .iter()
-            .copied()
-            .zip(members)
-            .collect();
+        let groups: Vec<(ElementId, Vec<ElementId>)> =
+            coarse_reps.iter().copied().zip(members).collect();
         let coarse = SchemaSummary::from_grouping(graph, groups, vec![graph.root()])?;
         levels.push(coarse);
         parent.push(level_parent);
@@ -178,6 +192,88 @@ pub fn build_multi_level(
         prev_size = size;
     }
     Ok(MultiLevelSummary { levels, parent })
+}
+
+/// Rebuild a multi-level stack after a schema delta, patching the cached
+/// `previous` stack instead of re-clustering from scratch where that is
+/// provably identical.
+///
+/// `row_changed` marks the elements whose matrix row differs from the
+/// matrices `previous` was built over (the recompute set of the delta
+/// plan). An element's owner depends only on its own row, the selected
+/// rows, and the graph, so when the finest selection is unchanged and no
+/// *selected* row changed, only the marked elements need re-assignment —
+/// every other element keeps its cached group. Coarser levels are always
+/// re-derived, but each consults only the fine representatives' owners
+/// (at most the previous level's size), never a full per-element pass.
+///
+/// Falls back to a full [`build_multi_level`] when the cached stack does
+/// not match (different selection, shape mismatch, or a touched selected
+/// row). Either way the result is bit-identical to a cold rebuild —
+/// guarded by the `incremental_multilevel_matches_cold` proptest.
+///
+/// Returns the stack and whether the finest level was patched (vs rebuilt).
+pub fn refresh_multi_level(
+    graph: &SchemaGraph,
+    matrices: &PairMatrices,
+    finest_selection: &[ElementId],
+    coarser_sizes: &[usize],
+    previous: &MultiLevelSummary,
+    row_changed: &[bool],
+) -> Result<(MultiLevelSummary, bool), SchemaError> {
+    let n = graph.len();
+    let prev_finest = previous.levels.first();
+    let reusable = row_changed.len() == n
+        && !finest_selection.is_empty()
+        && prev_finest.is_some_and(|f| {
+            f.abstracts().len() == finest_selection.len()
+                && f.abstracts()
+                    .iter()
+                    .zip(finest_selection)
+                    .all(|(a, &s)| a.representative == s)
+        })
+        && !finest_selection.iter().any(|&s| row_changed[s.index()]);
+    if !reusable {
+        return build_multi_level(graph, matrices, finest_selection, coarser_sizes)
+            .map(|ml| (ml, false));
+    }
+    // Same validation as build_summary, so both paths fail alike.
+    for &s in finest_selection {
+        graph.check(s)?;
+        if s == graph.root() {
+            return Err(SchemaError::Invalid(
+                "the root cannot be an abstract element; it is always kept".into(),
+            ));
+        }
+    }
+    let prev = prev_finest.expect("reusable implies a cached finest level");
+    // Cached owner of each element, reconstructed from the group members;
+    // selected elements and the root stay unowned exactly as a fresh
+    // assignment would leave them.
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+    for (gi, a) in prev.abstracts().iter().enumerate() {
+        for &m in &a.members {
+            if m != a.representative {
+                owner[m.index()] = Some(gi);
+            }
+        }
+    }
+    let assigner = ElementAssigner::new(graph, matrices, finest_selection);
+    for e in graph.element_ids() {
+        if row_changed[e.index()] {
+            owner[e.index()] = assigner.assign(e);
+        }
+    }
+    let mut members: Vec<Vec<ElementId>> = finest_selection.iter().map(|&s| vec![s]).collect();
+    for e in graph.element_ids() {
+        if let Some(idx) = owner[e.index()] {
+            members[idx].push(e);
+        }
+    }
+    let groups: Vec<(ElementId, Vec<ElementId>)> =
+        finest_selection.iter().copied().zip(members).collect();
+    let finest = SchemaSummary::from_grouping(graph, groups, vec![graph.root()])?;
+    coarsen(graph, matrices, finest, finest_selection, coarser_sizes).map(|ml| (ml, true))
 }
 
 #[cfg(test)]
@@ -197,7 +293,8 @@ mod tests {
             let s = b.add_child(b.root(), section, SchemaType::rcd()).unwrap();
             for e in entities {
                 let id = b.add_child(s, e, SchemaType::set_of_rcd()).unwrap();
-                b.add_child(id, format!("{e}_field"), SchemaType::simple_str()).unwrap();
+                b.add_child(id, format!("{e}_field"), SchemaType::simple_str())
+                    .unwrap();
             }
         }
         let g = b.build().unwrap();
@@ -270,5 +367,65 @@ mod tests {
         let back: MultiLevelSummary = serde_json::from_str(&json).unwrap();
         back.validate(&g).unwrap();
         assert_eq!(ml, back);
+    }
+
+    #[test]
+    fn refresh_with_no_changed_rows_reuses_stack() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(6, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[3]).unwrap();
+        let row_changed = vec![false; g.len()];
+        let (ml2, reused) = refresh_multi_level(&g, &m, &sel, &[3], &ml, &row_changed).unwrap();
+        assert!(reused);
+        assert_eq!(ml, ml2);
+    }
+
+    #[test]
+    fn refresh_patches_changed_rows_identically() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(6, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[3]).unwrap();
+        // Mark every non-selected element changed: the patch path must then
+        // reassign them all against the same matrices, landing bit-for-bit
+        // on the cached grouping (assignment is per-element deterministic).
+        let mut row_changed = vec![true; g.len()];
+        for &e in &sel {
+            row_changed[e.index()] = false;
+        }
+        let (ml2, reused) = refresh_multi_level(&g, &m, &sel, &[3], &ml, &row_changed).unwrap();
+        assert!(reused);
+        assert_eq!(ml, ml2);
+    }
+
+    #[test]
+    fn refresh_falls_back_on_selection_change() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(6, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[3]).unwrap();
+        let sel5 = sum.select(5, Algorithm::Balance).unwrap();
+        let row_changed = vec![false; g.len()];
+        let (ml2, reused) = refresh_multi_level(&g, &m, &sel5, &[3], &ml, &row_changed).unwrap();
+        assert!(!reused);
+        assert_eq!(ml2, build_multi_level(&g, &m, &sel5, &[3]).unwrap());
+    }
+
+    #[test]
+    fn refresh_falls_back_when_a_selected_row_changed() {
+        let (g, s) = fixture();
+        let mut sum = Summarizer::new(&g, &s);
+        let sel = sum.select(6, Algorithm::Balance).unwrap();
+        let m = PairMatrices::compute(&s, &PathConfig::default());
+        let ml = build_multi_level(&g, &m, &sel, &[3]).unwrap();
+        let mut row_changed = vec![false; g.len()];
+        row_changed[sel[0].index()] = true;
+        let (ml2, reused) = refresh_multi_level(&g, &m, &sel, &[3], &ml, &row_changed).unwrap();
+        assert!(!reused);
+        assert_eq!(ml, ml2);
     }
 }

@@ -199,9 +199,8 @@ impl PathConfig {
                 if n == 0 {
                     return PathKernel::Layered;
                 }
-                let edge_records: usize = (0..n)
-                    .map(|u| stats.edges(ElementId(u as u32)).len())
-                    .sum();
+                let edge_records: usize =
+                    (0..n).map(|u| stats.edges(ElementId(u as u32)).len()).sum();
                 if edge_records as f64 / n as f64 >= AUTO_AVG_DEGREE_THRESHOLD {
                     PathKernel::Layered
                 } else {
@@ -277,6 +276,13 @@ pub struct SourceResult {
     /// Edge traversals actually performed for this source. With pruning on,
     /// the gap to the unpruned count measures pruning effectiveness.
     pub expansions: u64,
+    /// Sorted ids of every element this exploration *read*: elements whose
+    /// edge records the kernel scanned (or may scan next layer), plus every
+    /// target with a nonzero product (whose cardinality scales the coverage
+    /// row). The result — values, flags, and expansion count — is a
+    /// deterministic function of exactly these elements' stats records, the
+    /// foundation of incremental maintenance (`incremental::plan_delta`).
+    pub reads: Vec<u32>,
 }
 
 /// One explicit-stack DFS frame: a node on the current path plus the
@@ -322,6 +328,9 @@ pub struct Explorer {
     /// `aff_cut[d] = prune_aff · denom(d + 1)`, so the hot prune filter is
     /// a compare instead of a division.
     aff_cut: Vec<f64>,
+    /// Dedup flags for the per-source read set ([`SourceResult::reads`]);
+    /// restored to all-false between sources.
+    read_flag: Vec<bool>,
 }
 
 impl Explorer {
@@ -340,7 +349,32 @@ impl Explorer {
             next_frontier: Vec::with_capacity(n),
             in_next: vec![false; n],
             aff_cut: Vec::new(),
+            read_flag: vec![false; n],
         }
+    }
+
+    /// Record `u` into the read set exactly once.
+    #[inline]
+    fn record_read(flag: &mut [bool], reads: &mut Vec<u32>, u: u32) {
+        if !flag[u as usize] {
+            flag[u as usize] = true;
+            reads.push(u);
+        }
+    }
+
+    /// Close out the read set: fold in every target with a nonzero product
+    /// (its cardinality is read when the coverage row is written), restore
+    /// the dedup scratch, and sort into canonical order.
+    fn finish_reads(&mut self, n: usize, result: &mut SourceResult) {
+        for b in 0..n {
+            if result.best_affinity[b] > 0.0 || result.best_cov_product[b] > 0.0 {
+                Self::record_read(&mut self.read_flag, &mut result.reads, b as u32);
+            }
+        }
+        for &u in &result.reads {
+            self.read_flag[u as usize] = false;
+        }
+        result.reads.sort_unstable();
     }
 
     /// Compute, for every target, the maxima of the affinity and coverage
@@ -368,21 +402,24 @@ impl Explorer {
             truncated: false,
             floored: false,
             expansions: 0,
+            reads: Vec::new(),
         };
         result.best_affinity[source.index()] = 1.0;
         result.best_cov_product[source.index()] = 1.0;
         if config.max_edges == 0 || n == 0 {
+            self.finish_reads(n, &mut result);
             return result;
         }
         if config.effective_kernel(stats) == PathKernel::Layered {
             self.relax_layered(source, stats, config, &mut result);
+            self.finish_reads(n, &mut result);
             return result;
         }
 
         self.visited[..n].fill(false);
         self.frames.clear();
         if config.prune {
-            self.collect_component(source, stats, n, config.max_edges);
+            self.collect_component(source, stats, n, config.max_edges, &mut result);
         }
 
         // Pruning thresholds: stale lower bounds on the minimum recorded
@@ -400,6 +437,8 @@ impl Explorer {
         let aff_scale = config.affinity_scale();
         let mut budget = config.max_expansions;
         self.visited[source.index()] = true;
+        // Every node whose frame is pushed has its edge list scanned.
+        Self::record_read(&mut self.read_flag, &mut result.reads, source.0);
         self.frames.push(Frame {
             node: source.0,
             cursor: 0,
@@ -490,6 +529,7 @@ impl Explorer {
                     }
                 }
                 self.visited[i] = true;
+                Self::record_read(&mut self.read_flag, &mut result.reads, nb.0);
                 self.frames.push(Frame {
                     node: nb.0,
                     cursor: 0,
@@ -503,6 +543,7 @@ impl Explorer {
         for frame in self.frames.drain(..) {
             self.visited[frame.node as usize] = false;
         }
+        self.finish_reads(n, &mut result);
         result
     }
 
@@ -530,6 +571,10 @@ impl Explorer {
         // sparse layer touches O(frontier · degree) entries, not O(n).
         self.frontier.clear();
         self.frontier.push(source.0);
+        // Frontier members have their edge lists scanned (the final
+        // frontier's scan is cut by the depth limit; including it is a
+        // harmless over-approximation of the read set).
+        Self::record_read(&mut self.read_flag, &mut result.reads, source.0);
         self.cur_aff[source.index()] = 1.0;
         self.cur_cov[source.index()] = 1.0;
         for edges_used in 1..=config.max_edges {
@@ -562,6 +607,7 @@ impl Explorer {
                         }
                     } else {
                         self.in_next[i] = true;
+                        Self::record_read(&mut self.read_flag, &mut result.reads, edge.neighbor.0);
                         self.next_frontier.push(edge.neighbor.0);
                         self.next_aff[i] = na;
                         self.next_cov[i] = nc;
@@ -623,6 +669,7 @@ impl Explorer {
         stats: &SchemaStats,
         n: usize,
         max_edges: usize,
+        result: &mut SourceResult,
     ) {
         self.in_component[..n].fill(false);
         self.component.clear();
@@ -635,6 +682,9 @@ impl Explorer {
             while head < frontier_end {
                 let u = ElementId(self.component[head]);
                 head += 1;
+                // The pruning thresholds (and hence the whole trace) depend
+                // on this scan of `u`'s edge list.
+                Self::record_read(&mut self.read_flag, &mut result.reads, u.0);
                 for edge in stats.edges(u) {
                     if edge.rc > 0.0 && !self.in_component[edge.neighbor.index()] {
                         self.in_component[edge.neighbor.index()] = true;
@@ -1150,7 +1200,10 @@ mod tests {
             kernel: PathKernel::Layered,
             ..Default::default()
         };
-        assert_eq!(explicit.effective_kernel(&sparse_tree(8)), PathKernel::Layered);
+        assert_eq!(
+            explicit.effective_kernel(&sparse_tree(8)),
+            PathKernel::Layered
+        );
         let floored = PathConfig {
             min_product: 0.05,
             ..Default::default()

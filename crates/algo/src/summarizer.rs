@@ -148,7 +148,11 @@ impl<'a> Summarizer<'a> {
     }
 
     /// Select `k` elements with the given algorithm.
-    pub fn select(&mut self, k: usize, algorithm: Algorithm) -> Result<Vec<ElementId>, SchemaError> {
+    pub fn select(
+        &mut self,
+        k: usize,
+        algorithm: Algorithm,
+    ) -> Result<Vec<ElementId>, SchemaError> {
         match algorithm {
             Algorithm::MaxImportance => {
                 self.importance();
@@ -219,7 +223,11 @@ impl<'a> Summarizer<'a> {
         selected: &[ElementId],
     ) -> Result<SchemaSummary, SchemaError> {
         self.matrices();
-        build_summary(self.graph, self.matrices.as_ref().expect("ensured"), selected)
+        build_summary(
+            self.graph,
+            self.matrices.as_ref().expect("ensured"),
+            selected,
+        )
     }
 
     /// Explain a summary produced against this summarizer's graph/stats:
@@ -241,7 +249,11 @@ impl<'a> Summarizer<'a> {
     /// Summary importance `R_SS` (Definition 3) of a selection.
     pub fn selection_importance(&mut self, selected: &[ElementId]) -> f64 {
         self.importance();
-        summary_importance(self.graph, self.importance.as_ref().expect("ensured"), selected)
+        summary_importance(
+            self.graph,
+            self.importance.as_ref().expect("ensured"),
+            selected,
+        )
     }
 
     /// Summary coverage `C_SS` (Definition 4) of a selection.
@@ -263,12 +275,22 @@ mod tests {
     fn fixture() -> (SchemaGraph, SchemaStats) {
         let mut b = SchemaGraphBuilder::new("site");
         let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
-        let person = b.add_child(people, "person", SchemaType::set_of_rcd()).unwrap();
-        b.add_child(person, "name", SchemaType::simple_str()).unwrap();
-        b.add_child(person, "age", SchemaType::simple_int()).unwrap();
-        let auctions = b.add_child(b.root(), "auctions", SchemaType::rcd()).unwrap();
-        let auction = b.add_child(auctions, "auction", SchemaType::set_of_rcd()).unwrap();
-        let bidder = b.add_child(auction, "bidder", SchemaType::set_of_rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
+        b.add_child(person, "age", SchemaType::simple_int())
+            .unwrap();
+        let auctions = b
+            .add_child(b.root(), "auctions", SchemaType::rcd())
+            .unwrap();
+        let auction = b
+            .add_child(auctions, "auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b
+            .add_child(auction, "bidder", SchemaType::set_of_rcd())
+            .unwrap();
         b.add_value_link(bidder, person).unwrap();
         let g = b.build().unwrap();
         let find = |l: &str| g.find_unique(l).unwrap();
@@ -286,14 +308,46 @@ mod tests {
             cards[e.index()] = c;
         }
         let links = vec![
-            LinkCount { from: g.root(), to: find("people"), count: 1 },
-            LinkCount { from: find("people"), to: find("person"), count: 200 },
-            LinkCount { from: find("person"), to: find("name"), count: 200 },
-            LinkCount { from: find("person"), to: find("age"), count: 180 },
-            LinkCount { from: g.root(), to: find("auctions"), count: 1 },
-            LinkCount { from: find("auctions"), to: find("auction"), count: 100 },
-            LinkCount { from: find("auction"), to: find("bidder"), count: 600 },
-            LinkCount { from: find("bidder"), to: find("person"), count: 600 },
+            LinkCount {
+                from: g.root(),
+                to: find("people"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("people"),
+                to: find("person"),
+                count: 200,
+            },
+            LinkCount {
+                from: find("person"),
+                to: find("name"),
+                count: 200,
+            },
+            LinkCount {
+                from: find("person"),
+                to: find("age"),
+                count: 180,
+            },
+            LinkCount {
+                from: g.root(),
+                to: find("auctions"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("auctions"),
+                to: find("auction"),
+                count: 100,
+            },
+            LinkCount {
+                from: find("auction"),
+                to: find("bidder"),
+                count: 600,
+            },
+            LinkCount {
+                from: find("bidder"),
+                to: find("person"),
+                count: 600,
+            },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
         (g, s)
@@ -303,7 +357,11 @@ mod tests {
     fn all_algorithms_produce_valid_summaries() {
         let (g, s) = fixture();
         let mut sum = Summarizer::new(&g, &s);
-        for alg in [Algorithm::MaxImportance, Algorithm::MaxCoverage, Algorithm::Balance] {
+        for alg in [
+            Algorithm::MaxImportance,
+            Algorithm::MaxCoverage,
+            Algorithm::Balance,
+        ] {
             let summary = sum.summarize(2, alg).unwrap();
             summary.validate(&g).unwrap();
             assert_eq!(summary.size(), 2, "{alg:?}");

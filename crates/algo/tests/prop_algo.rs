@@ -4,11 +4,13 @@
 use proptest::prelude::*;
 use schema_summary_algo::importance::compute_importance;
 use schema_summary_algo::{
-    Algorithm, DominanceSet, ImportanceConfig, PairMatrices, PathConfig, PathKernel, PathLength,
-    Summarizer,
+    build_multi_level, plan_delta, refresh_multi_level, Algorithm, DominanceSet, ImportanceConfig,
+    PairMatrices, PathConfig, PathKernel, PathLength, Summarizer,
 };
 use schema_summary_core::stats::LinkCount;
-use schema_summary_core::{ElementId, SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType};
+use schema_summary_core::{
+    ElementId, SchemaDelta, SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType,
+};
 
 /// A two-section schema whose link counts are driven by the inputs:
 /// root -> {a* -> {x, y*}, b* -> {z*}}, b ->V a.
@@ -320,6 +322,72 @@ proptest! {
                 prop_assert!((lc - dc).abs() <= 1e-12 * dc.max(1.0), "cov {x}→{t}: {lc} vs {dc}");
             }
         }
+    }
+
+    /// A warm matrix refresh — `plan_delta` over a cardinality delta, then
+    /// `PairMatrices::splice` of the recompute set into the old matrices —
+    /// is bit-identical to a cold recompute on the new statistics,
+    /// including the truncation/floor flags and expansion counts.
+    #[test]
+    fn incremental_splice_matches_cold(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        bump_idx in 0usize..8, bump in 2u64..5,
+    ) {
+        let (g, old) = linked_schema(&secs, &picks);
+        // Perturb one section's cardinality; the graph is unchanged (same
+        // labels, fans, and links), which is the warm-eligible regime.
+        let mut secs2 = secs.clone();
+        let i = bump_idx % secs2.len();
+        secs2[i].0 *= bump;
+        let (g2, new) = linked_schema(&secs2, &picks);
+        prop_assert_eq!(&g, &g2);
+        let delta = SchemaDelta::compute(&g, &old, &g2, &new);
+        prop_assert!(!delta.is_empty());
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute_serial(&old, &config);
+        let plan = plan_delta(&delta, &g, &old, &g2, &new, &old_m, &config, 1.0).unwrap();
+        // A real delta either re-explores rows or rescales coverage.
+        prop_assert!(plan.rows >= 1 || plan.rescaled);
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute_serial(&new, &config);
+        prop_assert!(warm.bitwise_eq(&cold));
+    }
+
+    /// Incrementally refreshing a cached multi-level stack after a delta —
+    /// patching only the rows the delta plan marked — yields exactly the
+    /// stack a from-scratch `build_multi_level` produces on the new
+    /// matrices, whether the patch path fires or falls back.
+    #[test]
+    fn incremental_multilevel_matches_cold(
+        secs in prop::collection::vec((2u64..40, 2usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        bump_idx in 0usize..8, bump in 2u64..5,
+    ) {
+        let (g, old) = linked_schema(&secs, &picks);
+        let mut secs2 = secs.clone();
+        let i = bump_idx % secs2.len();
+        secs2[i].0 *= bump;
+        let (_, new) = linked_schema(&secs2, &picks);
+        let config = PathConfig::default();
+        let delta = SchemaDelta::compute(&g, &old, &g, &new);
+        let old_m = PairMatrices::compute_serial(&old, &config);
+        let plan = plan_delta(&delta, &g, &old, &g, &new, &old_m, &config, 1.0).unwrap();
+        let new_m = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        // Rows whose *values* may differ from the cached stack's matrices:
+        // under a cardinality rescale every coverage row was rewritten.
+        let row_changed = if plan.rescaled {
+            vec![true; g.len()]
+        } else {
+            plan.recompute.clone()
+        };
+        let old_sel = Summarizer::new(&g, &old).select(4, Algorithm::Balance).unwrap();
+        let new_sel = Summarizer::new(&g, &new).select(4, Algorithm::Balance).unwrap();
+        let previous = build_multi_level(&g, &old_m, &old_sel, &[2]).unwrap();
+        let (warm, _reused) =
+            refresh_multi_level(&g, &new_m, &new_sel, &[2], &previous, &row_changed).unwrap();
+        let cold = build_multi_level(&g, &new_m, &new_sel, &[2]).unwrap();
+        prop_assert_eq!(warm, cold);
     }
 
     /// The auto-switch heuristic (default kernel) always resolves to one of

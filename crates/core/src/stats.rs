@@ -49,7 +49,11 @@ pub struct EdgeRec {
     pub rc_factor: f64,
     /// `W(neighbor → u)` — the *backward* neighbor weight of Formula 1,
     /// i.e. the weight the coverage product (Formula 3) multiplies in when
-    /// a path crosses this edge forward.
+    /// a path crosses this edge forward. When the statistics are built via
+    /// [`SchemaStats::from_link_counts`] this ratio is computed directly
+    /// from the raw link counts (the cardinality denominators cancel
+    /// algebraically), so its bits are invariant under cardinality-only
+    /// changes — a property the incremental maintenance planner relies on.
     pub w_back: f64,
 }
 
@@ -124,6 +128,12 @@ impl SchemaStats {
         }
 
         let mut rc_adj: Vec<Vec<(ElementId, f64)>> = vec![Vec::new(); n];
+        // Raw-count adjacency, kept alongside the RC one: the neighbor
+        // weight `W(e → ·)` is a ratio of RCs sharing the same cardinality
+        // denominator, so it equals the ratio of raw counts. Computing it
+        // from the counts keeps `w_back` bitwise independent of the
+        // cardinalities (see `EdgeRec::w_back`).
+        let mut cnt_adj: Vec<Vec<(ElementId, f64)>> = vec![Vec::new(); n];
         for &(e1, e2, cnt) in &counts {
             let rc_fwd = if card[e1.index()] > 0.0 {
                 cnt / card[e1.index()]
@@ -137,10 +147,12 @@ impl SchemaStats {
             };
             accumulate(&mut rc_adj[e1.index()], e2, rc_fwd);
             accumulate(&mut rc_adj[e2.index()], e1, rc_bwd);
+            accumulate(&mut cnt_adj[e1.index()], e2, cnt);
+            accumulate(&mut cnt_adj[e2.index()], e1, cnt);
         }
 
         let total = card.iter().sum();
-        Ok(Self::from_adjacency(card, rc_adj, total))
+        Ok(Self::from_adjacency_weighted(card, rc_adj, &cnt_adj, total))
     }
 
     /// Finalize statistics from per-element cardinalities and a nested
@@ -148,10 +160,31 @@ impl SchemaStats {
     /// factors (`rc_factor`, `w_back`) consumed by the exploration and
     /// importance kernels.
     fn from_adjacency(card: Vec<f64>, rc_adj: Vec<Vec<(ElementId, f64)>>, total: f64) -> Self {
+        let wsrc = rc_adj.clone();
+        Self::from_adjacency_weighted(card, rc_adj, &wsrc, total)
+    }
+
+    /// [`from_adjacency`](Self::from_adjacency) with an explicit weight
+    /// source for the backward neighbor weights: `w_back` is computed as a
+    /// ratio within `wsrc`'s rows instead of `rc_adj`'s. The two are
+    /// mathematically interchangeable whenever `wsrc` rows are a per-row
+    /// positive rescaling of `rc_adj` rows (e.g. raw link counts, which are
+    /// RCs times the row's cardinality) — but the choice fixes which inputs
+    /// the ratio's *bits* depend on.
+    fn from_adjacency_weighted(
+        card: Vec<f64>,
+        rc_adj: Vec<Vec<(ElementId, f64)>>,
+        wsrc: &[Vec<(ElementId, f64)>],
+        total: f64,
+    ) -> Self {
         let n = card.len();
         let rc_sum: Vec<f64> = rc_adj
             .iter()
             .map(|adj| adj.iter().map(|&(_, rc)| rc).sum())
+            .collect();
+        let wsrc_sum: Vec<f64> = wsrc
+            .iter()
+            .map(|adj| adj.iter().map(|&(_, w)| w).sum())
             .collect();
         let mut adj_off = Vec::with_capacity(n + 1);
         adj_off.push(0u32);
@@ -161,14 +194,16 @@ impl SchemaStats {
                 let rc_factor = if rc > 0.0 { (1.0 / rc).min(1.0) } else { 0.0 };
                 // W(nb → u): the reverse edge always exists because the
                 // adjacency is built symmetrically, but its RC (and the
-                // neighbor's whole RC mass) may be zero.
-                let rc_back = rc_adj[nb.index()]
+                // neighbor's whole RC mass) may be zero. The `rc_sum` guard
+                // keeps zero-cardinality neighbors (whose RCs are all zero
+                // while their raw counts may not be) weightless either way.
+                let w_src_back = wsrc[nb.index()]
                     .iter()
                     .find(|&&(e, _)| e.index() == u)
-                    .map(|&(_, rc)| rc)
+                    .map(|&(_, w)| w)
                     .unwrap_or(0.0);
-                let w_back = if rc_sum[nb.index()] > 0.0 {
-                    rc_back / rc_sum[nb.index()]
+                let w_back = if rc_sum[nb.index()] > 0.0 && wsrc_sum[nb.index()] > 0.0 {
+                    w_src_back / wsrc_sum[nb.index()]
                 } else {
                     0.0
                 };

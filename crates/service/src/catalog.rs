@@ -165,6 +165,44 @@ impl Artifacts {
         self.matrices_micros.load(Ordering::Relaxed)
     }
 
+    /// The matrices if some caller already forced (or seeded) them —
+    /// never computes. The delta-refresh path uses this to find splice
+    /// bases without paying for configurations nobody asked about.
+    pub(crate) fn matrices_if_computed(&self) -> Option<Arc<PairMatrices>> {
+        self.matrices.get().cloned()
+    }
+
+    /// Adopt matrices derived outside this holder — the delta-refresh
+    /// splice — as this `(fingerprint, config)`'s memoized matrices,
+    /// spilling them to the disk tier like a computed set. `cost_micros`
+    /// is the recomputation cost the cache tiers should weigh (a spliced
+    /// set would cost a full cold compute to rebuild, so callers pass the
+    /// old set's cost forward). Returns `false` when the matrices were
+    /// already present (a concurrent request won the race); the seed is
+    /// then dropped.
+    pub(crate) fn seed_matrices(&self, matrices: Arc<PairMatrices>, cost_micros: u64) -> bool {
+        let mut seeded = false;
+        self.matrices.get_or_init(|| {
+            seeded = true;
+            Arc::clone(&matrices)
+        });
+        if seeded {
+            let micros = cost_micros.max(1);
+            self.matrices_micros.store(micros, Ordering::Relaxed);
+            if let Some(disk) = &self.disk {
+                let meta = matrices_meta(self.fingerprint, &self.config);
+                disk.store(
+                    self.fingerprint,
+                    KIND_MATRICES,
+                    &meta,
+                    micros,
+                    &matrices.to_bytes(),
+                );
+            }
+        }
+        seeded
+    }
+
     /// Dominance pairs (Theorem 1), computed on first use (forces the
     /// matrices).
     pub fn dominance(&self) -> &DominanceSet {
@@ -203,6 +241,18 @@ impl CatalogEntry {
     /// The registered statistics.
     pub fn stats(&self) -> &Arc<SchemaStats> {
         &self.stats
+    }
+
+    /// Snapshot of every configuration that has an artifact holder, with
+    /// the holders. The delta-refresh path walks this to find old
+    /// matrices to splice from.
+    pub(crate) fn memoized(&self) -> Vec<(SummarizerConfig, Arc<Artifacts>)> {
+        self.memo
+            .lock()
+            .expect("catalog memo poisoned")
+            .iter()
+            .map(|(config, artifacts)| (config.clone(), Arc::clone(artifacts)))
+            .collect()
     }
 
     /// Shared artifacts for `config`, creating the (lazy) holder on first

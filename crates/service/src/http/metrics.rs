@@ -15,6 +15,14 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+fn labeled(out: &mut String, name: &str, kind: &str, help: &str, samples: &[(&str, &str, u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (label, value, sample) in samples {
+        let _ = writeln!(out, "{name}{{{label}=\"{value}\"}} {sample}");
+    }
+}
+
 fn sharded(out: &mut String, name: &str, help: &str, entries: &[usize]) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} gauge");
@@ -70,6 +78,20 @@ pub(crate) fn render(cache: &CacheStats, catalog: &CatalogStats, http: &HttpServ
         "Entries dropped through the admin evict endpoint.",
         cache.admin_evictions,
     );
+    // Drop-accounting reconciliation: every cached result that leaves the
+    // in-memory tier is counted exactly once under its cause, so the sum
+    // of this family equals evictions + invalidations + admin_evictions.
+    labeled(
+        &mut out,
+        "schema_summary_results_dropped_total",
+        "counter",
+        "Cached results dropped from the in-memory tier, by cause.",
+        &[
+            ("cause", "capacity", cache.evictions),
+            ("cause", "invalidation", cache.invalidations),
+            ("cause", "admin", cache.admin_evictions),
+        ],
+    );
     family(
         &mut out,
         "schema_summary_cache_entries",
@@ -120,6 +142,29 @@ pub(crate) fn render(cache: &CacheStats, catalog: &CatalogStats, http: &HttpServ
         "counter",
         "All-pairs matrix computations avoided by disk rehydration.",
         cache.matrices_rehydrated,
+    );
+
+    // Warm-path delta maintenance.
+    family(
+        &mut out,
+        "schema_summary_delta_refreshes_total",
+        "counter",
+        "Schema deltas served warm by splicing matrices across fingerprints.",
+        cache.delta_refreshes,
+    );
+    family(
+        &mut out,
+        "schema_summary_delta_rows_recomputed_total",
+        "counter",
+        "Matrix rows recomputed by warm delta refreshes.",
+        cache.delta_rows_recomputed,
+    );
+    family(
+        &mut out,
+        "schema_summary_delta_fallback_cold_total",
+        "counter",
+        "Schema deltas that fell back to cold invalidation.",
+        cache.delta_fallback_cold,
     );
 
     // Disk tier.

@@ -11,6 +11,7 @@
 //! | `GET /healthz` | liveness probe |
 //! | `GET /admin/cache` | resident cache entries + stats |
 //! | `POST /admin/evict` | drop one fingerprint's cached results |
+//! | `POST /admin/refresh` | diff two schemas, refresh warm where possible |
 //!
 //! Summary computation always goes through the caller-supplied `execute`
 //! hook (the bounded worker pool with its timeout), so HTTP clients get
@@ -250,6 +251,75 @@ fn admin_evict(ctx: &RouteContext<'_>, body: &[u8]) -> HttpResponse {
     )
 }
 
+/// Resolve a refresh operand: a 32-hex-digit fingerprint, or a
+/// registered schema name.
+fn resolve_refresh_target(
+    service: &SummaryService,
+    target: &str,
+    role: &str,
+) -> Result<SchemaFingerprint, HttpResponse> {
+    if let Some(fp) = SchemaFingerprint::from_hex(target) {
+        return Ok(fp);
+    }
+    service.fingerprint_of(target).ok_or_else(|| {
+        HttpResponse::error(
+            404,
+            "unknown_schema",
+            format!("unknown {role} schema or fingerprint '{target}'"),
+        )
+    })
+}
+
+fn admin_refresh(ctx: &RouteContext<'_>, body: &[u8]) -> HttpResponse {
+    #[derive(serde::Deserialize)]
+    struct RefreshRequest {
+        old: Option<String>,
+        new: Option<String>,
+    }
+    let request: RefreshRequest = match decode_body(body, "body is not a refresh request") {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let (Some(old), Some(new)) = (&request.old, &request.new) else {
+        return HttpResponse::error(400, "bad_request", "name both old and new schemas");
+    };
+    let old_fp = match resolve_refresh_target(ctx.service, old, "old") {
+        Ok(fp) => fp,
+        Err(resp) => return resp,
+    };
+    let new_fp = match resolve_refresh_target(ctx.service, new, "new") {
+        Ok(fp) => fp,
+        Err(resp) => return resp,
+    };
+    let stats_before = ctx.service.cache_stats();
+    let delta = match ctx.service.refresh_between(old_fp, new_fp) {
+        Ok(d) => d,
+        Err(e) => {
+            return HttpResponse::error(status_of(&e), service_error_kind(&e), format!("{e}"))
+        }
+    };
+    let stats_after = ctx.service.cache_stats();
+    #[derive(serde::Serialize)]
+    struct RefreshReply {
+        old: String,
+        new: String,
+        empty: bool,
+        warm: bool,
+        rows_recomputed: u64,
+    }
+    let reply = RefreshReply {
+        old: old_fp.to_hex(),
+        new: new_fp.to_hex(),
+        empty: delta.is_empty(),
+        warm: stats_after.delta_refreshes > stats_before.delta_refreshes,
+        rows_recomputed: stats_after.delta_rows_recomputed - stats_before.delta_rows_recomputed,
+    };
+    HttpResponse::json(
+        200,
+        serde_json::to_string(&reply).expect("refresh reply serializes"),
+    )
+}
+
 /// Route one parsed request.
 pub(crate) fn route(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
     let path = req.path();
@@ -272,11 +342,12 @@ pub(crate) fn route(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
         ("GET", p) if p.starts_with("/v1/export/") => export(ctx, req),
         ("GET", "/admin/cache") => admin_cache(ctx),
         ("POST", "/admin/evict") => admin_evict(ctx, &req.body),
+        ("POST", "/admin/refresh") => admin_refresh(ctx, &req.body),
         // Known paths with the wrong method are 405, everything else 404.
         (
             _,
             "/v1/summary" | "/v1/levels" | "/v1/expand" | "/healthz" | "/metrics" | "/admin/cache"
-            | "/admin/evict",
+            | "/admin/evict" | "/admin/refresh",
         ) => HttpResponse::error(
             405,
             "method_not_allowed",

@@ -6,10 +6,10 @@
 use crate::catalog::SchemaCatalog;
 use crate::disk::DiskTier;
 use crate::export::{ExportElement, SummaryExport};
-use crate::store::{ArtifactStore, CachedArtifact, ResultKey, ResultShape};
+use crate::store::{ArtifactStore, CachedArtifact, RefreshOutcome, ResultKey, ResultShape};
 use schema_summary_algo::algorithms::{balance_summary, max_coverage, max_importance};
 use schema_summary_algo::assignment::{assign_elements, summary_coverage, summary_importance};
-use schema_summary_algo::multilevel::{build_multi_level, MultiLevelSummary};
+use schema_summary_algo::multilevel::{build_multi_level, refresh_multi_level, MultiLevelSummary};
 use schema_summary_algo::{Algorithm, SummarizerConfig};
 use schema_summary_core::diff::SchemaDelta;
 use schema_summary_core::{
@@ -38,6 +38,12 @@ pub struct ServiceConfig {
     /// evicts the oldest artifacts first; `None` grows without bound.
     /// Ignored when `store_dir` is `None`.
     pub store_max_bytes: Option<u64>,
+    /// Largest schema-delta footprint served warm, as a fraction of the
+    /// schema's elements: a delta whose recompute set exceeds this falls
+    /// back to a cold invalidate-and-recompute (past that point the
+    /// splice saves little over the parallel cold path). Values outside
+    /// `(0, 1]` disable the guard.
+    pub delta_max_fraction: f64,
     /// Default algorithm configuration used when a request does not
     /// override it.
     pub summarizer: SummarizerConfig,
@@ -51,6 +57,7 @@ impl Default for ServiceConfig {
             catalog_shards: crate::catalog::DEFAULT_CATALOG_SHARDS,
             store_dir: None,
             store_max_bytes: None,
+            delta_max_fraction: 0.25,
             summarizer: SummarizerConfig::default(),
         }
     }
@@ -295,6 +302,16 @@ pub struct CacheStats {
     /// Cached results dropped through the admin evict API (counted in
     /// neither `evictions` nor `invalidations`).
     pub admin_evictions: u64,
+    /// Schema deltas served warm: the new fingerprint's matrices were
+    /// spliced from the old fingerprint's instead of recomputed.
+    pub delta_refreshes: u64,
+    /// Matrix rows re-explored by warm delta refreshes (the rest of each
+    /// spliced matrix was copied bit-exactly from the old fingerprint).
+    pub delta_rows_recomputed: u64,
+    /// Schema deltas that were routed to the refresh path but fell back
+    /// to a cold invalidation (structural change, oversized footprint,
+    /// unregistered fingerprint, or nothing spliceable).
+    pub delta_fallback_cold: u64,
 }
 
 impl CacheStats {
@@ -797,22 +814,149 @@ impl SummaryService {
         self.store.invalidate(fingerprint)
     }
 
-    /// Invalidation hook for schema deltas (`schema_summary_core::diff`):
-    /// a non-empty delta evicts exactly the old fingerprint; an empty one
-    /// (content unchanged) evicts nothing. Returns the number of cached
-    /// results dropped.
+    /// Maintenance hook for schema deltas (`schema_summary_core::diff`).
+    ///
+    /// An empty delta (content unchanged) touches nothing. A non-empty
+    /// delta routes through [`ArtifactStore::refresh`]: when the new
+    /// fingerprint is registered and the delta qualifies (same graph,
+    /// footprint within [`ServiceConfig::delta_max_fraction`] of the
+    /// elements), the new fingerprint's matrices are spliced from the old
+    /// fingerprint's and the old cached results are re-derived warm under
+    /// the new fingerprint — bit-identical to cold recomputes. Otherwise
+    /// the old fingerprint is simply invalidated, as before. Returns the
+    /// number of cached results dropped either way.
     pub fn apply_delta(&self, delta: &SchemaDelta) -> usize {
-        if delta.is_empty() {
-            0
-        } else {
-            self.invalidate(delta.old_fingerprint)
+        match self.store.refresh(
+            delta.old_fingerprint,
+            delta.new_fingerprint,
+            delta,
+            self.config.delta_max_fraction,
+        ) {
+            RefreshOutcome::Noop => 0,
+            RefreshOutcome::Cold(dropped) => dropped,
+            RefreshOutcome::Warm { dropped, derive } => {
+                for (old_key, old_artifact, row_changed) in derive {
+                    self.derive_result(
+                        &old_key,
+                        delta.new_fingerprint,
+                        &old_artifact,
+                        &row_changed,
+                    );
+                }
+                dropped
+            }
         }
     }
 
-    /// Re-register a named schema with fresh content: computes the
-    /// [`SchemaDelta`] against the currently registered content, applies
-    /// it (evicting the stale fingerprint if anything changed), registers
-    /// the new content under the name, and returns the delta.
+    /// Rebuild one old cached result under the new fingerprint, through
+    /// the normal single-flight `serve` so concurrent requests share the
+    /// work. Multi-level stacks are patched from the old stack where the
+    /// delta plan allows; flat summaries recompute their (cheap)
+    /// selection against the seeded matrices. Failures are dropped — the
+    /// result then simply computes cold on next request.
+    fn derive_result(
+        &self,
+        old_key: &ResultKey,
+        new_fp: SchemaFingerprint,
+        old_artifact: &CachedArtifact,
+        row_changed: &[bool],
+    ) {
+        let new_key = ResultKey {
+            fingerprint: new_fp,
+            shape: old_key.shape.clone(),
+            options: old_key.options.clone(),
+        };
+        let _ = self
+            .store
+            .serve(&new_key, &|| match (&new_key.shape, old_artifact) {
+                (ResultShape::Flat { algorithm, k }, _) => self
+                    .compute_flat(new_fp, *algorithm, *k, &new_key.options)
+                    .map(CachedArtifact::Flat),
+                (
+                    ResultShape::MultiLevel { algorithm, sizes },
+                    CachedArtifact::MultiLevel(prev),
+                ) => self
+                    .refresh_multi_level_artifact(
+                        new_fp,
+                        *algorithm,
+                        sizes,
+                        &new_key.options,
+                        prev,
+                        row_changed,
+                    )
+                    .map(CachedArtifact::MultiLevel),
+                (ResultShape::MultiLevel { algorithm, sizes }, CachedArtifact::Flat(_)) => self
+                    .compute_multi_level(new_fp, *algorithm, sizes, &new_key.options)
+                    .map(CachedArtifact::MultiLevel),
+            });
+    }
+
+    /// Derive a multi-level stack for `fingerprint` by patching a cached
+    /// previous stack: re-select the finest level (cheap against the
+    /// seeded matrices), then let `refresh_multi_level` re-assign only
+    /// the rows the delta touched — falling back to a full rebuild
+    /// internally when the cached stack does not match. Bit-identical to
+    /// [`SummaryService::compute_multi_level`] either way.
+    fn refresh_multi_level_artifact(
+        &self,
+        fingerprint: SchemaFingerprint,
+        algorithm: Algorithm,
+        sizes: &[usize],
+        config: &SummarizerConfig,
+        previous: &MultiLevelArtifact,
+        row_changed: &[bool],
+    ) -> Result<Arc<MultiLevelArtifact>, ServiceError> {
+        let entry = self
+            .store
+            .catalog()
+            .get(fingerprint)
+            .ok_or(ServiceError::UnknownFingerprint(fingerprint))?;
+        let selection = self.select_elements(&entry, algorithm, sizes[0], config)?;
+        let graph = entry.graph();
+        let artifacts = entry.artifacts(config);
+        let (summary, _patched) = refresh_multi_level(
+            graph,
+            artifacts.matrices(),
+            &selection,
+            &sizes[1..],
+            &previous.summary,
+            row_changed,
+        )?;
+        let view = Self::view_of(graph, fingerprint, algorithm, &summary);
+        Ok(Arc::new(MultiLevelArtifact { summary, view }))
+    }
+
+    /// Admin entry point (`POST /admin/refresh`): diff two registered
+    /// fingerprints and route the delta through the warm refresh path,
+    /// exactly as [`SummaryService::update_named`] does on re-register.
+    /// Returns the delta.
+    pub fn refresh_between(
+        &self,
+        old_fp: SchemaFingerprint,
+        new_fp: SchemaFingerprint,
+    ) -> Result<SchemaDelta, ServiceError> {
+        let old = self
+            .store
+            .catalog()
+            .get(old_fp)
+            .ok_or(ServiceError::UnknownFingerprint(old_fp))?;
+        let new = self
+            .store
+            .catalog()
+            .get(new_fp)
+            .ok_or(ServiceError::UnknownFingerprint(new_fp))?;
+        let delta = SchemaDelta::compute(old.graph(), old.stats(), new.graph(), new.stats());
+        self.apply_delta(&delta);
+        Ok(delta)
+    }
+
+    /// Re-register a named schema with fresh content: registers the new
+    /// content under the name, computes the [`SchemaDelta`] against the
+    /// previously registered content, and applies it — refreshing the
+    /// new fingerprint's artifacts warm from the old ones when the delta
+    /// qualifies, evicting the stale fingerprint either way. Returns the
+    /// delta. (The new content is registered *before* the delta is
+    /// applied so the warm path has a destination to seed.)
     pub fn update_named(
         &self,
         name: &str,
@@ -828,8 +972,8 @@ impl SummaryService {
             .get(old_fp)
             .ok_or(ServiceError::UnknownFingerprint(old_fp))?;
         let delta = SchemaDelta::compute(old.graph(), old.stats(), &graph, &stats);
-        self.apply_delta(&delta);
         self.register_named(name, graph, stats);
+        self.apply_delta(&delta);
         Ok(delta)
     }
 
@@ -863,6 +1007,9 @@ impl SummaryService {
             disk_bytes,
             quota_evictions,
             admin_evictions: self.store.admin_evictions(),
+            delta_refreshes: self.store.delta_refreshes(),
+            delta_rows_recomputed: self.store.delta_rows_recomputed(),
+            delta_fallback_cold: self.store.delta_fallback_cold(),
         }
     }
 
@@ -970,6 +1117,21 @@ mod tests {
     use schema_summary_core::{SchemaGraphBuilder, SchemaType};
 
     fn fixture() -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
+        fixture_with_cards(200, 200)
+    }
+
+    /// Fixture with a bumpable leaf (`name`, all RCs ≤ 1: a card change is
+    /// a pure coverage rescale) and a bumpable hub (`person`, whose
+    /// `RC(person→bidder) = 600/card` factor is unclamped: a card change
+    /// re-explores every row that reads it).
+    fn fixture_with_name_card(name_card: u64) -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
+        fixture_with_cards(name_card, 200)
+    }
+
+    fn fixture_with_cards(
+        name_card: u64,
+        person_card: u64,
+    ) -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
         let mut b = SchemaGraphBuilder::new("site");
         let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
         let person = b
@@ -991,8 +1153,8 @@ mod tests {
         let find = |l: &str| g.find_unique(l).unwrap();
         let mut cards = vec![1u64; g.len()];
         for (label, c) in [
-            ("person", 200u64),
-            ("name", 200),
+            ("person", person_card),
+            ("name", name_card),
             ("auction", 100),
             ("bidder", 600),
         ] {
@@ -1119,7 +1281,9 @@ mod tests {
             .summarize(fp_old, Algorithm::MaxImportance, 2)
             .unwrap();
 
-        // Same structure, doubled cardinalities: a genuine delta.
+        // Same structure, doubled cardinalities: a genuine delta. Every RC
+        // is unchanged bit-for-bit, so this rides the warm pure-rescale
+        // path — which must still evict the stale fingerprint completely.
         let s2 = Arc::new(s.scaled(2.0));
         let delta = service
             .update_named("site", Arc::clone(&g), Arc::clone(&s2))
@@ -1127,16 +1291,18 @@ mod tests {
         assert!(!delta.is_empty());
         assert_eq!(delta.old_fingerprint, fp_old);
 
-        // Old results are gone; the old fingerprint no longer resolves.
-        assert_eq!(service.cache_stats().entries, 0);
+        // The old fingerprint no longer resolves; its results were dropped
+        // (and re-derived under the new fingerprint by the warm refresh).
         assert!(matches!(
             service.summarize(fp_old, Algorithm::Balance, 2),
             Err(ServiceError::UnknownFingerprint(_))
         ));
+        assert_eq!(service.cache_stats().invalidations, 2);
+        assert_eq!(service.cache_stats().delta_refreshes, 1);
+        assert_eq!(service.cache_stats().entries, 2);
         // The name now serves the new content.
         let served = service.handle(&SummaryRequest::default()).unwrap();
         assert_eq!(served.result.fingerprint, delta.new_fingerprint);
-        assert_eq!(service.cache_stats().invalidations, 2);
     }
 
     #[test]
@@ -1156,6 +1322,86 @@ mod tests {
                 .unwrap()
                 .from_cache
         );
+    }
+
+    #[test]
+    fn small_delta_refreshes_results_warm_and_bit_identical() {
+        // The tiny fixture graph is well inside any BFS horizon, so the
+        // fraction guard must be open for the warm path to engage.
+        let service = SummaryService::new(ServiceConfig {
+            delta_max_fraction: 1.0,
+            ..Default::default()
+        });
+        let (g, s) = fixture();
+        let fp_old = service.register_named("site", Arc::clone(&g), Arc::clone(&s));
+        let sizes = [4usize, 2];
+        service.summarize(fp_old, Algorithm::Balance, 2).unwrap();
+        service
+            .multi_level(fp_old, Algorithm::Balance, &sizes)
+            .unwrap();
+        let computed_before = service.cache_stats().matrices_computed;
+        assert_eq!(computed_before, 1);
+
+        // Bump one leaf cardinality: a small, structure-preserving delta.
+        let (g2, s2) = fixture_with_name_card(220);
+        let delta = service.update_named("site", Arc::clone(&g2), s2).unwrap();
+        assert!(!delta.is_empty());
+        assert_eq!(delta.changed_cardinalities.len(), 1);
+
+        let stats = service.cache_stats();
+        assert_eq!(stats.delta_refreshes, 1, "the delta must be served warm");
+        assert_eq!(stats.delta_fallback_cold, 0);
+        // A leaf growing keeps every rc_factor clamped and every w_back
+        // count ratio: no row re-explores, the splice rescales coverage.
+        assert_eq!(stats.delta_rows_recomputed, 0);
+        assert_eq!(
+            stats.matrices_computed, computed_before,
+            "the new fingerprint's matrices must be spliced, not recomputed"
+        );
+
+        // The re-derived results are already cached under the new
+        // fingerprint...
+        let warm_flat = service
+            .summarize(delta.new_fingerprint, Algorithm::Balance, 2)
+            .unwrap();
+        assert!(warm_flat.from_cache);
+        let warm_ml = service
+            .multi_level(delta.new_fingerprint, Algorithm::Balance, &sizes)
+            .unwrap();
+        assert!(warm_ml.from_cache);
+        // ...and no matrix computation happened along the way.
+        assert_eq!(service.cache_stats().matrices_computed, computed_before);
+
+        // Bit-identical to a cold service over the same new content.
+        let cold = SummaryService::default();
+        let (g3, s3) = fixture_with_name_card(220);
+        let fp_cold = cold.register(g3, s3);
+        assert_eq!(fp_cold, delta.new_fingerprint);
+        let cold_flat = cold.summarize(fp_cold, Algorithm::Balance, 2).unwrap();
+        let cold_ml = cold
+            .multi_level(fp_cold, Algorithm::Balance, &sizes)
+            .unwrap();
+        assert_eq!(*warm_flat.result, *cold_flat.result);
+        assert_eq!(*warm_ml.result, *cold_ml.result);
+    }
+
+    #[test]
+    fn oversized_delta_falls_back_cold() {
+        // Default fraction (0.25): doubling person's cardinality moves its
+        // unclamped RC(person→bidder) factor, every source's trace reads
+        // person on this connected fixture, so the plan wants all rows —
+        // the refresh must fall back to plain invalidation.
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp_old = service.register_named("site", Arc::clone(&g), Arc::clone(&s));
+        service.summarize(fp_old, Algorithm::Balance, 2).unwrap();
+        let (g2, s2) = fixture_with_cards(200, 400);
+        let delta = service.update_named("site", g2, s2).unwrap();
+        assert!(!delta.is_empty());
+        let stats = service.cache_stats();
+        assert_eq!(stats.delta_refreshes, 0);
+        assert_eq!(stats.delta_fallback_cold, 1);
+        assert_eq!(stats.entries, 0, "cold fallback drops the old results");
     }
 
     #[test]
@@ -1233,13 +1479,17 @@ mod tests {
         let fp = service.register(Arc::clone(&g), Arc::clone(&s));
         let sizes = [4usize, 2];
         // The first expand builds (and caches) the stack.
-        let exp = service.expand(fp, Algorithm::Balance, &sizes, 1, 0).unwrap();
+        let exp = service
+            .expand(fp, Algorithm::Balance, &sizes, 1, 0)
+            .unwrap();
         assert!(!exp.from_cache);
         assert!(!exp.result.children.is_empty());
         let computed_before = service.cache_stats().matrices_computed;
 
         // Level-1 expansion lists the level-0 child groups.
-        let exp = service.expand(fp, Algorithm::Balance, &sizes, 1, 1).unwrap();
+        let exp = service
+            .expand(fp, Algorithm::Balance, &sizes, 1, 1)
+            .unwrap();
         assert!(exp.from_cache);
         assert!(!exp.result.children.is_empty());
         assert!(exp.result.elements.is_empty());
@@ -1253,10 +1503,15 @@ mod tests {
                     .len()
             })
             .sum();
-        assert_eq!(total_children, 4, "level-1 groups partition the 4 finer groups");
+        assert_eq!(
+            total_children, 4,
+            "level-1 groups partition the 4 finer groups"
+        );
 
         // Level-0 expansion lists raw schema elements.
-        let exp = service.expand(fp, Algorithm::Balance, &sizes, 0, 0).unwrap();
+        let exp = service
+            .expand(fp, Algorithm::Balance, &sizes, 0, 0)
+            .unwrap();
         assert!(exp.result.children.is_empty());
         assert!(!exp.result.elements.is_empty());
 
@@ -1301,7 +1556,10 @@ mod tests {
         let ServedReply::Expansion(exp) = exp else {
             panic!("expand must produce an expansion reply");
         };
-        assert!(exp.from_cache, "the stack was cached by the previous request");
+        assert!(
+            exp.from_cache,
+            "the stack was cached by the previous request"
+        );
         // expand without levels is rejected.
         assert!(matches!(
             service.handle_request(&SummaryRequest {

@@ -20,8 +20,8 @@ use crate::catalog::SchemaCatalog;
 use crate::disk::{DiskTier, KIND_FLAT, KIND_MULTILEVEL};
 use crate::lru::ShardedLru;
 use crate::service::{MultiLevelArtifact, ServiceError, SummaryResult};
-use schema_summary_algo::{Algorithm, SummarizerConfig};
-use schema_summary_core::SchemaFingerprint;
+use schema_summary_algo::{plan_delta, Algorithm, SummarizerConfig};
+use schema_summary_core::{SchemaDelta, SchemaFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -65,7 +65,10 @@ impl ResultKey {
         let options = serde_json::to_string(&self.options).expect("config serializes");
         match &self.shape {
             ResultShape::Flat { algorithm, k } => {
-                format!("flat|{}|{algorithm}|{k}|{options}", self.fingerprint.to_hex())
+                format!(
+                    "flat|{}|{algorithm}|{k}|{options}",
+                    self.fingerprint.to_hex()
+                )
             }
             ResultShape::MultiLevel { algorithm, sizes } => {
                 let sizes = sizes
@@ -73,7 +76,10 @@ impl ResultKey {
                     .map(|s| s.to_string())
                     .collect::<Vec<_>>()
                     .join(",");
-                format!("mls|{}|{algorithm}|{sizes}|{options}", self.fingerprint.to_hex())
+                format!(
+                    "mls|{}|{algorithm}|{sizes}|{options}",
+                    self.fingerprint.to_hex()
+                )
             }
         }
     }
@@ -187,6 +193,30 @@ pub(crate) struct ArtifactStore {
     admin_evictions: AtomicU64,
     compute_micros: AtomicU64,
     evicted_compute_micros: AtomicU64,
+    delta_refreshes: AtomicU64,
+    delta_rows_recomputed: AtomicU64,
+    delta_fallback_cold: AtomicU64,
+}
+
+/// What [`ArtifactStore::refresh`] did with a schema delta.
+pub(crate) enum RefreshOutcome {
+    /// Empty delta — nothing touched.
+    Noop,
+    /// The delta could not be served warm (structural change, oversized
+    /// footprint, missing catalog entries, or no spliceable matrices);
+    /// the old fingerprint was invalidated cold. Carries the number of
+    /// cached results dropped.
+    Cold(usize),
+    /// Matrices were spliced onto the new fingerprint and the old
+    /// fingerprint fully invalidated.
+    Warm {
+        /// Cached results dropped with the old fingerprint.
+        dropped: usize,
+        /// Old result keys whose artifacts can be re-derived warm: the
+        /// key, the old cached artifact, and the recompute mask of the
+        /// key's configuration.
+        derive: Vec<(ResultKey, CachedArtifact, Arc<Vec<bool>>)>,
+    },
 }
 
 impl ArtifactStore {
@@ -209,6 +239,9 @@ impl ArtifactStore {
             admin_evictions: AtomicU64::new(0),
             compute_micros: AtomicU64::new(0),
             evicted_compute_micros: AtomicU64::new(0),
+            delta_refreshes: AtomicU64::new(0),
+            delta_rows_recomputed: AtomicU64::new(0),
+            delta_fallback_cold: AtomicU64::new(0),
         }
     }
 
@@ -256,7 +289,8 @@ impl ArtifactStore {
                 // Disk before compute: a rehydrated artifact keeps its
                 // original recomputation cost for the eviction policy.
                 if let Some(disk) = &self.disk {
-                    if let Some((payload, cost)) = disk.load(key.fingerprint, key.kind(), &key.meta())
+                    if let Some((payload, cost)) =
+                        disk.load(key.fingerprint, key.kind(), &key.meta())
                     {
                         if let Some(artifact) = CachedArtifact::from_payload(key.kind(), &payload) {
                             self.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -312,6 +346,116 @@ impl ArtifactStore {
             self.evicted_compute_micros
                 .fetch_add(evicted_cost, Ordering::Relaxed);
         }
+    }
+
+    /// Route a schema delta through the warm path: derive the new
+    /// fingerprint's artifacts from the old fingerprint's where the delta
+    /// provably allows it, then drop the old fingerprint from every tier.
+    ///
+    /// For every configuration whose matrices the old catalog entry had
+    /// materialized, [`plan_delta`] computes the exact set of matrix rows
+    /// the delta can influence; when it qualifies (same graph, footprint
+    /// within `max_fraction` of the elements), those rows are re-explored
+    /// and spliced into the old matrices, and the result is seeded into
+    /// the new entry's artifact holder — bit-identical to a cold compute,
+    /// at a fraction of the cost. Old cached results whose configuration
+    /// was spliced are returned for warm re-derivation by the caller
+    /// (under the normal single-flight `serve`).
+    ///
+    /// Falls back to a plain cold [`invalidate`](Self::invalidate) — and
+    /// counts `delta_fallback_cold` — when the delta is structural or
+    /// oversized, either fingerprint is not registered, or no old
+    /// matrices exist to splice from.
+    pub fn refresh(
+        &self,
+        old_fp: SchemaFingerprint,
+        new_fp: SchemaFingerprint,
+        delta: &SchemaDelta,
+        max_fraction: f64,
+    ) -> RefreshOutcome {
+        if delta.is_empty() {
+            return RefreshOutcome::Noop;
+        }
+        let (Some(old_entry), Some(new_entry)) =
+            (self.catalog.get(old_fp), self.catalog.get(new_fp))
+        else {
+            self.delta_fallback_cold.fetch_add(1, Ordering::Relaxed);
+            return RefreshOutcome::Cold(self.invalidate(old_fp));
+        };
+        let mut spliced: Vec<(SummarizerConfig, Arc<Vec<bool>>)> = Vec::new();
+        let mut rows_total = 0u64;
+        for (config, artifacts) in old_entry.memoized() {
+            let Some(old_matrices) = artifacts.matrices_if_computed() else {
+                continue;
+            };
+            if !old_matrices.has_source_meta() {
+                continue; // legacy-decoded matrices cannot be spliced
+            }
+            let Some(plan) = plan_delta(
+                delta,
+                old_entry.graph(),
+                old_entry.stats(),
+                new_entry.graph(),
+                new_entry.stats(),
+                &old_matrices,
+                &config.paths,
+                max_fraction,
+            ) else {
+                continue;
+            };
+            let started = Instant::now();
+            let Some(new_matrices) =
+                old_matrices.splice(new_entry.stats(), &config.paths, &plan.recompute)
+            else {
+                continue;
+            };
+            // The seeded set's recomputation cost is a full cold compute,
+            // not the splice time: attribute the old cost forward so the
+            // disk tier's quota eviction does not treat it as nearly free.
+            let splice_micros = (started.elapsed().as_micros() as u64).max(1);
+            let cost = artifacts.matrices_cost_micros().max(splice_micros);
+            new_entry
+                .artifacts(&config)
+                .seed_matrices(Arc::new(new_matrices), cost);
+            rows_total += plan.rows as u64;
+            // The mask handed to warm re-derivation marks rows whose matrix
+            // *values* may differ from the old ones. Re-explored rows
+            // always qualify; under a cardinality rescale every coverage
+            // row was rewritten, so downstream row-reuse (multi-level
+            // patching) must treat all rows as changed.
+            let row_changed = if plan.rescaled {
+                vec![true; plan.recompute.len()]
+            } else {
+                plan.recompute
+            };
+            spliced.push((config, Arc::new(row_changed)));
+        }
+        if spliced.is_empty() {
+            self.delta_fallback_cold.fetch_add(1, Ordering::Relaxed);
+            return RefreshOutcome::Cold(self.invalidate(old_fp));
+        }
+        // Snapshot the old fingerprint's cached results for the spliced
+        // configurations before the invalidation below drops them; the
+        // caller re-derives each under the new fingerprint.
+        let derive: Vec<(ResultKey, CachedArtifact, Arc<Vec<bool>>)> = self
+            .results
+            .entries()
+            .into_iter()
+            .filter(|(key, _)| key.fingerprint == old_fp)
+            .filter_map(|(key, _)| {
+                let mask = spliced
+                    .iter()
+                    .find(|(config, _)| *config == key.options)
+                    .map(|(_, mask)| Arc::clone(mask))?;
+                let artifact = self.results.get(&key)?;
+                Some((key, artifact, mask))
+            })
+            .collect();
+        self.delta_refreshes.fetch_add(1, Ordering::Relaxed);
+        self.delta_rows_recomputed
+            .fetch_add(rows_total, Ordering::Relaxed);
+        let dropped = self.invalidate(old_fp);
+        RefreshOutcome::Warm { dropped, derive }
     }
 
     /// Drop one fingerprint from every tier: catalog entry (with memoized
@@ -370,6 +514,18 @@ impl ArtifactStore {
 
     pub fn admin_evictions(&self) -> u64 {
         self.admin_evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn delta_refreshes(&self) -> u64 {
+        self.delta_refreshes.load(Ordering::Relaxed)
+    }
+
+    pub fn delta_rows_recomputed(&self) -> u64 {
+        self.delta_rows_recomputed.load(Ordering::Relaxed)
+    }
+
+    pub fn delta_fallback_cold(&self) -> u64 {
+        self.delta_fallback_cold.load(Ordering::Relaxed)
     }
 
     pub fn compute_micros(&self) -> u64 {

@@ -459,6 +459,89 @@ fn admin_evict_round_trip_forces_the_next_request_cold() {
     server.shutdown();
 }
 
+/// Pull one labelled metric sample out of a Prometheus text exposition.
+fn labeled_metric(text: &str, name: &str, label: &str, value: &str) -> f64 {
+    let prefix = format!("{name}{{{label}=\"{value}\"}} ");
+    text.lines()
+        .find(|l| l.starts_with(&prefix))
+        .unwrap_or_else(|| panic!("sample {prefix}missing from:\n{text}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn admin_refresh_routes_deltas_and_drop_accounting_reconciles() {
+    let server = bind(default_config());
+    let mut client = Client::connect(server.local_addr());
+    let body = "{\"schema\":\"xmark\",\"k\":5}";
+    assert_eq!(client.post("/v1/summary", body).status, 200);
+
+    // Register the same schema with doubled cardinalities under a second
+    // name: a genuine delta that leaves every RC bit-identical, so the
+    // refresh rides the warm pure-rescale path (zero rows re-explored).
+    let (xg, xs, _) = xmark::schema(1.0);
+    let scaled = Arc::new(xs.scaled(2.0));
+    server
+        .service()
+        .register_named("xmark-v2", Arc::new(xg), scaled);
+
+    // Diff the two registered versions through the admin plane.
+    let reply = client.post("/admin/refresh", "{\"old\":\"xmark\",\"new\":\"xmark-v2\"}");
+    assert_eq!(reply.status, 200);
+    assert!(reply.text().contains("\"empty\":false"), "{}", reply.text());
+    assert!(reply.text().contains("\"warm\":true"), "{}", reply.text());
+    assert!(
+        reply.text().contains("\"rows_recomputed\":0"),
+        "{}",
+        reply.text()
+    );
+
+    // Malformed and unknown operands are clean client errors; the wrong
+    // method is 405, not 404.
+    assert_eq!(client.post("/admin/refresh", "{}").status, 400);
+    assert_eq!(
+        client
+            .post("/admin/refresh", "{\"old\":\"nope\",\"new\":\"xmark-v2\"}")
+            .status,
+        404
+    );
+    assert_eq!(client.get("/admin/refresh").status, 405);
+
+    // The delta counters are exposed, and every dropped result is
+    // accounted under exactly one cause: the labelled family sums to the
+    // three cause counters.
+    let text_reply = client.get("/metrics");
+    let text = text_reply.text();
+    assert_eq!(
+        metric(text, "schema_summary_delta_fallback_cold_total"),
+        0.0
+    );
+    assert!(metric(text, "schema_summary_delta_refreshes_total") >= 1.0);
+    let by_cause =
+        |cause: &str| labeled_metric(text, "schema_summary_results_dropped_total", "cause", cause);
+    assert_eq!(
+        by_cause("capacity"),
+        metric(text, "schema_summary_cache_evictions_total")
+    );
+    assert_eq!(
+        by_cause("invalidation"),
+        metric(text, "schema_summary_cache_invalidations_total")
+    );
+    assert_eq!(
+        by_cause("admin"),
+        metric(text, "schema_summary_cache_admin_evictions_total")
+    );
+    assert!(
+        by_cause("invalidation") >= 1.0,
+        "the refresh dropped a result"
+    );
+
+    server.shutdown();
+}
+
 #[test]
 fn graceful_shutdown_answers_buffered_requests_and_refuses_new_ones() {
     let server = bind(default_config());

@@ -140,19 +140,73 @@ fn corrupt_store_files_degrade_to_recompute() {
             damaged += 1;
         }
     }
-    assert!(damaged >= 2, "expected matrices + result spills, saw {damaged}");
+    assert!(
+        damaged >= 2,
+        "expected matrices + result spills, saw {damaged}"
+    );
 
     let second = service_over(&dir);
     second.register(Arc::clone(&graph), Arc::clone(&stats));
     let recomputed = second.summarize(fp, Algorithm::Balance, 8).unwrap();
-    assert!(!recomputed.from_cache, "corrupt files must not count as hits");
+    assert!(
+        !recomputed.from_cache,
+        "corrupt files must not count as hits"
+    );
     assert_eq!(*recomputed.result, *cold.result);
 
     let after = second.cache_stats();
     assert_eq!(after.misses, 1);
     assert_eq!(after.disk_hits, 0);
     assert!(after.disk_corrupt >= 1, "corruption must be counted");
-    assert_eq!(after.matrices_computed, 1, "matrices recomputed from scratch");
+    assert_eq!(
+        after.matrices_computed, 1,
+        "matrices recomputed from scratch"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Invalidation purges every tier: after a schema delta evicts a
+/// fingerprint, its spilled artifacts are gone from disk too —
+/// `disk_bytes` drops and no stale file can rehydrate under a dead
+/// fingerprint.
+#[test]
+fn invalidation_purges_the_disk_tier() {
+    let (graph, stats, _) = xmark::schema(0.25);
+    let (graph, stats) = (Arc::new(graph), Arc::new(stats));
+    let dir = fresh_store_dir("purge");
+
+    let service = service_over(&dir);
+    let name = "xmark";
+    let fp = service.register_named(name, Arc::clone(&graph), Arc::clone(&stats));
+    service.summarize(fp, Algorithm::Balance, 8).unwrap();
+    service
+        .multi_level(fp, Algorithm::Balance, &[6, 3])
+        .unwrap();
+    let before = service.cache_stats();
+    assert!(before.disk_bytes > 0, "artifacts must have spilled");
+    assert!(before.disk_writes >= 3, "matrices + two results spill");
+
+    // Swapping in schema-driven statistics moves every RC, so the plan
+    // wants every row — an oversized delta: the refresh falls back cold
+    // and must drop the old fingerprint from memory AND disk.
+    let uniform = Arc::new(schema_summary_core::SchemaStats::uniform(&graph));
+    let delta = service
+        .update_named(name, Arc::clone(&graph), uniform)
+        .unwrap();
+    assert!(!delta.is_empty());
+
+    let after = service.cache_stats();
+    assert_eq!(after.entries, 0, "in-memory results must be gone");
+    assert!(
+        after.disk_bytes < before.disk_bytes,
+        "disk_bytes must drop on invalidation ({} -> {})",
+        before.disk_bytes,
+        after.disk_bytes
+    );
+    assert_eq!(
+        after.disk_bytes, 0,
+        "the only spilled fingerprint was purged"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -168,14 +222,18 @@ fn restarted_service_answers_first_request_from_the_store() {
     let first = service_over(&dir);
     let fp = first.register(Arc::clone(&graph), Arc::clone(&stats));
     let flat = first.summarize(fp, Algorithm::Balance, 10).unwrap();
-    let ml = first.multi_level(fp, Algorithm::Balance, &[12, 6, 3]).unwrap();
+    let ml = first
+        .multi_level(fp, Algorithm::Balance, &[12, 6, 3])
+        .unwrap();
     assert_eq!(first.cache_stats().matrices_computed, 1);
     drop(first);
 
     let second = service_over(&dir);
     second.register(Arc::clone(&graph), Arc::clone(&stats));
     let warm_flat = second.summarize(fp, Algorithm::Balance, 10).unwrap();
-    let warm_ml = second.multi_level(fp, Algorithm::Balance, &[12, 6, 3]).unwrap();
+    let warm_ml = second
+        .multi_level(fp, Algorithm::Balance, &[12, 6, 3])
+        .unwrap();
     assert!(warm_flat.from_cache && warm_ml.from_cache);
     assert_eq!(*warm_flat.result, *flat.result);
     assert_eq!(*warm_ml.result, *ml.result);

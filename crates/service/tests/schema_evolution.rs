@@ -1,0 +1,91 @@
+//! End-to-end schema evolution over the MiMI version history (§6.1,
+//! Table 1): the schema never changes between April 2004, January 2005,
+//! and January 2006 — only the data volumes do — so a serving layer that
+//! tracks the catalog through `update_named` should ride the warm delta
+//! path across all three versions: matrices spliced rather than rebuilt,
+//! answers bit-identical to a cold service over the same version.
+
+use schema_summary_algo::Algorithm;
+use schema_summary_datasets::mimi::{self, Version};
+use schema_summary_service::{ServiceConfig, SummaryService};
+use std::sync::Arc;
+
+const K: usize = 8;
+const SIZES: [usize; 2] = [12, 6];
+
+/// Cold baseline: a fresh service computes one version from scratch.
+fn cold_answers(
+    version: Version,
+) -> (
+    schema_summary_core::SchemaFingerprint,
+    Arc<schema_summary_service::SummaryResult>,
+    Arc<schema_summary_service::MultiLevelArtifact>,
+) {
+    let service = SummaryService::default();
+    let (g, s, _) = mimi::schema(version);
+    let fp = service.register(Arc::new(g), Arc::new(s));
+    let flat = service.summarize(fp, Algorithm::Balance, K).unwrap();
+    let ml = service.multi_level(fp, Algorithm::Balance, &SIZES).unwrap();
+    assert_eq!(
+        service.cache_stats().matrices_computed,
+        1,
+        "each cold version costs one matrix build"
+    );
+    (fp, flat.result, ml.result)
+}
+
+#[test]
+fn mimi_version_history_rides_the_warm_path_bit_identically() {
+    // The MiMI deltas are cardinality-wide (every element's volume moves
+    // between versions), so the fraction guard must be open.
+    let warm = SummaryService::new(ServiceConfig {
+        delta_max_fraction: 1.0,
+        ..Default::default()
+    });
+    let (g, s, _) = mimi::schema(Version::Apr04);
+    let fp0 = warm.register_named("mimi", Arc::new(g), Arc::new(s));
+    warm.summarize(fp0, Algorithm::Balance, K).unwrap();
+    warm.multi_level(fp0, Algorithm::Balance, &SIZES).unwrap();
+    assert_eq!(warm.cache_stats().matrices_computed, 1);
+
+    // Roll the catalog forward twice; each step must refresh warm and
+    // leave the new version's answers already cached.
+    let mut served = Vec::new();
+    for version in [Version::Jan05, Version::Jan06] {
+        let (g, s, _) = mimi::schema(version);
+        let delta = warm.update_named("mimi", Arc::new(g), Arc::new(s)).unwrap();
+        assert!(!delta.is_empty(), "{version:?} must differ from its parent");
+        assert!(delta.changed_cardinalities.len() > 1);
+
+        let flat = warm
+            .summarize(delta.new_fingerprint, Algorithm::Balance, K)
+            .unwrap();
+        assert!(
+            flat.from_cache,
+            "{version:?} flat answer must be pre-derived"
+        );
+        let ml = warm
+            .multi_level(delta.new_fingerprint, Algorithm::Balance, &SIZES)
+            .unwrap();
+        assert!(ml.from_cache, "{version:?} stack must be pre-derived");
+        served.push((version, delta.new_fingerprint, flat.result, ml.result));
+    }
+
+    let stats = warm.cache_stats();
+    assert_eq!(stats.delta_refreshes, 2, "both rolls must be served warm");
+    assert_eq!(stats.delta_fallback_cold, 0);
+    assert!(stats.delta_rows_recomputed >= 2);
+    // The cold world pays one matrix build per version (three total); the
+    // warm world pays one, ever.
+    assert!(stats.matrices_computed < 3);
+    assert_eq!(stats.matrices_computed, 1);
+
+    // Every warm answer is bit-identical to a cold service over the same
+    // version's content.
+    for (version, fp, flat, ml) in &served {
+        let (cold_fp, cold_flat, cold_ml) = cold_answers(*version);
+        assert_eq!(*fp, cold_fp, "{version:?} fingerprints must agree");
+        assert_eq!(**flat, *cold_flat, "{version:?} flat answers must agree");
+        assert_eq!(**ml, *cold_ml, "{version:?} stacks must agree");
+    }
+}

@@ -11,7 +11,7 @@
 //!                          [--algorithm A] [--format json|md] [--out FILE]
 //! schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
 //!                          [--requests FILE] [--cache N] [--store-dir DIR]
-//!                          [--store-max-bytes N]
+//!                          [--store-max-bytes N] [--delta-max-fraction F]
 //!                          [--listen ADDR] [--http ADDR] [--workers N]
 //!                          [--queue N] [--max-conns N] [--timeout-ms N]
 //!                          [--log-requests true]
@@ -106,7 +106,7 @@ USAGE:
                            [--algorithm A] [--format json|md] [--out FILE]
   schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
                            [--requests FILE] [--cache N] [--store-dir DIR]
-                           [--store-max-bytes N]
+                           [--store-max-bytes N] [--delta-max-fraction F]
                            [--listen ADDR] [--http ADDR] [--workers N]
                            [--queue N] [--max-conns N] [--timeout-ms N]
                            [--log-requests true]
@@ -140,6 +140,11 @@ OPTIONS:
   --store-max-bytes N
                     (serve) cap the artifact tier at N bytes; over the
                     quota, the oldest artifacts are evicted first
+  --delta-max-fraction F
+                    (serve) warm-refresh schema deltas that touch at most
+                    this fraction of the elements; larger deltas fall back
+                    to cold invalidation (default 0.25; values outside
+                    (0, 1] disable the guard)
   --listen ADDR     (serve) serve line-delimited JSON over TCP on ADDR
                     (e.g. 127.0.0.1:7878) instead of a batch stream
   --http ADDR       (serve) serve the HTTP/1.1 API on ADDR (e.g.
@@ -361,10 +366,23 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
     if store_max_bytes.is_some() && store_dir.is_none() {
         return Err("--store-max-bytes requires --store-dir".into());
     }
+    let delta_max_fraction = match opts.get("delta-max-fraction") {
+        None => ServiceConfig::default().delta_max_fraction,
+        Some(v) => {
+            let f = v
+                .parse::<f64>()
+                .map_err(|_| format!("invalid --delta-max-fraction value '{v}'"))?;
+            if !f.is_finite() {
+                return Err(format!("invalid --delta-max-fraction value '{v}'"));
+            }
+            f
+        }
+    };
     let service = SummaryService::try_new(ServiceConfig {
         cache_capacity: capacity,
         store_dir: store_dir.clone(),
         store_max_bytes,
+        delta_max_fraction,
         ..Default::default()
     })
     .map_err(|e| format!("--store-dir: {e}"))?;
@@ -457,7 +475,10 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
                 let contents: Vec<&str> = if exp.level == 0 {
                     exp.elements.iter().map(|e| e.as_str()).collect()
                 } else {
-                    exp.children.iter().map(|g| g.representative.as_str()).collect()
+                    exp.children
+                        .iter()
+                        .map(|g| g.representative.as_str())
+                        .collect()
                 };
                 println!(
                     "#{n} alg={} expand l{}g{} {} {:>9.1?}  {} -> {}",
@@ -504,7 +525,10 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
 /// is killed. Overload is shed with structured `overloaded` errors
 /// (HTTP: `503`); slow requests are answered with `timeout` errors
 /// (HTTP: `504`) while the computation finishes and warms the cache.
-fn serve_socket(service: Arc<SummaryService>, opts: &HashMap<String, String>) -> Result<(), String> {
+fn serve_socket(
+    service: Arc<SummaryService>,
+    opts: &HashMap<String, String>,
+) -> Result<(), String> {
     let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
         match opts.get(key) {
             None => Ok(default),
@@ -557,7 +581,9 @@ fn serve_socket(service: Arc<SummaryService>, opts: &HashMap<String, String>) ->
         return Ok(());
     }
 
-    http_server.expect("socket mode requires --listen or --http").wait();
+    http_server
+        .expect("socket mode requires --listen or --http")
+        .wait();
     Ok(())
 }
 
@@ -570,8 +596,7 @@ fn export(opts: &HashMap<String, String>) -> Result<(), String> {
     let stats = Arc::new(load_stats(&graph, opts)?);
     let k = size_of(opts)?;
     let algorithm = algorithm_of(opts)?;
-    let service =
-        SummaryService::try_new(ServiceConfig::default()).map_err(|e| e.to_string())?;
+    let service = SummaryService::try_new(ServiceConfig::default()).map_err(|e| e.to_string())?;
     let name = graph.label(graph.root()).to_string();
     let fingerprint = service.register_named(&name, Arc::clone(&graph), stats);
     let summary = service
