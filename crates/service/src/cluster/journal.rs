@@ -1,0 +1,310 @@
+//! The catalog journal: a checksummed, append-only record of named
+//! schema registrations and retirements under `store_dir`, so a
+//! restarted node rehydrates its catalog instead of waiting for an
+//! embedder to re-register every schema.
+//!
+//! The disk artifact tier (`disk.rs`) already persists *derived* state —
+//! matrices and results — keyed by fingerprint; what it cannot recover
+//! is the catalog itself (which graphs exist, under which names). The
+//! journal closes that gap with the same envelope discipline: each
+//! record is `magic(8) kind(1) payload_len(8 LE) payload checksum(16)`,
+//! where the checksum is the 128-bit content fingerprint of everything
+//! between the magic and the checksum, exactly as artifact files are
+//! verified. Payloads are JSON: a `register` record carries the schema
+//! name, graph, and stats; a `retire` record carries a fingerprint whose
+//! content left the catalog (delta refresh, invalidation).
+//!
+//! Replay applies records in order — register, retire — reproducing the
+//! live sequence of catalog operations, and stops at the first damaged
+//! record: an append interrupted mid-write leaves a torn tail that is
+//! counted and ignored, never served, and overwritten by later appends.
+//! Replayed registrations then rehydrate their matrices from the disk
+//! tier as usual, so a restart recovers names, graphs, *and* warm
+//! artifacts with zero recomputation.
+
+use schema_summary_core::{SchemaFingerprint, SchemaGraph, SchemaStats};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal record magic: schema-summary catalog journal, version 1.
+const MAGIC: &[u8; 8] = b"SSUMCAT1";
+
+/// Kind byte for a named registration.
+const KIND_REGISTER: u8 = 1;
+/// Kind byte for a fingerprint retirement.
+const KIND_RETIRE: u8 = 2;
+
+/// File name under the store directory.
+const FILE_NAME: &str = "catalog.journal";
+
+/// One replayed catalog operation.
+#[derive(Debug)]
+pub(crate) enum JournalEntry {
+    /// `register_named(name, graph, stats)` happened.
+    Register {
+        /// The request-facing schema name.
+        name: String,
+        /// The registered annotated graph (boxed: a graph dwarfs the
+        /// retire variant, and replay moves entries around by value).
+        graph: Box<SchemaGraph>,
+        /// Its cardinality statistics.
+        stats: SchemaStats,
+    },
+    /// The fingerprint's content was invalidated out of the catalog.
+    Retire(SchemaFingerprint),
+}
+
+/// JSON payload of a register/retire record. One tolerant shape for
+/// both kinds keeps decoding simple: absent fields simply stay `None`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RecordPayload {
+    name: Option<String>,
+    graph: Option<SchemaGraph>,
+    stats: Option<SchemaStats>,
+    fingerprint: Option<String>,
+}
+
+/// An open, appendable catalog journal.
+pub(crate) struct CatalogJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl CatalogJournal {
+    /// The journal path under a store directory.
+    pub fn path_under(dir: &Path) -> PathBuf {
+        dir.join(FILE_NAME)
+    }
+
+    /// Open (creating if necessary) the journal for appending.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        let path = Self::path_under(dir);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(CatalogJournal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Append one framed record. Failures are reported but deliberately
+    /// non-fatal to the caller's request: a full disk must not take
+    /// serving down, it only costs rehydration fidelity on the next
+    /// restart.
+    fn append(&self, kind: u8, payload: &[u8]) {
+        let mut body = Vec::with_capacity(9 + payload.len());
+        body.push(kind);
+        body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        body.extend_from_slice(payload);
+        let checksum = SchemaFingerprint::of_bytes(&body).to_le_bytes();
+        let mut record = Vec::with_capacity(8 + body.len() + 16);
+        record.extend_from_slice(MAGIC);
+        record.extend_from_slice(&body);
+        record.extend_from_slice(&checksum);
+        let mut file = self.file.lock().expect("journal file poisoned");
+        if let Err(e) = file.write_all(&record).and_then(|()| file.flush()) {
+            eprintln!(
+                "schema-summary: catalog journal append failed ({}): {e}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Record a named registration.
+    pub fn append_register(&self, name: &str, graph: &SchemaGraph, stats: &SchemaStats) {
+        let payload = RecordPayload {
+            name: Some(name.to_string()),
+            graph: Some(graph.clone()),
+            stats: Some(stats.clone()),
+            fingerprint: None,
+        };
+        let json = serde_json::to_string(&payload).expect("journal payload serializes");
+        self.append(KIND_REGISTER, json.as_bytes());
+    }
+
+    /// Record a fingerprint retirement.
+    pub fn append_retire(&self, fingerprint: SchemaFingerprint) {
+        let payload = RecordPayload {
+            name: None,
+            graph: None,
+            stats: None,
+            fingerprint: Some(fingerprint.to_hex()),
+        };
+        let json = serde_json::to_string(&payload).expect("journal payload serializes");
+        self.append(KIND_RETIRE, json.as_bytes());
+    }
+
+    /// Replay the journal under `dir`. Returns the decoded operations in
+    /// append order plus the number of damaged records skipped (a
+    /// damaged record ends the replay: everything after a torn write is
+    /// unframed bytes).
+    pub fn replay(dir: &Path) -> (Vec<JournalEntry>, u64) {
+        let path = Self::path_under(dir);
+        let mut bytes = Vec::new();
+        match File::open(&path) {
+            Ok(mut file) => {
+                if file.read_to_end(&mut bytes).is_err() {
+                    return (Vec::new(), 1);
+                }
+            }
+            Err(_) => return (Vec::new(), 0),
+        }
+        let mut entries = Vec::new();
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            match decode_record(&bytes[offset..]) {
+                Some((entry, consumed)) => {
+                    if let Some(entry) = entry {
+                        entries.push(entry);
+                    }
+                    offset += consumed;
+                }
+                None => {
+                    eprintln!(
+                        "schema-summary: catalog journal damaged at byte {offset} ({}); \
+                         replay truncated",
+                        path.display()
+                    );
+                    return (entries, 1);
+                }
+            }
+        }
+        (entries, 0)
+    }
+}
+
+/// Decode one record at the head of `bytes`. Returns the entry (or
+/// `None` for a verified record of unknown kind — forward compatibility)
+/// and the bytes consumed; `None` overall means the frame is damaged.
+#[allow(clippy::type_complexity)]
+fn decode_record(bytes: &[u8]) -> Option<(Option<JournalEntry>, usize)> {
+    if bytes.len() < 8 + 9 + 16 || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let kind = bytes[8];
+    let payload_len = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes")) as usize;
+    let body_end = 17usize.checked_add(payload_len)?;
+    let record_end = body_end.checked_add(16)?;
+    if bytes.len() < record_end {
+        return None;
+    }
+    let body = &bytes[8..body_end];
+    let checksum =
+        SchemaFingerprint::from_le_bytes(bytes[body_end..record_end].try_into().expect("16 bytes"));
+    if SchemaFingerprint::of_bytes(body) != checksum {
+        return None;
+    }
+    let payload = &bytes[17..body_end];
+    let text = std::str::from_utf8(payload).ok()?;
+    let decoded: RecordPayload = serde_json::from_str(text).ok()?;
+    let entry = match kind {
+        KIND_REGISTER => match (decoded.name, decoded.graph, decoded.stats) {
+            (Some(name), Some(graph), Some(stats)) => Some(JournalEntry::Register {
+                name,
+                graph: Box::new(graph),
+                stats,
+            }),
+            _ => return None,
+        },
+        KIND_RETIRE => {
+            let hex = decoded.fingerprint?;
+            Some(JournalEntry::Retire(SchemaFingerprint::from_hex(&hex)?))
+        }
+        _ => None, // verified but unknown: skip, keep replaying
+    };
+    Some((entry, record_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "schema-summary-journal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fixture() -> (SchemaGraph, SchemaStats) {
+        let mut b = SchemaGraphBuilder::new("db");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        b.add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        let graph = b.build().unwrap();
+        let stats = SchemaStats::uniform(&graph);
+        (graph, stats)
+    }
+
+    #[test]
+    fn register_and_retire_round_trip_in_order() {
+        let dir = temp_dir("roundtrip");
+        let (graph, stats) = fixture();
+        let fp = SchemaFingerprint::of_bytes(b"gone");
+        {
+            let journal = CatalogJournal::open(&dir).unwrap();
+            journal.append_register("db", &graph, &stats);
+            journal.append_retire(fp);
+            journal.append_register("db2", &graph, &stats);
+        }
+        let (entries, corrupt) = CatalogJournal::replay(&dir);
+        assert_eq!(corrupt, 0);
+        assert_eq!(entries.len(), 3);
+        match &entries[0] {
+            JournalEntry::Register { name, graph: g, .. } => {
+                assert_eq!(name, "db");
+                assert_eq!(g.as_ref(), &graph);
+            }
+            other => panic!("expected register, got {other:?}"),
+        }
+        match &entries[1] {
+            JournalEntry::Retire(retired) => assert_eq!(*retired, fp),
+            other => panic!("expected retire, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_replays_empty() {
+        let dir = temp_dir("missing");
+        let (entries, corrupt) = CatalogJournal::replay(&dir);
+        assert!(entries.is_empty());
+        assert_eq!(corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_replay_without_losing_the_prefix() {
+        let dir = temp_dir("torn");
+        let (graph, stats) = fixture();
+        {
+            let journal = CatalogJournal::open(&dir).unwrap();
+            journal.append_register("db", &graph, &stats);
+            journal.append_register("db2", &graph, &stats);
+        }
+        // Tear the last record: chop bytes off the file's tail.
+        let path = CatalogJournal::path_under(&dir);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (entries, corrupt) = CatalogJournal::replay(&dir);
+        assert_eq!(corrupt, 1);
+        assert_eq!(entries.len(), 1, "the intact prefix survives");
+        // A flipped payload byte is caught by the checksum, not served.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let (entries, corrupt) = CatalogJournal::replay(&dir);
+        assert_eq!(corrupt, 1);
+        assert!(entries.len() <= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

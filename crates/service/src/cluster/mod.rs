@@ -1,0 +1,32 @@
+//! The cluster tier: scale-out primitives layered on the single-node
+//! serving stack.
+//!
+//! Three concerns live here, each deliberately small and std-only:
+//!
+//! * **Routing** ([`ring`], [`proxy`]) — a stateless router process maps
+//!   each request's schema identity onto an owner node via rendezvous
+//!   hashing and proxies it there, with rank-ordered failover when the
+//!   owner is down or shedding.
+//! * **Health** ([`probe`]) — per-node `/healthz` probing with
+//!   consecutive-failure ejection and probe-driven re-admission; routing
+//!   treats health as advice, falling back to ejected nodes rather than
+//!   refusing service.
+//! * **Durability** ([`journal`]) — a checksummed append-only catalog
+//!   journal under the store directory, replayed at startup so a
+//!   restarted node serves previously registered schemas without
+//!   re-registration.
+//!
+//! Cross-node invalidation (the admin fan-out) lives in the HTTP layer
+//! (`http::fanout`), since it is a node-side concern; it shares the
+//! [`client::NodeClient`] transport defined here.
+
+pub mod client;
+pub mod journal;
+pub mod probe;
+pub mod proxy;
+pub mod ring;
+
+pub use client::{ClientResponse, NodeClient};
+pub use probe::ProbeConfig;
+pub use proxy::{ClusterRouter, RouterConfig, RouterStats};
+pub use ring::RendezvousRing;

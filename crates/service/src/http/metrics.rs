@@ -9,13 +9,19 @@ use crate::http::HttpServerStats;
 use crate::service::{CacheStats, CatalogStats};
 use std::fmt::Write as _;
 
-fn family(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+pub(crate) fn family(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
     let _ = writeln!(out, "{name} {value}");
 }
 
-fn labeled(out: &mut String, name: &str, kind: &str, help: &str, samples: &[(&str, &str, u64)]) {
+pub(crate) fn labeled(
+    out: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+    samples: &[(&str, &str, u64)],
+) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
     for (label, value, sample) in samples {
@@ -167,6 +173,15 @@ pub(crate) fn render(cache: &CacheStats, catalog: &CatalogStats, http: &HttpServ
         cache.delta_fallback_cold,
     );
 
+    // Catalog durability.
+    family(
+        &mut out,
+        "schema_summary_catalog_rehydrated_total",
+        "counter",
+        "Named registrations replayed from the catalog journal at startup.",
+        cache.catalog_rehydrated,
+    );
+
     // Disk tier.
     family(
         &mut out,
@@ -246,6 +261,22 @@ pub(crate) fn render(cache: &CacheStats, catalog: &CatalogStats, http: &HttpServ
         "gauge",
         "HTTP connections currently open.",
         http.active_connections as u64,
+    );
+
+    // Cross-node invalidation.
+    family(
+        &mut out,
+        "schema_summary_fanout_sent_total",
+        "counter",
+        "Admin broadcasts delivered to peers (2xx or 404).",
+        http.fanout_sent,
+    );
+    family(
+        &mut out,
+        "schema_summary_fanout_failed_total",
+        "counter",
+        "Admin broadcasts that failed to reach a peer.",
+        http.fanout_failed,
     );
     out
 }

@@ -16,6 +16,7 @@
 //!   shared listener plumbing, with summary computation on the bounded
 //!   worker pool (`503` when the queue is full, `504` on timeout).
 
+pub(crate) mod fanout;
 pub(crate) mod metrics;
 pub(crate) mod request;
 pub(crate) mod response;
@@ -44,6 +45,11 @@ pub struct HttpConfig {
     /// Emit a one-line audit record per request (method, target, status,
     /// latency) on stderr.
     pub log_requests: bool,
+    /// Peer node addresses (`host:port`) for cross-node invalidation:
+    /// locally initiated `POST /admin/evict` and `POST /admin/refresh`
+    /// are re-broadcast to each peer after applying locally. Empty in
+    /// single-node deployments.
+    pub peers: Vec<String>,
 }
 
 impl Default for HttpConfig {
@@ -54,6 +60,7 @@ impl Default for HttpConfig {
             max_connections: 64,
             request_timeout: Duration::from_secs(10),
             log_requests: false,
+            peers: Vec::new(),
         }
     }
 }
@@ -74,14 +81,23 @@ pub struct HttpServerStats {
     pub timed_out: u64,
     /// Connections currently open.
     pub active_connections: usize,
+    /// Admin broadcasts delivered to peers (2xx or 404).
+    pub fanout_sent: u64,
+    /// Admin broadcasts that failed to reach a peer.
+    pub fanout_failed: u64,
 }
 
 impl fmt::Display for HttpServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} accepted, {} served, {} shed, {} timed out, {} active",
-            self.accepted, self.served, self.shed, self.timed_out, self.active_connections
+            "{} accepted, {} served, {} shed, {} timed out, {} active, {} fanned out",
+            self.accepted,
+            self.served,
+            self.shed,
+            self.timed_out,
+            self.active_connections,
+            self.fanout_sent
         )
     }
 }

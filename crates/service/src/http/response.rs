@@ -12,6 +12,9 @@ pub(crate) struct HttpResponse {
     /// Force `Connection: close` regardless of what the client asked for
     /// (parse errors, shedding — states where reading on is unsafe).
     pub close: bool,
+    /// `Allow` header value for `405 Method Not Allowed` responses
+    /// (RFC 9110 §10.2.1 requires one), `None` everywhere else.
+    pub allow: Option<&'static str>,
 }
 
 impl HttpResponse {
@@ -22,6 +25,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: body.into_bytes(),
             close: false,
+            allow: None,
         }
     }
 
@@ -32,6 +36,7 @@ impl HttpResponse {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             close: false,
+            allow: None,
         }
     }
 
@@ -63,8 +68,12 @@ impl HttpResponse {
         } else {
             "close"
         };
+        let allow = match self.allow {
+            Some(methods) => format!("Allow: {methods}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: {connection}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
@@ -92,6 +101,7 @@ pub(crate) fn reason(status: u16) -> &'static str {
         413 => "Content Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
@@ -126,5 +136,19 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("\"kind\":\"malformed\""));
+    }
+
+    #[test]
+    fn allow_header_is_emitted_only_when_set() {
+        let mut out = Vec::new();
+        let mut r = HttpResponse::error(405, "method_not_allowed", "GET /v1/summary");
+        r.allow = Some("POST");
+        r.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: POST\r\n"));
+        let mut out = Vec::new();
+        HttpResponse::text(200, "ok\n").write_to(&mut out, true).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Allow:"));
     }
 }

@@ -19,6 +19,7 @@
 //! the queue is full, `504` on per-request timeout. Inspection endpoints
 //! answer inline — they read counters, not matrices.
 
+use crate::http::fanout::{Fanout, FANOUT_HEADER};
 use crate::http::metrics;
 use crate::http::request::HttpRequest;
 use crate::http::response::HttpResponse;
@@ -47,6 +48,20 @@ pub(crate) struct RouteContext<'a> {
     pub service: &'a Arc<SummaryService>,
     pub http_stats: crate::http::HttpServerStats,
     pub execute: &'a dyn Fn(SummaryRequest) -> ExecOutcome,
+    /// Peer broadcaster for admin mutations (`None` without peers).
+    pub fanout: Option<&'a Fanout>,
+}
+
+/// Re-broadcast a locally applied admin mutation to the peers — unless
+/// this request *was* a broadcast (the marker header stops loops) or
+/// the local application failed (propagating a rejected mutation would
+/// desynchronize peers from their own error handling).
+fn propagate(ctx: &RouteContext<'_>, req: &HttpRequest, response: &HttpResponse) {
+    if response.status == 200 && req.header(FANOUT_HEADER).is_none() {
+        if let Some(fanout) = ctx.fanout {
+            fanout.broadcast(req.path(), &req.body);
+        }
+    }
 }
 
 fn status_of(e: &ServiceError) -> u16 {
@@ -330,7 +345,13 @@ pub(crate) fn route(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
                 Err(resp) => resp,
             }
         }
-        ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
+        ("GET", "/healthz") => HttpResponse::text(
+            200,
+            format!(
+                "ok role=node peers={}\n",
+                ctx.fanout.map_or(0, Fanout::peer_count)
+            ),
+        ),
         ("GET", "/metrics") => HttpResponse::text(
             200,
             metrics::render(
@@ -341,21 +362,34 @@ pub(crate) fn route(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
         ),
         ("GET", p) if p.starts_with("/v1/export/") => export(ctx, req),
         ("GET", "/admin/cache") => admin_cache(ctx),
-        ("POST", "/admin/evict") => admin_evict(ctx, &req.body),
-        ("POST", "/admin/refresh") => admin_refresh(ctx, &req.body),
-        // Known paths with the wrong method are 405, everything else 404.
-        (
-            _,
-            "/v1/summary" | "/v1/levels" | "/v1/expand" | "/healthz" | "/metrics" | "/admin/cache"
-            | "/admin/evict" | "/admin/refresh",
-        ) => HttpResponse::error(
-            405,
-            "method_not_allowed",
-            format!("{} {}", req.method, path),
-        ),
-        (m, p) if p.starts_with("/v1/export/") && m != "GET" => {
-            HttpResponse::error(405, "method_not_allowed", format!("{m} {p}"))
+        ("POST", "/admin/evict") => {
+            let response = admin_evict(ctx, &req.body);
+            propagate(ctx, req, &response);
+            response
         }
+        ("POST", "/admin/refresh") => {
+            let response = admin_refresh(ctx, &req.body);
+            propagate(ctx, req, &response);
+            response
+        }
+        // Known paths with the wrong method are 405 with an `Allow`
+        // header naming the method that would work; everything else 404.
+        (_, "/v1/summary" | "/v1/levels" | "/v1/expand" | "/admin/evict" | "/admin/refresh") => {
+            method_not_allowed(req, "POST")
+        }
+        (_, "/healthz" | "/metrics" | "/admin/cache") => method_not_allowed(req, "GET"),
+        (m, p) if p.starts_with("/v1/export/") && m != "GET" => method_not_allowed(req, "GET"),
         _ => HttpResponse::error(404, "not_found", format!("no route for {path}")),
     }
+}
+
+/// A `405` naming the method the path supports, per RFC 9110 §10.2.1.
+fn method_not_allowed(req: &HttpRequest, allow: &'static str) -> HttpResponse {
+    let mut resp = HttpResponse::error(
+        405,
+        "method_not_allowed",
+        format!("{} {}", req.method, req.path()),
+    );
+    resp.allow = Some(allow);
+    resp
 }

@@ -11,6 +11,7 @@
 //! connection ends, because the byte stream can no longer be trusted to
 //! be request-aligned.
 
+use crate::http::fanout::Fanout;
 use crate::http::request::{parse_request, ParseError, ParseOutcome};
 use crate::http::response::HttpResponse;
 use crate::http::router::{route, ExecOutcome, RouteContext};
@@ -32,6 +33,8 @@ struct Inner {
     plumbing: Arc<ConnectionPlumbing>,
     served: AtomicU64,
     timed_out: AtomicU64,
+    /// Peer broadcaster for admin mutations; `None` without `--peer`s.
+    fanout: Option<Fanout>,
 }
 
 impl Inner {
@@ -42,6 +45,8 @@ impl Inner {
             shed: self.plumbing.shed(),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             active_connections: self.plumbing.active(),
+            fanout_sent: self.fanout.as_ref().map_or(0, Fanout::sent),
+            fanout_failed: self.fanout.as_ref().map_or(0, Fanout::failed),
         }
     }
 
@@ -74,6 +79,7 @@ impl Inner {
             service: &self.service,
             http_stats: self.stats(),
             execute: &|request| self.execute(request),
+            fanout: self.fanout.as_ref(),
         };
         let response = route(&ctx, req);
         self.served.fetch_add(1, Ordering::Relaxed);
@@ -176,6 +182,11 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let fanout = if config.peers.is_empty() {
+            None
+        } else {
+            Some(Fanout::new(config.peers.clone(), config.request_timeout))
+        };
         let inner = Arc::new(Inner {
             service,
             pool: WorkerPool::new(config.workers, config.queue_capacity),
@@ -183,6 +194,7 @@ impl HttpServer {
             config,
             served: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            fanout,
         });
         let accept_inner = Arc::clone(&inner);
         let accept_thread = std::thread::spawn(move || {

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+pub mod cluster;
 mod disk;
 pub mod export;
 pub mod http;
@@ -74,6 +75,7 @@ pub mod service;
 mod store;
 
 pub use catalog::{Artifacts, CatalogEntry, SchemaCatalog};
+pub use cluster::{ClusterRouter, ProbeConfig, RendezvousRing, RouterConfig, RouterStats};
 pub use export::{ExportElement, SummaryExport};
 pub use http::{HttpConfig, HttpServer, HttpServerStats};
 pub use server::{ServerConfig, ServerReply, ServerStats, SummaryServer, WireError};

@@ -4,6 +4,7 @@
 //! delta-driven invalidation.
 
 use crate::catalog::SchemaCatalog;
+use crate::cluster::journal::{CatalogJournal, JournalEntry};
 use crate::disk::DiskTier;
 use crate::export::{ExportElement, SummaryExport};
 use crate::store::{ArtifactStore, CachedArtifact, RefreshOutcome, ResultKey, ResultShape};
@@ -19,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Service construction parameters.
@@ -312,6 +314,10 @@ pub struct CacheStats {
     /// to a cold invalidation (structural change, oversized footprint,
     /// unregistered fingerprint, or nothing spliceable).
     pub delta_fallback_cold: u64,
+    /// Named registrations rehydrated from the catalog journal at
+    /// startup (0 when the service has no store directory or the journal
+    /// was empty).
+    pub catalog_rehydrated: u64,
 }
 
 impl CacheStats {
@@ -364,6 +370,11 @@ pub struct SummaryService {
     config: ServiceConfig,
     names: RwLock<HashMap<String, SchemaFingerprint>>,
     store: ArtifactStore,
+    /// Append-only catalog journal (store-dir deployments only), replayed
+    /// at startup so names and graphs survive restarts.
+    journal: Option<CatalogJournal>,
+    /// Named registrations recovered from the journal at startup.
+    rehydrated: AtomicU64,
 }
 
 impl Default for SummaryService {
@@ -399,11 +410,31 @@ impl SummaryService {
             config.catalog_shards,
             disk,
         );
-        Ok(SummaryService {
+        let mut service = SummaryService {
             config,
             names: RwLock::new(HashMap::new()),
             store,
-        })
+            journal: None,
+            rehydrated: AtomicU64::new(0),
+        };
+        if let Some(dir) = service.config.store_dir.clone() {
+            // Replay before installing the journal, so rehydration does
+            // not re-append what it reads.
+            let (entries, _damaged) = CatalogJournal::replay(&dir);
+            for entry in entries {
+                match entry {
+                    JournalEntry::Register { name, graph, stats } => {
+                        service.register_named_inner(name, Arc::new(*graph), Arc::new(stats), false);
+                        service.rehydrated.fetch_add(1, Ordering::Relaxed);
+                    }
+                    JournalEntry::Retire(fingerprint) => {
+                        service.store.invalidate(fingerprint);
+                    }
+                }
+            }
+            service.journal = Some(CatalogJournal::open(&dir)?);
+        }
+        Ok(service)
     }
 
     /// The catalog backing this service.
@@ -426,11 +457,32 @@ impl SummaryService {
         graph: Arc<SchemaGraph>,
         stats: Arc<SchemaStats>,
     ) -> SchemaFingerprint {
-        let fp = self.register(graph, stats);
-        self.names
+        self.register_named_inner(name.into(), graph, stats, true)
+    }
+
+    /// Shared body of [`SummaryService::register_named`] and journal
+    /// replay: `journal: false` suppresses the append (replay must not
+    /// re-write what it reads), and a name that already maps to the same
+    /// content appends nothing (an embedder re-registering after a
+    /// restart would otherwise grow the journal by one record per boot).
+    fn register_named_inner(
+        &self,
+        name: String,
+        graph: Arc<SchemaGraph>,
+        stats: Arc<SchemaStats>,
+        journal: bool,
+    ) -> SchemaFingerprint {
+        let fp = self.register(Arc::clone(&graph), Arc::clone(&stats));
+        let prior = self
+            .names
             .write()
             .expect("names poisoned")
-            .insert(name.into(), fp);
+            .insert(name.clone(), fp);
+        if journal && prior != Some(fp) {
+            if let Some(journal) = &self.journal {
+                journal.append_register(&name, &graph, &stats);
+            }
+        }
         fp
     }
 
@@ -811,7 +863,11 @@ impl SummaryService {
     /// memoized artifacts), every cached result computed from it, and its
     /// spilled files. Returns the number of cached results dropped.
     pub fn invalidate(&self, fingerprint: SchemaFingerprint) -> usize {
-        self.store.invalidate(fingerprint)
+        let dropped = self.store.invalidate(fingerprint);
+        if let Some(journal) = &self.journal {
+            journal.append_retire(fingerprint);
+        }
+        dropped
     }
 
     /// Maintenance hook for schema deltas (`schema_summary_core::diff`).
@@ -833,8 +889,16 @@ impl SummaryService {
             self.config.delta_max_fraction,
         ) {
             RefreshOutcome::Noop => 0,
-            RefreshOutcome::Cold(dropped) => dropped,
+            RefreshOutcome::Cold(dropped) => {
+                if let Some(journal) = &self.journal {
+                    journal.append_retire(delta.old_fingerprint);
+                }
+                dropped
+            }
             RefreshOutcome::Warm { dropped, derive } => {
+                if let Some(journal) = &self.journal {
+                    journal.append_retire(delta.old_fingerprint);
+                }
                 for (old_key, old_artifact, row_changed) in derive {
                     self.derive_result(
                         &old_key,
@@ -1010,6 +1074,7 @@ impl SummaryService {
             delta_refreshes: self.store.delta_refreshes(),
             delta_rows_recomputed: self.store.delta_rows_recomputed(),
             delta_fallback_cold: self.store.delta_fallback_cold(),
+            catalog_rehydrated: self.rehydrated.load(Ordering::Relaxed),
         }
     }
 

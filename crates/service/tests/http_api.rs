@@ -30,6 +30,7 @@ fn default_config() -> HttpConfig {
         max_connections: 16,
         request_timeout: Duration::from_secs(60),
         log_requests: false,
+        peers: Vec::new(),
     }
 }
 
@@ -217,9 +218,23 @@ fn routes_summary_levels_expand_export_health_on_one_connection() {
 
     // Health, unknown paths, wrong methods, bad shapes.
     let reply = client.get("/healthz");
-    assert_eq!((reply.status, reply.text()), (200, "ok\n"));
+    assert_eq!(
+        (reply.status, reply.text()),
+        (200, "ok role=node peers=0\n")
+    );
     assert_eq!(client.get("/nope").status, 404);
-    assert_eq!(client.get("/v1/summary").status, 405);
+    // Wrong method on a known path: 405 with an Allow header naming the
+    // method that would have worked (RFC 9110 §10.2.1).
+    let reply = client.get("/v1/summary");
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.header("allow"), Some("POST"));
+    let reply = client.post("/metrics", "{}");
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.header("allow"), Some("GET"));
+    let reply = client.post("/v1/export/xmark", "{}");
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.header("allow"), Some("GET"));
+    assert!(client.get("/nope").header("allow").is_none());
     assert_eq!(
         client
             .post("/v1/summary", "{\"schema\":\"nope\",\"k\":3}")
@@ -395,6 +410,34 @@ fn metrics_expose_cache_and_server_counters_after_a_cold_warm_pair() {
     assert!(metric(text, "schema_summary_http_accepted_total") >= 1.0);
     assert!(metric(text, "schema_summary_http_served_total") >= 2.0);
     assert_eq!(metric(text, "schema_summary_http_active_connections"), 1.0);
+
+    // Per-shard catalog occupancy: one labelled gauge sample per shard,
+    // summing to the registered-schema gauge.
+    assert!(text.contains("# TYPE schema_summary_catalog_shard_entries gauge"));
+    let shard_sum = |name: &str| -> f64 {
+        text.lines()
+            .filter(|l| l.starts_with(&format!("{name}{{shard=\"")))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .sum()
+    };
+    let catalog_shards = text
+        .lines()
+        .filter(|l| l.starts_with("schema_summary_catalog_shard_entries{shard=\""))
+        .count();
+    assert!(catalog_shards >= 1, "at least one catalog shard sample");
+    assert_eq!(
+        shard_sum("schema_summary_catalog_shard_entries"),
+        metric(text, "schema_summary_schemas")
+    );
+    assert_eq!(
+        shard_sum("schema_summary_result_shard_entries"),
+        metric(text, "schema_summary_cache_entries")
+    );
+
+    // Cluster families exist (and are zero) on a single-node deployment.
+    assert_eq!(metric(text, "schema_summary_catalog_rehydrated_total"), 0.0);
+    assert_eq!(metric(text, "schema_summary_fanout_sent_total"), 0.0);
+    assert_eq!(metric(text, "schema_summary_fanout_failed_total"), 0.0);
 
     server.shutdown();
 }

@@ -12,8 +12,13 @@
 //! schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
 //!                          [--requests FILE] [--cache N] [--store-dir DIR]
 //!                          [--store-max-bytes N] [--delta-max-fraction F]
-//!                          [--listen ADDR] [--http ADDR] [--workers N]
-//!                          [--queue N] [--max-conns N] [--timeout-ms N]
+//!                          [--listen ADDR] [--http ADDR] [--peer URL]...
+//!                          [--workers N] [--queue N] [--max-conns N]
+//!                          [--timeout-ms N] [--log-requests true]
+//! schema-summary route     --http ADDR --node URL [--node URL]...
+//!                          [--retries N] [--retry-backoff-ms N]
+//!                          [--probe-interval-ms N] [--eject-after N]
+//!                          [--max-conns N] [--timeout-ms N]
 //!                          [--log-requests true]
 //! ```
 //!
@@ -40,8 +45,8 @@ use schema_summary_io::{
     summary_to_markdown,
 };
 use schema_summary_service::{
-    HttpConfig, HttpServer, ServedReply, ServerConfig, ServiceConfig, SummaryRequest,
-    SummaryServer, SummaryService,
+    ClusterRouter, HttpConfig, HttpServer, ProbeConfig, RouterConfig, ServedReply, ServerConfig,
+    ServiceConfig, SummaryRequest, SummaryServer, SummaryService,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -82,6 +87,7 @@ fn run() -> Result<(), String> {
         "discover" => discover(&opts),
         "export" => export(&opts),
         "serve" => serve(&opts),
+        "route" => route(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -107,8 +113,13 @@ USAGE:
   schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
                            [--requests FILE] [--cache N] [--store-dir DIR]
                            [--store-max-bytes N] [--delta-max-fraction F]
-                           [--listen ADDR] [--http ADDR] [--workers N]
-                           [--queue N] [--max-conns N] [--timeout-ms N]
+                           [--listen ADDR] [--http ADDR] [--peer URL]...
+                           [--workers N] [--queue N] [--max-conns N]
+                           [--timeout-ms N] [--log-requests true]
+  schema-summary route     --http ADDR --node URL [--node URL]...
+                           [--retries N] [--retry-backoff-ms N]
+                           [--probe-interval-ms N] [--eject-after N]
+                           [--max-conns N] [--timeout-ms N]
                            [--log-requests true]
 
 OPTIONS:
@@ -143,8 +154,7 @@ OPTIONS:
   --delta-max-fraction F
                     (serve) warm-refresh schema deltas that touch at most
                     this fraction of the elements; larger deltas fall back
-                    to cold invalidation (default 0.25; values outside
-                    (0, 1] disable the guard)
+                    to cold invalidation (default 0.25; must be in (0, 1])
   --listen ADDR     (serve) serve line-delimited JSON over TCP on ADDR
                     (e.g. 127.0.0.1:7878) instead of a batch stream
   --http ADDR       (serve) serve the HTTP/1.1 API on ADDR (e.g.
@@ -159,12 +169,27 @@ OPTIONS:
   --timeout-ms N    (serve, socket) per-request wall-clock budget in
                     milliseconds (default 10000)
   --log-requests true
-                    (serve --http) one-line audit record per request on
-                    stderr: peer, method, target, status, latency
+                    (serve --http, route) one-line audit record per
+                    request on stderr: peer, method, target, status,
+                    latency
+  --peer URL        (serve --http) peer node for cross-node invalidation:
+                    locally initiated POST /admin/evict and /admin/refresh
+                    are re-broadcast to each peer; repeatable
+  --node URL        (route) cluster node behind the router; repeatable,
+                    same list (any order) on every router
+  --retries N       (route) extra nodes tried after the rendezvous owner
+                    fails or sheds, next-ranked first (default 2)
+  --retry-backoff-ms N
+                    (route) backoff before the n-th failover attempt is
+                    n * this many milliseconds (default 20)
+  --probe-interval-ms N
+                    (route) health-probe cadence per node (default 1000)
+  --eject-after N   (route) consecutive failures before a node leaves the
+                    rotation until a probe readmits it (default 3)
 ";
 
 fn parse_opts(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
-    let mut opts = HashMap::new();
+    let mut opts: HashMap<String, String> = HashMap::new();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         if !flag.starts_with('-') {
@@ -174,9 +199,54 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Result<HashMap<String, Stri
         let value = args
             .next()
             .ok_or_else(|| format!("flag '{flag}' needs a value"))?;
-        opts.insert(key, value);
+        // Repeatable flags (--node, --peer) accumulate comma-separated;
+        // consumers that only admit one value parse the joined string and
+        // fail loudly rather than silently dropping earlier occurrences.
+        match opts.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut prior) => {
+                let joined = prior.get_mut();
+                joined.push(',');
+                joined.push_str(&value);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+            }
+        }
     }
     Ok(opts)
+}
+
+/// Split a repeatable flag's accumulated value (`a,b,c`) into its items.
+fn split_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+/// Parse and validate `--delta-max-fraction`: the warm-refresh guard is a
+/// fraction of the schema's elements, so NaN and anything outside
+/// `(0, 1]` is a configuration mistake, rejected at startup rather than
+/// silently disabling the guard at request time.
+fn delta_fraction_of(opts: &HashMap<String, String>) -> Result<f64, String> {
+    match opts.get("delta-max-fraction") {
+        None => Ok(ServiceConfig::default().delta_max_fraction),
+        Some(v) => {
+            let f = v
+                .parse::<f64>()
+                .map_err(|_| format!("invalid --delta-max-fraction value '{v}'"))?;
+            // `f > 0.0` is false for NaN, so this also rejects NaN.
+            if f > 0.0 && f <= 1.0 {
+                Ok(f)
+            } else {
+                Err(format!(
+                    "--delta-max-fraction must be in (0, 1], got '{v}'"
+                ))
+            }
+        }
+    }
 }
 
 fn load_schema(opts: &HashMap<String, String>) -> Result<SchemaGraph, String> {
@@ -366,18 +436,7 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
     if store_max_bytes.is_some() && store_dir.is_none() {
         return Err("--store-max-bytes requires --store-dir".into());
     }
-    let delta_max_fraction = match opts.get("delta-max-fraction") {
-        None => ServiceConfig::default().delta_max_fraction,
-        Some(v) => {
-            let f = v
-                .parse::<f64>()
-                .map_err(|_| format!("invalid --delta-max-fraction value '{v}'"))?;
-            if !f.is_finite() {
-                return Err(format!("invalid --delta-max-fraction value '{v}'"));
-            }
-            f
-        }
-    };
+    let delta_max_fraction = delta_fraction_of(opts)?;
     let service = SummaryService::try_new(ServiceConfig {
         cache_capacity: capacity,
         store_dir: store_dir.clone(),
@@ -553,6 +612,7 @@ fn serve_socket(
                 max_connections,
                 request_timeout,
                 log_requests: opts.get("log-requests").map(String::as_str) == Some("true"),
+                peers: opts.get("peer").map(|v| split_list(v)).unwrap_or_default(),
             };
             let server = HttpServer::bind(addr, Arc::clone(&service), config)
                 .map_err(|e| format!("{addr}: {e}"))?;
@@ -584,6 +644,66 @@ fn serve_socket(
     http_server
         .expect("socket mode requires --listen or --http")
         .wait();
+    Ok(())
+}
+
+/// Cluster router mode: no schema is loaded and nothing is computed —
+/// the process maps each request's schema identity onto its rendezvous
+/// owner among the `--node`s and proxies it there, with rank-ordered
+/// failover and background health probing. Blocks until killed.
+fn route(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("http")
+        .ok_or("route requires --http ADDR (e.g. --http 127.0.0.1:8000)")?;
+    let nodes = opts
+        .get("node")
+        .map(|v| split_list(v))
+        .unwrap_or_default();
+    if nodes.is_empty() {
+        return Err("route requires at least one --node URL".into());
+    }
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        match opts.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid --{key} value '{v}'")),
+        }
+    };
+    let defaults = RouterConfig::default();
+    let probe_defaults = ProbeConfig::default();
+    let config = RouterConfig {
+        nodes: nodes.clone(),
+        max_connections: parse_u64("max-conns", defaults.max_connections as u64)? as usize,
+        retries: parse_u64("retries", defaults.retries as u64)? as usize,
+        retry_backoff: std::time::Duration::from_millis(parse_u64(
+            "retry-backoff-ms",
+            defaults.retry_backoff.as_millis() as u64,
+        )?),
+        request_timeout: std::time::Duration::from_millis(parse_u64(
+            "timeout-ms",
+            defaults.request_timeout.as_millis() as u64,
+        )?),
+        probe: ProbeConfig {
+            interval: std::time::Duration::from_millis(parse_u64(
+                "probe-interval-ms",
+                probe_defaults.interval.as_millis() as u64,
+            )?),
+            eject_after: parse_u64("eject-after", u64::from(probe_defaults.eject_after))? as u32,
+            timeout: probe_defaults.timeout,
+        },
+        log_requests: opts.get("log-requests").map(String::as_str) == Some("true"),
+    };
+    let retries = config.retries;
+    let router = ClusterRouter::bind(addr.as_str(), config).map_err(|e| format!("{addr}: {e}"))?;
+    println!(
+        "routing on {} over {} nodes ({} retries): {}",
+        router.local_addr(),
+        nodes.len(),
+        retries,
+        nodes.join(", ")
+    );
+    router.wait();
     Ok(())
 }
 
@@ -640,6 +760,41 @@ mod tests {
     fn parse_opts_rejects_bare_arguments_and_dangling_flags() {
         assert!(parse_opts(["stray"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_opts(["--xsd"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn parse_opts_accumulates_repeated_flags() {
+        let parsed = parse_opts(
+            ["--node", "a:1", "--node", "b:2", "--node", "c:3"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(parsed["node"], "a:1,b:2,c:3");
+        assert_eq!(split_list(&parsed["node"]), vec!["a:1", "b:2", "c:3"]);
+        assert_eq!(split_list(" a:1 , , b:2 "), vec!["a:1", "b:2"]);
+    }
+
+    #[test]
+    fn delta_fraction_accepts_only_the_half_open_unit_interval() {
+        assert_eq!(
+            delta_fraction_of(&opts(&[])).unwrap(),
+            ServiceConfig::default().delta_max_fraction
+        );
+        assert_eq!(
+            delta_fraction_of(&opts(&[("delta-max-fraction", "0.5")])).unwrap(),
+            0.5
+        );
+        assert_eq!(
+            delta_fraction_of(&opts(&[("delta-max-fraction", "1")])).unwrap(),
+            1.0
+        );
+        for bad in ["0", "-0.25", "1.5", "NaN", "inf", "-inf", "pumpkin"] {
+            assert!(
+                delta_fraction_of(&opts(&[("delta-max-fraction", bad)])).is_err(),
+                "'{bad}' must be rejected"
+            );
+        }
     }
 
     #[test]
