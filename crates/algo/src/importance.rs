@@ -187,9 +187,15 @@ pub fn compute_importance(
 /// Note the trade-off: the seeded restart converges to the *same ε-ball*
 /// as a cold run but generally stops at a *different point inside it*
 /// (the stopping rule sees different iterates), so the scores are
-/// epsilon-close, not bit-identical. The serving layer therefore uses
-/// this for monitoring and advisory refreshes, while bit-exact paths
-/// recompute importance cold — which is cheap next to the matrices.
+/// epsilon-close, not bit-identical. The serving layer's warm delta path
+/// accepts exactly that contract: it seeds each new schema version's
+/// fixpoint from the previous version's vector (mass conserved exactly,
+/// scores within the `ImportanceConfig::epsilon` ball, a fraction of the
+/// cold iterations) while keeping matrices and coverage bit-exact.
+///
+/// Seeded restarts run the Aitken-accelerated iteration (see
+/// [`iterate_accelerated`]): the exit condition is unchanged — only the
+/// trajectory toward it is shortened.
 pub fn compute_importance_from(
     graph: &SchemaGraph,
     stats: &SchemaStats,
@@ -205,7 +211,58 @@ pub fn compute_importance_from(
     }
     let scale = stats.total_card() / prev_total;
     let init: Vec<f64> = previous.iter().map(|&v| v * scale).collect();
-    iterate(graph, stats, init, config)
+    iterate_accelerated(graph, stats, init, config)
+}
+
+/// Seeded restart across a *data* delta, rebasing the previous fixpoint by
+/// each element's cardinality ratio before iterating.
+///
+/// A uniformly rescaled old vector is a poor seed when the delta grows
+/// elements non-uniformly: Formula 1's mixing is slow (the transition
+/// matrix's second eigenvalue is close to 1), so the iteration takes a
+/// long time to move mass between regions whose relative volume shifted.
+/// Rebasing each element by `card_new / card_old` applies that shift
+/// directly — the iteration then only has to smooth out the local
+/// redistribution, which the per-step stopping rule accepts within a few
+/// rounds. Elements the old statistics had at zero cardinality fall back
+/// to their cold init (`card_new`), and the whole seed is rescaled so its
+/// mass equals the new total cardinality exactly.
+///
+/// Falls back to [`compute_importance_from`] when the statistics disagree
+/// on element count, with the same degenerate-seed guards otherwise.
+pub fn compute_importance_rebased(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    previous: &[f64],
+    previous_stats: &SchemaStats,
+    config: &ImportanceConfig,
+) -> ImportanceResult {
+    if previous_stats.len() != stats.len() {
+        return compute_importance_from(graph, stats, previous, config);
+    }
+    if previous.len() != graph.len() || config.mode != ImportanceMode::DataAndSchema {
+        return compute_importance(graph, stats, config);
+    }
+    let mut init: Vec<f64> = (0..graph.len())
+        .map(|i| {
+            let e = ElementId(i as u32);
+            let old_card = previous_stats.card(e);
+            if old_card > 0.0 {
+                previous[i] * (stats.card(e) / old_card)
+            } else {
+                stats.card(e)
+            }
+        })
+        .collect();
+    let total: f64 = init.iter().sum();
+    if !(total.is_finite() && total > 0.0) {
+        return compute_importance(graph, stats, config);
+    }
+    let scale = stats.total_card() / total;
+    for v in &mut init {
+        *v *= scale;
+    }
+    iterate_accelerated(graph, stats, init, config)
 }
 
 /// Run the Formula-1 iteration from an explicit initial mass vector
@@ -219,67 +276,216 @@ pub(crate) fn iterate_from(
     iterate(graph, stats, init, config)
 }
 
+/// Loop-invariant state of the Formula-1 iteration: the donor masses and
+/// the precomputed per-edge weight lane, built once and reused by every
+/// round of the plain and accelerated drivers.
+struct IterKernel<'a> {
+    stats: &'a SchemaStats,
+    /// `rc_sum(j)` for donors, 0 for isolated elements (which keep all
+    /// their mass).
+    rc_mass: Vec<f64>,
+    /// Precomputed weight lane, parallel to the CSR edge lanes:
+    /// `weight[idx] = rc / rc_mass(row)` is loop-invariant across
+    /// iterations, so hoisting it replaces the per-edge division in the
+    /// hot pass with a multiply (`share · (rc / mass)` and
+    /// `share · weight` produce identical bits — the quotient is computed
+    /// once either way).
+    weights: Vec<f64>,
+    p: f64,
+    epsilon: f64,
+    /// Relative-change floor so zero-mass elements don't divide by zero.
+    tiny: f64,
+    n: usize,
+}
+
+impl<'a> IterKernel<'a> {
+    fn new(graph: &SchemaGraph, stats: &'a SchemaStats, init: &[f64], config: &ImportanceConfig) -> Self {
+        let n = graph.len();
+        // The iteration consumes the statistics' CSR adjacency directly:
+        // W(j → nb) = rc / rc_sum(j) per Formula 1, computed from the flat
+        // edge lanes instead of materializing a nested weight table. An
+        // element donates only when it has neighbors and positive RC mass;
+        // otherwise it keeps everything (isolated elements retain their
+        // mass).
+        let rc_mass: Vec<f64> = (0..n as u32)
+            .map(|j| {
+                let j = ElementId(j);
+                if stats.degree(j) == 0 {
+                    0.0
+                } else {
+                    stats.rc_sum(j)
+                }
+            })
+            .collect();
+        let mut weights = vec![0.0; stats.rc_lane().len()];
+        for (j, &mass) in rc_mass.iter().enumerate() {
+            if mass <= 0.0 {
+                continue;
+            }
+            let row = stats.edge_range(ElementId(j as u32));
+            let rcs = &stats.rc_lane()[row.clone()];
+            for (slot, &rc) in weights[row].iter_mut().zip(rcs) {
+                *slot = rc / mass;
+            }
+        }
+        let tiny = (init.iter().sum::<f64>() / n.max(1) as f64).max(1.0) * 1e-12;
+        IterKernel {
+            stats,
+            rc_mass,
+            weights,
+            p: config.p.clamp(0.0, 1.0),
+            epsilon: config.epsilon,
+            tiny,
+            n,
+        }
+    }
+
+    /// One Formula-1 round: `new = M · cur`. Returns whether the per-step
+    /// stopping rule is satisfied (every element's relative change is
+    /// within epsilon).
+    fn step(&self, cur: &[f64], new: &mut [f64]) -> bool {
+        let n = self.n;
+        let neighbors = self.stats.neighbor_lane();
+        // Fused retain + donate pass: one sweep over the donors writes each
+        // element's retained share and scatters its `(1 - p)` donation
+        // along the precomputed weight lane. (Relative to the historical
+        // two-pass form this reassociates the per-target sums, which is
+        // fine: the fixpoint is defined up to the convergence epsilon, and
+        // every in-process consumer compares under that contract.)
+        new[..n].fill(0.0);
+        for (j, &mass) in self.rc_mass.iter().enumerate() {
+            let cj = cur[j];
+            if mass <= 0.0 {
+                // Donates nothing: keeps everything.
+                new[j] += cj;
+                continue;
+            }
+            new[j] += self.p * cj;
+            let share = (1.0 - self.p) * cj;
+            let row = self.stats.edge_range(ElementId(j as u32));
+            for idx in row {
+                new[neighbors[idx].index()] += share * self.weights[idx];
+            }
+        }
+        for i in 0..n {
+            let denom = cur[i].max(self.tiny);
+            if (new[i] - cur[i]).abs() / denom > self.epsilon {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 fn iterate(
     graph: &SchemaGraph,
     stats: &SchemaStats,
     init: Vec<f64>,
     config: &ImportanceConfig,
 ) -> ImportanceResult {
-    let n = graph.len();
-    let p = config.p.clamp(0.0, 1.0);
-    // The iteration consumes the statistics' CSR adjacency directly:
-    // W(j → nb) = rc / rc_sum(j) per Formula 1, computed from the flat edge
-    // records instead of materializing a nested weight table. An element
-    // donates only when it has neighbors and positive RC mass; otherwise it
-    // keeps everything (isolated elements retain their mass).
-    let rc_mass: Vec<f64> = (0..n as u32)
-        .map(|j| {
-            let j = ElementId(j);
-            if stats.edges(j).is_empty() {
-                0.0
-            } else {
-                stats.rc_sum(j)
-            }
-        })
-        .collect();
-
-    let tiny = (init.iter().sum::<f64>() / n.max(1) as f64).max(1.0) * 1e-12;
+    let kernel = IterKernel::new(graph, stats, &init, config);
     let mut cur = init;
-    let mut new = vec![0.0; n];
+    let mut new = vec![0.0; kernel.n];
     let mut iterations = 0;
     let mut converged = false;
     while iterations < config.max_iterations {
         iterations += 1;
-        // Retained share; elements that donate nothing keep everything.
-        for i in 0..n {
-            new[i] = if rc_mass[i] <= 0.0 {
-                cur[i]
-            } else {
-                p * cur[i]
-            };
-        }
-        // Push (1-p) of each donor's mass along its weighted links.
-        for (j, &mass) in rc_mass.iter().enumerate() {
-            if mass <= 0.0 {
-                continue;
-            }
-            let share = (1.0 - p) * cur[j];
-            for edge in stats.edges(ElementId(j as u32)) {
-                new[edge.neighbor.index()] += share * (edge.rc / mass);
-            }
-        }
-        let mut done = true;
-        for i in 0..n {
-            let denom = cur[i].max(tiny);
-            if (new[i] - cur[i]).abs() / denom > config.epsilon {
-                done = false;
-                break;
-            }
-        }
+        let done = kernel.step(&cur, &mut new);
         std::mem::swap(&mut cur, &mut new);
         if done {
             converged = true;
             break;
+        }
+    }
+    ImportanceResult {
+        scores: cur,
+        iterations,
+        converged,
+    }
+}
+
+/// Formula-1 iteration with Aitken Δ² acceleration, used by the seeded
+/// restarts.
+///
+/// A good seed lands close to the fixed point but in the iteration's
+/// slow-mixing directions, where plain rounds contract by a factor near 1
+/// and the per-step stopping rule takes dozens of rounds to trigger.
+/// Because those directions shrink almost geometrically, three adjacent
+/// iterates predict their own limit: after a two-round burn-in, every
+/// cycle takes two plain rounds and then extrapolates each element through
+/// `x₂ + d₂·r/(1−r)` with `r = d₂/d₁` (Aitken's Δ² on the adjacent
+/// triple `x₀, x₁, x₂`).
+///
+/// Safety of the shortcut:
+/// - an element is only extrapolated when its ratio is cleanly geometric
+///   (`r ∈ (0, 0.995)`) and the extrapolated value is finite and
+///   positive — otherwise it keeps its plain iterate;
+/// - the whole vector is rescaled to the seed's exact mass after every
+///   extrapolation, so Formula 1's mass conservation holds bit-exactly;
+/// - the loop exits **only** through the standard per-step criterion
+///   inside [`IterKernel::step`] — extrapolation shortens the trajectory
+///   but never substitutes for convergence, so any result returned here
+///   is a valid answer under the same stopping rule as a cold run.
+fn iterate_accelerated(
+    graph: &SchemaGraph,
+    stats: &SchemaStats,
+    init: Vec<f64>,
+    config: &ImportanceConfig,
+) -> ImportanceResult {
+    const BURN_IN: usize = 2;
+    let kernel = IterKernel::new(graph, stats, &init, config);
+    let n = kernel.n;
+    let target_mass: f64 = init.iter().sum();
+    let mut cur = init;
+    let mut new = vec![0.0; n];
+    let mut x0 = vec![0.0; n];
+    let mut x1 = vec![0.0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    'drive: {
+        macro_rules! round {
+            () => {{
+                if iterations >= config.max_iterations {
+                    break 'drive;
+                }
+                iterations += 1;
+                let done = kernel.step(&cur, &mut new);
+                std::mem::swap(&mut cur, &mut new);
+                if done {
+                    converged = true;
+                    break 'drive;
+                }
+            }};
+        }
+        for _ in 0..BURN_IN {
+            round!();
+        }
+        loop {
+            x0.copy_from_slice(&cur);
+            round!();
+            x1.copy_from_slice(&cur);
+            round!();
+            // Per-element Aitken on the adjacent triple (x0, x1, cur).
+            for i in 0..n {
+                let d1 = x1[i] - x0[i];
+                let d2 = cur[i] - x1[i];
+                if d1.abs() > 1e-300 {
+                    let r = d2 / d1;
+                    if r > 0.0 && r < 0.995 {
+                        let extrapolated = cur[i] + d2 * r / (1.0 - r);
+                        if extrapolated.is_finite() && extrapolated > 0.0 {
+                            cur[i] = extrapolated;
+                        }
+                    }
+                }
+            }
+            let mass: f64 = cur.iter().sum();
+            if mass.is_finite() && mass > 0.0 {
+                let scale = target_mass / mass;
+                for v in &mut cur {
+                    *v *= scale;
+                }
+            }
         }
     }
     ImportanceResult {

@@ -54,6 +54,11 @@ use schema_summary_core::{SchemaDelta, SchemaGraph, SchemaStats};
 use crate::matrices::PairMatrices;
 use crate::paths::PathConfig;
 
+/// Bit-pattern equality over two CSR `f64` lanes of equal length.
+fn lane_bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
 /// The outcome of [`plan_delta`]: which matrix rows a warm refresh must
 /// recompute, and how big the delta footprint was.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,15 +161,15 @@ pub fn plan_delta(
     let mut touched = 0usize;
     let mut rescaled = false;
     for e in new_graph.element_ids() {
-        let old_edges = old_stats.edges(e);
-        let new_edges = new_stats.edges(e);
-        let same = old_edges.len() == new_edges.len()
-            && old_edges.iter().zip(new_edges).all(|(a, b)| {
-                a.neighbor == b.neighbor
-                    && (a.rc > 0.0) == (b.rc > 0.0)
-                    && a.rc_factor.to_bits() == b.rc_factor.to_bits()
-                    && a.w_back.to_bits() == b.w_back.to_bits()
-            });
+        let same = old_stats.degree(e) == new_stats.degree(e)
+            && old_stats.edge_neighbors(e) == new_stats.edge_neighbors(e)
+            && old_stats
+                .edge_rcs(e)
+                .iter()
+                .zip(new_stats.edge_rcs(e))
+                .all(|(a, b)| (*a > 0.0) == (*b > 0.0))
+            && lane_bits_eq(old_stats.edge_rc_factors(e), new_stats.edge_rc_factors(e))
+            && lane_bits_eq(old_stats.edge_w_backs(e), new_stats.edge_w_backs(e));
         if !same {
             touched_set[e.index()] = true;
             touched += 1;

@@ -60,7 +60,7 @@ pub use explain::{explain, Explanation};
 pub use history::{compute_importance_with_history, QueryHistory};
 pub use importance::{ImportanceConfig, ImportanceMode, ImportanceResult};
 pub use incremental::{plan_delta, DeltaPlan};
-pub use matrices::PairMatrices;
+pub use matrices::{PairMatrices, DEFAULT_SOURCE_BATCH};
 pub use monitor::{RefreshReport, SummaryMonitor};
 pub use multilevel::{build_multi_level, refresh_multi_level, MultiLevelSummary};
 pub use paths::{Explorer, PathConfig, PathKernel, PathLength};

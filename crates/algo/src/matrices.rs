@@ -16,11 +16,67 @@
 //! unluckiest chunk. Workers send finished rows over a channel and the
 //! calling thread assembles the matrices, keeping the crate free of
 //! `unsafe` row aliasing.
+//!
+//! When the configuration resolves to the layered kernel, the counter hands
+//! out source *batches* of [`DEFAULT_SOURCE_BATCH`] instead of single
+//! sources: each worker advances its whole batch through one
+//! [`Explorer::explore_batch`] frontier sweep per layer, streaming the CSR
+//! edge lanes once per layer for the batch rather than once per source.
+//! DFS-resolving configurations keep single-source handout (the DFS kernel
+//! has no cross-source sharing to exploit, and finer granularity steals
+//! better).
 
-use crate::paths::{Explorer, PathConfig, SourceResult};
+use crate::paths::{Explorer, PathConfig, PathKernel, SourceResult};
 use schema_summary_core::{ElementId, SchemaStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Sources per work-stealing handout when the layered kernel resolves.
+/// The batched kernel's win scales with *lane density* — how many of a
+/// batch's sources have overlapping frontiers at each relaxed node — and
+/// with the arena working set staying cache-resident; 16 lanes measured
+/// fastest across the bench schemas on both axes (BENCH_matrices.json),
+/// ahead of 8 (metadata amortized over too few lanes) and 32+ (arenas
+/// spill L2 on thousand-element schemas).
+pub const DEFAULT_SOURCE_BATCH: usize = 16;
+
+/// Source handout order for batched computes: breadth-first from each
+/// unvisited node over traversable edges. Sources batched together should
+/// have *overlapping* frontiers — every node they share per layer is one
+/// relaxation serving many lanes — and BFS rank groups graph neighbors,
+/// whereas raw id order reflects schema construction order, which scatters
+/// a batch across the graph (measured ~2× slower on the synthetic bench
+/// schemas, whose ids are assigned in random-parent insertion order).
+/// Pure driver policy: rows are written per source id, so handout order
+/// never changes any bit of the result.
+fn locality_order(stats: &SchemaStats) -> Vec<ElementId> {
+    let n = stats.len();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut head = order.len();
+        order.push(ElementId(start as u32));
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for (nb, &rc) in stats
+                .edge_neighbors(u)
+                .iter()
+                .zip(stats.edge_rcs(u))
+            {
+                if rc > 0.0 && !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    order.push(*nb);
+                }
+            }
+        }
+    }
+    order
+}
 
 /// Per-source exploration metadata, kept alongside the dense matrices so a
 /// row-level splice ([`PairMatrices::splice`]) can rebuild the run-wide
@@ -87,35 +143,76 @@ impl PairMatrices {
     /// [`compute`](Self::compute) with an explicit worker-thread count
     /// (primarily for tests and benchmarks that need the parallel path on
     /// machines where `available_parallelism` would fall back to serial).
+    /// Layered-resolving configurations run the batched kernel with
+    /// [`DEFAULT_SOURCE_BATCH`] sources per handout; DFS keeps single-source
+    /// handout. Results are bit-identical either way.
     pub fn compute_with_threads(stats: &SchemaStats, config: &PathConfig, threads: usize) -> Self {
+        let batch = match config.effective_kernel(stats) {
+            PathKernel::Layered => DEFAULT_SOURCE_BATCH,
+            _ => 1,
+        };
+        Self::compute_with_threads_batched(stats, config, threads, batch)
+    }
+
+    /// The work-stealing driver with an explicit source-batch size: the
+    /// shared counter hands each worker `batch` consecutive sources, which
+    /// advance through one [`Explorer::explore_batch`] call. `batch ≤ 1`
+    /// reproduces the single-source driver exactly (per-source
+    /// [`Explorer::explore`], the bitwise reference); batches above
+    /// [`crate::paths::MAX_BATCH_LANES`] are chunked by the kernel. Exposed
+    /// for benchmarks that sweep batch sizes; output is bit-identical to
+    /// [`compute_serial`](Self::compute_serial) for every batch size.
+    pub fn compute_with_threads_batched(
+        stats: &SchemaStats,
+        config: &PathConfig,
+        threads: usize,
+        batch: usize,
+    ) -> Self {
         let n = stats.len();
+        let batch = batch.max(1);
         if n < config.parallel_threshold || threads < 2 {
-            return Self::compute_serial(stats, config);
+            return Self::compute_serial_batched(stats, config, batch);
         }
         let mut out = Self::zeroed(n);
+        let order = if batch > 1 {
+            locality_order(stats)
+        } else {
+            Vec::new()
+        };
         let next_source = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, SourceResult)>();
+        let (tx, rx) = mpsc::channel::<(Vec<ElementId>, Vec<SourceResult>)>();
         std::thread::scope(|scope| {
             for _ in 0..threads.min(n) {
                 let tx = tx.clone();
                 let next_source = &next_source;
+                let order = &order;
                 scope.spawn(move || {
                     let mut explorer = Explorer::new(n);
                     loop {
-                        let a = next_source.fetch_add(1, Ordering::Relaxed);
-                        if a >= n {
+                        let start = next_source.fetch_add(batch, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        let res = explorer.explore(ElementId(a as u32), stats, config);
-                        if tx.send((a, res)).is_err() {
+                        let end = (start + batch).min(n);
+                        let (sources, results) = if batch == 1 {
+                            let src = ElementId(start as u32);
+                            (vec![src], vec![explorer.explore(src, stats, config)])
+                        } else {
+                            let chunk = order[start..end].to_vec();
+                            let results = explorer.explore_batch(&chunk, stats, config);
+                            (chunk, results)
+                        };
+                        if tx.send((sources, results)).is_err() {
                             break;
                         }
                     }
                 });
             }
             drop(tx);
-            while let Ok((a, res)) = rx.recv() {
-                out.write_source_row(a, &res, stats);
+            while let Ok((sources, results)) = rx.recv() {
+                for (src, res) in sources.iter().zip(&results) {
+                    out.write_source_row(src.index(), res, stats);
+                }
             }
         });
         out
@@ -123,8 +220,8 @@ impl PairMatrices {
 
     /// Single-threaded reference implementation (also used below the
     /// parallel threshold, where thread spawn overhead dominates). The
-    /// parallel path runs the exact same per-source kernel, so its output
-    /// is bit-identical to this one.
+    /// parallel and batched paths run the exact same per-source kernels, so
+    /// their output is bit-identical to this one.
     pub fn compute_serial(stats: &SchemaStats, config: &PathConfig) -> Self {
         let n = stats.len();
         let mut out = Self::zeroed(n);
@@ -132,6 +229,27 @@ impl PairMatrices {
         for a in 0..n {
             let res = explorer.explore(ElementId(a as u32), stats, config);
             out.write_source_row(a, &res, stats);
+        }
+        out
+    }
+
+    /// Single-threaded batched pass: sources advance in consecutive chunks
+    /// of `batch` through [`Explorer::explore_batch`]. `batch ≤ 1` is
+    /// exactly [`compute_serial`](Self::compute_serial). Exposed for
+    /// benchmarks isolating the kernel speedup from thread scaling.
+    pub fn compute_serial_batched(stats: &SchemaStats, config: &PathConfig, batch: usize) -> Self {
+        if batch <= 1 {
+            return Self::compute_serial(stats, config);
+        }
+        let n = stats.len();
+        let mut out = Self::zeroed(n);
+        let mut explorer = Explorer::new(n);
+        let order = locality_order(stats);
+        for chunk in order.chunks(batch) {
+            let results = explorer.explore_batch(chunk, stats, config);
+            for (src, res) in chunk.iter().zip(&results) {
+                out.write_source_row(src.index(), res, stats);
+            }
         }
         out
     }
@@ -204,12 +322,11 @@ impl PairMatrices {
         }
         let per = self.per_source.as_ref()?;
         let mut out = Self::zeroed(n);
-        let mut explorer = Explorer::new(n);
+        // Carried-over rows first, then the re-explored rows in batches:
+        // rows are disjoint and the run-wide folds (`|=` flags, `u64` sum)
+        // are order-independent, so the two-pass order changes no bits.
         for (a, &redo) in recompute.iter().enumerate() {
-            if redo {
-                let res = explorer.explore(ElementId(a as u32), stats, config);
-                out.write_source_row(a, &res, stats);
-            } else {
+            if !redo {
                 let row = a * n;
                 out.affinity[row..row + n].copy_from_slice(&self.affinity[row..row + n]);
                 // Redo only the final card multiply over the unchanged
@@ -229,6 +346,28 @@ impl PairMatrices {
                 // and products are too.
                 meta.visited[a] = per.visited[a].clone();
                 meta.cov_product[row..row + n].copy_from_slice(products);
+            }
+        }
+        let mut redo_rows: Vec<ElementId> = recompute
+            .iter()
+            .enumerate()
+            .filter(|&(_, &redo)| redo)
+            .map(|(a, _)| ElementId(a as u32))
+            .collect();
+        if redo_rows.len() > 1 {
+            // Same locality policy as the cold driver: batches of
+            // graph-neighboring sources share frontier relaxations.
+            let mut rank = vec![0u32; n];
+            for (pos, e) in locality_order(stats).into_iter().enumerate() {
+                rank[e.index()] = pos as u32;
+            }
+            redo_rows.sort_unstable_by_key(|e| rank[e.index()]);
+        }
+        let mut explorer = Explorer::new(n);
+        for chunk in redo_rows.chunks(DEFAULT_SOURCE_BATCH) {
+            let results = explorer.explore_batch(chunk, stats, config);
+            for (src, res) in chunk.iter().zip(&results) {
+                out.write_source_row(src.index(), res, stats);
             }
         }
         Some(out)
@@ -576,6 +715,27 @@ mod tests {
         assert_eq!(par.truncated(), ser.truncated());
         assert_eq!(par.floored(), ser.floored());
         assert_eq!(par.expansions(), ser.expansions());
+    }
+
+    #[test]
+    fn batched_drivers_match_serial_bitwise() {
+        let (_, s) = chain_stats();
+        let cfg = PathConfig {
+            kernel: PathKernel::Layered,
+            parallel_threshold: 0,
+            ..Default::default()
+        };
+        let reference = PairMatrices::compute_serial(&s, &cfg);
+        for batch in [1usize, 2, 3, DEFAULT_SOURCE_BATCH, 100] {
+            let serial = PairMatrices::compute_serial_batched(&s, &cfg, batch);
+            assert!(serial.bitwise_eq(&reference), "serial batch={batch}");
+            let parallel = PairMatrices::compute_with_threads_batched(&s, &cfg, 4, batch);
+            assert!(parallel.bitwise_eq(&reference), "parallel batch={batch}");
+        }
+        // The default entry point routes layered configs through the batched
+        // driver; it too must be indistinguishable.
+        let default_path = PairMatrices::compute_with_threads(&s, &cfg, 4);
+        assert!(default_path.bitwise_eq(&reference));
     }
 
     #[test]

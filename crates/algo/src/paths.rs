@@ -84,15 +84,18 @@ pub enum PathKernel {
 /// [`PathKernel::Auto`] picks the layered kernel at or beyond this element
 /// count regardless of density: DFS worst-case cost grows with the number
 /// of simple paths while the layered relaxation stays
-/// `O(max_edges · |edges|)`, and BENCH_matrices.json shows layered ~13×
-/// ahead on XMark SF 1.0 (n=295).
-const AUTO_NODE_THRESHOLD: usize = 192;
+/// `O(max_edges · |edges|)`. Retuned for the batched lane kernel
+/// (min-of-reps, near-tree density 0.05): DFS still wins at n=25
+/// (0.75×) but batched layered leads from n=50 (1.3×) through n=100
+/// (1.6×), n=192 (2.6×), and ~13× on XMark SF 1.0 (n=295). 48 splits
+/// the crossover (BENCH_matrices.json).
+const AUTO_NODE_THRESHOLD: usize = 48;
 
 /// Below [`AUTO_NODE_THRESHOLD`], [`PathKernel::Auto`] picks DFS only for
 /// near-tree densities. A pure tree has average CSR degree ≈ 2 (each edge
 /// appears in both endpoints' rows); every value link adds 2/n more. At
 /// 2.5 the graph carries ~n/4 extra links and path multiplicity starts to
-/// favor the layered kernel.
+/// favor the layered kernel even on a few dozen elements.
 const AUTO_AVG_DEGREE_THRESHOLD: f64 = 2.5;
 
 /// Configuration for path enumeration.
@@ -199,8 +202,7 @@ impl PathConfig {
                 if n == 0 {
                     return PathKernel::Layered;
                 }
-                let edge_records: usize =
-                    (0..n).map(|u| stats.edges(ElementId(u as u32)).len()).sum();
+                let edge_records: usize = (0..n).map(|u| stats.degree(ElementId(u as u32))).sum();
                 if edge_records as f64 / n as f64 >= AUTO_AVG_DEGREE_THRESHOLD {
                     PathKernel::Layered
                 } else {
@@ -285,6 +287,70 @@ pub struct SourceResult {
     pub reads: Vec<u32>,
 }
 
+/// Upper bound on sources advanced per batched frontier sweep: per-node
+/// lane membership is a `u64` bitmask, one bit per source lane.
+pub const MAX_BATCH_LANES: usize = 64;
+
+/// Arena scratch for the multi-source batched layered kernel
+/// ([`Explorer::explore_batch`]): every per-source array of the scalar
+/// kernel is flattened into one `n × stride` allocation indexed
+/// `[node * stride + lane]`, and the per-node frontier membership flags
+/// become `u64` bitmasks (bit `l` ⇔ lane `l`). The arenas hold the same
+/// all-zero-between-batches invariant as the scalar scratch, restored via
+/// the `touched` list so sparse batches cost O(touched · stride), not O(n).
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Max-product value arenas at the current and next edge count.
+    cur_aff: Vec<f64>,
+    cur_cov: Vec<f64>,
+    next_aff: Vec<f64>,
+    next_cov: Vec<f64>,
+    /// Per-target running maxima (the scalar kernel folds these into the
+    /// result row directly; the batch keeps them lane-major until
+    /// extraction).
+    best_aff: Vec<f64>,
+    best_cov: Vec<f64>,
+    /// Bit `l` set ⇔ the node is in lane `l`'s current/next frontier.
+    cur_mask: Vec<u64>,
+    next_mask: Vec<u64>,
+    /// Bit `l` set ⇔ lane `l` has recorded the node in its read set.
+    read_mask: Vec<u64>,
+    /// Union frontiers across lanes (insertion-ordered, deduped by mask).
+    frontier: Vec<u32>,
+    next_frontier: Vec<u32>,
+    /// Every node with a nonzero `read_mask` — the cleanup list that
+    /// restores the all-zero arena invariant after a batch.
+    touched: Vec<u32>,
+    /// Per-lane read lists (unsorted; closed out by `finish_reads`).
+    reads: Vec<Vec<u32>>,
+}
+
+impl BatchScratch {
+    /// Grow the arenas to cover `nodes × stride` cells and `lanes` lanes.
+    /// Growth appends zeros, and the all-zero invariant keeps existing
+    /// cells zero, so re-sizing between batches of different shapes is
+    /// sound without a wipe.
+    fn ensure(&mut self, nodes: usize, stride: usize, lanes: usize) {
+        let cells = nodes * stride;
+        if self.cur_aff.len() < cells {
+            self.cur_aff.resize(cells, 0.0);
+            self.cur_cov.resize(cells, 0.0);
+            self.next_aff.resize(cells, 0.0);
+            self.next_cov.resize(cells, 0.0);
+            self.best_aff.resize(cells, 0.0);
+            self.best_cov.resize(cells, 0.0);
+        }
+        if self.cur_mask.len() < nodes {
+            self.cur_mask.resize(nodes, 0);
+            self.next_mask.resize(nodes, 0);
+            self.read_mask.resize(nodes, 0);
+        }
+        if self.reads.len() < lanes {
+            self.reads.resize(lanes, Vec::new());
+        }
+    }
+}
+
 /// One explicit-stack DFS frame: a node on the current path plus the
 /// position of the next CSR edge to expand.
 #[derive(Debug, Clone, Copy)]
@@ -331,6 +397,9 @@ pub struct Explorer {
     /// Dedup flags for the per-source read set ([`SourceResult::reads`]);
     /// restored to all-false between sources.
     read_flag: Vec<bool>,
+    /// Lane arenas for [`explore_batch`](Self::explore_batch); allocated on
+    /// first batched call so single-source users pay nothing.
+    batch: Option<Box<BatchScratch>>,
 }
 
 impl Explorer {
@@ -350,6 +419,7 @@ impl Explorer {
             in_next: vec![false; n],
             aff_cut: Vec::new(),
             read_flag: vec![false; n],
+            batch: None,
         }
     }
 
@@ -446,18 +516,23 @@ impl Explorer {
             cov: 1.0,
         });
 
+        let neighbors = stats.neighbor_lane();
+        let rcs = stats.rc_lane();
+        let rc_factors = stats.rc_factor_lane();
+        let w_backs = stats.w_back_lane();
         'explore: while let Some(frame) = self.frames.last_mut() {
             let node = frame.node;
-            let edges = stats.edges(ElementId(node));
-            let Some(edge) = edges.get(frame.cursor as usize) else {
+            let row = stats.edge_range(ElementId(node));
+            let idx = row.start + frame.cursor as usize;
+            if idx >= row.end {
                 // All edges of this node expanded: backtrack.
                 self.visited[node as usize] = false;
                 self.frames.pop();
                 continue;
-            };
+            }
             frame.cursor += 1;
-            let nb = edge.neighbor;
-            if self.visited[nb.index()] || edge.rc <= 0.0 {
+            let nb = neighbors[idx];
+            if self.visited[nb.index()] || rcs[idx] <= 0.0 {
                 continue;
             }
             if budget == 0 {
@@ -467,10 +542,10 @@ impl Explorer {
             budget -= 1;
             result.expansions += 1;
 
-            let new_aff = frame.aff * edge.rc_factor;
+            let new_aff = frame.aff * rc_factors[idx];
             // Coverage factor: edge affinity forward × neighbor weight
-            // backward, both precomputed on the CSR edge record.
-            let new_cov = frame.cov * (aff_scale * edge.rc_factor) * edge.w_back;
+            // backward, both precomputed on the CSR factor lanes.
+            let new_cov = frame.cov * (aff_scale * rc_factors[idx]) * w_backs[idx];
             // The source frame is depth 1, so the path to `nb` has exactly
             // `frames.len()` edges.
             let new_edges = self.frames.len();
@@ -547,6 +622,337 @@ impl Explorer {
         result
     }
 
+    /// Explore many sources per frontier sweep: the **batched layered
+    /// kernel**. One pass over each union-frontier vertex's CSR edge row
+    /// advances every source lane at once — the inner loop is a
+    /// branch-light multiply-max over the contiguous lane arenas — so the
+    /// edge lanes are streamed once per layer for the whole batch instead
+    /// of once per source.
+    ///
+    /// **Bit-for-bit identical to per-source [`explore`](Self::explore)**,
+    /// including read sets, expansion counts, and flags:
+    ///
+    /// * values: the scalar kernel's per-target max is order-independent
+    ///   (max over non-negative products), and the batch preserves the
+    ///   exact multiply chains, so each lane's maxima carry the same bits;
+    ///   blind relaxation of non-member lanes is a no-op because their
+    ///   values are zero and every product is ≥ 0;
+    /// * membership travels in the `u64` masks, never derived from values
+    ///   (a lane's product can underflow to zero while its frontier
+    ///   membership — and its read set — must keep growing);
+    /// * expansions: a lane's per-layer count is the sum of traversable
+    ///   degrees over its frontier members — order-independent, summed
+    ///   from the precomputed
+    ///   [`traversable_degree`](SchemaStats::traversable_degree) lane;
+    /// * budget exhaustion is the one order-*dependent* part of the scalar
+    ///   semantics (a mid-layer cut depends on frontier iteration order),
+    ///   so a lane whose next layer would overrun its remaining budget is
+    ///   evicted from the batch and re-run through the scalar kernel.
+    ///
+    /// Configurations that resolve to the DFS kernel (including any
+    /// positive `min_product` floor) fall back to per-source exploration.
+    /// Batches larger than [`MAX_BATCH_LANES`] are processed in chunks.
+    pub fn explore_batch(
+        &mut self,
+        sources: &[ElementId],
+        stats: &SchemaStats,
+        config: &PathConfig,
+    ) -> Vec<SourceResult> {
+        let mut out = Vec::with_capacity(sources.len());
+        if config.effective_kernel(stats) != PathKernel::Layered || config.max_edges == 0 {
+            out.extend(sources.iter().map(|&s| self.explore(s, stats, config)));
+            return out;
+        }
+        for chunk in sources.chunks(MAX_BATCH_LANES) {
+            self.explore_batch_chunk(chunk, stats, config, &mut out);
+        }
+        out
+    }
+
+    /// One ≤ [`MAX_BATCH_LANES`]-lane sweep of the batched layered kernel;
+    /// appends `sources.len()` results to `out` in source order.
+    fn explore_batch_chunk(
+        &mut self,
+        sources: &[ElementId],
+        stats: &SchemaStats,
+        config: &PathConfig,
+        out: &mut Vec<SourceResult>,
+    ) {
+        let n = stats.len();
+        let lanes = sources.len();
+        debug_assert!(lanes <= MAX_BATCH_LANES);
+        // Lane stride rounded up to the pad width so the hot multiply-max
+        // loop runs whole vector widths.
+        let stride = lanes.next_multiple_of(schema_summary_core::stats::LANE_PAD);
+        let mut scratch = self.batch.take().unwrap_or_default();
+        scratch.ensure(n, stride, lanes);
+
+        let mut remaining = [0u64; MAX_BATCH_LANES];
+        let mut expansions = [0u64; MAX_BATCH_LANES];
+        let mut layer_exp = [0u64; MAX_BATCH_LANES];
+        // Bit `l` set: lane `l` would have exhausted its budget mid-layer;
+        // its batch state is abandoned and the source re-runs scalar.
+        let mut needs_scalar = 0u64;
+
+        for (l, &src) in sources.iter().enumerate() {
+            remaining[l] = config.max_expansions as u64;
+            let i = src.index();
+            if scratch.read_mask[i] == 0 {
+                scratch.touched.push(src.0);
+            }
+            if scratch.cur_mask[i] == 0 {
+                scratch.frontier.push(src.0);
+            }
+            scratch.cur_mask[i] |= 1 << l;
+            scratch.read_mask[i] |= 1 << l;
+            scratch.reads[l].push(src.0);
+            scratch.cur_aff[i * stride + l] = 1.0;
+            scratch.cur_cov[i * stride + l] = 1.0;
+        }
+
+        let aff_scale = config.affinity_scale();
+        let neighbors = stats.neighbor_lane();
+        let rcs = stats.rc_lane();
+        let rc_factors = stats.rc_factor_lane();
+        let w_backs = stats.w_back_lane();
+        for edges_used in 1..=config.max_edges {
+            if scratch.frontier.is_empty() {
+                break;
+            }
+            // Whole-layer budget accounting up front: a layer's expansion
+            // count per lane is Σ traversable-degree over the lane's
+            // frontier members, independent of sweep order. Lanes that
+            // cannot afford their full layer are evicted *before* any of
+            // it runs (mid-layer truncation is order-dependent).
+            layer_exp[..lanes].fill(0);
+            for &u in &scratch.frontier {
+                let d = u64::from(stats.traversable_degree(ElementId(u)));
+                if d == 0 {
+                    continue;
+                }
+                let mut m = scratch.cur_mask[u as usize] & !needs_scalar;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    layer_exp[l] += d;
+                    m &= m - 1;
+                }
+            }
+            for (l, &exp) in layer_exp.iter().enumerate().take(lanes) {
+                if needs_scalar & (1 << l) != 0 {
+                    continue;
+                }
+                if exp > remaining[l] {
+                    needs_scalar |= 1 << l;
+                } else {
+                    remaining[l] -= exp;
+                    expansions[l] += exp;
+                }
+            }
+            // Relaxation sweep: one pass over the union frontier's edge
+            // rows updates all lanes. Mask propagation is branchless;
+            // non-member lanes carry zeros, so the blind multiply-max is a
+            // per-lane no-op for them.
+            for &u in &scratch.frontier {
+                let ui = u as usize;
+                let m = scratch.cur_mask[ui];
+                let bu = ui * stride;
+                // Lane occupancy decides the sweep shape per *node*: a
+                // saturated mask runs the full-stride multiply-max (a
+                // straight SIMD stream over the padded row), a sparse one
+                // iterates only its set bits — the flop and byte traffic
+                // then tracks *active* lanes, not the batch width. Both
+                // shapes relax identical values (inactive lanes hold zeros
+                // and every product is ≥ 0, so blind relaxation of them is
+                // a no-op), so the choice never changes bits.
+                let dense = (m.count_ones() as usize) * 4 >= lanes;
+                // The source node's value rows are loop-invariant across
+                // its edges; staging them in stack buffers pins them in L1
+                // and frees the inner loop from re-reading through the
+                // arena borrows after every store.
+                let mut src_aff = [0.0f64; MAX_BATCH_LANES];
+                let mut src_cov = [0.0f64; MAX_BATCH_LANES];
+                src_aff[..stride].copy_from_slice(&scratch.cur_aff[bu..][..stride]);
+                src_cov[..stride].copy_from_slice(&scratch.cur_cov[bu..][..stride]);
+                for idx in stats.edge_range(ElementId(u)) {
+                    if rcs[idx] <= 0.0 {
+                        continue;
+                    }
+                    let vi = neighbors[idx].index();
+                    let rf = rc_factors[idx];
+                    let cf = aff_scale * rf;
+                    let wb = w_backs[idx];
+                    if scratch.next_mask[vi] == 0 {
+                        scratch.next_frontier.push(neighbors[idx].0);
+                    }
+                    scratch.next_mask[vi] |= m;
+                    let bv = vi * stride;
+                    if dense {
+                        let next_aff = &mut scratch.next_aff[bv..][..stride];
+                        let next_cov = &mut scratch.next_cov[bv..][..stride];
+                        // Same multiply chains as the scalar kernels; the
+                        // branchless select is bitwise the scalar compare-
+                        // and-store (ties keep the stored value; no value is
+                        // NaN or −0.0).
+                        for l in 0..stride {
+                            let na = src_aff[l] * rf;
+                            let nc = (src_cov[l] * cf) * wb;
+                            next_aff[l] = if na > next_aff[l] { na } else { next_aff[l] };
+                            next_cov[l] = if nc > next_cov[l] { nc } else { next_cov[l] };
+                        }
+                    } else {
+                        let mut bits = m;
+                        while bits != 0 {
+                            let l = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let na = src_aff[l] * rf;
+                            let nc = (src_cov[l] * cf) * wb;
+                            let slot = &mut scratch.next_aff[bv + l];
+                            if na > *slot {
+                                *slot = na;
+                            }
+                            let slot = &mut scratch.next_cov[bv + l];
+                            if nc > *slot {
+                                *slot = nc;
+                            }
+                        }
+                    }
+                }
+            }
+            // Fold the layer into the per-lane maxima and read sets.
+            let denom = config.length_denominator(edges_used);
+            for &v in &scratch.next_frontier {
+                let vi = v as usize;
+                let vm = scratch.next_mask[vi];
+                let mut new_bits = vm & !scratch.read_mask[vi];
+                if scratch.read_mask[vi] == 0 {
+                    scratch.touched.push(v);
+                }
+                scratch.read_mask[vi] |= vm;
+                while new_bits != 0 {
+                    let l = new_bits.trailing_zeros() as usize;
+                    scratch.reads[l].push(v);
+                    new_bits &= new_bits - 1;
+                }
+                // Fold only member lanes (same dense/sparse split as the
+                // sweep): non-member lanes hold zeros, which the scalar
+                // fold skips via its `> 0` guards anyway.
+                let bv = vi * stride;
+                if (vm.count_ones() as usize) * 4 >= lanes {
+                    let next_aff = &scratch.next_aff[bv..][..stride];
+                    let next_cov = &scratch.next_cov[bv..][..stride];
+                    let best_aff = &mut scratch.best_aff[bv..][..stride];
+                    let best_cov = &mut scratch.best_cov[bv..][..stride];
+                    for l in 0..stride {
+                        let a = next_aff[l];
+                        if a > 0.0 {
+                            let val = a / denom;
+                            if val > best_aff[l] {
+                                best_aff[l] = val;
+                            }
+                        }
+                        let cv = next_cov[l];
+                        if cv > 0.0 && cv > best_cov[l] {
+                            best_cov[l] = cv;
+                        }
+                    }
+                } else {
+                    let mut bits = vm;
+                    while bits != 0 {
+                        let l = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let a = scratch.next_aff[bv + l];
+                        if a > 0.0 {
+                            let val = a / denom;
+                            if val > scratch.best_aff[bv + l] {
+                                scratch.best_aff[bv + l] = val;
+                            }
+                        }
+                        let cv = scratch.next_cov[bv + l];
+                        if cv > 0.0 && cv > scratch.best_cov[bv + l] {
+                            scratch.best_cov[bv + l] = cv;
+                        }
+                    }
+                }
+            }
+            // Re-zero the consumed layer, then promote the next one.
+            for &u in &scratch.frontier {
+                let ui = u as usize;
+                let bu = ui * stride;
+                scratch.cur_aff[bu..bu + stride].fill(0.0);
+                scratch.cur_cov[bu..bu + stride].fill(0.0);
+                scratch.cur_mask[ui] = 0;
+            }
+            std::mem::swap(&mut scratch.cur_aff, &mut scratch.next_aff);
+            std::mem::swap(&mut scratch.cur_cov, &mut scratch.next_cov);
+            std::mem::swap(&mut scratch.cur_mask, &mut scratch.next_mask);
+            std::mem::swap(&mut scratch.frontier, &mut scratch.next_frontier);
+            scratch.next_frontier.clear();
+        }
+
+        // Extract per-lane results (evicted lanes get a placeholder and a
+        // scalar re-run once the arenas are parked again).
+        let results_start = out.len();
+        for (l, &src) in sources.iter().enumerate() {
+            let mut result = SourceResult {
+                best_affinity: vec![0.0; n],
+                best_cov_product: vec![0.0; n],
+                truncated: false,
+                floored: false,
+                expansions: expansions[l],
+                reads: Vec::new(),
+            };
+            if needs_scalar & (1 << l) != 0 {
+                out.push(result);
+                continue;
+            }
+            for &v in &scratch.touched {
+                let vi = v as usize;
+                result.best_affinity[vi] = scratch.best_aff[vi * stride + l];
+                result.best_cov_product[vi] = scratch.best_cov[vi * stride + l];
+            }
+            // The source's own entries are pinned at 1 (clamped factors
+            // keep every walk product ≤ 1, so the scalar fold never
+            // improves them either).
+            result.best_affinity[src.index()] = 1.0;
+            result.best_cov_product[src.index()] = 1.0;
+            result.reads = std::mem::take(&mut scratch.reads[l]);
+            for &u in &result.reads {
+                self.read_flag[u as usize] = true;
+            }
+            self.finish_reads(n, &mut result);
+            out.push(result);
+        }
+
+        // Restore the all-zero arena invariant and park the scratch.
+        for &v in &scratch.touched {
+            let bv = v as usize * stride;
+            scratch.cur_aff[bv..bv + stride].fill(0.0);
+            scratch.cur_cov[bv..bv + stride].fill(0.0);
+            scratch.next_aff[bv..bv + stride].fill(0.0);
+            scratch.next_cov[bv..bv + stride].fill(0.0);
+            scratch.best_aff[bv..bv + stride].fill(0.0);
+            scratch.best_cov[bv..bv + stride].fill(0.0);
+            scratch.cur_mask[v as usize] = 0;
+            scratch.next_mask[v as usize] = 0;
+            scratch.read_mask[v as usize] = 0;
+        }
+        scratch.touched.clear();
+        scratch.frontier.clear();
+        scratch.next_frontier.clear();
+        for lane_reads in &mut scratch.reads {
+            lane_reads.clear();
+        }
+        self.batch = Some(scratch);
+
+        if needs_scalar != 0 {
+            for (l, &src) in sources.iter().enumerate() {
+                if needs_scalar & (1 << l) != 0 {
+                    out[results_start + l] = self.explore(src, stats, config);
+                }
+            }
+        }
+    }
+
     /// The layered kernel: Bellman–Ford over the `(max, ×)` semiring.
     ///
     /// `cur_*[v]` holds the maximum product over *walks* of exactly
@@ -580,11 +986,15 @@ impl Explorer {
         for edges_used in 1..=config.max_edges {
             self.next_frontier.clear();
             let mut exhausted = false;
+            let neighbors = stats.neighbor_lane();
+            let rcs = stats.rc_lane();
+            let rc_factors = stats.rc_factor_lane();
+            let w_backs = stats.w_back_lane();
             'relax: for &u in &self.frontier {
                 let a = self.cur_aff[u as usize];
                 let c = self.cur_cov[u as usize];
-                for edge in stats.edges(ElementId(u)) {
-                    if edge.rc <= 0.0 {
+                for idx in stats.edge_range(ElementId(u)) {
+                    if rcs[idx] <= 0.0 {
                         continue;
                     }
                     if budget == 0 {
@@ -593,11 +1003,11 @@ impl Explorer {
                     }
                     budget -= 1;
                     result.expansions += 1;
-                    let i = edge.neighbor.index();
+                    let i = neighbors[idx].index();
                     // Same multiply chains as the DFS kernel, so a walk's
                     // value is bit-identical to the corresponding path's.
-                    let na = a * edge.rc_factor;
-                    let nc = c * (aff_scale * edge.rc_factor) * edge.w_back;
+                    let na = a * rc_factors[idx];
+                    let nc = c * (aff_scale * rc_factors[idx]) * w_backs[idx];
                     if self.in_next[i] {
                         if na > self.next_aff[i] {
                             self.next_aff[i] = na;
@@ -607,8 +1017,8 @@ impl Explorer {
                         }
                     } else {
                         self.in_next[i] = true;
-                        Self::record_read(&mut self.read_flag, &mut result.reads, edge.neighbor.0);
-                        self.next_frontier.push(edge.neighbor.0);
+                        Self::record_read(&mut self.read_flag, &mut result.reads, neighbors[idx].0);
+                        self.next_frontier.push(neighbors[idx].0);
                         self.next_aff[i] = na;
                         self.next_cov[i] = nc;
                     }
@@ -1112,6 +1522,119 @@ mod tests {
         }
     }
 
+    /// The whole per-source contract, bit-for-bit: values, flags,
+    /// expansion counts, and read sets.
+    fn assert_result_bits_eq(a: &SourceResult, b: &SourceResult, ctx: &str) {
+        assert_eq!(a.truncated, b.truncated, "{ctx}: truncated");
+        assert_eq!(a.floored, b.floored, "{ctx}: floored");
+        assert_eq!(a.expansions, b.expansions, "{ctx}: expansions");
+        assert_eq!(a.reads, b.reads, "{ctx}: reads");
+        for i in 0..a.best_affinity.len() {
+            assert_eq!(
+                a.best_affinity[i].to_bits(),
+                b.best_affinity[i].to_bits(),
+                "{ctx}: affinity[{i}]"
+            );
+            assert_eq!(
+                a.best_cov_product[i].to_bits(),
+                b.best_cov_product[i].to_bits(),
+                "{ctx}: coverage[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_single_source_bitwise() {
+        let (g, s) = braided();
+        let cfg = PathConfig {
+            kernel: PathKernel::Layered,
+            ..Default::default()
+        };
+        let sources: Vec<_> = g.element_ids().collect();
+        for batch in [1usize, 2, 3, 7, sources.len()] {
+            let mut batched = Explorer::new(s.len());
+            let mut scalar = Explorer::new(s.len());
+            for chunk in sources.chunks(batch) {
+                let results = batched.explore_batch(chunk, &s, &cfg);
+                assert_eq!(results.len(), chunk.len());
+                for (src, got) in chunk.iter().zip(&results) {
+                    let want = scalar.explore(*src, &s, &cfg);
+                    assert_result_bits_eq(got, &want, &format!("batch={batch} src={src}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_evicts_budget_lanes_to_scalar() {
+        let (g, s) = braided();
+        // Budgets chosen to exhaust mid-layer on the braided graph, the one
+        // order-dependent case: those lanes must be re-run scalar.
+        for max_expansions in [0usize, 1, 3, 5, 17, 40] {
+            let cfg = PathConfig {
+                kernel: PathKernel::Layered,
+                max_expansions,
+                ..Default::default()
+            };
+            let sources: Vec<_> = g.element_ids().collect();
+            let mut batched = Explorer::new(s.len());
+            let mut scalar = Explorer::new(s.len());
+            let results = batched.explore_batch(&sources, &s, &cfg);
+            let mut any_truncated = false;
+            for (src, got) in sources.iter().zip(&results) {
+                let want = scalar.explore(*src, &s, &cfg);
+                any_truncated |= want.truncated;
+                assert_result_bits_eq(got, &want, &format!("budget={max_expansions} src={src}"));
+            }
+            if max_expansions > 0 && max_expansions < 17 {
+                assert!(any_truncated, "budget {max_expansions} truncated nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_is_reusable_across_batches() {
+        let (g, s) = braided();
+        let cfg = PathConfig {
+            kernel: PathKernel::Layered,
+            ..Default::default()
+        };
+        let sources: Vec<_> = g.element_ids().collect();
+        let mut explorer = Explorer::new(s.len());
+        let first = explorer.explore_batch(&sources, &s, &cfg);
+        // Interleave a truncating batch to dirty the arenas, then repeat.
+        let tight = PathConfig {
+            kernel: PathKernel::Layered,
+            max_expansions: 5,
+            ..Default::default()
+        };
+        let _ = explorer.explore_batch(&sources, &s, &tight);
+        let second = explorer.explore_batch(&sources, &s, &cfg);
+        for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+            assert_result_bits_eq(a, b, &format!("reuse src index {i}"));
+        }
+    }
+
+    #[test]
+    fn batched_kernel_falls_back_for_dfs_configs() {
+        let (g, s) = braided();
+        // A positive floor always resolves to DFS; explore_batch must
+        // transparently run per-source.
+        let cfg = PathConfig {
+            min_product: 0.05,
+            prune: false,
+            ..Default::default()
+        };
+        let sources: Vec<_> = g.element_ids().collect();
+        let mut batched = Explorer::new(s.len());
+        let mut scalar = Explorer::new(s.len());
+        let results = batched.explore_batch(&sources, &s, &cfg);
+        for (src, got) in sources.iter().zip(&results) {
+            let want = scalar.explore(*src, &s, &cfg);
+            assert_result_bits_eq(got, &want, &format!("dfs fallback src={src}"));
+        }
+    }
+
     #[test]
     fn layered_kernel_matches_dfs_enumeration() {
         let (g, s) = braided();
@@ -1183,9 +1706,9 @@ mod tests {
     fn auto_kernel_resolves_by_node_count_and_density() {
         let cfg = PathConfig::default();
         assert_eq!(cfg.kernel, PathKernel::Auto);
-        // Small and tree-sparse: enumeration wins (BENCH_matrices.json,
-        // n=100 sparse synthetic).
-        assert_eq!(cfg.effective_kernel(&sparse_tree(50)), PathKernel::Dfs);
+        // Tiny and tree-sparse: enumeration wins (BENCH_matrices.json,
+        // n=25 sparse synthetic).
+        assert_eq!(cfg.effective_kernel(&sparse_tree(25)), PathKernel::Dfs);
         // Large: layered regardless of density.
         assert_eq!(
             cfg.effective_kernel(&sparse_tree(AUTO_NODE_THRESHOLD)),

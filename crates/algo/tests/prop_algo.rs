@@ -2,7 +2,7 @@
 //! formulas under controlled perturbations of the statistics.
 
 use proptest::prelude::*;
-use schema_summary_algo::importance::compute_importance;
+use schema_summary_algo::importance::{compute_importance, compute_importance_rebased};
 use schema_summary_algo::{
     build_multi_level, plan_delta, refresh_multi_level, Algorithm, DominanceSet, ImportanceConfig,
     PairMatrices, PathConfig, PathKernel, PathLength, Summarizer,
@@ -388,6 +388,104 @@ proptest! {
             refresh_multi_level(&g, &new_m, &new_sel, &[2], &previous, &row_changed).unwrap();
         let cold = build_multi_level(&g, &new_m, &new_sel, &[2]).unwrap();
         prop_assert_eq!(warm, cold);
+    }
+
+    /// The multi-source batched layered kernel is bit-identical to the
+    /// single-source driver at every batch size — one lane, partial last
+    /// batches (2, 7), a full 64-lane batch, and "all sources in one
+    /// batch" — including the per-source expansion accounting.
+    #[test]
+    fn batched_layered_matches_single_source(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+    ) {
+        let (g, s) = linked_schema(&secs, &picks);
+        let cfg = PathConfig {
+            kernel: PathKernel::Layered,
+            parallel_threshold: 0,
+            ..Default::default()
+        };
+        let single = PairMatrices::compute_with_threads_batched(&s, &cfg, 4, 1);
+        for batch in [2usize, 7, 64, s.len().max(1)] {
+            let batched = PairMatrices::compute_with_threads_batched(&s, &cfg, 4, batch);
+            for x in g.element_ids() {
+                for t in g.element_ids() {
+                    prop_assert_eq!(
+                        batched.affinity(x, t).to_bits(),
+                        single.affinity(x, t).to_bits(),
+                        "aff {}→{} at batch {}", x, t, batch
+                    );
+                    prop_assert_eq!(
+                        batched.coverage(x, t).to_bits(),
+                        single.coverage(x, t).to_bits(),
+                        "cov {}→{} at batch {}", x, t, batch
+                    );
+                }
+            }
+            prop_assert_eq!(batched.truncated(), single.truncated());
+            prop_assert_eq!(batched.floored(), single.floored());
+            prop_assert_eq!(batched.expansions(), single.expansions());
+        }
+    }
+
+    /// The warm path's seeded importance restart obeys its tolerance
+    /// contract on randomized statistic perturbations: mass conserved to
+    /// rounding, never more iterations than cold, and the seeded stop
+    /// lands inside the same stopping-rule resolution band as the cold
+    /// stop. Both runs exit when the per-step change drops below ε, which
+    /// leaves them a *resolution* (not ε) away from the true fixed point —
+    /// so the contract bounds the seeded answer's distance from a tightly
+    /// converged reference by the cold answer's own distance, within a
+    /// small factor (DESIGN.md §3.19).
+    #[test]
+    fn seeded_fixpoint_conserves_mass_and_stays_close(
+        a in 2u64..50, y in 1u64..8, b in 2u64..50, z in 1u64..8,
+        ma in 1u64..6, mb in 1u64..6,
+    ) {
+        let (g, s_old, _) = build(a, y, b, z);
+        // Non-uniform data growth: the two sections scale by different
+        // factors, which is exactly the regime where a plain mass rescale
+        // of the old vector is a poor seed and the cardinality rebase
+        // matters (DESIGN.md §3.19).
+        let (_, s_new, _) = build(a * ma, y, b * mb, z);
+        let config = ImportanceConfig::default();
+        let previous = compute_importance(&g, &s_old, &config);
+        let cold = compute_importance(&g, &s_new, &config);
+        let seeded = compute_importance_rebased(&g, &s_new, previous.scores(), &s_old, &config);
+        prop_assert!(cold.converged && seeded.converged);
+        // On tiny fast-mixing graphs an Aitken cycle can overshoot cold by
+        // an iteration or two; the restart must never be materially worse.
+        prop_assert!(
+            seeded.iterations <= cold.iterations + 4,
+            "seeded {} vs cold {}", seeded.iterations, cold.iterations
+        );
+        let mass: f64 = seeded.scores().iter().sum();
+        prop_assert!(
+            (mass - s_new.total_card()).abs() <= 1e-9 * s_new.total_card(),
+            "mass {} vs total {}", mass, s_new.total_card()
+        );
+        // Tightly converged reference: the best answer the iteration can
+        // produce, far inside both runs' stopping balls.
+        let tight = compute_importance(
+            &g,
+            &s_new,
+            &ImportanceConfig { epsilon: 1e-10, max_iterations: 2_000_000, ..config },
+        );
+        prop_assert!(tight.converged);
+        let rel_dev = |r: &[f64]| {
+            tight
+                .scores()
+                .iter()
+                .zip(r)
+                .map(|(t, v)| ((v - t) / t.abs().max(1e-12)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let cold_dev = rel_dev(cold.scores());
+        let seeded_dev = rel_dev(seeded.scores());
+        prop_assert!(
+            seeded_dev <= 2.0 * cold_dev + 10.0 * config.epsilon,
+            "seeded {seeded_dev:e} from fixpoint vs cold {cold_dev:e}"
+        );
     }
 
     /// The auto-switch heuristic (default kernel) always resolves to one of

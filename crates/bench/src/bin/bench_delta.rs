@@ -78,7 +78,7 @@ fn reconstruct(graph: &SchemaGraph, stats: &SchemaStats) -> (Vec<u64>, Vec<LinkC
 /// keep their bits.
 fn capped_pool(stats: &SchemaStats, n: usize) -> Vec<usize> {
     (1..n)
-        .filter(|&i| stats.edges(ElementId(i as u32)).iter().all(|e| e.rc <= 1.0))
+        .filter(|&i| stats.edge_rcs(ElementId(i as u32)).iter().all(|&rc| rc <= 1.0))
         .collect()
 }
 

@@ -37,6 +37,13 @@ pub struct LinkCount {
 /// One record of the flat CSR adjacency: everything the path-exploration
 /// and importance kernels need about an edge `u → neighbor`, precomputed so
 /// the innermost loops never scan an adjacency list.
+///
+/// Since the struct-of-arrays overhaul (DESIGN.md §3.19) this is a *view*
+/// assembled on the fly from the four parallel CSR lanes — the storage
+/// itself keeps each field in its own contiguous array so the hot kernels
+/// stream plain `f64` lanes. [`SchemaStats::edges`] yields these by value;
+/// lane-slice accessors ([`SchemaStats::edge_rc_factors`] etc.) expose the
+/// raw lanes for the data-parallel kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EdgeRec {
     /// The other endpoint.
@@ -57,22 +64,43 @@ pub struct EdgeRec {
     pub w_back: f64,
 }
 
+/// Number of trailing padding slots the CSR lanes are rounded up to. Four
+/// `f64`s fill a 256-bit vector register, so kernels that stream a lane in
+/// width-4 chunks never need a scalar tail guard against the allocation
+/// edge; the padding carries zeros (`rc = 0` marks it non-traversable).
+pub const LANE_PAD: usize = 4;
+
 /// Cardinality and relative-cardinality annotations for a schema graph.
 ///
-/// The adjacency is stored in compressed-sparse-row form: `adj_off[e]..
-/// adj_off[e+1]` indexes the [`EdgeRec`]s of element `e` in the flat `adj`
-/// array. Edge records carry the derived per-edge factors (`rc_factor`,
-/// `w_back`) so the hot kernels in `schema-summary-algo` are single-pass
-/// over contiguous memory.
+/// The adjacency is stored in compressed-sparse-row form as a
+/// **struct of arrays**: `adj_off[e] .. adj_off[e+1]` indexes element `e`'s
+/// edges in four parallel lanes (`adj_neighbor`, `adj_rc`, `adj_rc_factor`,
+/// `adj_w_back`). Splitting the per-edge record into contiguous same-typed
+/// lanes (rather than an array of `EdgeRec` structs) lets the layered
+/// relaxation and importance kernels in `schema-summary-algo` stream the
+/// `f64` factor lanes branch-light and autovectorized; each lane's tail is
+/// padded to a multiple of [`LANE_PAD`] with non-traversable zeros.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchemaStats {
     card: Vec<f64>,
-    /// CSR row offsets: element `e`'s edges live at `adj[adj_off[e] ..
-    /// adj_off[e + 1]]`.
+    /// CSR row offsets: element `e`'s edges live at lane positions
+    /// `adj_off[e] .. adj_off[e + 1]`.
     adj_off: Vec<u32>,
-    /// Flat edge array, aggregated over parallel links between the same
-    /// pair.
-    adj: Vec<EdgeRec>,
+    /// Lane: the other endpoint of each edge, aggregated over parallel
+    /// links between the same pair.
+    adj_neighbor: Vec<ElementId>,
+    /// Lane: `RC(u → neighbor)` per edge.
+    adj_rc: Vec<f64>,
+    /// Lane: clamped affinity factor `min(1, 1/rc)` per edge (0 when not
+    /// traversable).
+    adj_rc_factor: Vec<f64>,
+    /// Lane: backward neighbor weight `W(neighbor → u)` per edge.
+    adj_w_back: Vec<f64>,
+    /// Per element: number of traversable (`rc > 0`) edges in its row —
+    /// exactly the expansions one frontier visit of the element costs, so
+    /// the batched layered kernel can account budgets per source lane
+    /// without re-scanning the rc lane.
+    trav_deg: Vec<u32>,
     /// Per element: sum of outgoing RCs (denominator of the neighbor weight
     /// in Formula 1).
     rc_sum: Vec<f64>,
@@ -186,10 +214,17 @@ impl SchemaStats {
             .iter()
             .map(|adj| adj.iter().map(|&(_, w)| w).sum())
             .collect();
+        let edge_count: usize = rc_adj.iter().map(Vec::len).sum();
+        let padded = edge_count.next_multiple_of(LANE_PAD);
         let mut adj_off = Vec::with_capacity(n + 1);
         adj_off.push(0u32);
-        let mut adj = Vec::with_capacity(rc_adj.iter().map(Vec::len).sum());
+        let mut adj_neighbor = Vec::with_capacity(padded);
+        let mut adj_rc = Vec::with_capacity(padded);
+        let mut adj_rc_factor = Vec::with_capacity(padded);
+        let mut adj_w_back = Vec::with_capacity(padded);
+        let mut trav_deg = Vec::with_capacity(n);
         for (u, out) in rc_adj.iter().enumerate() {
+            let mut traversable = 0u32;
             for &(nb, rc) in out {
                 let rc_factor = if rc > 0.0 { (1.0 / rc).min(1.0) } else { 0.0 };
                 // W(nb → u): the reverse edge always exists because the
@@ -207,19 +242,31 @@ impl SchemaStats {
                 } else {
                     0.0
                 };
-                adj.push(EdgeRec {
-                    neighbor: nb,
-                    rc,
-                    rc_factor,
-                    w_back,
-                });
+                adj_neighbor.push(nb);
+                adj_rc.push(rc);
+                adj_rc_factor.push(rc_factor);
+                adj_w_back.push(w_back);
+                traversable += u32::from(rc > 0.0);
             }
-            adj_off.push(adj.len() as u32);
+            trav_deg.push(traversable);
+            adj_off.push(adj_neighbor.len() as u32);
+        }
+        // Tail padding: zero-RC slots past the last row, outside every
+        // `adj_off` range, so width-aligned lane sweeps stay in bounds.
+        while adj_neighbor.len() < padded {
+            adj_neighbor.push(ElementId(0));
+            adj_rc.push(0.0);
+            adj_rc_factor.push(0.0);
+            adj_w_back.push(0.0);
         }
         SchemaStats {
             card,
             adj_off,
-            adj,
+            adj_neighbor,
+            adj_rc,
+            adj_rc_factor,
+            adj_w_back,
+            trav_deg,
             rc_sum,
             total,
         }
@@ -249,9 +296,9 @@ impl SchemaStats {
     pub fn with_unit_rc(&self) -> Self {
         let rc_adj: Vec<Vec<(ElementId, f64)>> = (0..self.card.len())
             .map(|u| {
-                self.edges(ElementId(u as u32))
+                self.edge_neighbors(ElementId(u as u32))
                     .iter()
-                    .map(|e| (e.neighbor, 1.0))
+                    .map(|&nb| (nb, 1.0))
                     .collect()
             })
             .collect();
@@ -288,26 +335,108 @@ impl SchemaStats {
     /// are not linked.
     pub fn rc(&self, from: ElementId, to: ElementId) -> f64 {
         self.edges(from)
-            .iter()
             .find(|e| e.neighbor == to)
             .map(|e| e.rc)
             .unwrap_or(0.0)
     }
 
-    /// The CSR edge records of `e`: neighbors with their outgoing RCs and
-    /// the precomputed per-edge factors, aggregated over parallel links.
+    /// The lane positions of element `e`'s CSR row; index the whole-lane
+    /// accessors ([`rc_factor_lane`](Self::rc_factor_lane) etc.) with it.
     #[inline]
-    pub fn edges(&self, e: ElementId) -> &[EdgeRec] {
-        let lo = self.adj_off[e.index()] as usize;
-        let hi = self.adj_off[e.index() + 1] as usize;
-        &self.adj[lo..hi]
+    pub fn edge_range(&self, e: ElementId) -> std::ops::Range<usize> {
+        self.adj_off[e.index()] as usize..self.adj_off[e.index() + 1] as usize
+    }
+
+    /// Number of CSR edge records in `e`'s row.
+    #[inline]
+    pub fn degree(&self, e: ElementId) -> usize {
+        (self.adj_off[e.index() + 1] - self.adj_off[e.index()]) as usize
+    }
+
+    /// Number of traversable (`rc > 0`) edges in `e`'s row — the edge
+    /// expansions one frontier visit of `e` costs a path kernel.
+    #[inline]
+    pub fn traversable_degree(&self, e: ElementId) -> u32 {
+        self.trav_deg[e.index()]
+    }
+
+    /// The CSR edge records of `e`, assembled from the four lanes:
+    /// neighbors with their outgoing RCs and the precomputed per-edge
+    /// factors, aggregated over parallel links.
+    #[inline]
+    pub fn edges(&self, e: ElementId) -> impl ExactSizeIterator<Item = EdgeRec> + '_ {
+        let r = self.edge_range(e);
+        self.adj_neighbor[r.clone()]
+            .iter()
+            .zip(&self.adj_rc[r.clone()])
+            .zip(&self.adj_rc_factor[r.clone()])
+            .zip(&self.adj_w_back[r])
+            .map(|(((&neighbor, &rc), &rc_factor), &w_back)| EdgeRec {
+                neighbor,
+                rc,
+                rc_factor,
+                w_back,
+            })
+    }
+
+    /// Neighbor lane of `e`'s row.
+    #[inline]
+    pub fn edge_neighbors(&self, e: ElementId) -> &[ElementId] {
+        &self.adj_neighbor[self.edge_range(e)]
+    }
+
+    /// RC lane of `e`'s row (`rc > 0` is the traversability predicate).
+    #[inline]
+    pub fn edge_rcs(&self, e: ElementId) -> &[f64] {
+        &self.adj_rc[self.edge_range(e)]
+    }
+
+    /// Clamped affinity-factor lane of `e`'s row.
+    #[inline]
+    pub fn edge_rc_factors(&self, e: ElementId) -> &[f64] {
+        &self.adj_rc_factor[self.edge_range(e)]
+    }
+
+    /// Backward neighbor-weight lane of `e`'s row.
+    #[inline]
+    pub fn edge_w_backs(&self, e: ElementId) -> &[f64] {
+        &self.adj_w_back[self.edge_range(e)]
+    }
+
+    /// The full neighbor lane (all rows concatenated, tail-padded); index
+    /// with [`edge_range`](Self::edge_range).
+    #[inline]
+    pub fn neighbor_lane(&self) -> &[ElementId] {
+        &self.adj_neighbor
+    }
+
+    /// The full RC lane.
+    #[inline]
+    pub fn rc_lane(&self) -> &[f64] {
+        &self.adj_rc
+    }
+
+    /// The full clamped affinity-factor lane.
+    #[inline]
+    pub fn rc_factor_lane(&self) -> &[f64] {
+        &self.adj_rc_factor
+    }
+
+    /// The full backward neighbor-weight lane.
+    #[inline]
+    pub fn w_back_lane(&self) -> &[f64] {
+        &self.adj_w_back
     }
 
     /// All neighbors of `e` with their outgoing RCs, aggregated over
     /// parallel links.
     #[inline]
     pub fn rc_neighbors(&self, e: ElementId) -> impl Iterator<Item = (ElementId, f64)> + '_ {
-        self.edges(e).iter().map(|edge| (edge.neighbor, edge.rc))
+        let r = self.edge_range(e);
+        self.adj_neighbor[r.clone()]
+            .iter()
+            .zip(&self.adj_rc[r])
+            .map(|(&nb, &rc)| (nb, rc))
     }
 
     /// `Σ_k RC(e → e_k)` over all neighbors — the neighbor-weight
@@ -337,7 +466,11 @@ impl SchemaStats {
         SchemaStats {
             card: self.card.iter().map(|&c| c * factor).collect(),
             adj_off: self.adj_off.clone(),
-            adj: self.adj.clone(),
+            adj_neighbor: self.adj_neighbor.clone(),
+            adj_rc: self.adj_rc.clone(),
+            adj_rc_factor: self.adj_rc_factor.clone(),
+            adj_w_back: self.adj_w_back.clone(),
+            trav_deg: self.trav_deg.clone(),
             rc_sum: self.rc_sum.clone(),
             total: self.total * factor,
         }
@@ -345,7 +478,7 @@ impl SchemaStats {
 
     /// Ids of elements adjacent to `e` (via either link kind).
     pub fn neighbor_ids(&self, e: ElementId) -> impl Iterator<Item = ElementId> + '_ {
-        self.edges(e).iter().map(|edge| edge.neighbor)
+        self.edge_neighbors(e).iter().copied()
     }
 }
 

@@ -19,7 +19,7 @@
 //! recomputed. [`SchemaCatalog::compute_counters`] tells the two apart.
 
 use crate::disk::{DiskTier, KIND_MATRICES};
-use schema_summary_algo::importance::compute_importance;
+use schema_summary_algo::importance::{compute_importance, compute_importance_rebased};
 use schema_summary_algo::{DominanceSet, ImportanceResult, PairMatrices, SummarizerConfig};
 use schema_summary_core::{SchemaFingerprint, SchemaGraph, SchemaStats};
 use std::collections::hash_map::DefaultHasher;
@@ -39,6 +39,8 @@ pub const DEFAULT_CATALOG_SHARDS: usize = 8;
 pub(crate) struct ComputeCounters {
     matrices_computed: AtomicU64,
     matrices_rehydrated: AtomicU64,
+    importance_seeded: AtomicU64,
+    importance_iterations_saved: AtomicU64,
 }
 
 impl ComputeCounters {
@@ -49,6 +51,19 @@ impl ComputeCounters {
     pub fn matrices_rehydrated(&self) -> u64 {
         self.matrices_rehydrated.load(Ordering::Relaxed)
     }
+
+    /// Importance fixpoints started from a previous version's vector
+    /// instead of the cold cardinality init.
+    pub fn importance_seeded(&self) -> u64 {
+        self.importance_seeded.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative iterations the seeded restarts stopped short of their
+    /// cold baseline (the iteration count of the chain's original cold
+    /// run, carried forward across versions).
+    pub fn importance_iterations_saved(&self) -> u64 {
+        self.importance_iterations_saved.load(Ordering::Relaxed)
+    }
 }
 
 /// Canonical disk-tier key-meta for one schema's matrices under one
@@ -57,6 +72,11 @@ fn matrices_meta(fingerprint: SchemaFingerprint, config: &SummarizerConfig) -> S
     let options = serde_json::to_string(config).expect("config serializes");
     format!("mat|{}|{options}", fingerprint.to_hex())
 }
+
+/// A staged fixpoint restart: the previous version's importance result,
+/// its statistics (for the cardinality rebase), and the chain's cold
+/// baseline iteration count.
+type ImportanceSeed = (Arc<ImportanceResult>, Arc<SchemaStats>, u64);
 
 /// Heavy per-schema intermediates, computed at most once per
 /// `(fingerprint, configuration)` and shared across requests via `Arc`.
@@ -71,6 +91,18 @@ pub struct Artifacts {
     disk: Option<Arc<DiskTier>>,
     counters: Arc<ComputeCounters>,
     importance: OnceLock<Arc<ImportanceResult>>,
+    /// A previous version's importance vector staged by the warm refresh
+    /// path, consumed (at most once) by the first [`Artifacts::importance`]
+    /// call: the fixpoint restarts from it instead of the cold cardinality
+    /// init. Carries the previous version's statistics (for the
+    /// per-element cardinality rebase) and the cold-baseline iteration
+    /// count (see [`Artifacts::importance_baseline_iters`]).
+    importance_seed: Mutex<Option<ImportanceSeed>>,
+    /// Iterations a *cold* run of this schema's importance is known to
+    /// take: the actual count when computed cold, or the baseline carried
+    /// forward from the seeding version's chain when seeded. 0 until the
+    /// importance has been forced.
+    importance_baseline: AtomicU64,
     matrices: OnceLock<Arc<PairMatrices>>,
     /// Wall time the matrices took to compute, in microseconds (floored at
     /// 1 once computed, so 0 means "not computed yet"). This is the
@@ -98,6 +130,8 @@ impl Artifacts {
             disk,
             counters,
             importance: OnceLock::new(),
+            importance_seed: Mutex::new(None),
+            importance_baseline: AtomicU64::new(0),
             matrices: OnceLock::new(),
             matrices_micros: AtomicU64::new(0),
             dominance: OnceLock::new(),
@@ -105,14 +139,87 @@ impl Artifacts {
     }
 
     /// Importance scores (Formula 1), computed on first use.
+    ///
+    /// When the warm refresh path staged a previous version's vector via
+    /// [`Artifacts::seed_importance`], the fixpoint restarts from it
+    /// (rebased per element by its cardinality ratio, then rescaled to
+    /// the new total mass) instead of the cold cardinality init — the
+    /// paper's §3.3 maintenance restart. Seeded scores are
+    /// **ε-close** to a cold run's, not bit-identical: both runs stop
+    /// inside the same `ImportanceConfig::epsilon` convergence ball of
+    /// the unique fixed point, but generally at different points in it
+    /// (DESIGN.md §3.19). Mass is conserved exactly either way.
     pub fn importance(&self) -> &ImportanceResult {
         self.importance.get_or_init(|| {
-            Arc::new(compute_importance(
-                &self.graph,
-                &self.stats,
-                &self.config.importance,
-            ))
+            let seed = self
+                .importance_seed
+                .lock()
+                .expect("importance seed poisoned")
+                .take();
+            match seed {
+                Some((previous, previous_stats, baseline)) => {
+                    let result = compute_importance_rebased(
+                        &self.graph,
+                        &self.stats,
+                        previous.scores(),
+                        &previous_stats,
+                        &self.config.importance,
+                    );
+                    // The baseline anchors "iterations saved" to the
+                    // chain's original cold run, so chained seeds don't
+                    // compare against each other's already-short restarts.
+                    let baseline = baseline.max(previous.iterations as u64);
+                    self.importance_baseline.store(baseline, Ordering::Relaxed);
+                    self.counters.importance_seeded.fetch_add(1, Ordering::Relaxed);
+                    self.counters.importance_iterations_saved.fetch_add(
+                        baseline.saturating_sub(result.iterations as u64),
+                        Ordering::Relaxed,
+                    );
+                    Arc::new(result)
+                }
+                None => {
+                    let result = compute_importance(&self.graph, &self.stats, &self.config.importance);
+                    self.importance_baseline
+                        .store(result.iterations as u64, Ordering::Relaxed);
+                    Arc::new(result)
+                }
+            }
         })
+    }
+
+    /// The importance result if some caller already forced it — never
+    /// computes. The delta-refresh path uses this to find seed vectors
+    /// without paying for configurations nobody asked about.
+    pub(crate) fn importance_if_computed(&self) -> Option<Arc<ImportanceResult>> {
+        self.importance.get().cloned()
+    }
+
+    /// Iterations a cold importance run of this schema is known to take
+    /// (see the field doc); 0 until the importance has been forced.
+    pub(crate) fn importance_baseline_iters(&self) -> u64 {
+        self.importance_baseline.load(Ordering::Relaxed)
+    }
+
+    /// Stage a previous version's importance result as the restart seed
+    /// for this holder's (not yet forced) fixpoint. `previous_stats` are
+    /// the seeding version's statistics, used to rebase the seed by each
+    /// element's cardinality ratio; `baseline_iters` is the seeding
+    /// chain's cold-run iteration count, carried forward for the
+    /// `importance_iterations_saved` counter. A no-op once the importance
+    /// has been computed (a concurrent request won the race).
+    pub(crate) fn seed_importance(
+        &self,
+        previous: Arc<ImportanceResult>,
+        previous_stats: Arc<SchemaStats>,
+        baseline_iters: u64,
+    ) {
+        if self.importance.get().is_some() {
+            return;
+        }
+        *self
+            .importance_seed
+            .lock()
+            .expect("importance seed poisoned") = Some((previous, previous_stats, baseline_iters));
     }
 
     /// All-pairs affinity/coverage matrices (Formulas 2–3), obtained on

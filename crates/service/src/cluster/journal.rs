@@ -49,8 +49,9 @@ pub(crate) enum JournalEntry {
         /// The registered annotated graph (boxed: a graph dwarfs the
         /// retire variant, and replay moves entries around by value).
         graph: Box<SchemaGraph>,
-        /// Its cardinality statistics.
-        stats: SchemaStats,
+        /// Its cardinality statistics (boxed for the same reason — the
+        /// SoA edge lanes make the stats struct itself wide).
+        stats: Box<SchemaStats>,
     },
     /// The fingerprint's content was invalidated out of the catalog.
     Retire(SchemaFingerprint),
@@ -203,7 +204,7 @@ fn decode_record(bytes: &[u8]) -> Option<(Option<JournalEntry>, usize)> {
             (Some(name), Some(graph), Some(stats)) => Some(JournalEntry::Register {
                 name,
                 graph: Box::new(graph),
-                stats,
+                stats: Box::new(stats),
             }),
             _ => return None,
         },

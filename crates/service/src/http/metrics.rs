@@ -172,6 +172,20 @@ pub(crate) fn render(cache: &CacheStats, catalog: &CatalogStats, http: &HttpServ
         "Schema deltas that fell back to cold invalidation.",
         cache.delta_fallback_cold,
     );
+    family(
+        &mut out,
+        "schema_summary_importance_seeded_total",
+        "counter",
+        "Importance fixpoints restarted from a previous version's vector.",
+        cache.importance_seeded,
+    );
+    family(
+        &mut out,
+        "schema_summary_importance_iterations_saved_total",
+        "counter",
+        "Fixpoint iterations seeded restarts stopped short of their cold baseline.",
+        cache.importance_iterations_saved,
+    );
 
     // Catalog durability.
     family(

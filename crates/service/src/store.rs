@@ -362,6 +362,15 @@ impl ArtifactStore {
     /// was spliced are returned for warm re-derivation by the caller
     /// (under the normal single-flight `serve`).
     ///
+    /// On the same warm path, every old importance vector is staged as a
+    /// fixpoint restart seed on the new entry
+    /// ([`crate::catalog::Artifacts::seed_importance`]): the restart
+    /// conserves mass exactly and converges into the same
+    /// `ImportanceConfig::epsilon` ball as a cold run in a fraction of
+    /// the iterations, but stops at an ε-close — not bit-identical —
+    /// point. Matrices stay bit-exact; importance carries the documented
+    /// ε tolerance (DESIGN.md §3.19).
+    ///
     /// Falls back to a plain cold [`invalidate`](Self::invalidate) — and
     /// counts `delta_fallback_cold` — when the delta is structural or
     /// oversized, either fingerprint is not registered, or no old
@@ -384,7 +393,21 @@ impl ArtifactStore {
         };
         let mut spliced: Vec<(SummarizerConfig, Arc<Vec<bool>>)> = Vec::new();
         let mut rows_total = 0u64;
+        // Importance seeds, staged alongside the matrix splices: any
+        // configuration whose importance the old entry had forced can
+        // hand its vector to the new entry as a fixpoint restart seed
+        // (ε-close, mass-conserving — see `Artifacts::importance`), even
+        // when that configuration's matrices were never materialized.
+        let mut importance_seeds = Vec::new();
         for (config, artifacts) in old_entry.memoized() {
+            if let Some(previous) = artifacts.importance_if_computed() {
+                importance_seeds.push((
+                    config.clone(),
+                    previous,
+                    old_entry.stats().clone(),
+                    artifacts.importance_baseline_iters(),
+                ));
+            }
             let Some(old_matrices) = artifacts.matrices_if_computed() else {
                 continue;
             };
@@ -433,6 +456,14 @@ impl ArtifactStore {
         if spliced.is_empty() {
             self.delta_fallback_cold.fetch_add(1, Ordering::Relaxed);
             return RefreshOutcome::Cold(self.invalidate(old_fp));
+        }
+        // The refresh qualifies as warm: stage the old importance vectors
+        // so the new entry's first `importance()` call restarts the
+        // fixpoint from them instead of a cold cardinality init.
+        for (config, previous, previous_stats, baseline_iters) in importance_seeds {
+            new_entry
+                .artifacts(&config)
+                .seed_importance(previous, previous_stats, baseline_iters);
         }
         // Snapshot the old fingerprint's cached results for the spliced
         // configurations before the invalidation below drops them; the
