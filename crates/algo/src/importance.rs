@@ -228,8 +228,15 @@ pub fn compute_importance_from(
 /// to their cold init (`card_new`), and the whole seed is rescaled so its
 /// mass equals the new total cardinality exactly.
 ///
-/// Falls back to [`compute_importance_from`] when the statistics disagree
-/// on element count, with the same degenerate-seed guards otherwise.
+/// **Grown schemas**: when `stats` covers *more* elements than
+/// `previous_stats` (an additive structural delta appended elements at the
+/// tail of the id space), the old prefix still rebases element-wise and
+/// each appended element seeds at its cold init, `card_new` — mass
+/// proportional to its cardinality, which is where Formula 1's fixed point
+/// puts an element before link mixing redistributes it. The full seed is
+/// then mass-rescaled as usual. A *shrunk* `previous_stats` (or any other
+/// mismatch) falls back to [`compute_importance_from`], with the same
+/// degenerate-seed guards otherwise.
 pub fn compute_importance_rebased(
     graph: &SchemaGraph,
     stats: &SchemaStats,
@@ -237,15 +244,19 @@ pub fn compute_importance_rebased(
     previous_stats: &SchemaStats,
     config: &ImportanceConfig,
 ) -> ImportanceResult {
-    if previous_stats.len() != stats.len() {
+    if previous_stats.len() > stats.len() || previous.len() != previous_stats.len() {
         return compute_importance_from(graph, stats, previous, config);
     }
-    if previous.len() != graph.len() || config.mode != ImportanceMode::DataAndSchema {
+    if config.mode != ImportanceMode::DataAndSchema || stats.len() != graph.len() {
         return compute_importance(graph, stats, config);
     }
     let mut init: Vec<f64> = (0..graph.len())
         .map(|i| {
             let e = ElementId(i as u32);
+            if i >= previous_stats.len() {
+                // Appended element: no previous mass to rebase.
+                return stats.card(e);
+            }
             let old_card = previous_stats.card(e);
             if old_card > 0.0 {
                 previous[i] * (stats.card(e) / old_card)
@@ -619,6 +630,89 @@ mod tests {
         assert!(!ranked.contains(&g.root()));
         assert_eq!(ranked.len(), g.len() - 1);
         assert_eq!(r.top_k(&g, 1).len(), 1);
+    }
+
+    #[test]
+    fn rebased_seed_covers_grown_schemas() {
+        let (g, s) = two_node();
+        let cfg = ImportanceConfig::default();
+        let prev = compute_importance(&g, &s, &cfg);
+        // Identity-prefix growth: re-declare a → b, append c under b.
+        let mut b = SchemaGraphBuilder::new("a");
+        let bid = b
+            .add_child(b.root(), "b", SchemaType::set_of_rcd())
+            .unwrap();
+        let c = b.add_child(bid, "c", SchemaType::set_of_rcd()).unwrap();
+        let g2 = b.build().unwrap();
+        let s2 = SchemaStats::from_link_counts(
+            &g2,
+            &[10, 20, 40],
+            &[
+                LinkCount {
+                    from: g2.root(),
+                    to: bid,
+                    count: 20,
+                },
+                LinkCount {
+                    from: bid,
+                    to: c,
+                    count: 40,
+                },
+            ],
+        )
+        .unwrap();
+        let cold = compute_importance(&g2, &s2, &cfg);
+        let warm = compute_importance_rebased(&g2, &s2, prev.scores(), &s, &cfg);
+        assert!(warm.converged);
+        // Mass lands exactly on the new total (the seed is rescaled), and
+        // the seeded run stops in the same ε-ball as the cold one.
+        assert!((warm.total() - s2.total_card()).abs() < 1e-6);
+        for i in 0..g2.len() {
+            let e = ElementId(i as u32);
+            assert!(
+                (warm.score(e) - cold.score(e)).abs() <= 10.0 * cfg.epsilon,
+                "element {i}: warm {} vs cold {}",
+                warm.score(e),
+                cold.score(e)
+            );
+        }
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn rebased_seed_falls_back_on_shrunk_schemas() {
+        // previous_stats wider than stats: no element-wise rebase exists;
+        // the uniform-rescale fallback (or cold) must take over without
+        // panicking on the length mismatch.
+        let (g, s) = two_node();
+        let cfg = ImportanceConfig::default();
+        let mut b = SchemaGraphBuilder::new("a");
+        let bid = b
+            .add_child(b.root(), "b", SchemaType::set_of_rcd())
+            .unwrap();
+        let c = b.add_child(bid, "c", SchemaType::set_of_rcd()).unwrap();
+        let g2 = b.build().unwrap();
+        let s2 = SchemaStats::from_link_counts(
+            &g2,
+            &[10, 20, 40],
+            &[
+                LinkCount {
+                    from: g2.root(),
+                    to: bid,
+                    count: 20,
+                },
+                LinkCount {
+                    from: bid,
+                    to: c,
+                    count: 40,
+                },
+            ],
+        )
+        .unwrap();
+        let wide = compute_importance(&g2, &s2, &cfg);
+        let shrunk = compute_importance_rebased(&g, &s, wide.scores(), &s2, &cfg);
+        assert!(shrunk.converged);
+        assert!((shrunk.total() - s.total_card()).abs() < 1e-6);
     }
 
     #[test]

@@ -42,22 +42,31 @@
 //! the resolved kernel differs between versions (it cannot under graph
 //! equality, but the guard keeps the invariant local).
 //!
-//! The plan only applies when the two versions share the same
-//! [`SchemaGraph`](schema_summary_core::SchemaGraph) — structural changes
-//! (added/removed/retyped elements, changed links) renumber or rewire the
-//! element space and always fall back to a cold recompute, as does a delta
-//! touching more than `max_fraction` of the elements (past that point the
-//! splice saves little and the cold path's parallelism wins).
+//! The plan applies to two shapes of delta, routed by
+//! [`DeltaClass`](schema_summary_core::DeltaClass):
+//!
+//! * **same-graph deltas** (`Rescale` / `EdgeTouch`): both versions share the
+//!   [`SchemaGraph`](schema_summary_core::SchemaGraph), and the plan marks
+//!   the rows whose traces read a changed record;
+//! * **additive structural deltas** (`AdditiveStructural`): the new graph
+//!   strictly *extends* the old one — every old element keeps its id, label,
+//!   type, and parent, and new elements/links only append. New source rows
+//!   are always recomputed (there is no old row to splice), and old rows
+//!   re-explore exactly when their recorded read set touches a growth point
+//!   (an element whose edge slice gained a neighbor). Everything else copies
+//!   over bitwise: an untouched old row's trace never visits a new element,
+//!   so its affinity/coverage in the new columns is exactly the `+0.0` a
+//!   cold pass writes for unreached targets.
+//!
+//! `Destructive` deltas (removed/retyped elements, removed links) renumber
+//! or rewire the element space and always fall back to a cold recompute, as
+//! does a delta touching more than `max_fraction` of the elements (past that
+//! point the splice saves little and the cold path's parallelism wins).
 
-use schema_summary_core::{SchemaDelta, SchemaGraph, SchemaStats};
+use schema_summary_core::{DeltaClass, SchemaDelta, SchemaGraph, SchemaStats};
 
 use crate::matrices::PairMatrices;
 use crate::paths::PathConfig;
-
-/// Bit-pattern equality over two CSR `f64` lanes of equal length.
-fn lane_bits_eq(a: &[f64], b: &[f64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
 
 /// The outcome of [`plan_delta`]: which matrix rows a warm refresh must
 /// recompute, and how big the delta footprint was.
@@ -76,6 +85,11 @@ pub struct DeltaPlan {
     /// *values* may differ from the old matrices, which downstream
     /// row-reuse (e.g. multi-level patching) must treat as changed.
     pub rescaled: bool,
+    /// Number of elements appended by an additive structural delta
+    /// (`new_len - old_len`). Zero for same-graph plans and for link-only
+    /// growth; when non-zero the splice *resizes* the matrices, computing
+    /// the appended source rows fresh.
+    pub grown: usize,
 }
 
 impl DeltaPlan {
@@ -127,15 +141,23 @@ pub fn plan_delta(
             touched: 0,
             rows: 0,
             rescaled: false,
+            grown: 0,
         });
     }
-    if !delta.added_elements.is_empty()
-        || !delta.removed_elements.is_empty()
-        || !delta.retyped_elements.is_empty()
-        || !delta.added_value_links.is_empty()
-        || !delta.removed_value_links.is_empty()
-    {
-        return None;
+    match delta.class {
+        DeltaClass::Destructive => return None,
+        DeltaClass::AdditiveStructural => {
+            return plan_grown(
+                old_graph,
+                old_stats,
+                new_graph,
+                new_stats,
+                old_matrices,
+                config,
+                max_fraction,
+            );
+        }
+        DeltaClass::Rescale | DeltaClass::EdgeTouch => {}
     }
     if old_graph != new_graph {
         return None;
@@ -150,27 +172,19 @@ pub fn plan_delta(
     // Touched = elements whose *exploration-relevant* record bits differ:
     // edge-list shape, per-edge traversability (the kernels read `rc` only
     // through `rc > 0` gates), and the `rc_factor`/`w_back` bits the path
-    // products multiply. Comparing bits (not ==) keeps the exactness
-    // argument airtight: equal-but-for-NaN or signed-zero differences
-    // still force a recompute of affected rows. Cardinality bits (and the
-    // RC-value drift they induce at unchanged positivity, e.g. under a
-    // clamped `rc_factor`) are deliberately excluded — the splice redoes
-    // every coverage row-write from the stored path products, which is the
-    // only place cardinalities are read.
+    // products multiply — exactly the slice `SchemaStats::
+    // exploration_bits_eq` compares. Comparing bits (not ==) keeps the
+    // exactness argument airtight: equal-but-for-NaN or signed-zero
+    // differences still force a recompute of affected rows. Cardinality
+    // bits (and the RC-value drift they induce at unchanged positivity,
+    // e.g. under a clamped `rc_factor`) are deliberately excluded — the
+    // splice redoes every coverage row-write from the stored path
+    // products, which is the only place cardinalities are read.
     let mut touched_set = vec![false; n];
     let mut touched = 0usize;
     let mut rescaled = false;
     for e in new_graph.element_ids() {
-        let same = old_stats.degree(e) == new_stats.degree(e)
-            && old_stats.edge_neighbors(e) == new_stats.edge_neighbors(e)
-            && old_stats
-                .edge_rcs(e)
-                .iter()
-                .zip(new_stats.edge_rcs(e))
-                .all(|(a, b)| (*a > 0.0) == (*b > 0.0))
-            && lane_bits_eq(old_stats.edge_rc_factors(e), new_stats.edge_rc_factors(e))
-            && lane_bits_eq(old_stats.edge_w_backs(e), new_stats.edge_w_backs(e));
-        if !same {
+        if !old_stats.exploration_bits_eq(new_stats, e) {
             touched_set[e.index()] = true;
             touched += 1;
         }
@@ -193,6 +207,88 @@ pub fn plan_delta(
         touched,
         rows,
         rescaled,
+        grown: 0,
+    })
+}
+
+/// Plan a warm refresh for an *additive structural* delta.
+///
+/// Requires the new graph to be an **identity-prefix extension** of the old
+/// one: `new_len ≥ old_len` and every old element keeps its id, label, type,
+/// and parent (the builder assigns ids append-only, so re-declaring the old
+/// schema first and appending the new elements/links after produces exactly
+/// this shape). Old rows are diffed on exploration bits against the new
+/// stats — a row adjacent to a growth point sees its edge slice change and
+/// is naturally touched — and the recompute set is their recorded readers
+/// plus every appended row. The `max_fraction` guard counts grown rows.
+///
+/// Returns `None` (cold fallback) when the extension is not identity-prefix
+/// (renumbered or reordered old elements), when shapes or kernels disagree,
+/// or when the guard trips.
+fn plan_grown(
+    old_graph: &SchemaGraph,
+    old_stats: &SchemaStats,
+    new_graph: &SchemaGraph,
+    new_stats: &SchemaStats,
+    old_matrices: &PairMatrices,
+    config: &PathConfig,
+    max_fraction: f64,
+) -> Option<DeltaPlan> {
+    let n = new_graph.len();
+    let n_old = old_graph.len();
+    if n < n_old || old_stats.len() != n_old || new_stats.len() != n {
+        return None;
+    }
+    // Identity-prefix check: the old element space must embed unchanged at
+    // ids `0..n_old`. Labels/types/parents pin each old element in place;
+    // link growth is visible through the stats diff below.
+    let prefix_intact = old_graph.element_ids().all(|e| {
+        old_graph.label(e) == new_graph.label(e)
+            && old_graph.ty(e) == new_graph.ty(e)
+            && old_graph.parent(e) == new_graph.parent(e)
+    });
+    if !prefix_intact {
+        return None;
+    }
+    // Growth can move the auto-resolved kernel (n crosses the layered
+    // threshold): expansions metadata differs between kernels even when
+    // values agree, so a flip forces a cold pass.
+    if config.effective_kernel(old_stats) != config.effective_kernel(new_stats) {
+        return None;
+    }
+
+    // Diff old rows on replay bits. A row whose edge slice gained a
+    // *traversable* neighbor (a populated growth endpoint) diverges; a row
+    // whose `w_back` bits moved because a neighbor's in-weight sum changed
+    // differs in lane bits. Dormant growth — new edges with no instances
+    // yet (`rc == 0`) — leaves a row replayable: every kernel skips
+    // non-traversable edges before its budget, expansion count, or read
+    // set, so the row's trace is bitwise invariant. Rows passing the
+    // comparison never reach a new element — traversable edges into the
+    // new suffix exist only in touched rows.
+    let mut touched_old = vec![false; n_old];
+    let mut touched = 0usize;
+    let mut rescaled = false;
+    for e in old_graph.element_ids() {
+        if !old_stats.replay_bits_eq(new_stats, e) {
+            touched_old[e.index()] = true;
+            touched += 1;
+        }
+        rescaled |= old_stats.card(e).to_bits() != new_stats.card(e).to_bits();
+    }
+
+    let mut recompute = old_matrices.rows_reading(&touched_old)?;
+    recompute.resize(n, true); // every appended source row computes fresh
+    let rows = recompute.iter().filter(|&&b| b).count();
+    if max_fraction > 0.0 && max_fraction <= 1.0 && (rows as f64) > max_fraction * (n as f64) {
+        return None;
+    }
+    Some(DeltaPlan {
+        recompute,
+        touched,
+        rows,
+        rescaled,
+        grown: n - n_old,
     })
 }
 
@@ -371,7 +467,206 @@ mod tests {
         let g2 = b.build().unwrap();
         let s2 = SchemaStats::uniform(&g2);
         let d = SchemaDelta::compute(&g, &old, &g2, &s2);
+        // Dropping elements is destructive: no warm plan exists.
+        assert_eq!(d.class, DeltaClass::Destructive);
         assert!(plan_delta(&d, &g, &old, &g2, &s2, &old_m, &config, 1.0).is_none());
+    }
+
+    /// The fixture graph extended identity-prefix style: the same five
+    /// elements re-declared in order, plus a new element `z` under `B` and
+    /// a value link `z → x`. Ids: root=0, A=1, x=2, B=3, y=4, z=5.
+    fn grown_fixture() -> (SchemaGraph, Vec<u64>, Vec<LinkCount>) {
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "A", SchemaType::set_of_rcd())
+            .unwrap();
+        let x = b.add_child(a, "x", SchemaType::simple_str()).unwrap();
+        let bb = b
+            .add_child(b.root(), "B", SchemaType::set_of_rcd())
+            .unwrap();
+        let y = b.add_child(bb, "y", SchemaType::simple_str()).unwrap();
+        let z = b.add_child(bb, "z", SchemaType::simple_str()).unwrap();
+        b.add_value_link(x, y).unwrap();
+        b.add_value_link(z, x).unwrap();
+        let g = b.build().unwrap();
+        let root = g.root();
+        let cards = vec![1, 10, 30, 8, 24, 16];
+        let lc = |from, to, count| LinkCount { from, to, count };
+        let links = vec![
+            lc(root, a, 10),
+            lc(a, x, 30),
+            lc(root, bb, 8),
+            lc(bb, y, 24),
+            lc(x, y, 8),
+            lc(bb, z, 16),
+            lc(z, x, 16),
+        ];
+        (g, cards, links)
+    }
+
+    #[test]
+    fn grown_plan_splices_bitwise_to_cold() {
+        let (g, cards, links) = fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let (g2, new_cards, new_links) = grown_fixture();
+        let new = SchemaStats::from_link_counts(&g2, &new_cards, &new_links).unwrap();
+        let d = SchemaDelta::compute(&g, &old, &g2, &new);
+        assert_eq!(d.class, DeltaClass::AdditiveStructural);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g2, &new, &old_m, &config, 1.0).unwrap();
+        assert_eq!(plan.grown, 1);
+        // The appended row is always recomputed, plus the rows reading the
+        // growth endpoints (B gained a child, x gained a referrer).
+        assert!(plan.rows >= 1);
+        assert!(plan.recompute[5]);
+        assert!(!plan.rescaled); // old cardinalities untouched
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+    }
+
+    #[test]
+    fn grown_plan_carries_rows_outside_the_growth_readers() {
+        // Sparse base: zero-count structural links, so sources root/A/x/y
+        // read nothing beyond their own traversable component. Growth adds
+        // `w` under B behind a populated link: only B's edge slice gains a
+        // traversable edge, only B's own trace read it, so root/A/x/y
+        // carry over.
+        let (g, cards, links) = sparse_fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "A", SchemaType::set_of_rcd())
+            .unwrap();
+        let x = b.add_child(a, "x", SchemaType::simple_str()).unwrap();
+        let bb = b
+            .add_child(b.root(), "B", SchemaType::set_of_rcd())
+            .unwrap();
+        let y = b.add_child(bb, "y", SchemaType::simple_str()).unwrap();
+        let w = b.add_child(bb, "w", SchemaType::simple_str()).unwrap();
+        b.add_value_link(x, y).unwrap();
+        let g2 = b.build().unwrap();
+        let mut new_cards = cards.clone();
+        new_cards.push(12);
+        let mut new_links = links.clone();
+        new_links.push(LinkCount {
+            from: bb,
+            to: w,
+            count: 6,
+        });
+        let new = SchemaStats::from_link_counts(&g2, &new_cards, &new_links).unwrap();
+        let d = SchemaDelta::compute(&g, &old, &g2, &new);
+        assert_eq!(d.class, DeltaClass::AdditiveStructural);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g2, &new, &old_m, &config, 1.0).unwrap();
+        assert_eq!(plan.grown, 1);
+        assert_eq!(plan.touched, 1); // B only
+        assert_eq!(
+            plan.recompute,
+            vec![false, false, false, true, false, true]
+        );
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+    }
+
+    #[test]
+    fn dormant_growth_recomputes_only_the_appended_rows() {
+        // DDL before data: `w` lands under B with no instances, so the
+        // B→w edge has count 0 and no kernel will ever traverse it. B's
+        // row replays bit-for-bit over the grown stats, so the plan
+        // recomputes nothing but the appended row itself.
+        let (g, cards, links) = sparse_fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "A", SchemaType::set_of_rcd())
+            .unwrap();
+        let x = b.add_child(a, "x", SchemaType::simple_str()).unwrap();
+        let bb = b
+            .add_child(b.root(), "B", SchemaType::set_of_rcd())
+            .unwrap();
+        let y = b.add_child(bb, "y", SchemaType::simple_str()).unwrap();
+        b.add_child(bb, "w", SchemaType::simple_str()).unwrap();
+        b.add_value_link(x, y).unwrap();
+        let g2 = b.build().unwrap();
+        let mut new_cards = cards.clone();
+        new_cards.push(12);
+        let new = SchemaStats::from_link_counts(&g2, &new_cards, &links).unwrap();
+        let d = SchemaDelta::compute(&g, &old, &g2, &new);
+        assert_eq!(d.class, DeltaClass::AdditiveStructural);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g2, &new, &old_m, &config, 1.0).unwrap();
+        assert_eq!(plan.grown, 1);
+        assert_eq!(plan.touched, 0);
+        assert_eq!(plan.rows, 1);
+        assert_eq!(
+            plan.recompute,
+            vec![false, false, false, false, false, true]
+        );
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+    }
+
+    #[test]
+    fn link_only_growth_plans_without_resize() {
+        // Same element space, one appended value link y → A: class is
+        // additive-structural but nothing grows, so the splice keeps its
+        // shape and re-explores the link endpoints' readers only.
+        let (g, cards, links) = sparse_fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let mut b = SchemaGraphBuilder::new("db");
+        let a = b
+            .add_child(b.root(), "A", SchemaType::set_of_rcd())
+            .unwrap();
+        let x = b.add_child(a, "x", SchemaType::simple_str()).unwrap();
+        let bb = b
+            .add_child(b.root(), "B", SchemaType::set_of_rcd())
+            .unwrap();
+        let y = b.add_child(bb, "y", SchemaType::simple_str()).unwrap();
+        b.add_value_link(x, y).unwrap();
+        b.add_value_link(y, a).unwrap();
+        let g2 = b.build().unwrap();
+        let mut new_links = links.clone();
+        new_links.push(LinkCount {
+            from: y,
+            to: a,
+            count: 48,
+        });
+        let new = SchemaStats::from_link_counts(&g2, &cards, &new_links).unwrap();
+        let d = SchemaDelta::compute(&g, &old, &g2, &new);
+        assert_eq!(d.class, DeltaClass::AdditiveStructural);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g2, &new, &old_m, &config, 1.0).unwrap();
+        assert_eq!(plan.grown, 0);
+        assert!(plan.rows >= 2); // at least the endpoints' own traces
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute(&new, &config);
+        assert!(warm.bitwise_eq(&cold));
+    }
+
+    #[test]
+    fn grown_plan_counts_appended_rows_against_the_fraction_guard() {
+        let (g, cards, links) = fixture();
+        let old = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let (g2, new_cards, new_links) = grown_fixture();
+        let new = SchemaStats::from_link_counts(&g2, &new_cards, &new_links).unwrap();
+        let d = SchemaDelta::compute(&g, &old, &g2, &new);
+        let config = PathConfig::default();
+        let old_m = PairMatrices::compute(&old, &config);
+        let plan = plan_delta(&d, &g, &old, &g2, &new, &old_m, &config, 1.0).unwrap();
+        let fraction = plan.rows as f64 / g2.len() as f64;
+        // A guard just under the actual footprint refuses the plan.
+        assert!(
+            plan_delta(&d, &g, &old, &g2, &new, &old_m, &config, fraction - 0.05).is_none()
+        );
+        // Disabled guard accepts.
+        assert!(plan_delta(&d, &g, &old, &g2, &new, &old_m, &config, 0.0).is_some());
     }
 
     #[test]

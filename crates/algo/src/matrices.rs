@@ -307,17 +307,32 @@ impl PairMatrices {
     /// entries, flags, and expansion counts — are indistinguishable from
     /// [`compute`](Self::compute) on the new statistics.
     ///
-    /// Returns `None` when the shapes disagree or `self` lacks per-source
-    /// metadata (matrices rehydrated from the legacy disk format), in which
-    /// case the caller must fall back to a cold compute.
+    /// **Resizing**: `stats` may cover *more* elements than `self` (an
+    /// additive structural delta appended elements). The splice then grows
+    /// the matrices in place: every appended source row must be marked in
+    /// `recompute` (there is no old row to carry), and carried-over old
+    /// rows are re-strided into the wider layout with their new columns
+    /// left at `+0.0` — exactly what a cold pass writes there, because a
+    /// sound plan guarantees an unmarked row's trace never reaches an
+    /// appended element, so its path product for those targets is zero and
+    /// `Card · 0.0 = +0.0`.
+    ///
+    /// Returns `None` when the shapes disagree (including a *shrinking*
+    /// `stats`, or an appended row left unmarked) or `self` lacks
+    /// per-source metadata (matrices rehydrated from the legacy disk
+    /// format), in which case the caller must fall back to a cold compute.
     pub fn splice(
         &self,
         stats: &SchemaStats,
         config: &PathConfig,
         recompute: &[bool],
     ) -> Option<Self> {
-        let n = self.n;
-        if n != stats.len() || recompute.len() != n {
+        let n_old = self.n;
+        let n = stats.len();
+        if n < n_old || recompute.len() != n {
+            return None;
+        }
+        if recompute[n_old..].iter().any(|&redo| !redo) {
             return None;
         }
         let per = self.per_source.as_ref()?;
@@ -325,15 +340,20 @@ impl PairMatrices {
         // Carried-over rows first, then the re-explored rows in batches:
         // rows are disjoint and the run-wide folds (`|=` flags, `u64` sum)
         // are order-independent, so the two-pass order changes no bits.
+        // Only old rows (`a < n_old`) can be unmarked, checked above.
         for (a, &redo) in recompute.iter().enumerate() {
             if !redo {
-                let row = a * n;
-                out.affinity[row..row + n].copy_from_slice(&self.affinity[row..row + n]);
+                let src = a * n_old;
+                let dst = a * n;
+                out.affinity[dst..dst + n_old]
+                    .copy_from_slice(&self.affinity[src..src + n_old]);
                 // Redo only the final card multiply over the unchanged
                 // products — bitwise what a cold write of this row does.
-                let products = &per.cov_product[row..row + n];
+                // Appended columns keep the `0.0` product `zeroed` laid
+                // down, and their coverage stays `+0.0 = Card · 0.0`.
+                let products = &per.cov_product[src..src + n_old];
                 for (b, product) in products.iter().enumerate() {
-                    out.coverage[row + b] = stats.card(ElementId(b as u32)) * product;
+                    out.coverage[dst + b] = stats.card(ElementId(b as u32)) * product;
                 }
                 out.truncated |= per.truncated[a];
                 out.floored |= per.floored[a];
@@ -345,7 +365,7 @@ impl PairMatrices {
                 // A carried-over row's trace is unchanged, so its read set
                 // and products are too.
                 meta.visited[a] = per.visited[a].clone();
-                meta.cov_product[row..row + n].copy_from_slice(products);
+                meta.cov_product[dst..dst + n_old].copy_from_slice(products);
             }
         }
         let mut redo_rows: Vec<ElementId> = recompute

@@ -212,6 +212,12 @@ fn coarsen(
 /// row). Either way the result is bit-identical to a cold rebuild —
 /// guarded by the `incremental_multilevel_matches_cold` proptest.
 ///
+/// Grown graphs need no special casing: an additive structural delta
+/// leaves old element ids in place, so when the (old-element) selection
+/// survives untouched, appended elements simply arrive marked in
+/// `row_changed` with no cached owner and are assigned like any other
+/// changed element — the affected groups splice, the rest carry over.
+///
 /// Returns the stack and whether the finest level was patched (vs rebuilt).
 pub fn refresh_multi_level(
     graph: &SchemaGraph,
@@ -413,6 +419,97 @@ mod tests {
         let (ml2, reused) = refresh_multi_level(&g, &m, &sel5, &[3], &ml, &row_changed).unwrap();
         assert!(!reused);
         assert_eq!(ml2, build_multi_level(&g, &m, &sel5, &[3]).unwrap());
+    }
+
+    #[test]
+    fn refresh_patches_grown_graphs_when_selection_survives() {
+        use crate::incremental::plan_delta;
+        use schema_summary_core::stats::LinkCount;
+        use schema_summary_core::SchemaDelta;
+
+        // The people section carries zero-count links, so its traces stay
+        // on their own rows; items/auctions carry real counts. Growth
+        // appends `wishlist` under `people` behind another zero-count
+        // link: only `people`'s row (and the appended one) recompute, and
+        // no selected representative is touched — the cached stack patches
+        // in place even though the element space grew.
+        fn declare(grow: bool) -> (SchemaGraph, Vec<u64>, Vec<LinkCount>) {
+            let mut b = SchemaGraphBuilder::new("site");
+            let mut ids = std::collections::HashMap::new();
+            for (section, entities) in [
+                ("people", ["person", "address"]),
+                ("items", ["item", "review"]),
+                ("auctions", ["auction", "bid"]),
+            ] {
+                let s = b.add_child(b.root(), section, SchemaType::rcd()).unwrap();
+                ids.insert(section.to_string(), s);
+                for e in entities {
+                    let id = b.add_child(s, e, SchemaType::set_of_rcd()).unwrap();
+                    ids.insert(e.to_string(), id);
+                    let f = b
+                        .add_child(id, format!("{e}_field"), SchemaType::simple_str())
+                        .unwrap();
+                    ids.insert(format!("{e}_field"), f);
+                }
+            }
+            if grow {
+                b.add_child(ids["people"], "wishlist", SchemaType::set_of_rcd())
+                    .unwrap();
+            }
+            let g = b.build().unwrap();
+            let mut cards = vec![1u64; g.len()];
+            for e in g.element_ids() {
+                cards[e.index()] = match g.label(e) {
+                    "item" | "review" => 4,
+                    "auction" => 6,
+                    "bid" => 12,
+                    "person" | "address" => 5,
+                    "wishlist" => 3,
+                    l if l.ends_with("_field") => 8,
+                    _ => 1,
+                };
+            }
+            let lc = |from, to, count| LinkCount { from, to, count };
+            let links = vec![
+                lc(ids["items"], ids["item"], 4),
+                lc(ids["item"], ids["item_field"], 8),
+                lc(ids["items"], ids["review"], 4),
+                lc(ids["review"], ids["review_field"], 8),
+                lc(ids["auctions"], ids["auction"], 6),
+                lc(ids["auction"], ids["auction_field"], 8),
+                lc(ids["auctions"], ids["bid"], 12),
+                lc(ids["bid"], ids["bid_field"], 8),
+            ];
+            (g, cards, links)
+        }
+
+        let (g, cards, links) = declare(false);
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let (g2, new_cards, new_links) = declare(true);
+        let s2 = SchemaStats::from_link_counts(&g2, &new_cards, &new_links).unwrap();
+        let sel: Vec<ElementId> = ["person", "address", "item", "review", "auction", "bid"]
+            .iter()
+            .map(|l| g.element_ids().find(|&e| g.label(e) == *l).unwrap())
+            .collect();
+        let config = PathConfig::default();
+        let m = PairMatrices::compute(&s, &config);
+        let ml = build_multi_level(&g, &m, &sel, &[3]).unwrap();
+
+        let d = SchemaDelta::compute(&g, &s, &g2, &s2);
+        let plan = plan_delta(&d, &g, &s, &g2, &s2, &m, &config, 1.0).unwrap();
+        assert_eq!(plan.grown, 1);
+        assert!(
+            !sel.iter().any(|&e| plan.recompute[e.index()]),
+            "growth must not touch a selected row for this test"
+        );
+        let m2 = m.splice(&s2, &config, &plan.recompute).unwrap();
+        assert!(m2.bitwise_eq(&PairMatrices::compute(&s2, &config)));
+
+        let (ml2, reused) =
+            refresh_multi_level(&g2, &m2, &sel, &[3], &ml, &plan.recompute).unwrap();
+        assert!(reused, "untouched selection must patch, not rebuild");
+        ml2.validate(&g2).unwrap();
+        assert_eq!(ml2, build_multi_level(&g2, &m2, &sel, &[3]).unwrap());
     }
 
     #[test]

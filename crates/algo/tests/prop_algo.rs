@@ -9,7 +9,7 @@ use schema_summary_algo::{
 };
 use schema_summary_core::stats::LinkCount;
 use schema_summary_core::{
-    ElementId, SchemaDelta, SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType,
+    DeltaClass, ElementId, SchemaDelta, SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType,
 };
 
 /// A two-section schema whose link counts are driven by the inputs:
@@ -142,6 +142,122 @@ fn linked_schema(
     }
     let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
     (g, s)
+}
+
+/// [`linked_schema`] extended identity-prefix style: the same sections,
+/// leaves, and value links are declared first (so old element ids, old link
+/// lists, and old cardinalities are exactly the ungrown declaration's), then
+/// growth appends — extra leaves on existing sections, an optional extra
+/// section with its own leaves, and extra value links that may touch both
+/// old and new elements. Returns the raw (graph, cards, link counts) so
+/// callers can drive both `from_link_counts` and `grow_from`.
+fn grown_linked_schema(
+    secs: &[(u64, usize)],
+    link_picks: &[(usize, usize)],
+    extra_leaves: &[(usize, u64)],
+    extra_section: Option<(u64, usize)>,
+    extra_picks: &[(usize, usize)],
+) -> (SchemaGraph, Vec<u64>, Vec<LinkCount>) {
+    let mut builder = SchemaGraphBuilder::new("root");
+    let mut all = vec![builder.root()];
+    let mut sec_ids = Vec::new();
+    for (i, &(_, fan)) in secs.iter().enumerate() {
+        let sec = builder
+            .add_child(builder.root(), format!("s{i}"), SchemaType::set_of_rcd())
+            .unwrap();
+        sec_ids.push(sec);
+        all.push(sec);
+        for j in 0..fan {
+            all.push(
+                builder
+                    .add_child(sec, format!("s{i}f{j}"), SchemaType::set_of_rcd())
+                    .unwrap(),
+            );
+        }
+    }
+    let n_old_all = all.len();
+    // Old value links first, resolved over the old id space in the original
+    // pick order, so every old element's link list is a prefix of its grown
+    // one.
+    let mut value_links = Vec::new();
+    for &(f, t) in link_picks {
+        let from = all[f % n_old_all];
+        let to = all[t % n_old_all];
+        if from != to && builder.add_value_link(from, to).is_ok() {
+            value_links.push((from, to));
+        }
+    }
+    // Growth: appended leaves on existing sections, then an appended
+    // section, then the new value links (which may land on new elements).
+    let mut extra_elems: Vec<(ElementId, u64)> = Vec::new();
+    for (k, &(pick, card)) in extra_leaves.iter().enumerate() {
+        let sec = sec_ids[pick % sec_ids.len()];
+        let id = builder
+            .add_child(sec, format!("g{k}"), SchemaType::set_of_rcd())
+            .unwrap();
+        all.push(id);
+        extra_elems.push((id, card));
+    }
+    if let Some((card, fan)) = extra_section {
+        let sec = builder
+            .add_child(builder.root(), "gsec", SchemaType::set_of_rcd())
+            .unwrap();
+        all.push(sec);
+        extra_elems.push((sec, card));
+        for j in 0..fan {
+            let id = builder
+                .add_child(sec, format!("gsecf{j}"), SchemaType::set_of_rcd())
+                .unwrap();
+            all.push(id);
+            extra_elems.push((id, card * (j as u64 + 1)));
+        }
+    }
+    for &(f, t) in extra_picks {
+        let from = all[f % all.len()];
+        let to = all[t % all.len()];
+        if from != to && builder.add_value_link(from, to).is_ok() {
+            value_links.push((from, to));
+        }
+    }
+    let g = builder.build().unwrap();
+    let mut cards = vec![0u64; g.len()];
+    cards[g.root().index()] = 1;
+    let mut links = Vec::new();
+    let mut cursor = 1;
+    for &(card, fan) in secs {
+        let sec = all[cursor];
+        cursor += 1;
+        cards[sec.index()] = card;
+        links.push(LinkCount {
+            from: g.root(),
+            to: sec,
+            count: card,
+        });
+        for j in 0..fan {
+            let leaf = all[cursor];
+            cursor += 1;
+            let leaf_card = card * (j as u64 + 1);
+            cards[leaf.index()] = leaf_card;
+            links.push(LinkCount {
+                from: sec,
+                to: leaf,
+                count: leaf_card,
+            });
+        }
+    }
+    for (id, card) in extra_elems {
+        cards[id.index()] = card;
+        links.push(LinkCount {
+            from: g.parent(id).expect("growth elements are never the root"),
+            to: id,
+            count: card,
+        });
+    }
+    for (from, to) in value_links {
+        let count = cards[from.index()].min(cards[to.index()]);
+        links.push(LinkCount { from, to, count });
+    }
+    (g, cards, links)
 }
 
 proptest! {
@@ -388,6 +504,154 @@ proptest! {
             refresh_multi_level(&g, &new_m, &new_sel, &[2], &previous, &row_changed).unwrap();
         let cold = build_multi_level(&g, &new_m, &new_sel, &[2]).unwrap();
         prop_assert_eq!(warm, cold);
+    }
+
+    /// Warm refresh across randomized *additive structural* deltas —
+    /// element-only, link-only, and mixed growth, depending on which extra
+    /// inputs survive generation — is bit-identical to a cold recompute:
+    /// the grown plan marks the appended rows plus the readers of every
+    /// touched old record, and the resizing splice carries the rest.
+    #[test]
+    fn structural_growth_splice_matches_cold(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        extra_leaves in prop::collection::vec((0usize..8, 1u64..30), 0..3),
+        extra_sec in (0u64..30, 1usize..4),
+        extra_picks in prop::collection::vec((0usize..80, 0usize..80), 0..4),
+    ) {
+        let (g, old) = linked_schema(&secs, &picks);
+        let (g2, cards2, links2) =
+            grown_linked_schema(
+                &secs,
+                &picks,
+                &extra_leaves,
+                // Card 0 encodes "no extra section" (the shimmed proptest
+                // has no Option strategy).
+                (extra_sec.0 > 0).then_some(extra_sec),
+                &extra_picks,
+            );
+        let new = SchemaStats::from_link_counts(&g2, &cards2, &links2).unwrap();
+        let delta = SchemaDelta::compute(&g, &old, &g2, &new);
+        // All growth inputs can degenerate (duplicate/self link picks):
+        // skip the no-op draws, everything else must classify additive.
+        prop_assume!(!delta.is_empty());
+        prop_assert_eq!(delta.class, DeltaClass::AdditiveStructural);
+        // Pin the kernel: growth may cross the auto-resolution thresholds,
+        // which is a (tested) cold fallback, not the regime under test.
+        let config = PathConfig { kernel: PathKernel::Layered, ..Default::default() };
+        let old_m = PairMatrices::compute_serial(&old, &config);
+        let plan = plan_delta(&delta, &g, &old, &g2, &new, &old_m, &config, 1.0)
+            .expect("additive growth must plan warm");
+        prop_assert_eq!(plan.grown, g2.len() - g.len());
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute_serial(&new, &config);
+        prop_assert!(warm.bitwise_eq(&cold));
+    }
+
+    /// Dormant growth — DDL before data. Appended elements whose links
+    /// all carry zero counts are invisible to every path kernel, so each
+    /// old row replays bit-for-bit over the grown statistics: the plan
+    /// recomputes nothing but the appended rows themselves and the
+    /// splice is still bit-identical to a cold recompute.
+    #[test]
+    fn dormant_growth_recomputes_only_appended_rows(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        extra_leaves in prop::collection::vec((0usize..8, 1u64..30), 1..3),
+        extra_sec in (0u64..30, 1usize..4),
+    ) {
+        let (g, old) = linked_schema(&secs, &picks);
+        let (g2, cards2, mut links2) = grown_linked_schema(
+            &secs,
+            &picks,
+            &extra_leaves,
+            // Card 0 encodes "no extra section" (the shimmed proptest
+            // has no Option strategy).
+            (extra_sec.0 > 0).then_some(extra_sec),
+            &[],
+        );
+        let n_old = g.len();
+        prop_assert!(g2.len() > n_old);
+        // Declare the growth without instances: every link incident to
+        // an appended element drops to count 0.
+        for l in links2.iter_mut() {
+            if l.from.index() >= n_old || l.to.index() >= n_old {
+                l.count = 0;
+            }
+        }
+        let new = SchemaStats::from_link_counts(&g2, &cards2, &links2).unwrap();
+        let delta = SchemaDelta::compute(&g, &old, &g2, &new);
+        prop_assert_eq!(delta.class, DeltaClass::AdditiveStructural);
+        let config = PathConfig { kernel: PathKernel::Layered, ..Default::default() };
+        let old_m = PairMatrices::compute_serial(&old, &config);
+        let plan = plan_delta(&delta, &g, &old, &g2, &new, &old_m, &config, 1.0)
+            .expect("dormant growth must plan warm");
+        prop_assert_eq!(plan.grown, g2.len() - n_old);
+        prop_assert_eq!(plan.touched, 0);
+        prop_assert_eq!(plan.rows, plan.grown);
+        let warm = old_m.splice(&new, &config, &plan.recompute).unwrap();
+        let cold = PairMatrices::compute_serial(&new, &config);
+        prop_assert!(warm.bitwise_eq(&cold));
+    }
+
+    /// `SchemaStats::grow_from` appends CSR rows and edge lanes without
+    /// rebuilding untouched rows, bit-identical to a from-scratch
+    /// `from_link_counts` over the grown declaration.
+    #[test]
+    fn structural_grow_from_matches_cold_stats(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        extra_leaves in prop::collection::vec((0usize..8, 1u64..30), 0..3),
+        extra_sec in (0u64..30, 1usize..4),
+        extra_picks in prop::collection::vec((0usize..80, 0usize..80), 0..4),
+    ) {
+        let (_, old) = linked_schema(&secs, &picks);
+        let (g2, cards2, links2) =
+            grown_linked_schema(
+                &secs,
+                &picks,
+                &extra_leaves,
+                // Card 0 encodes "no extra section" (the shimmed proptest
+                // has no Option strategy).
+                (extra_sec.0 > 0).then_some(extra_sec),
+                &extra_picks,
+            );
+        let cold = SchemaStats::from_link_counts(&g2, &cards2, &links2).unwrap();
+        let warm = old.grow_from(&g2, &cards2, &links2).unwrap();
+        prop_assert_eq!(warm.len(), cold.len());
+        prop_assert_eq!(warm.total_card().to_bits(), cold.total_card().to_bits());
+        for e in g2.element_ids() {
+            prop_assert_eq!(warm.card(e).to_bits(), cold.card(e).to_bits(), "card {}", e);
+            prop_assert!(warm.exploration_bits_eq(&cold, e), "exploration bits {}", e);
+            prop_assert!(
+                warm.edge_rcs(e)
+                    .iter()
+                    .zip(cold.edge_rcs(e))
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "rc lane {}", e
+            );
+        }
+    }
+
+    /// The reverse direction — dropping the grown elements — classifies
+    /// destructive and refuses to plan: the cold fallback is the only path.
+    #[test]
+    fn destructive_delta_classifies_and_falls_back(
+        secs in prop::collection::vec((1u64..40, 1usize..5), 3..6),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        extra_leaves in prop::collection::vec((0usize..8, 1u64..30), 1..3),
+    ) {
+        let (g, base) = linked_schema(&secs, &picks);
+        let (g2, cards2, links2) =
+            grown_linked_schema(&secs, &picks, &extra_leaves, None, &[]);
+        let grown = SchemaStats::from_link_counts(&g2, &cards2, &links2).unwrap();
+        let delta = SchemaDelta::compute(&g2, &grown, &g, &base);
+        prop_assert_eq!(delta.class, DeltaClass::Destructive);
+        let config = PathConfig { kernel: PathKernel::Layered, ..Default::default() };
+        let old_m = PairMatrices::compute_serial(&grown, &config);
+        prop_assert!(
+            plan_delta(&delta, &g2, &grown, &g, &base, &old_m, &config, 1.0).is_none()
+        );
     }
 
     /// The multi-source batched layered kernel is bit-identical to the

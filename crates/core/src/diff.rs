@@ -138,6 +138,54 @@ impl SummaryDiff {
     }
 }
 
+/// How a [`SchemaDelta`] relates two annotated schemas, ordered by how
+/// much of the old version's derived artifacts survive:
+///
+/// * [`Rescale`](DeltaClass::Rescale) — only cardinality bits moved;
+///   every exploration-relevant edge record
+///   ([`SchemaStats::exploration_bits_eq`]) is bit-identical, so path
+///   explorations replay unchanged and only coverage rows need
+///   rewriting.
+/// * [`EdgeTouch`](DeltaClass::EdgeTouch) — the element set and link set
+///   are unchanged but some edge records moved (fan-out shifts on
+///   existing links); rows whose traces read them must re-explore.
+/// * [`AdditiveStructural`](DeltaClass::AdditiveStructural) — the new
+///   schema adds elements and/or value links and removes nothing; the
+///   old element space embeds as a prefix of the new one, so artifacts
+///   can be *grown* in place.
+/// * [`Destructive`](DeltaClass::Destructive) — elements or links were
+///   removed or retyped; the old element space does not embed and
+///   derived artifacts must be rebuilt cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeltaClass {
+    /// Cardinality-only change (includes the empty delta).
+    Rescale,
+    /// In-place change to existing edge records.
+    EdgeTouch,
+    /// Pure growth: added elements/links, nothing removed or retyped.
+    AdditiveStructural,
+    /// Removals or retypes; no warm path exists.
+    Destructive,
+}
+
+impl DeltaClass {
+    /// Stable lowercase token for metrics labels and admin JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeltaClass::Rescale => "rescale",
+            DeltaClass::EdgeTouch => "edge_touch",
+            DeltaClass::AdditiveStructural => "additive_structural",
+            DeltaClass::Destructive => "destructive",
+        }
+    }
+}
+
+impl std::fmt::Display for DeltaClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A structured difference between two *annotated schemas* — (graph,
 /// statistics) pairs that may differ in structure, links, or
 /// cardinalities.
@@ -168,6 +216,9 @@ pub struct SchemaDelta {
     /// Label paths present in both schemas whose cardinality or outgoing
     /// relative cardinalities changed, sorted.
     pub changed_cardinalities: Vec<String>,
+    /// Coarse classification of the whole delta (see [`DeltaClass`]):
+    /// what kind of refresh the serving layer can attempt.
+    pub class: DeltaClass,
 }
 
 impl SchemaDelta {
@@ -221,6 +272,32 @@ impl SchemaDelta {
         let removed_value_links: Vec<(String, String)> =
             old_links.difference(&new_links).cloned().collect();
 
+        let class = if !removed_elements.is_empty()
+            || !retyped_elements.is_empty()
+            || !removed_value_links.is_empty()
+        {
+            DeltaClass::Destructive
+        } else if !added_elements.is_empty() || !added_value_links.is_empty() {
+            DeltaClass::AdditiveStructural
+        } else {
+            // Same element and link sets. A pure rescale additionally
+            // requires every exploration-relevant edge record to be
+            // bit-identical — compared by id, which is meaningful only
+            // when the graphs agree element-for-element (equal-but-
+            // permuted builds classify conservatively as EdgeTouch).
+            let pure_rescale = old_graph == new_graph
+                && old_stats.len() == old_graph.len()
+                && new_stats.len() == new_graph.len()
+                && old_graph
+                    .element_ids()
+                    .all(|e| old_stats.exploration_bits_eq(new_stats, e));
+            if pure_rescale {
+                DeltaClass::Rescale
+            } else {
+                DeltaClass::EdgeTouch
+            }
+        };
+
         SchemaDelta {
             old_fingerprint: SchemaFingerprint::of_annotated(old_graph, old_stats),
             new_fingerprint: SchemaFingerprint::of_annotated(new_graph, new_stats),
@@ -230,6 +307,7 @@ impl SchemaDelta {
             added_value_links,
             removed_value_links,
             changed_cardinalities,
+            class,
         }
     }
 
@@ -443,6 +521,66 @@ mod tests {
         assert!(d.removed_elements.is_empty());
         assert!(!d.changed_cardinalities.is_empty());
         assert_ne!(d.old_fingerprint, d.new_fingerprint);
+    }
+
+    #[test]
+    fn schema_delta_classifies_pure_rescale() {
+        let g = delta_graph(true, false);
+        let s1 = SchemaStats::uniform(&g);
+        let s2 = s1.scaled(2.0);
+        let d = SchemaDelta::compute(&g, &s1, &g, &s2);
+        assert_eq!(d.class, DeltaClass::Rescale);
+        // The empty delta is a (degenerate) rescale too.
+        assert_eq!(SchemaDelta::compute(&g, &s1, &g, &s1).class, DeltaClass::Rescale);
+    }
+
+    #[test]
+    fn schema_delta_classifies_edge_touch() {
+        let g = delta_graph(true, true);
+        let s1 = SchemaStats::uniform(&g);
+        // Same graph, same cardinalities, but unit RCs forced: existing
+        // edge records move without any structural change.
+        let s2 = SchemaStats::from_link_counts(
+            &g,
+            &vec![1u64; g.len()],
+            &g.structural_links()
+                .chain(g.value_links())
+                .map(|(f, t)| crate::stats::LinkCount { from: f, to: t, count: 2 })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let d = SchemaDelta::compute(&g, &s1, &g, &s2);
+        assert!(d.added_elements.is_empty() && d.removed_elements.is_empty());
+        assert_eq!(d.class, DeltaClass::EdgeTouch);
+    }
+
+    #[test]
+    fn schema_delta_classifies_growth_and_destruction() {
+        let old = delta_graph(false, false);
+        let new = delta_graph(true, true);
+        let grown = SchemaDelta::compute(
+            &old,
+            &SchemaStats::uniform(&old),
+            &new,
+            &SchemaStats::uniform(&new),
+        );
+        assert_eq!(grown.class, DeltaClass::AdditiveStructural);
+        let shrunk = SchemaDelta::compute(
+            &new,
+            &SchemaStats::uniform(&new),
+            &old,
+            &SchemaStats::uniform(&old),
+        );
+        assert_eq!(shrunk.class, DeltaClass::Destructive);
+        // A delta that both adds and removes is destructive: the old
+        // element space does not embed in the new one.
+        let sideways = SchemaDelta::compute(
+            &delta_graph(true, false),
+            &SchemaStats::uniform(&delta_graph(true, false)),
+            &delta_graph(false, true),
+            &SchemaStats::uniform(&delta_graph(false, true)),
+        );
+        assert_eq!(sideways.class, DeltaClass::Destructive);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod stats;
 pub mod summary;
 pub mod types;
 
-pub use diff::{SchemaDelta, SummaryDiff};
+pub use diff::{DeltaClass, SchemaDelta, SummaryDiff};
 pub use error::SchemaError;
 pub use fingerprint::SchemaFingerprint;
 pub use graph::{LinkKind, SchemaGraph, SchemaGraphBuilder};

@@ -128,9 +128,24 @@ impl SchemaStats {
                 actual: element_card.len(),
             });
         }
-        let n = graph.len();
         let card: Vec<f64> = element_card.iter().map(|&c| c as f64).collect();
+        let (rc_adj, cnt_adj) = Self::count_adjacency(graph, &card, link_counts)?;
+        let total = card.iter().sum();
+        Ok(Self::from_adjacency_weighted(card, rc_adj, &cnt_adj, total))
+    }
 
+    /// Build the nested RC and raw-count adjacencies from per-link instance
+    /// counts — the shared front half of [`from_link_counts`](Self::
+    /// from_link_counts) and [`grow_from`](Self::grow_from), so a grown
+    /// annotation accumulates its rows in exactly the order a cold build
+    /// does (bitwise identity depends on the fold order).
+    #[allow(clippy::type_complexity)]
+    fn count_adjacency(
+        graph: &SchemaGraph,
+        card: &[f64],
+        link_counts: &[LinkCount],
+    ) -> Result<(Vec<Vec<(ElementId, f64)>>, Vec<Vec<(ElementId, f64)>>), SchemaError> {
+        let n = graph.len();
         // Collect the set of schema links so we can validate inputs and
         // default unmentioned links to zero.
         let mut counts: Vec<(ElementId, ElementId, f64)> = Vec::new();
@@ -178,9 +193,7 @@ impl SchemaStats {
             accumulate(&mut cnt_adj[e1.index()], e2, cnt);
             accumulate(&mut cnt_adj[e2.index()], e1, cnt);
         }
-
-        let total = card.iter().sum();
-        Ok(Self::from_adjacency_weighted(card, rc_adj, &cnt_adj, total))
+        Ok((rc_adj, cnt_adj))
     }
 
     /// Finalize statistics from per-element cardinalities and a nested
@@ -224,30 +237,17 @@ impl SchemaStats {
         let mut adj_w_back = Vec::with_capacity(padded);
         let mut trav_deg = Vec::with_capacity(n);
         for (u, out) in rc_adj.iter().enumerate() {
-            let mut traversable = 0u32;
-            for &(nb, rc) in out {
-                let rc_factor = if rc > 0.0 { (1.0 / rc).min(1.0) } else { 0.0 };
-                // W(nb → u): the reverse edge always exists because the
-                // adjacency is built symmetrically, but its RC (and the
-                // neighbor's whole RC mass) may be zero. The `rc_sum` guard
-                // keeps zero-cardinality neighbors (whose RCs are all zero
-                // while their raw counts may not be) weightless either way.
-                let w_src_back = wsrc[nb.index()]
-                    .iter()
-                    .find(|&&(e, _)| e.index() == u)
-                    .map(|&(_, w)| w)
-                    .unwrap_or(0.0);
-                let w_back = if rc_sum[nb.index()] > 0.0 && wsrc_sum[nb.index()] > 0.0 {
-                    w_src_back / wsrc_sum[nb.index()]
-                } else {
-                    0.0
-                };
-                adj_neighbor.push(nb);
-                adj_rc.push(rc);
-                adj_rc_factor.push(rc_factor);
-                adj_w_back.push(w_back);
-                traversable += u32::from(rc > 0.0);
-            }
+            let traversable = push_row(
+                out,
+                u,
+                wsrc,
+                &rc_sum,
+                &wsrc_sum,
+                &mut adj_neighbor,
+                &mut adj_rc,
+                &mut adj_rc_factor,
+                &mut adj_w_back,
+            );
             trav_deg.push(traversable);
             adj_off.push(adj_neighbor.len() as u32);
         }
@@ -457,6 +457,208 @@ impl SchemaStats {
         }
     }
 
+    /// Whether element `e`'s CSR row carries bit-identical
+    /// **exploration-relevant** record bits in `self` and `other`: the
+    /// edge-list shape, each edge's traversability (`rc > 0` — path
+    /// kernels never read the RC value itself), and the
+    /// `rc_factor`/`w_back` bits that enter the path products.
+    /// Cardinality bits are deliberately excluded — exploration reads
+    /// them exactly once, after the trace, when the coverage row is
+    /// written. This is the row-invariance predicate of delta
+    /// classification and the incremental maintenance planner; `e` must
+    /// be in range for both annotations.
+    pub fn exploration_bits_eq(&self, other: &SchemaStats, e: ElementId) -> bool {
+        self.degree(e) == other.degree(e)
+            && self.edge_neighbors(e) == other.edge_neighbors(e)
+            && self
+                .edge_rcs(e)
+                .iter()
+                .zip(other.edge_rcs(e))
+                .all(|(a, b)| (*a > 0.0) == (*b > 0.0))
+            && lane_bits_eq(self.edge_rc_factors(e), other.edge_rc_factors(e))
+            && lane_bits_eq(self.edge_w_backs(e), other.edge_w_backs(e))
+    }
+
+    /// Like [`exploration_bits_eq`](Self::exploration_bits_eq), but
+    /// tolerating **dormant growth**: `other`'s row may interleave extra
+    /// edges with `rc == 0` (a link declared in the schema before any
+    /// instance exists). Every path kernel skips non-traversable edges
+    /// before touching its budget, expansion count, or read set, so a row
+    /// passing this predicate replays bit-identically on `other` — same
+    /// products, flags, and reads — even though its record shape changed.
+    /// The surviving edges must match `self`'s in order and bits, exactly
+    /// as the strict predicate demands; `e` must be in range for both.
+    pub fn replay_bits_eq(&self, other: &SchemaStats, e: ElementId) -> bool {
+        let (an, arc) = (self.edge_neighbors(e), self.edge_rcs(e));
+        let (af, aw) = (self.edge_rc_factors(e), self.edge_w_backs(e));
+        let (bn, brc) = (other.edge_neighbors(e), other.edge_rcs(e));
+        let (bf, bw) = (other.edge_rc_factors(e), other.edge_w_backs(e));
+        let mut i = 0;
+        for j in 0..bn.len() {
+            let matches = i < an.len()
+                && an[i] == bn[j]
+                && (arc[i] > 0.0) == (brc[j] > 0.0)
+                && af[i].to_bits() == bf[j].to_bits()
+                && aw[i].to_bits() == bw[j].to_bits();
+            if matches {
+                i += 1;
+            } else if brc[j] > 0.0 {
+                // An unmatched traversable edge: the replay would expand
+                // through it and diverge.
+                return false;
+            }
+            // An unmatched rc == 0 edge is invisible to every kernel.
+        }
+        i == an.len()
+    }
+
+    /// Grow these statistics into a larger schema version without
+    /// rebuilding untouched rows: `graph` is the grown graph (the base
+    /// elements keep their ids as an identity prefix — the append-only
+    /// builder guarantees this when the new schema re-adds the old
+    /// elements first), and `element_card`/`link_counts` annotate the
+    /// *whole* grown schema, exactly as
+    /// [`from_link_counts`](Self::from_link_counts) would receive them.
+    ///
+    /// Growth must be additive: every base element keeps its cardinality
+    /// and every base link its instance count (new elements and links are
+    /// free). Changed base cardinalities are rejected; the result is
+    /// **bitwise identical** to a cold `from_link_counts` over the grown
+    /// inputs.
+    ///
+    /// Only the rows a new or changed link can influence are recomputed:
+    /// a row is rebuilt when its own outgoing adjacency moved (a new
+    /// incident link adds a neighbor; new elements are all new rows) or
+    /// when a *neighbor's* adjacency moved — `w_back` on edge `u → v`
+    /// divides by `v`'s total outgoing count mass, so a link landing on
+    /// `v` rewrites the `w_back` bits in every row adjacent to `v`.
+    /// Every other row's lane slices are copied verbatim from the base.
+    pub fn grow_from(
+        &self,
+        graph: &SchemaGraph,
+        element_card: &[u64],
+        link_counts: &[LinkCount],
+    ) -> Result<Self, SchemaError> {
+        let n_old = self.len();
+        let n = graph.len();
+        if element_card.len() != n {
+            return Err(SchemaError::StatsShape {
+                expected: n,
+                actual: element_card.len(),
+            });
+        }
+        if n < n_old {
+            return Err(SchemaError::Invalid(format!(
+                "grow_from: graph has {n} elements but the base statistics cover {n_old}"
+            )));
+        }
+        let card: Vec<f64> = element_card.iter().map(|&c| c as f64).collect();
+        for (i, c) in card.iter().enumerate().take(n_old) {
+            if c.to_bits() != self.card[i].to_bits() {
+                return Err(SchemaError::Invalid(format!(
+                    "grow_from: cardinality of existing element e{i} changed; growth must be additive"
+                )));
+            }
+        }
+        let (rc_adj, cnt_adj) = Self::count_adjacency(graph, &card, link_counts)?;
+
+        // Endpoints: base rows whose outgoing adjacency (neighbor list or
+        // RC bits) differs from the base annotation — every new or
+        // changed link incident to a base element surfaces here, because
+        // a new link adds a neighbor entry and a changed count moves the
+        // RC bits. New elements count as endpoints by definition. (A
+        // changed count on a zero-cardinality element escapes the RC
+        // comparison, but its RC row is all zero either way, so the
+        // `rc_sum` guard zeroes every `w_back` it could influence.)
+        let mut endpoint = vec![true; n];
+        for (u, flag) in endpoint.iter_mut().enumerate().take(n_old) {
+            let e = ElementId(u as u32);
+            let base_nb = self.edge_neighbors(e);
+            let base_rc = self.edge_rcs(e);
+            let row = &rc_adj[u];
+            *flag = !(row.len() == base_nb.len()
+                && row.iter().zip(base_nb).all(|(&(nb, _), &b)| nb == b)
+                && row
+                    .iter()
+                    .zip(base_rc)
+                    .all(|(&(_, rc), &b)| rc.to_bits() == b.to_bits()));
+        }
+        // A row is rebuilt when it is an endpoint or adjacent to one (the
+        // w_back denominator argument above); everything else copies.
+        let mut rebuild = endpoint.clone();
+        for u in 0..n {
+            if endpoint[u] {
+                for &(nb, _) in &rc_adj[u] {
+                    rebuild[nb.index()] = true;
+                }
+            }
+        }
+
+        let rc_sum: Vec<f64> = rc_adj
+            .iter()
+            .map(|adj| adj.iter().map(|&(_, rc)| rc).sum())
+            .collect();
+        let wsrc_sum: Vec<f64> = cnt_adj
+            .iter()
+            .map(|adj| adj.iter().map(|&(_, w)| w).sum())
+            .collect();
+        let edge_count: usize = rc_adj.iter().map(Vec::len).sum();
+        let padded = edge_count.next_multiple_of(LANE_PAD);
+        let mut adj_off = Vec::with_capacity(n + 1);
+        adj_off.push(0u32);
+        let mut adj_neighbor = Vec::with_capacity(padded);
+        let mut adj_rc = Vec::with_capacity(padded);
+        let mut adj_rc_factor = Vec::with_capacity(padded);
+        let mut adj_w_back = Vec::with_capacity(padded);
+        let mut trav_deg = Vec::with_capacity(n);
+        for (u, redo) in rebuild.iter().enumerate() {
+            if *redo {
+                let traversable = push_row(
+                    &rc_adj[u],
+                    u,
+                    &cnt_adj,
+                    &rc_sum,
+                    &wsrc_sum,
+                    &mut adj_neighbor,
+                    &mut adj_rc,
+                    &mut adj_rc_factor,
+                    &mut adj_w_back,
+                );
+                trav_deg.push(traversable);
+            } else {
+                // Untouched row with untouched neighbors: every lane bit
+                // (including the cross-row w_back ratios) is invariant.
+                let r = self.edge_range(ElementId(u as u32));
+                adj_neighbor.extend_from_slice(&self.adj_neighbor[r.clone()]);
+                adj_rc.extend_from_slice(&self.adj_rc[r.clone()]);
+                adj_rc_factor.extend_from_slice(&self.adj_rc_factor[r.clone()]);
+                adj_w_back.extend_from_slice(&self.adj_w_back[r]);
+                trav_deg.push(self.trav_deg[u]);
+            }
+            adj_off.push(adj_neighbor.len() as u32);
+        }
+        // Tail padding, re-derived for the grown edge count (the base
+        // padding is never copied).
+        while adj_neighbor.len() < padded {
+            adj_neighbor.push(ElementId(0));
+            adj_rc.push(0.0);
+            adj_rc_factor.push(0.0);
+            adj_w_back.push(0.0);
+        }
+        let total = card.iter().sum();
+        Ok(SchemaStats {
+            card,
+            adj_off,
+            adj_neighbor,
+            adj_rc,
+            adj_rc_factor,
+            adj_w_back,
+            trav_deg,
+            rc_sum,
+            total,
+        })
+    }
+
     /// A copy of these statistics with every cardinality multiplied by
     /// `factor` (relative cardinalities are ratios and do not change).
     /// Models proportional database growth — the paper's footnote 8
@@ -487,6 +689,55 @@ fn accumulate(adj: &mut Vec<(ElementId, f64)>, nb: ElementId, rc: f64) {
         Some((_, existing)) => *existing += rc,
         None => adj.push((nb, rc)),
     }
+}
+
+/// Append element `u`'s CSR row to the four lanes, computing the derived
+/// per-edge factors. Shared by the full build
+/// (`from_adjacency_weighted`) and the growth constructor
+/// ([`SchemaStats::grow_from`]) so a recomputed row's bits cannot drift
+/// from a cold build's. Returns the row's traversable degree.
+#[allow(clippy::too_many_arguments)]
+fn push_row(
+    row: &[(ElementId, f64)],
+    u: usize,
+    wsrc: &[Vec<(ElementId, f64)>],
+    rc_sum: &[f64],
+    wsrc_sum: &[f64],
+    adj_neighbor: &mut Vec<ElementId>,
+    adj_rc: &mut Vec<f64>,
+    adj_rc_factor: &mut Vec<f64>,
+    adj_w_back: &mut Vec<f64>,
+) -> u32 {
+    let mut traversable = 0u32;
+    for &(nb, rc) in row {
+        let rc_factor = if rc > 0.0 { (1.0 / rc).min(1.0) } else { 0.0 };
+        // W(nb → u): the reverse edge always exists because the
+        // adjacency is built symmetrically, but its RC (and the
+        // neighbor's whole RC mass) may be zero. The `rc_sum` guard
+        // keeps zero-cardinality neighbors (whose RCs are all zero
+        // while their raw counts may not be) weightless either way.
+        let w_src_back = wsrc[nb.index()]
+            .iter()
+            .find(|&&(e, _)| e.index() == u)
+            .map(|&(_, w)| w)
+            .unwrap_or(0.0);
+        let w_back = if rc_sum[nb.index()] > 0.0 && wsrc_sum[nb.index()] > 0.0 {
+            w_src_back / wsrc_sum[nb.index()]
+        } else {
+            0.0
+        };
+        adj_neighbor.push(nb);
+        adj_rc.push(rc);
+        adj_rc_factor.push(rc_factor);
+        adj_w_back.push(w_back);
+        traversable += u32::from(rc > 0.0);
+    }
+    traversable
+}
+
+/// Bit-pattern equality over two `f64` lane slices of equal length.
+fn lane_bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 #[cfg(test)]
@@ -672,6 +923,179 @@ mod tests {
                 assert_eq!(s2.rc(e, nb), s.rc(e, nb));
             }
         }
+    }
+
+    /// Assert two annotations agree bit-for-bit on every stored lane and
+    /// aggregate — stronger than `PartialEq` (which compares floats by
+    /// value, not bits).
+    fn assert_bitwise_eq(a: &SchemaStats, b: &SchemaStats) {
+        assert_eq!(a.card.len(), b.card.len());
+        assert!(a
+            .card
+            .iter()
+            .zip(&b.card)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(a.adj_off, b.adj_off);
+        assert_eq!(a.adj_neighbor, b.adj_neighbor);
+        for (la, lb) in [
+            (&a.adj_rc, &b.adj_rc),
+            (&a.adj_rc_factor, &b.adj_rc_factor),
+            (&a.adj_w_back, &b.adj_w_back),
+            (&a.rc_sum, &b.rc_sum),
+        ] {
+            assert_eq!(la.len(), lb.len());
+            assert!(la.iter().zip(lb).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+        assert_eq!(a.trav_deg, b.trav_deg);
+        assert_eq!(a.total.to_bits(), b.total.to_bits());
+    }
+
+    /// Rebuild the `graph()` fixture with optional growth appended after
+    /// the base elements (preserving the id prefix), plus the grown
+    /// annotation.
+    fn grown_fixture(grow: bool) -> (SchemaGraph, Vec<u64>, Vec<LinkCount>) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let oas = b
+            .add_child(b.root(), "open_auctions", SchemaType::rcd())
+            .unwrap();
+        let oa = b
+            .add_child(oas, "open_auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b.add_child(oa, "bidder", SchemaType::set_of_rcd()).unwrap();
+        let seller = b.add_child(oa, "seller", SchemaType::rcd()).unwrap();
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.add_value_link(seller, person).unwrap();
+        let mut cards = vec![1u64, 1, 100, 500, 100, 1, 200];
+        let lc = |from, to, count| LinkCount { from, to, count };
+        let mut links = vec![
+            lc(ElementId(0), oas, 1),
+            lc(oas, oa, 100),
+            lc(oa, bidder, 500),
+            lc(oa, seller, 100),
+            lc(ElementId(0), people, 1),
+            lc(people, person, 200),
+            lc(bidder, person, 500),
+            lc(seller, person, 100),
+        ];
+        if grow {
+            let watches = b
+                .add_child(person, "watches", SchemaType::set_of_rcd())
+                .unwrap();
+            b.add_value_link(watches, oa).unwrap();
+            cards.push(340);
+            links.push(lc(person, watches, 340));
+            links.push(lc(watches, oa, 340));
+        }
+        (b.build().unwrap(), cards, links)
+    }
+
+    #[test]
+    fn grow_from_matches_cold_build_bitwise() {
+        let (base_g, base_cards, base_links) = grown_fixture(false);
+        let base = SchemaStats::from_link_counts(&base_g, &base_cards, &base_links).unwrap();
+        let (new_g, new_cards, new_links) = grown_fixture(true);
+        let grown = base.grow_from(&new_g, &new_cards, &new_links).unwrap();
+        let cold = SchemaStats::from_link_counts(&new_g, &new_cards, &new_links).unwrap();
+        assert_bitwise_eq(&grown, &cold);
+        assert_eq!(grown.len(), base.len() + 1);
+    }
+
+    #[test]
+    fn grow_from_identity_is_bitwise_stable() {
+        let (g, cards, links) = grown_fixture(false);
+        let base = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        let regrown = base.grow_from(&g, &cards, &links).unwrap();
+        assert_bitwise_eq(&regrown, &base);
+    }
+
+    #[test]
+    fn grow_from_rejects_changed_base_cardinality() {
+        let (base_g, base_cards, base_links) = grown_fixture(false);
+        let base = SchemaStats::from_link_counts(&base_g, &base_cards, &base_links).unwrap();
+        let (new_g, mut new_cards, new_links) = grown_fixture(true);
+        new_cards[3] += 1; // bidder count moved: not additive growth
+        assert!(base.grow_from(&new_g, &new_cards, &new_links).is_err());
+    }
+
+    #[test]
+    fn grow_from_rejects_shrunk_graph() {
+        let (base_g, base_cards, base_links) = grown_fixture(false);
+        let (new_g, new_cards, new_links) = grown_fixture(true);
+        let grown = SchemaStats::from_link_counts(&new_g, &new_cards, &new_links).unwrap();
+        assert!(grown.grow_from(&base_g, &base_cards, &base_links).is_err());
+    }
+
+    #[test]
+    fn exploration_bits_survive_pure_rescale_but_not_fanout_change() {
+        let (g, ids, s) = stats();
+        let rescaled = s.scaled(2.0);
+        for e in g.element_ids() {
+            assert!(s.exploration_bits_eq(&rescaled, e));
+        }
+        // Push RC(oa→bidder) from 5 to 6: an unclamped factor moves.
+        let (g2, cards, mut links) = {
+            let (g2, ids2) = graph();
+            let card = vec![1u64, 1, 100, 500, 100, 1, 200];
+            let [oas, oa, bidder, seller, people, person] = ids2;
+            let lc = |from, to, count| LinkCount { from, to, count };
+            let links = vec![
+                lc(ElementId(0), oas, 1),
+                lc(oas, oa, 100),
+                lc(oa, bidder, 500),
+                lc(oa, seller, 100),
+                lc(ElementId(0), people, 1),
+                lc(people, person, 200),
+                lc(bidder, person, 500),
+                lc(seller, person, 100),
+            ];
+            (g2, card, links)
+        };
+        links[2].count = 600;
+        let moved = SchemaStats::from_link_counts(&g2, &cards, &links).unwrap();
+        assert!(!s.exploration_bits_eq(&moved, ids[1]));
+    }
+
+    #[test]
+    fn replay_bits_tolerate_dormant_growth_only() {
+        let (base_g, base_cards, base_links) = grown_fixture(false);
+        let base = SchemaStats::from_link_counts(&base_g, &base_cards, &base_links).unwrap();
+
+        // Identity: replay equivalence subsumes exploration equivalence.
+        for e in base_g.element_ids() {
+            assert!(base.replay_bits_eq(&base, e));
+        }
+
+        // Dormant growth: `watches` exists structurally but its links
+        // carry no instances, so every new edge has rc == 0 and the old
+        // rows replay identically over the grown stats.
+        let (new_g, mut new_cards, _) = grown_fixture(true);
+        new_cards[7] = 0; // watches has no instances yet
+        let dormant = SchemaStats::from_link_counts(&new_g, &new_cards, &base_links).unwrap();
+        for e in base_g.element_ids() {
+            assert!(
+                base.replay_bits_eq(&dormant, e),
+                "dormant growth must leave element {e:?} replayable"
+            );
+        }
+        // ...even though exploration bits do differ where edges appended.
+        let person = ElementId(6);
+        assert!(!base.exploration_bits_eq(&dormant, person));
+
+        // Populated growth: the same edges with live counts make the
+        // carrier rows non-replayable.
+        let (_, new_cards, new_links) = grown_fixture(true);
+        let populated = SchemaStats::from_link_counts(&new_g, &new_cards, &new_links).unwrap();
+        assert!(!base.replay_bits_eq(&populated, person));
+
+        // A changed factor on a pre-existing edge is never tolerated.
+        let mut moved_links = base_links.clone();
+        moved_links[2].count = 600;
+        let moved = SchemaStats::from_link_counts(&base_g, &base_cards, &moved_links).unwrap();
+        assert!(!base.replay_bits_eq(&moved, ElementId(2)));
     }
 
     #[test]

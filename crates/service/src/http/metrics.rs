@@ -158,6 +158,21 @@ pub(crate) fn render(cache: &CacheStats, catalog: &CatalogStats, http: &HttpServ
         "Schema deltas served warm by splicing matrices across fingerprints.",
         cache.delta_refreshes,
     );
+    // Refresh-accounting reconciliation: every delta routed through the
+    // refresh path lands in exactly one class — the three warm classes
+    // sum to delta_refreshes, and `cold` mirrors delta_fallback_cold.
+    labeled(
+        &mut out,
+        "schema_summary_delta_refreshes_by_class_total",
+        "counter",
+        "Schema deltas routed through the refresh path, by outcome class.",
+        &[
+            ("class", "rescale", cache.delta_refreshes_rescale),
+            ("class", "splice", cache.delta_refreshes_splice),
+            ("class", "structural", cache.delta_refreshes_structural),
+            ("class", "cold", cache.delta_fallback_cold),
+        ],
+    );
     family(
         &mut out,
         "schema_summary_delta_rows_recomputed_total",

@@ -319,6 +319,10 @@ fn admin_refresh(ctx: &RouteContext<'_>, body: &[u8]) -> HttpResponse {
         old: String,
         new: String,
         empty: bool,
+        /// The diff classification (`rescale`, `edge_touch`,
+        /// `additive_structural`, `destructive`) — what the warm path
+        /// was *asked* to do; `warm` says whether it succeeded.
+        class: String,
         warm: bool,
         rows_recomputed: u64,
     }
@@ -326,6 +330,7 @@ fn admin_refresh(ctx: &RouteContext<'_>, body: &[u8]) -> HttpResponse {
         old: old_fp.to_hex(),
         new: new_fp.to_hex(),
         empty: delta.is_empty(),
+        class: delta.class.as_str().to_string(),
         warm: stats_after.delta_refreshes > stats_before.delta_refreshes,
         rows_recomputed: stats_after.delta_rows_recomputed - stats_before.delta_rows_recomputed,
     };

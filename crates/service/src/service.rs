@@ -311,9 +311,21 @@ pub struct CacheStats {
     /// spliced matrix was copied bit-exactly from the old fingerprint).
     pub delta_rows_recomputed: u64,
     /// Schema deltas that were routed to the refresh path but fell back
-    /// to a cold invalidation (structural change, oversized footprint,
+    /// to a cold invalidation (destructive change, oversized footprint,
     /// unregistered fingerprint, or nothing spliceable).
     pub delta_fallback_cold: u64,
+    /// Warm refreshes whose delta was a pure rescale (same graph, every
+    /// exploration lane bit-identical): coverage rewritten in place, no
+    /// rows re-explored.
+    pub delta_refreshes_rescale: u64,
+    /// Warm refreshes whose delta touched edge weights (same graph,
+    /// some RC lanes moved): the affected rows were re-explored and
+    /// spliced into the carried matrices.
+    pub delta_refreshes_splice: u64,
+    /// Warm refreshes whose delta was additive structural growth (new
+    /// elements and/or new value links): the matrices were resized
+    /// in place, appended rows explored fresh.
+    pub delta_refreshes_structural: u64,
     /// Named registrations rehydrated from the catalog journal at
     /// startup (0 when the service has no store directory or the journal
     /// was empty).
@@ -1018,6 +1030,18 @@ impl SummaryService {
             .catalog()
             .get(old_fp)
             .ok_or(ServiceError::UnknownFingerprint(old_fp))?;
+        if old_fp == new_fp {
+            // A refresh of a fingerprint onto itself is a retry of an
+            // already-applied update: identical content, nothing to diff.
+            // Short-circuit without touching the store so no cached
+            // result is purged and no delta counter moves.
+            return Ok(SchemaDelta::compute(
+                old.graph(),
+                old.stats(),
+                old.graph(),
+                old.stats(),
+            ));
+        }
         let new = self
             .store
             .catalog()
@@ -1088,6 +1112,9 @@ impl SummaryService {
             delta_refreshes: self.store.delta_refreshes(),
             delta_rows_recomputed: self.store.delta_rows_recomputed(),
             delta_fallback_cold: self.store.delta_fallback_cold(),
+            delta_refreshes_rescale: self.store.delta_refreshes_rescale(),
+            delta_refreshes_splice: self.store.delta_refreshes_splice(),
+            delta_refreshes_structural: self.store.delta_refreshes_structural(),
             catalog_rehydrated: self.rehydrated.load(Ordering::Relaxed),
             importance_seeded: counters.importance_seeded(),
             importance_iterations_saved: counters.importance_iterations_saved(),
@@ -1195,7 +1222,7 @@ impl SummaryService {
 mod tests {
     use super::*;
     use schema_summary_core::stats::LinkCount;
-    use schema_summary_core::{SchemaGraphBuilder, SchemaType};
+    use schema_summary_core::{DeltaClass, SchemaGraphBuilder, SchemaType};
 
     fn fixture() -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
         fixture_with_cards(200, 200)
@@ -1276,6 +1303,88 @@ mod tests {
                 from: find("bidder"),
                 to: find("person"),
                 count: 600,
+            },
+        ];
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (Arc::new(g), Arc::new(s))
+    }
+
+    /// The base fixture grown in place: identical declarations in the
+    /// same order plus an appended `wishlist` set under `person` — an
+    /// additive structural delta whose identity prefix matches the base
+    /// fixture, so the warm path can resize instead of falling cold.
+    fn grown_fixture() -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
+        let auctions = b
+            .add_child(b.root(), "auctions", SchemaType::rcd())
+            .unwrap();
+        let auction = b
+            .add_child(auctions, "auction", SchemaType::set_of_rcd())
+            .unwrap();
+        let bidder = b
+            .add_child(auction, "bidder", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_value_link(bidder, person).unwrap();
+        b.add_child(person, "wishlist", SchemaType::set_of_rcd())
+            .unwrap();
+        let g = b.build().unwrap();
+        let find = |l: &str| g.find_unique(l).unwrap();
+        let mut cards = vec![1u64; g.len()];
+        for (label, c) in [
+            ("person", 200),
+            ("name", 200),
+            ("auction", 100),
+            ("bidder", 600),
+            ("wishlist", 300),
+        ] {
+            cards[find(label).index()] = c;
+        }
+        let links = vec![
+            LinkCount {
+                from: g.root(),
+                to: find("people"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("people"),
+                to: find("person"),
+                count: 200,
+            },
+            LinkCount {
+                from: find("person"),
+                to: find("name"),
+                count: 200,
+            },
+            LinkCount {
+                from: g.root(),
+                to: find("auctions"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("auctions"),
+                to: find("auction"),
+                count: 100,
+            },
+            LinkCount {
+                from: find("auction"),
+                to: find("bidder"),
+                count: 600,
+            },
+            LinkCount {
+                from: find("bidder"),
+                to: find("person"),
+                count: 600,
+            },
+            LinkCount {
+                from: find("person"),
+                to: find("wishlist"),
+                count: 300,
             },
         ];
         let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
@@ -1429,8 +1538,13 @@ mod tests {
         assert!(!delta.is_empty());
         assert_eq!(delta.changed_cardinalities.len(), 1);
 
+        assert_eq!(delta.class, DeltaClass::Rescale);
+
         let stats = service.cache_stats();
         assert_eq!(stats.delta_refreshes, 1, "the delta must be served warm");
+        assert_eq!(stats.delta_refreshes_rescale, 1);
+        assert_eq!(stats.delta_refreshes_splice, 0);
+        assert_eq!(stats.delta_refreshes_structural, 0);
         assert_eq!(stats.delta_fallback_cold, 0);
         // A leaf growing keeps every rc_factor clamped and every w_back
         // count ratio: no row re-explores, the splice rescales coverage.
@@ -1499,10 +1613,109 @@ mod tests {
         let (g2, s2) = fixture_with_cards(200, 400);
         let delta = service.update_named("site", g2, s2).unwrap();
         assert!(!delta.is_empty());
+        assert_eq!(delta.class, DeltaClass::EdgeTouch);
         let stats = service.cache_stats();
         assert_eq!(stats.delta_refreshes, 0);
+        assert_eq!(stats.delta_refreshes_splice, 0, "fallbacks count in no class");
         assert_eq!(stats.delta_fallback_cold, 1);
         assert_eq!(stats.entries, 0, "cold fallback drops the old results");
+    }
+
+    #[test]
+    fn structural_growth_refreshes_warm_and_counts_by_class() {
+        let service = SummaryService::new(ServiceConfig {
+            delta_max_fraction: 1.0,
+            ..Default::default()
+        });
+        let (g, s) = fixture();
+        let fp_old = service.register_named("site", Arc::clone(&g), Arc::clone(&s));
+        service.summarize(fp_old, Algorithm::Balance, 2).unwrap();
+        let computed_before = service.cache_stats().matrices_computed;
+        assert_eq!(computed_before, 1);
+
+        let (g2, s2) = grown_fixture();
+        let delta = service.update_named("site", g2, s2).unwrap();
+        assert_eq!(delta.class, DeltaClass::AdditiveStructural);
+        assert_eq!(delta.added_elements.len(), 1);
+
+        let stats = service.cache_stats();
+        assert_eq!(stats.delta_refreshes, 1, "growth must be served warm");
+        assert_eq!(stats.delta_refreshes_structural, 1);
+        assert_eq!(stats.delta_refreshes_rescale, 0);
+        assert_eq!(stats.delta_refreshes_splice, 0);
+        assert_eq!(stats.delta_fallback_cold, 0);
+        assert_eq!(
+            stats.matrices_computed, computed_before,
+            "the grown fingerprint's matrices must be resized and spliced, not recomputed"
+        );
+        assert_eq!(
+            stats.importance_seeded, 1,
+            "the grown fixpoint restarts from the rebased seed"
+        );
+
+        // The re-derived result is already cached under the new
+        // fingerprint and bit-consistent with a cold service over the
+        // same grown content (importance ε-close per the seeded-restart
+        // contract).
+        let warm = service
+            .summarize(delta.new_fingerprint, Algorithm::Balance, 2)
+            .unwrap();
+        assert!(warm.from_cache);
+        let cold = SummaryService::default();
+        let (g3, s3) = grown_fixture();
+        let fp_cold = cold.register(g3, s3);
+        assert_eq!(fp_cold, delta.new_fingerprint);
+        let cold_flat = cold.summarize(fp_cold, Algorithm::Balance, 2).unwrap();
+        assert_eq!(warm.result.selection, cold_flat.result.selection);
+        assert_eq!(warm.result.labels, cold_flat.result.labels);
+        assert_eq!(
+            warm.result.coverage.to_bits(),
+            cold_flat.result.coverage.to_bits()
+        );
+        let (warm_i, cold_i) = (warm.result.importance, cold_flat.result.importance);
+        assert!(
+            (warm_i - cold_i).abs() <= 10.0 * 0.001 * cold_i.abs(),
+            "summary importance must be ε-close: warm {warm_i} vs cold {cold_i}"
+        );
+    }
+
+    #[test]
+    fn self_refresh_between_short_circuits_without_purging() {
+        let service = SummaryService::default();
+        let (g, s) = fixture();
+        let fp = service.register_named("site", g, s);
+        service.summarize(fp, Algorithm::Balance, 2).unwrap();
+        let before = service.cache_stats();
+
+        // Refreshing a fingerprint onto itself is a retry of an already-
+        // applied update: it must answer with the empty delta and leave
+        // every counter and cached result untouched.
+        let delta = service.refresh_between(fp, fp).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.class, DeltaClass::Rescale);
+        assert_eq!(delta.old_fingerprint, fp);
+        assert_eq!(delta.new_fingerprint, fp);
+
+        let after = service.cache_stats();
+        assert_eq!(after.invalidations, before.invalidations);
+        assert_eq!(after.delta_refreshes, before.delta_refreshes);
+        assert_eq!(after.delta_fallback_cold, before.delta_fallback_cold);
+        assert_eq!(after.entries, before.entries);
+        assert!(
+            service
+                .summarize(fp, Algorithm::Balance, 2)
+                .unwrap()
+                .from_cache,
+            "the self-refresh must not evict the cached result"
+        );
+
+        // An unregistered fingerprint still errors, even against itself.
+        let (g2, s2) = grown_fixture();
+        let stranger = SchemaFingerprint::of_annotated(&g2, &s2);
+        assert!(matches!(
+            service.refresh_between(stranger, stranger),
+            Err(ServiceError::UnknownFingerprint(_))
+        ));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::disk::{DiskTier, KIND_FLAT, KIND_MULTILEVEL};
 use crate::lru::ShardedLru;
 use crate::service::{MultiLevelArtifact, ServiceError, SummaryResult};
 use schema_summary_algo::{plan_delta, Algorithm, SummarizerConfig};
-use schema_summary_core::{SchemaDelta, SchemaFingerprint};
+use schema_summary_core::{DeltaClass, SchemaDelta, SchemaFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -196,6 +196,13 @@ pub(crate) struct ArtifactStore {
     delta_refreshes: AtomicU64,
     delta_rows_recomputed: AtomicU64,
     delta_fallback_cold: AtomicU64,
+    /// Warm refreshes split by delta class (`delta_refreshes` stays the
+    /// class-agnostic total): pure cardinality rescales, same-graph edge
+    /// splices, and additive structural (grown) splices. Cold fallbacks
+    /// keep their own counter above.
+    delta_refreshes_rescale: AtomicU64,
+    delta_refreshes_splice: AtomicU64,
+    delta_refreshes_structural: AtomicU64,
 }
 
 /// What [`ArtifactStore::refresh`] did with a schema delta.
@@ -242,6 +249,9 @@ impl ArtifactStore {
             delta_refreshes: AtomicU64::new(0),
             delta_rows_recomputed: AtomicU64::new(0),
             delta_fallback_cold: AtomicU64::new(0),
+            delta_refreshes_rescale: AtomicU64::new(0),
+            delta_refreshes_splice: AtomicU64::new(0),
+            delta_refreshes_structural: AtomicU64::new(0),
         }
     }
 
@@ -483,6 +493,17 @@ impl ArtifactStore {
             })
             .collect();
         self.delta_refreshes.fetch_add(1, Ordering::Relaxed);
+        // Split the warm total by the delta's class: a pure rescale spliced
+        // zero rows, an edge touch re-explored in place, an additive
+        // structural delta grew the matrices. (Destructive deltas never
+        // plan warm, so they only ever land on `delta_fallback_cold`.)
+        match delta.class {
+            DeltaClass::Rescale => &self.delta_refreshes_rescale,
+            DeltaClass::EdgeTouch => &self.delta_refreshes_splice,
+            DeltaClass::AdditiveStructural => &self.delta_refreshes_structural,
+            DeltaClass::Destructive => &self.delta_fallback_cold,
+        }
+        .fetch_add(1, Ordering::Relaxed);
         self.delta_rows_recomputed
             .fetch_add(rows_total, Ordering::Relaxed);
         let dropped = self.invalidate(old_fp);
@@ -557,6 +578,18 @@ impl ArtifactStore {
 
     pub fn delta_fallback_cold(&self) -> u64 {
         self.delta_fallback_cold.load(Ordering::Relaxed)
+    }
+
+    pub fn delta_refreshes_rescale(&self) -> u64 {
+        self.delta_refreshes_rescale.load(Ordering::Relaxed)
+    }
+
+    pub fn delta_refreshes_splice(&self) -> u64 {
+        self.delta_refreshes_splice.load(Ordering::Relaxed)
+    }
+
+    pub fn delta_refreshes_structural(&self) -> u64 {
+        self.delta_refreshes_structural.load(Ordering::Relaxed)
     }
 
     pub fn compute_micros(&self) -> u64 {

@@ -535,6 +535,11 @@ fn admin_refresh_routes_deltas_and_drop_accounting_reconciles() {
     let reply = client.post("/admin/refresh", "{\"old\":\"xmark\",\"new\":\"xmark-v2\"}");
     assert_eq!(reply.status, 200);
     assert!(reply.text().contains("\"empty\":false"), "{}", reply.text());
+    assert!(
+        reply.text().contains("\"class\":\"rescale\""),
+        "{}",
+        reply.text()
+    );
     assert!(reply.text().contains("\"warm\":true"), "{}", reply.text());
     assert!(
         reply.text().contains("\"rows_recomputed\":0"),
@@ -563,6 +568,22 @@ fn admin_refresh_routes_deltas_and_drop_accounting_reconciles() {
         0.0
     );
     assert!(metric(text, "schema_summary_delta_refreshes_total") >= 1.0);
+    // The class-labelled family reconciles: the three warm classes sum
+    // to the refresh total, and this rescale landed under `rescale`.
+    let by_class = |class: &str| {
+        labeled_metric(
+            text,
+            "schema_summary_delta_refreshes_by_class_total",
+            "class",
+            class,
+        )
+    };
+    assert_eq!(by_class("rescale"), 1.0);
+    assert_eq!(by_class("cold"), 0.0);
+    assert_eq!(
+        by_class("rescale") + by_class("splice") + by_class("structural"),
+        metric(text, "schema_summary_delta_refreshes_total")
+    );
     let by_cause =
         |cause: &str| labeled_metric(text, "schema_summary_results_dropped_total", "cause", cause);
     assert_eq!(
@@ -580,6 +601,120 @@ fn admin_refresh_routes_deltas_and_drop_accounting_reconciles() {
     assert!(
         by_cause("invalidation") >= 1.0,
         "the refresh dropped a result"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn admin_refresh_splices_structural_growth_and_labels_the_class() {
+    use schema_summary_core::stats::LinkCount;
+    use schema_summary_core::{SchemaGraph, SchemaGraphBuilder, SchemaStats, SchemaType};
+    use schema_summary_service::ServiceConfig;
+
+    // A tiny site schema, optionally grown in place by appending a
+    // `wishlist` set under `person` — an additive structural delta.
+    fn site(grown: bool) -> (Arc<SchemaGraph>, Arc<SchemaStats>) {
+        let mut b = SchemaGraphBuilder::new("site");
+        let people = b.add_child(b.root(), "people", SchemaType::rcd()).unwrap();
+        let person = b
+            .add_child(people, "person", SchemaType::set_of_rcd())
+            .unwrap();
+        b.add_child(person, "name", SchemaType::simple_str())
+            .unwrap();
+        if grown {
+            b.add_child(person, "wishlist", SchemaType::set_of_rcd())
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        let find = |l: &str| g.find_unique(l).unwrap();
+        let mut cards = vec![1u64; g.len()];
+        cards[find("person").index()] = 200;
+        cards[find("name").index()] = 200;
+        let mut links = vec![
+            LinkCount {
+                from: g.root(),
+                to: find("people"),
+                count: 1,
+            },
+            LinkCount {
+                from: find("people"),
+                to: find("person"),
+                count: 200,
+            },
+            LinkCount {
+                from: find("person"),
+                to: find("name"),
+                count: 200,
+            },
+        ];
+        if grown {
+            cards[find("wishlist").index()] = 300;
+            links.push(LinkCount {
+                from: find("person"),
+                to: find("wishlist"),
+                count: 300,
+            });
+        }
+        let s = SchemaStats::from_link_counts(&g, &cards, &links).unwrap();
+        (Arc::new(g), Arc::new(s))
+    }
+
+    // The tiny graph is well inside any BFS horizon, so open the
+    // fraction guard for the warm path to accept the grown footprint.
+    let service = Arc::new(SummaryService::new(ServiceConfig {
+        delta_max_fraction: 1.0,
+        ..Default::default()
+    }));
+    let (g, s) = site(false);
+    service.register_named("site", g, s);
+    let (g2, s2) = site(true);
+    let new_fp = service.register(g2, s2);
+    let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service), default_config()).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    // Warm the old fingerprint so there are matrices to splice and a
+    // cached result to re-derive.
+    assert_eq!(
+        client
+            .post("/v1/summary", "{\"schema\":\"site\",\"k\":2}")
+            .status,
+        200
+    );
+
+    let body = format!("{{\"old\":\"site\",\"new\":\"{}\"}}", new_fp.to_hex());
+    let reply = client.post("/admin/refresh", &body);
+    assert_eq!(reply.status, 200);
+    assert!(
+        reply.text().contains("\"class\":\"additive_structural\""),
+        "{}",
+        reply.text()
+    );
+    assert!(reply.text().contains("\"warm\":true"), "{}", reply.text());
+
+    let stats = service.cache_stats();
+    assert_eq!(stats.delta_refreshes_structural, 1);
+    assert_eq!(stats.delta_fallback_cold, 0);
+    assert_eq!(
+        stats.importance_seeded, 1,
+        "the grown fixpoint restarts from the rebased seed"
+    );
+
+    let text_reply = client.get("/metrics");
+    let text = text_reply.text();
+    let by_class = |class: &str| {
+        labeled_metric(
+            text,
+            "schema_summary_delta_refreshes_by_class_total",
+            "class",
+            class,
+        )
+    };
+    assert_eq!(by_class("structural"), 1.0);
+    assert_eq!(by_class("cold"), 0.0);
+    assert_eq!(
+        by_class("rescale") + by_class("splice") + by_class("structural"),
+        metric(text, "schema_summary_delta_refreshes_total")
     );
 
     server.shutdown();

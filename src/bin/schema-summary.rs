@@ -111,6 +111,7 @@ USAGE:
   schema-summary export    (--xsd FILE | --ddl FILE) [--xml FILE] [-k N]
                            [--algorithm A] [--format json|md] [--out FILE]
   schema-summary serve     (--xsd FILE | --ddl FILE) [--xml FILE]
+                           [--ddl-next FILE]
                            [--requests FILE] [--cache N] [--store-dir DIR]
                            [--store-max-bytes N] [--delta-max-fraction F]
                            [--listen ADDR] [--http ADDR] [--peer URL]...
@@ -155,6 +156,10 @@ OPTIONS:
                     (serve) warm-refresh schema deltas that touch at most
                     this fraction of the elements; larger deltas fall back
                     to cold invalidation (default 0.25; must be in (0, 1])
+  --ddl-next FILE   (serve) register an evolved version of the schema
+                    (SQL DDL) under '<name>-next', so POST /admin/refresh
+                    {\"old\":\"<name>\",\"new\":\"<name>-next\"} can migrate
+                    cached results between the two versions warm
   --listen ADDR     (serve) serve line-delimited JSON over TCP on ADDR
                     (e.g. 127.0.0.1:7878) instead of a batch stream
   --http ADDR       (serve) serve the HTTP/1.1 API on ADDR (e.g.
@@ -455,6 +460,14 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), String> {
         None => println!(
             "serving schema '{name}' (fingerprint {fingerprint}, cache capacity {capacity})"
         ),
+    }
+    if let Some(path) = opts.get("ddl-next") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let next = Arc::new(parse_ddl(&text, "db").map_err(|e| format!("{path}: {e}"))?);
+        let next_stats = Arc::new(SchemaStats::uniform(&next));
+        let next_name = format!("{name}-next");
+        let next_fp = service.register_named(&next_name, Arc::clone(&next), next_stats);
+        println!("registered evolved schema '{next_name}' (fingerprint {next_fp})");
     }
 
     if opts.get("listen").is_some() || opts.get("http").is_some() {
